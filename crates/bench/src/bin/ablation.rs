@@ -1,0 +1,16 @@
+//! Ablation and scaling experiments: the Theorem-1 min-term crossover
+//! (§3.1 vs §3.2 forced on identical instances) and load-vs-p scaling.
+//!
+//! Run with: `cargo run -p mpcjoin-bench --release --bin ablation [scale]`
+
+use mpcjoin_bench::experiments;
+use mpcjoin_bench::emit;
+
+fn main() {
+    let scale: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    emit(&experiments::ablation_min_terms(16, scale), "ablation_min_terms");
+    emit(&experiments::p_scaling(scale), "p_scaling");
+}

@@ -1,0 +1,13 @@
+//! The figure experiments: verify the decompositions of Figures 1–4 on
+//! the paper's example queries and run them end to end.
+//!
+//! Run with: `cargo run -p mpcjoin-bench --release --bin figures`
+
+use mpcjoin_bench::experiments;
+use mpcjoin_bench::print_table;
+
+fn main() {
+    for table in experiments::figures(16) {
+        print_table(&table);
+    }
+}

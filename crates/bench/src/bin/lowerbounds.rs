@@ -1,0 +1,18 @@
+//! The Theorems 2–3 lower-bound experiment: run Theorem 1's algorithm on
+//! the hard instances (with their adversarial initial placements) and
+//! print measured load between the Ω and O bounds.
+//!
+//! Run with: `cargo run -p mpcjoin-bench --release --bin lowerbounds [scale]`
+
+use mpcjoin_bench::experiments;
+use mpcjoin_bench::emit;
+
+fn main() {
+    let scale: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    for p in [16usize, 64] {
+        emit(&experiments::lower_bounds(p, scale), &format!("lowerbounds_p{p}"));
+    }
+}

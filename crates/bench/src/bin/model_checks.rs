@@ -1,0 +1,12 @@
+//! Model sanity experiments: constant rounds across input scales, and
+//! §2.2 KMV estimator accuracy.
+//!
+//! Run with: `cargo run -p mpcjoin-bench --release --bin model_checks`
+
+use mpcjoin_bench::experiments;
+use mpcjoin_bench::emit;
+
+fn main() {
+    emit(&experiments::rounds_constancy(16), "rounds_constancy");
+    emit(&experiments::kmv_accuracy(16), "kmv_accuracy");
+}

@@ -1,0 +1,26 @@
+//! The benchmark harness: experiments that regenerate every table and
+//! figure of the paper (see DESIGN.md §4 for the experiment index).
+//!
+//! Each experiment is a plain function returning printable rows, shared by
+//! the `cargo run` harness binaries and the Criterion benches. The
+//! quantity measured is the MPC *load* — the paper's cost metric — read
+//! off the simulator's exact ledger, alongside the closed-form bounds of
+//! Table 1.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::{print_table, to_csv, Cell, Table};
+
+/// Harness-binary output helper: print the table, and when the
+/// environment variable `MPCJOIN_CSV_DIR` is set, also write it there as
+/// `<slug>.csv`.
+pub fn emit(table: &Table, slug: &str) {
+    print_table(table);
+    if let Ok(dir) = std::env::var("MPCJOIN_CSV_DIR") {
+        let path = std::path::Path::new(&dir).join(format!("{slug}.csv"));
+        if let Err(e) = std::fs::write(&path, to_csv(table)) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}

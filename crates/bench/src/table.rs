@@ -1,0 +1,168 @@
+//! Minimal aligned-text table printing for the harness binaries.
+
+/// One table cell.
+#[derive(Clone, Debug)]
+pub enum Cell {
+    /// Plain text.
+    Text(String),
+    /// Integer, right-aligned.
+    Int(u64),
+    /// Float with 2 decimals, right-aligned.
+    Float(f64),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Float(v) => format!("{v:.2}"),
+        }
+    }
+
+    fn right_aligned(&self) -> bool {
+        !matches!(self, Cell::Text(_))
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Int(v)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Float(v)
+    }
+}
+
+/// A titled table with a header row.
+pub struct Table {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+/// Render a [`Table`] to stdout with aligned columns.
+pub fn print_table(table: &Table) {
+    println!("\n== {} ==", table.title);
+    let cols = table.header.len();
+    let mut widths: Vec<usize> = table.header.iter().map(String::len).collect();
+    let rendered: Vec<Vec<String>> = table
+        .rows
+        .iter()
+        .map(|row| {
+            assert_eq!(row.len(), cols, "row arity mismatch");
+            row.iter().map(Cell::render).collect()
+        })
+        .collect();
+    for row in &rendered {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let header_line: Vec<String> = table
+        .header
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:>w$}", h, w = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    println!("{}", "-".repeat(header_line.join("  ").len()));
+    for (row, raw) in rendered.iter().zip(&table.rows) {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| {
+                if raw[i].right_aligned() {
+                    format!("{:>w$}", cell, w = widths[i])
+                } else {
+                    format!("{:<w$}", cell, w = widths[i])
+                }
+            })
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Render a [`Table`] as CSV (header row + data rows; text cells are
+/// quoted when they contain commas).
+pub fn to_csv(table: &Table) -> String {
+    let quote = |s: &str| -> String {
+        if s.contains(',') || s.contains('"') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let mut out = String::new();
+    out.push_str(
+        &table
+            .header
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in &table.rows {
+        out.push_str(
+            &row.iter()
+                .map(|c| quote(&c.render()))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrips_cells() {
+        let csv = to_csv(&Table {
+            title: "t".into(),
+            header: vec!["a".into(), "b,c".into()],
+            rows: vec![vec![Cell::Int(1), Cell::Text("x\"y".into())]],
+        });
+        assert_eq!(csv, "a,\"b,c\"\n1,\"x\"\"y\"\n");
+    }
+
+    #[test]
+    fn renders_without_panicking() {
+        print_table(&Table {
+            title: "demo".into(),
+            header: vec!["a".into(), "b".into()],
+            rows: vec![vec![Cell::Int(1), Cell::Float(2.5)]],
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn rejects_ragged_rows() {
+        print_table(&Table {
+            title: "bad".into(),
+            header: vec!["a".into()],
+            rows: vec![vec![Cell::Int(1), Cell::Int(2)]],
+        });
+    }
+}

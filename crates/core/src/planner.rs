@@ -1,0 +1,218 @@
+//! The query planner: classify a tree join-aggregate query and dispatch
+//! to the algorithm with the best known load bound.
+
+use mpcjoin_joinagg::{line_query, star_like_query, star_query, tree_query};
+use mpcjoin_matmul::matmul;
+use mpcjoin_mpc::{Cluster, CostReport, DistRelation};
+use mpcjoin_query::{classify, Shape, TreeQuery};
+use mpcjoin_relation::{Attr, Relation, Row, Schema};
+use mpcjoin_semiring::Semiring;
+use mpcjoin_yannakakis::{distributed_yannakakis, sequential_join_aggregate, validate_instance};
+
+/// Which top-level plan the engine chose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanKind {
+    /// Free-connex query: the distributed Yannakakis algorithm is already
+    /// output-optimal (§1.2).
+    FreeConnexYannakakis,
+    /// Sparse matrix multiplication (§3, Theorem 1).
+    MatMul,
+    /// Line query (§4, Theorem 4).
+    Line,
+    /// Star query (§5, Theorem 5).
+    Star,
+    /// Star-like query (§6, Lemma 7).
+    StarLike,
+    /// General tree pipeline: reduce → twigs → combine (§7, Theorem 6).
+    Tree,
+}
+
+/// Result of executing a query on the simulated cluster.
+pub struct ExecutionResult<S: Semiring> {
+    /// The query output over `q.output()` (sorted attribute order).
+    pub output: Relation<S>,
+    /// Measured cost of the whole run: load, rounds, total traffic.
+    pub cost: CostReport,
+    /// The plan that was executed.
+    pub plan: PlanKind,
+}
+
+/// Evaluate `q` on an already-populated cluster; returns the distributed
+/// output and the chosen plan. The cluster's cost ledger accumulates the
+/// run's load.
+pub fn execute_on<S: Semiring>(
+    cluster: &mut Cluster,
+    q: &TreeQuery,
+    rels: &[DistRelation<S>],
+) -> (DistRelation<S>, PlanKind) {
+    let output: Vec<Attr> = q.output().iter().copied().collect();
+    let (result, plan) = match classify(q) {
+        Shape::FreeConnex => (
+            distributed_yannakakis(cluster, q, rels),
+            PlanKind::FreeConnexYannakakis,
+        ),
+        Shape::MatMul { r1, r2, .. } => {
+            let (out, _) = matmul(cluster, &rels[r1], &rels[r2]);
+            (out, PlanKind::MatMul)
+        }
+        Shape::Line { edges, attrs } => {
+            let chain: Vec<DistRelation<S>> =
+                edges.iter().map(|&e| rels[e].clone()).collect();
+            (line_query(cluster, &chain, &attrs), PlanKind::Line)
+        }
+        Shape::Star { center, arms } => {
+            let ordered: Vec<DistRelation<S>> =
+                arms.iter().map(|&e| rels[e].clone()).collect();
+            let endpoints: Vec<Attr> = arms
+                .iter()
+                .map(|&e| q.edges()[e].other(center))
+                .collect();
+            (
+                star_query(cluster, &ordered, center, &endpoints),
+                PlanKind::Star,
+            )
+        }
+        Shape::StarLike(_) => (star_like_query(cluster, q, rels), PlanKind::StarLike),
+        Shape::Twig | Shape::General => (tree_query(cluster, q, rels), PlanKind::Tree),
+    };
+    (normalize(result, &output), plan)
+}
+
+/// End-to-end convenience: place `instance` on a fresh `p`-server
+/// cluster, execute `q` with the paper's algorithms, and gather the
+/// output plus the measured cost.
+pub fn execute<S: Semiring>(
+    p: usize,
+    q: &TreeQuery,
+    instance: &[Relation<S>],
+) -> ExecutionResult<S> {
+    validate_instance(q, instance);
+    let mut cluster = Cluster::new(p);
+    let dist: Vec<DistRelation<S>> = instance
+        .iter()
+        .map(|r| DistRelation::scatter(&cluster, r))
+        .collect();
+    let (result, plan) = execute_on(&mut cluster, q, &dist);
+    ExecutionResult {
+        output: result.gather(),
+        cost: cluster.report(),
+        plan,
+    }
+}
+
+/// End-to-end baseline: the distributed Yannakakis algorithm (§1.4), for
+/// comparison against [`execute`].
+pub fn execute_baseline<S: Semiring>(
+    p: usize,
+    q: &TreeQuery,
+    instance: &[Relation<S>],
+) -> ExecutionResult<S> {
+    validate_instance(q, instance);
+    let mut cluster = Cluster::new(p);
+    let dist: Vec<DistRelation<S>> = instance
+        .iter()
+        .map(|r| DistRelation::scatter(&cluster, r))
+        .collect();
+    let output: Vec<Attr> = q.output().iter().copied().collect();
+    let result = distributed_yannakakis(&mut cluster, q, &dist);
+    ExecutionResult {
+        output: normalize(result, &output).gather(),
+        cost: cluster.report(),
+        plan: PlanKind::FreeConnexYannakakis,
+    }
+}
+
+/// Sequential reference evaluation (the oracle), projected onto the
+/// query's outputs in sorted order.
+pub fn execute_sequential<S: Semiring>(q: &TreeQuery, instance: &[Relation<S>]) -> Relation<S> {
+    let output: Vec<Attr> = q.output().iter().copied().collect();
+    sequential_join_aggregate(q, instance).project_aggregate(&output)
+}
+
+/// Reorder a result's columns to the canonical output order.
+fn normalize<S: Semiring>(rel: DistRelation<S>, output: &[Attr]) -> DistRelation<S> {
+    let target = Schema::new(output.to_vec());
+    if rel.schema() == &target {
+        return rel;
+    }
+    let pos = rel.positions_of(output);
+    let data = rel
+        .data()
+        .clone()
+        .map(move |(row, s): (Row, S)| (pos.iter().map(|&i| row[i]).collect(), s));
+    DistRelation::from_distributed(target, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_query::Edge;
+    use mpcjoin_semiring::Count;
+
+    const A: Attr = Attr(0);
+    const B: Attr = Attr(1);
+    const C: Attr = Attr(2);
+    const D: Attr = Attr(3);
+
+    fn mm_query() -> TreeQuery {
+        TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, C])
+    }
+
+    #[test]
+    fn execute_matches_sequential_and_reports_plan() {
+        let q = mm_query();
+        let rels = vec![
+            Relation::<Count>::binary_ones(A, B, (0..50u64).map(|i| (i % 10, i % 7))),
+            Relation::<Count>::binary_ones(B, C, (0..50u64).map(|i| (i % 7, i % 12))),
+        ];
+        let result = execute(8, &q, &rels);
+        assert_eq!(result.plan, PlanKind::MatMul);
+        assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+        assert!(result.cost.rounds > 0);
+    }
+
+    #[test]
+    fn baseline_and_new_agree() {
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, B), Edge::binary(B, C), Edge::binary(C, D)],
+            [A, D],
+        );
+        let rels = vec![
+            Relation::<Count>::binary_ones(A, B, (0..40u64).map(|i| (i % 8, i % 5))),
+            Relation::<Count>::binary_ones(B, C, (0..40u64).map(|i| (i % 5, i % 6))),
+            Relation::<Count>::binary_ones(C, D, (0..40u64).map(|i| (i % 6, i % 9))),
+        ];
+        let new = execute(8, &q, &rels);
+        let base = execute_baseline(8, &q, &rels);
+        assert_eq!(new.plan, PlanKind::Line);
+        assert!(new.output.semantically_eq(&base.output));
+    }
+
+    #[test]
+    fn free_connex_goes_to_yannakakis() {
+        let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, B, C]);
+        let rels = vec![
+            Relation::<Count>::binary_ones(A, B, [(1, 2)]),
+            Relation::<Count>::binary_ones(B, C, [(2, 3)]),
+        ];
+        let result = execute(4, &q, &rels);
+        assert_eq!(result.plan, PlanKind::FreeConnexYannakakis);
+        assert_eq!(result.output.len(), 1);
+    }
+
+    #[test]
+    fn star_plan_selected() {
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, D), Edge::binary(B, D), Edge::binary(C, D)],
+            [A, B, C],
+        );
+        let rels = vec![
+            Relation::<Count>::binary_ones(A, D, (0..20u64).map(|i| (i % 6, i % 3))),
+            Relation::<Count>::binary_ones(B, D, (0..20u64).map(|i| (i % 5, i % 3))),
+            Relation::<Count>::binary_ones(C, D, (0..20u64).map(|i| (i % 4, i % 3))),
+        ];
+        let result = execute(8, &q, &rels);
+        assert_eq!(result.plan, PlanKind::Star);
+        assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+    }
+}

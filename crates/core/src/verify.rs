@@ -1,0 +1,80 @@
+//! Cross-checking utilities: run a query three ways (sequential oracle,
+//! the paper's algorithm, the Yannakakis baseline) and compare exactly.
+//!
+//! Useful when developing new algorithm variants or custom [`Semiring`]
+//! instances — the same machinery drives this repository's differential
+//! soak tester (`cargo run -p mpcjoin-bench --bin differential`).
+
+use crate::planner::{execute, execute_baseline, execute_sequential, PlanKind};
+use mpcjoin_mpc::CostReport;
+use mpcjoin_query::TreeQuery;
+use mpcjoin_relation::Relation;
+use mpcjoin_semiring::Semiring;
+
+/// Outcome of a three-way differential run.
+pub struct Verification<S: Semiring> {
+    /// The plan the engine chose.
+    pub plan: PlanKind,
+    /// Whether the engine's output equals the sequential oracle's,
+    /// as annotated relations.
+    pub engine_matches_oracle: bool,
+    /// Whether the baseline's output equals the oracle's.
+    pub baseline_matches_oracle: bool,
+    /// The oracle's output (ground truth).
+    pub oracle: Relation<S>,
+    /// Measured cost of the engine run.
+    pub engine_cost: CostReport,
+    /// Measured cost of the baseline run.
+    pub baseline_cost: CostReport,
+}
+
+impl<S: Semiring> Verification<S> {
+    /// All three evaluations agree.
+    pub fn all_agree(&self) -> bool {
+        self.engine_matches_oracle && self.baseline_matches_oracle
+    }
+}
+
+/// Evaluate `q` over `instance` with the sequential oracle, the planner's
+/// algorithm, and the distributed Yannakakis baseline on a fresh
+/// `p`-server cluster each, comparing annotated outputs exactly.
+pub fn verify_instance<S: Semiring>(
+    p: usize,
+    q: &TreeQuery,
+    instance: &[Relation<S>],
+) -> Verification<S> {
+    let oracle = execute_sequential(q, instance);
+    let engine = execute(p, q, instance);
+    let baseline = execute_baseline(p, q, instance);
+    Verification {
+        plan: engine.plan,
+        engine_matches_oracle: engine.output.semantically_eq(&oracle),
+        baseline_matches_oracle: baseline.output.semantically_eq(&oracle),
+        oracle,
+        engine_cost: engine.cost,
+        baseline_cost: baseline.cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_query::Edge;
+    use mpcjoin_relation::Attr;
+    use mpcjoin_semiring::Count;
+
+    #[test]
+    fn three_way_agreement() {
+        let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+        let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c]);
+        let rels = vec![
+            Relation::<Count>::binary_ones(a, b, (0..30u64).map(|i| (i % 6, i % 5))),
+            Relation::<Count>::binary_ones(b, c, (0..30u64).map(|i| (i % 5, i % 7))),
+        ];
+        let v = verify_instance(8, &q, &rels);
+        assert!(v.all_agree());
+        assert_eq!(v.plan, PlanKind::MatMul);
+        assert!(v.oracle.len() > 0);
+        assert!(v.engine_cost.rounds > 0 && v.baseline_cost.rounds > 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! MPC algorithms for line, star, star-like and general tree
+//! join-aggregate queries — §4–§7 of Hu & Yi (PODS 2020).
+//!
+//! * [`line_query`] — §4 (Theorem 4),
+//! * [`star_query`] — §5 (Theorem 5),
+//! * [`star_like_query`] — §6 (Lemma 7),
+//! * [`tree_query`] — §7 (Theorem 6): reduce, decompose into twigs
+//!   (Figure 2), evaluate each twig by the most specific algorithm above
+//!   (skeleton + heavy/light divide-and-conquer for general twigs), and
+//!   join the twig results free-connex-style.
+
+pub mod common;
+mod line;
+mod star;
+mod starlike;
+mod tree;
+
+pub use line::line_query;
+pub use star::star_query;
+pub use starlike::star_like_query;
+pub use tree::tree_query;

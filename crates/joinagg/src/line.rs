@@ -1,0 +1,277 @@
+//! Line queries (§4): `∑_{A2..An} R1(A1,A2) ⋈ ⋯ ⋈ Rn(An,An+1)`, load
+//! `O(N·OUT^{1/2}/p + (N·OUT/p)^{2/3} + (N+OUT)/p)` (Theorem 4).
+//!
+//! The recursion of §4.1:
+//!
+//! * values of `A2` with `R1`-degree `≥ √OUT` are *heavy*: the rest of the
+//!   chain joined behind them stays within `N·√OUT` (Lemma 4's
+//!   fan-out argument), so a right-to-left Yannakakis pass collapses
+//!   `R2 ⋈ ⋯ ⋈ Rn` into `R(A2, An+1)` and the §3.2 matrix multiplication
+//!   finishes `Q^heavy`;
+//! * light `A2` values join `R1 ⋈ R2` into `R(A1, A3)` of size `≤ N·√OUT`
+//!   and recurse on the shortened chain — `Q^light`;
+//! * the two outputs aggregate by `(A1, A_{n+1})` (step 4).
+//!
+//! Base case `n = 2` is Theorem 1's dispatcher.
+
+use crate::common::union_aggregate;
+use mpcjoin_matmul::matmul;
+use mpcjoin_mpc::join::join_aggregate;
+use mpcjoin_mpc::{Cluster, DistRelation};
+use mpcjoin_query::{Edge, TreeQuery};
+use mpcjoin_relation::{Attr, Row, Schema};
+use mpcjoin_semiring::Semiring;
+use mpcjoin_sketch::estimate_out_chain_default;
+use mpcjoin_yannakakis::remove_dangling;
+
+/// Evaluate a line query. `rels[i]` must be a binary relation over
+/// `{attrs[i], attrs[i+1]}` (either column order). Output schema:
+/// `(attrs[0], attrs[n])`.
+pub fn line_query<S: Semiring>(
+    cluster: &mut Cluster,
+    rels: &[DistRelation<S>],
+    attrs: &[Attr],
+) -> DistRelation<S> {
+    let n = rels.len();
+    assert!(n >= 2, "a line query has at least two relations");
+    assert_eq!(attrs.len(), n + 1);
+    let out_schema = Schema::binary(attrs[0], attrs[n]);
+
+    if n == 2 {
+        let (result, _) = matmul(cluster, &rels[0], &rels[1]);
+        return reorder_binary(result, &out_schema);
+    }
+
+    // Remove dangling tuples over the whole chain.
+    let q = TreeQuery::new(
+        (0..n).map(|i| Edge::binary(attrs[i], attrs[i + 1])).collect(),
+        [attrs[0], attrs[n]],
+    );
+    let reduced = remove_dangling(cluster, &q, rels);
+    if reduced.iter().any(DistRelation::is_empty) {
+        return DistRelation::empty(cluster, out_schema);
+    }
+
+    // Constant-factor OUT approximation (§2.2).
+    let est = estimate_out_chain_default(
+        cluster,
+        &reduced.iter().collect::<Vec<_>>(),
+        attrs,
+    );
+    let threshold = ((est.total.max(1) as f64).sqrt().ceil() as u64).max(1);
+
+    // Step 1: classify A2 values by R1-degree.
+    let deg_a2 = reduced[0].degrees(cluster, attrs[1]);
+    let heavy_catalog = deg_a2.map_local(move |_, items| {
+        items
+            .into_iter()
+            .map(|(v, d)| (v, d >= threshold))
+            .collect::<Vec<_>>()
+    });
+
+    let split = |cluster: &mut Cluster, rel: &DistRelation<S>, want_heavy: bool| {
+        let attached = rel.attach_stat(
+            cluster,
+            &[attrs[1]],
+            heavy_catalog.clone().map(|(v, h)| (vec![v], h)),
+        );
+        let data = attached.map_local(|_, items| {
+            items
+                .into_iter()
+                .filter_map(|(entry, heavy)| {
+                    (heavy.unwrap_or(false) == want_heavy).then_some(entry)
+                })
+                .collect::<Vec<_>>()
+        });
+        DistRelation::from_distributed(rel.schema().clone(), data)
+    };
+
+    let mut fragments = Vec::new();
+
+    // --- Step 2: Q^heavy. ---
+    let r1_heavy = split(cluster, &reduced[0], true);
+    let r2_heavy = split(cluster, &reduced[1], true);
+    if !r1_heavy.is_empty() && !r2_heavy.is_empty() {
+        // Reduce the heavy subquery's dangling tuples.
+        let mut heavy_rels: Vec<DistRelation<S>> = Vec::with_capacity(n);
+        heavy_rels.push(r1_heavy);
+        heavy_rels.push(r2_heavy);
+        heavy_rels.extend(reduced[2..].iter().cloned());
+        let heavy_rels = remove_dangling(cluster, &q, &heavy_rels);
+        if !heavy_rels.iter().any(DistRelation::is_empty) {
+            // (2.1) right-to-left Yannakakis: R(A_i, A_{n+1}).
+            let mut right = heavy_rels[n - 1].clone();
+            for i in (1..n - 1).rev() {
+                right = join_aggregate(cluster, &heavy_rels[i], &right, &[attrs[i], attrs[n]]);
+            }
+            // (2.2) matrix multiplication with R1^heavy.
+            if !right.is_empty() {
+                let (out_heavy, _) = matmul(cluster, &heavy_rels[0], &right);
+                fragments.push(out_heavy);
+            }
+        }
+    }
+
+    // --- Step 3: Q^light. ---
+    let r1_light = split(cluster, &reduced[0], false);
+    let r2_light = split(cluster, &reduced[1], false);
+    if !r1_light.is_empty() && !r2_light.is_empty() {
+        // (3.1) collapse the first hop: R(A1, A3).
+        let first = join_aggregate(cluster, &r1_light, &r2_light, &[attrs[0], attrs[2]]);
+        if !first.is_empty() {
+            // (3.2) recurse on the shortened chain.
+            let mut chain: Vec<DistRelation<S>> = vec![first];
+            chain.extend(reduced[2..].iter().cloned());
+            let mut chain_attrs = vec![attrs[0]];
+            chain_attrs.extend_from_slice(&attrs[2..]);
+            let out_light = line_query(cluster, &chain, &chain_attrs);
+            fragments.push(out_light);
+        }
+    }
+
+    // --- Step 4: aggregate the two subqueries. ---
+    union_aggregate(cluster, out_schema, fragments)
+}
+
+/// Reorder a relation's columns to the requested schema (local-only).
+pub(crate) fn reorder_binary<S: Semiring>(
+    rel: DistRelation<S>,
+    target: &Schema,
+) -> DistRelation<S> {
+    if rel.schema() == target {
+        return rel;
+    }
+    let pos = rel.positions_of(target.attrs());
+    let data = rel
+        .data()
+        .clone()
+        .map(move |(row, s): (Row, S)| (pos.iter().map(|&i| row[i]).collect(), s));
+    DistRelation::from_distributed(target.clone(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_relation::Relation;
+    use mpcjoin_semiring::{Count, TropicalMin, XorRing};
+    use mpcjoin_yannakakis::sequential_join_aggregate;
+
+    fn attrs(n: usize) -> Vec<Attr> {
+        (0..=n as u32).map(Attr).collect()
+    }
+
+    fn check<SR: Semiring>(rels: Vec<Relation<SR>>, p: usize) -> Cluster {
+        let n = rels.len();
+        let ats = attrs(n);
+        let q = TreeQuery::new(
+            (0..n).map(|i| Edge::binary(ats[i], ats[i + 1])).collect(),
+            [ats[0], ats[n]],
+        );
+        let expect = sequential_join_aggregate(&q, &rels);
+        let mut cluster = Cluster::new(p);
+        let dist: Vec<DistRelation<SR>> = rels
+            .iter()
+            .map(|r| DistRelation::scatter(&cluster, r))
+            .collect();
+        let got = line_query(&mut cluster, &dist, &ats);
+        assert!(
+            got.gather().semantically_eq(&expect),
+            "line query diverged from oracle"
+        );
+        cluster
+    }
+
+    #[test]
+    fn three_hop_random() {
+        let ats = attrs(3);
+        check::<Count>(
+            vec![
+                Relation::binary_ones(ats[0], ats[1], (0..80u64).map(|i| (i % 20, i % 9))),
+                Relation::binary_ones(ats[1], ats[2], (0..80u64).map(|i| (i % 9, i % 11))),
+                Relation::binary_ones(ats[2], ats[3], (0..80u64).map(|i| (i % 11, i % 25))),
+            ],
+            8,
+        );
+    }
+
+    #[test]
+    fn four_hop_with_skewed_middle() {
+        let ats = attrs(4);
+        let mut r1 = Vec::new();
+        // One A2 value of huge degree (heavy path) plus light fringe.
+        for i in 0..60u64 {
+            r1.push((i, 0));
+            r1.push((i, 1 + i % 4));
+        }
+        check::<Count>(
+            vec![
+                Relation::binary_ones(ats[0], ats[1], r1),
+                Relation::binary_ones(ats[1], ats[2], (0..40u64).map(|i| (i % 5, i % 7))),
+                Relation::binary_ones(ats[2], ats[3], (0..40u64).map(|i| (i % 7, i % 6))),
+                Relation::binary_ones(ats[3], ats[4], (0..40u64).map(|i| (i % 6, i % 30))),
+            ],
+            8,
+        );
+    }
+
+    #[test]
+    fn tropical_shortest_path_three_hops() {
+        let ats = attrs(3);
+        let layer = |seed: u64, from: u64, to: u64| {
+            Relation::from_entries(
+                Schema::binary(ats[seed as usize], ats[seed as usize + 1]),
+                (0..from * to)
+                    .map(|i| {
+                        (
+                            vec![i % from, i % to],
+                            TropicalMin::finite(((i * 7 + seed) % 13) as i64),
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .coalesce()
+        };
+        check::<TropicalMin>(vec![layer(0, 6, 5), layer(1, 5, 4), layer(2, 4, 7)], 4);
+    }
+
+    #[test]
+    fn xor_catches_duplicate_paths() {
+        let ats = attrs(3);
+        check::<XorRing>(
+            vec![
+                Relation::binary_ones(ats[0], ats[1], (0..50u64).map(|i| (i % 10, i % 6))),
+                Relation::binary_ones(ats[1], ats[2], (0..50u64).map(|i| (i % 6, i % 8))),
+                Relation::binary_ones(ats[2], ats[3], (0..50u64).map(|i| (i % 8, i % 12))),
+            ],
+            8,
+        );
+    }
+
+    #[test]
+    fn dangling_chain_is_empty() {
+        let ats = attrs(3);
+        check::<Count>(
+            vec![
+                Relation::binary_ones(ats[0], ats[1], [(1, 10)]),
+                Relation::binary_ones(ats[1], ats[2], [(11, 20)]),
+                Relation::binary_ones(ats[2], ats[3], [(20, 30)]),
+            ],
+            4,
+        );
+    }
+
+    #[test]
+    fn five_hop_chain() {
+        let ats = attrs(5);
+        let rels: Vec<Relation<Count>> = (0..5)
+            .map(|j| {
+                Relation::binary_ones(
+                    ats[j],
+                    ats[j + 1],
+                    (0..30u64).map(move |i| ((i * (j as u64 + 3)) % 8, (i * 5) % 8)),
+                )
+            })
+            .collect();
+        check::<Count>(rels, 4);
+    }
+}

@@ -1,0 +1,295 @@
+//! Star queries (§5): `∑_B R1(A1,B) ⋈ ⋯ ⋈ Rn(An,B)`, load
+//! `O((N·OUT/p)^{2/3} + N·OUT^{1/2}/p + (N+OUT)/p)` (Theorem 5).
+//!
+//! The algorithm is *oblivious* to `OUT` (no estimator is known for star
+//! outputs): for every `b`, sort the per-relation degrees `d_i(b)`; the
+//! permutation `ϕ_b` partitions `dom(B)` into at most `n!` classes, each
+//! inducing a subquery `Q_ϕ`. Within a class, Lemmas 5–6 bound the joins
+//! of the odd-position and even-position relations by `N·√OUT`, so each
+//! subquery reduces to one matrix multiplication over two "combined"
+//! attributes, solved by §3.2. Subquery outputs may overlap on the output
+//! attributes and are ⊕-aggregated at the end.
+
+use crate::common::{combine_columns, expand_column, fresh_attr, union_aggregate};
+use mpcjoin_matmul::matmul;
+use mpcjoin_mpc::join::full_join;
+use mpcjoin_mpc::primitives::reduce::reduce_by_key;
+use mpcjoin_mpc::{Cluster, DistRelation, Distributed};
+use mpcjoin_query::{Edge, TreeQuery};
+use mpcjoin_relation::{Attr, Row, Schema, Value};
+use mpcjoin_semiring::Semiring;
+use mpcjoin_yannakakis::remove_dangling;
+
+/// Evaluate a star query: `rels[i]` is binary over
+/// `{endpoints[i], center}`. Output schema: `endpoints` in the given
+/// order.
+pub fn star_query<S: Semiring>(
+    cluster: &mut Cluster,
+    rels: &[DistRelation<S>],
+    center: Attr,
+    endpoints: &[Attr],
+) -> DistRelation<S> {
+    let n = rels.len();
+    assert!(n >= 2, "a star query has at least two relations");
+    assert_eq!(endpoints.len(), n);
+    let out_schema = Schema::new(endpoints.to_vec());
+
+    if n == 2 {
+        let (result, _) = matmul(cluster, &rels[0], &rels[1]);
+        return crate::line::reorder_binary(result, &out_schema);
+    }
+
+    // Dangling removal: afterwards every b appears in all n relations.
+    let q = TreeQuery::new(
+        (0..n).map(|i| Edge::binary(endpoints[i], center)).collect(),
+        endpoints.iter().copied(),
+    );
+    let reduced = remove_dangling(cluster, &q, rels);
+    if reduced.iter().any(DistRelation::is_empty) {
+        return DistRelation::empty(cluster, out_schema);
+    }
+
+    // --- Step 1: per-b degree vectors and permutation classes. ---
+    let p = cluster.p();
+    let mut deg_parts: Vec<Vec<(Value, Vec<u64>)>> = vec![Vec::new(); p];
+    for (i, rel) in reduced.iter().enumerate() {
+        for (server, local) in rel.degrees(cluster, center).into_parts().into_iter().enumerate()
+        {
+            deg_parts[server].extend(local.into_iter().map(|(b, d)| {
+                let mut v = vec![0u64; n];
+                v[i] = d;
+                (b, v)
+            }));
+        }
+    }
+    let degree_vectors = reduce_by_key(
+        cluster,
+        Distributed::from_parts(deg_parts),
+        |acc: &mut Vec<u64>, v| {
+            for (a, b) in acc.iter_mut().zip(v) {
+                *a += b;
+            }
+        },
+    );
+    // Permutation code: the sorted order of relations by (degree, index),
+    // encoded in base n+1.
+    let encode_perm = move |degs: &[u64]| -> u64 {
+        let mut order: Vec<usize> = (0..degs.len()).collect();
+        order.sort_by_key(|&i| (degs[i], i));
+        order
+            .iter()
+            .fold(0u64, |acc, &i| acc * (degs.len() as u64 + 1) + i as u64)
+    };
+    let perm_of_b = degree_vectors.map(move |(b, degs)| (b, encode_perm(&degs)));
+
+    // Which permutation classes actually occur (driver knowledge).
+    let present = reduce_by_key(cluster, perm_of_b.clone().map(|(_, c)| (c, ())), |_, _| ());
+    let gathered = cluster.exchange(
+        present
+            .into_parts()
+            .into_iter()
+            .map(|local| local.into_iter().map(|(c, ())| (0usize, c)).collect())
+            .collect(),
+    );
+    let mut perm_codes: Vec<u64> = gathered.local(0).clone();
+    perm_codes.sort_unstable();
+
+    // Attach each tuple's class (one lookup per relation).
+    let tagged: Vec<Distributed<((Row, S), Option<u64>)>> = reduced
+        .iter()
+        .map(|rel| {
+            rel.attach_stat(
+                cluster,
+                &[center],
+                perm_of_b.clone().map(|(b, c)| (vec![b], c)),
+            )
+        })
+        .collect();
+
+    let decode_perm = |code: u64| -> Vec<usize> {
+        let mut digits = Vec::with_capacity(n);
+        let mut c = code;
+        for _ in 0..n {
+            digits.push((c % (n as u64 + 1)) as usize);
+            c /= n as u64 + 1;
+        }
+        digits.reverse();
+        digits
+    };
+
+    // --- Steps 2–3: one matrix multiplication per class. ---
+    let code_o = fresh_attr(endpoints.iter().copied().chain([center]));
+    let code_e = Attr(code_o.0 + 1);
+    let mut fragments = Vec::new();
+    for &perm in &perm_codes {
+        let order = decode_perm(perm); // order[k] = relation at sorted position k+1
+        let restricted: Vec<DistRelation<S>> = tagged
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let data = t.clone().map_local(|_, items| {
+                    items
+                        .into_iter()
+                        .filter_map(|(entry, c)| (c == Some(perm)).then_some(entry))
+                        .collect::<Vec<_>>()
+                });
+                DistRelation::from_distributed(reduced[i].schema().clone(), data)
+            })
+            .collect();
+
+        // Odd / even positions of the sorted order (1-indexed as in §5).
+        let join_side = |cluster: &mut Cluster, members: &[usize]| -> DistRelation<S> {
+            let mut acc = restricted[members[0]].clone();
+            for &i in &members[1..] {
+                acc = full_join(cluster, &acc, &restricted[i]);
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            acc
+        };
+        let odd: Vec<usize> = order.iter().copied().step_by(2).collect();
+        let even: Vec<usize> = order.iter().copied().skip(1).step_by(2).collect();
+        let r_odd = join_side(cluster, &odd);
+        if r_odd.is_empty() {
+            continue;
+        }
+        let r_even = join_side(cluster, &even);
+        if r_even.is_empty() {
+            continue;
+        }
+
+        // Fuse each side's output columns and multiply.
+        let odd_cols: Vec<Attr> = odd.iter().map(|&i| endpoints[i]).collect();
+        let even_cols: Vec<Attr> = even.iter().map(|&i| endpoints[i]).collect();
+        let co = combine_columns(cluster, &r_odd, &odd_cols, code_o);
+        let ce = combine_columns(cluster, &r_even, &even_cols, code_e);
+        let (product, _) = matmul(cluster, &co.relation, &ce.relation);
+        if product.is_empty() {
+            continue;
+        }
+        let expanded_o = expand_column(cluster, &product, code_o, &odd_cols, co.decode);
+        let expanded = expand_column(cluster, &expanded_o, code_e, &even_cols, ce.decode);
+        fragments.push(expanded);
+    }
+
+    // --- Final aggregation across classes. ---
+    union_aggregate(cluster, out_schema, fragments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_relation::Relation;
+    use mpcjoin_semiring::{Count, WhyProv, XorRing};
+    use mpcjoin_yannakakis::sequential_join_aggregate;
+
+    const B: Attr = Attr(100);
+
+    fn endpoints(n: usize) -> Vec<Attr> {
+        (0..n as u32).map(Attr).collect()
+    }
+
+    fn check<SR: Semiring>(rels: Vec<Relation<SR>>, p: usize) -> Cluster {
+        let n = rels.len();
+        let eps = endpoints(n);
+        let q = TreeQuery::new(
+            (0..n).map(|i| Edge::binary(eps[i], B)).collect(),
+            eps.iter().copied(),
+        );
+        let expect = sequential_join_aggregate(&q, &rels);
+        let mut cluster = Cluster::new(p);
+        let dist: Vec<DistRelation<SR>> = rels
+            .iter()
+            .map(|r| DistRelation::scatter(&cluster, r))
+            .collect();
+        let got = star_query(&mut cluster, &dist, B, &eps);
+        assert!(
+            got.gather().semantically_eq(&expect),
+            "star query diverged from oracle"
+        );
+        cluster
+    }
+
+    #[test]
+    fn three_arm_star_random() {
+        let eps = endpoints(3);
+        check::<Count>(
+            vec![
+                Relation::binary_ones(eps[0], B, (0..40u64).map(|i| (i % 13, i % 5))),
+                Relation::binary_ones(eps[1], B, (0..40u64).map(|i| (i % 9, i % 5))),
+                Relation::binary_ones(eps[2], B, (0..40u64).map(|i| (i % 7, i % 5))),
+            ],
+            8,
+        );
+    }
+
+    #[test]
+    fn four_arm_star_mixed_degrees() {
+        let eps = endpoints(4);
+        // b = 0 has very skewed arm degrees; b = 1 uniform.
+        let mut rels = Vec::new();
+        for (i, width) in [30u64, 3, 9, 1].iter().enumerate() {
+            let mut tuples = Vec::new();
+            for a in 0..*width {
+                tuples.push((a, 0u64));
+            }
+            for a in 0..4u64 {
+                tuples.push((100 + a, 1));
+            }
+            rels.push(Relation::<Count>::binary_ones(eps[i], B, tuples));
+        }
+        check::<Count>(rels, 8);
+    }
+
+    #[test]
+    fn xor_star_catches_duplicates() {
+        let eps = endpoints(3);
+        check::<XorRing>(
+            vec![
+                Relation::binary_ones(eps[0], B, (0..30u64).map(|i| (i % 6, i % 4))),
+                Relation::binary_ones(eps[1], B, (0..30u64).map(|i| (i % 5, i % 4))),
+                Relation::binary_ones(eps[2], B, (0..30u64).map(|i| (i % 4, i % 4))),
+            ],
+            4,
+        );
+    }
+
+    #[test]
+    fn provenance_star_small() {
+        let eps = endpoints(3);
+        let mk = |k: usize, pairs: &[(u64, u64)]| {
+            Relation::from_entries(
+                Schema::binary(eps[k], B),
+                pairs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(a, b))| {
+                        (vec![a, b], WhyProv::tuple((k * 100 + i) as u32))
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        };
+        check::<WhyProv>(
+            vec![
+                mk(0, &[(1, 0), (2, 0), (1, 1)]),
+                mk(1, &[(7, 0), (8, 1)]),
+                mk(2, &[(4, 0), (4, 1), (5, 1)]),
+            ],
+            4,
+        );
+    }
+
+    #[test]
+    fn empty_center_intersection() {
+        let eps = endpoints(3);
+        check::<Count>(
+            vec![
+                Relation::binary_ones(eps[0], B, [(1, 0)]),
+                Relation::binary_ones(eps[1], B, [(2, 1)]),
+                Relation::binary_ones(eps[2], B, [(3, 2)]),
+            ],
+            4,
+        );
+    }
+}

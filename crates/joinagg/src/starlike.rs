@@ -1,0 +1,564 @@
+//! Star-like queries (§6, Figure 1): `n` line-query arms sharing a
+//! non-output attribute `B`; load
+//! `O((NN')^{1/3}OUT^{1/2}/p^{2/3} + N'^{2/3}OUT^{1/3}/p^{2/3} +
+//! N·OUT^{2/3}/p + (N+N'+OUT)/p)` (Lemma 7).
+//!
+//! Like the star algorithm, this is oblivious to `OUT`. Per-`b`
+//! arm-reachability degrees `d_i(b)` (exact for single-relation arms,
+//! §2.2 KMV estimates otherwise) induce a permutation `ϕ_b`, and `B_ϕ`
+//! further splits into
+//!
+//! * `B^small_ϕ` (`∏_{i<n} d_{ϕ(i)} ≤ d_{ϕ(n)}`): the `n−1` lighter arms
+//!   shrink (Yannakakis along each arm) and join into one relation over a
+//!   *combined* attribute, reducing to a **line query** along the heaviest
+//!   arm (Figure 1, steps 2.1–2.2);
+//! * `B^large_ϕ`: every arm shrinks, the arms split into the index sets
+//!   `I = {ϕ(n), ϕ(n−3), …}` and `J` (Lemma 11's balanced split), and the
+//!   two joined sides multiply as matrices — after *uniformizing* `dom(B)`
+//!   into `O(log N)` degree-dyadic buckets, each multiplied on its own
+//!   proportionally-sized sub-cluster (steps 3.1–3.4).
+
+use crate::common::{combine_columns, expand_column, fresh_attr, union_aggregate};
+use crate::line::{line_query, reorder_binary};
+use mpcjoin_matmul::matmul;
+use mpcjoin_mpc::join::{full_join, join_aggregate};
+use mpcjoin_mpc::primitives::reduce::reduce_by_key;
+use mpcjoin_mpc::{Cluster, DistRelation, Distributed};
+use mpcjoin_query::{detect_star_like, Arm, TreeQuery};
+use mpcjoin_relation::{Attr, Row, Schema, Value};
+use mpcjoin_semiring::Semiring;
+use mpcjoin_sketch::estimate_out_chain_default;
+use mpcjoin_yannakakis::remove_dangling;
+
+/// Evaluate a star-like query. `q` must classify as star-like (or line);
+/// `rels[e]` is the relation of edge `e` of `q`. Output schema: the arm
+/// endpoints in `StarLikeShape` arm order.
+pub fn star_like_query<S: Semiring>(
+    cluster: &mut Cluster,
+    q: &TreeQuery,
+    rels: &[DistRelation<S>],
+) -> DistRelation<S> {
+    let shape = detect_star_like(q).expect("query must be star-like");
+    let center = shape.center;
+    let n = shape.arms.len();
+    let endpoints: Vec<Attr> = shape.arms.iter().map(Arm::endpoint).collect();
+    let out_schema = Schema::new(endpoints.clone());
+
+    let reduced = remove_dangling(cluster, q, rels);
+    if reduced.iter().any(DistRelation::is_empty) {
+        return DistRelation::empty(cluster, out_schema);
+    }
+
+    // --- Step 1: per-b arm degrees d_i(b). ---
+    let p = cluster.p();
+    let mut deg_parts: Vec<Vec<(Value, Vec<u64>)>> = vec![Vec::new(); p];
+    for (i, arm) in shape.arms.iter().enumerate() {
+        let stats = if arm.len() == 1 {
+            reduced[arm.edges[0]].degrees(cluster, center)
+        } else {
+            let chain: Vec<&DistRelation<S>> =
+                arm.edges.iter().map(|&e| &reduced[e]).collect();
+            estimate_out_chain_default(cluster, &chain, &arm.attrs).per_group
+        };
+        for (server, local) in stats.into_parts().into_iter().enumerate() {
+            deg_parts[server].extend(local.into_iter().map(|(b, d)| {
+                let mut v = vec![0u64; n];
+                v[i] = d.max(1);
+                (b, v)
+            }));
+        }
+    }
+    let degree_vectors = reduce_by_key(
+        cluster,
+        Distributed::from_parts(deg_parts),
+        |acc: &mut Vec<u64>, v| {
+            for (a, b) in acc.iter_mut().zip(v) {
+                *a = (*a).max(b);
+            }
+        },
+    );
+
+    // Class of b: permutation (base n+1 digits) and small/large flag.
+    let encode_class = move |degs: &[u64]| -> u64 {
+        let mut order: Vec<usize> = (0..degs.len()).collect();
+        order.sort_by_key(|&i| (degs[i], i));
+        let perm = order
+            .iter()
+            .fold(0u64, |acc, &i| acc * (degs.len() as u64 + 1) + i as u64);
+        let rest: u64 = order[..degs.len() - 1]
+            .iter()
+            .fold(1u64, |acc, &i| acc.saturating_mul(degs[i]));
+        let small = rest <= degs[order[degs.len() - 1]];
+        perm * 2 + u64::from(!small)
+    };
+    let class_of_b = degree_vectors.map(move |(b, degs)| (b, encode_class(&degs)));
+
+    // Classes present (driver knowledge).
+    let present = reduce_by_key(cluster, class_of_b.clone().map(|(_, c)| (c, ())), |_, _| ());
+    let gathered = cluster.exchange(
+        present
+            .into_parts()
+            .into_iter()
+            .map(|local| local.into_iter().map(|(c, ())| (0usize, c)).collect())
+            .collect(),
+    );
+    let mut classes: Vec<u64> = gathered.local(0).clone();
+    classes.sort_unstable();
+
+    let decode_perm = |code: u64| -> Vec<usize> {
+        let mut digits = Vec::with_capacity(n);
+        let mut c = code;
+        for _ in 0..n {
+            digits.push((c % (n as u64 + 1)) as usize);
+            c /= n as u64 + 1;
+        }
+        digits.reverse();
+        digits
+    };
+
+    // Attach classes to the center-incident relation of each arm.
+    let center_edge: Vec<usize> = shape.arms.iter().map(|arm| arm.edges[0]).collect();
+    let class_catalog = class_of_b.map(|(b, c)| (vec![b], c));
+    let tagged: Vec<Distributed<((Row, S), Option<u64>)>> = center_edge
+        .iter()
+        .map(|&e| rel_attach(cluster, &reduced[e], center, &class_catalog))
+        .collect();
+
+    let code_1 = fresh_attr(q.attrs());
+    let code_2 = Attr(code_1.0 + 1);
+
+    let mut fragments = Vec::new();
+    for &class in &classes {
+        let small = class % 2 == 0;
+        let order = decode_perm(class / 2);
+
+        // Restrict the subquery to this class of b and re-reduce.
+        let mut sub_rels: Vec<DistRelation<S>> = reduced.to_vec();
+        for (i, &e) in center_edge.iter().enumerate() {
+            let data = tagged[i].clone().map_local(|_, items| {
+                items
+                    .into_iter()
+                    .filter_map(|(entry, c)| (c == Some(class)).then_some(entry))
+                    .collect::<Vec<_>>()
+            });
+            sub_rels[e] = DistRelation::from_distributed(reduced[e].schema().clone(), data);
+        }
+        let sub_rels = remove_dangling(cluster, q, &sub_rels);
+        if sub_rels.iter().any(DistRelation::is_empty) {
+            continue;
+        }
+        let shrink = |cluster: &mut Cluster, arm: &Arm| -> DistRelation<S> {
+            shrink_arm(cluster, arm, &sub_rels, center)
+        };
+
+        if small {
+            // --- Step 2: reduce to a line query along the heaviest arm.
+            let light_positions = &order[..n - 1];
+            let mut joined: Option<DistRelation<S>> = None;
+            for &i in light_positions {
+                let shrunk = shrink(cluster, &shape.arms[i]);
+                joined = Some(match joined {
+                    None => shrunk,
+                    Some(acc) => full_join(cluster, &acc, &shrunk),
+                });
+            }
+            let joined = joined.expect("n ≥ 2 arms");
+            if joined.is_empty() {
+                continue;
+            }
+            let light_cols: Vec<Attr> =
+                light_positions.iter().map(|&i| endpoints[i]).collect();
+            let combined = combine_columns(cluster, &joined, &light_cols, code_1);
+
+            let heavy_arm = &shape.arms[order[n - 1]];
+            let mut chain: Vec<DistRelation<S>> = vec![combined.relation];
+            chain.extend(heavy_arm.edges.iter().map(|&e| sub_rels[e].clone()));
+            let mut chain_attrs = vec![code_1];
+            chain_attrs.extend_from_slice(&heavy_arm.attrs);
+            let line_out = line_query(cluster, &chain, &chain_attrs);
+            if line_out.is_empty() {
+                continue;
+            }
+            let expanded =
+                expand_column(cluster, &line_out, code_1, &light_cols, combined.decode);
+            fragments.push(expanded);
+        } else {
+            // --- Step 3: shrink all arms, split per Lemma 11, uniformize.
+            let shrunk: Vec<DistRelation<S>> = shape
+                .arms
+                .iter()
+                .map(|arm| shrink(cluster, arm))
+                .collect();
+            if shrunk.iter().any(DistRelation::is_empty) {
+                continue;
+            }
+            // I = positions n, n-3, n-6, … (1-indexed); J = the rest.
+            let mut in_i = vec![false; n];
+            let mut pos = n; // 1-indexed position
+            loop {
+                in_i[order[pos - 1]] = true;
+                if pos <= 3 {
+                    break;
+                }
+                pos -= 3;
+            }
+            let side = |cluster: &mut Cluster, take: bool| -> DistRelation<S> {
+                let mut acc: Option<DistRelation<S>> = None;
+                for i in 0..n {
+                    if in_i[i] == take {
+                        acc = Some(match acc {
+                            None => shrunk[i].clone(),
+                            Some(a) => full_join(cluster, &a, &shrunk[i]),
+                        });
+                    }
+                }
+                acc.expect("both sides non-empty for n ≥ 2")
+            };
+            let r_i = side(cluster, true);
+            let r_j = side(cluster, false);
+            if r_i.is_empty() || r_j.is_empty() {
+                continue;
+            }
+            let cols_i: Vec<Attr> = (0..n).filter(|&i| in_i[i]).map(|i| endpoints[i]).collect();
+            let cols_j: Vec<Attr> =
+                (0..n).filter(|&i| !in_i[i]).map(|i| endpoints[i]).collect();
+            let ci = combine_columns(cluster, &r_i, &cols_i, code_1);
+            let cj = combine_columns(cluster, &r_j, &cols_j, code_2);
+
+            let product = uniformized_matmul(cluster, &ci.relation, &cj.relation, center);
+            if product.is_empty() {
+                continue;
+            }
+            let e1 = expand_column(cluster, &product, code_1, &cols_i, ci.decode);
+            let e2 = expand_column(cluster, &e1, code_2, &cols_j, cj.decode);
+            fragments.push(e2);
+        }
+    }
+
+    union_aggregate(cluster, out_schema, fragments)
+}
+
+/// Attach a per-center-value statistic to a relation's tuples.
+fn rel_attach<S: Semiring, U: Clone + 'static>(
+    cluster: &mut Cluster,
+    rel: &DistRelation<S>,
+    center: Attr,
+    catalog: &Distributed<(Row, U)>,
+) -> Distributed<((Row, S), Option<U>)> {
+    rel.attach_stat(cluster, &[center], catalog.clone())
+}
+
+/// Collapse an arm into a single relation `R(endpoint, center)` by a
+/// Yannakakis pass from the endpoint inward (§6 step 2.1).
+fn shrink_arm<S: Semiring>(
+    cluster: &mut Cluster,
+    arm: &Arm,
+    rels: &[DistRelation<S>],
+    center: Attr,
+) -> DistRelation<S> {
+    let endpoint = arm.endpoint();
+    let h = arm.len();
+    // arm.attrs = [center, c1, …, endpoint]; edges[k] spans
+    // attrs[k]..attrs[k+1]. Walk from the endpoint toward the center.
+    let mut acc = rels[arm.edges[h - 1]].clone();
+    for k in (0..h - 1).rev() {
+        acc = join_aggregate(cluster, &acc, &rels[arm.edges[k]], &[endpoint, arm.attrs[k]]);
+    }
+    reorder_binary(acc, &Schema::binary(endpoint, center))
+}
+
+/// §6 steps (3.3)–(3.4): partition `dom(B)` into dyadic buckets by the
+/// left side's `B`-degree and multiply each bucket on a sub-cluster sized
+/// proportionally to its input, all buckets in parallel.
+fn uniformized_matmul<S: Semiring>(
+    cluster: &mut Cluster,
+    left: &DistRelation<S>,
+    right: &DistRelation<S>,
+    center: Attr,
+) -> DistRelation<S> {
+    let p = cluster.p();
+    let schema = Schema::binary(left.schema().attrs()[0], right.schema().attrs()[0]);
+    let deg = left.degrees(cluster, center);
+    let bucket_catalog = deg.map(|(b, d)| (vec![b], 63 - d.max(1).leading_zeros() as u64));
+
+    // Bucket totals (driver).
+    let l_tag = left.attach_stat(cluster, &[center], bucket_catalog.clone());
+    let r_tag = right.attach_stat(cluster, &[center], bucket_catalog);
+    let mut count_parts: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
+    for (i, local) in l_tag.iter() {
+        count_parts[i].extend(local.iter().filter_map(|(_, b)| b.map(|b| (b, 1u64))));
+    }
+    for (i, local) in r_tag.iter() {
+        count_parts[i].extend(local.iter().filter_map(|(_, b)| b.map(|b| (b, 1u64))));
+    }
+    let counts = reduce_by_key(
+        cluster,
+        Distributed::from_parts(count_parts),
+        |acc, v| *acc += v,
+    );
+    let gathered = cluster.exchange(
+        counts
+            .into_parts()
+            .into_iter()
+            .map(|local| local.into_iter().map(|kv| (0usize, kv)).collect())
+            .collect(),
+    );
+    let mut buckets: Vec<(u64, u64)> = gathered.local(0).clone();
+    buckets.sort_unstable();
+    if buckets.is_empty() {
+        return DistRelation::empty(cluster, schema);
+    }
+    let total: u64 = buckets.iter().map(|(_, c)| c).sum();
+    let sizes: Vec<usize> = buckets
+        .iter()
+        .map(|(_, c)| (((*c as f64 / total as f64) * p as f64).ceil() as usize).max(1))
+        .collect();
+    let (mut children, offsets) = cluster.split_with_offsets(&sizes);
+
+    // Ship each bucket's tuples to its sub-cluster (one parent round).
+    let mut ship: Vec<Vec<(usize, (u64, u8, Row, S))>> = vec![Vec::new(); p];
+    let bucket_index: std::collections::HashMap<u64, usize> = buckets
+        .iter()
+        .enumerate()
+        .map(|(i, (b, _))| (*b, i))
+        .collect();
+    let mut spread = 0usize;
+    for (side, tagd) in [(1u8, &l_tag), (2u8, &r_tag)] {
+        for (src, local) in tagd.iter() {
+            for ((row, s), b) in local {
+                let Some(b) = b else { continue };
+                let bi = bucket_index[b];
+                let dest = (offsets[bi] + spread % sizes[bi]) % p;
+                spread += 1;
+                ship[src].push((dest, (*b, side, row.clone(), s.clone())));
+            }
+        }
+    }
+    let shipped = cluster.exchange(ship);
+
+    let mut result_parts: Vec<Vec<(Row, S)>> = vec![Vec::new(); p];
+    for (bi, child) in children.iter_mut().enumerate() {
+        let pi = sizes[bi];
+        let bucket = buckets[bi].0;
+        let mut l_parts: Vec<Vec<(Row, S)>> = vec![Vec::new(); pi];
+        let mut r_parts: Vec<Vec<(Row, S)>> = vec![Vec::new(); pi];
+        for j in 0..pi {
+            for (b, side, row, s) in shipped.local((offsets[bi] + j) % p) {
+                if *b == bucket {
+                    if *side == 1 {
+                        l_parts[j].push((row.clone(), s.clone()));
+                    } else {
+                        r_parts[j].push((row.clone(), s.clone()));
+                    }
+                }
+            }
+        }
+        let dl = DistRelation::from_distributed(
+            left.schema().clone(),
+            Distributed::from_parts(l_parts),
+        );
+        let dr = DistRelation::from_distributed(
+            right.schema().clone(),
+            Distributed::from_parts(r_parts),
+        );
+        if dl.is_empty() || dr.is_empty() {
+            continue;
+        }
+        let (out, _) = matmul(child, &dl, &dr);
+        for (slot, local) in out
+            .into_data()
+            .reindexed(p, offsets[bi])
+            .into_parts()
+            .into_iter()
+            .enumerate()
+        {
+            result_parts[slot].extend(local);
+        }
+    }
+    cluster.join_parallel(&children);
+    DistRelation::from_distributed(schema, Distributed::from_parts(result_parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_query::Edge;
+    use mpcjoin_relation::Relation;
+    use mpcjoin_semiring::{Count, XorRing};
+    use mpcjoin_yannakakis::sequential_join_aggregate;
+
+    const B: Attr = Attr(50);
+
+    /// Figure-1-like query: arms of lengths 1, 1, 2 around B.
+    fn fig1_query() -> TreeQuery {
+        TreeQuery::new(
+            vec![
+                Edge::binary(B, Attr(0)),  // arm 1 (single edge)
+                Edge::binary(B, Attr(10)), // arm 3 start (interior)
+                Edge::binary(Attr(10), Attr(1)), // arm 3 end
+                Edge::binary(B, Attr(2)),  // arm 2 (single edge)
+            ],
+            [Attr(0), Attr(1), Attr(2)],
+        )
+    }
+
+    fn check<SR: Semiring>(q: &TreeQuery, rels: Vec<Relation<SR>>, p: usize) -> Cluster {
+        let expect = sequential_join_aggregate(q, &rels);
+        let mut cluster = Cluster::new(p);
+        let dist: Vec<DistRelation<SR>> = rels
+            .iter()
+            .map(|r| DistRelation::scatter(&cluster, r))
+            .collect();
+        let got = star_like_query(&mut cluster, q, &dist);
+        // Compare after projecting to a common column order.
+        let out: Vec<Attr> = q.output().iter().copied().collect();
+        let expect = expect.project_aggregate(&out);
+        let got_reordered = reorder_binary_any(got, &Schema::new(out));
+        assert!(
+            got_reordered.gather().semantically_eq(&expect),
+            "star-like query diverged from oracle"
+        );
+        cluster
+    }
+
+    fn reorder_binary_any<SR: Semiring>(
+        rel: DistRelation<SR>,
+        target: &Schema,
+    ) -> DistRelation<SR> {
+        let pos = rel.positions_of(target.attrs());
+        let data = rel
+            .data()
+            .clone()
+            .map(move |(row, s)| (pos.iter().map(|&i| row[i]).collect::<Row>(), s));
+        DistRelation::from_distributed(target.clone(), data)
+    }
+
+    #[test]
+    fn figure_1_style_query() {
+        let q = fig1_query();
+        let rels = vec![
+            Relation::<Count>::binary_ones(B, Attr(0), (0..30u64).map(|i| (i % 4, i % 9))),
+            Relation::<Count>::binary_ones(B, Attr(10), (0..30u64).map(|i| (i % 4, i % 6))),
+            Relation::<Count>::binary_ones(Attr(10), Attr(1), (0..30u64).map(|i| (i % 6, i % 8))),
+            Relation::<Count>::binary_ones(B, Attr(2), (0..30u64).map(|i| (i % 4, i % 5))),
+        ];
+        check::<Count>(&q, rels, 8);
+    }
+
+    #[test]
+    fn skewed_center_small_and_large_classes() {
+        let q = fig1_query();
+        // b = 0: tiny light arms, huge heavy arm (small class);
+        // b = 1: balanced degrees (large class).
+        let mut r0 = Vec::new();
+        let mut r1 = Vec::new();
+        let mut r1b = Vec::new();
+        let mut r2 = Vec::new();
+        for a in 0..2u64 {
+            r0.push((0u64, a));
+        }
+        for c in 0..2u64 {
+            r1.push((0u64, c));
+        }
+        for (c, a) in (0..2u64).flat_map(|c| (0..20u64).map(move |a| (c, a))) {
+            r1b.push((c, a));
+        }
+        for a in 0..2u64 {
+            r2.push((0u64, a));
+        }
+        for a in 0..5u64 {
+            r0.push((1, 10 + a));
+            r1.push((1, 10 + a % 2));
+            r2.push((1, 10 + a));
+        }
+        r1b.push((10, 99));
+        r1b.push((11, 98));
+        let rels = vec![
+            Relation::<Count>::binary_ones(B, Attr(0), r0),
+            Relation::<Count>::binary_ones(B, Attr(10), r1),
+            Relation::<Count>::binary_ones(Attr(10), Attr(1), r1b),
+            Relation::<Count>::binary_ones(B, Attr(2), r2),
+        ];
+        check::<Count>(&q, rels, 8);
+    }
+
+    #[test]
+    fn xor_star_like() {
+        let q = fig1_query();
+        let rels = vec![
+            Relation::<XorRing>::binary_ones(B, Attr(0), (0..20u64).map(|i| (i % 3, i % 7))),
+            Relation::<XorRing>::binary_ones(B, Attr(10), (0..20u64).map(|i| (i % 3, i % 4))),
+            Relation::<XorRing>::binary_ones(Attr(10), Attr(1), (0..20u64).map(|i| (i % 4, i % 5))),
+            Relation::<XorRing>::binary_ones(B, Attr(2), (0..20u64).map(|i| (i % 3, i % 6))),
+        ];
+        check::<XorRing>(&q, rels, 4);
+    }
+
+    #[test]
+    fn five_arm_figure_1_shape() {
+        // The full Figure 1 shape: 5 arms, lengths 1,2,1,1,1 (T2 has C21,
+        // C22 in the paper; we use length 2 to keep the test fast).
+        let q = TreeQuery::new(
+            vec![
+                Edge::binary(B, Attr(0)),
+                Edge::binary(B, Attr(20)),
+                Edge::binary(Attr(20), Attr(1)),
+                Edge::binary(B, Attr(2)),
+                Edge::binary(B, Attr(3)),
+                Edge::binary(B, Attr(4)),
+            ],
+            [Attr(0), Attr(1), Attr(2), Attr(3), Attr(4)],
+        );
+        let rels = vec![
+            Relation::<Count>::binary_ones(B, Attr(0), (0..12u64).map(|i| (i % 3, i % 4))),
+            Relation::<Count>::binary_ones(B, Attr(20), (0..12u64).map(|i| (i % 3, i % 5))),
+            Relation::<Count>::binary_ones(Attr(20), Attr(1), (0..12u64).map(|i| (i % 5, i % 3))),
+            Relation::<Count>::binary_ones(B, Attr(2), (0..12u64).map(|i| (i % 3, i % 2))),
+            Relation::<Count>::binary_ones(B, Attr(3), (0..12u64).map(|i| (i % 3, i % 4))),
+            Relation::<Count>::binary_ones(B, Attr(4), (0..12u64).map(|i| (i % 3, i % 3))),
+        ];
+        check::<Count>(&q, rels, 8);
+    }
+
+    #[test]
+    fn long_arm_of_three_hops() {
+        // One arm of length 3: exercises the iterated shrink and the
+        // line-query reduction with a genuinely long heavy arm.
+        let q = TreeQuery::new(
+            vec![
+                Edge::binary(B, Attr(0)),
+                Edge::binary(B, Attr(30)),
+                Edge::binary(Attr(30), Attr(31)),
+                Edge::binary(Attr(31), Attr(1)),
+                Edge::binary(B, Attr(2)),
+            ],
+            [Attr(0), Attr(1), Attr(2)],
+        );
+        let rels = vec![
+            Relation::<Count>::binary_ones(B, Attr(0), (0..18u64).map(|i| (i % 3, i % 5))),
+            Relation::<Count>::binary_ones(B, Attr(30), (0..18u64).map(|i| (i % 3, i % 4))),
+            Relation::<Count>::binary_ones(Attr(30), Attr(31), (0..18u64).map(|i| (i % 4, i % 6))),
+            Relation::<Count>::binary_ones(Attr(31), Attr(1), (0..18u64).map(|i| (i % 6, i % 7))),
+            Relation::<Count>::binary_ones(B, Attr(2), (0..18u64).map(|i| (i % 3, i % 2))),
+        ];
+        check::<Count>(&q, rels, 8);
+    }
+
+    #[test]
+    fn empty_after_reduction() {
+        let q = fig1_query();
+        let rels = vec![
+            Relation::<Count>::binary_ones(B, Attr(0), [(0, 1)]),
+            Relation::<Count>::binary_ones(B, Attr(10), [(1, 5)]),
+            Relation::<Count>::binary_ones(Attr(10), Attr(1), [(5, 7)]),
+            Relation::<Count>::binary_ones(B, Attr(2), [(0, 9)]),
+        ];
+        let mut cluster = Cluster::new(4);
+        let dist: Vec<DistRelation<Count>> = rels
+            .iter()
+            .map(|r| DistRelation::scatter(&cluster, r))
+            .collect();
+        let got = star_like_query(&mut cluster, &q, &dist);
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,667 @@
+//! General tree join-aggregate queries (§7): load
+//! `O(N·OUT^{2/3}/p + (N+OUT)/p)` (Theorem 6).
+//!
+//! Pipeline:
+//!
+//! 1. *Reduce* — fold away unary relations and private non-output
+//!    attributes so every leaf is an output attribute (Figure 2, middle).
+//! 2. *Twig decomposition* — break at non-leaf output attributes
+//!    (Figure 2, right); each twig has its output attributes exactly at
+//!    its leaves and is evaluated independently by the most specific
+//!    algorithm (free-connex Yannakakis / §3 / §4 / §5 / §6 / §7.1).
+//! 3. *Twig combination* — all surviving attributes are outputs, so the
+//!    twig results join free-connex-style with `O(OUT/p)` load.
+//!
+//! General twigs (§7.1) use the skeleton machinery (Figure 3): per
+//! contracted star-like part `T_B`, `x(b)` estimates the output
+//! combinations inside `T_B` and `y(b)` — computed by `EstimateOutTree`
+//! (Algorithm 1), a max/product propagation over the skeleton — lower
+//! bounds the combinations outside it. Classifying each `b` as heavy
+//! (`x > y`) or light splits the twig into `2^{|S∩ȳ|}` subqueries
+//! (Figure 4); every subquery has a light attribute (Lemma 13) whose
+//! `T_B` materializes into a single relation `R(B, V_B∩y)` of size
+//! `≤ N·√OUT` (Lemma 15), and the shrunken query recurses.
+
+use crate::common::{combine_columns, expand_column, fresh_attr, union_aggregate};
+use crate::line::{line_query, reorder_binary};
+use crate::star::star_query;
+use crate::starlike::star_like_query;
+use mpcjoin_matmul::matmul;
+use mpcjoin_mpc::join::{full_join, join_aggregate};
+use mpcjoin_mpc::primitives::reduce::reduce_by_key;
+use mpcjoin_mpc::{Cluster, DistRelation, Distributed};
+use mpcjoin_query::{
+    classify, decompose_twigs, plan_reduction, skeleton, Arm, ContractedPart, Edge, Shape,
+    Skeleton, TreeQuery,
+};
+use mpcjoin_relation::{Attr, Row, Schema, Value};
+use mpcjoin_semiring::Semiring;
+use mpcjoin_sketch::estimate_out_chain_default;
+use mpcjoin_yannakakis::{distributed_yannakakis, remove_dangling};
+
+/// Evaluate an arbitrary tree join-aggregate query. `rels[e]` is the
+/// relation of edge `e`. Output schema: `q.output()` in sorted order.
+pub fn tree_query<S: Semiring>(
+    cluster: &mut Cluster,
+    q: &TreeQuery,
+    rels: &[DistRelation<S>],
+) -> DistRelation<S> {
+    let output: Vec<Attr> = q.output().iter().copied().collect();
+    let out_schema = Schema::new(output.clone());
+
+    // Trivial: one relation.
+    if q.edges().len() == 1 {
+        return rels[0].project_aggregate(cluster, &output);
+    }
+
+    let reduced_input = remove_dangling(cluster, q, rels);
+    if reduced_input.iter().any(DistRelation::is_empty) {
+        return DistRelation::empty(cluster, out_schema);
+    }
+
+    // --- Reduce: fold removable relations into neighbours. ---
+    let plan = plan_reduction(q);
+    let mut working: Vec<Option<DistRelation<S>>> =
+        reduced_input.into_iter().map(Some).collect();
+    for step in &plan.steps {
+        let removed = working[step.removed].take().expect("fold source alive");
+        let absorber = working[step.absorber].take().expect("fold target alive");
+        let folded = removed.project_aggregate(cluster, &step.on);
+        let keep: Vec<Attr> = absorber.schema().attrs().to_vec();
+        working[step.absorber] = Some(join_aggregate(cluster, &absorber, &folded, &keep));
+    }
+    let kept_rels: Vec<DistRelation<S>> = plan
+        .kept
+        .iter()
+        .map(|&i| working[i].take().expect("kept relation alive"))
+        .collect();
+    let rq = &plan.reduced;
+    if rq.edges().len() == 1 {
+        return kept_rels[0].project_aggregate(cluster, &output);
+    }
+    let rq = rq.with_output(output.iter().copied().filter(|a| rq.attrs().contains(a)));
+
+    // --- Twig decomposition and per-twig evaluation. ---
+    let twigs = decompose_twigs(&rq);
+    let mut results: Vec<DistRelation<S>> = Vec::with_capacity(twigs.len());
+    for twig in &twigs {
+        let twig_rels: Vec<DistRelation<S>> = twig
+            .parent_edges
+            .iter()
+            .map(|&e| kept_rels[e].clone())
+            .collect();
+        results.push(execute_twig(cluster, &twig.query, &twig_rels));
+    }
+
+    // --- Combine twigs: everything left is an output attribute. ---
+    let mut acc = results.swap_remove(0);
+    while !results.is_empty() {
+        if acc.is_empty() {
+            return DistRelation::empty(cluster, out_schema);
+        }
+        // Pick any remaining twig sharing an attribute with `acc`.
+        let idx = results
+            .iter()
+            .position(|r| !acc.schema().common(r.schema()).is_empty())
+            .expect("twigs form a connected tree");
+        let next = results.swap_remove(idx);
+        acc = full_join(cluster, &acc, &next);
+    }
+    acc.project_aggregate(cluster, &output)
+}
+
+/// Evaluate one twig by the most specific applicable algorithm.
+fn execute_twig<S: Semiring>(
+    cluster: &mut Cluster,
+    q: &TreeQuery,
+    rels: &[DistRelation<S>],
+) -> DistRelation<S> {
+    let output: Vec<Attr> = q.output().iter().copied().collect();
+    match classify(q) {
+        Shape::FreeConnex => distributed_yannakakis(cluster, q, rels),
+        Shape::MatMul { r1, r2, a, c, .. } => {
+            let (out, _) = matmul(cluster, &rels[r1], &rels[r2]);
+            reorder_binary(out, &Schema::binary(a.min(c), a.max(c)))
+        }
+        Shape::Line { edges, attrs } => {
+            let chain: Vec<DistRelation<S>> =
+                edges.iter().map(|&e| rels[e].clone()).collect();
+            line_query(cluster, &chain, &attrs)
+        }
+        Shape::Star { center, arms } => {
+            let ordered: Vec<DistRelation<S>> =
+                arms.iter().map(|&e| rels[e].clone()).collect();
+            let endpoints: Vec<Attr> = arms
+                .iter()
+                .map(|&e| q.edges()[e].other(center))
+                .collect();
+            star_query(cluster, &ordered, center, &endpoints)
+        }
+        Shape::StarLike(_) => star_like_query(cluster, q, rels),
+        Shape::Twig => general_twig(cluster, q, rels),
+        Shape::General => {
+            // A twig should never classify as General; recurse through the
+            // full pipeline defensively.
+            tree_query(cluster, q, rels)
+        }
+    }
+    .project_aggregate(cluster, &output)
+}
+
+/// §7.1: a general twig (two or more high-degree attributes).
+fn general_twig<S: Semiring>(
+    cluster: &mut Cluster,
+    q: &TreeQuery,
+    rels: &[DistRelation<S>],
+) -> DistRelation<S> {
+    let output: Vec<Attr> = q.output().iter().copied().collect();
+    let out_schema = Schema::new(output.clone());
+    let sk = skeleton(q).expect("general twig has |V*| ≥ 2");
+    let roots: Vec<Attr> = sk.contracted.iter().map(|c| c.b).collect();
+
+    let reduced = remove_dangling(cluster, q, rels);
+    if reduced.iter().any(DistRelation::is_empty) {
+        return DistRelation::empty(cluster, out_schema);
+    }
+
+    // --- Step 1: x(b) per contracted part, y(b) per root (Algorithm 1).
+    let mut x_stats: Vec<Distributed<(Value, u64)>> = Vec::new();
+    for part in &sk.contracted {
+        x_stats.push(arm_product_stats(cluster, part, &reduced));
+    }
+    let mut heavy_flags: Vec<Distributed<(Value, bool)>> = Vec::new();
+    for (i, part) in sk.contracted.iter().enumerate() {
+        let y_stats = estimate_out_tree(cluster, q, &sk, &reduced, part.b, &roots, &x_stats, i);
+        // heavy iff x(b) > y(b); merge the two stat tables.
+        let merged = reduce_by_key(
+            cluster,
+            merge_tagged(cluster.p(), &x_stats[i], &y_stats),
+            |acc: &mut (u64, u64), v| {
+                acc.0 = acc.0.max(v.0);
+                acc.1 = acc.1.max(v.1);
+            },
+        );
+        heavy_flags.push(merged.map(|(b, (x, y))| (b, x > y)));
+    }
+
+    // Flag catalogs per root, for per-pattern tuple filtering.
+    let flag_catalogs: Vec<Distributed<(Row, bool)>> = heavy_flags
+        .iter()
+        .map(|f| f.clone().map(|(b, h)| (vec![b], h)))
+        .collect();
+
+    // --- Step 2: one subquery per heavy/light pattern over the roots. ---
+    let m = roots.len();
+    let mut fragments = Vec::new();
+    for pattern in 0..(1u32 << m) {
+        let is_heavy = |i: usize| pattern & (1 << i) != 0;
+
+        // Restrict every root-incident relation to the pattern's class.
+        // Filters for different roots compose (a skeleton edge between two
+        // roots is filtered on both of its endpoints).
+        let mut sub_rels: Vec<DistRelation<S>> = reduced.to_vec();
+        for (i, part) in sk.contracted.iter().enumerate() {
+            let want = is_heavy(i);
+            for e in 0..q.edges().len() {
+                if !q.edges()[e].contains(part.b) {
+                    continue;
+                }
+                let attached =
+                    sub_rels[e].attach_stat(cluster, &[part.b], flag_catalogs[i].clone());
+                let data = attached.map_local(|_, items| {
+                    items
+                        .into_iter()
+                        .filter_map(|(entry, h)| {
+                            (h.unwrap_or(false) == want).then_some(entry)
+                        })
+                        .collect::<Vec<_>>()
+                });
+                sub_rels[e] =
+                    DistRelation::from_distributed(reduced[e].schema().clone(), data);
+            }
+        }
+        let sub_rels = remove_dangling(cluster, q, &sub_rels);
+        if sub_rels.iter().any(DistRelation::is_empty) {
+            continue;
+        }
+
+        // Lemma 13 guarantees a light root; with approximate statistics
+        // the all-heavy pattern may nevertheless be non-empty, so we force
+        // one root light (treating a root as light is always correct —
+        // the classification only drives the cost analysis).
+        let mut light: Vec<usize> = (0..m).filter(|&i| !is_heavy(i)).collect();
+        if light.is_empty() {
+            light.push(0);
+        }
+        // Materialize Q_B for each light root and build the residual query.
+        let mut residual_edges: Vec<Edge> = Vec::new();
+        let mut residual_rels: Vec<DistRelation<S>> = Vec::new();
+        let mut residual_out: Vec<Attr> = Vec::new();
+        let mut decodes: Vec<(Attr, Vec<Attr>, Distributed<(Value, Row)>)> = Vec::new();
+        let mut swallowed: Vec<usize> = Vec::new();
+        let mut next_code = fresh_attr(q.attrs());
+
+        for &i in &light {
+            let part = &sk.contracted[i];
+            let Some(qb) = materialize_part(cluster, part, &sub_rels) else {
+                continue;
+            };
+            let cols: Vec<Attr> = part.shape.arms.iter().map(Arm::endpoint).collect();
+            let code = next_code;
+            next_code = Attr(next_code.0 + 1);
+            let combined = combine_columns(cluster, &qb, &cols, code);
+            residual_edges.push(Edge::binary(part.b, code));
+            // combined.relation schema is (code, B): reorder to (B, code).
+            residual_rels.push(reorder_binary(
+                combined.relation,
+                &Schema::binary(part.b, code),
+            ));
+            residual_out.push(code);
+            decodes.push((code, cols, combined.decode));
+            swallowed.extend(part.edges.iter().copied());
+        }
+        if decodes.is_empty() {
+            continue;
+        }
+
+        for e in 0..q.edges().len() {
+            if swallowed.contains(&e) {
+                continue;
+            }
+            residual_edges.push(q.edges()[e].clone());
+            residual_rels.push(sub_rels[e].clone());
+        }
+        let residual_attrs: std::collections::BTreeSet<Attr> = residual_edges
+            .iter()
+            .flat_map(|e| e.attrs().iter().copied())
+            .collect();
+        residual_out.extend(
+            output
+                .iter()
+                .copied()
+                .filter(|a| residual_attrs.contains(a)),
+        );
+        let residual_q = TreeQuery::new(residual_edges, residual_out);
+
+        // Recurse on the strictly smaller query.
+        let sub_out = tree_query(cluster, &residual_q, &residual_rels);
+        if sub_out.is_empty() {
+            continue;
+        }
+        // Expand the combined columns back to the original outputs.
+        let mut expanded = sub_out;
+        for (code, cols, decode) in decodes {
+            expanded = expand_column(cluster, &expanded, code, &cols, decode);
+        }
+        fragments.push(expanded);
+    }
+
+    union_aggregate(cluster, out_schema, fragments)
+}
+
+/// `x(b) = ∏_{arms} d_arm(b)`: per-root output combinations inside `T_B`
+/// (exact degrees for single-relation arms, §2.2 estimates otherwise).
+fn arm_product_stats<S: Semiring>(
+    cluster: &mut Cluster,
+    part: &ContractedPart,
+    rels: &[DistRelation<S>],
+) -> Distributed<(Value, u64)> {
+    let p = cluster.p();
+    let mut parts: Vec<Vec<(Value, u64)>> = vec![Vec::new(); p];
+    for arm in &part.shape.arms {
+        let stats = if arm.len() == 1 {
+            rels[arm.edges[0]].degrees(cluster, part.b)
+        } else {
+            let chain: Vec<&DistRelation<S>> = arm.edges.iter().map(|&e| &rels[e]).collect();
+            estimate_out_chain_default(cluster, &chain, &arm.attrs).per_group
+        };
+        for (server, local) in stats.into_parts().into_iter().enumerate() {
+            parts[server].extend(local.into_iter().map(|(b, d)| (b, d.max(1))));
+        }
+    }
+    reduce_by_key(cluster, Distributed::from_parts(parts), |acc, v| {
+        *acc = acc.saturating_mul(v)
+    })
+}
+
+/// Algorithm 1 (`EstimateOutTree`): propagate `y`-underestimates over the
+/// skeleton toward `root`, multiplying per-child maxima.
+#[allow(clippy::too_many_arguments)]
+fn estimate_out_tree<S: Semiring>(
+    cluster: &mut Cluster,
+    q: &TreeQuery,
+    sk: &Skeleton,
+    rels: &[DistRelation<S>],
+    root: Attr,
+    roots: &[Attr],
+    x_stats: &[Distributed<(Value, u64)>],
+    skip_root_index: usize,
+) -> Distributed<(Value, u64)> {
+    use std::collections::{HashMap, VecDeque};
+
+    // Adjacency over skeleton edges.
+    let mut adj: HashMap<Attr, Vec<(Attr, usize)>> = HashMap::new();
+    for &e in &sk.skeleton_edges {
+        let attrs = q.edges()[e].attrs();
+        adj.entry(attrs[0]).or_default().push((attrs[1], e));
+        adj.entry(attrs[1]).or_default().push((attrs[0], e));
+    }
+
+    // BFS from the root for parents and processing order.
+    let mut parent: HashMap<Attr, Attr> = HashMap::new();
+    let mut order = vec![root];
+    let mut queue = VecDeque::from([root]);
+    while let Some(v) = queue.pop_front() {
+        for &(u, _) in adj.get(&v).map(Vec::as_slice).unwrap_or(&[]) {
+            if u != root && !parent.contains_key(&u) {
+                parent.insert(u, v);
+                order.push(u);
+                queue.push_back(u);
+            }
+        }
+    }
+
+    // Bottom-up propagation. `None` stands for the all-ones table.
+    let mut y: HashMap<Attr, Option<Distributed<(Value, u64)>>> = HashMap::new();
+    for &c_attr in order.iter().rev() {
+        let children: Vec<(Attr, usize)> = adj
+            .get(&c_attr)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .copied()
+            .filter(|(u, _)| parent.get(u) == Some(&c_attr))
+            .collect();
+        if children.is_empty() {
+            // Leaf: another contracted root carries x(b'); output leaves
+            // carry 1.
+            let stats = roots
+                .iter()
+                .position(|&r| r == c_attr)
+                .filter(|&i| i != skip_root_index)
+                .map(|i| x_stats[i].clone());
+            y.insert(c_attr, stats);
+            continue;
+        }
+        let mut factors: Vec<Distributed<(Value, u64)>> = Vec::new();
+        for (child, edge) in children {
+            let Some(Some(child_stats)) = y.remove(&child) else {
+                continue;
+            };
+            // m(c) = max over child values joining c.
+            let catalog = child_stats.map(|(v, yv)| (vec![v], yv));
+            let attached = rels[edge].attach_stat(cluster, &[child], catalog);
+            let c_pos = rels[edge].positions_of(&[c_attr])[0];
+            let pairs = attached.map_local(|_, items| {
+                items
+                    .into_iter()
+                    .filter_map(|((row, _), yv)| yv.map(|yv| (row[c_pos], yv)))
+                    .collect::<Vec<_>>()
+            });
+            factors.push(reduce_by_key(cluster, pairs, |acc, v| *acc = (*acc).max(v)));
+        }
+        if factors.is_empty() {
+            y.insert(c_attr, None);
+            continue;
+        }
+        let p = cluster.p();
+        let mut parts: Vec<Vec<(Value, u64)>> = vec![Vec::new(); p];
+        for f in factors {
+            for (server, local) in f.into_parts().into_iter().enumerate() {
+                parts[server].extend(local);
+            }
+        }
+        let combined = reduce_by_key(cluster, Distributed::from_parts(parts), |acc, v| {
+            *acc = acc.saturating_mul(v)
+        });
+        y.insert(c_attr, Some(combined));
+    }
+
+    y.remove(&root)
+        .flatten()
+        .unwrap_or_else(|| Distributed::empty(cluster.p()))
+}
+
+/// Merge two stat tables into tagged pairs for a component-wise reduce.
+fn merge_tagged(
+    p: usize,
+    xs: &Distributed<(Value, u64)>,
+    ys: &Distributed<(Value, u64)>,
+) -> Distributed<(Value, (u64, u64))> {
+    let mut parts: Vec<Vec<(Value, (u64, u64))>> = vec![Vec::new(); p];
+    for (i, local) in xs.iter() {
+        parts[i].extend(local.iter().map(|&(b, x)| (b, (x, 0))));
+    }
+    for (i, local) in ys.iter() {
+        parts[i].extend(local.iter().map(|&(b, y)| (b, (0, y))));
+    }
+    Distributed::from_parts(parts)
+}
+
+/// Materialize `Q_B = R(B, V_B ∩ y)`: shrink each arm of `T_B` to
+/// `R(endpoint, B)` and join the arms on `B`. Returns `None` when empty.
+fn materialize_part<S: Semiring>(
+    cluster: &mut Cluster,
+    part: &ContractedPart,
+    rels: &[DistRelation<S>],
+) -> Option<DistRelation<S>> {
+    let b = part.b;
+    let mut acc: Option<DistRelation<S>> = None;
+    for arm in &part.shape.arms {
+        let endpoint = arm.endpoint();
+        let h = arm.len();
+        let mut shrunk = rels[arm.edges[h - 1]].clone();
+        for k in (0..h - 1).rev() {
+            shrunk = join_aggregate(
+                cluster,
+                &shrunk,
+                &rels[arm.edges[k]],
+                &[endpoint, arm.attrs[k]],
+            );
+        }
+        let shrunk = reorder_binary(shrunk, &Schema::binary(b, endpoint));
+        acc = Some(match acc {
+            None => shrunk,
+            Some(a) => full_join(cluster, &a, &shrunk),
+        });
+        if acc.as_ref().is_some_and(DistRelation::is_empty) {
+            return None;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_relation::Relation;
+    use mpcjoin_semiring::{Count, XorRing};
+    use mpcjoin_yannakakis::sequential_join_aggregate;
+
+    fn check<SR: Semiring>(q: &TreeQuery, rels: Vec<Relation<SR>>, p: usize) -> Cluster {
+        let expect = sequential_join_aggregate(q, &rels);
+        let out: Vec<Attr> = q.output().iter().copied().collect();
+        let expect = expect.project_aggregate(&out);
+        let mut cluster = Cluster::new(p);
+        let dist: Vec<DistRelation<SR>> = rels
+            .iter()
+            .map(|r| DistRelation::scatter(&cluster, r))
+            .collect();
+        let got = tree_query(&mut cluster, q, &dist);
+        assert!(
+            got.gather().semantically_eq(&expect),
+            "tree query diverged from oracle"
+        );
+        cluster
+    }
+
+    /// The minimal general twig: B1 — B2, two output leaves each
+    /// (Figure 3's core shape).
+    fn two_center_twig() -> TreeQuery {
+        let (b1, b2) = (Attr(10), Attr(11));
+        TreeQuery::new(
+            vec![
+                Edge::binary(b1, Attr(0)),
+                Edge::binary(b1, Attr(1)),
+                Edge::binary(b1, b2),
+                Edge::binary(b2, Attr(2)),
+                Edge::binary(b2, Attr(3)),
+            ],
+            [Attr(0), Attr(1), Attr(2), Attr(3)],
+        )
+    }
+
+    #[test]
+    fn minimal_general_twig() {
+        let q = two_center_twig();
+        let rels = vec![
+            Relation::<Count>::binary_ones(Attr(10), Attr(0), (0..20u64).map(|i| (i % 3, i % 5))),
+            Relation::<Count>::binary_ones(Attr(10), Attr(1), (0..20u64).map(|i| (i % 3, i % 4))),
+            Relation::<Count>::binary_ones(Attr(10), Attr(11), (0..9u64).map(|i| (i % 3, i % 3))),
+            Relation::<Count>::binary_ones(Attr(11), Attr(2), (0..20u64).map(|i| (i % 3, i % 6))),
+            Relation::<Count>::binary_ones(Attr(11), Attr(3), (0..20u64).map(|i| (i % 3, i % 2))),
+        ];
+        check::<Count>(&q, rels, 8);
+    }
+
+    #[test]
+    fn two_center_twig_skewed_sides() {
+        let q = two_center_twig();
+        // b1-side combinations huge for b=0 (heavy), tiny for b=1.
+        let mut r0 = Vec::new();
+        let mut r1 = Vec::new();
+        for a in 0..12u64 {
+            r0.push((0u64, a));
+            r1.push((0u64, a));
+        }
+        r0.push((1, 100));
+        r1.push((1, 100));
+        let rels = vec![
+            Relation::<Count>::binary_ones(Attr(10), Attr(0), r0),
+            Relation::<Count>::binary_ones(Attr(10), Attr(1), r1),
+            Relation::<Count>::binary_ones(Attr(10), Attr(11), [(0, 0), (1, 1)]),
+            Relation::<Count>::binary_ones(Attr(11), Attr(2), [(0, 7), (1, 8), (1, 9)]),
+            Relation::<Count>::binary_ones(Attr(11), Attr(3), [(0, 3), (0, 4), (1, 5)]),
+        ];
+        check::<Count>(&q, rels, 8);
+    }
+
+    #[test]
+    fn figure_2_like_full_tree() {
+        // A tree mixing twig kinds: all-output relation, a matmul twig,
+        // and a star-like twig, plus a foldable non-output tail.
+        let q = TreeQuery::new(
+            vec![
+                Edge::binary(Attr(0), Attr(1)),   // all-output
+                Edge::binary(Attr(1), Attr(20)),  // matmul via m=20
+                Edge::binary(Attr(20), Attr(2)),
+                Edge::binary(Attr(2), Attr(21)),  // star-like at 21
+                Edge::binary(Attr(21), Attr(3)),
+                Edge::binary(Attr(21), Attr(4)),
+                Edge::binary(Attr(4), Attr(22)),  // foldable tail (22 non-output leaf)
+            ],
+            [Attr(0), Attr(1), Attr(2), Attr(3), Attr(4)],
+        );
+        let rels = vec![
+            Relation::<Count>::binary_ones(Attr(0), Attr(1), (0..15u64).map(|i| (i % 5, i % 3))),
+            Relation::<Count>::binary_ones(Attr(1), Attr(20), (0..15u64).map(|i| (i % 3, i % 4))),
+            Relation::<Count>::binary_ones(Attr(20), Attr(2), (0..15u64).map(|i| (i % 4, i % 5))),
+            Relation::<Count>::binary_ones(Attr(2), Attr(21), (0..15u64).map(|i| (i % 5, i % 2))),
+            Relation::<Count>::binary_ones(Attr(21), Attr(3), (0..15u64).map(|i| (i % 2, i % 6))),
+            Relation::<Count>::binary_ones(Attr(21), Attr(4), (0..15u64).map(|i| (i % 2, i % 4))),
+            Relation::<Count>::binary_ones(Attr(4), Attr(22), (0..15u64).map(|i| (i % 4, i % 7))),
+        ];
+        check::<Count>(&q, rels, 8);
+    }
+
+    #[test]
+    fn xor_general_twig() {
+        let q = two_center_twig();
+        let rels = vec![
+            Relation::<XorRing>::binary_ones(Attr(10), Attr(0), (0..14u64).map(|i| (i % 2, i % 5))),
+            Relation::<XorRing>::binary_ones(Attr(10), Attr(1), (0..14u64).map(|i| (i % 2, i % 3))),
+            Relation::<XorRing>::binary_ones(Attr(10), Attr(11), [(0, 0), (0, 1), (1, 1)]),
+            Relation::<XorRing>::binary_ones(Attr(11), Attr(2), (0..14u64).map(|i| (i % 2, i % 4))),
+            Relation::<XorRing>::binary_ones(Attr(11), Attr(3), (0..14u64).map(|i| (i % 2, i % 6))),
+        ];
+        check::<XorRing>(&q, rels, 4);
+    }
+
+    #[test]
+    fn three_center_chain_twig() {
+        // B1 — B2 — B3, each with two output leaves: recursion must fire
+        // at least twice.
+        let (b1, b2, b3) = (Attr(10), Attr(11), Attr(12));
+        let q = TreeQuery::new(
+            vec![
+                Edge::binary(b1, Attr(0)),
+                Edge::binary(b1, Attr(1)),
+                Edge::binary(b1, b2),
+                Edge::binary(b2, Attr(2)),
+                Edge::binary(b2, b3),
+                Edge::binary(b3, Attr(3)),
+                Edge::binary(b3, Attr(4)),
+            ],
+            [Attr(0), Attr(1), Attr(2), Attr(3), Attr(4)],
+        );
+        let rels = vec![
+            Relation::<Count>::binary_ones(b1, Attr(0), (0..8u64).map(|i| (i % 2, i % 4))),
+            Relation::<Count>::binary_ones(b1, Attr(1), (0..8u64).map(|i| (i % 2, i % 3))),
+            Relation::<Count>::binary_ones(b1, b2, [(0, 0), (1, 1), (1, 0)]),
+            Relation::<Count>::binary_ones(b2, Attr(2), (0..8u64).map(|i| (i % 2, i % 5))),
+            Relation::<Count>::binary_ones(b2, b3, [(0, 0), (1, 1)]),
+            Relation::<Count>::binary_ones(b3, Attr(3), (0..8u64).map(|i| (i % 2, i % 3))),
+            Relation::<Count>::binary_ones(b3, Attr(4), (0..8u64).map(|i| (i % 2, i % 2))),
+        ];
+        check::<Count>(&q, rels, 8);
+    }
+
+    #[test]
+    fn twig_with_long_arms_on_centers() {
+        // Each center's star-like part has a two-hop arm: materializing
+        // Q_B must shrink through the interior attribute.
+        let (b1, b2) = (Attr(10), Attr(11));
+        let (m1, m2) = (Attr(20), Attr(21));
+        let q = TreeQuery::new(
+            vec![
+                Edge::binary(b1, m1),
+                Edge::binary(m1, Attr(0)),
+                Edge::binary(b1, Attr(1)),
+                Edge::binary(b1, b2),
+                Edge::binary(b2, m2),
+                Edge::binary(m2, Attr(2)),
+                Edge::binary(b2, Attr(3)),
+            ],
+            [Attr(0), Attr(1), Attr(2), Attr(3)],
+        );
+        let rels = vec![
+            Relation::<Count>::binary_ones(b1, m1, (0..8u64).map(|i| (i % 2, i % 3))),
+            Relation::<Count>::binary_ones(m1, Attr(0), (0..9u64).map(|i| (i % 3, i % 4))),
+            Relation::<Count>::binary_ones(b1, Attr(1), (0..8u64).map(|i| (i % 2, i % 5))),
+            Relation::<Count>::binary_ones(b1, b2, [(0, 0), (1, 0), (1, 1)]),
+            Relation::<Count>::binary_ones(b2, m2, (0..8u64).map(|i| (i % 2, i % 4))),
+            Relation::<Count>::binary_ones(m2, Attr(2), (0..8u64).map(|i| (i % 4, i % 3))),
+            Relation::<Count>::binary_ones(b2, Attr(3), (0..8u64).map(|i| (i % 2, i % 2))),
+        ];
+        check::<Count>(&q, rels, 8);
+    }
+
+    #[test]
+    fn empty_tree_query() {
+        let q = two_center_twig();
+        let rels = vec![
+            Relation::<Count>::binary_ones(Attr(10), Attr(0), [(0, 1)]),
+            Relation::<Count>::binary_ones(Attr(10), Attr(1), [(1, 2)]), // b mismatch
+            Relation::<Count>::binary_ones(Attr(10), Attr(11), [(0, 0)]),
+            Relation::<Count>::binary_ones(Attr(11), Attr(2), [(0, 3)]),
+            Relation::<Count>::binary_ones(Attr(11), Attr(3), [(0, 4)]),
+        ];
+        let mut cluster = Cluster::new(4);
+        let dist: Vec<DistRelation<Count>> = rels
+            .iter()
+            .map(|r| DistRelation::scatter(&cluster, r))
+            .collect();
+        let got = tree_query(&mut cluster, &q, &dist);
+        assert!(got.is_empty());
+    }
+}

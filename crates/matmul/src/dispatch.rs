@@ -1,0 +1,204 @@
+//! The Theorem 1 dispatcher: pick the matrix multiplication algorithm
+//! realizing `O((N1+N2)/p + min{√(N1N2/p), (N1N2·OUT)^{1/3}/p^{2/3}})`.
+
+use crate::output_sensitive::{estimate_matmul_out, output_sensitive_matmul};
+use crate::problem::MatMulAttrs;
+use crate::skewed::{is_skewed, skewed_matmul};
+use crate::trivial::{is_trivial, trivial_matmul};
+use crate::wco::wco_matmul;
+use mpcjoin_mpc::{Cluster, DistRelation};
+use mpcjoin_query::{Edge, TreeQuery};
+use mpcjoin_semiring::Semiring;
+use mpcjoin_yannakakis::remove_dangling;
+
+/// Which §3 algorithm the dispatcher chose (exposed for experiments).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatMulPath {
+    /// `N1 ≤ 1` or `N2 ≤ 1`: broadcast (§1.5).
+    Trivial,
+    /// `N1/N2 ∉ [1/p, p]`: linear-load grouping (§3 intro).
+    Skewed,
+    /// Worst-case optimal (§3.1) — chosen when `OUT` is large.
+    WorstCase,
+    /// Output-sensitive (§3.2) — chosen when `OUT` is small.
+    OutputSensitive,
+}
+
+/// Compute `∑_B R1(A,B) ⋈ R2(B,C)` per Theorem 1: remove dangling tuples,
+/// estimate `OUT` (§2.2), then run whichever of §3.1 / §3.2 has the
+/// smaller predicted load. Returns the result and the chosen path.
+pub fn matmul<S: Semiring>(
+    cluster: &mut Cluster,
+    r1: &DistRelation<S>,
+    r2: &DistRelation<S>,
+) -> (DistRelation<S>, MatMulPath) {
+    let m = MatMulAttrs::infer(r1, r2);
+    if is_trivial(r1, r2) {
+        cluster.mark_phase("matmul: trivial broadcast");
+        return (trivial_matmul(cluster, r1, r2), MatMulPath::Trivial);
+    }
+
+    // Dangling removal first (all paths below assume it).
+    let q = TreeQuery::new(
+        vec![
+            Edge::binary(m.a, m.b),
+            Edge::binary(m.b, m.c),
+        ],
+        [m.a, m.c],
+    );
+    cluster.mark_phase("matmul: dangling removal");
+    let r1n = normalize(r1, m.a, m.b);
+    let r2n = normalize(r2, m.b, m.c);
+    let reduced = remove_dangling(cluster, &q, &[r1n, r2n]);
+    let (r1, r2) = (&reduced[0], &reduced[1]);
+    if is_trivial(r1, r2) {
+        cluster.mark_phase("matmul: trivial broadcast");
+        return (trivial_matmul(cluster, r1, r2), MatMulPath::Trivial);
+    }
+
+    let p = cluster.p();
+    if is_skewed(r1, r2, p) {
+        cluster.mark_phase("matmul: skewed-ratio algorithm");
+        return (skewed_matmul(cluster, r1, r2), MatMulPath::Skewed);
+    }
+
+    cluster.mark_phase("matmul: §2.2 OUT estimation");
+    let est = estimate_matmul_out(cluster, r1, r2);
+    let n1 = r1.total_len() as u64;
+    let n2 = r2.total_len() as u64;
+    let worst_case = ((n1 as f64) * (n2 as f64) / p as f64).sqrt();
+    let output_sensitive =
+        ((n1 as f64) * (n2 as f64) * (est.out.max(1) as f64)).cbrt() / (p as f64).powf(2.0 / 3.0);
+    if worst_case <= output_sensitive {
+        cluster.mark_phase("matmul: §3.1 worst-case optimal");
+        (wco_matmul(cluster, r1, r2), MatMulPath::WorstCase)
+    } else {
+        cluster.mark_phase("matmul: §3.2 output-sensitive");
+        (
+            output_sensitive_matmul(cluster, r1, r2, est),
+            MatMulPath::OutputSensitive,
+        )
+    }
+}
+
+/// Reorder a relation's columns to `(x, y)` if needed so the dispatcher's
+/// query template matches.
+fn normalize<S: Semiring>(
+    r: &DistRelation<S>,
+    x: mpcjoin_relation::Attr,
+    y: mpcjoin_relation::Attr,
+) -> DistRelation<S> {
+    let target = mpcjoin_relation::Schema::binary(x, y);
+    if *r.schema() == target {
+        return r.clone();
+    }
+    let pos = r.positions_of(&[x, y]);
+    let data = r.data().clone().map(|(row, s)| {
+        (pos.iter().map(|&i| row[i]).collect::<Vec<_>>(), s)
+    });
+    DistRelation::from_distributed(target, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_relation::{Attr, Relation};
+    use mpcjoin_semiring::{Count, TropicalMin};
+
+    const A: Attr = Attr(0);
+    const B: Attr = Attr(1);
+    const C: Attr = Attr(2);
+
+    fn run(r1: &Relation<Count>, r2: &Relation<Count>, p: usize) -> (Cluster, MatMulPath) {
+        let mut cluster = Cluster::new(p);
+        let d1 = DistRelation::scatter(&cluster, r1);
+        let d2 = DistRelation::scatter(&cluster, r2);
+        let (got, path) = matmul(&mut cluster, &d1, &d2);
+        let expect = r1.join_aggregate(r2, &[A, C]);
+        assert!(got.gather().semantically_eq(&expect), "path {path:?} wrong");
+        (cluster, path)
+    }
+
+    #[test]
+    fn trivial_path_for_single_tuple() {
+        let r1 = Relation::binary_ones(A, B, [(1, 2)]);
+        let r2 = Relation::binary_ones(B, C, (0..50u64).map(|i| (2, i)));
+        let (_, path) = run(&r1, &r2, 4);
+        assert_eq!(path, MatMulPath::Trivial);
+    }
+
+    #[test]
+    fn skewed_path_for_lopsided_sizes() {
+        let r1 = Relation::binary_ones(A, B, [(1, 0), (2, 1)]);
+        let r2 = Relation::binary_ones(B, C, (0..200u64).map(|i| (i % 2, i)));
+        let (_, path) = run(&r1, &r2, 8);
+        assert_eq!(path, MatMulPath::Skewed);
+    }
+
+    #[test]
+    fn output_sensitive_for_sparse_output() {
+        // Permutation matrices: OUT = N, far below N√p.
+        let n = 512u64;
+        let r1 = Relation::binary_ones(A, B, (0..n).map(|i| (i, i)));
+        let r2 = Relation::binary_ones(B, C, (0..n).map(|i| (i, i)));
+        let (_, path) = run(&r1, &r2, 16);
+        assert_eq!(path, MatMulPath::OutputSensitive);
+    }
+
+    #[test]
+    fn worst_case_for_dense_output() {
+        // Single shared b: OUT = N1·N2 — the worst-case term wins.
+        let n = 64u64;
+        let r1 = Relation::binary_ones(A, B, (0..n).map(|i| (i, 0)));
+        let r2 = Relation::binary_ones(B, C, (0..n).map(|i| (0, i)));
+        let (_, path) = run(&r1, &r2, 16);
+        assert_eq!(path, MatMulPath::WorstCase);
+    }
+
+    #[test]
+    fn dangling_heavy_instance_becomes_trivial() {
+        // Everything dangles except one pair.
+        let r1 = Relation::binary_ones(A, B, (0..100u64).map(|i| (i, i + 1000)));
+        let r2 = Relation::binary_ones(B, C, [(1000, 5)]);
+        let (_, path) = run(&r1, &r2, 4);
+        assert_eq!(path, MatMulPath::Trivial);
+    }
+
+    #[test]
+    fn reversed_column_order_normalizes() {
+        let mut cluster = Cluster::new(4);
+        // R1 stored as (B, A).
+        let r1 = Relation::<Count>::binary_ones(B, A, (0..40u64).map(|i| (i % 10, i)));
+        let r2 = Relation::<Count>::binary_ones(B, C, (0..40u64).map(|i| (i % 10, i)));
+        let d1 = DistRelation::scatter(&cluster, &r1);
+        let d2 = DistRelation::scatter(&cluster, &r2);
+        let (got, _) = matmul(&mut cluster, &d1, &d2);
+        let expect = r1.join_aggregate(&r2, &[A, C]);
+        // Output schema is (A, C); expect's projection order matches.
+        assert!(got.gather().semantically_eq(&expect));
+    }
+
+    #[test]
+    fn tropical_annotations_survive_dispatch() {
+        let mut cluster = Cluster::new(4);
+        let r1 = Relation::from_entries(
+            mpcjoin_relation::Schema::binary(A, B),
+            (0..60u64)
+                .map(|i| (vec![i % 12, i % 7], TropicalMin::finite((i % 9) as i64)))
+                .collect(),
+        );
+        let r2 = Relation::from_entries(
+            mpcjoin_relation::Schema::binary(B, C),
+            (0..60u64)
+                .map(|i| (vec![i % 7, i % 15], TropicalMin::finite((i % 5) as i64)))
+                .collect(),
+        );
+        let r1 = r1.coalesce();
+        let r2 = r2.coalesce();
+        let d1 = DistRelation::scatter(&cluster, &r1);
+        let d2 = DistRelation::scatter(&cluster, &r2);
+        let (got, _) = matmul(&mut cluster, &d1, &d2);
+        let expect = r1.join_aggregate(&r2, &[A, C]);
+        assert!(got.gather().semantically_eq(&expect));
+    }
+}

@@ -1,0 +1,194 @@
+//! The lower-bound instances of Theorems 2 and 3, including their
+//! adversarial initial data placements.
+//!
+//! These constructions make the benchmark harness's `lowerbounds`
+//! experiment possible: running the upper-bound algorithm on them shows
+//! the measured load sandwiched between the theorems' `Ω(·)` bounds and
+//! Theorem 1's `O(·)` bound.
+
+use mpcjoin_relation::{Attr, Relation, Schema};
+use mpcjoin_semiring::Semiring;
+
+/// A hard instance with a prescribed initial placement.
+pub struct HardInstance<S: Semiring> {
+    /// `R1(A, B)`.
+    pub r1: Relation<S>,
+    /// `R2(B, C)`.
+    pub r2: Relation<S>,
+    /// Prescribed initial server of each `r1` entry (same order).
+    pub r1_placement: Vec<usize>,
+    /// Prescribed initial server of each `r2` entry (same order).
+    pub r2_placement: Vec<usize>,
+    /// The instance's exact output size.
+    pub out: u64,
+}
+
+/// The Theorem 2 instance: `R1 = {a} × {b_1..b_{N1}}`,
+/// `R2 = {b_1, b_2} × {c_1..c_{N2/2}}`, plus dummy tuples, with `R2`
+/// spread so that no two tuples sharing a `c` start on the same server —
+/// forcing `Ω(N2/p)` traffic to pair them up.
+pub fn theorem2_instance<S: Semiring>(
+    a_attr: Attr,
+    b_attr: Attr,
+    c_attr: Attr,
+    n1: u64,
+    n2: u64,
+    p: usize,
+) -> HardInstance<S> {
+    assert!(n1 >= 2 && n2 >= 2);
+    let mut r1 = Relation::empty(Schema::binary(a_attr, b_attr));
+    for b in 0..n1 {
+        r1.push(vec![0, b], S::one());
+    }
+    let half = n2 / 2;
+    let mut r2 = Relation::empty(Schema::binary(b_attr, c_attr));
+    let mut r2_placement = Vec::new();
+    for c in 0..half {
+        // The two tuples of column c start on distinct servers.
+        r2.push(vec![0, c], S::one());
+        r2_placement.push((2 * c as usize) % p);
+        r2.push(vec![1, c], S::one());
+        r2_placement.push((2 * c as usize + 1) % p);
+    }
+    let r1_placement = (0..r1.len()).map(|i| i % p).collect();
+    let out = half; // each c yields one (a, c) output
+    HardInstance {
+        r1,
+        r2,
+        r1_placement,
+        r2_placement,
+        out,
+    }
+}
+
+/// The Theorem 3 instance: complete bipartite blocks
+/// `R1 = dom(A) × dom(B)`, `R2 = dom(B) × dom(C)` with
+/// `|dom(A)| = √(N1·OUT/N2)`, `|dom(B)| = √(N1N2/OUT)`,
+/// `|dom(C)| = √(N2·OUT/N1)`, so the output is all of
+/// `dom(A) × dom(C)` (size `OUT`) while `N1·N2/|dom(B)|` elementary
+/// products must be formed. `R1` and `R2` start on disjoint servers.
+pub fn theorem3_instance<S: Semiring>(
+    a_attr: Attr,
+    b_attr: Attr,
+    c_attr: Attr,
+    n1: u64,
+    n2: u64,
+    out: u64,
+    p: usize,
+) -> HardInstance<S> {
+    assert!(n1 >= 2 && n2 >= 2);
+    assert!(
+        out >= n1.max(n2) && out <= n1 * n2,
+        "Theorem 3 needs max(N1,N2) ≤ OUT ≤ N1·N2"
+    );
+    let dom_a = (((n1 as f64) * (out as f64) / (n2 as f64)).sqrt().round() as u64).max(1);
+    let dom_b = (((n1 as f64) * (n2 as f64) / (out as f64)).sqrt().round() as u64).max(1);
+    let dom_c = (((n2 as f64) * (out as f64) / (n1 as f64)).sqrt().round() as u64).max(1);
+
+    let mut r1 = Relation::empty(Schema::binary(a_attr, b_attr));
+    for a in 0..dom_a {
+        for b in 0..dom_b {
+            r1.push(vec![a, b], S::one());
+        }
+    }
+    let mut r2 = Relation::empty(Schema::binary(b_attr, c_attr));
+    for b in 0..dom_b {
+        for c in 0..dom_c {
+            r2.push(vec![b, c], S::one());
+        }
+    }
+    // R1 on the first half of the servers, R2 on the second half.
+    let split = (p / 2).max(1);
+    let r1_placement = (0..r1.len()).map(|i| i % split).collect();
+    let r2_placement = (0..r2.len()).map(|i| split + (i % (p - split).max(1))).collect();
+    let out_exact = dom_a * dom_c;
+    HardInstance {
+        r1,
+        r2,
+        r1_placement,
+        r2_placement,
+        out: out_exact,
+    }
+}
+
+/// Numeric value of the Theorem 2 bound `Ω((N1+N2)/p)` for reporting.
+pub fn theorem2_bound(n1: u64, n2: u64, p: u64) -> f64 {
+    (n1 + n2) as f64 / p as f64
+}
+
+/// Place a [`HardInstance`] on a cluster per its prescribed distribution.
+pub fn place<S: Semiring>(
+    cluster: &mpcjoin_mpc::Cluster,
+    inst: &HardInstance<S>,
+) -> (
+    mpcjoin_mpc::DistRelation<S>,
+    mpcjoin_mpc::DistRelation<S>,
+) {
+    let d1 = cluster.place_initial(
+        inst.r1_placement
+            .iter()
+            .copied()
+            .zip(inst.r1.entries().iter().cloned())
+            .collect(),
+    );
+    let d2 = cluster.place_initial(
+        inst.r2_placement
+            .iter()
+            .copied()
+            .zip(inst.r2.entries().iter().cloned())
+            .collect(),
+    );
+    (
+        mpcjoin_mpc::DistRelation::from_distributed(inst.r1.schema().clone(), d1),
+        mpcjoin_mpc::DistRelation::from_distributed(inst.r2.schema().clone(), d2),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_semiring::BoolRing;
+
+    const A: Attr = Attr(0);
+    const B: Attr = Attr(1);
+    const C: Attr = Attr(2);
+
+    #[test]
+    fn theorem2_shape() {
+        let inst = theorem2_instance::<BoolRing>(A, B, C, 16, 64, 8);
+        assert_eq!(inst.r1.len(), 16);
+        assert_eq!(inst.r2.len(), 64);
+        assert_eq!(inst.out, 32);
+        // No two same-c tuples start on one server.
+        for (i, (row, _)) in inst.r2.entries().iter().enumerate() {
+            for (j, (row2, _)) in inst.r2.entries().iter().enumerate().skip(i + 1) {
+                if row[1] == row2[1] {
+                    assert_ne!(
+                        inst.r2_placement[i], inst.r2_placement[j],
+                        "column {} colocated",
+                        row[1]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem3_sizes_and_output() {
+        let (n1, n2, out) = (1u64 << 8, 1u64 << 8, 1u64 << 12);
+        let inst = theorem3_instance::<BoolRing>(A, B, C, n1, n2, out, 16);
+        // Sizes within a factor 2 of the request (rounding of √·).
+        assert!(inst.r1.len() as u64 >= n1 / 2 && inst.r1.len() as u64 <= n1 * 2);
+        assert!(inst.r2.len() as u64 >= n2 / 2 && inst.r2.len() as u64 <= n2 * 2);
+        assert!(inst.out >= out / 2 && inst.out <= out * 2);
+        // Exact output: every (a, c) pair.
+        let local = inst.r1.join_aggregate(&inst.r2, &[A, C]);
+        assert_eq!(local.len() as u64, inst.out);
+    }
+
+    #[test]
+    #[should_panic(expected = "Theorem 3 needs")]
+    fn theorem3_rejects_bad_out() {
+        let _ = theorem3_instance::<BoolRing>(A, B, C, 16, 16, 4, 4);
+    }
+}

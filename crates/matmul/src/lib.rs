@@ -1,0 +1,33 @@
+//! Optimal MPC sparse matrix multiplication — §3 of Hu & Yi (PODS 2020).
+//!
+//! Computes `∑_B R1(A,B) ⋈ R2(B,C)` over any commutative semiring with
+//! load `O((N1+N2)/p + min{√(N1N2/p), (N1N2·OUT)^{1/3}/p^{2/3}})` in
+//! `O(1)` rounds (Theorem 1) — optimal in the semiring MPC model by
+//! Theorems 2–3, whose hard instances are also constructed here.
+//!
+//! * [`matmul`] — the Theorem 1 dispatcher (use this),
+//! * [`wco_matmul`] — the worst-case optimal algorithm (§3.1),
+//! * [`output_sensitive_matmul`] / [`estimate_matmul_out`] — the
+//!   output-sensitive algorithm (§3.2) and its §2.2 estimator,
+//! * [`linear_sparse_mm`] — `LinearSparseMM` for `OUT ≤ N/p` (§3.2),
+//! * [`trivial_matmul`] / [`skewed_matmul`] — the degenerate regimes,
+//! * [`hard`] — the Theorem 2–3 lower-bound instances,
+//! * [`theory`] — closed-form bound formulas for the harness.
+
+pub mod hard;
+mod dispatch;
+mod linear;
+mod output_sensitive;
+mod problem;
+mod skewed;
+pub mod theory;
+mod trivial;
+mod wco;
+
+pub use dispatch::{matmul, MatMulPath};
+pub use linear::linear_sparse_mm;
+pub use output_sensitive::{estimate_matmul_out, output_sensitive_matmul, MatMulEstimate};
+pub use problem::MatMulAttrs;
+pub use skewed::{is_skewed, skewed_matmul};
+pub use trivial::{is_trivial, trivial_matmul};
+pub use wco::wco_matmul;

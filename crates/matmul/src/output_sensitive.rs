@@ -1,0 +1,425 @@
+//! The output-sensitive matrix multiplication algorithm of §3.2
+//! (Lemma 2): load `O((N1+N2)/p + (N1·N2·OUT)^{1/3}/p^{2/3})`.
+//!
+//! Structure, following the paper (inputs must be dangling-free):
+//!
+//! 1. `OUT ≤ N/p` → [`crate::linear_sparse_mm`].
+//! 2. *Heavy rows* — `a` with `OUT_a ≥ √(N2·OUT·L/N1)` join few enough
+//!    rows that the intermediate join is `O(√(N1N2OUT/L))`; they are
+//!    handled by the worst-case-optimal two-way join with eager
+//!    aggregation (within the same load budget as the paper's Yannakakis
+//!    step).
+//! 3. *Light rows* — parallel-packed by `OUT_a` into groups `A_i`; each
+//!    group gets `⌈(|σ_{A_i}R1| + N2)/L⌉` servers holding its rows plus a
+//!    replica of `R2` (the paper's step-3 allocation; total `O(p)`).
+//!    Inside each group the §2.2 estimator computes, for every column `c`,
+//!    the group-local output `|π_A σ_{A_i}R1 ⋈ R2(B,c)|`; heavy columns
+//!    (`≥ L` results) are joined inside the group.
+//! 4. *Light × light* — each group packs its light columns into windows
+//!    `C_{ij}` of `O(L)` group-local output. Tuples are replicated to
+//!    their `(i, j)` subqueries by joining against the assignment tables
+//!    (a skew-optimal join; the replication volume `√(OUT/L)·√(N1N2)` is
+//!    the paper's step-4 shuffle volume, i.e. `O(p·L)`), and all
+//!    subqueries are evaluated by one joint `(group, b)`-keyed join with
+//!    eager `(a, c)` aggregation. Every elementary product is formed in
+//!    exactly one subquery, so no double counting can occur — verified by
+//!    the non-idempotent-semiring oracle tests.
+//!
+//! The outputs of steps 2, 3 and 4 cover disjoint `(a, c)` ranges and are
+//! simply concatenated.
+
+use crate::linear::linear_sparse_mm;
+use crate::problem::MatMulAttrs;
+use mpcjoin_mpc::hash::stable_hash;
+use mpcjoin_mpc::join::{full_join, join_aggregate};
+use mpcjoin_mpc::primitives::reduce::reduce_by_key;
+use mpcjoin_mpc::primitives::scan::parallel_packing;
+use mpcjoin_mpc::primitives::search::lookup_exact;
+use mpcjoin_mpc::{Cluster, DistRelation, Distributed};
+use mpcjoin_relation::{Attr, Row, Schema, Value};
+use mpcjoin_semiring::Semiring;
+use mpcjoin_sketch::estimate_out_chain_default;
+
+/// Output-size estimates for a matrix multiplication, from §2.2.
+pub struct MatMulEstimate {
+    /// Constant-factor approximation of `OUT`.
+    pub out: u64,
+    /// Per-row estimates `OUT_a`, keyed by `a`.
+    pub per_a: Distributed<(Value, u64)>,
+}
+
+/// Run the §2.2 estimator on the two-relation chain (call after dangling
+/// removal, as the paper does).
+pub fn estimate_matmul_out<S: Semiring>(
+    cluster: &mut Cluster,
+    r1: &DistRelation<S>,
+    r2: &DistRelation<S>,
+) -> MatMulEstimate {
+    let m = MatMulAttrs::infer(r1, r2);
+    let est = estimate_out_chain_default(cluster, &[r1, r2], &[m.a, m.b, m.c]);
+    MatMulEstimate {
+        out: est.total,
+        per_a: est.per_group,
+    }
+}
+
+/// Compute `∑_B R1 ⋈ R2` with the §3.2 output-sensitive algorithm.
+/// `r1` and `r2` must be dangling-free.
+pub fn output_sensitive_matmul<S: Semiring>(
+    cluster: &mut Cluster,
+    r1: &DistRelation<S>,
+    r2: &DistRelation<S>,
+    est: MatMulEstimate,
+) -> DistRelation<S> {
+    let m = MatMulAttrs::infer(r1, r2);
+    let p = cluster.p();
+    let n1 = r1.total_len() as u64;
+    let n2 = r2.total_len() as u64;
+    let n = n1 + n2;
+    if n1 == 0 || n2 == 0 {
+        return DistRelation::empty(cluster, m.out_schema());
+    }
+    let out = est.out.max(1);
+    if out <= n / p as u64 {
+        return linear_sparse_mm(cluster, r1, r2);
+    }
+
+    let load = (((n1 as f64) * (n2 as f64) * (out as f64) / (p as f64 * p as f64))
+        .cbrt()
+        .ceil() as u64
+        + n / p as u64)
+        .max(1);
+    let cap_a = (((n2 as f64) * (out as f64) * (load as f64) / (n1 as f64))
+        .sqrt()
+        .ceil() as u64)
+        .max(1);
+
+    // --- Split R1 into heavy and light rows by OUT_a. ---
+    let per_a_catalog = est.per_a.clone().map(|(a, e)| (vec![a], e));
+    let pos_a = r1.positions_of(&[m.a])[0];
+    let attached = r1.attach_stat(cluster, &[m.a], per_a_catalog);
+    let mut heavy_parts: Vec<Vec<(Row, S)>> = vec![Vec::new(); p];
+    let mut light_parts: Vec<Vec<(Row, S)>> = vec![Vec::new(); p];
+    for (i, local) in attached.into_parts().into_iter().enumerate() {
+        for ((row, s), stat) in local {
+            // Dangling-free inputs always have an estimate; treat a
+            // missing one as light (correct either way).
+            if stat.unwrap_or(0) >= cap_a {
+                heavy_parts[i].push((row, s));
+            } else {
+                light_parts[i].push((row, s));
+            }
+        }
+    }
+    let r1_schema = r1.schema().clone();
+    let r1_heavy =
+        DistRelation::from_distributed(r1_schema.clone(), Distributed::from_parts(heavy_parts));
+    let r1_light =
+        DistRelation::from_distributed(r1_schema.clone(), Distributed::from_parts(light_parts));
+
+    let mut result_parts: Vec<Vec<(Row, S)>> = vec![Vec::new(); p];
+
+    // --- Step 2: heavy rows via the skew-optimal two-way join. ---
+    if !r1_heavy.is_empty() {
+        let out_heavy = join_aggregate(cluster, &r1_heavy, r2, &[m.a, m.c]);
+        for (i, local) in out_heavy.into_data().into_parts().into_iter().enumerate() {
+            result_parts[i].extend(local);
+        }
+    }
+
+    if r1_light.is_empty() {
+        return DistRelation::from_distributed(
+            m.out_schema(),
+            Distributed::from_parts(result_parts),
+        );
+    }
+
+    // --- Step 3: pack light rows into groups A_i by OUT_a. ---
+    let ha_cap = cap_a;
+    let light_per_a = est.per_a.map_local(move |_, items| {
+        items
+            .into_iter()
+            .filter(|(_, e)| *e < ha_cap)
+            .map(|(a, e)| (a, e.max(1)))
+            .collect::<Vec<_>>()
+    });
+    let pack_a = parallel_packing(cluster, light_per_a, |(_, e)| *e, cap_a);
+    let k1 = pack_a.groups as usize;
+    let gid_catalog = pack_a
+        .assigned
+        .clone()
+        .map(|((a, _), gid)| (vec![a], gid));
+    let with_gid = lookup_exact(
+        cluster,
+        r1_light.data().clone(),
+        move |(row, _): &(Row, S)| vec![row[pos_a]],
+        gid_catalog,
+    );
+
+    // Group sizes (driver knowledge; one gather round inside reduce).
+    let gid_counts = reduce_by_key(
+        cluster,
+        with_gid
+            .clone()
+            .map(|(_, gid)| (gid.unwrap_or(0), 1u64)),
+        |acc, v| *acc += v,
+    );
+    let gathered = cluster.exchange(
+        gid_counts
+            .into_parts()
+            .into_iter()
+            .map(|local| local.into_iter().map(|kv| (0usize, kv)).collect())
+            .collect(),
+    );
+    let mut size_of_group = vec![0u64; k1];
+    for &(gid, count) in gathered.local(0) {
+        size_of_group[gid as usize] = count;
+    }
+
+    // Allocate the per-group subclusters (paper: p_i = ⌈(|σ_{A_i}R1| + N2)/L⌉).
+    let sizes: Vec<usize> = size_of_group
+        .iter()
+        .map(|&s| ((s + n2).div_ceil(load) as usize).max(1))
+        .collect();
+    let (mut children, offsets) = cluster.split_with_offsets(&sizes);
+
+    // Ship each group its rows plus a replica of R2 (one parent round).
+    let mut ship_out: Vec<Vec<(usize, (u64, u8, Row, S))>> = vec![Vec::new(); p];
+    for (src, local) in with_gid.into_parts().into_iter().enumerate() {
+        for ((row, s), gid) in local {
+            let i = gid.unwrap_or(0) as usize;
+            let dest = (offsets[i] + stable_hash(&row) as usize % sizes[i]) % p;
+            ship_out[src].push((dest, (i as u64, 1u8, row, s)));
+        }
+    }
+    for (src, local) in r2.data().iter() {
+        for (row, s) in local {
+            for i in 0..k1 {
+                let dest = (offsets[i] + stable_hash(&row) as usize % sizes[i]) % p;
+                ship_out[src].push((dest, (i as u64, 2u8, row.clone(), s.clone())));
+            }
+        }
+    }
+    let shipped = cluster.exchange(ship_out);
+
+    // --- Per-group work: estimate columns, join heavy columns, emit
+    // light-column window assignments. All groups run in parallel on the
+    // shared timeline. ---
+    let g_attr = Attr(m.a.0.max(m.b.0).max(m.c.0) + 1);
+    let mut assign_c_parts: Vec<Vec<(Row, S)>> = vec![Vec::new(); p];
+    let mut j_count = vec![0u64; k1];
+    for (i, child) in children.iter_mut().enumerate() {
+        let pi = sizes[i];
+        // Carve this group's shipment out of the parent-indexed inboxes.
+        let mut r1_parts: Vec<Vec<(Row, S)>> = vec![Vec::new(); pi];
+        let mut r2_parts: Vec<Vec<(Row, S)>> = vec![Vec::new(); pi];
+        for j in 0..pi {
+            for (tag, side, row, s) in shipped.local((offsets[i] + j) % p) {
+                if *tag == i as u64 {
+                    if *side == 1 {
+                        r1_parts[j].push((row.clone(), s.clone()));
+                    } else {
+                        r2_parts[j].push((row.clone(), s.clone()));
+                    }
+                }
+            }
+        }
+        let mut r1_i = DistRelation::from_distributed(
+            r1_schema.clone(),
+            Distributed::from_parts(r1_parts),
+        );
+        let mut r2_i = DistRelation::from_distributed(
+            r2.schema().clone(),
+            Distributed::from_parts(r2_parts),
+        );
+
+        // Group-internal dangling removal (degrees within the subquery
+        // then obey d1·d2 ≤ group output).
+        if r1_i.is_empty() {
+            continue;
+        }
+        r2_i = r2_i.semijoin(child, &r1_i);
+        if r2_i.is_empty() {
+            continue;
+        }
+        r1_i = r1_i.semijoin(child, &r2_i);
+
+        // Estimate per-column group-local output |π_A σ_{A_i}R1 ⋈ R2(B,c)|.
+        let col_est = estimate_out_chain_default(child, &[&r2_i, &r1_i], &[m.c, m.b, m.a]);
+
+        // Split R2_i by column heaviness.
+        let col_catalog = col_est.per_group.clone().map(|(c, e)| (vec![c], e));
+        let attached_c = r2_i.attach_stat(child, &[m.c], col_catalog);
+        let mut hvy: Vec<Vec<(Row, S)>> = vec![Vec::new(); pi];
+        for (j, local) in attached_c.into_parts().into_iter().enumerate() {
+            for ((row, s), e) in local {
+                if e.unwrap_or(0) >= load {
+                    hvy[j].push((row, s));
+                }
+            }
+        }
+        let r2_heavy = DistRelation::from_distributed(
+            r2_i.schema().clone(),
+            Distributed::from_parts(hvy),
+        );
+        if !r2_heavy.is_empty() {
+            let out_hc = join_aggregate(child, &r1_i, &r2_heavy, &[m.a, m.c]);
+            for (slot, local) in out_hc
+                .into_data()
+                .reindexed(p, offsets[i])
+                .into_parts()
+                .into_iter()
+                .enumerate()
+            {
+                result_parts[slot].extend(local);
+            }
+        }
+
+        // Pack light columns into windows of O(L) group-local output and
+        // emit (c → group·window) assignment tuples.
+        let lcap = load;
+        let light_cols = col_est.per_group.map_local(move |_, items| {
+            items
+                .into_iter()
+                .filter(|(_, e)| *e < lcap)
+                .map(|(c, e)| (c, e.max(1)))
+                .collect::<Vec<_>>()
+        });
+        let pack_c = parallel_packing(child, light_cols, |(_, e)| *e, load);
+        j_count[i] = pack_c.groups;
+        let gi = i as u64;
+        let assigns = pack_c
+            .assigned
+            .map(move |((c, _), j)| (vec![c, (gi << 32) | j], S::one()))
+            .reindexed(p, offsets[i]);
+        for (slot, local) in assigns.into_parts().into_iter().enumerate() {
+            assign_c_parts[slot].extend(local);
+        }
+    }
+    cluster.join_parallel(&children);
+
+    // --- Step 4: replicate to (group, window) subqueries and evaluate
+    // them jointly. ---
+    let assign_c = DistRelation::from_distributed(
+        Schema::binary(m.c, g_attr),
+        Distributed::from_parts(assign_c_parts),
+    );
+    let assign_a_data = pack_a.assigned.map_local(|_, items| {
+        items
+            .into_iter()
+            .flat_map(|((a, _), i)| {
+                (0..j_count[i as usize]).map(move |j| (vec![a, (i << 32) | j], S::one()))
+            })
+            .collect::<Vec<_>>()
+    });
+    let assign_a =
+        DistRelation::from_distributed(Schema::binary(m.a, g_attr), assign_a_data);
+
+    if assign_a.is_empty() || assign_c.is_empty() {
+        return DistRelation::from_distributed(
+            m.out_schema(),
+            Distributed::from_parts(result_parts),
+        );
+    }
+
+    let side1 = full_join(cluster, &assign_a, &r1_light); // (A, G, B)
+    let side2 = full_join(cluster, &assign_c, r2); // (C, G, B)
+    if !side1.is_empty() && !side2.is_empty() {
+        let out_ll = join_aggregate(cluster, &side1, &side2, &[m.a, m.c]);
+        for (i, local) in out_ll.into_data().into_parts().into_iter().enumerate() {
+            result_parts[i].extend(local);
+        }
+    }
+
+    DistRelation::from_distributed(m.out_schema(), Distributed::from_parts(result_parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_relation::Relation;
+    use mpcjoin_semiring::{Count, XorRing};
+    use mpcjoin_yannakakis::remove_dangling;
+    use mpcjoin_query::{Edge, TreeQuery};
+
+    const A: Attr = Attr(0);
+    const B: Attr = Attr(1);
+    const C: Attr = Attr(2);
+
+    fn check<SR: Semiring>(r1: &Relation<SR>, r2: &Relation<SR>, p: usize) -> Cluster {
+        let mut cluster = Cluster::new(p);
+        let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, C]);
+        let d1 = DistRelation::scatter(&cluster, r1);
+        let d2 = DistRelation::scatter(&cluster, r2);
+        let reduced = remove_dangling(&mut cluster, &q, &[d1, d2]);
+        let est = estimate_matmul_out(&mut cluster, &reduced[0], &reduced[1]);
+        let got = output_sensitive_matmul(&mut cluster, &reduced[0], &reduced[1], est);
+        let expect = r1.join_aggregate(r2, &[A, C]);
+        assert!(
+            got.gather().semantically_eq(&expect),
+            "output-sensitive matmul diverged from local evaluation"
+        );
+        cluster
+    }
+
+    #[test]
+    fn medium_output_random() {
+        let r1 =
+            Relation::<Count>::binary_ones(A, B, (0..300u64).map(|i| (i % 60, (i * 7) % 20)));
+        let r2 =
+            Relation::<Count>::binary_ones(B, C, (0..300u64).map(|i| ((i * 3) % 20, i % 50)));
+        check(&r1, &r2, 8);
+    }
+
+    #[test]
+    fn skewed_rows_some_heavy() {
+        let mut p1 = Vec::new();
+        // One row joining everything (heavy OUT_a), many light rows.
+        for bv in 0..50u64 {
+            p1.push((999, bv));
+        }
+        for i in 0..100u64 {
+            p1.push((i, i % 50));
+        }
+        let r2: Vec<(u64, u64)> = (0..500u64).map(|i| (i % 50, i % 97)).collect();
+        check(
+            &Relation::<Count>::binary_ones(A, B, p1),
+            &Relation::<Count>::binary_ones(B, C, r2),
+            8,
+        );
+    }
+
+    #[test]
+    fn xor_detects_duplicate_elementary_products() {
+        // GF(2): if any (a,b,c) product were computed twice, annotations
+        // would cancel and diverge from the oracle.
+        let r1 = Relation::<XorRing>::binary_ones(A, B, (0..200u64).map(|i| (i % 40, (i * 11) % 25)));
+        let r2 = Relation::<XorRing>::binary_ones(B, C, (0..200u64).map(|i| ((i * 13) % 25, i % 30)));
+        check(&r1, &r2, 8);
+    }
+
+    #[test]
+    fn small_output_takes_linear_path() {
+        let n = 512u64;
+        let r1 = Relation::<Count>::binary_ones(A, B, (0..n).map(|i| (i, i)));
+        let r2 = Relation::<Count>::binary_ones(B, C, (0..n).map(|i| (i, i)));
+        let cluster = check(&r1, &r2, 8);
+        assert!(cluster.report().load <= 6 * (2 * n / 8) + 300);
+    }
+
+    #[test]
+    fn dense_block_output() {
+        // A dense 20×20 block through a few b's: OUT = 400 ≫ N/p.
+        let r1 = Relation::<Count>::binary_ones(
+            A,
+            B,
+            (0..20u64).flat_map(|a| (0..3u64).map(move |b| (a, b))),
+        );
+        let r2 = Relation::<Count>::binary_ones(
+            B,
+            C,
+            (0..3u64).flat_map(|b| (0..20u64).map(move |c| (b, c))),
+        );
+        check(&r1, &r2, 4);
+    }
+}

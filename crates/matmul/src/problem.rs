@@ -1,0 +1,77 @@
+//! The matrix multiplication problem shape shared by all §3 algorithms.
+
+use mpcjoin_mpc::DistRelation;
+use mpcjoin_relation::{Attr, Schema};
+use mpcjoin_semiring::Semiring;
+
+/// The attributes of `∑_B R1(A, B) ⋈ R2(B, C)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatMulAttrs {
+    /// Row attribute (output).
+    pub a: Attr,
+    /// The shared, aggregated-away attribute.
+    pub b: Attr,
+    /// Column attribute (output).
+    pub c: Attr,
+}
+
+impl MatMulAttrs {
+    /// Derive the attribute roles from the two input schemas: the shared
+    /// attribute is `B`; the remaining attribute of `r1` is `A`, of `r2`
+    /// is `C`. Panics when the schemas are not a valid matrix
+    /// multiplication shape.
+    pub fn infer<S: Semiring>(r1: &DistRelation<S>, r2: &DistRelation<S>) -> Self {
+        assert_eq!(r1.schema().arity(), 2, "R1 must be binary");
+        assert_eq!(r2.schema().arity(), 2, "R2 must be binary");
+        let shared = r1.schema().common(r2.schema());
+        let [b] = shared[..] else {
+            panic!(
+                "matrix multiplication needs exactly one shared attribute, got {shared:?}"
+            );
+        };
+        let a = r1.schema().attrs()[usize::from(r1.schema().attrs()[0] == b)];
+        let c = r2.schema().attrs()[usize::from(r2.schema().attrs()[0] == b)];
+        MatMulAttrs { a, b, c }
+    }
+
+    /// The output schema `(A, C)`.
+    pub fn out_schema(&self) -> Schema {
+        Schema::binary(self.a, self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_mpc::Cluster;
+    use mpcjoin_relation::Relation;
+    use mpcjoin_semiring::Count;
+
+    #[test]
+    fn infers_roles_regardless_of_column_order() {
+        let cluster = Cluster::new(2);
+        let r1: Relation<Count> = Relation::binary_ones(Attr(5), Attr(9), [(1, 2)]);
+        let r2: Relation<Count> = Relation::binary_ones(Attr(9), Attr(7), [(2, 3)]);
+        let d1 = DistRelation::scatter(&cluster, &r1);
+        let d2 = DistRelation::scatter(&cluster, &r2);
+        let m = MatMulAttrs::infer(&d1, &d2);
+        assert_eq!((m.a, m.b, m.c), (Attr(5), Attr(9), Attr(7)));
+
+        // B first in R1's schema.
+        let r1b: Relation<Count> = Relation::binary_ones(Attr(9), Attr(5), [(2, 1)]);
+        let d1b = DistRelation::scatter(&cluster, &r1b);
+        let m2 = MatMulAttrs::infer(&d1b, &d2);
+        assert_eq!((m2.a, m2.b, m2.c), (Attr(5), Attr(9), Attr(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one shared attribute")]
+    fn rejects_disjoint_schemas() {
+        let cluster = Cluster::new(2);
+        let r1: Relation<Count> = Relation::binary_ones(Attr(0), Attr(1), [(1, 2)]);
+        let r2: Relation<Count> = Relation::binary_ones(Attr(2), Attr(3), [(2, 3)]);
+        let d1 = DistRelation::scatter(&cluster, &r1);
+        let d2 = DistRelation::scatter(&cluster, &r2);
+        let _ = MatMulAttrs::infer(&d1, &d2);
+    }
+}

@@ -1,0 +1,170 @@
+//! The size-skewed regime of §3: `N1/N2 ∉ [1/p, p]`.
+//!
+//! When one relation is more than `p` times larger than the other, the
+//! bound collapses to linear load `O((N1+N2)/p)`. After dangling removal,
+//! every column `c` of the big relation has degree at most the size of the
+//! small relation (`≤ N_big/p`), so the big side can be grouped by its
+//! outer attribute onto single servers with linear load while the small
+//! side is broadcast — results are then disjoint per server and final.
+//!
+//! Implementation note: the paper sorts by the outer attribute and patches
+//! key groups straddling a server boundary; we group keys with
+//! parallel-packing instead (same §2.1 toolbox, same `O(1)` rounds and
+//! `O(N/p)` load) because packing is robust for any degree `≤ N_big/p`
+//! without a span-dependent patch round.
+
+use crate::problem::MatMulAttrs;
+use mpcjoin_mpc::primitives::scan::parallel_packing;
+use mpcjoin_mpc::primitives::search::lookup_exact;
+use mpcjoin_mpc::{Cluster, DistRelation};
+use mpcjoin_relation::Row;
+use mpcjoin_semiring::Semiring;
+use std::collections::HashMap;
+
+/// Whether the skewed-ratio algorithm applies.
+pub fn is_skewed<S: Semiring>(r1: &DistRelation<S>, r2: &DistRelation<S>, p: usize) -> bool {
+    let (n1, n2) = (r1.total_len().max(1) as u64, r2.total_len().max(1) as u64);
+    n1 * (p as u64) < n2 || n2 * (p as u64) < n1
+}
+
+/// Compute `∑_B R1 ⋈ R2` with linear load when `N1/N2 ∉ [1/p, p]`.
+///
+/// Expects dangling tuples already removed (callers run the §2.1 full
+/// reducer first); the degree precondition `deg ≤ N_big/p` this enables is
+/// asserted via the packing capacity.
+pub fn skewed_matmul<S: Semiring>(
+    cluster: &mut Cluster,
+    r1: &DistRelation<S>,
+    r2: &DistRelation<S>,
+) -> DistRelation<S> {
+    let m = MatMulAttrs::infer(r1, r2);
+    let p = cluster.p();
+    assert!(is_skewed(r1, r2, p), "size ratio within [1/p, p]");
+
+    let (small, big, outer_attr, small_is_r1) = if r1.total_len() < r2.total_len() {
+        (r1, r2, m.c, true)
+    } else {
+        (r2, r1, m.a, false)
+    };
+
+    // Group the big side by its outer attribute with parallel-packing:
+    // each group (≈ one server's worth of keys) is joined independently,
+    // so no cross-server aggregation is needed afterwards.
+    let cap = (2 * big.total_len().div_ceil(p).max(1) + 2 * small.total_len().max(1)) as u64;
+    let degrees = big.degrees(cluster, outer_attr);
+    let packing = parallel_packing(cluster, degrees, |(_, d)| *d, cap);
+    let catalog = packing.assigned.map(|((v, _), gid)| (vec![v], gid));
+    let outer_pos = big.positions_of(&[outer_attr])[0];
+    let routed = lookup_exact(
+        cluster,
+        big.data().clone(),
+        move |(row, _): &(Row, S)| vec![row[outer_pos]],
+        catalog,
+    );
+    let outboxes: Vec<Vec<(usize, (Row, S))>> = routed
+        .into_parts()
+        .into_iter()
+        .map(|local| {
+            local
+                .into_iter()
+                .filter_map(|(entry, gid)| gid.map(|g| ((g as usize) % p, entry)))
+                .collect()
+        })
+        .collect();
+    let big_grouped = cluster.exchange(outboxes);
+
+    let small_everywhere = small.broadcast(cluster);
+
+    // Local join-aggregate: per server, hash the (broadcast) small side by
+    // B, then stream the big side.
+    let small_b = small.positions_of(&[m.b])[0];
+    let small_out = small.positions_of(&[if small_is_r1 { m.a } else { m.c }])[0];
+    let big_b = big.positions_of(&[m.b])[0];
+    let big_out = big.positions_of(&[if small_is_r1 { m.c } else { m.a }])[0];
+
+    let data = big_grouped.map_local(|server, local| {
+        let mut by_b: HashMap<u64, Vec<(u64, S)>> = HashMap::new();
+        for (row, s) in small_everywhere.data().local(server) {
+            by_b
+                .entry(row[small_b])
+                .or_default()
+                .push((row[small_out], s.clone()));
+        }
+        let mut agg: HashMap<Row, S> = HashMap::new();
+        for (row, s) in local {
+            if let Some(matches) = by_b.get(&row[big_b]) {
+                for (small_val, small_s) in matches {
+                    let (a_val, c_val) = if small_is_r1 {
+                        (*small_val, row[big_out])
+                    } else {
+                        (row[big_out], *small_val)
+                    };
+                    let annot = small_s.mul(&s);
+                    match agg.get_mut(&vec![a_val, c_val] as &Row) {
+                        Some(acc) => acc.add_assign(&annot),
+                        None => {
+                            agg.insert(vec![a_val, c_val], annot);
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(Row, S)> = agg.into_iter().collect();
+        out.sort_by(|(r1, _), (r2, _)| r1.cmp(r2));
+        out
+    });
+
+    DistRelation::from_distributed(m.out_schema(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_relation::{Attr, Relation};
+    use mpcjoin_semiring::Count;
+
+    const A: Attr = Attr(0);
+    const B: Attr = Attr(1);
+    const C: Attr = Attr(2);
+
+    #[test]
+    fn tiny_r1_against_big_r2() {
+        let mut cluster = Cluster::new(8);
+        // N1 = 3, N2 = 400 > 8·3.
+        let r1: Relation<Count> = Relation::binary_ones(A, B, [(1, 0), (1, 1), (2, 0)]);
+        let r2: Relation<Count> =
+            Relation::binary_ones(B, C, (0..400).map(|i| (i % 3, i)));
+        let d1 = DistRelation::scatter(&cluster, &r1);
+        let d2 = DistRelation::scatter(&cluster, &r2);
+        assert!(is_skewed(&d1, &d2, 8));
+        let got = skewed_matmul(&mut cluster, &d1, &d2);
+        let expect = r1.join_aggregate(&r2, &[A, C]);
+        assert!(got.gather().semantically_eq(&expect));
+        // Linear-ish load: O((N1 + N2)/p) with primitive overheads.
+        assert!(cluster.report().load <= 4 * (403 / 8 + 8 * 8) as u64);
+    }
+
+    #[test]
+    fn tiny_r2_against_big_r1() {
+        let mut cluster = Cluster::new(8);
+        let r1: Relation<Count> =
+            Relation::binary_ones(A, B, (0..300).map(|i| (i, i % 2)));
+        let r2: Relation<Count> = Relation::binary_ones(B, C, [(0, 9), (1, 9)]);
+        let d1 = DistRelation::scatter(&cluster, &r1);
+        let d2 = DistRelation::scatter(&cluster, &r2);
+        assert!(is_skewed(&d1, &d2, 8));
+        let got = skewed_matmul(&mut cluster, &d1, &d2);
+        let expect = r1.join_aggregate(&r2, &[A, C]);
+        assert!(got.gather().semantically_eq(&expect));
+    }
+
+    #[test]
+    fn not_skewed_is_rejected() {
+        let cluster = Cluster::new(4);
+        let r1: Relation<Count> = Relation::binary_ones(A, B, (0..40).map(|i| (i, i)));
+        let r2: Relation<Count> = Relation::binary_ones(B, C, (0..40).map(|i| (i, i)));
+        let d1 = DistRelation::scatter(&cluster, &r1);
+        let d2 = DistRelation::scatter(&cluster, &r2);
+        assert!(!is_skewed(&d1, &d2, 4));
+    }
+}

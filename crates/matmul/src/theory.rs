@@ -1,0 +1,101 @@
+//! The closed-form load bounds of Table 1 and Theorems 1–3, used by the
+//! benchmark harness to print "paper bound" columns next to measured
+//! loads, and by tests to sanity-check measured loads against the theory.
+
+/// Load of the distributed Yannakakis baseline on matrix multiplication:
+/// `O(N/p + N·√OUT / p)` (Table 1, first row, left column).
+pub fn yannakakis_mm_bound(n: u64, out: u64, p: u64) -> f64 {
+    let (n, out, p) = (n as f64, out as f64, p as f64);
+    n / p + n * out.sqrt() / p
+}
+
+/// Load of the paper's matrix multiplication algorithm (Theorem 1):
+/// `O((N1+N2)/p + min{ √(N1N2)/p̂, (N1N2OUT)^{1/3}/p^{2/3} })`
+/// where the first min-term uses `√p`-scaling via `√(N1N2/p)`.
+pub fn new_mm_bound(n1: u64, n2: u64, out: u64, p: u64) -> f64 {
+    let (n1, n2, out, p) = (n1 as f64, n2 as f64, out as f64, p as f64);
+    let worst_case = (n1 * n2 / p).sqrt();
+    let output_sensitive = (n1 * n2 * out).cbrt() / p.powf(2.0 / 3.0);
+    (n1 + n2) / p + worst_case.min(output_sensitive)
+}
+
+/// The Theorem 3 lower bound:
+/// `Ω(min{ √(N1N2/p), (N1N2OUT)^{1/3}/p^{2/3} })`.
+pub fn mm_lower_bound(n1: u64, n2: u64, out: u64, p: u64) -> f64 {
+    let (n1, n2, out, p) = (n1 as f64, n2 as f64, out as f64, p as f64);
+    ((n1 * n2 / p).sqrt()).min((n1 * n2 * out).cbrt() / p.powf(2.0 / 3.0))
+}
+
+/// Yannakakis baseline on star queries with `n` relations:
+/// `O(N/p + N·OUT^{1−1/n}/p)` (Table 1).
+pub fn yannakakis_star_bound(n_input: u64, out: u64, p: u64, n_rels: u32) -> f64 {
+    let (n, out, p) = (n_input as f64, out as f64, p as f64);
+    n / p + n * out.powf(1.0 - 1.0 / n_rels as f64) / p
+}
+
+/// Yannakakis baseline on line (and general tree) queries:
+/// `O(N/p + N·OUT/p)` (Table 1).
+pub fn yannakakis_line_bound(n_input: u64, out: u64, p: u64) -> f64 {
+    let (n, out, p) = (n_input as f64, out as f64, p as f64);
+    n / p + n * out / p
+}
+
+/// The paper's star/line bound (Table 1, shared row):
+/// `O((N·OUT/p)^{2/3} + N·OUT^{1/2}/p + (N+OUT)/p)`.
+pub fn new_star_line_bound(n_input: u64, out: u64, p: u64) -> f64 {
+    let (n, out, p) = (n_input as f64, out as f64, p as f64);
+    (n * out / p).powf(2.0 / 3.0) + n * out.sqrt() / p + (n + out) / p
+}
+
+/// The paper's tree bound (Table 1, last row):
+/// `O(N·OUT^{2/3}/p + (N+OUT)/p)`.
+pub fn new_tree_bound(n_input: u64, out: u64, p: u64) -> f64 {
+    let (n, out, p) = (n_input as f64, out as f64, p as f64);
+    n * out.powf(2.0 / 3.0) / p + (n + out) / p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_mm_beats_yannakakis_for_large_out() {
+        let (n, p) = (1 << 16, 64);
+        for out in [1u64 << 8, 1 << 12, 1 << 16, 1 << 20] {
+            assert!(
+                new_mm_bound(n, n, out, p) <= yannakakis_mm_bound(n, out, p),
+                "new bound must not exceed baseline at OUT={out}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_term_crossover() {
+        // For small OUT the output-sensitive term wins; for OUT near
+        // N1N2 the worst-case term wins.
+        let (n, p) = (1u64 << 14, 64);
+        let small = new_mm_bound(n, n, n, p);
+        let wc = ((n as f64) * (n as f64) / p as f64).sqrt();
+        assert!(small < wc);
+        let huge = new_mm_bound(n, n, n * n, p);
+        assert!((huge - (n as f64 + n as f64) / p as f64 - wc).abs() / wc < 1e-9);
+    }
+
+    #[test]
+    fn lower_bound_below_upper_bound() {
+        for (n1, n2, out, p) in [
+            (1u64 << 10, 1u64 << 14, 1u64 << 16, 64u64),
+            (1 << 12, 1 << 12, 1 << 20, 256),
+        ] {
+            assert!(mm_lower_bound(n1, n2, out, p) <= new_mm_bound(n1, n2, out, p) + 1.0);
+        }
+    }
+
+    #[test]
+    fn tree_bound_beats_baseline() {
+        let (n, p) = (1u64 << 14, 64);
+        for out in [1u64 << 6, 1 << 10, 1 << 14] {
+            assert!(new_tree_bound(n, out, p) <= yannakakis_line_bound(n, out, p));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! The trivial cases of §1.5: `N1 = 1` or `N2 = 1`.
+//!
+//! Broadcasting the one-tuple side costs `O(1)` load; every `(a, c)`
+//! output pair then has a unique witnessing `b`, so no semiring addition
+//! is needed and each server finishes locally on its share of the big
+//! side. Results are disjoint across servers because input relations are
+//! sets (no duplicate `(b, c)` tuples).
+
+use crate::problem::MatMulAttrs;
+use mpcjoin_mpc::{Cluster, DistRelation, Distributed};
+use mpcjoin_relation::Row;
+use mpcjoin_semiring::Semiring;
+
+/// Whether the trivial algorithm applies.
+pub fn is_trivial<S: Semiring>(r1: &DistRelation<S>, r2: &DistRelation<S>) -> bool {
+    r1.total_len() <= 1 || r2.total_len() <= 1
+}
+
+/// Compute `∑_B R1 ⋈ R2` when one side has at most one tuple.
+pub fn trivial_matmul<S: Semiring>(
+    cluster: &mut Cluster,
+    r1: &DistRelation<S>,
+    r2: &DistRelation<S>,
+) -> DistRelation<S> {
+    let m = MatMulAttrs::infer(r1, r2);
+    assert!(is_trivial(r1, r2), "trivial algorithm needs a 1-tuple side");
+    let (tiny, big, tiny_is_r1) = if r1.total_len() <= 1 {
+        (r1, r2, true)
+    } else {
+        (r2, r1, false)
+    };
+
+    let everywhere = tiny.broadcast(cluster);
+    let tiny_pos_b = tiny.positions_of(&[m.b])[0];
+    let tiny_pos_out = tiny.positions_of(&[if tiny_is_r1 { m.a } else { m.c }])[0];
+    let big_pos_b = big.positions_of(&[m.b])[0];
+    let big_pos_out = big.positions_of(&[if tiny_is_r1 { m.c } else { m.a }])[0];
+
+    let out = big.data().clone().map_local(|server, local| {
+        let small: &Vec<(Row, S)> = everywhere.data().local(server);
+        let mut results = Vec::new();
+        for (row, s) in local {
+            for (trow, ts) in small {
+                if trow[tiny_pos_b] == row[big_pos_b] {
+                    // Output row in (A, C) order.
+                    let (a_val, c_val) = if tiny_is_r1 {
+                        (trow[tiny_pos_out], row[big_pos_out])
+                    } else {
+                        (row[big_pos_out], trow[tiny_pos_out])
+                    };
+                    results.push((vec![a_val, c_val], ts.mul(&s)));
+                }
+            }
+        }
+        results
+    });
+    DistRelation::from_distributed(m.out_schema(), Distributed::from_parts(out.into_parts()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_relation::{Attr, Relation};
+    use mpcjoin_semiring::Count;
+
+    const A: Attr = Attr(0);
+    const B: Attr = Attr(1);
+    const C: Attr = Attr(2);
+
+    #[test]
+    fn one_row_matrix_times_big_matrix() {
+        let mut cluster = Cluster::new(4);
+        let r1: Relation<Count> = Relation::binary_ones(A, B, [(7, 3)]);
+        let r2: Relation<Count> =
+            Relation::binary_ones(B, C, (0..100).map(|i| (i % 5, i)));
+        let d1 = DistRelation::scatter(&cluster, &r1);
+        let d2 = DistRelation::scatter(&cluster, &r2);
+        let got = trivial_matmul(&mut cluster, &d1, &d2);
+        let expect = r1.join_aggregate(&r2, &[A, C]);
+        assert!(got.gather().semantically_eq(&expect));
+        // Load is O(1): just the broadcast of the single tuple.
+        assert_eq!(cluster.report().load, 1);
+    }
+
+    #[test]
+    fn tiny_right_side() {
+        let mut cluster = Cluster::new(4);
+        let r1: Relation<Count> =
+            Relation::binary_ones(A, B, (0..50).map(|i| (i, i % 7)));
+        let r2: Relation<Count> = Relation::binary_ones(B, C, [(3, 42)]);
+        let d1 = DistRelation::scatter(&cluster, &r1);
+        let d2 = DistRelation::scatter(&cluster, &r2);
+        let got = trivial_matmul(&mut cluster, &d1, &d2);
+        let expect = r1.join_aggregate(&r2, &[A, C]);
+        assert!(got.gather().semantically_eq(&expect));
+    }
+
+    #[test]
+    fn empty_tiny_side() {
+        let mut cluster = Cluster::new(2);
+        let r1: Relation<Count> = Relation::binary_ones(A, B, []);
+        let r2: Relation<Count> = Relation::binary_ones(B, C, [(1, 2)]);
+        let d1 = DistRelation::scatter(&cluster, &r1);
+        let d2 = DistRelation::scatter(&cluster, &r2);
+        let got = trivial_matmul(&mut cluster, &d1, &d2);
+        assert!(got.is_empty());
+    }
+}

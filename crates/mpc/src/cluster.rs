@@ -1,0 +1,378 @@
+//! The simulated MPC cluster.
+
+use crate::cost::{CostReport, CostTracker, SharedTracker};
+
+/// Data distributed across the servers of one [`Cluster`]: `data[i]` is the
+/// local state of logical server `i`.
+///
+/// `Distributed` values are plain vectors — local computation (mapping,
+/// sorting, joining in place) is free in the MPC cost model and is done by
+/// ordinary Rust code over `data[i]`. The only way data *moves between
+/// servers* is [`Cluster::exchange`], which is costed.
+#[derive(Clone, Debug)]
+pub struct Distributed<T> {
+    data: Vec<Vec<T>>,
+}
+
+impl<T> Distributed<T> {
+    /// Per-server empty state for a cluster of `p` servers.
+    pub fn empty(p: usize) -> Self {
+        Distributed {
+            data: (0..p).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Wrap existing per-server vectors.
+    pub fn from_parts(data: Vec<Vec<T>>) -> Self {
+        Distributed { data }
+    }
+
+    /// Number of logical servers.
+    pub fn servers(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Local state of server `i`.
+    pub fn local(&self, i: usize) -> &Vec<T> {
+        &self.data[i]
+    }
+
+    /// Mutable local state of server `i`.
+    pub fn local_mut(&mut self, i: usize) -> &mut Vec<T> {
+        &mut self.data[i]
+    }
+
+    /// Iterate `(server, local state)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Vec<T>)> {
+        self.data.iter().enumerate()
+    }
+
+    /// Total items across all servers.
+    pub fn total_len(&self) -> usize {
+        self.data.iter().map(Vec::len).sum()
+    }
+
+    /// Max items on any single server (a storage skew diagnostic).
+    pub fn max_local_len(&self) -> usize {
+        self.data.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Apply `f` to every item locally (free: no communication).
+    pub fn map<U>(self, mut f: impl FnMut(T) -> U) -> Distributed<U> {
+        Distributed {
+            data: self
+                .data
+                .into_iter()
+                .map(|v| v.into_iter().map(&mut f).collect())
+                .collect(),
+        }
+    }
+
+    /// Apply a per-server transformation locally (free).
+    pub fn map_local<U>(self, mut f: impl FnMut(usize, Vec<T>) -> Vec<U>) -> Distributed<U> {
+        Distributed {
+            data: self
+                .data
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| f(i, v))
+                .collect(),
+        }
+    }
+
+    /// Collect every item into one vector, in server order.
+    ///
+    /// **Inspection only** — this models the experimenter reading results
+    /// off the cluster, not a cluster operation, and is therefore uncosted.
+    /// Algorithms must never use it to move data.
+    pub fn collect_all(self) -> Vec<T> {
+        self.data.into_iter().flatten().collect()
+    }
+
+    /// Consume into per-server vectors.
+    pub fn into_parts(self) -> Vec<Vec<T>> {
+        self.data
+    }
+
+    /// Re-index a sub-cluster's local data into its parent's logical space:
+    /// child server `j` corresponds to parent server `(base + j) % parent_p`
+    /// (the layout [`Cluster::split`] uses). Wrapped slots concatenate.
+    /// Purely a view change — no communication.
+    pub fn reindexed(self, parent_p: usize, base: usize) -> Distributed<T> {
+        let mut parts: Vec<Vec<T>> = (0..parent_p).map(|_| Vec::new()).collect();
+        for (j, local) in self.data.into_iter().enumerate() {
+            parts[(base + j) % parent_p].extend(local);
+        }
+        Distributed { data: parts }
+    }
+}
+
+/// A (sub-)cluster of `p` logical servers bound to a shared cost ledger and
+/// a global round timeline.
+///
+/// The top-level cluster is created with [`Cluster::new`]; the paper's
+/// "allocate `p_i` servers to subproblem `i`, all running in parallel"
+/// steps are modelled with [`Cluster::split`] / [`Cluster::join_parallel`]:
+/// children execute one after another in simulation, but their exchanges
+/// are credited on the *same* round timeline starting at the parent's
+/// cursor, so the measured load is exactly that of a parallel execution.
+///
+/// Logical servers map onto physical servers `0..p_total`; when callers
+/// allocate more logical servers than exist physically (the paper's
+/// analyses allocate `c·p` for small constants `c`), the mapping wraps
+/// around and the overlapping loads add up — keeping constant-factor
+/// oversubscription visible in the measurements instead of hiding it.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    /// Physical server id of each logical server.
+    phys: Vec<usize>,
+    /// Current round cursor on the global timeline.
+    round: u64,
+    tracker: SharedTracker,
+}
+
+impl Cluster {
+    /// A fresh top-level cluster of `p ≥ 1` physical servers.
+    pub fn new(p: usize) -> Self {
+        assert!(p >= 1, "a cluster needs at least one server");
+        Cluster {
+            phys: (0..p).collect(),
+            round: 0,
+            tracker: CostTracker::shared(),
+        }
+    }
+
+    /// Number of logical servers in this (sub-)cluster.
+    pub fn p(&self) -> usize {
+        self.phys.len()
+    }
+
+    /// Current round cursor.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Snapshot of the whole run's cost (shared across sub-clusters).
+    pub fn report(&self) -> CostReport {
+        self.tracker.borrow().report()
+    }
+
+    /// Open a labeled cost phase at the current round; subsequent traffic
+    /// is attributed to it until the next mark. See
+    /// [`Cluster::phase_reports`].
+    pub fn mark_phase(&mut self, label: &str) {
+        self.tracker.borrow_mut().mark_phase(self.round, label);
+    }
+
+    /// Per-phase cost summaries for the whole run (labels from
+    /// [`Cluster::mark_phase`]).
+    pub fn phase_reports(&self) -> Vec<(String, CostReport)> {
+        self.tracker.borrow().phase_reports()
+    }
+
+    /// The exchange: deliver `outboxes[src] = [(dest, item), …]` and charge
+    /// each destination for what it receives. Consumes one round.
+    ///
+    /// `dest` is a logical server index in this cluster. Items are
+    /// delivered in `(src, position)` order, making simulations fully
+    /// deterministic.
+    pub fn exchange<T>(&mut self, outboxes: Vec<Vec<(usize, T)>>) -> Distributed<T> {
+        assert_eq!(
+            outboxes.len(),
+            self.p(),
+            "one outbox per logical server required"
+        );
+        let mut inboxes: Vec<Vec<T>> = (0..self.p()).map(|_| Vec::new()).collect();
+        {
+            let mut tracker = self.tracker.borrow_mut();
+            for outbox in outboxes {
+                for (dest, item) in outbox {
+                    assert!(dest < self.p(), "destination {dest} out of range");
+                    tracker.credit(self.phys[dest], self.round, 1);
+                    inboxes[dest].push(item);
+                }
+            }
+        }
+        self.round += 1;
+        Distributed::from_parts(inboxes)
+    }
+
+    /// Deliver every item of every server to **all** servers (used for the
+    /// paper's "broadcast R1 to all servers" steps on tiny relations).
+    /// Each server pays the full item count. Consumes one round.
+    pub fn broadcast<T: Clone>(&mut self, data: &Distributed<T>) -> Distributed<T> {
+        let items: Vec<T> = data.iter().flat_map(|(_, v)| v.iter().cloned()).collect();
+        let units = items.len() as u64;
+        {
+            let mut tracker = self.tracker.borrow_mut();
+            for dest in 0..self.p() {
+                tracker.credit(self.phys[dest], self.round, units);
+            }
+        }
+        self.round += 1;
+        Distributed::from_parts((0..self.p()).map(|_| items.clone()).collect())
+    }
+
+    /// Initial placement of input data: round-robin, `⌈n/p⌉` per server.
+    ///
+    /// Models §1.3's "data is initially distributed across `p` servers with
+    /// each server holding `N/p` tuples"; it is the *starting state*, not a
+    /// cluster operation, and is uncosted.
+    pub fn scatter_initial<T>(&self, items: Vec<T>) -> Distributed<T> {
+        let mut data: Vec<Vec<T>> = (0..self.p()).map(|_| Vec::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            data[i % self.p()].push(item);
+        }
+        Distributed::from_parts(data)
+    }
+
+    /// Place each item on the chosen logical server without cost.
+    ///
+    /// **For adversarial test setups only** (e.g. the lower-bound instances
+    /// of Theorems 2–3 prescribe an initial distribution); algorithms must
+    /// use [`Cluster::exchange`] to move data.
+    pub fn place_initial<T>(&self, items: Vec<(usize, T)>) -> Distributed<T> {
+        let mut data: Vec<Vec<T>> = (0..self.p()).map(|_| Vec::new()).collect();
+        for (dest, item) in items {
+            data[dest % self.p()].push(item);
+        }
+        Distributed::from_parts(data)
+    }
+
+    /// Carve the cluster into sub-clusters of the given sizes, all starting
+    /// at this cluster's round cursor and sharing its ledger.
+    ///
+    /// Logical slots are dealt out contiguously and wrap around the
+    /// physical servers modulo `p` when `sizes` sums past `p` (honest
+    /// oversubscription, see the type-level docs).
+    pub fn split(&self, sizes: &[usize]) -> Vec<Cluster> {
+        self.split_with_offsets(sizes).0
+    }
+
+    /// [`Cluster::split`], additionally returning each child's base offset
+    /// in this cluster's logical server space — children occupy logical
+    /// servers `(offset + j) % p` for `j < size`, which parent-level
+    /// exchanges can target directly.
+    pub fn split_with_offsets(&self, sizes: &[usize]) -> (Vec<Cluster>, Vec<usize>) {
+        let mut out = Vec::with_capacity(sizes.len());
+        let mut offsets = Vec::with_capacity(sizes.len());
+        let mut offset = 0usize;
+        for &size in sizes {
+            assert!(size >= 1, "sub-cluster must have at least one server");
+            let phys = (0..size)
+                .map(|j| self.phys[(offset + j) % self.phys.len()])
+                .collect();
+            out.push(Cluster {
+                phys,
+                round: self.round,
+                tracker: self.tracker.clone(),
+            });
+            offsets.push(offset);
+            offset += size;
+        }
+        (out, offsets)
+    }
+
+    /// Re-synchronize after parallel sub-cluster work: advance this
+    /// cluster's cursor to the furthest round any child consumed.
+    pub fn join_parallel(&mut self, children: &[Cluster]) {
+        for c in children {
+            self.round = self.round.max(c.round);
+        }
+    }
+
+    /// Advance the cursor by `n` rounds without traffic (used to keep
+    /// conditional branches round-aligned when required).
+    pub fn skip_rounds(&mut self, n: u64) {
+        self.round += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_routes_and_charges() {
+        let mut c = Cluster::new(3);
+        // Server 0 sends two items to server 2; server 1 sends one to 0.
+        let out = vec![vec![(2, "a"), (2, "b")], vec![(0, "c")], vec![]];
+        let d = c.exchange(out);
+        assert_eq!(d.local(2), &vec!["a", "b"]);
+        assert_eq!(d.local(0), &vec!["c"]);
+        let r = c.report();
+        assert_eq!(r.load, 2);
+        assert_eq!(r.rounds, 1);
+        assert_eq!(r.total_units, 3);
+    }
+
+    #[test]
+    fn broadcast_charges_every_server() {
+        let mut c = Cluster::new(4);
+        let d = c.scatter_initial(vec![1, 2, 3]);
+        let b = c.broadcast(&d);
+        for i in 0..4 {
+            assert_eq!(b.local(i), &vec![1, 2, 3]);
+        }
+        assert_eq!(c.report().load, 3);
+        assert_eq!(c.report().total_units, 12);
+    }
+
+    #[test]
+    fn scatter_initial_is_balanced_and_free() {
+        let c = Cluster::new(4);
+        let d = c.scatter_initial((0..10).collect::<Vec<_>>());
+        assert_eq!(d.max_local_len(), 3);
+        assert_eq!(d.total_len(), 10);
+        assert_eq!(c.report().total_units, 0);
+    }
+
+    #[test]
+    fn split_shares_timeline_and_ledger() {
+        let mut parent = Cluster::new(4);
+        let mut children = parent.split(&[2, 2]);
+        // Both children exchange once, in "parallel": loads land on the
+        // same global round, on disjoint physical servers.
+        for child in &mut children {
+            let out = vec![vec![(0, 1u32)], vec![(0, 2u32)]];
+            let _ = child.exchange(out);
+        }
+        parent.join_parallel(&children);
+        assert_eq!(parent.round(), 1);
+        let r = parent.report();
+        assert_eq!(r.rounds, 1);
+        assert_eq!(r.load, 2); // two items into each child's server 0
+        assert_eq!(r.total_units, 4);
+    }
+
+    #[test]
+    fn oversubscription_wraps_and_stacks_load() {
+        let mut parent = Cluster::new(2);
+        // Four sub-clusters of one server each on two physical servers.
+        let mut children = parent.split(&[1, 1, 1, 1]);
+        for child in &mut children {
+            let out = vec![vec![(0, ())]];
+            let _ = child.exchange(out);
+        }
+        parent.join_parallel(&children);
+        // Children 0 and 2 share physical server 0; load stacks to 2.
+        assert_eq!(parent.report().load, 2);
+    }
+
+    #[test]
+    fn rounds_advance_monotonically() {
+        let mut c = Cluster::new(2);
+        let _ = c.exchange(vec![vec![(0, ())], vec![]]);
+        let _ = c.exchange(vec![vec![(1, ())], vec![]]);
+        assert_eq!(c.round(), 2);
+        assert_eq!(c.report().rounds, 2);
+        assert_eq!(c.report().load, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn exchange_rejects_bad_destination() {
+        let mut c = Cluster::new(2);
+        let _ = c.exchange(vec![vec![(5, ())], vec![]]);
+    }
+}

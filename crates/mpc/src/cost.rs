@@ -1,0 +1,211 @@
+//! Cost accounting for the MPC model.
+//!
+//! §1.3 of the paper defines the complexity of an MPC algorithm by two
+//! numbers: the number of synchronous *rounds*, and the *load* `L` — the
+//! maximum message volume **received** by any server in any round, where
+//! one tuple, one semiring element, or one `O(log N)`-bit integer costs one
+//! unit. Outgoing volume is deliberately uncounted (it does not correlate
+//! with local memory/computation the way incoming volume does).
+//!
+//! [`CostTracker`] is the single ledger for a simulation: every
+//! [`crate::Cluster::exchange`] credits incoming units to a
+//! `(physical server, round)` cell, and [`CostReport`] summarizes the run.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Mutable ledger of received units per `(physical server, global round)`.
+#[derive(Debug, Default)]
+pub struct CostTracker {
+    cells: HashMap<(usize, u64), u64>,
+    max_round_used: u64,
+    total_units: u64,
+    /// Labeled phase boundaries: `(first round of the phase, label)`.
+    phases: Vec<(u64, String)>,
+}
+
+/// Shared handle to a [`CostTracker`]; clusters and their sub-clusters all
+/// write to the same ledger so that logically-parallel work is accounted on
+/// the same round timeline.
+pub type SharedTracker = Rc<RefCell<CostTracker>>;
+
+impl CostTracker {
+    /// A fresh ledger wrapped for sharing.
+    pub fn shared() -> SharedTracker {
+        Rc::new(RefCell::new(CostTracker::default()))
+    }
+
+    /// Credit `units` received by `server` during `round`.
+    pub fn credit(&mut self, server: usize, round: u64, units: u64) {
+        if units == 0 {
+            return;
+        }
+        *self.cells.entry((server, round)).or_insert(0) += units;
+        self.total_units += units;
+        self.max_round_used = self.max_round_used.max(round + 1);
+    }
+
+    /// Maximum units received by any server in any single round — the load
+    /// `L` of the run so far.
+    pub fn max_load(&self) -> u64 {
+        self.cells.values().copied().max().unwrap_or(0)
+    }
+
+    /// Number of rounds in which at least one message was delivered.
+    pub fn rounds_used(&self) -> u64 {
+        self.max_round_used
+    }
+
+    /// Total units delivered across all servers and rounds.
+    pub fn total_units(&self) -> u64 {
+        self.total_units
+    }
+
+    /// Units received by `server` summed over all rounds (a per-server
+    /// footprint; useful for skew diagnostics).
+    pub fn server_total(&self, server: usize) -> u64 {
+        self.cells
+            .iter()
+            .filter(|((s, _), _)| *s == server)
+            .map(|(_, u)| *u)
+            .sum()
+    }
+
+    /// Immutable summary of the run.
+    pub fn report(&self) -> CostReport {
+        CostReport {
+            load: self.max_load(),
+            rounds: self.rounds_used(),
+            total_units: self.total_units(),
+        }
+    }
+
+    /// Open a labeled phase starting at `round`; the previous phase (if
+    /// any) ends here.
+    pub fn mark_phase(&mut self, round: u64, label: &str) {
+        self.phases.push((round, label.to_string()));
+    }
+
+    /// Per-phase summaries: for each labeled phase, the load / rounds /
+    /// traffic of the half-open round span it covers. Rounds before the
+    /// first mark are reported under `"(preamble)"` when they carry
+    /// traffic.
+    pub fn phase_reports(&self) -> Vec<(String, CostReport)> {
+        let mut spans: Vec<(u64, u64, String)> = Vec::new();
+        if let Some((first, _)) = self.phases.first() {
+            if *first > 0 {
+                spans.push((0, *first, "(preamble)".to_string()));
+            }
+        }
+        for (i, (start, label)) in self.phases.iter().enumerate() {
+            let end = self
+                .phases
+                .get(i + 1)
+                .map_or(self.max_round_used, |(next, _)| *next);
+            spans.push((*start, end.max(*start), label.clone()));
+        }
+        spans
+            .into_iter()
+            .map(|(start, end, label)| {
+                let mut load = 0u64;
+                let mut total = 0u64;
+                for ((_, round), units) in &self.cells {
+                    if *round >= start && *round < end {
+                        load = load.max(*units);
+                        total += units;
+                    }
+                }
+                (
+                    label,
+                    CostReport {
+                        load,
+                        rounds: end - start,
+                        total_units: total,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// Summary of a finished (or in-progress) MPC execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostReport {
+    /// The load `L`: max units received by any server in any round.
+    pub load: u64,
+    /// Rounds with at least one delivery.
+    pub rounds: u64,
+    /// Total units delivered.
+    pub total_units: u64,
+}
+
+impl std::fmt::Display for CostReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "load={} rounds={} total={}",
+            self.load, self.rounds, self.total_units
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credits_accumulate_per_cell() {
+        let mut t = CostTracker::default();
+        t.credit(0, 0, 5);
+        t.credit(0, 0, 3);
+        t.credit(1, 0, 7);
+        t.credit(0, 1, 2);
+        assert_eq!(t.max_load(), 8);
+        assert_eq!(t.rounds_used(), 2);
+        assert_eq!(t.total_units(), 17);
+        assert_eq!(t.server_total(0), 10);
+    }
+
+    #[test]
+    fn zero_credit_is_free() {
+        let mut t = CostTracker::default();
+        t.credit(3, 9, 0);
+        assert_eq!(t.max_load(), 0);
+        assert_eq!(t.rounds_used(), 0);
+    }
+
+    #[test]
+    fn phase_reports_partition_the_timeline() {
+        let mut t = CostTracker::default();
+        t.credit(0, 0, 2); // preamble
+        t.mark_phase(1, "join");
+        t.credit(0, 1, 5);
+        t.credit(1, 2, 9);
+        t.mark_phase(3, "aggregate");
+        t.credit(0, 3, 4);
+        let phases = t.phase_reports();
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases[0].0, "(preamble)");
+        assert_eq!(phases[0].1.load, 2);
+        assert_eq!(phases[1].0, "join");
+        assert_eq!(phases[1].1.load, 9);
+        assert_eq!(phases[1].1.total_units, 14);
+        assert_eq!(phases[2].0, "aggregate");
+        assert_eq!(phases[2].1.load, 4);
+        // Totals across phases cover everything.
+        let sum: u64 = phases.iter().map(|(_, r)| r.total_units).sum();
+        assert_eq!(sum, t.total_units());
+    }
+
+    #[test]
+    fn report_snapshot() {
+        let mut t = CostTracker::default();
+        t.credit(0, 0, 4);
+        let r = t.report();
+        assert_eq!(r.load, 4);
+        assert_eq!(r.rounds, 1);
+        assert_eq!(r.total_units, 4);
+        assert_eq!(r.to_string(), "load=4 rounds=1 total=4");
+    }
+}

@@ -1,0 +1,99 @@
+//! Deterministic hashing for routing and sketching.
+//!
+//! `std`'s default hasher is randomly seeded per process, which would make
+//! simulated runs non-reproducible (routing decisions, and therefore exact
+//! loads, would vary run to run). All routing in this workspace goes
+//! through the stable FNV-1a hasher below, optionally post-mixed with a
+//! caller-supplied seed (the KMV estimator needs a *family* of independent
+//! hash functions).
+
+use std::hash::{Hash, Hasher};
+
+/// FNV-1a, 64-bit: tiny, portable, deterministic.
+#[derive(Clone, Debug)]
+pub struct StableHasher(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher(FNV_OFFSET)
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Stable 64-bit hash of any `Hash` value.
+pub fn stable_hash<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = StableHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// SplitMix64 finalizer: a strong bijective mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Member `seed` of a family of independent-enough hash functions, applied
+/// to `value`. Different seeds give (empirically) uncorrelated outputs;
+/// used by the KMV sketch's `O(log N)` parallel estimator instances.
+pub fn seeded_hash<T: Hash + ?Sized>(seed: u64, value: &T) -> u64 {
+    splitmix64(stable_hash(value) ^ splitmix64(seed))
+}
+
+/// Route a key to one of `p` partitions, deterministically.
+pub fn partition_of<T: Hash + ?Sized>(value: &T, p: usize) -> usize {
+    debug_assert!(p > 0);
+    // Multiply-shift avoids modulo bias on small p.
+    ((u128::from(stable_hash(value)) * p as u128) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(stable_hash(&vec![1u64, 2, 3]), stable_hash(&vec![1u64, 2, 3]));
+        assert_ne!(stable_hash(&1u64), stable_hash(&2u64));
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let a = seeded_hash(1, &42u64);
+        let b = seeded_hash(2, &42u64);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn partition_in_range_and_spread() {
+        let p = 7;
+        let mut seen = vec![0usize; p];
+        for i in 0..10_000u64 {
+            let part = partition_of(&i, p);
+            assert!(part < p);
+            seen[part] += 1;
+        }
+        // Roughly uniform: every partition within 2x of the mean.
+        for &count in &seen {
+            assert!(count > 10_000 / p / 2, "partition badly unbalanced: {seen:?}");
+            assert!(count < 10_000 / p * 2, "partition badly unbalanced: {seen:?}");
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! The worst-case optimal MPC two-way join (Beame–Koutris–Suciu '14 /
+//! Hu–Tao–Yi '17), cited by the paper (§1.4) as the binary-join building
+//! block of the distributed Yannakakis algorithm.
+//!
+//! For `R1 ⋈ R2` with `N = |R1| + |R2|` and full-join size `OUT_f`, the
+//! load is `O(N/p + √(OUT_f/p))`:
+//!
+//! * keys producing more than `OUT_f/p` results, or with degree above the
+//!   target load, are *heavy*: each gets a dedicated `g1 × g2` server grid,
+//!   `R1` rows replicated across columns and `R2` rows across grid rows, so
+//!   every grid cell receives `O(√(OUT_f/p))` tuples from each side;
+//! * the remaining *light* keys are parallel-packed into groups of total
+//!   degree `O(L)` and each group is joined on one server.
+//!
+//! Every matching pair `(t1, t2)` meets on exactly one server, so the join
+//! is duplicate-free by construction — which the non-idempotent semiring
+//! tests verify end to end.
+
+use crate::cluster::{Cluster, Distributed};
+use crate::drel::{project, DistRelation};
+use crate::hash::stable_hash;
+use crate::primitives::reduce::{global_sum, reduce_by_key};
+use crate::primitives::scan::parallel_packing;
+use crate::primitives::search::lookup_exact;
+use mpcjoin_relation::Row;
+use mpcjoin_semiring::Semiring;
+use std::collections::HashMap;
+
+/// Where tuples of one join key must be sent.
+#[derive(Clone, Debug)]
+enum Route {
+    /// Dedicated grid at logical servers `base .. base + g1·g2`.
+    Heavy { base: usize, g1: usize, g2: usize },
+    /// All tuples of this key go to one packed-group server.
+    Light { server: usize },
+}
+
+/// Materialize the full join `r1 ⋈ r2` on their common attributes.
+///
+/// The output is left distributed as produced (each server holds the
+/// results it generated); downstream exchanges rebalance for free since
+/// the MPC model only charges incoming traffic.
+pub fn full_join<S: Semiring>(
+    cluster: &mut Cluster,
+    r1: &DistRelation<S>,
+    r2: &DistRelation<S>,
+) -> DistRelation<S> {
+    let common = r1.schema().common(r2.schema());
+    assert!(
+        !common.is_empty(),
+        "two-way join requires shared attributes (got {} ⋈ {})",
+        r1.schema(),
+        r2.schema()
+    );
+    let out_schema = r1.schema().join_schema(r2.schema());
+    let p = cluster.p();
+    let n = (r1.total_len() + r2.total_len()) as u64;
+
+    let key1 = r1.positions_of(&common);
+    let key2 = r2.positions_of(&common);
+
+    // --- Per-key degree statistics (1 round). ---
+    let mut stat_pairs: Vec<Vec<(Row, (u64, u64))>> = (0..p).map(|_| Vec::new()).collect();
+    for (i, local) in r1.data().iter() {
+        stat_pairs[i].extend(local.iter().map(|(row, _)| (project(row, &key1), (1u64, 0u64))));
+    }
+    for (i, local) in r2.data().iter() {
+        stat_pairs[i].extend(local.iter().map(|(row, _)| (project(row, &key2), (0u64, 1u64))));
+    }
+    let stats = reduce_by_key(
+        cluster,
+        Distributed::from_parts(stat_pairs),
+        |acc: &mut (u64, u64), v| {
+            acc.0 += v.0;
+            acc.1 += v.1;
+        },
+    );
+    // Keys present on only one side join with nothing.
+    let stats = stats.map_local(|_, items| {
+        items
+            .into_iter()
+            .filter(|(_, (d1, d2))| *d1 > 0 && *d2 > 0)
+            .collect::<Vec<_>>()
+    });
+
+    // --- Full join size and load target (1 round). ---
+    let partial = stats
+        .clone()
+        .map(|(_, (d1, d2))| d1.saturating_mul(d2));
+    let out_f = global_sum(cluster, partial);
+    if out_f == 0 {
+        return DistRelation::empty(cluster, out_schema);
+    }
+    let load = (n / p as u64 + (out_f as f64 / p as f64).sqrt().ceil() as u64).max(1);
+    let out_per_server = (out_f / p as u64).max(1);
+
+    let is_heavy = move |d1: u64, d2: u64| -> bool {
+        d1 + d2 > load || (d1 as u128) * (d2 as u128) > out_per_server as u128
+    };
+
+    // --- Heavy keys: gather to the coordinator, assign grids (2 rounds).
+    let heavy_out: Vec<Vec<(usize, (Row, (u64, u64)))>> = stats
+        .iter()
+        .map(|(_, local)| {
+            local
+                .iter()
+                .filter(|(_, (d1, d2))| is_heavy(*d1, *d2))
+                .map(|entry| (0usize, entry.clone()))
+                .collect()
+        })
+        .collect();
+    let heavy_at_zero = cluster.exchange(heavy_out);
+
+    let mut heavy_routes: Vec<(Row, Route)> = Vec::new();
+    let mut next_server = 0usize;
+    {
+        let mut heavy = heavy_at_zero.local(0).clone();
+        heavy.sort_by(|a, b| a.0.cmp(&b.0));
+        for (key, (d1, d2)) in heavy {
+            let g1 = (d1.div_ceil(load) as usize).max(1);
+            let g2 = (d2.div_ceil(load) as usize).max(1);
+            heavy_routes.push((
+                key,
+                Route::Heavy {
+                    base: next_server,
+                    g1,
+                    g2,
+                },
+            ));
+            next_server += g1 * g2;
+        }
+    }
+    let heavy_server_count = next_server;
+
+    // Scatter heavy routes round-robin so the route catalog is distributed.
+    let heavy_catalog_out: Vec<Vec<(usize, (Row, Route))>> = (0..p)
+        .map(|src| {
+            if src == 0 {
+                heavy_routes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, entry)| (i % p, entry.clone()))
+                    .collect()
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+    let heavy_catalog = cluster.exchange(heavy_catalog_out);
+
+    // --- Light keys: pack into groups of total degree ≤ load (2 rounds).
+    let light_stats = stats.map_local(|_, items| {
+        items
+            .into_iter()
+            .filter(|(_, (d1, d2))| !is_heavy(*d1, *d2))
+            .collect::<Vec<_>>()
+    });
+    let packing = parallel_packing(cluster, light_stats, |(_, (d1, d2))| d1 + d2, load);
+
+    // Merge both route catalogs (local concatenation, no traffic).
+    let mut catalog_parts: Vec<Vec<(Row, Route)>> = heavy_catalog.into_parts();
+    for (i, local) in packing.assigned.into_parts().into_iter().enumerate() {
+        catalog_parts[i].extend(local.into_iter().map(|((key, _), gid)| {
+            (
+                key,
+                Route::Light {
+                    server: (heavy_server_count + gid as usize) % p,
+                },
+            )
+        }));
+    }
+    let catalog = Distributed::from_parts(catalog_parts);
+
+    // --- Attach routes to tuples (5 rounds: one multi-search for both
+    // sides, tuples tagged by side). ---
+    let mut tagged_parts: Vec<Vec<(u8, Row, S)>> = (0..p).map(|_| Vec::new()).collect();
+    for (i, local) in r1.data().iter() {
+        tagged_parts[i].extend(local.iter().map(|(row, s)| (1u8, row.clone(), s.clone())));
+    }
+    for (i, local) in r2.data().iter() {
+        tagged_parts[i].extend(local.iter().map(|(row, s)| (2u8, row.clone(), s.clone())));
+    }
+    let key1_for_lookup = key1.clone();
+    let key2_for_lookup = key2.clone();
+    let routed = lookup_exact(
+        cluster,
+        Distributed::from_parts(tagged_parts),
+        move |(side, row, _): &(u8, Row, S)| {
+            if *side == 1 {
+                project(row, &key1_for_lookup)
+            } else {
+                project(row, &key2_for_lookup)
+            }
+        },
+        catalog,
+    );
+
+    // --- Route tuples to their join servers (1 round). ---
+    let outboxes: Vec<Vec<(usize, (u8, Row, S))>> = routed
+        .into_parts()
+        .into_iter()
+        .map(|local| {
+            let mut out = Vec::new();
+            for ((side, row, s), route) in local {
+                let Some(route) = route else { continue };
+                match route {
+                    Route::Heavy { base, g1, g2 } => {
+                        let h = stable_hash(&row) as usize;
+                        if side == 1 {
+                            let i0 = h % g1;
+                            for j in 0..g2 {
+                                out.push((
+                                    (base + i0 + g1 * j) % p,
+                                    (side, row.clone(), s.clone()),
+                                ));
+                            }
+                        } else {
+                            let j0 = h % g2;
+                            for i in 0..g1 {
+                                out.push((
+                                    (base + i + g1 * j0) % p,
+                                    (side, row.clone(), s.clone()),
+                                ));
+                            }
+                        }
+                    }
+                    Route::Light { server } => out.push((server % p, (side, row, s))),
+                }
+            }
+            out
+        })
+        .collect();
+    let at_servers = cluster.exchange(outboxes);
+
+    // --- Local join (free). ---
+    let data = at_servers.map_local(|_, items| {
+        let mut left: HashMap<Row, Vec<(Row, S)>> = HashMap::new();
+        let mut right: Vec<(Row, S)> = Vec::new();
+        for (side, row, s) in items {
+            if side == 1 {
+                left.entry(project(&row, &key1)).or_default().push((row, s));
+            } else {
+                right.push((row, s));
+            }
+        }
+        let mut out = Vec::new();
+        for (rrow, rs) in right {
+            let key = project(&rrow, &key2);
+            if let Some(matches) = left.get(&key) {
+                for (lrow, ls) in matches {
+                    let mut row = lrow.clone();
+                    for (idx, v) in rrow.iter().enumerate() {
+                        if !key2.contains(&idx) {
+                            row.push(*v);
+                        }
+                    }
+                    out.push((row, ls.mul(&rs)));
+                }
+            }
+        }
+        out
+    });
+
+    DistRelation::from_distributed(out_schema, data)
+}
+
+/// `∑_{keep}(r1 ⋈ r2)`: full join followed by a distributed
+/// project-aggregate — the per-step shape of the distributed Yannakakis
+/// algorithm.
+pub fn join_aggregate<S: Semiring>(
+    cluster: &mut Cluster,
+    r1: &DistRelation<S>,
+    r2: &DistRelation<S>,
+    keep: &[mpcjoin_relation::Attr],
+) -> DistRelation<S> {
+    let joined = full_join(cluster, r1, r2);
+    joined.project_aggregate(cluster, keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_relation::{Attr, Relation, Schema};
+    use mpcjoin_semiring::Count;
+
+    const A: Attr = Attr(0);
+    const B: Attr = Attr(1);
+    const C: Attr = Attr(2);
+
+    fn rel_ab(pairs: &[(u64, u64, u64)]) -> Relation<Count> {
+        Relation::from_entries(
+            Schema::binary(A, B),
+            pairs
+                .iter()
+                .map(|&(a, b, w)| (vec![a, b], Count(w)))
+                .collect(),
+        )
+    }
+
+    fn rel_bc(pairs: &[(u64, u64, u64)]) -> Relation<Count> {
+        Relation::from_entries(
+            Schema::binary(B, C),
+            pairs
+                .iter()
+                .map(|&(b, c, w)| (vec![b, c], Count(w)))
+                .collect(),
+        )
+    }
+
+    fn check_join(r1: &Relation<Count>, r2: &Relation<Count>, p: usize) -> Cluster {
+        let mut c = Cluster::new(p);
+        let d1 = DistRelation::scatter(&c, r1);
+        let d2 = DistRelation::scatter(&c, r2);
+        let joined = full_join(&mut c, &d1, &d2);
+        let expect = r1.natural_join(r2);
+        assert!(
+            joined.gather().semantically_eq(&expect),
+            "distributed join diverged from local join"
+        );
+        c
+    }
+
+    #[test]
+    fn small_join_correct() {
+        let r1 = rel_ab(&[(1, 10, 2), (2, 10, 3), (3, 11, 5)]);
+        let r2 = rel_bc(&[(10, 100, 7), (11, 200, 1), (12, 300, 1)]);
+        check_join(&r1, &r2, 4);
+    }
+
+    #[test]
+    fn empty_join_returns_empty() {
+        let r1 = rel_ab(&[(1, 10, 1)]);
+        let r2 = rel_bc(&[(11, 100, 1)]);
+        let mut c = Cluster::new(4);
+        let d1 = DistRelation::scatter(&c, &r1);
+        let d2 = DistRelation::scatter(&c, &r2);
+        let joined = full_join(&mut c, &d1, &d2);
+        assert!(joined.is_empty());
+        assert_eq!(joined.schema().attrs(), &[A, B, C]);
+    }
+
+    #[test]
+    fn heavy_key_join_correct_and_bounded() {
+        // One key with degree 200 on each side: OUT_f = 40_000.
+        let n = 200u64;
+        let r1 = rel_ab(&(0..n).map(|i| (i, 0, 1)).collect::<Vec<_>>());
+        let r2 = rel_bc(&(0..n).map(|i| (0, i, 1)).collect::<Vec<_>>());
+        let p = 16;
+        let c = check_join(&r1, &r2, p);
+        let out_f = n * n;
+        let bound = 2 * n / p as u64 + (out_f as f64 / p as f64).sqrt() as u64;
+        assert!(
+            c.report().load <= 8 * bound + 64,
+            "load {} exceeds O(N/p + sqrt(OUTf/p)) = {}",
+            c.report().load,
+            bound
+        );
+    }
+
+    #[test]
+    fn mixed_skew_join_correct() {
+        // A heavy key plus many light keys.
+        let mut p1 = vec![];
+        let mut p2 = vec![];
+        for i in 0..100u64 {
+            p1.push((i, 9999, 1)); // heavy B value on side 1
+            p2.push((9999, i, 1)); // heavy B value on side 2
+            p1.push((i, i, 1)); // light
+            p2.push((i, 1000 + i, 1)); // light
+        }
+        check_join(&rel_ab(&p1), &rel_bc(&p2), 8);
+    }
+
+    #[test]
+    fn join_aggregate_is_matrix_multiplication() {
+        let r1 = rel_ab(&[(1, 10, 1), (1, 11, 1), (2, 10, 1)]);
+        let r2 = rel_bc(&[(10, 5, 1), (11, 5, 1)]);
+        let mut c = Cluster::new(4);
+        let d1 = DistRelation::scatter(&c, &r1);
+        let d2 = DistRelation::scatter(&c, &r2);
+        let out = join_aggregate(&mut c, &d1, &d2, &[A, C]);
+        let expect = r1.join_aggregate(&r2, &[A, C]);
+        assert!(out.gather().semantically_eq(&expect));
+    }
+
+    #[test]
+    fn rounds_constant_across_sizes() {
+        let mut rounds = Vec::new();
+        for n in [64u64, 256, 1024] {
+            let r1 = rel_ab(&(0..n).map(|i| (i, i % 50, 1)).collect::<Vec<_>>());
+            let r2 = rel_bc(&(0..n).map(|i| (i % 50, i, 1)).collect::<Vec<_>>());
+            let c = check_join(&r1, &r2, 8);
+            rounds.push(c.report().rounds);
+        }
+        assert!(rounds.windows(2).all(|w| w[0] == w[1]), "{rounds:?}");
+    }
+}

@@ -1,0 +1,56 @@
+//! An instrumented simulator for the Massively Parallel Computation (MPC)
+//! model of Hu & Yi (PODS 2020), §1.3.
+//!
+//! The MPC model has `p` servers on a complete network computing in
+//! synchronous rounds; the complexity of an algorithm is its round count
+//! (required to be `O(1)`) and its *load* `L` — the maximum message volume
+//! received by any server in any round, with one tuple / semiring element /
+//! machine word costing one unit. This crate executes such algorithms
+//! faithfully and *measures* `L` exactly:
+//!
+//! * [`Cluster`] — `p` logical servers on a shared round timeline and cost
+//!   ledger; [`Cluster::exchange`] is the sole data-movement operation and
+//!   the unit of both rounds and cost; [`Cluster::split`] models the
+//!   paper's "allocate `p_i` servers to subproblem `i`" parallel regions,
+//! * [`Distributed`] — per-server local state, manipulated freely by local
+//!   Rust code (local computation is uncosted, as in the model),
+//! * [`CostReport`] — the measured `(load, rounds, total traffic)`,
+//! * [`primitives`] — the §2.1 toolbox: sorting, reduce-by-key,
+//!   multi-search, prefix sums, parallel-packing,
+//! * [`DistRelation`] — annotated relations partitioned over a cluster,
+//!   with skew-proof distributed semijoin / aggregation / statistics,
+//! * [`join`] — the worst-case optimal two-way join of §1.4's references
+//!   [5, 13], the building block the paper's baseline plugs into
+//!   Yannakakis.
+//!
+//! The simulator executes serially and deterministically (stable hashing,
+//! explicit tiebreaks), so measured loads are exactly reproducible.
+//!
+//! ```
+//! use mpcjoin_mpc::Cluster;
+//!
+//! let mut cluster = Cluster::new(4);
+//! let data = cluster.scatter_initial((0..100u64).collect::<Vec<_>>());
+//! // Route every item to the server its value hashes to (one round).
+//! let outboxes = data
+//!     .into_parts()
+//!     .into_iter()
+//!     .map(|local| local.into_iter().map(|v| ((v % 4) as usize, v)).collect())
+//!     .collect();
+//! let routed = cluster.exchange(outboxes);
+//! assert_eq!(routed.total_len(), 100);
+//! let report = cluster.report();
+//! assert_eq!(report.rounds, 1);
+//! assert_eq!(report.load, 25); // perfectly balanced here
+//! ```
+
+mod cluster;
+mod cost;
+pub mod drel;
+pub mod hash;
+pub mod join;
+pub mod primitives;
+
+pub use cluster::{Cluster, Distributed};
+pub use cost::{CostReport, CostTracker};
+pub use drel::DistRelation;

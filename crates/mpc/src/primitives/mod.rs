@@ -1,0 +1,18 @@
+//! The deterministic MPC primitives of §2.1, all `O(1)` rounds and
+//! `O(N/p)`-load under the standing assumption `N ≥ p^{1+ϵ}`:
+//!
+//! * [`sort::sort_by_key`] — global sort (sorting, after Goodrich et al.),
+//! * [`reduce::reduce_by_key`] — keyed aggregation / degree statistics,
+//! * [`search::multi_search`] — batched predecessor search; semijoins and
+//!   statistic-attachment are built on it,
+//! * [`scan::prefix_sums`] / [`scan::parallel_packing`] — weighted
+//!   grouping into `O(1 + Σw/capacity)` bins.
+//!
+//! Dangling-tuple removal (§2.1 "Remove dangling tuples") is a query-tree
+//! traversal of distributed semijoins and lives with the Yannakakis code in
+//! `mpcjoin-yannakakis`, which knows about query structure.
+
+pub mod reduce;
+pub mod scan;
+pub mod search;
+pub mod sort;

@@ -1,0 +1,163 @@
+//! Reduce-by-key (§2.1), the MPC aggregation workhorse.
+//!
+//! Local pre-aggregation followed by a hash repartition and a final local
+//! aggregation. Pre-aggregation caps the per-key fan-in at `p` (each server
+//! contributes at most one partial per key), so the received volume per
+//! server is `O(K/p + p)` in expectation for `K` distinct keys — linear
+//! load under the standing `N ≥ p^{1+ϵ}` assumption even under heavy value
+//! skew.
+
+use crate::cluster::{Cluster, Distributed};
+use crate::hash::partition_of;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Combine all values sharing a key with `combine`; afterwards each key
+/// appears on exactly one server, exactly once. Output is locally sorted by
+/// key for determinism. Uses 1 round.
+pub fn reduce_by_key<K, V, F>(
+    cluster: &mut Cluster,
+    pairs: Distributed<(K, V)>,
+    combine: F,
+) -> Distributed<(K, V)>
+where
+    K: Ord + Hash + Clone,
+    V: Clone,
+    F: Fn(&mut V, V) + Copy,
+{
+    let p = cluster.p();
+
+    // Local pre-aggregation; emit partials routed by key hash.
+    let outboxes: Vec<Vec<(usize, (K, V))>> = pairs
+        .into_parts()
+        .into_iter()
+        .map(|items| {
+            let mut partial: HashMap<K, V> = HashMap::with_capacity(items.len());
+            for (k, v) in items {
+                match partial.get_mut(&k) {
+                    Some(acc) => combine(acc, v),
+                    None => {
+                        partial.insert(k, v);
+                    }
+                }
+            }
+            let mut out: Vec<(usize, (K, V))> = partial
+                .into_iter()
+                .map(|(k, v)| (partition_of(&k, p), (k, v)))
+                .collect();
+            // Deterministic emission order (HashMap iteration order isn't).
+            out.sort_by(|a, b| (a.0, &a.1 .0).cmp(&(b.0, &b.1 .0)));
+            out
+        })
+        .collect();
+
+    let routed = cluster.exchange(outboxes);
+
+    routed.map_local(|_, items| {
+        let mut acc: HashMap<K, V> = HashMap::with_capacity(items.len());
+        for (k, v) in items {
+            match acc.get_mut(&k) {
+                Some(a) => combine(a, v),
+                None => {
+                    acc.insert(k, v);
+                }
+            }
+        }
+        let mut out: Vec<(K, V)> = acc.into_iter().collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    })
+}
+
+/// Count occurrences per key — the degree-statistics pattern the paper uses
+/// everywhere ("each tuple has key `π_v t` and value 1").
+pub fn count_by_key<K>(cluster: &mut Cluster, keys: Distributed<K>) -> Distributed<(K, u64)>
+where
+    K: Ord + Hash + Clone,
+{
+    let pairs = keys.map(|k| (k, 1u64));
+    reduce_by_key(cluster, pairs, |acc, v| *acc += v)
+}
+
+/// Maximum over all `u64`s on the cluster (0 when empty), as
+/// coordinator-known value; same communication shape as [`global_sum`].
+pub fn global_max(cluster: &mut Cluster, values: Distributed<u64>) -> u64 {
+    let outboxes: Vec<Vec<(usize, u64)>> = values
+        .into_parts()
+        .into_iter()
+        .map(|items| vec![(0usize, items.into_iter().max().unwrap_or(0))])
+        .collect();
+    let at_zero = cluster.exchange(outboxes);
+    at_zero.local(0).iter().copied().max().unwrap_or(0)
+}
+
+/// Sum all `u64`s on the cluster to a single coordinator-known value.
+///
+/// Each server sends one partial to server 0 (`p` units in one round); the
+/// return value models coordinator knowledge, which the paper's algorithms
+/// use freely for sizing decisions.
+pub fn global_sum(cluster: &mut Cluster, values: Distributed<u64>) -> u64 {
+    let outboxes: Vec<Vec<(usize, u64)>> = values
+        .into_parts()
+        .into_iter()
+        .map(|items| vec![(0usize, items.into_iter().sum::<u64>())])
+        .collect();
+    let at_zero = cluster.exchange(outboxes);
+    at_zero.local(0).iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_one_entry_per_key() {
+        let mut c = Cluster::new(4);
+        let pairs: Vec<(u64, u64)> = (0..1000).map(|i| (i % 10, 1)).collect();
+        let data = c.scatter_initial(pairs);
+        let reduced = reduce_by_key(&mut c, data, |a, b| *a += b);
+        let mut all = reduced.collect_all();
+        all.sort();
+        assert_eq!(all.len(), 10);
+        assert!(all.iter().all(|&(_, v)| v == 100));
+        assert_eq!(c.report().rounds, 1);
+    }
+
+    #[test]
+    fn skewed_key_does_not_blow_load() {
+        let mut c = Cluster::new(8);
+        let n = 8000u64;
+        // All items share a single key: pre-aggregation must keep the
+        // receiving server's load at ~p units, not n.
+        let data = c.scatter_initial((0..n).map(|_| (7u64, 1u64)).collect::<Vec<_>>());
+        let reduced = reduce_by_key(&mut c, data, |a, b| *a += b);
+        assert_eq!(reduced.collect_all(), vec![(7, n)]);
+        assert!(c.report().load <= 8);
+    }
+
+    #[test]
+    fn count_by_key_counts() {
+        let mut c = Cluster::new(3);
+        let data = c.scatter_initial(vec![1u64, 2, 1, 1, 3, 2]);
+        let counts = count_by_key(&mut c, data);
+        let mut all = counts.collect_all();
+        all.sort();
+        assert_eq!(all, vec![(1, 3), (2, 2), (3, 1)]);
+    }
+
+    #[test]
+    fn global_sum_sums() {
+        let mut c = Cluster::new(5);
+        let data = c.scatter_initial((1..=100u64).collect::<Vec<_>>());
+        assert_eq!(global_sum(&mut c, data), 5050);
+        assert_eq!(c.report().load, 5);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut c = Cluster::new(3);
+        let data: Distributed<(u64, u64)> = c.scatter_initial(vec![]);
+        let reduced = reduce_by_key(&mut c, data, |a, b| *a += b);
+        assert_eq!(reduced.total_len(), 0);
+    }
+}

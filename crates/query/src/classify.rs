@@ -1,0 +1,445 @@
+//! Query-shape classification: which of the paper's algorithms applies.
+
+use crate::tree::TreeQuery;
+use mpcjoin_relation::Attr;
+use std::collections::BTreeSet;
+
+/// One arm of a star-like query (§6): the path of relations from the
+/// center `B` out to the arm's output endpoint `A_i`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Arm {
+    /// Edge indices, ordered from the center outward.
+    pub edges: Vec<usize>,
+    /// Attributes along the arm, center first, output endpoint last.
+    pub attrs: Vec<Attr>,
+}
+
+impl Arm {
+    /// The arm's output endpoint `A_i`.
+    pub fn endpoint(&self) -> Attr {
+        *self.attrs.last().expect("arm has at least two attributes")
+    }
+
+    /// Number of relations in the arm.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the arm is a single relation (star-query arm).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// The shape of a star-like query (§6, Figure 1): `n` line-query arms
+/// sharing a common non-output attribute `B`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StarLikeShape {
+    /// The shared non-output attribute `B`.
+    pub center: Attr,
+    /// The arms, each ending at an output attribute.
+    pub arms: Vec<Arm>,
+}
+
+/// Which specialized algorithm a tree query admits, from most to least
+/// specific. Classification is *structural*; the planner picks the first
+/// match in this order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Shape {
+    /// `y` spans a connected subtree (or `y = ∅` / a single relation):
+    /// the distributed Yannakakis algorithm is already output-optimal
+    /// (§1.2, §1.4). Matrix multiplication is *not* of this shape.
+    FreeConnex,
+    /// `∑_B R1(A,B) ⋈ R2(B,C)` — §3.
+    MatMul {
+        /// Edge index of `R1(A, B)`.
+        r1: usize,
+        /// Edge index of `R2(B, C)`.
+        r2: usize,
+        /// Output attribute of `R1`.
+        a: Attr,
+        /// The shared non-output attribute.
+        b: Attr,
+        /// Output attribute of `R2`.
+        c: Attr,
+    },
+    /// `∑_{A2..An} R1(A1,A2) ⋈ ⋯ ⋈ Rn(An,An+1)` — §4.
+    Line {
+        /// Edge indices in chain order.
+        edges: Vec<usize>,
+        /// `A1, …, A_{n+1}` in chain order.
+        attrs: Vec<Attr>,
+    },
+    /// `∑_B R1(A1,B) ⋈ ⋯ ⋈ Rn(An,B)` — §5.
+    Star {
+        /// The shared non-output attribute `B`.
+        center: Attr,
+        /// Edge indices of the arms.
+        arms: Vec<usize>,
+    },
+    /// Line-query arms meeting at a shared non-output attribute — §6.
+    StarLike(StarLikeShape),
+    /// A twig: every output attribute is a leaf and vice versa — §7.1.
+    Twig,
+    /// Any other tree query; handled by reduction + twig decomposition
+    /// (§7) before execution.
+    General,
+}
+
+/// Whether `y` forms a connected subtree of `Q` — the free-connex
+/// condition for tree queries (§1.2, footnote 1). `y = ∅` and single-edge
+/// queries count as free-connex.
+pub fn is_free_connex(q: &TreeQuery) -> bool {
+    let y = q.output();
+    if y.len() <= 1 || q.edges().len() == 1 {
+        return true;
+    }
+    // Union of pairwise paths must touch only output attributes.
+    let mut iter = y.iter();
+    let first = *iter.next().expect("non-empty");
+    for &other in iter {
+        for ei in q.path(first, other) {
+            for &a in q.edges()[ei].attrs() {
+                if !y.contains(&a) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Classify a query into the most specific [`Shape`].
+pub fn classify(q: &TreeQuery) -> Shape {
+    if is_free_connex(q) {
+        return Shape::FreeConnex;
+    }
+    if let Some(shape) = detect_matmul(q) {
+        return shape;
+    }
+    if let Some(shape) = detect_line(q) {
+        return shape;
+    }
+    if let Some(shape) = detect_star(q) {
+        return shape;
+    }
+    if let Some(shape) = detect_star_like(q) {
+        return Shape::StarLike(shape);
+    }
+    if is_twig(q) {
+        return Shape::Twig;
+    }
+    Shape::General
+}
+
+fn detect_matmul(q: &TreeQuery) -> Option<Shape> {
+    if q.edges().len() != 2 || q.edges().iter().any(|e| !e.is_binary()) {
+        return None;
+    }
+    let (e1, e2) = (&q.edges()[0], &q.edges()[1]);
+    let shared: Vec<Attr> = e1
+        .attrs()
+        .iter()
+        .copied()
+        .filter(|a| e2.contains(*a))
+        .collect();
+    let [b] = shared[..] else { return None };
+    if q.is_output(b) {
+        return None;
+    }
+    let a = e1.other(b);
+    let c = e2.other(b);
+    (q.is_output(a) && q.is_output(c)).then_some(Shape::MatMul {
+        r1: 0,
+        r2: 1,
+        a,
+        b,
+        c,
+    })
+}
+
+fn detect_line(q: &TreeQuery) -> Option<Shape> {
+    if q.edges().iter().any(|e| !e.is_binary()) {
+        return None;
+    }
+    // A path: exactly two leaves, every attribute degree ≤ 2.
+    let leaves = q.leaves();
+    if leaves.len() != 2 || q.attrs().iter().any(|&a| q.degree(a) > 2) {
+        return None;
+    }
+    let (start, end) = (leaves[0], leaves[1]);
+    // Output attributes must be exactly the two endpoints.
+    if *q.output() != BTreeSet::from([start, end]) {
+        return None;
+    }
+    let edges = q.path(start, end);
+    let mut attrs = vec![start];
+    let mut cur = start;
+    for &ei in &edges {
+        cur = q.edges()[ei].other(cur);
+        attrs.push(cur);
+    }
+    Some(Shape::Line { edges, attrs })
+}
+
+fn detect_star(q: &TreeQuery) -> Option<Shape> {
+    if q.edges().iter().any(|e| !e.is_binary()) || q.edges().len() < 3 {
+        return None;
+    }
+    // All edges share one non-output attribute; every other attribute is
+    // an output leaf.
+    let e0 = &q.edges()[0];
+    let center = e0
+        .attrs()
+        .iter()
+        .copied()
+        .find(|&b| q.edges().iter().all(|e| e.contains(b)))?;
+    if q.is_output(center) {
+        return None;
+    }
+    let endpoints: BTreeSet<Attr> = q
+        .edges()
+        .iter()
+        .map(|e| e.other(center))
+        .collect();
+    (*q.output() == endpoints).then_some(Shape::Star {
+        center,
+        arms: (0..q.edges().len()).collect(),
+    })
+}
+
+/// Detect the star-like shape of §6: a unique attribute of degree ≥ 3 (or
+/// a line query seen as two arms), with every arm a path of non-output
+/// attributes ending at an output attribute.
+pub fn detect_star_like(q: &TreeQuery) -> Option<StarLikeShape> {
+    if q.edges().iter().any(|e| !e.is_binary()) {
+        return None;
+    }
+    let high_degree: Vec<Attr> = q
+        .attrs()
+        .into_iter()
+        .filter(|&a| q.degree(a) > 2)
+        .collect();
+    let center = match high_degree[..] {
+        [b] => b,
+        [] => {
+            // Degenerates to a line query: pick any internal non-output
+            // attribute as the center (§6: "a star-like query degenerates
+            // to a line query if n = 2").
+            q.attrs().into_iter().find(|&a| q.degree(a) == 2)?
+        }
+        _ => return None,
+    };
+    star_like_with_center(q, center)
+}
+
+/// View `q` as a star-like query centered at `center`: walk each incident
+/// edge outward to a leaf, requiring the center and all arm interiors to be
+/// non-output and every arm endpoint to be output.
+pub fn star_like_with_center(q: &TreeQuery, center: Attr) -> Option<StarLikeShape> {
+    if q.is_output(center) {
+        return None;
+    }
+    let adjacency = q.adjacency();
+    let mut arms = Vec::new();
+    for &first_edge in adjacency.get(&center)? {
+        if !q.edges()[first_edge].is_binary() {
+            return None;
+        }
+        // Walk outward until a leaf; fail if the walk ever branches (that
+        // would mean another attribute of degree > 2 on the arm).
+        let mut edges = vec![first_edge];
+        let mut attrs = vec![center, q.edges()[first_edge].other(center)];
+        loop {
+            let cur = *attrs.last().expect("non-empty");
+            let onward: Vec<usize> = adjacency
+                .get(&cur)
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+                .iter()
+                .copied()
+                .filter(|e| !edges.contains(e))
+                .collect();
+            match onward[..] {
+                [] => break,
+                [e] if q.edges()[e].is_binary() => {
+                    edges.push(e);
+                    attrs.push(q.edges()[e].other(cur));
+                }
+                _ => return None,
+            }
+        }
+        // Interior attributes (everything but the endpoint, including the
+        // center) must be non-output; the endpoint must be output.
+        let endpoint = *attrs.last().expect("non-empty");
+        if !q.is_output(endpoint) {
+            return None;
+        }
+        if attrs[..attrs.len() - 1].iter().any(|&a| q.is_output(a)) {
+            return None;
+        }
+        arms.push(Arm { edges, attrs });
+    }
+    arms.sort_by_key(|arm| arm.edges.clone());
+    Some(StarLikeShape { center, arms })
+}
+
+/// Whether the query is a *twig*: its output attributes are exactly its
+/// leaves (§7's post-decomposition invariant).
+pub fn is_twig(q: &TreeQuery) -> bool {
+    let leaves: BTreeSet<Attr> = q.leaves().into_iter().collect();
+    !leaves.is_empty() && *q.output() == leaves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Edge;
+
+    const A: Attr = Attr(0);
+    const B: Attr = Attr(1);
+    const C: Attr = Attr(2);
+    const D: Attr = Attr(3);
+    const E: Attr = Attr(4);
+
+    #[test]
+    fn matmul_detected() {
+        let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, C]);
+        match classify(&q) {
+            Shape::MatMul { a, b, c, .. } => {
+                assert_eq!((a, b, c), (A, B, C));
+            }
+            other => panic!("expected MatMul, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_two_way_join_is_free_connex() {
+        let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, B, C]);
+        assert_eq!(classify(&q), Shape::FreeConnex);
+    }
+
+    #[test]
+    fn count_star_is_free_connex() {
+        // y = ∅ (full aggregation) is free-connex.
+        let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], []);
+        assert_eq!(classify(&q), Shape::FreeConnex);
+    }
+
+    #[test]
+    fn line_detected() {
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, B), Edge::binary(B, C), Edge::binary(C, D)],
+            [A, D],
+        );
+        match classify(&q) {
+            Shape::Line { attrs, edges } => {
+                assert!(attrs == vec![A, B, C, D] || attrs == vec![D, C, B, A]);
+                assert_eq!(edges.len(), 3);
+            }
+            other => panic!("expected Line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_detected() {
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, D), Edge::binary(B, D), Edge::binary(C, D)],
+            [A, B, C],
+        );
+        match classify(&q) {
+            Shape::Star { center, arms } => {
+                assert_eq!(center, D);
+                assert_eq!(arms.len(), 3);
+            }
+            other => panic!("expected Star, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_like_detected() {
+        // Three arms from center D: one long arm D–C–A (C internal), two
+        // short arms D–B and D–E.
+        let q = TreeQuery::new(
+            vec![
+                Edge::binary(D, C),
+                Edge::binary(C, A),
+                Edge::binary(D, B),
+                Edge::binary(D, E),
+            ],
+            [A, B, E],
+        );
+        match classify(&q) {
+            Shape::StarLike(shape) => {
+                assert_eq!(shape.center, D);
+                assert_eq!(shape.arms.len(), 3);
+                let endpoints: BTreeSet<Attr> =
+                    shape.arms.iter().map(Arm::endpoint).collect();
+                assert_eq!(endpoints, BTreeSet::from([A, B, E]));
+                let long = shape
+                    .arms
+                    .iter()
+                    .find(|arm| arm.len() == 2)
+                    .expect("the D–C–A arm");
+                assert_eq!(long.attrs, vec![D, C, A]);
+            }
+            other => panic!("expected StarLike, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_connex_subtree_of_outputs() {
+        // y = {A, B} connected: free-connex even with non-output leaf C...
+        // C is a leaf and non-output: still free-connex by the footnote-1
+        // definition (outputs form a connected subtree).
+        let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, B]);
+        assert_eq!(classify(&q), Shape::FreeConnex);
+    }
+
+    #[test]
+    fn twig_but_not_star_like() {
+        // Two high-degree attributes → not star-like; outputs = leaves →
+        // twig. Shape: leaves A, D, E and centers B, C.
+        let q = TreeQuery::new(
+            vec![
+                Edge::binary(A, B),
+                Edge::binary(B, Attr(10)),
+                Edge::binary(Attr(10), C),
+                Edge::binary(B, D),
+                Edge::binary(C, E),
+                Edge::binary(C, Attr(11)),
+            ],
+            [A, D, E, Attr(11)],
+        );
+        assert_eq!(q.degree(B), 3);
+        assert_eq!(q.degree(C), 3);
+        assert_eq!(classify(&q), Shape::Twig);
+    }
+
+    #[test]
+    fn general_tree() {
+        // An internal output attribute (B) with a non-free-connex layout:
+        // y = {A, B, D} where path A–B is fine but D is two hops away
+        // through non-output C.
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, B), Edge::binary(B, C), Edge::binary(C, D)],
+            [A, B, D],
+        );
+        assert_eq!(classify(&q), Shape::General);
+    }
+
+    #[test]
+    fn line_with_three_outputs_not_line_shape() {
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, B), Edge::binary(B, C), Edge::binary(C, D)],
+            [A, C, D],
+        );
+        assert_ne!(
+            classify(&q),
+            Shape::Line {
+                edges: vec![0, 1, 2],
+                attrs: vec![A, B, C, D]
+            }
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Tree join-aggregate query structure and the paper's decompositions.
+//!
+//! The algorithms of Hu & Yi (PODS 2020) operate on acyclic queries whose
+//! hypergraph is a tree of binary edges with an arbitrary set of output
+//! attributes (§1.1). This crate is the purely *structural* layer —
+//! everything one can decide about a query before looking at data:
+//!
+//! * [`TreeQuery`] / [`Edge`] — the hypergraph, with validation,
+//! * [`classify`] / [`Shape`] — which of the paper's algorithms applies
+//!   (free-connex, matrix multiplication §3, line §4, star §5, star-like
+//!   §6, twig/general §7), including the free-connex test of §1.2,
+//! * [`plan_reduction`] — the §7 *reduce* step folding away unary
+//!   relations and private non-output attributes,
+//! * [`decompose_twigs`] — breaking a reduced tree at non-leaf output
+//!   attributes into twigs (Figure 2),
+//! * [`skeleton`] — a twig's skeleton `T_S`, its `V*`, `S`, and the
+//!   contracted star-like parts `T_B` (Figure 3).
+
+mod builder;
+mod classify;
+mod parse;
+mod reduce;
+mod skeleton;
+mod tree;
+mod twig;
+
+pub use builder::{to_dot, AttrNames, QueryBuilder};
+pub use parse::{parse_query, ParseError, ParsedQuery};
+pub use classify::{
+    classify, detect_star_like, is_free_connex, is_twig, star_like_with_center, Arm, Shape,
+    StarLikeShape,
+};
+pub use reduce::{plan_reduction, ReduceStep, Reduction};
+pub use skeleton::{skeleton, ContractedPart, Skeleton};
+pub use tree::{Edge, TreeQuery};
+pub use twig::{decompose_twigs, Twig};

@@ -1,0 +1,250 @@
+//! A small datalog-style surface syntax for tree join-aggregate queries.
+//!
+//! ```text
+//! Q(a, c) :- R(a, b), S(b, c).
+//! ```
+//!
+//! The head lists the output attributes; each body atom is a relation
+//! over one or two named attributes. Whitespace is free; the trailing
+//! period is optional; identifiers are `[A-Za-z_][A-Za-z0-9_]*`. Query
+//! *semantics* (which aggregation, which semiring) is orthogonal — the
+//! syntax only fixes the hypergraph and the output set, per §1.1.
+
+use crate::builder::{AttrNames, QueryBuilder};
+use crate::tree::TreeQuery;
+use std::fmt;
+
+/// A parsed query: the hypergraph, the attribute name table, and the
+/// relation names in body order (used to bind input files to edges).
+#[derive(Debug)]
+pub struct ParsedQuery {
+    /// The validated tree query.
+    pub query: TreeQuery,
+    /// Attribute name ↔ id table.
+    pub names: AttrNames,
+    /// The body atoms' relation names, in edge order.
+    pub relation_names: Vec<String>,
+}
+
+/// A syntax or structure error, with a human-oriented message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseError(String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query syntax error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// Parse `Head(outputs…) :- Atom(attrs…), …` into a validated query.
+///
+/// Structural validation (tree shape, known outputs) is delegated to
+/// [`TreeQuery::new`] but surfaced as a [`ParseError`] instead of a
+/// panic, since surface-syntax input is user data.
+///
+/// ```
+/// use mpcjoin_query::{classify, parse_query, Shape};
+///
+/// let parsed = parse_query("Q(a, c) :- R(a, b), S(b, c).").unwrap();
+/// assert!(matches!(classify(&parsed.query), Shape::MatMul { .. }));
+/// assert_eq!(parsed.relation_names, ["R", "S"]);
+///
+/// // Cyclic hypergraphs are rejected with a message, not a panic.
+/// assert!(parse_query("Q(a) :- R(a,b), S(b,c), T(c,a)").is_err());
+/// ```
+pub fn parse_query(text: &str) -> Result<ParsedQuery, ParseError> {
+    let text = text.trim().trim_end_matches('.');
+    let Some((head, body)) = text.split_once(":-") else {
+        return err("expected `Head(...) :- Body`");
+    };
+
+    let (head_name, outputs) = parse_atom(head)?;
+    if head_name.is_empty() {
+        return err("missing head relation name");
+    }
+    if outputs.iter().any(String::is_empty) {
+        return err("empty attribute name in head");
+    }
+
+    let mut builder = QueryBuilder::new();
+    let mut relation_names = Vec::new();
+    for atom in split_atoms(body)? {
+        let (name, attrs) = parse_atom(&atom)?;
+        if name.is_empty() {
+            return err(format!("missing relation name in `{atom}`"));
+        }
+        match attrs.as_slice() {
+            [x] => builder = builder.unary_relation(x),
+            [x, y] => builder = builder.relation(x, y),
+            other => {
+                return err(format!(
+                    "relation {name} has arity {}; tree queries use arity 1 or 2",
+                    other.len()
+                ))
+            }
+        }
+        relation_names.push(name);
+    }
+    if relation_names.is_empty() {
+        return err("query body has no relations");
+    }
+
+    let builder = builder.output(outputs.iter().map(String::as_str));
+    let (query, names) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        builder.build()
+    }))
+    .map_err(|panic| {
+        let msg = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "invalid query structure".to_string());
+        ParseError(msg)
+    })?;
+    Ok(ParsedQuery {
+        query,
+        names,
+        relation_names,
+    })
+}
+
+/// Split a body on top-level commas: `R(a, b), S(b, c)` → two atoms.
+fn split_atoms(body: &str) -> Result<Vec<String>, ParseError> {
+    let mut atoms = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for ch in body.chars() {
+        match ch {
+            '(' => {
+                depth += 1;
+                current.push(ch);
+            }
+            ')' => {
+                if depth == 0 {
+                    return err("unbalanced `)`");
+                }
+                depth -= 1;
+                current.push(ch);
+            }
+            ',' if depth == 0 => {
+                atoms.push(std::mem::take(&mut current));
+            }
+            _ => current.push(ch),
+        }
+    }
+    if depth != 0 {
+        return err("unbalanced `(`");
+    }
+    if !current.trim().is_empty() {
+        atoms.push(current);
+    }
+    Ok(atoms)
+}
+
+/// Parse `Name(attr, attr, …)` into the name and attribute list.
+fn parse_atom(atom: &str) -> Result<(String, Vec<String>), ParseError> {
+    let atom = atom.trim();
+    let Some(open) = atom.find('(') else {
+        return err(format!("expected `Name(...)`, got `{atom}`"));
+    };
+    let Some(stripped) = atom.strip_suffix(')') else {
+        return err(format!("missing `)` in `{atom}`"));
+    };
+    let name = atom[..open].trim();
+    if !is_identifier(name) && !name.is_empty() {
+        return err(format!("invalid relation name `{name}`"));
+    }
+    let args: Vec<String> = stripped[open + 1..]
+        .split(',')
+        .map(|a| a.trim().to_string())
+        .filter(|a| !a.is_empty())
+        .collect();
+    for a in &args {
+        if !is_identifier(a) {
+            return err(format!("invalid attribute name `{a}`"));
+        }
+    }
+    Ok((name.to_string(), args))
+}
+
+fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{classify, Shape};
+
+    #[test]
+    fn parses_matrix_multiplication() {
+        let parsed = parse_query("Q(a, c) :- R(a, b), S(b, c).").expect("valid");
+        assert!(matches!(classify(&parsed.query), Shape::MatMul { .. }));
+        assert_eq!(parsed.relation_names, vec!["R", "S"]);
+        assert_eq!(parsed.names.len(), 3);
+    }
+
+    #[test]
+    fn parses_star_and_unary() {
+        let parsed =
+            parse_query("Out(x, y, z) :- A(x, hub), B(y, hub), C(z, hub), F(hub)")
+                .expect("valid");
+        assert_eq!(parsed.query.edges().len(), 4);
+        assert_eq!(parsed.relation_names, vec!["A", "B", "C", "F"]);
+    }
+
+    #[test]
+    fn whitespace_and_newlines_are_free() {
+        let parsed = parse_query(
+            "Q( src , dst )\n  :-  Hop1(src, m1),\n      Hop2(m1, m2),\n      Hop3(m2, dst)",
+        )
+        .expect("valid");
+        assert!(matches!(classify(&parsed.query), Shape::Line { .. }));
+    }
+
+    #[test]
+    fn rejects_missing_turnstile() {
+        assert!(parse_query("Q(a, c)").is_err());
+    }
+
+    #[test]
+    fn rejects_cyclic_queries() {
+        let e = parse_query("Q(a) :- R(a, b), S(b, c), T(c, a)").unwrap_err();
+        assert!(e.to_string().contains("spanning tree"), "{e}");
+    }
+
+    #[test]
+    fn rejects_high_arity() {
+        let e = parse_query("Q(a) :- R(a, b, c)").unwrap_err();
+        assert!(e.to_string().contains("arity 3"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_identifiers() {
+        assert!(parse_query("Q(a) :- R(a, 1b)").is_err());
+        assert!(parse_query("Q(a) :- R(a, b c)").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_output() {
+        let e = parse_query("Q(zzz) :- R(a, b)").unwrap_err();
+        assert!(e.to_string().contains("not in any relation"), "{e}");
+    }
+
+    #[test]
+    fn unbalanced_parens_reported() {
+        assert!(parse_query("Q(a :- R(a, b)").is_err());
+        assert!(parse_query("Q(a) :- R(a, b)) , S(b,c)").is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! The §7 *reduce* preprocessing: absorb relations that can be folded into
+//! a neighbour so that every remaining leaf attribute is an output
+//! attribute.
+//!
+//! A relation `R_e` is removable when (1) `e` has a single attribute, or
+//! (2) some non-output attribute appears in `e` only. Removal attaches
+//! `R_e`'s annotations to a neighbouring relation `R_{e'}` sharing an
+//! attribute: `w(t') ← w(t') ⊗ Σ { w(t) : t ∈ R_e, π_{e∩e'} t = π_{e∩e'} t' }`.
+//!
+//! This module computes the *plan* (which edge folds into which, in what
+//! order); executing a step on data is the engine's job, since it involves
+//! reduce-by-key and multi-search traffic.
+
+use crate::tree::TreeQuery;
+use mpcjoin_relation::Attr;
+
+/// One fold: absorb relation `removed` into relation `absorber`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReduceStep {
+    /// Edge index (into the original query) being removed.
+    pub removed: usize,
+    /// Edge index (into the original query) receiving the annotations.
+    pub absorber: usize,
+    /// The shared attributes `e ∩ e'` the fold groups by.
+    pub on: Vec<Attr>,
+}
+
+/// The reduction plan and the query that remains.
+#[derive(Clone, Debug)]
+pub struct Reduction {
+    /// Folds to execute, in order.
+    pub steps: Vec<ReduceStep>,
+    /// Original edge indices that survive, ascending.
+    pub kept: Vec<usize>,
+    /// The reduced query over the kept edges (same edge order as `kept`).
+    pub reduced: TreeQuery,
+}
+
+/// Plan the §7 reduction of `q`. Stops when no relation is removable or
+/// only one remains. In the reduced query every leaf attribute is an
+/// output attribute (checked by `debug_assert`).
+pub fn plan_reduction(q: &TreeQuery) -> Reduction {
+    let mut alive: Vec<bool> = vec![true; q.edges().len()];
+    let mut steps = Vec::new();
+
+    loop {
+        let alive_count = alive.iter().filter(|a| **a).count();
+        if alive_count <= 1 {
+            break;
+        }
+        let Some((removed, absorber)) = find_removable(q, &alive) else {
+            break;
+        };
+        let on: Vec<Attr> = q.edges()[removed]
+            .attrs()
+            .iter()
+            .copied()
+            .filter(|a| q.edges()[absorber].contains(*a))
+            .collect();
+        steps.push(ReduceStep {
+            removed,
+            absorber,
+            on,
+        });
+        alive[removed] = false;
+    }
+
+    let kept: Vec<usize> = (0..q.edges().len()).filter(|&i| alive[i]).collect();
+    let kept_edges = kept.iter().map(|&i| q.edges()[i].clone()).collect();
+    let attrs_left: std::collections::BTreeSet<Attr> = kept
+        .iter()
+        .flat_map(|&i| q.edges()[i].attrs().iter().copied())
+        .collect();
+    let reduced = TreeQuery::new(
+        kept_edges,
+        q.output().iter().copied().filter(|a| attrs_left.contains(a)),
+    );
+    debug_assert!(
+        reduced.edges().len() == 1
+            || reduced.leaves().iter().all(|&a| reduced.is_output(a)),
+        "reduction must leave only output leaves"
+    );
+    Reduction {
+        steps,
+        kept,
+        reduced,
+    }
+}
+
+/// Find `(removed, absorber)` for the next fold, or `None`.
+fn find_removable(q: &TreeQuery, alive: &[bool]) -> Option<(usize, usize)> {
+    let live_degree = |a: Attr| -> usize {
+        q.edges()
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| alive[*i] && e.contains(a))
+            .count()
+    };
+    for (i, e) in q.edges().iter().enumerate() {
+        if !alive[i] {
+            continue;
+        }
+        let removable = e.attrs().len() == 1
+            || e.attrs()
+                .iter()
+                .any(|&v| !q.is_output(v) && live_degree(v) == 1);
+        if !removable {
+            continue;
+        }
+        // Any live neighbour sharing an attribute absorbs.
+        let absorber = q.edges().iter().enumerate().find(|(j, e2)| {
+            alive[*j] && *j != i && e.attrs().iter().any(|a| e2.contains(*a))
+        });
+        if let Some((j, _)) = absorber {
+            return Some((i, j));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Edge;
+
+    const A: Attr = Attr(0);
+    const B: Attr = Attr(1);
+    const C: Attr = Attr(2);
+    const D: Attr = Attr(3);
+
+    #[test]
+    fn matmul_is_irreducible() {
+        let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, C]);
+        let r = plan_reduction(&q);
+        assert!(r.steps.is_empty());
+        assert_eq!(r.kept, vec![0, 1]);
+    }
+
+    #[test]
+    fn dangling_non_output_leaf_folds_in() {
+        // D is a non-output leaf: R(C, D) folds into R(B, C).
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, B), Edge::binary(B, C), Edge::binary(C, D)],
+            [A, C],
+        );
+        let r = plan_reduction(&q);
+        assert_eq!(
+            r.steps,
+            vec![ReduceStep {
+                removed: 2,
+                absorber: 1,
+                on: vec![C]
+            }]
+        );
+        assert_eq!(r.kept, vec![0, 1]);
+        assert!(r.reduced.leaves().iter().all(|&a| r.reduced.is_output(a)));
+    }
+
+    #[test]
+    fn unary_relation_folds_in() {
+        let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::unary(A)], [A, B]);
+        let r = plan_reduction(&q);
+        assert_eq!(
+            r.steps,
+            vec![ReduceStep {
+                removed: 1,
+                absorber: 0,
+                on: vec![A]
+            }]
+        );
+        assert_eq!(r.reduced.edges().len(), 1);
+    }
+
+    #[test]
+    fn chain_of_non_output_leaves_collapses() {
+        // y = {A}: the whole chain folds down to one relation.
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, B), Edge::binary(B, C), Edge::binary(C, D)],
+            [A],
+        );
+        let r = plan_reduction(&q);
+        assert_eq!(r.kept.len(), 1);
+        assert_eq!(r.kept, vec![0]);
+        assert_eq!(r.steps.len(), 2);
+        // Folds happen outside-in: (C,D) into (B,C), then (B,C) into (A,B).
+        assert_eq!(r.steps[0].removed, 2);
+        assert_eq!(r.steps[1].removed, 1);
+    }
+
+    #[test]
+    fn reduction_keeps_output_leaves() {
+        // Figure-2-like: after reduction every leaf is an output attr.
+        let q = TreeQuery::new(
+            vec![
+                Edge::binary(A, B),
+                Edge::binary(B, C),
+                Edge::binary(C, D),
+                Edge::binary(D, Attr(9)), // non-output tail
+            ],
+            [A, D],
+        );
+        let r = plan_reduction(&q);
+        assert_eq!(r.kept, vec![0, 1, 2]);
+        assert!(r.reduced.leaves().iter().all(|&a| r.reduced.is_output(a)));
+    }
+}

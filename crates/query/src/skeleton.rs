@@ -1,0 +1,257 @@
+//! Skeletons of twig queries (§7.1, Figure 3).
+//!
+//! For a twig `T` that is not itself star-like, let `V* ⊆ V` be the
+//! attributes appearing in more than 2 relations (`|V*| ≥ 2`, all
+//! non-output since twig outputs are leaves). The subtree `T_{V*}` spanned
+//! by `V*` has its leaves in `V*`; for each such leaf `B`, cutting the
+//! `T_{V*}`-edge at `B` detaches a *star-like* subquery `T_B` rooted at
+//! `B`, which the algorithm later materializes into one relation
+//! `R(B, V_B ∩ y)`. Contracting every `T_B` to its root gives the
+//! *skeleton* `T_S`; `S` is the set of leaves of `T_S` — the contracted
+//! `B`s (non-output) together with ordinary output leaves hanging off the
+//! skeleton's interior.
+
+use crate::classify::{star_like_with_center, StarLikeShape};
+use crate::tree::TreeQuery;
+use mpcjoin_relation::Attr;
+use std::collections::{BTreeSet, HashSet};
+
+/// One contracted star-like part `T_B` of a skeleton.
+#[derive(Clone, Debug)]
+pub struct ContractedPart {
+    /// The root `B` — a leaf of `T_{V*}`, non-output.
+    pub b: Attr,
+    /// Edge indices (into the twig) of `T_B`.
+    pub edges: Vec<usize>,
+    /// `V_B ∩ y`: the output attributes inside `T_B`.
+    pub outputs: Vec<Attr>,
+    /// `T_B` as a star-like shape centered at `B` (edge indices into the
+    /// twig query).
+    pub shape: StarLikeShape,
+}
+
+/// The skeleton decomposition of a twig.
+#[derive(Clone, Debug)]
+pub struct Skeleton {
+    /// Attributes in more than two relations.
+    pub vstar: Vec<Attr>,
+    /// Edge indices of `T_S` (everything not swallowed by a `T_B`).
+    pub skeleton_edges: Vec<usize>,
+    /// `S`: the leaves of `T_S`, sorted.
+    pub s: Vec<Attr>,
+    /// The contracted star-like parts, one per leaf of `T_{V*}`.
+    pub contracted: Vec<ContractedPart>,
+}
+
+/// Compute the skeleton of a twig, or `None` when `|V*| < 2` (the twig is
+/// already star-like or simpler and needs no skeleton).
+pub fn skeleton(q: &TreeQuery) -> Option<Skeleton> {
+    let vstar: Vec<Attr> = q
+        .attrs()
+        .into_iter()
+        .filter(|&a| q.degree(a) > 2)
+        .collect();
+    if vstar.len() < 2 {
+        return None;
+    }
+
+    // T_{V*}: union of the paths between V* terminals (a tree's Steiner
+    // tree is the union of paths from one fixed terminal to the rest).
+    let mut tvstar_edges: BTreeSet<usize> = BTreeSet::new();
+    for &t in &vstar[1..] {
+        tvstar_edges.extend(q.path(vstar[0], t));
+    }
+
+    // Leaves of T_{V*}: terminals incident to exactly one T_{V*} edge.
+    let tv_degree = |a: Attr| -> usize {
+        tvstar_edges
+            .iter()
+            .filter(|&&ei| q.edges()[ei].contains(a))
+            .count()
+    };
+    let tv_attrs: BTreeSet<Attr> = tvstar_edges
+        .iter()
+        .flat_map(|&ei| q.edges()[ei].attrs().iter().copied())
+        .collect();
+    let tv_leaves: Vec<Attr> = tv_attrs
+        .iter()
+        .copied()
+        .filter(|&a| tv_degree(a) == 1)
+        .collect();
+
+    // Detach T_B for each T_{V*} leaf B.
+    let mut swallowed: HashSet<usize> = HashSet::new();
+    let mut contracted = Vec::new();
+    for &b in &tv_leaves {
+        let eb = *tvstar_edges
+            .iter()
+            .find(|&&ei| q.edges()[ei].contains(b))
+            .expect("leaf has an incident T_{V*} edge");
+        let side = q.component_without(b, &HashSet::from([eb]));
+        let edges: Vec<usize> = (0..q.edges().len())
+            .filter(|&ei| {
+                ei != eb && q.edges()[ei].attrs().iter().all(|a| side.contains(a))
+            })
+            .collect();
+        let outputs: Vec<Attr> = side
+            .iter()
+            .copied()
+            .filter(|a| q.is_output(*a))
+            .collect();
+        let sub = TreeQuery::new(
+            edges.iter().map(|&ei| q.edges()[ei].clone()).collect(),
+            outputs.clone(),
+        );
+        let local_shape = star_like_with_center(&sub, b)
+            .expect("a detached T_B must be star-like at B (paper, §7.1)");
+        // Re-index the shape's edges back into the twig.
+        let shape = StarLikeShape {
+            center: local_shape.center,
+            arms: local_shape
+                .arms
+                .into_iter()
+                .map(|arm| crate::classify::Arm {
+                    edges: arm.edges.iter().map(|&le| edges[le]).collect(),
+                    attrs: arm.attrs,
+                })
+                .collect(),
+        };
+        swallowed.extend(edges.iter().copied());
+        contracted.push(ContractedPart {
+            b,
+            edges,
+            outputs,
+            shape,
+        });
+    }
+
+    let skeleton_edges: Vec<usize> = (0..q.edges().len())
+        .filter(|ei| !swallowed.contains(ei))
+        .collect();
+
+    // S = leaves of T_S.
+    let ts_degree = |a: Attr| -> usize {
+        skeleton_edges
+            .iter()
+            .filter(|&&ei| q.edges()[ei].contains(a))
+            .count()
+    };
+    let ts_attrs: BTreeSet<Attr> = skeleton_edges
+        .iter()
+        .flat_map(|&ei| q.edges()[ei].attrs().iter().copied())
+        .collect();
+    let s: Vec<Attr> = ts_attrs
+        .iter()
+        .copied()
+        .filter(|&a| ts_degree(a) == 1)
+        .collect();
+
+    Some(Skeleton {
+        vstar,
+        skeleton_edges,
+        s,
+        contracted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Edge;
+
+    /// The Figure 3 twig: skeleton with `S = {A1, A2, A3, B1, B2}`,
+    /// `S ∩ y = {A1, A2, A3}`, `S ∩ ȳ = {B1, B2}`.
+    ///
+    /// Construction (matching the figure's qualitative structure): `B1`
+    /// and `B2` each carry a star-like subtree of two output arms; the
+    /// path between them passes through internal attributes carrying the
+    /// hanging output leaves `A1, A2, A3`.
+    fn figure_3_twig() -> (TreeQuery, Attr, Attr, Vec<Attr>) {
+        let b1 = Attr(10);
+        let b2 = Attr(11);
+        let (a1, a2, a3) = (Attr(1), Attr(2), Attr(3));
+        // Outputs hanging off B1's star-like part:
+        let (p1, p2) = (Attr(4), Attr(5));
+        // Outputs hanging off B2's star-like part:
+        let (q1, q2) = (Attr(6), Attr(7));
+        // Path interiors:
+        let (m1, m2) = (Attr(20), Attr(21));
+        let edges = vec![
+            Edge::binary(b1, p1),
+            Edge::binary(b1, p2),
+            Edge::binary(b1, m1), // skeleton
+            Edge::binary(m1, a1), // hanging output leaf
+            Edge::binary(m1, m2), // skeleton
+            Edge::binary(m2, a2),
+            Edge::binary(m2, a3),
+            Edge::binary(m2, b2), // skeleton (m2 has degree 4: in V*)
+            Edge::binary(b2, q1),
+            Edge::binary(b2, q2),
+        ];
+        let q = TreeQuery::new(edges, [p1, p2, a1, a2, a3, q1, q2]);
+        (q, b1, b2, vec![a1, a2, a3])
+    }
+
+    #[test]
+    fn figure_3_skeleton() {
+        let (q, b1, b2, hanging) = figure_3_twig();
+        let sk = skeleton(&q).expect("twig has |V*| ≥ 2");
+        // V* contains b1, b2 (degree 3) and the path interiors of degree 3.
+        assert!(sk.vstar.contains(&b1));
+        assert!(sk.vstar.contains(&b2));
+        // Exactly two contracted star-like parts, rooted at b1 and b2.
+        let mut roots: Vec<Attr> = sk.contracted.iter().map(|c| c.b).collect();
+        roots.sort();
+        assert_eq!(roots, vec![b1, b2]);
+        // S = {A1, A2, A3, B1, B2}.
+        let mut expect: Vec<Attr> = hanging.clone();
+        expect.extend([b1, b2]);
+        expect.sort();
+        assert_eq!(sk.s, expect);
+        // Each contracted part has the two output arms from the figure.
+        for c in &sk.contracted {
+            assert_eq!(c.shape.arms.len(), 2);
+            assert_eq!(c.outputs.len(), 2);
+        }
+    }
+
+    #[test]
+    fn star_like_twig_has_no_skeleton() {
+        let b = Attr(9);
+        let q = TreeQuery::new(
+            vec![
+                Edge::binary(b, Attr(0)),
+                Edge::binary(b, Attr(1)),
+                Edge::binary(b, Attr(2)),
+            ],
+            [Attr(0), Attr(1), Attr(2)],
+        );
+        assert!(skeleton(&q).is_none());
+    }
+
+    #[test]
+    fn minimal_two_center_twig() {
+        // B1 — B2 adjacent, each with two output leaves.
+        let (b1, b2) = (Attr(10), Attr(11));
+        let q = TreeQuery::new(
+            vec![
+                Edge::binary(b1, Attr(0)),
+                Edge::binary(b1, Attr(1)),
+                Edge::binary(b1, b2),
+                Edge::binary(b2, Attr(2)),
+                Edge::binary(b2, Attr(3)),
+            ],
+            [Attr(0), Attr(1), Attr(2), Attr(3)],
+        );
+        let sk = skeleton(&q).expect("two centers");
+        assert_eq!(sk.vstar, vec![b1, b2]);
+        // The skeleton is just the edge b1–b2; S = {b1, b2}.
+        assert_eq!(sk.skeleton_edges, vec![2]);
+        assert_eq!(sk.s, vec![b1, b2]);
+        assert_eq!(sk.contracted.len(), 2);
+        for c in &sk.contracted {
+            assert_eq!(c.edges.len(), 2);
+            assert_eq!(c.shape.arms.len(), 2);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Twig decomposition (§7, Figure 2): break a reduced tree query at every
+//! non-leaf output attribute.
+//!
+//! After the §7 reduction every leaf is an output attribute; breaking at
+//! the internal (non-leaf) output attributes yields *twigs* — subqueries in
+//! which the output attributes are exactly the leaves. Twigs are computed
+//! independently; because every attribute shared between two twigs is an
+//! output attribute, the final combination of twig results is a
+//! free-connex join handled by the standard Yannakakis algorithm.
+
+use crate::tree::TreeQuery;
+use mpcjoin_relation::Attr;
+use std::collections::BTreeSet;
+
+/// One twig of a decomposition.
+#[derive(Clone, Debug)]
+pub struct Twig {
+    /// The twig as a stand-alone query; its output attributes are exactly
+    /// its leaves.
+    pub query: TreeQuery,
+    /// For each edge of `query`, the edge index in the parent query.
+    pub parent_edges: Vec<usize>,
+}
+
+/// Split `q` (already reduced: all leaves are outputs) into twigs.
+///
+/// Two edges belong to the same twig iff they are connected through
+/// attributes that are *not* internal output attributes. Panics if `q`
+/// has a non-output leaf (i.e. was not reduced first).
+pub fn decompose_twigs(q: &TreeQuery) -> Vec<Twig> {
+    assert!(
+        q.edges().len() == 1 || q.leaves().iter().all(|&a| q.is_output(a)),
+        "twig decomposition requires a reduced query (non-output leaf found)"
+    );
+    let break_attrs: BTreeSet<Attr> = q
+        .attrs()
+        .into_iter()
+        .filter(|&a| q.is_output(a) && q.degree(a) >= 2)
+        .collect();
+
+    // Union-find over edges, merging edges that share a non-break attr.
+    let n = q.edges().len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for a in q.attrs() {
+        if break_attrs.contains(&a) {
+            continue;
+        }
+        let incident: Vec<usize> = (0..n).filter(|&i| q.edges()[i].contains(a)).collect();
+        for w in incident.windows(2) {
+            let (r1, r2) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+            if r1 != r2 {
+                parent[r1] = r2;
+            }
+        }
+    }
+
+    // Materialize components in deterministic (smallest-edge-index) order.
+    let roots: Vec<usize> = (0..n).map(|i| find(&mut parent, i)).collect();
+    let mut seen = Vec::new();
+    let mut twigs = Vec::new();
+    for i in 0..n {
+        let root = roots[i];
+        if seen.contains(&root) {
+            continue;
+        }
+        seen.push(root);
+        let members: Vec<usize> = (0..n).filter(|&j| roots[j] == root).collect();
+        let edges = members.iter().map(|&j| q.edges()[j].clone()).collect();
+        let attrs: BTreeSet<Attr> = members
+            .iter()
+            .flat_map(|&j| q.edges()[j].attrs().iter().copied())
+            .collect();
+        let output: Vec<Attr> = attrs
+            .iter()
+            .copied()
+            .filter(|a| q.is_output(*a))
+            .collect();
+        twigs.push(Twig {
+            query: TreeQuery::new(edges, output),
+            parent_edges: members,
+        });
+    }
+    twigs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{classify, Shape};
+    use crate::tree::Edge;
+
+    #[test]
+    fn matmul_is_single_twig() {
+        let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+        let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c]);
+        let twigs = decompose_twigs(&q);
+        assert_eq!(twigs.len(), 1);
+        assert!(matches!(classify(&twigs[0].query), Shape::MatMul { .. }));
+    }
+
+    #[test]
+    fn internal_output_attr_splits() {
+        // A — B — C with y = {A, B, C}? That is free-connex; use
+        // A — B — C — D — E with y = {A, C, E}: break at C.
+        let attrs: Vec<Attr> = (0..5).map(Attr).collect();
+        let q = TreeQuery::new(
+            vec![
+                Edge::binary(attrs[0], attrs[1]),
+                Edge::binary(attrs[1], attrs[2]),
+                Edge::binary(attrs[2], attrs[3]),
+                Edge::binary(attrs[3], attrs[4]),
+            ],
+            [attrs[0], attrs[2], attrs[4]],
+        );
+        let twigs = decompose_twigs(&q);
+        assert_eq!(twigs.len(), 2);
+        for t in &twigs {
+            // Each twig is a 2-hop matrix multiplication.
+            assert!(matches!(classify(&t.query), Shape::MatMul { .. }));
+        }
+    }
+
+    /// The Figure 2 example: a tree query whose reduction decomposes into
+    /// 6 twigs — two single relations with all-output vertices, two matrix
+    /// multiplications, one star-like query and one general twig.
+    #[test]
+    fn figure_2_decomposition() {
+        // Construct a tree with the qualitative structure of Figure 2.
+        // Output attrs: o1..o8; non-output: b1 (star-like center),
+        // b2/b3 (the general twig's two centers), m1, m2 (matmul middles),
+        // c1 (an arm interior).
+        let o: Vec<Attr> = (0..9).map(Attr).collect(); // o[1..=8]
+        let b1 = Attr(20);
+        let b2 = Attr(21);
+        let b3 = Attr(22);
+        let m1 = Attr(23);
+        let c1 = Attr(25);
+        let edges = vec![
+            Edge::binary(o[1], o[2]),  // twig 1: single all-output relation
+            Edge::binary(o[2], m1),    // twig 2: matmul o2 –m1– o3
+            Edge::binary(m1, o[3]),
+            Edge::binary(o[3], b1),    // twig 3: star-like at b1
+            Edge::binary(b1, c1),      //   arm with interior c1
+            Edge::binary(c1, o[4]),
+            Edge::binary(b1, o[5]),    //   short arm
+            Edge::binary(o[5], b2),    // twig 4: general twig, centers b2, b3
+            Edge::binary(b2, o[6]),
+            Edge::binary(b2, b3),
+            Edge::binary(b3, o[7]),
+            Edge::binary(b3, o[8]),
+            Edge::binary(o[8], Attr(26)), // twig 5-ish: single relation o8–o9
+        ];
+        let outputs = vec![
+            o[1], o[2], o[3], o[4], o[5], o[6], o[7], o[8],
+            Attr(26),
+        ];
+        let q = TreeQuery::new(edges, outputs);
+        let twigs = decompose_twigs(&q);
+        assert_eq!(twigs.len(), 5);
+
+        let shapes: Vec<Shape> = twigs.iter().map(|t| classify(&t.query)).collect();
+        let count = |pred: &dyn Fn(&Shape) -> bool| shapes.iter().filter(|s| pred(s)).count();
+        // Single all-output relations classify as free-connex.
+        assert_eq!(count(&|s| matches!(s, Shape::FreeConnex)), 2);
+        assert_eq!(count(&|s| matches!(s, Shape::MatMul { .. })), 1);
+        assert_eq!(count(&|s| matches!(s, Shape::StarLike(_))), 1);
+        assert_eq!(count(&|s| matches!(s, Shape::Twig)), 1);
+    }
+
+    #[test]
+    fn twig_outputs_are_exactly_leaves() {
+        let attrs: Vec<Attr> = (0..5).map(Attr).collect();
+        let q = TreeQuery::new(
+            vec![
+                Edge::binary(attrs[0], attrs[1]),
+                Edge::binary(attrs[1], attrs[2]),
+                Edge::binary(attrs[2], attrs[3]),
+                Edge::binary(attrs[3], attrs[4]),
+            ],
+            [attrs[0], attrs[2], attrs[4]],
+        );
+        for t in decompose_twigs(&q) {
+            let leaves: BTreeSet<Attr> = t.query.leaves().into_iter().collect();
+            assert_eq!(&leaves, t.query.output());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reduced query")]
+    fn rejects_unreduced_query() {
+        let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+        // c is a non-output leaf: must be reduced away first.
+        let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, b]);
+        let _ = decompose_twigs(&q);
+    }
+}

@@ -1,0 +1,102 @@
+//! Dictionary encoding of value combinations ("combined attributes").
+//!
+//! Several reductions in the paper treat a *set* of attributes as one
+//! attribute: §6 step (2.2) regards `A^small` as "a combined attribute",
+//! and §7 replaces a whole star-like subtree `T_B` by a fresh edge
+//! `(B, V_B ∩ y)`. Concretely that requires mapping each distinct value
+//! combination to a single fresh `u64`, with an inverse map to expand final
+//! results back to their constituent columns.
+
+use crate::{Row, Value};
+use std::collections::HashMap;
+
+/// A bijective dictionary `row ↦ code` for combining multiple columns into
+/// one synthetic column.
+///
+/// Codes are assigned densely from 0 in first-seen order, which keeps them
+/// usable as array indices and makes encodings deterministic for a fixed
+/// insertion order.
+#[derive(Clone, Debug, Default)]
+pub struct ValueDict {
+    forward: HashMap<Row, Value>,
+    backward: Vec<Row>,
+}
+
+impl ValueDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Code for `combo`, allocating a fresh one on first sight.
+    pub fn encode(&mut self, combo: &[Value]) -> Value {
+        if let Some(&code) = self.forward.get(combo) {
+            return code;
+        }
+        let code = self.backward.len() as Value;
+        self.forward.insert(combo.to_vec(), code);
+        self.backward.push(combo.to_vec());
+        code
+    }
+
+    /// Code for `combo` if already present.
+    pub fn lookup(&self, combo: &[Value]) -> Option<Value> {
+        self.forward.get(combo).copied()
+    }
+
+    /// The combination behind `code`; panics on an unallocated code (that
+    /// is a logic error in the calling algorithm, not a data condition).
+    pub fn decode(&self, code: Value) -> &[Value] {
+        self.backward
+            .get(code as usize)
+            .unwrap_or_else(|| panic!("decode of unallocated code {code}"))
+            .as_slice()
+    }
+
+    /// Number of distinct combinations seen.
+    pub fn len(&self) -> usize {
+        self.backward.len()
+    }
+
+    /// Whether no combination has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.backward.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent() {
+        let mut d = ValueDict::new();
+        let c1 = d.encode(&[3, 4]);
+        let c2 = d.encode(&[3, 4]);
+        assert_eq!(c1, c2);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn codes_are_dense_and_decodable() {
+        let mut d = ValueDict::new();
+        let a = d.encode(&[1]);
+        let b = d.encode(&[2, 2]);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(d.decode(a), &[1]);
+        assert_eq!(d.decode(b), &[2, 2]);
+    }
+
+    #[test]
+    fn lookup_does_not_allocate() {
+        let d = ValueDict::new();
+        assert_eq!(d.lookup(&[9]), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated code")]
+    fn decode_unallocated_panics() {
+        ValueDict::new().decode(0);
+    }
+}

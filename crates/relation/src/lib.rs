@@ -1,0 +1,36 @@
+//! Annotated relations and local (single-server) relational operators.
+//!
+//! An *annotated relation* pairs every tuple with an element of a
+//! commutative semiring (see `mpcjoin-semiring`). All the MPC algorithms
+//! in this workspace ultimately bottom out in local computation on one
+//! simulated server, and this crate provides that local layer:
+//!
+//! * [`Attr`] — interned attribute identifiers,
+//! * [`Schema`] — an ordered set of attributes,
+//! * [`Relation`] — a bag of `(row, annotation)` pairs under a schema,
+//!   with natural join, semijoin, projection-with-aggregation, selection,
+//!   renaming and normalization,
+//! * [`ValueDict`] — dictionary-encoding of value combinations, used by the
+//!   algorithms of §6–§7 of the paper when they treat a set of attributes
+//!   as one "combined" attribute.
+//!
+//! Representation choices follow the paper's data model: every relation in
+//! an input query has arity ≤ 2 (the join hypergraph is a tree over binary
+//! edges), but *intermediate* relations produced by Yannakakis-style passes
+//! can be wider, so [`Relation`] supports arbitrary arity with a fast path
+//! for the binary case. Values are dictionary-encoded `u64`s throughout.
+
+mod dict;
+mod ops;
+mod relation;
+mod schema;
+
+pub use dict::ValueDict;
+pub use relation::Relation;
+pub use schema::{Attr, Schema};
+
+/// A dictionary-encoded attribute value.
+pub type Value = u64;
+
+/// A tuple of values, positionally aligned with a [`Schema`].
+pub type Row = Vec<Value>;

@@ -1,0 +1,258 @@
+//! Local relational operators: natural join, semijoin, project-aggregate.
+//!
+//! These run on a single simulated server; their *inputs* arrive through
+//! costed MPC exchanges, but local computation itself is free in the MPC
+//! model (§1.3: the load is the communication metric, and local work is an
+//! increasing function of it).
+
+use crate::relation::Relation;
+use crate::schema::{Attr, Schema};
+use crate::Row;
+use mpcjoin_semiring::Semiring;
+use std::collections::HashMap;
+
+impl<S: Semiring> Relation<S> {
+    /// Natural join. Joins on all shared attributes (cartesian product when
+    /// none are shared); the annotation of each result is the ⊗-product of
+    /// the two sides' annotations, per §1.1 of the paper.
+    ///
+    /// Hash join keyed on the shared-attribute projection, building on the
+    /// smaller side.
+    pub fn natural_join(&self, other: &Relation<S>) -> Relation<S> {
+        if self.len() > other.len() {
+            // Build on the smaller side, then restore this side's column
+            // order so the output schema is deterministic for callers.
+            let flipped = other.natural_join_impl(self);
+            let target = self.schema().join_schema(other.schema());
+            return flipped.reorder(&target);
+        }
+        self.natural_join_impl(other)
+    }
+
+    fn natural_join_impl(&self, other: &Relation<S>) -> Relation<S> {
+        let common = self.schema().common(other.schema());
+        let left_key = self.schema().positions_of(&common);
+        let right_key = other.schema().positions_of(&common);
+        let out_schema = self.schema().join_schema(other.schema());
+        // Positions in `other` of the attributes appended to the output.
+        let appended: Vec<usize> = other
+            .schema()
+            .attrs()
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !self.schema().contains(**a))
+            .map(|(i, _)| i)
+            .collect();
+
+        let mut build: HashMap<Row, Vec<usize>> = HashMap::with_capacity(self.len());
+        for (i, (row, _)) in self.entries().iter().enumerate() {
+            build
+                .entry(Self::project_row(row, &left_key))
+                .or_default()
+                .push(i);
+        }
+
+        let mut out = Vec::new();
+        for (row, annot) in other.entries() {
+            let key = Self::project_row(row, &right_key);
+            if let Some(matches) = build.get(&key) {
+                for &i in matches {
+                    let (lrow, lannot) = &self.entries()[i];
+                    let mut new_row = lrow.clone();
+                    new_row.extend(appended.iter().map(|&j| row[j]));
+                    out.push((new_row, lannot.mul(annot)));
+                }
+            }
+        }
+        Relation::from_entries(out_schema, out)
+    }
+
+    /// Semijoin `self ⋉ other`: keep entries whose shared-attribute
+    /// projection appears in `other`. Annotations are untouched — a
+    /// semijoin filters, it does not aggregate (§2.1).
+    pub fn semijoin(&self, other: &Relation<S>) -> Relation<S> {
+        let common = self.schema().common(other.schema());
+        if common.is_empty() {
+            // Degenerate case: every row survives iff `other` is non-empty.
+            return if other.is_empty() {
+                Relation::empty(self.schema().clone())
+            } else {
+                self.clone()
+            };
+        }
+        let left_key = self.schema().positions_of(&common);
+        let right_key = other.schema().positions_of(&common);
+        let probe: std::collections::HashSet<Row> = other
+            .entries()
+            .iter()
+            .map(|(row, _)| Self::project_row(row, &right_key))
+            .collect();
+        self.filter(|row| probe.contains(&Relation::<S>::project_row(row, &left_key)))
+    }
+
+    /// Project onto `keep` and ⊕-aggregate annotations within each group:
+    /// the `∑_{ȳ}` operator of §1.1 applied locally. Rows whose aggregate
+    /// is ⊕-zero are dropped.
+    pub fn project_aggregate(&self, keep: &[Attr]) -> Relation<S> {
+        let pos = self.schema().positions_of(keep);
+        let mut groups: HashMap<Row, S> = HashMap::new();
+        for (row, annot) in self.entries() {
+            let key = Self::project_row(row, &pos);
+            match groups.get_mut(&key) {
+                Some(acc) => acc.add_assign(annot),
+                None => {
+                    groups.insert(key, annot.clone());
+                }
+            }
+        }
+        let entries = groups.into_iter().filter(|(_, s)| !s.is_zero()).collect();
+        Relation::from_entries(Schema::new(keep.to_vec()), entries)
+    }
+
+    /// Join then immediately project-aggregate: `∑_{ȳ}(self ⋈ other)` with
+    /// `keep` as the output attributes. Semantically equal to
+    /// `natural_join(..).project_aggregate(keep)`, provided as one call
+    /// because the algorithms use this "join + local aggregation" shape
+    /// constantly.
+    pub fn join_aggregate(&self, other: &Relation<S>, keep: &[Attr]) -> Relation<S> {
+        self.natural_join(other).project_aggregate(keep)
+    }
+
+    /// ⊕-aggregate of *all* annotations: the `y = ∅` query (e.g. the full
+    /// join size under the counting semiring).
+    pub fn aggregate_all(&self) -> S {
+        let mut acc = S::zero();
+        for (_, annot) in self.entries() {
+            acc.add_assign(annot);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_semiring::{Count, TropicalMin};
+
+    const A: Attr = Attr(0);
+    const B: Attr = Attr(1);
+    const C: Attr = Attr(2);
+
+    fn rel(schema: Schema, rows: &[(&[u64], u64)]) -> Relation<Count> {
+        Relation::from_entries(
+            schema,
+            rows.iter()
+                .map(|(r, w)| (r.to_vec(), Count(*w)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn join_matches_on_common_attribute() {
+        let r1 = rel(Schema::binary(A, B), &[(&[1, 10], 2), (&[2, 10], 3), (&[3, 11], 5)]);
+        let r2 = rel(Schema::binary(B, C), &[(&[10, 100], 7), (&[12, 200], 1)]);
+        let j = r1.natural_join(&r2);
+        assert_eq!(j.schema().attrs(), &[A, B, C]);
+        let mut rows = j.canonical();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                (vec![1, 10, 100], Count(14)),
+                (vec![2, 10, 100], Count(21)),
+            ]
+        );
+    }
+
+    #[test]
+    fn join_build_side_flip_preserves_schema() {
+        // Force the "flip" path by making the left side larger.
+        let r1 = rel(
+            Schema::binary(A, B),
+            &[(&[1, 10], 1), (&[2, 10], 1), (&[3, 10], 1)],
+        );
+        let r2 = rel(Schema::binary(B, C), &[(&[10, 5], 1)]);
+        let j = r1.natural_join(&r2);
+        assert_eq!(j.schema().attrs(), &[A, B, C]);
+        assert_eq!(j.len(), 3);
+    }
+
+    #[test]
+    fn join_without_common_attrs_is_cartesian() {
+        let r1 = rel(Schema::unary(A), &[(&[1], 2), (&[2], 3)]);
+        let r2 = rel(Schema::unary(B), &[(&[7], 5)]);
+        let j = r1.natural_join(&r2);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.aggregate_all(), Count(2 * 5 + 3 * 5));
+    }
+
+    #[test]
+    fn semijoin_filters_without_touching_annotations() {
+        let r1 = rel(Schema::binary(A, B), &[(&[1, 10], 9), (&[2, 11], 9)]);
+        let r2 = rel(Schema::binary(B, C), &[(&[10, 0], 1)]);
+        let s = r1.semijoin(&r2);
+        assert_eq!(s.canonical(), vec![(vec![1, 10], Count(9))]);
+    }
+
+    #[test]
+    fn semijoin_no_common_attrs_depends_on_emptiness() {
+        let r1 = rel(Schema::unary(A), &[(&[1], 1)]);
+        let nonempty = rel(Schema::unary(B), &[(&[5], 1)]);
+        let empty: Relation<Count> = Relation::empty(Schema::unary(B));
+        assert_eq!(r1.semijoin(&nonempty).len(), 1);
+        assert!(r1.semijoin(&empty).is_empty());
+    }
+
+    #[test]
+    fn project_aggregate_groups() {
+        let r1 = rel(
+            Schema::binary(A, B),
+            &[(&[1, 10], 2), (&[1, 11], 3), (&[2, 12], 4)],
+        );
+        let p = r1.project_aggregate(&[A]);
+        assert_eq!(
+            p.canonical(),
+            vec![(vec![1], Count(5)), (vec![2], Count(4))]
+        );
+    }
+
+    #[test]
+    fn join_aggregate_is_matrix_multiply() {
+        // 2x2 boolean-count matrices: R1 = {(1,1),(1,2)}, R2 = {(1,5),(2,5)}
+        let r1 = rel(Schema::binary(A, B), &[(&[1, 1], 1), (&[1, 2], 1)]);
+        let r2 = rel(Schema::binary(B, C), &[(&[1, 5], 1), (&[2, 5], 1)]);
+        let out = r1.join_aggregate(&r2, &[A, C]);
+        // (1,5) reachable via two b's → count 2.
+        assert_eq!(out.canonical(), vec![(vec![1, 5], Count(2))]);
+    }
+
+    #[test]
+    fn tropical_join_takes_min_over_paths() {
+        let s1 = Relation::from_entries(
+            Schema::binary(A, B),
+            vec![
+                (vec![0, 1], TropicalMin::finite(3)),
+                (vec![0, 2], TropicalMin::finite(1)),
+            ],
+        );
+        let s2 = Relation::from_entries(
+            Schema::binary(B, C),
+            vec![
+                (vec![1, 9], TropicalMin::finite(1)),
+                (vec![2, 9], TropicalMin::finite(10)),
+            ],
+        );
+        let out = s1.join_aggregate(&s2, &[A, C]);
+        assert_eq!(
+            out.canonical(),
+            vec![(vec![0, 9], TropicalMin::finite(4))]
+        );
+    }
+
+    #[test]
+    fn aggregate_all_counts_full_join() {
+        let r1 = rel(Schema::binary(A, B), &[(&[1, 10], 1), (&[2, 10], 1)]);
+        let r2 = rel(Schema::binary(B, C), &[(&[10, 1], 1), (&[10, 2], 1)]);
+        assert_eq!(r1.natural_join(&r2).aggregate_all(), Count(4));
+    }
+}

@@ -1,0 +1,292 @@
+//! The annotated relation container.
+
+use crate::schema::{Attr, Schema};
+use crate::{Row, Value};
+use mpcjoin_semiring::Semiring;
+use std::collections::HashMap;
+
+/// A bag of `(row, annotation)` pairs under a [`Schema`].
+///
+/// The container is a *bag*: the same row may appear several times with
+/// different (or equal) annotations, which is exactly the state of data
+/// mid-algorithm before a reduce-by-key pass. [`Relation::coalesce`]
+/// normalizes to one entry per distinct row by ⊕-combining annotations and
+/// dropping ⊕-zeros; most operators do not implicitly coalesce, because in
+/// the MPC simulation aggregation is an explicit, costed step.
+#[derive(Clone, Debug)]
+pub struct Relation<S: Semiring> {
+    schema: Schema,
+    entries: Vec<(Row, S)>,
+}
+
+impl<S: Semiring> Relation<S> {
+    /// An empty relation over `schema`.
+    pub fn empty(schema: Schema) -> Self {
+        Relation {
+            schema,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Build from `(row, annotation)` pairs; panics if any row's arity
+    /// disagrees with the schema.
+    pub fn from_entries(schema: Schema, entries: Vec<(Row, S)>) -> Self {
+        for (row, _) in &entries {
+            assert_eq!(
+                row.len(),
+                schema.arity(),
+                "row arity {} does not match schema {schema}",
+                row.len()
+            );
+        }
+        Relation { schema, entries }
+    }
+
+    /// Convenience constructor for binary relations annotated with
+    /// [`Semiring::one`] — the common "unweighted" input shape.
+    pub fn binary_ones(a: Attr, b: Attr, pairs: impl IntoIterator<Item = (Value, Value)>) -> Self {
+        let entries = pairs
+            .into_iter()
+            .map(|(x, y)| (vec![x, y], S::one()))
+            .collect();
+        Relation {
+            schema: Schema::binary(a, b),
+            entries,
+        }
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The `(row, annotation)` entries, in insertion order.
+    pub fn entries(&self) -> &[(Row, S)] {
+        &self.entries
+    }
+
+    /// Consume into entries.
+    pub fn into_entries(self) -> Vec<(Row, S)> {
+        self.entries
+    }
+
+    /// Number of entries (bag size, not distinct rows).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Append one entry; panics on arity mismatch.
+    pub fn push(&mut self, row: Row, annot: S) {
+        assert_eq!(row.len(), self.schema.arity(), "row arity mismatch");
+        self.entries.push((row, annot));
+    }
+
+    /// Project a row onto the positions `pos` (helper for operators).
+    pub(crate) fn project_row(row: &[Value], pos: &[usize]) -> Row {
+        pos.iter().map(|&i| row[i]).collect()
+    }
+
+    /// Combine duplicate rows with ⊕ and drop rows annotated ⊕-zero.
+    ///
+    /// Zero-annotated tuples are semantically absent (they contribute the
+    /// identity to any aggregate), so dropping them is sound over any
+    /// semiring and keeps hard-instance sizes honest.
+    pub fn coalesce(&self) -> Relation<S> {
+        let mut index: HashMap<Row, S> = HashMap::with_capacity(self.entries.len());
+        for (row, annot) in &self.entries {
+            match index.get_mut(row) {
+                Some(acc) => acc.add_assign(annot),
+                None => {
+                    index.insert(row.clone(), annot.clone());
+                }
+            }
+        }
+        let entries = index
+            .into_iter()
+            .filter(|(_, s)| !s.is_zero())
+            .collect::<Vec<_>>();
+        Relation {
+            schema: self.schema.clone(),
+            entries,
+        }
+    }
+
+    /// Reorder columns to `target` (same attribute set, any order).
+    pub fn reorder(&self, target: &Schema) -> Relation<S> {
+        assert_eq!(
+            {
+                let mut a = self.schema.attrs().to_vec();
+                a.sort();
+                a
+            },
+            {
+                let mut b = target.attrs().to_vec();
+                b.sort();
+                b
+            },
+            "reorder requires identical attribute sets"
+        );
+        let pos = self.schema.positions_of(target.attrs());
+        let entries = self
+            .entries
+            .iter()
+            .map(|(row, s)| (Self::project_row(row, &pos), s.clone()))
+            .collect();
+        Relation {
+            schema: target.clone(),
+            entries,
+        }
+    }
+
+    /// Rename attribute `from` to `to` (schema-level only; rows unchanged).
+    pub fn rename(&self, from: Attr, to: Attr) -> Relation<S> {
+        let attrs = self
+            .schema
+            .attrs()
+            .iter()
+            .map(|&a| if a == from { to } else { a })
+            .collect();
+        Relation {
+            schema: Schema::new(attrs),
+            entries: self.entries.clone(),
+        }
+    }
+
+    /// Keep entries whose row satisfies `pred`.
+    pub fn filter(&self, mut pred: impl FnMut(&[Value]) -> bool) -> Relation<S> {
+        Relation {
+            schema: self.schema.clone(),
+            entries: self
+                .entries
+                .iter()
+                .filter(|(row, _)| pred(row))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Keep entries whose value at attribute `a` satisfies `pred`.
+    pub fn filter_on(&self, a: Attr, mut pred: impl FnMut(Value) -> bool) -> Relation<S> {
+        let i = self
+            .schema
+            .position(a)
+            .unwrap_or_else(|| panic!("attribute {a} not in schema"));
+        self.filter(|row| pred(row[i]))
+    }
+
+    /// The distinct values appearing in attribute `a`.
+    pub fn distinct_values(&self, a: Attr) -> Vec<Value> {
+        let i = self
+            .schema
+            .position(a)
+            .unwrap_or_else(|| panic!("attribute {a} not in schema"));
+        let mut vals: Vec<Value> = self.entries.iter().map(|(row, _)| row[i]).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+
+    /// Degree of each value of attribute `a`: the number of entries holding
+    /// that value (the paper's `|σ_{a=v} R|`), as a map `value → count`.
+    pub fn degrees(&self, a: Attr) -> HashMap<Value, u64> {
+        let i = self
+            .schema
+            .position(a)
+            .unwrap_or_else(|| panic!("attribute {a} not in schema"));
+        let mut deg = HashMap::new();
+        for (row, _) in &self.entries {
+            *deg.entry(row[i]).or_insert(0u64) += 1;
+        }
+        deg
+    }
+
+    /// Canonical form for equality tests: coalesced entries sorted by row.
+    ///
+    /// Two relations are *semantically equal* iff their canonical forms are
+    /// equal; this is the comparison every oracle test in the workspace
+    /// uses.
+    pub fn canonical(&self) -> Vec<(Row, S)> {
+        let mut entries = self.coalesce().entries;
+        entries.sort_by(|(r1, _), (r2, _)| r1.cmp(r2));
+        entries
+    }
+
+    /// Semantic equality: same schema attribute order and same canonical
+    /// entries.
+    pub fn semantically_eq(&self, other: &Relation<S>) -> bool {
+        self.schema == other.schema && self.canonical() == other.canonical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_semiring::Count;
+
+    fn r(pairs: &[(u64, u64, u64)]) -> Relation<Count> {
+        Relation::from_entries(
+            Schema::binary(Attr(0), Attr(1)),
+            pairs
+                .iter()
+                .map(|&(a, b, w)| (vec![a, b], Count(w)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn coalesce_merges_and_drops_zero() {
+        let rel = r(&[(1, 2, 3), (1, 2, 4), (5, 6, 0)]);
+        let c = rel.coalesce();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.canonical(), vec![(vec![1, 2], Count(7))]);
+    }
+
+    #[test]
+    fn semantic_equality_ignores_order_and_duplication() {
+        let r1 = r(&[(1, 2, 3), (3, 4, 1)]);
+        let r2 = r(&[(3, 4, 1), (1, 2, 1), (1, 2, 2)]);
+        assert!(r1.semantically_eq(&r2));
+        assert!(!r1.semantically_eq(&r(&[(1, 2, 3)])));
+    }
+
+    #[test]
+    fn reorder_swaps_columns() {
+        let rel = r(&[(1, 2, 9)]);
+        let swapped = rel.reorder(&Schema::binary(Attr(1), Attr(0)));
+        assert_eq!(swapped.entries()[0].0, vec![2, 1]);
+    }
+
+    #[test]
+    fn degrees_count_occurrences() {
+        let rel = r(&[(1, 2, 1), (1, 3, 1), (2, 3, 1)]);
+        let deg = rel.degrees(Attr(0));
+        assert_eq!(deg[&1], 2);
+        assert_eq!(deg[&2], 1);
+    }
+
+    #[test]
+    fn distinct_values_sorted() {
+        let rel = r(&[(5, 2, 1), (1, 3, 1), (5, 9, 1)]);
+        assert_eq!(rel.distinct_values(Attr(0)), vec![1, 5]);
+    }
+
+    #[test]
+    fn rename_changes_schema_only() {
+        let rel = r(&[(1, 2, 1)]);
+        let renamed = rel.rename(Attr(1), Attr(7));
+        assert_eq!(renamed.schema().attrs(), &[Attr(0), Attr(7)]);
+        assert_eq!(renamed.entries()[0].0, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked_on_push() {
+        let mut rel = r(&[]);
+        rel.push(vec![1], Count(1));
+    }
+}

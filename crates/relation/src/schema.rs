@@ -1,0 +1,165 @@
+//! Attributes and schemas.
+
+use std::fmt;
+
+/// An interned attribute identifier.
+///
+/// Attribute *names* are a presentation concern; algorithms only ever need
+/// identity and ordering, so an attribute is a plain `u32`. Queries mint
+/// fresh attributes for "combined" columns (§6–§7 of the paper) without a
+/// global registry: callers manage their own id space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Attr(pub u32);
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// An ordered list of distinct attributes; the column layout of a
+/// [`crate::Relation`].
+///
+/// Order is significant: row values are stored positionally. Two schemas
+/// with the same attribute set but different orders describe the same
+/// logical relation; [`crate::Relation::reorder`] converts between them.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Schema {
+    attrs: Vec<Attr>,
+}
+
+impl Schema {
+    /// Build a schema; panics on duplicate attributes (a malformed query,
+    /// not a data error).
+    pub fn new(attrs: Vec<Attr>) -> Self {
+        for (i, a) in attrs.iter().enumerate() {
+            assert!(
+                !attrs[..i].contains(a),
+                "duplicate attribute {a} in schema {attrs:?}"
+            );
+        }
+        Schema { attrs }
+    }
+
+    /// A binary schema — the common case for the paper's input relations.
+    pub fn binary(a: Attr, b: Attr) -> Self {
+        Schema::new(vec![a, b])
+    }
+
+    /// A unary schema.
+    pub fn unary(a: Attr) -> Self {
+        Schema::new(vec![a])
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The attributes in positional order.
+    pub fn attrs(&self) -> &[Attr] {
+        &self.attrs
+    }
+
+    /// Position of `a`, or `None` if absent.
+    pub fn position(&self, a: Attr) -> Option<usize> {
+        self.attrs.iter().position(|x| *x == a)
+    }
+
+    /// Whether `a` is part of this schema.
+    pub fn contains(&self, a: Attr) -> bool {
+        self.position(a).is_some()
+    }
+
+    /// Attributes shared with `other`, in *this* schema's order.
+    pub fn common(&self, other: &Schema) -> Vec<Attr> {
+        self.attrs
+            .iter()
+            .copied()
+            .filter(|a| other.contains(*a))
+            .collect()
+    }
+
+    /// Attributes of this schema *not* in `keep`.
+    pub fn minus(&self, drop: &[Attr]) -> Vec<Attr> {
+        self.attrs
+            .iter()
+            .copied()
+            .filter(|a| !drop.contains(a))
+            .collect()
+    }
+
+    /// The positions of `attrs` within this schema; panics if any is absent
+    /// (algorithms only project onto attributes they know are present).
+    pub fn positions_of(&self, attrs: &[Attr]) -> Vec<usize> {
+        attrs
+            .iter()
+            .map(|a| {
+                self.position(*a)
+                    .unwrap_or_else(|| panic!("attribute {a} not in schema {:?}", self.attrs))
+            })
+            .collect()
+    }
+
+    /// Schema of the natural join of `self` and `other`: this schema's
+    /// attributes followed by `other`'s non-shared attributes.
+    pub fn join_schema(&self, other: &Schema) -> Schema {
+        let mut attrs = self.attrs.clone();
+        for a in &other.attrs {
+            if !self.contains(*a) {
+                attrs.push(*a);
+            }
+        }
+        Schema::new(attrs)
+    }
+}
+
+impl fmt::Display for Schema {
+    /// Renders as `(x0, x1, …)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_and_common() {
+        let a = Attr(0);
+        let b = Attr(1);
+        let c = Attr(2);
+        let s1 = Schema::binary(a, b);
+        let s2 = Schema::binary(b, c);
+        assert_eq!(s1.common(&s2), vec![b]);
+        assert_eq!(s1.position(b), Some(1));
+        assert_eq!(s1.position(c), None);
+        assert_eq!(s1.join_schema(&s2).attrs(), &[a, b, c]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn rejects_duplicates() {
+        let _ = Schema::new(vec![Attr(3), Attr(3)]);
+    }
+
+    #[test]
+    fn minus_removes() {
+        let s = Schema::new(vec![Attr(0), Attr(1), Attr(2)]);
+        assert_eq!(s.minus(&[Attr(1)]), vec![Attr(0), Attr(2)]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Attr(4).to_string(), "x4");
+        assert_eq!(Schema::binary(Attr(0), Attr(1)).to_string(), "(x0, x1)");
+    }
+}

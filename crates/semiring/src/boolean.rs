@@ -1,0 +1,64 @@
+//! The boolean semiring `({false, true}, ∨, ∧)`.
+
+use crate::Semiring;
+
+/// The boolean semiring: disjunction as `⊕`, conjunction as `⊗`.
+///
+/// Annotating every tuple with `true` turns a join-aggregate query into the
+/// corresponding join-*project* (conjunctive) query: the output is the set
+/// of distinct projections `π_y Q(R)`, each annotated `true`. This is the
+/// semiring under which sparse matrix multiplication coincides with boolean
+/// matrix multiplication / two-step reachability.
+///
+/// `∨` is idempotent, so `BoolRing` is a valid annotation domain for the
+/// paper's idempotent-semiring lower-bound experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct BoolRing(pub bool);
+
+impl Semiring for BoolRing {
+    const IDEMPOTENT_ADD: bool = true;
+
+    fn zero() -> Self {
+        BoolRing(false)
+    }
+
+    fn one() -> Self {
+        BoolRing(true)
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        BoolRing(self.0 || rhs.0)
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        BoolRing(self.0 && rhs.0)
+    }
+}
+
+impl From<bool> for BoolRing {
+    fn from(v: bool) -> Self {
+        BoolRing(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_table() {
+        let t = BoolRing(true);
+        let f = BoolRing(false);
+        assert_eq!(t.add(&f), t);
+        assert_eq!(f.add(&f), f);
+        assert_eq!(t.mul(&t), t);
+        assert_eq!(t.mul(&f), f);
+    }
+
+    #[test]
+    fn idempotent() {
+        for v in [BoolRing(true), BoolRing(false)] {
+            assert_eq!(v.add(&v), v);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The bottleneck (max-min) semiring.
+
+use crate::Semiring;
+
+/// The bottleneck semiring over `Z ∪ {±∞}`: `⊕ = max`, `⊗ = min`.
+///
+/// `0 = -∞`, `1 = +∞`. With edge capacities as annotations, a line query
+/// computes the *widest path* (maximum bottleneck capacity) between the
+/// boundary attributes. Both operations are idempotent, making this the
+/// most "forgiving" semiring — useful as a contrast to [`crate::Count`] in
+/// tests: an algorithm wrong only about multiplicities will pass under
+/// `Bottleneck` and fail under `Count`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bottleneck(i64);
+
+impl Bottleneck {
+    /// A finite capacity. `i64::MIN`/`i64::MAX` are reserved as `∓∞`.
+    pub fn finite(v: i64) -> Self {
+        assert!(
+            v != i64::MIN && v != i64::MAX,
+            "capacity {v} collides with an infinity sentinel"
+        );
+        Bottleneck(v)
+    }
+
+    /// The finite capacity, or `None` for either infinity.
+    pub fn value(&self) -> Option<i64> {
+        (self.0 != i64::MIN && self.0 != i64::MAX).then_some(self.0)
+    }
+}
+
+impl Semiring for Bottleneck {
+    const IDEMPOTENT_ADD: bool = true;
+
+    fn zero() -> Self {
+        Bottleneck(i64::MIN)
+    }
+
+    fn one() -> Self {
+        Bottleneck(i64::MAX)
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        Bottleneck(self.0.max(rhs.0))
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        Bottleneck(self.0.min(rhs.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widest_path_step() {
+        // Two paths with bottlenecks min(8,3)=3 and min(5,4)=4; widest is 4.
+        let p1 = Bottleneck::finite(8).mul(&Bottleneck::finite(3));
+        let p2 = Bottleneck::finite(5).mul(&Bottleneck::finite(4));
+        assert_eq!(p1.add(&p2), Bottleneck::finite(4));
+    }
+
+    #[test]
+    fn identities() {
+        let x = Bottleneck::finite(7);
+        assert_eq!(x.add(&Bottleneck::zero()), x);
+        assert_eq!(x.mul(&Bottleneck::one()), x);
+        assert_eq!(x.mul(&Bottleneck::zero()), Bottleneck::zero());
+    }
+
+    #[test]
+    fn both_ops_idempotent() {
+        let x = Bottleneck::finite(7);
+        assert_eq!(x.add(&x), x);
+        assert_eq!(x.mul(&x), x);
+    }
+}

@@ -1,0 +1,80 @@
+//! The counting semiring `(u64, +, ×)` with wrapping arithmetic.
+
+use crate::Semiring;
+
+/// The counting semiring: natural numbers under `+` and `×`.
+///
+/// Arithmetic wraps modulo `2^64`, so `Count` is exactly the commutative
+/// ring `Z/2^64` and the semiring laws hold *exactly* (no saturation edge
+/// cases). With all input annotations set to `1`, a join-aggregate query
+/// over `Count` computes `COUNT(*) GROUP BY y`, and with `y = ∅` the full
+/// join size `|Q(R)|` — the paper's §1.1 examples.
+///
+/// Because `Count` is **not** idempotent, comparing a distributed
+/// algorithm's output against the sequential oracle under `Count` detects
+/// any aggregation that is accidentally applied twice (e.g. a tuple routed
+/// to two servers and summed on both).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Count(pub u64);
+
+impl Semiring for Count {
+    const IDEMPOTENT_ADD: bool = false;
+
+    fn zero() -> Self {
+        Count(0)
+    }
+
+    fn one() -> Self {
+        Count(1)
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        Count(self.0.wrapping_add(rhs.0))
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        Count(self.0.wrapping_mul(rhs.0))
+    }
+}
+
+impl From<u64> for Count {
+    fn from(v: u64) -> Self {
+        Count(v)
+    }
+}
+
+impl std::fmt::Display for Count {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        let x = Count(7);
+        assert_eq!(x.add(&Count::zero()), x);
+        assert_eq!(x.mul(&Count::one()), x);
+        assert_eq!(x.mul(&Count::zero()), Count::zero());
+    }
+
+    #[test]
+    fn wrapping_keeps_laws_at_boundary() {
+        let big = Count(u64::MAX);
+        // (MAX + 1) wraps to 0; distributivity must still hold exactly.
+        let a = Count(2);
+        assert_eq!(
+            a.mul(&big.add(&Count(1))),
+            a.mul(&big).add(&a.mul(&Count(1)))
+        );
+    }
+
+    #[test]
+    fn not_idempotent() {
+        let x = Count(3);
+        assert_ne!(x.add(&x), x);
+    }
+}

@@ -1,0 +1,185 @@
+//! Commutative semirings for annotated relations.
+//!
+//! Join-aggregate queries in Hu & Yi (PODS 2020) are defined over an
+//! arbitrary *commutative semiring* `(R, ⊕, ⊗)`: every input tuple carries an
+//! annotation from `R`, the annotation of a join result is the ⊗-product of
+//! its constituent tuples' annotations, and the query output aggregates the
+//! annotations of join results within each output group with ⊕.
+//!
+//! Crucially, semirings need not have additive inverses, which rules out
+//! fast (Strassen-style) matrix multiplication and makes the elementary-
+//! product counting arguments of the paper's lower bounds applicable.
+//!
+//! This crate provides the [`Semiring`] trait and a collection of concrete
+//! instances that between them cover the behaviours the algorithms must be
+//! correct under:
+//!
+//! * [`Count`] — the counting semiring `(u64, +, ×)` (a full ring; detects
+//!   any accidental double-aggregation in an algorithm),
+//! * [`BoolRing`] — boolean `(∨, ∧)`; idempotent; models join-project
+//!   (conjunctive) queries,
+//! * [`TropicalMin`] / [`MaxPlus`] — `(min, +)` and `(max, +)`; idempotent;
+//!   model shortest/longest path style aggregations,
+//! * [`Bottleneck`] — `(max, min)`; idempotent; models widest-path,
+//! * [`XorRing`] — GF(2) `(⊕, ∧)`; *not* idempotent and has torsion, so it
+//!   catches a different class of double-counting bugs than [`Count`],
+//! * [`WhyProv`] — why-provenance `(P(P(X)), ∪, pairwise ∪)`; idempotent;
+//!   models provenance tracking (Green, Karvounarakis, Tannen, PODS'07).
+//!
+//! The paper's lower bounds (Theorems 2 and 3) hold already for *idempotent*
+//! semirings (`a ⊕ a = a`); instances advertise idempotence through
+//! [`Semiring::IDEMPOTENT_ADD`] so tests and benchmarks can select
+//! appropriately.
+
+mod boolean;
+mod bottleneck;
+mod count;
+mod mincount;
+mod product;
+mod provenance;
+mod tropical;
+mod viterbi;
+mod xor;
+
+pub use boolean::BoolRing;
+pub use bottleneck::Bottleneck;
+pub use count::Count;
+pub use mincount::MinCount;
+pub use product::Prod;
+pub use provenance::WhyProv;
+pub use tropical::{MaxPlus, TropicalMin};
+pub use viterbi::{Viterbi, ONE_SCALE};
+pub use xor::XorRing;
+
+use std::fmt::Debug;
+
+/// A commutative semiring `(R, ⊕, ⊗, 0, 1)`.
+///
+/// Laws (checked by the property-test suite in this crate, and re-checkable
+/// for downstream instances via [`check_laws`]):
+///
+/// * `(R, ⊕, 0)` is a commutative monoid,
+/// * `(R, ⊗, 1)` is a commutative monoid,
+/// * `⊗` distributes over `⊕`,
+/// * `0` annihilates: `a ⊗ 0 = 0`.
+///
+/// Implementations must be cheap to clone; the MPC simulator treats one
+/// semiring element as one unit of communication regardless of its in-memory
+/// size, mirroring the accounting convention of the paper (§1.3).
+pub trait Semiring: Clone + Debug + PartialEq + Send + Sync + 'static {
+    /// Whether `⊕` is idempotent (`a ⊕ a = a`). The paper's matrix
+    /// multiplication lower bounds hold even restricted to idempotent
+    /// semirings, so experiments that exercise the hard instances prefer
+    /// idempotent annotations.
+    const IDEMPOTENT_ADD: bool;
+
+    /// The additive identity (annihilator for `⊗`).
+    fn zero() -> Self;
+
+    /// The multiplicative identity.
+    fn one() -> Self;
+
+    /// The semiring addition `⊕`, used to aggregate annotations of join
+    /// results that share the same output projection.
+    fn add(&self, rhs: &Self) -> Self;
+
+    /// The semiring multiplication `⊗`, used to combine the annotations of
+    /// the tuples forming one join result.
+    fn mul(&self, rhs: &Self) -> Self;
+
+    /// In-place addition; override when accumulation can reuse storage.
+    fn add_assign(&mut self, rhs: &Self) {
+        *self = self.add(rhs);
+    }
+
+    /// In-place multiplication.
+    fn mul_assign(&mut self, rhs: &Self) {
+        *self = self.mul(rhs);
+    }
+
+    /// Whether this element is the additive identity.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+}
+
+/// Fold an iterator with `⊕`; returns [`Semiring::zero`] when empty.
+pub fn sum<S: Semiring>(items: impl IntoIterator<Item = S>) -> S {
+    let mut acc = S::zero();
+    for x in items {
+        acc.add_assign(&x);
+    }
+    acc
+}
+
+/// Fold an iterator with `⊗`; returns [`Semiring::one`] when empty.
+pub fn product<S: Semiring>(items: impl IntoIterator<Item = S>) -> S {
+    let mut acc = S::one();
+    for x in items {
+        acc.mul_assign(&x);
+    }
+    acc
+}
+
+/// Check the semiring laws on a concrete triple of elements, panicking with
+/// a descriptive message on the first violated law.
+///
+/// Downstream crates defining their own [`Semiring`] instances can drive
+/// this from a property test to obtain the same guarantees as the built-in
+/// instances.
+pub fn check_laws<S: Semiring>(a: &S, b: &S, c: &S) {
+    let zero = S::zero();
+    let one = S::one();
+    assert_eq!(a.add(b), b.add(a), "⊕ must be commutative");
+    assert_eq!(a.add(&b.add(c)), a.add(b).add(c), "⊕ must be associative");
+    assert_eq!(a.add(&zero), *a, "0 must be the ⊕ identity");
+    assert_eq!(a.mul(b), b.mul(a), "⊗ must be commutative");
+    assert_eq!(a.mul(&b.mul(c)), a.mul(b).mul(c), "⊗ must be associative");
+    assert_eq!(a.mul(&one), *a, "1 must be the ⊗ identity");
+    assert_eq!(
+        a.mul(&b.add(c)),
+        a.mul(b).add(&a.mul(c)),
+        "⊗ must distribute over ⊕"
+    );
+    assert_eq!(a.mul(&zero), zero, "0 must annihilate under ⊗");
+    if S::IDEMPOTENT_ADD {
+        assert_eq!(a.add(a), *a, "instance advertises idempotent ⊕");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_of_empty_is_zero() {
+        let s: Count = sum(std::iter::empty());
+        assert_eq!(s, Count::zero());
+    }
+
+    #[test]
+    fn product_of_empty_is_one() {
+        let p: Count = product(std::iter::empty());
+        assert_eq!(p, Count::one());
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let s: Count = sum([Count::from(2), Count::from(3), Count::from(5)]);
+        assert_eq!(s, Count::from(10));
+    }
+
+    #[test]
+    fn product_accumulates() {
+        let p: Count = product([Count::from(2), Count::from(3), Count::from(5)]);
+        assert_eq!(p, Count::from(30));
+    }
+
+    #[test]
+    fn is_zero_detects_zero() {
+        assert!(Count::zero().is_zero());
+        assert!(!Count::one().is_zero());
+        assert!(TropicalMin::zero().is_zero());
+        assert!(!TropicalMin::one().is_zero());
+    }
+}

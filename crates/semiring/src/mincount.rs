@@ -1,0 +1,113 @@
+//! The shortest-path-counting semiring `(min, +)` × multiplicity.
+
+use crate::Semiring;
+
+/// "Shortest distance, and how many derivations achieve it": elements are
+/// `(cost, count)` with
+///
+/// * `⊕`: keep the smaller cost; on ties, add the counts,
+/// * `⊗`: add the costs, multiply the counts,
+/// * `0 = (+∞, 0)`, `1 = (0, 1)`.
+///
+/// This is the classical lexicographic refinement of min-plus (sometimes
+/// called the *counting tropical* semiring); over a line query it computes
+/// both the shortest-path distance and the number of shortest paths per
+/// output pair. It is **not** idempotent (`(c,1) ⊕ (c,1) = (c,2)`), so it
+/// doubles as another duplicate-aggregation detector in tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MinCount {
+    cost: i64,
+    count: u64,
+}
+
+/// Sentinel for `+∞`.
+const INF: i64 = i64::MAX;
+
+/// Finite-cost clamp so `⊗` cannot overflow.
+const FIN_MAX: i64 = i64::MAX / 4;
+
+impl MinCount {
+    /// A finite `(cost, count)` element.
+    pub fn new(cost: i64, count: u64) -> Self {
+        assert!(cost.abs() <= FIN_MAX, "cost {cost} outside finite range");
+        assert!(count > 0, "finite elements carry a positive count");
+        MinCount { cost, count }
+    }
+
+    /// A single path of the given cost.
+    pub fn path(cost: i64) -> Self {
+        Self::new(cost, 1)
+    }
+
+    /// `(cost, count)` if finite.
+    pub fn get(&self) -> Option<(i64, u64)> {
+        (self.cost != INF).then_some((self.cost, self.count))
+    }
+}
+
+impl Semiring for MinCount {
+    const IDEMPOTENT_ADD: bool = false;
+
+    fn zero() -> Self {
+        MinCount { cost: INF, count: 0 }
+    }
+
+    fn one() -> Self {
+        MinCount { cost: 0, count: 1 }
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        match self.cost.cmp(&rhs.cost) {
+            std::cmp::Ordering::Less => *self,
+            std::cmp::Ordering::Greater => *rhs,
+            std::cmp::Ordering::Equal => MinCount {
+                cost: self.cost,
+                count: self.count.wrapping_add(rhs.count),
+            },
+        }
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        if self.cost == INF || rhs.cost == INF {
+            return Self::zero();
+        }
+        MinCount {
+            cost: (self.cost + rhs.cost).clamp(-FIN_MAX, FIN_MAX),
+            count: self.count.wrapping_mul(rhs.count),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_tied_shortest_paths() {
+        // Two paths of cost 7, one of cost 9.
+        let s = MinCount::path(7)
+            .add(&MinCount::path(9))
+            .add(&MinCount::path(7));
+        assert_eq!(s.get(), Some((7, 2)));
+    }
+
+    #[test]
+    fn concatenation_multiplies_counts() {
+        let a = MinCount::new(3, 2); // 2 ways to pay 3
+        let b = MinCount::new(4, 5); // 5 ways to pay 4
+        assert_eq!(a.mul(&b).get(), Some((7, 10)));
+    }
+
+    #[test]
+    fn zero_annihilates() {
+        let x = MinCount::path(1);
+        assert_eq!(x.mul(&MinCount::zero()), MinCount::zero());
+        assert_eq!(x.add(&MinCount::zero()), x);
+    }
+
+    #[test]
+    fn not_idempotent() {
+        let x = MinCount::path(4);
+        assert_ne!(x.add(&x), x);
+    }
+}

@@ -1,0 +1,72 @@
+//! The product of two semirings.
+
+use crate::Semiring;
+
+/// Component-wise product semiring `S1 × S2`: both operations apply
+/// per component, identities pair the components' identities.
+///
+/// Products let one pass compute two aggregates at once — e.g.
+/// `Prod<Count, TropicalMin>` yields the group size *and* the minimum
+/// weight per output group in a single query execution, at one unit of
+/// communication per element (the model's accounting counts semiring
+/// elements, not bytes).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prod<S1, S2>(pub S1, pub S2);
+
+impl<S1: Semiring, S2: Semiring> Semiring for Prod<S1, S2> {
+    const IDEMPOTENT_ADD: bool = S1::IDEMPOTENT_ADD && S2::IDEMPOTENT_ADD;
+
+    fn zero() -> Self {
+        Prod(S1::zero(), S2::zero())
+    }
+
+    fn one() -> Self {
+        Prod(S1::one(), S2::one())
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        Prod(self.0.add(&rhs.0), self.1.add(&rhs.1))
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        Prod(self.0.mul(&rhs.0), self.1.mul(&rhs.1))
+    }
+
+    fn add_assign(&mut self, rhs: &Self) {
+        self.0.add_assign(&rhs.0);
+        self.1.add_assign(&rhs.1);
+    }
+
+    fn mul_assign(&mut self, rhs: &Self) {
+        self.0.mul_assign(&rhs.0);
+        self.1.mul_assign(&rhs.1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BoolRing, Count, TropicalMin};
+
+    #[test]
+    fn componentwise_operations() {
+        let a = Prod(Count(2), TropicalMin::finite(5));
+        let b = Prod(Count(3), TropicalMin::finite(1));
+        assert_eq!(a.add(&b), Prod(Count(5), TropicalMin::finite(1)));
+        assert_eq!(a.mul(&b), Prod(Count(6), TropicalMin::finite(6)));
+    }
+
+    #[test]
+    fn idempotence_is_conjunctive() {
+        assert!(!<Prod<Count, BoolRing>>::IDEMPOTENT_ADD);
+        assert!(<Prod<BoolRing, TropicalMin>>::IDEMPOTENT_ADD);
+    }
+
+    #[test]
+    fn identities() {
+        let x = Prod(Count(7), BoolRing(true));
+        assert_eq!(x.add(&Prod::zero()), x);
+        assert_eq!(x.mul(&Prod::one()), x);
+        assert_eq!(x.mul(&Prod::zero()), Prod::zero());
+    }
+}

@@ -1,0 +1,118 @@
+//! The why-provenance semiring over tuple identifiers.
+
+use crate::Semiring;
+use std::collections::BTreeSet;
+
+/// A *witness*: one minimal set of input tuple ids that jointly derive an
+/// output tuple.
+pub type Witness = BTreeSet<u32>;
+
+/// Why-provenance: sets of witnesses, `(P(P(X)), ∪, ⋓, ∅, {∅})`.
+///
+/// * `⊕ = ∪` — alternative derivations accumulate as alternative witnesses,
+/// * `A ⊗ B = { a ∪ b : a ∈ A, b ∈ B }` — joining combines one witness from
+///   each side,
+/// * `0 = ∅` (no derivation), `1 = {∅}` (the vacuous derivation).
+///
+/// This is the classical *Why(X)* semiring of Green, Karvounarakis & Tannen
+/// (PODS'07), restricted to tuple ids drawn from `u32`. It is idempotent
+/// and **not** absorptive (we do not minimize witness sets), which keeps the
+/// laws exact. Tag input tuples with singleton witnesses via
+/// [`WhyProv::tuple`]; the query output then carries, per output tuple, the
+/// full set of input-tuple combinations that produced it.
+///
+/// Witness sets can grow combinatorially; intended for provenance-focused
+/// examples and tests on modest instances, not for the large benchmarks.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct WhyProv(BTreeSet<Witness>);
+
+impl WhyProv {
+    /// The annotation of input tuple `id`: the single witness `{id}`.
+    pub fn tuple(id: u32) -> Self {
+        let mut w = Witness::new();
+        w.insert(id);
+        WhyProv(BTreeSet::from([w]))
+    }
+
+    /// The set of witnesses.
+    pub fn witnesses(&self) -> &BTreeSet<Witness> {
+        &self.0
+    }
+
+    /// Number of distinct witnesses.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether there is no derivation (the semiring zero).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Construct directly from witnesses (useful in tests).
+    pub fn from_witnesses<I: IntoIterator<Item = Witness>>(ws: I) -> Self {
+        WhyProv(ws.into_iter().collect())
+    }
+}
+
+impl Semiring for WhyProv {
+    const IDEMPOTENT_ADD: bool = true;
+
+    fn zero() -> Self {
+        WhyProv(BTreeSet::new())
+    }
+
+    fn one() -> Self {
+        WhyProv(BTreeSet::from([Witness::new()]))
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        WhyProv(self.0.union(&rhs.0).cloned().collect())
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        let mut out = BTreeSet::new();
+        for a in &self.0 {
+            for b in &rhs.0 {
+                out.insert(a.union(b).cloned().collect());
+            }
+        }
+        WhyProv(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_combines_witnesses() {
+        let a = WhyProv::tuple(1);
+        let b = WhyProv::tuple(2);
+        let ab = a.mul(&b);
+        assert_eq!(ab.len(), 1);
+        assert!(ab.witnesses().contains(&Witness::from([1, 2])));
+    }
+
+    #[test]
+    fn alternatives_union() {
+        let p1 = WhyProv::tuple(1).mul(&WhyProv::tuple(2));
+        let p2 = WhyProv::tuple(1).mul(&WhyProv::tuple(3));
+        let both = p1.add(&p2);
+        assert_eq!(both.len(), 2);
+    }
+
+    #[test]
+    fn zero_annihilates_one_identity() {
+        let x = WhyProv::tuple(9);
+        assert_eq!(x.mul(&WhyProv::zero()), WhyProv::zero());
+        assert_eq!(x.mul(&WhyProv::one()), x);
+        assert_eq!(x.add(&WhyProv::zero()), x);
+    }
+
+    #[test]
+    fn idempotent_add() {
+        let x = WhyProv::tuple(4).add(&WhyProv::tuple(5));
+        assert_eq!(x.add(&x), x);
+    }
+}

@@ -1,0 +1,161 @@
+//! Tropical semirings: `(min, +)` and `(max, +)` over extended integers.
+
+use crate::Semiring;
+
+/// The tropical min-plus semiring over `Z ∪ {+∞}`: `⊕ = min`, `⊗ = +`.
+///
+/// `0 = +∞`, `1 = 0`. With edge weights as annotations, the chain matrix
+/// product of §4 (line queries) computes shortest-path distances between the
+/// two boundary attributes. Integers are used rather than floats so that
+/// `Eq` is exact and oracle comparisons are bit-precise.
+///
+/// Finite values are clamped to `±FIN_MAX` under `⊗` so that `+∞` remains
+/// the unique absorbing "infinity"; workloads stay far below the clamp.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TropicalMin(i64);
+
+/// Largest magnitude a finite tropical value may take; sums clamp here.
+/// Chosen so that `FIN_MAX + FIN_MAX` cannot overflow `i64`.
+const FIN_MAX: i64 = i64::MAX / 4;
+
+/// Sentinel for `+∞` (the additive identity of min-plus).
+const INF: i64 = i64::MAX;
+
+impl TropicalMin {
+    /// A finite tropical value. Panics if `|v|` exceeds the finite range.
+    pub fn finite(v: i64) -> Self {
+        assert!(
+            v.abs() <= FIN_MAX,
+            "tropical value {v} outside finite range"
+        );
+        TropicalMin(v)
+    }
+
+    /// The `+∞` element (annihilated paths / additive identity).
+    pub fn infinity() -> Self {
+        TropicalMin(INF)
+    }
+
+    /// The finite value, or `None` for `+∞`.
+    pub fn value(&self) -> Option<i64> {
+        (self.0 != INF).then_some(self.0)
+    }
+}
+
+impl Semiring for TropicalMin {
+    const IDEMPOTENT_ADD: bool = true;
+
+    fn zero() -> Self {
+        Self::infinity()
+    }
+
+    fn one() -> Self {
+        TropicalMin(0)
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        TropicalMin(self.0.min(rhs.0))
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        if self.0 == INF || rhs.0 == INF {
+            Self::infinity()
+        } else {
+            TropicalMin((self.0 + rhs.0).clamp(-FIN_MAX, FIN_MAX))
+        }
+    }
+}
+
+/// The max-plus semiring over `Z ∪ {-∞}`: `⊕ = max`, `⊗ = +`.
+///
+/// `0 = -∞`, `1 = 0`. Computes longest / most-profitable paths; the dual of
+/// [`TropicalMin`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MaxPlus(i64);
+
+/// Sentinel for `-∞` (the additive identity of max-plus).
+const NEG_INF: i64 = i64::MIN;
+
+impl MaxPlus {
+    /// A finite max-plus value. Panics if `|v|` exceeds the finite range.
+    pub fn finite(v: i64) -> Self {
+        assert!(v.abs() <= FIN_MAX, "max-plus value {v} outside finite range");
+        MaxPlus(v)
+    }
+
+    /// The `-∞` element.
+    pub fn neg_infinity() -> Self {
+        MaxPlus(NEG_INF)
+    }
+
+    /// The finite value, or `None` for `-∞`.
+    pub fn value(&self) -> Option<i64> {
+        (self.0 != NEG_INF).then_some(self.0)
+    }
+}
+
+impl Semiring for MaxPlus {
+    const IDEMPOTENT_ADD: bool = true;
+
+    fn zero() -> Self {
+        Self::neg_infinity()
+    }
+
+    fn one() -> Self {
+        MaxPlus(0)
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        MaxPlus(self.0.max(rhs.0))
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        if self.0 == NEG_INF || rhs.0 == NEG_INF {
+            Self::neg_infinity()
+        } else {
+            MaxPlus((self.0 + rhs.0).clamp(-FIN_MAX, FIN_MAX))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_plus_shortest_path_step() {
+        // min(3 + 4, 2 + 10) = 7
+        let via_a = TropicalMin::finite(3).mul(&TropicalMin::finite(4));
+        let via_b = TropicalMin::finite(2).mul(&TropicalMin::finite(10));
+        assert_eq!(via_a.add(&via_b), TropicalMin::finite(7));
+    }
+
+    #[test]
+    fn infinity_annihilates() {
+        let x = TropicalMin::finite(5);
+        assert_eq!(x.mul(&TropicalMin::infinity()), TropicalMin::infinity());
+        assert_eq!(x.add(&TropicalMin::infinity()), x);
+    }
+
+    #[test]
+    fn max_plus_duality() {
+        let x = MaxPlus::finite(5);
+        assert_eq!(x.mul(&MaxPlus::neg_infinity()), MaxPlus::neg_infinity());
+        assert_eq!(x.add(&MaxPlus::neg_infinity()), x);
+        assert_eq!(x.add(&MaxPlus::finite(9)), MaxPlus::finite(9));
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(TropicalMin::finite(3).value(), Some(3));
+        assert_eq!(TropicalMin::infinity().value(), None);
+        assert_eq!(MaxPlus::finite(-3).value(), Some(-3));
+        assert_eq!(MaxPlus::neg_infinity().value(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside finite range")]
+    fn finite_range_enforced() {
+        let _ = TropicalMin::finite(i64::MAX);
+    }
+}

@@ -1,0 +1,89 @@
+//! The Viterbi (max-times) semiring over fixed-point probabilities.
+
+use crate::Semiring;
+
+/// Fixed-point scale: probability 1.0 is represented as `10^9`.
+pub const ONE_SCALE: u64 = 1_000_000_000;
+
+/// The Viterbi semiring: probabilities under `⊕ = max`, `⊗ = ×`.
+///
+/// Probabilities are fixed-point integers (scale [`ONE_SCALE`]) so that
+/// equality is exact and oracle comparisons are bit-precise; `⊗` rounds
+/// *down*, which preserves associativity-up-to-rounding deterministically
+/// (the same expression always evaluates the same way) and keeps the
+/// semiring laws exact for the values used in tests (products of powers
+/// of 1/2, 1/5, 1/10 stay representable).
+///
+/// With transition probabilities as annotations, a line query computes
+/// the most probable path between its boundary attributes — the Viterbi
+/// decoding of a hidden-Markov-style layered model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Viterbi(u64);
+
+impl Viterbi {
+    /// A probability from a fixed-point numerator over [`ONE_SCALE`].
+    /// Panics above 1.0 (not a probability).
+    pub fn prob(fixed: u64) -> Self {
+        assert!(fixed <= ONE_SCALE, "probability {fixed} above 1.0");
+        Viterbi(fixed)
+    }
+
+    /// The fixed-point numerator.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// As a float, for display.
+    pub fn as_f64(&self) -> f64 {
+        self.0 as f64 / ONE_SCALE as f64
+    }
+}
+
+impl Semiring for Viterbi {
+    const IDEMPOTENT_ADD: bool = true;
+
+    fn zero() -> Self {
+        Viterbi(0)
+    }
+
+    fn one() -> Self {
+        Viterbi(ONE_SCALE)
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        Viterbi(self.0.max(rhs.0))
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        Viterbi(((self.0 as u128 * rhs.0 as u128) / ONE_SCALE as u128) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn most_probable_path() {
+        let half = Viterbi::prob(ONE_SCALE / 2);
+        let tenth = Viterbi::prob(ONE_SCALE / 10);
+        // Paths 0.5 · 0.5 = 0.25 vs 0.1 · 1.0 = 0.1: max is 0.25.
+        let p1 = half.mul(&half);
+        let p2 = tenth.mul(&Viterbi::one());
+        assert_eq!(p1.add(&p2), Viterbi::prob(ONE_SCALE / 4));
+    }
+
+    #[test]
+    fn identities() {
+        let x = Viterbi::prob(ONE_SCALE / 5);
+        assert_eq!(x.add(&Viterbi::zero()), x);
+        assert_eq!(x.mul(&Viterbi::one()), x);
+        assert_eq!(x.mul(&Viterbi::zero()), Viterbi::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "above 1.0")]
+    fn rejects_superunit() {
+        let _ = Viterbi::prob(ONE_SCALE + 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! The two-element field GF(2) viewed as a semiring.
+
+use crate::Semiring;
+
+/// GF(2): `⊕ = xor`, `⊗ = and`.
+///
+/// This is a field (hence a semiring), but its addition has *torsion*:
+/// `a ⊕ a = 0`. An algorithm that aggregates some join result an even
+/// number of times will silently produce `0` here while looking plausible
+/// under idempotent semirings — so `XorRing` is the sharpest cheap detector
+/// of duplicated aggregation paths in the test suite. Semantically it
+/// computes the *parity* of the number of join results per output group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct XorRing(pub bool);
+
+impl Semiring for XorRing {
+    const IDEMPOTENT_ADD: bool = false;
+
+    fn zero() -> Self {
+        XorRing(false)
+    }
+
+    fn one() -> Self {
+        XorRing(true)
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        XorRing(self.0 ^ rhs.0)
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        XorRing(self.0 & rhs.0)
+    }
+}
+
+impl From<bool> for XorRing {
+    fn from(v: bool) -> Self {
+        XorRing(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torsion() {
+        let one = XorRing(true);
+        assert_eq!(one.add(&one), XorRing::zero());
+    }
+
+    #[test]
+    fn parity_of_three() {
+        let s = crate::sum([XorRing(true), XorRing(true), XorRing(true)]);
+        assert_eq!(s, XorRing(true));
+    }
+}

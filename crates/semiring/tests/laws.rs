@@ -1,0 +1,126 @@
+//! Property-based verification of the semiring laws for every instance.
+
+use mpcjoin_semiring::{
+    check_laws, BoolRing, Bottleneck, Count, MaxPlus, MinCount, Prod, Semiring, TropicalMin,
+    Viterbi, WhyProv, XorRing, ONE_SCALE,
+};
+use proptest::prelude::*;
+
+fn tropical_strategy() -> impl Strategy<Value = TropicalMin> {
+    prop_oneof![
+        5 => (-1_000_000i64..1_000_000).prop_map(TropicalMin::finite),
+        1 => Just(TropicalMin::infinity()),
+    ]
+}
+
+fn maxplus_strategy() -> impl Strategy<Value = MaxPlus> {
+    prop_oneof![
+        5 => (-1_000_000i64..1_000_000).prop_map(MaxPlus::finite),
+        1 => Just(MaxPlus::neg_infinity()),
+    ]
+}
+
+fn bottleneck_strategy() -> impl Strategy<Value = Bottleneck> {
+    prop_oneof![
+        5 => (-1_000_000i64..1_000_000).prop_map(Bottleneck::finite),
+        1 => Just(Bottleneck::zero()),
+        1 => Just(Bottleneck::one()),
+    ]
+}
+
+fn mincount_strategy() -> impl Strategy<Value = MinCount> {
+    prop_oneof![
+        5 => ((-1_000_000i64..1_000_000), (1u64..1000)).prop_map(|(c, n)| MinCount::new(c, n)),
+        1 => Just(MinCount::zero()),
+    ]
+}
+
+/// Small powers of two stay exactly representable under the fixed-point
+/// `⊗` (triple products need `2^{a+b+c} | 10^9`, i.e. exponents summing
+/// to ≤ 9), keeping the associativity check exact. Distributivity holds
+/// for *all* values because `max` commutes with the monotone `⊗`.
+fn viterbi_strategy() -> impl Strategy<Value = Viterbi> {
+    (0u32..=3).prop_map(|k| Viterbi::prob(ONE_SCALE >> k))
+}
+
+fn whyprov_strategy() -> impl Strategy<Value = WhyProv> {
+    // Small sets of small witnesses keep ⊗ products tractable.
+    proptest::collection::btree_set(proptest::collection::btree_set(0u32..8, 0..3), 0..3)
+        .prop_map(WhyProv::from_witnesses)
+}
+
+proptest! {
+    #[test]
+    fn count_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        check_laws(&Count(a), &Count(b), &Count(c));
+    }
+
+    #[test]
+    fn bool_laws(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+        check_laws(&BoolRing(a), &BoolRing(b), &BoolRing(c));
+    }
+
+    #[test]
+    fn xor_laws(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+        check_laws(&XorRing(a), &XorRing(b), &XorRing(c));
+    }
+
+    #[test]
+    fn tropical_laws(a in tropical_strategy(), b in tropical_strategy(), c in tropical_strategy()) {
+        check_laws(&a, &b, &c);
+    }
+
+    #[test]
+    fn maxplus_laws(a in maxplus_strategy(), b in maxplus_strategy(), c in maxplus_strategy()) {
+        check_laws(&a, &b, &c);
+    }
+
+    #[test]
+    fn bottleneck_laws(
+        a in bottleneck_strategy(),
+        b in bottleneck_strategy(),
+        c in bottleneck_strategy(),
+    ) {
+        check_laws(&a, &b, &c);
+    }
+
+    #[test]
+    fn whyprov_laws(a in whyprov_strategy(), b in whyprov_strategy(), c in whyprov_strategy()) {
+        check_laws(&a, &b, &c);
+    }
+
+    #[test]
+    fn mincount_laws(a in mincount_strategy(), b in mincount_strategy(), c in mincount_strategy()) {
+        check_laws(&a, &b, &c);
+    }
+
+    #[test]
+    fn viterbi_laws(a in viterbi_strategy(), b in viterbi_strategy(), c in viterbi_strategy()) {
+        check_laws(&a, &b, &c);
+    }
+
+    #[test]
+    fn product_laws(
+        (a1, a2) in (any::<u64>(), any::<bool>()),
+        (b1, b2) in (any::<u64>(), any::<bool>()),
+        (c1, c2) in (any::<u64>(), any::<bool>()),
+    ) {
+        check_laws(
+            &Prod(Count(a1), BoolRing(a2)),
+            &Prod(Count(b1), BoolRing(b2)),
+            &Prod(Count(c1), BoolRing(c2)),
+        );
+    }
+
+    #[test]
+    fn sum_matches_fold(xs in proptest::collection::vec(any::<u64>(), 0..20)) {
+        let expected = xs.iter().fold(0u64, |acc, x| acc.wrapping_add(*x));
+        prop_assert_eq!(mpcjoin_semiring::sum(xs.into_iter().map(Count)), Count(expected));
+    }
+
+    #[test]
+    fn product_matches_fold(xs in proptest::collection::vec(any::<u64>(), 0..20)) {
+        let expected = xs.iter().fold(1u64, |acc, x| acc.wrapping_mul(*x));
+        prop_assert_eq!(mpcjoin_semiring::product(xs.into_iter().map(Count)), Count(expected));
+    }
+}

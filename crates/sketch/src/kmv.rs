@@ -1,0 +1,175 @@
+//! The k-minimum-values (KMV) distinct-count sketch
+//! (Bar-Yossef et al. '02; Beyer et al. '07), as used in §2.2 of the paper.
+
+/// A KMV sketch: the `k` smallest *distinct* hash values observed.
+///
+/// With hashes uniform on `[0, 2^64)`, the estimator `(k−1)/v_k`
+/// (normalized) is an unbiased estimate of the number of distinct inserted
+/// items, within a `(1+ε)` factor with constant probability for
+/// `k = O(1/ε²)`. Sketches built with the *same* hash function merge by
+/// keeping the `k` smallest of the union — the property §2.2 leans on to
+/// propagate per-key reachable-set sizes up a join chain with
+/// reduce-by-key.
+///
+/// The sketch stores at most `k` words; the MPC accounting treats one
+/// sketch as one unit, which is faithful for constant `k` (the paper picks
+/// a constant `k` too).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Kmv {
+    k: usize,
+    /// Sorted ascending, distinct, length ≤ k.
+    values: Vec<u64>,
+}
+
+impl Kmv {
+    /// An empty sketch with capacity `k ≥ 2`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2, "KMV needs k ≥ 2");
+        Kmv {
+            k,
+            values: Vec::new(),
+        }
+    }
+
+    /// A sketch holding exactly one hash value.
+    pub fn singleton(k: usize, hash: u64) -> Self {
+        let mut s = Kmv::new(k);
+        s.insert(hash);
+        s
+    }
+
+    /// The sketch capacity.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The retained minimum hash values (sorted ascending).
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Observe one item's hash.
+    pub fn insert(&mut self, hash: u64) {
+        match self.values.binary_search(&hash) {
+            Ok(_) => {}
+            Err(pos) => {
+                if pos < self.k {
+                    self.values.insert(pos, hash);
+                    self.values.truncate(self.k);
+                }
+            }
+        }
+    }
+
+    /// Merge another sketch built with the same hash function: keep the
+    /// `k` smallest of the union.
+    pub fn merge(&mut self, other: &Kmv) {
+        debug_assert_eq!(self.k, other.k, "merging sketches of different k");
+        for &v in &other.values {
+            self.insert(v);
+        }
+    }
+
+    /// Estimated number of distinct items inserted.
+    ///
+    /// Exact while fewer than `k` distinct hashes have been seen; otherwise
+    /// `(k−1) · 2^64 / v_k`.
+    pub fn estimate(&self) -> u64 {
+        if self.values.len() < self.k {
+            return self.values.len() as u64;
+        }
+        let vk = *self.values.last().expect("k ≥ 2 values present");
+        if vk == 0 {
+            return self.values.len() as u64;
+        }
+        // (k-1) / (vk / 2^64), computed in u128 to avoid overflow.
+        let num = (self.k as u128 - 1) << 64;
+        (num / vk as u128) as u64
+    }
+
+    /// Whether no hash has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_mpc::hash::seeded_hash;
+
+    #[test]
+    fn exact_below_k() {
+        let mut s = Kmv::new(8);
+        for i in 0..5u64 {
+            s.insert(seeded_hash(1, &i));
+        }
+        assert_eq!(s.estimate(), 5);
+        // Duplicates don't change the estimate.
+        s.insert(seeded_hash(1, &3u64));
+        assert_eq!(s.estimate(), 5);
+    }
+
+    #[test]
+    fn approximate_above_k() {
+        let mut s = Kmv::new(64);
+        let n = 10_000u64;
+        for i in 0..n {
+            s.insert(seeded_hash(7, &i));
+        }
+        let est = s.estimate();
+        assert!(
+            est > n / 2 && est < n * 2,
+            "estimate {est} not within 2x of {n}"
+        );
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = Kmv::new(16);
+        let mut b = Kmv::new(16);
+        let mut both = Kmv::new(16);
+        for i in 0..500u64 {
+            let h = seeded_hash(3, &i);
+            if i % 2 == 0 {
+                a.insert(h);
+            } else {
+                b.insert(h);
+            }
+            both.insert(h);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_commutative() {
+        let mut a = Kmv::new(8);
+        let mut b = Kmv::new(8);
+        for i in 0..100u64 {
+            a.insert(seeded_hash(5, &(i * 3)));
+            b.insert(seeded_hash(5, &(i * 7)));
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let mut again = ab.clone();
+        again.merge(&b);
+        assert_eq!(again, ab);
+    }
+
+    #[test]
+    fn empty_sketch() {
+        let s = Kmv::new(4);
+        assert!(s.is_empty());
+        assert_eq!(s.estimate(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 2")]
+    fn rejects_tiny_k() {
+        let _ = Kmv::new(1);
+    }
+}

@@ -1,0 +1,22 @@
+//! Output-size estimation (§2.2 of Hu & Yi, PODS 2020).
+//!
+//! Non-free-connex queries have no known linear-load *exact* output-size
+//! computation — that is the chicken-and-egg problem the paper calls out —
+//! but for matrix multiplication and line queries a *constant-factor
+//! approximation* suffices and is computable with linear load via
+//! k-minimum-values (KMV) sketches:
+//!
+//! * [`Kmv`] — the mergeable distinct-count sketch,
+//! * [`estimate_out_chain`] — the distributed §2.2 procedure: per-group
+//!   output estimates `OUT_a` and the total `OUT` for a join chain, via
+//!   `n` reduce-by-key sketch-merge passes and median-of-instances
+//!   boosting.
+
+mod estimate;
+mod kmv;
+
+pub use estimate::{
+    estimate_out_chain, estimate_out_chain_default, per_group_catalog, OutEstimate, DEFAULT_INSTANCES,
+    DEFAULT_K,
+};
+pub use kmv::Kmv;

@@ -1,0 +1,165 @@
+//! Line-query workloads for the §4 experiments.
+
+use mpcjoin_query::{Edge, TreeQuery};
+use mpcjoin_relation::{Attr, Relation};
+use mpcjoin_semiring::Semiring;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// A generated line-query instance with its query and exact output size.
+pub struct ChainInstance<S: Semiring> {
+    /// The line query over `attrs`.
+    pub query: TreeQuery,
+    /// `A1, …, A_{n+1}`.
+    pub attrs: Vec<Attr>,
+    /// One relation per hop.
+    pub rels: Vec<Relation<S>>,
+    /// Exact `|π_{A1, An+1}|` of the join.
+    pub out: u64,
+}
+
+/// Uniform random chain: `hops` relations of `n` distinct tuples each over
+/// per-level domains of size `dom`.
+pub fn uniform<S: Semiring>(
+    rng: &mut StdRng,
+    hops: usize,
+    n: usize,
+    dom: u64,
+) -> ChainInstance<S> {
+    let attrs: Vec<Attr> = (0..=hops as u32).map(Attr).collect();
+    let mut rels = Vec::with_capacity(hops);
+    for h in 0..hops {
+        let mut set = HashSet::with_capacity(n);
+        while set.len() < n.min((dom * dom) as usize) {
+            set.insert((rng.gen_range(0..dom), rng.gen_range(0..dom)));
+        }
+        let mut v: Vec<(u64, u64)> = set.into_iter().collect();
+        v.sort_unstable();
+        rels.push(Relation::binary_ones(attrs[h], attrs[h + 1], v));
+    }
+    finish(attrs, rels)
+}
+
+/// Layered chain with a *target fan-out* per hop: every level value `v`
+/// connects to `fanout` consecutive values of the next level (domains of
+/// size `dom`), giving smoothly tunable OUT at fixed N.
+pub fn layered<S: Semiring>(hops: usize, dom: u64, fanout: u64) -> ChainInstance<S> {
+    let attrs: Vec<Attr> = (0..=hops as u32).map(Attr).collect();
+    let mut rels = Vec::with_capacity(hops);
+    for h in 0..hops {
+        let mut v = Vec::new();
+        for x in 0..dom {
+            for f in 0..fanout {
+                v.push((x, (x + f) % dom));
+            }
+        }
+        rels.push(Relation::binary_ones(attrs[h], attrs[h + 1], v));
+    }
+    finish(attrs, rels)
+}
+
+/// The *funnel* chain: the workload family on which the Yannakakis
+/// baseline pays its `N·OUT/p` worst case while §4's algorithm collapses
+/// early.
+///
+/// Per group: one `A1` value fans out to `k` private `A2` values, which
+/// form a complete bipartite `k × k` block to the group's `A3` values,
+/// which all fan in to the same `m` `A4` values. The baseline's
+/// leaf-to-root merge materializes the `k²·m` intermediate per group; the
+/// paper's algorithm joins `R1 ⋈ R2` first, where the `k²` witnesses
+/// collapse to `k` `(A1, A3)` pairs. `OUT = groups·m` exactly.
+pub fn funnel<S: Semiring>(groups: u64, k: u64, m: u64) -> ChainInstance<S> {
+    let attrs: Vec<Attr> = (0..=3).map(Attr).collect();
+    let mut r1 = Vec::new();
+    let mut r2 = Vec::new();
+    let mut r3 = Vec::new();
+    for g in 0..groups {
+        let a2_base = g * k;
+        let a3_base = g * k;
+        let a4_base = g * m;
+        for i in 0..k {
+            r1.push((g, a2_base + i));
+            for j in 0..k {
+                r2.push((a2_base + i, a3_base + j));
+            }
+            for j in 0..m {
+                r3.push((a3_base + i, a4_base + j));
+            }
+        }
+    }
+    finish(
+        attrs.clone(),
+        vec![
+            Relation::binary_ones(attrs[0], attrs[1], r1),
+            Relation::binary_ones(attrs[1], attrs[2], r2),
+            Relation::binary_ones(attrs[2], attrs[3], r3),
+        ],
+    )
+}
+
+fn finish<S: Semiring>(attrs: Vec<Attr>, rels: Vec<Relation<S>>) -> ChainInstance<S> {
+    let hops = rels.len();
+    let query = TreeQuery::new(
+        (0..hops)
+            .map(|i| Edge::binary(attrs[i], attrs[i + 1]))
+            .collect(),
+        [attrs[0], attrs[hops]],
+    );
+    let out = exact_out(&rels);
+    ChainInstance {
+        query,
+        attrs,
+        rels,
+        out,
+    }
+}
+
+/// Exact `|π_{A1,An+1}|` by forward reachable-set propagation.
+fn exact_out<S: Semiring>(rels: &[Relation<S>]) -> u64 {
+    use std::collections::HashMap;
+    // reach[v] = set of A1 values reaching v at the current level.
+    let mut reach: HashMap<u64, HashSet<u64>> = HashMap::new();
+    for (row, _) in rels[0].entries() {
+        reach.entry(row[1]).or_default().insert(row[0]);
+    }
+    for rel in &rels[1..] {
+        let mut next: HashMap<u64, HashSet<u64>> = HashMap::new();
+        for (row, _) in rel.entries() {
+            if let Some(srcs) = reach.get(&row[0]) {
+                next.entry(row[1]).or_default().extend(srcs.iter().copied());
+            }
+        }
+        reach = next;
+    }
+    reach.values().map(|s| s.len() as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_semiring::Count;
+    use mpcjoin_yannakakis::sequential_join_aggregate;
+
+    #[test]
+    fn layered_out_matches_oracle() {
+        let inst = layered::<Count>(3, 10, 3);
+        let oracle = sequential_join_aggregate(&inst.query, &inst.rels);
+        assert_eq!(oracle.len() as u64, inst.out);
+    }
+
+    #[test]
+    fn uniform_out_matches_oracle() {
+        let mut rng = crate::rng(3);
+        let inst = uniform::<Count>(&mut rng, 3, 60, 12);
+        let oracle = sequential_join_aggregate(&inst.query, &inst.rels);
+        assert_eq!(oracle.len() as u64, inst.out);
+    }
+
+    #[test]
+    fn fanout_controls_out() {
+        let narrow = layered::<Count>(3, 20, 1);
+        let wide = layered::<Count>(3, 20, 5);
+        assert!(wide.out > narrow.out);
+    }
+}

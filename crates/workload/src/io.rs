@@ -1,0 +1,246 @@
+//! Loading relations from delimited text files.
+//!
+//! Real inputs have string keys; the engine computes over dictionary-
+//! encoded `u64` values. [`StringDict`] interns strings to dense codes
+//! (shared across all relations of a query so join keys line up), and
+//! [`read_relation`] parses a TSV/CSV file into an annotated relation:
+//!
+//! ```text
+//! # comment lines and blank lines are skipped
+//! alice   movies
+//! bob     movies    3      ← optional third column: integer weight
+//! ```
+//!
+//! The optional weight column feeds whichever semiring the caller maps
+//! it into (`Count`, `TropicalMin` edge costs, …); without it every
+//! tuple is annotated `1`.
+
+use mpcjoin_relation::{Attr, Relation, Schema, Value};
+use mpcjoin_semiring::Semiring;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+
+/// A shared string-interning dictionary for input values.
+#[derive(Debug, Default)]
+pub struct StringDict {
+    forward: HashMap<String, Value>,
+    backward: Vec<String>,
+}
+
+impl StringDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, allocating a dense code on first sight.
+    pub fn encode(&mut self, s: &str) -> Value {
+        if let Some(&v) = self.forward.get(s) {
+            return v;
+        }
+        let v = self.backward.len() as Value;
+        self.forward.insert(s.to_string(), v);
+        self.backward.push(s.to_string());
+        v
+    }
+
+    /// The string behind `code`, if allocated.
+    pub fn decode(&self, code: Value) -> Option<&str> {
+        self.backward.get(code as usize).map(String::as_str)
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.backward.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.backward.is_empty()
+    }
+}
+
+/// A data-loading error with file/line context.
+#[derive(Debug)]
+pub struct LoadError(String);
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "load error: {}", self.0)
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Parse delimited text (tabs, commas or runs of spaces) into a binary
+/// relation over `(x, y)`; the optional third column is passed to
+/// `weight` to produce the annotation (`None` for two-column rows).
+pub fn parse_relation<S: Semiring>(
+    text: &str,
+    origin: &str,
+    x: Attr,
+    y: Attr,
+    dict: &mut StringDict,
+    mut weight: impl FnMut(Option<i64>) -> S,
+) -> Result<Relation<S>, LoadError> {
+    let mut rel = Relation::empty(Schema::binary(x, y));
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line
+            .split(|c: char| c == '\t' || c == ',' || c == ' ')
+            .filter(|f| !f.is_empty())
+            .collect();
+        let (a, b, w) = match fields.as_slice() {
+            [a, b] => (*a, *b, None),
+            [a, b, w] => {
+                let parsed = w.parse::<i64>().map_err(|_| {
+                    LoadError(format!(
+                        "{origin}:{}: weight `{w}` is not an integer",
+                        lineno + 1
+                    ))
+                })?;
+                (*a, *b, Some(parsed))
+            }
+            _ => {
+                return Err(LoadError(format!(
+                    "{origin}:{}: expected 2 or 3 columns, got {}",
+                    lineno + 1,
+                    fields.len()
+                )))
+            }
+        };
+        rel.push(vec![dict.encode(a), dict.encode(b)], weight(w));
+    }
+    Ok(rel)
+}
+
+/// [`parse_relation`] reading from a file path.
+pub fn read_relation<S: Semiring>(
+    path: &Path,
+    x: Attr,
+    y: Attr,
+    dict: &mut StringDict,
+    weight: impl FnMut(Option<i64>) -> S,
+) -> Result<Relation<S>, LoadError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| LoadError(format!("{}: {e}", path.display())))?;
+    parse_relation(&text, &path.display().to_string(), x, y, dict, weight)
+}
+
+/// Render an output relation back to strings via the dictionary (codes
+/// the dictionary never issued — e.g. synthetic values — print as
+/// `#<code>`), one row per line, sorted.
+pub fn render_output<S: Semiring + fmt::Debug>(
+    rel: &Relation<S>,
+    dict: &StringDict,
+    limit: usize,
+) -> String {
+    let mut out = String::new();
+    let rows = rel.canonical();
+    for (row, annot) in rows.iter().take(limit) {
+        let cols: Vec<String> = row
+            .iter()
+            .map(|&v| {
+                dict.decode(v)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("#{v}"))
+            })
+            .collect();
+        out.push_str(&format!("{}\t{annot:?}\n", cols.join("\t")));
+    }
+    if rows.len() > limit {
+        out.push_str(&format!("… and {} more rows\n", rows.len() - limit));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_semiring::{Count, TropicalMin};
+
+    const A: Attr = Attr(0);
+    const B: Attr = Attr(1);
+
+    #[test]
+    fn parses_two_and_three_column_rows() {
+        let mut dict = StringDict::new();
+        let rel: Relation<Count> = parse_relation(
+            "# header comment\nalice\tmovies\nbob\tmovies\t3\n\ncarol books 2\n",
+            "test",
+            A,
+            B,
+            &mut dict,
+            |w| Count(w.unwrap_or(1) as u64),
+        )
+        .expect("valid");
+        assert_eq!(rel.len(), 3);
+        assert_eq!(dict.len(), 5);
+        let alice = dict.encode("alice");
+        let movies = dict.encode("movies");
+        assert!(rel
+            .canonical()
+            .contains(&(vec![alice, movies], Count(1))));
+    }
+
+    #[test]
+    fn weights_feed_semirings() {
+        let mut dict = StringDict::new();
+        let rel: Relation<TropicalMin> = parse_relation(
+            "x y 4\ny z 7\n",
+            "test",
+            A,
+            B,
+            &mut dict,
+            |w| TropicalMin::finite(w.unwrap_or(0)),
+        )
+        .expect("valid");
+        assert_eq!(rel.entries()[0].1, TropicalMin::finite(4));
+    }
+
+    #[test]
+    fn reports_bad_rows_with_position() {
+        let mut dict = StringDict::new();
+        let e = parse_relation::<Count>("a b\nc\n", "input.tsv", A, B, &mut dict, |_| {
+            Count(1)
+        })
+        .unwrap_err();
+        assert!(e.to_string().contains("input.tsv:2"), "{e}");
+        let e2 = parse_relation::<Count>("a b x\n", "f", A, B, &mut dict, |_| Count(1))
+            .unwrap_err();
+        assert!(e2.to_string().contains("not an integer"), "{e2}");
+    }
+
+    #[test]
+    fn dictionary_is_shared_and_stable() {
+        let mut dict = StringDict::new();
+        let _: Relation<Count> =
+            parse_relation("a b\n", "f1", A, B, &mut dict, |_| Count(1)).unwrap();
+        let r2: Relation<Count> =
+            parse_relation("b c\n", "f2", A, B, &mut dict, |_| Count(1)).unwrap();
+        // "b" got the same code in both files — join keys line up.
+        assert_eq!(r2.entries()[0].0[0], 1);
+        assert_eq!(dict.decode(1), Some("b"));
+    }
+
+    #[test]
+    fn render_decodes_and_limits() {
+        let mut dict = StringDict::new();
+        let rel: Relation<Count> = parse_relation(
+            "a b\nc d\ne f\n",
+            "f",
+            A,
+            B,
+            &mut dict,
+            |_| Count(1),
+        )
+        .unwrap();
+        let text = render_output(&rel, &dict, 2);
+        assert!(text.contains("a\tb"));
+        assert!(text.contains("and 1 more rows"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Workload generators for the experiments.
+//!
+//! The paper is parameterized entirely by `(N, OUT, p)` (and the query
+//! shape); these generators let the benchmark harness place instances
+//! anywhere in that parameter space:
+//!
+//! * [`matrix`] — sparse matrix pairs: uniform random, Zipf-skewed, and
+//!   block-structured instances with *controlled output size*,
+//! * [`chain`] — line-query instances with tunable fan-out (and therefore
+//!   tunable OUT),
+//! * [`star`] — star and star-like instances,
+//! * [`trees`] — instances for the Figure-2/3 tree queries.
+//!
+//! All generators take an explicit [`rand::rngs::StdRng`] seed and are
+//! fully deterministic.
+
+pub mod chain;
+pub mod io;
+pub mod matrix;
+pub mod star;
+pub mod trees;
+
+use mpcjoin_relation::Relation;
+use mpcjoin_semiring::Semiring;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A seeded RNG for deterministic workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Exact output size of `∑_B R1 ⋈ R2` grouped on the outer attributes —
+/// ground truth for experiments (computed locally).
+pub fn exact_mm_out<S: Semiring>(r1: &Relation<S>, r2: &Relation<S>) -> u64 {
+    use std::collections::{HashMap, HashSet};
+    let b1 = 1; // (A, B) column layout from the generators
+    let b2 = 0; // (B, C)
+    let mut right: HashMap<u64, HashSet<u64>> = HashMap::new();
+    for (row, _) in r2.entries() {
+        right.entry(row[b2]).or_default().insert(row[1]);
+    }
+    let mut pairs: HashSet<(u64, u64)> = HashSet::new();
+    for (row, _) in r1.entries() {
+        if let Some(cs) = right.get(&row[b1]) {
+            for &c in cs {
+                pairs.insert((row[0], c));
+            }
+        }
+    }
+    pairs.len() as u64
+}

@@ -1,0 +1,167 @@
+//! Sparse matrix workloads for the §3 experiments.
+
+use mpcjoin_relation::{Attr, Relation};
+use mpcjoin_semiring::Semiring;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// A generated matrix multiplication instance `R1(A,B), R2(B,C)` with its
+/// exact output size.
+pub struct MmInstance<S: Semiring> {
+    /// `R1(A, B)`.
+    pub r1: Relation<S>,
+    /// `R2(B, C)`.
+    pub r2: Relation<S>,
+    /// Exact `|π_{A,C}(R1 ⋈ R2)|`.
+    pub out: u64,
+}
+
+/// Uniform random sparse matrices: `n1`/`n2` distinct nonzeros drawn over
+/// `dom_a × dom_b` and `dom_b × dom_c`.
+pub fn uniform<S: Semiring>(
+    rng: &mut StdRng,
+    attrs: (Attr, Attr, Attr),
+    n1: usize,
+    n2: usize,
+    (dom_a, dom_b, dom_c): (u64, u64, u64),
+) -> MmInstance<S> {
+    let (a, b, c) = attrs;
+    assert!(n1 as u64 <= dom_a * dom_b, "R1 denser than its domain");
+    assert!(n2 as u64 <= dom_b * dom_c, "R2 denser than its domain");
+    let mut s1 = HashSet::with_capacity(n1);
+    while s1.len() < n1 {
+        s1.insert((rng.gen_range(0..dom_a), rng.gen_range(0..dom_b)));
+    }
+    let mut s2 = HashSet::with_capacity(n2);
+    while s2.len() < n2 {
+        s2.insert((rng.gen_range(0..dom_b), rng.gen_range(0..dom_c)));
+    }
+    let mut v1: Vec<(u64, u64)> = s1.into_iter().collect();
+    let mut v2: Vec<(u64, u64)> = s2.into_iter().collect();
+    v1.sort_unstable();
+    v2.sort_unstable();
+    let r1 = Relation::binary_ones(a, b, v1);
+    let r2 = Relation::binary_ones(b, c, v2);
+    let out = crate::exact_mm_out(&r1, &r2);
+    MmInstance { r1, r2, out }
+}
+
+/// Block instance with a *target output size*: `k` complete bipartite
+/// blocks `A_i × B_i` and `B_i × C_i` with `|A_i| = |C_i| = side` and a
+/// thin `B` column, so `OUT = k · side²` exactly while `N ≈ 2·k·side·b_th`.
+///
+/// Sweeping `side` at fixed `N` traces the OUT-axis of the Table-1
+/// experiments.
+pub fn blocks<S: Semiring>(
+    attrs: (Attr, Attr, Attr),
+    k: u64,
+    side: u64,
+    b_thickness: u64,
+) -> MmInstance<S> {
+    let (a, b, c) = attrs;
+    let mut t1 = Vec::new();
+    let mut t2 = Vec::new();
+    for blk in 0..k {
+        let a_base = blk * side;
+        let b_base = blk * b_thickness;
+        let c_base = blk * side;
+        for i in 0..side {
+            for j in 0..b_thickness {
+                t1.push((a_base + i, b_base + j));
+                t2.push((b_base + j, c_base + i));
+            }
+        }
+    }
+    let r1 = Relation::binary_ones(a, b, t1);
+    let r2 = Relation::binary_ones(b, c, t2);
+    let out = k * side * side;
+    MmInstance { r1, r2, out }
+}
+
+/// Zipf-skewed instance: `B`-values drawn with probability `∝ 1/rank^θ`,
+/// creating the heavy/light mix that exercises the §3.1 and §3.2
+/// classification machinery.
+pub fn zipf<S: Semiring>(
+    rng: &mut StdRng,
+    attrs: (Attr, Attr, Attr),
+    n1: usize,
+    n2: usize,
+    dom_b: u64,
+    theta: f64,
+) -> MmInstance<S> {
+    let (a, b, c) = attrs;
+    // Precompute the Zipf CDF over dom_b ranks.
+    let weights: Vec<f64> = (1..=dom_b).map(|r| 1.0 / (r as f64).powf(theta)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let draw = |rng: &mut StdRng| -> u64 {
+        let x: f64 = rng.gen();
+        cdf.partition_point(|&v| v < x) as u64
+    };
+    let mut s1 = HashSet::with_capacity(n1);
+    let mut guard = 0;
+    while s1.len() < n1 && guard < n1 * 100 {
+        s1.insert((rng.gen_range(0..n1 as u64 * 2), draw(rng)));
+        guard += 1;
+    }
+    let mut s2 = HashSet::with_capacity(n2);
+    guard = 0;
+    while s2.len() < n2 && guard < n2 * 100 {
+        s2.insert((draw(rng), rng.gen_range(0..n2 as u64 * 2)));
+        guard += 1;
+    }
+    let mut v1: Vec<(u64, u64)> = s1.into_iter().collect();
+    let mut v2: Vec<(u64, u64)> = s2.into_iter().collect();
+    v1.sort_unstable();
+    v2.sort_unstable();
+    let r1 = Relation::binary_ones(a, b, v1);
+    let r2 = Relation::binary_ones(b, c, v2);
+    let out = crate::exact_mm_out(&r1, &r2);
+    MmInstance { r1, r2, out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_semiring::Count;
+
+    const A: Attr = Attr(0);
+    const B: Attr = Attr(1);
+    const C: Attr = Attr(2);
+
+    #[test]
+    fn uniform_sizes_and_determinism() {
+        let mut rng = crate::rng(7);
+        let inst = uniform::<Count>(&mut rng, (A, B, C), 200, 300, (100, 40, 100));
+        assert_eq!(inst.r1.len(), 200);
+        assert_eq!(inst.r2.len(), 300);
+        let mut rng2 = crate::rng(7);
+        let inst2 = uniform::<Count>(&mut rng2, (A, B, C), 200, 300, (100, 40, 100));
+        assert!(inst.r1.semantically_eq(&inst2.r1));
+        assert_eq!(inst.out, inst2.out);
+    }
+
+    #[test]
+    fn blocks_have_exact_out() {
+        let inst = blocks::<Count>((A, B, C), 4, 8, 2);
+        assert_eq!(inst.out, 4 * 64);
+        assert_eq!(inst.out, crate::exact_mm_out(&inst.r1, &inst.r2));
+        assert_eq!(inst.r1.len(), (4 * 8 * 2) as usize);
+    }
+
+    #[test]
+    fn zipf_produces_skew() {
+        let mut rng = crate::rng(11);
+        let inst = zipf::<Count>(&mut rng, (A, B, C), 400, 400, 50, 1.2);
+        let degs = inst.r1.degrees(B);
+        let max = degs.values().copied().max().unwrap_or(0);
+        let min = degs.values().copied().min().unwrap_or(0);
+        assert!(max >= 4 * min.max(1), "expected skew, got {min}..{max}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Star and star-like workloads for the §5–§6 experiments.
+
+use mpcjoin_query::{Edge, TreeQuery};
+use mpcjoin_relation::{Attr, Relation};
+use mpcjoin_semiring::Semiring;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// A generated star instance with its query and exact output size.
+pub struct StarInstance<S: Semiring> {
+    /// The star query.
+    pub query: TreeQuery,
+    /// The shared attribute `B`.
+    pub center: Attr,
+    /// The arm endpoints `A1..An`.
+    pub endpoints: Vec<Attr>,
+    /// One relation per arm, `R_i(A_i, B)` layout.
+    pub rels: Vec<Relation<S>>,
+    /// Exact output size.
+    pub out: u64,
+}
+
+/// Uniform random star: `arms` relations of `n` tuples over endpoint
+/// domains `dom_a` and center domain `dom_b`.
+pub fn uniform<S: Semiring>(
+    rng: &mut StdRng,
+    arms: usize,
+    n: usize,
+    dom_a: u64,
+    dom_b: u64,
+) -> StarInstance<S> {
+    let endpoints: Vec<Attr> = (0..arms as u32).map(Attr).collect();
+    let center = Attr(100);
+    let mut rels = Vec::with_capacity(arms);
+    for &ep in &endpoints {
+        let mut set = HashSet::with_capacity(n);
+        while set.len() < n.min((dom_a * dom_b) as usize) {
+            set.insert((rng.gen_range(0..dom_a), rng.gen_range(0..dom_b)));
+        }
+        let mut v: Vec<(u64, u64)> = set.into_iter().collect();
+        v.sort_unstable();
+        rels.push(Relation::binary_ones(ep, center, v));
+    }
+    finish(center, endpoints, rels)
+}
+
+/// Star with per-center-value controlled arm degrees: center value `b`
+/// has degree `deg[i](b mod deg[i].len())` in arm `i` — used to force
+/// specific permutation classes in §5's decomposition.
+pub fn degree_profile<S: Semiring>(
+    arms: usize,
+    centers: u64,
+    profile: &[Vec<u64>],
+) -> StarInstance<S> {
+    assert_eq!(profile.len(), arms);
+    let endpoints: Vec<Attr> = (0..arms as u32).map(Attr).collect();
+    let center = Attr(100);
+    let mut rels = Vec::with_capacity(arms);
+    for (i, &ep) in endpoints.iter().enumerate() {
+        let mut v = Vec::new();
+        for b in 0..centers {
+            let deg = profile[i][(b % profile[i].len() as u64) as usize];
+            for d in 0..deg {
+                // Endpoint values unique per (b, d) to make OUT exactly
+                // the product of degrees summed over b.
+                v.push((b * 1000 + d, b));
+            }
+        }
+        rels.push(Relation::binary_ones(ep, center, v));
+    }
+    finish(center, endpoints, rels)
+}
+
+/// The *overlapping* star: every one of `centers` `B`-values connects to
+/// the **same** `d` endpoint values per arm, so the full join has
+/// `centers · d^arms` witnesses but only `OUT = d^arms` distinct outputs.
+/// Sweeping `centers` at fixed OUT grows the baseline's intermediate-join
+/// cost linearly while the §5 algorithm's matrix-multiplication reduction
+/// aggregates the duplicate witnesses early.
+pub fn overlapping<S: Semiring>(arms: usize, centers: u64, d: u64) -> StarInstance<S> {
+    let endpoints: Vec<Attr> = (0..arms as u32).map(Attr).collect();
+    let center = Attr(100);
+    let rels = endpoints
+        .iter()
+        .map(|&ep| {
+            let mut v = Vec::new();
+            for b in 0..centers {
+                for a in 0..d {
+                    v.push((a, b));
+                }
+            }
+            Relation::binary_ones(ep, center, v)
+        })
+        .collect();
+    finish(center, endpoints, rels)
+}
+
+fn finish<S: Semiring>(
+    center: Attr,
+    endpoints: Vec<Attr>,
+    rels: Vec<Relation<S>>,
+) -> StarInstance<S> {
+    let query = TreeQuery::new(
+        endpoints.iter().map(|&a| Edge::binary(a, center)).collect(),
+        endpoints.iter().copied(),
+    );
+    let out = exact_out(&rels);
+    StarInstance {
+        query,
+        center,
+        endpoints,
+        rels,
+        out,
+    }
+}
+
+/// Exact star output size: the number of *distinct* endpoint combinations
+/// witnessed by some shared `b` (combinations arising from several `b`s
+/// count once).
+fn exact_out<S: Semiring>(rels: &[Relation<S>]) -> u64 {
+    let mut adj: Vec<HashMap<u64, Vec<u64>>> = Vec::new();
+    for rel in rels {
+        let mut m: HashMap<u64, Vec<u64>> = HashMap::new();
+        for (row, _) in rel.entries() {
+            m.entry(row[1]).or_default().push(row[0]);
+        }
+        adj.push(m);
+    }
+    let mut combos: HashSet<Vec<u64>> = HashSet::new();
+    for &b in adj[0].keys() {
+        if !adj.iter().all(|m| m.contains_key(&b)) {
+            continue;
+        }
+        let mut partial: Vec<Vec<u64>> = vec![Vec::new()];
+        for m in &adj {
+            let mut next = Vec::new();
+            for prefix in &partial {
+                for &a in &m[&b] {
+                    let mut ext = prefix.clone();
+                    ext.push(a);
+                    next.push(ext);
+                }
+            }
+            partial = next;
+        }
+        combos.extend(partial);
+    }
+    combos.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_semiring::Count;
+    use mpcjoin_yannakakis::sequential_join_aggregate;
+
+    #[test]
+    fn uniform_star_out_matches_oracle() {
+        let mut rng = crate::rng(5);
+        let inst = uniform::<Count>(&mut rng, 3, 40, 25, 6);
+        let oracle = sequential_join_aggregate(&inst.query, &inst.rels);
+        assert_eq!(oracle.len() as u64, inst.out);
+    }
+
+    #[test]
+    fn degree_profile_out_is_product_sum() {
+        // Two center values: degrees (2,3) and (1,1) per arm → OUT = 2·3·? …
+        let inst = degree_profile::<Count>(3, 2, &[vec![2, 1], vec![3, 1], vec![1, 2]]);
+        // b=0: 2·3·1 = 6; b=1: 1·1·2 = 2.
+        assert_eq!(inst.out, 8);
+        let oracle = sequential_join_aggregate(&inst.query, &inst.rels);
+        assert_eq!(oracle.len() as u64, 8);
+    }
+}

@@ -1,0 +1,212 @@
+//! Tree-query workloads: the Figure-2 and Figure-3 queries of the paper,
+//! with data generators, for the §7 experiments.
+
+use mpcjoin_query::{Edge, TreeQuery};
+use mpcjoin_relation::{Attr, Relation};
+use mpcjoin_semiring::Semiring;
+use mpcjoin_yannakakis::sequential_join_aggregate;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// A generated tree-query instance.
+pub struct TreeInstance<S: Semiring> {
+    /// The query.
+    pub query: TreeQuery,
+    /// One relation per edge.
+    pub rels: Vec<Relation<S>>,
+    /// Exact output size (computed by the sequential oracle).
+    pub out: u64,
+}
+
+/// The Figure-3 twig: two star-like parts rooted at `B1`, `B2` joined
+/// through a two-hop skeleton path carrying hanging output leaves.
+pub fn figure3_query() -> TreeQuery {
+    let (b1, b2) = (Attr(10), Attr(11));
+    let (m1, m2) = (Attr(20), Attr(21));
+    TreeQuery::new(
+        vec![
+            Edge::binary(b1, Attr(0)),
+            Edge::binary(b1, Attr(1)),
+            Edge::binary(b1, m1),
+            Edge::binary(m1, Attr(2)), // hanging output leaf A1
+            Edge::binary(m1, m2),
+            Edge::binary(m2, Attr(3)), // hanging output leaf A2
+            Edge::binary(m2, b2),
+            Edge::binary(b2, Attr(4)),
+            Edge::binary(b2, Attr(5)),
+        ],
+        [Attr(0), Attr(1), Attr(2), Attr(3), Attr(4), Attr(5)],
+    )
+}
+
+/// The Figure-2 tree: a mix of all twig kinds hanging off a path of
+/// output attributes (single all-output relation, matrix multiplication,
+/// star-like part, general twig, plus a reducible non-output tail).
+pub fn figure2_query() -> TreeQuery {
+    let o: Vec<Attr> = (0..9).map(Attr).collect();
+    let (b1, b2, b3) = (Attr(20), Attr(21), Attr(22));
+    let m1 = Attr(23);
+    let c1 = Attr(25);
+    TreeQuery::new(
+        vec![
+            Edge::binary(o[1], o[2]),     // twig: single all-output relation
+            Edge::binary(o[2], m1),       // twig: matmul o2 –m1– o3
+            Edge::binary(m1, o[3]),
+            Edge::binary(o[3], b1),       // twig: star-like at b1
+            Edge::binary(b1, c1),
+            Edge::binary(c1, o[4]),
+            Edge::binary(b1, o[5]),
+            Edge::binary(o[5], b2),       // twig: general (centers b2, b3)
+            Edge::binary(b2, o[6]),
+            Edge::binary(b2, b3),
+            Edge::binary(b3, o[7]),
+            Edge::binary(b3, o[8]),
+            Edge::binary(o[8], Attr(30)), // reducible non-output tail
+        ],
+        [o[1], o[2], o[3], o[4], o[5], o[6], o[7], o[8]],
+    )
+}
+
+/// Random data for any tree query: each relation gets `n` distinct tuples
+/// with both columns drawn from `0..dom`.
+pub fn random_instance<S: Semiring>(
+    rng: &mut StdRng,
+    query: &TreeQuery,
+    n: usize,
+    dom: u64,
+) -> TreeInstance<S> {
+    let rels: Vec<Relation<S>> = query
+        .edges()
+        .iter()
+        .map(|e| {
+            assert!(e.is_binary(), "generator expects binary relations");
+            let mut set = HashSet::with_capacity(n);
+            while set.len() < n.min((dom * dom) as usize) {
+                set.insert((rng.gen_range(0..dom), rng.gen_range(0..dom)));
+            }
+            let mut v: Vec<(u64, u64)> = set.into_iter().collect();
+            v.sort_unstable();
+            Relation::binary_ones(e.attrs()[0], e.attrs()[1], v)
+        })
+        .collect();
+    let out = sequential_join_aggregate(query, &rels).len() as u64;
+    TreeInstance {
+        query: query.clone(),
+        rels,
+        out,
+    }
+}
+
+/// Fan-out-controlled data for any tree query: every value connects to
+/// `fanout` consecutive values of the neighbouring attribute over domains
+/// of size `dom` — OUT grows smoothly with `fanout` at fixed N.
+pub fn layered_instance<S: Semiring>(
+    query: &TreeQuery,
+    dom: u64,
+    fanout: u64,
+) -> TreeInstance<S> {
+    let rels: Vec<Relation<S>> = query
+        .edges()
+        .iter()
+        .map(|e| {
+            let mut v = Vec::new();
+            for x in 0..dom {
+                for f in 0..fanout {
+                    v.push((x, (x + f) % dom));
+                }
+            }
+            Relation::binary_ones(e.attrs()[0], e.attrs()[1], v)
+        })
+        .collect();
+    let out = sequential_join_aggregate(query, &rels).len() as u64;
+    TreeInstance {
+        query: query.clone(),
+        rels,
+        out,
+    }
+}
+
+/// The *overlapping* tree workload: non-output attributes get a domain of
+/// `centers` values, output attributes a domain of `d` values, and every
+/// relation is the complete bipartite graph between its endpoints'
+/// domains. All `centers`-way witness paths collapse onto the same
+/// `d^{|y|}` outputs, so sweeping `centers` at fixed OUT grows the
+/// baseline's intermediates while the §7 pipeline aggregates early.
+pub fn overlapping_instance<S: Semiring>(
+    query: &TreeQuery,
+    centers: u64,
+    d: u64,
+) -> TreeInstance<S> {
+    let dom = |a: Attr| -> u64 {
+        if query.is_output(a) {
+            d
+        } else {
+            centers
+        }
+    };
+    let rels: Vec<Relation<S>> = query
+        .edges()
+        .iter()
+        .map(|e| {
+            let (x, y) = (e.attrs()[0], e.attrs()[1]);
+            let mut v = Vec::new();
+            for i in 0..dom(x) {
+                for j in 0..dom(y) {
+                    v.push((i, j));
+                }
+            }
+            Relation::binary_ones(x, y, v)
+        })
+        .collect();
+    let out = sequential_join_aggregate(query, &rels).len() as u64;
+    TreeInstance {
+        query: query.clone(),
+        rels,
+        out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_query::{classify, decompose_twigs, plan_reduction, Shape};
+    use mpcjoin_semiring::Count;
+
+    #[test]
+    fn figure2_reduces_then_decomposes_into_expected_twigs() {
+        let q = figure2_query();
+        let plan = plan_reduction(&q);
+        assert_eq!(plan.steps.len(), 1, "the non-output tail folds away");
+        let twigs = decompose_twigs(&plan.reduced);
+        let shapes: Vec<Shape> = twigs.iter().map(|t| classify(&t.query)).collect();
+        let count = |pred: &dyn Fn(&Shape) -> bool| shapes.iter().filter(|s| pred(s)).count();
+        assert_eq!(count(&|s| matches!(s, Shape::FreeConnex)), 1);
+        assert_eq!(count(&|s| matches!(s, Shape::MatMul { .. })), 1);
+        assert_eq!(count(&|s| matches!(s, Shape::StarLike(_))), 1);
+        assert_eq!(count(&|s| matches!(s, Shape::Twig)), 1);
+    }
+
+    #[test]
+    fn figure3_is_a_general_twig() {
+        let q = figure3_query();
+        assert_eq!(classify(&q), Shape::Twig);
+        assert!(mpcjoin_query::skeleton(&q).is_some());
+    }
+
+    #[test]
+    fn layered_instance_out_scales_with_fanout() {
+        let q = figure3_query();
+        let thin = layered_instance::<Count>(&q, 8, 1);
+        let wide = layered_instance::<Count>(&q, 8, 3);
+        assert!(wide.out > thin.out);
+    }
+
+    #[test]
+    fn random_instance_deterministic() {
+        let q = figure2_query();
+        let i1 = random_instance::<Count>(&mut crate::rng(9), &q, 20, 6);
+        let i2 = random_instance::<Count>(&mut crate::rng(9), &q, 20, 6);
+        assert_eq!(i1.out, i2.out);
+    }
+}

@@ -1,0 +1,201 @@
+//! The distributed Yannakakis algorithm (§1.4) — the baseline every new
+//! algorithm in the paper is measured against.
+//!
+//! Dangling tuples are removed with the §2.1 primitives, then the join
+//! tree is merged bottom-up, each step using the worst-case optimal
+//! two-way join of [5, 13] followed by an immediate aggregation of the
+//! attributes that are no longer needed. The resulting load is
+//! `O(N/p + J/p)` where `J` is the maximum intermediate join size — which
+//! for free-connex queries is `O(OUT)`, for matrix multiplication
+//! `O(N·√OUT)`, and for general tree queries `O(N·OUT)` (§1.2's bounds) —
+//! exactly the baseline column of Table 1.
+
+use crate::dangling::remove_dangling;
+use crate::jointree::JoinTree;
+use mpcjoin_mpc::join::full_join;
+use mpcjoin_mpc::{Cluster, DistRelation};
+use mpcjoin_query::TreeQuery;
+use mpcjoin_relation::Attr;
+use mpcjoin_semiring::Semiring;
+
+/// Evaluate a tree join-aggregate query with the distributed Yannakakis
+/// algorithm. Returns the output relation over `q.output()`, distributed.
+pub fn distributed_yannakakis<S: Semiring>(
+    cluster: &mut Cluster,
+    q: &TreeQuery,
+    instance: &[DistRelation<S>],
+) -> DistRelation<S> {
+    let output: Vec<Attr> = q.output().iter().copied().collect();
+    let reduced = remove_dangling(cluster, q, instance);
+    yannakakis_merge(cluster, q, &reduced, &output)
+}
+
+/// The bottom-up merge phase, reusable by algorithms that have already
+/// removed dangling tuples (or operate on filtered sub-instances).
+///
+/// `keep_always` lists attributes to preserve through every merge (the
+/// query's output attributes).
+pub fn yannakakis_merge<S: Semiring>(
+    cluster: &mut Cluster,
+    q: &TreeQuery,
+    instance: &[DistRelation<S>],
+    keep_always: &[Attr],
+) -> DistRelation<S> {
+    assert_eq!(q.edges().len(), instance.len());
+    let jt = JoinTree::build(q, None);
+    let mut rels: Vec<Option<DistRelation<S>>> = instance.iter().cloned().map(Some).collect();
+
+    for &i in &jt.postorder {
+        let Some(p) = jt.parent[i] else { continue };
+        let child = rels[i].take().expect("child not yet merged");
+        let parent = rels[p].take().expect("parent still alive");
+        if child.is_empty() || parent.is_empty() {
+            // Empty side: the whole query is empty. Keep schemas honest by
+            // producing the empty relation over the output attributes.
+            return DistRelation::empty(
+                cluster,
+                mpcjoin_relation::Schema::new(keep_always.to_vec()),
+            );
+        }
+        let mut keep: Vec<Attr> = parent.schema().attrs().to_vec();
+        for &a in child.schema().attrs() {
+            if keep_always.contains(&a) && !keep.contains(&a) {
+                keep.push(a);
+            }
+        }
+        let joined = full_join(cluster, &parent, &child);
+        rels[p] = Some(joined.project_aggregate(cluster, &keep));
+    }
+
+    let root = rels[jt.root()].take().expect("root survives");
+    root.project_aggregate(cluster, keep_always)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::sequential_join_aggregate;
+    use mpcjoin_query::Edge;
+    use mpcjoin_relation::Relation;
+    use mpcjoin_semiring::{Count, XorRing};
+
+    const A: Attr = Attr(0);
+    const B: Attr = Attr(1);
+    const C: Attr = Attr(2);
+    const D: Attr = Attr(3);
+
+    fn check_against_oracle(q: &TreeQuery, rels: Vec<Relation<Count>>, p: usize) -> Cluster {
+        let mut cluster = Cluster::new(p);
+        let dist: Vec<DistRelation<Count>> = rels
+            .iter()
+            .map(|r| DistRelation::scatter(&cluster, r))
+            .collect();
+        let got = distributed_yannakakis(&mut cluster, q, &dist);
+        let expect = sequential_join_aggregate(q, &rels);
+        assert!(
+            got.gather().semantically_eq(&expect),
+            "distributed Yannakakis diverged from the sequential oracle"
+        );
+        cluster
+    }
+
+    #[test]
+    fn matmul_small() {
+        let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, C]);
+        check_against_oracle(
+            &q,
+            vec![
+                Relation::binary_ones(A, B, [(1, 10), (1, 11), (2, 10), (3, 12)]),
+                Relation::binary_ones(B, C, [(10, 5), (11, 5), (10, 6)]),
+            ],
+            4,
+        );
+    }
+
+    #[test]
+    fn line_query_with_dangling() {
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, B), Edge::binary(B, C), Edge::binary(C, D)],
+            [A, D],
+        );
+        check_against_oracle(
+            &q,
+            vec![
+                Relation::binary_ones(A, B, (0..40).map(|i| (i, i % 7))),
+                Relation::binary_ones(B, C, (0..30).map(|i| (i % 5, i % 11))),
+                Relation::binary_ones(C, D, (0..50).map(|i| (i % 9, i))),
+            ],
+            8,
+        );
+    }
+
+    #[test]
+    fn star_query_random() {
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, D), Edge::binary(B, D), Edge::binary(C, D)],
+            [A, B, C],
+        );
+        check_against_oracle(
+            &q,
+            vec![
+                Relation::binary_ones(A, D, (0..25).map(|i| (i, i % 6))),
+                Relation::binary_ones(B, D, (0..25).map(|i| (i, (i * 3) % 6))),
+                Relation::binary_ones(C, D, (0..25).map(|i| (i, (i * 5) % 6))),
+            ],
+            8,
+        );
+    }
+
+    #[test]
+    fn internal_output_attributes() {
+        // y = {A, B, D}: general tree query; baseline must keep B through.
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, B), Edge::binary(B, C), Edge::binary(C, D)],
+            [A, B, D],
+        );
+        check_against_oracle(
+            &q,
+            vec![
+                Relation::binary_ones(A, B, (0..20).map(|i| (i, i % 4))),
+                Relation::binary_ones(B, C, (0..12).map(|i| (i % 4, i % 3))),
+                Relation::binary_ones(C, D, (0..15).map(|i| (i % 3, i))),
+            ],
+            4,
+        );
+    }
+
+    #[test]
+    fn xor_semiring_catches_double_counting() {
+        // XorRing has torsion: any duplicated aggregation path would zero
+        // out annotations and diverge from the oracle.
+        let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, C]);
+        let rels = vec![
+            Relation::<XorRing>::binary_ones(A, B, (0..30).map(|i| (i % 10, i % 7))),
+            Relation::<XorRing>::binary_ones(B, C, (0..30).map(|i| (i % 7, i % 9))),
+        ];
+        let mut cluster = Cluster::new(4);
+        let dist: Vec<DistRelation<XorRing>> = rels
+            .iter()
+            .map(|r| DistRelation::scatter(&cluster, r))
+            .collect();
+        let got = distributed_yannakakis(&mut cluster, &q, &dist);
+        let expect = sequential_join_aggregate(&q, &rels);
+        assert!(got.gather().semantically_eq(&expect));
+    }
+
+    #[test]
+    fn empty_instance_yields_empty_output() {
+        let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, C]);
+        let rels = vec![
+            Relation::<Count>::binary_ones(A, B, [(1, 10)]),
+            Relation::<Count>::binary_ones(B, C, [(99, 5)]),
+        ];
+        let mut cluster = Cluster::new(4);
+        let dist: Vec<DistRelation<Count>> = rels
+            .iter()
+            .map(|r| DistRelation::scatter(&cluster, r))
+            .collect();
+        let got = distributed_yannakakis(&mut cluster, &q, &dist);
+        assert!(got.is_empty());
+    }
+}

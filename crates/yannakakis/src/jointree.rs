@@ -1,0 +1,220 @@
+//! Join trees for tree queries.
+//!
+//! A *join tree* arranges the relations (edges of the attribute tree) as
+//! nodes of a tree such that, for every attribute, the relations containing
+//! it form a connected subtree — the structure both the sequential and the
+//! distributed Yannakakis algorithms traverse.
+//!
+//! For a query whose hypergraph is an attribute tree the construction is
+//! canonical: root the attribute tree anywhere; each edge's parent in the
+//! join tree is the unique edge leading from its shallower endpoint toward
+//! the root (for the root attribute, one designated root edge). Unary
+//! relations attach to any binary edge on their attribute.
+
+use mpcjoin_query::TreeQuery;
+use mpcjoin_relation::Attr;
+use std::collections::HashMap;
+
+/// A rooted join tree over the relations of a [`TreeQuery`].
+#[derive(Clone, Debug)]
+pub struct JoinTree {
+    /// `parent[i]` is the join-tree parent of relation `i`; `None` for the
+    /// root relation.
+    pub parent: Vec<Option<usize>>,
+    /// Relation indices in post-order (children before parents; the root
+    /// relation is last). Merging in this order is a valid Yannakakis
+    /// schedule.
+    pub postorder: Vec<usize>,
+}
+
+impl JoinTree {
+    /// Build a join tree for `q`, rooted so that the last-merged relation
+    /// contains `root_attr` (defaults to the smallest attribute when
+    /// `None`). Panics on malformed queries ([`TreeQuery`] already
+    /// guarantees tree shape).
+    pub fn build(q: &TreeQuery, root_attr: Option<Attr>) -> Self {
+        let attrs = q.attrs();
+        let root = root_attr.unwrap_or_else(|| *attrs.iter().next().expect("non-empty query"));
+        assert!(attrs.contains(&root), "root attribute {root} not in query");
+
+        // BFS the attribute tree from the root to get depths and the
+        // upward edge of every attribute.
+        let adj = q.adjacency();
+        let mut depth: HashMap<Attr, usize> = HashMap::from([(root, 0)]);
+        let mut upward_edge: HashMap<Attr, usize> = HashMap::new();
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(v) = queue.pop_front() {
+            for &ei in adj.get(&v).map(Vec::as_slice).unwrap_or(&[]) {
+                let e = &q.edges()[ei];
+                if !e.is_binary() {
+                    continue;
+                }
+                let u = e.other(v);
+                if !depth.contains_key(&u) {
+                    depth.insert(u, depth[&v] + 1);
+                    upward_edge.insert(u, ei);
+                    queue.push_back(u);
+                }
+            }
+        }
+
+        // The designated root relation: the upward edge of any depth-1
+        // attribute (i.e. an edge containing the root), or relation 0 for
+        // single-relation queries.
+        let root_edge = q
+            .edges()
+            .iter()
+            .position(|e| e.is_binary() && e.contains(root))
+            .unwrap_or(0);
+
+        let mut parent: Vec<Option<usize>> = vec![None; q.edges().len()];
+        for (ei, e) in q.edges().iter().enumerate() {
+            if ei == root_edge {
+                continue;
+            }
+            // The shallower endpoint of the edge (its attachment point).
+            let anchor = *e
+                .attrs()
+                .iter()
+                .min_by_key(|a| depth[a])
+                .expect("edge has attributes");
+            // Attach to the anchor's upward edge; edges containing the
+            // root attach to the designated root edge.
+            let p = upward_edge.get(&anchor).copied().unwrap_or(root_edge);
+            // A unary relation on the anchor of the root edge must not
+            // self-attach.
+            parent[ei] = Some(if p == ei { root_edge } else { p });
+        }
+
+        // Post-order via repeated leaf removal (children count bookkeeping).
+        let mut child_count = vec![0usize; q.edges().len()];
+        for p in parent.iter().flatten() {
+            child_count[*p] += 1;
+        }
+        let mut ready: Vec<usize> = (0..q.edges().len())
+            .filter(|&i| child_count[i] == 0)
+            .collect();
+        let mut postorder = Vec::with_capacity(q.edges().len());
+        while let Some(i) = ready.pop() {
+            postorder.push(i);
+            if let Some(p) = parent[i] {
+                child_count[p] -= 1;
+                if child_count[p] == 0 {
+                    ready.push(p);
+                }
+            }
+        }
+        assert_eq!(
+            postorder.len(),
+            q.edges().len(),
+            "join tree must cover all relations"
+        );
+        assert_eq!(*postorder.last().expect("non-empty"), root_edge);
+
+        JoinTree { parent, postorder }
+    }
+
+    /// The root relation index.
+    pub fn root(&self) -> usize {
+        *self.postorder.last().expect("non-empty join tree")
+    }
+
+    /// Verify the running-intersection property: for every attribute, the
+    /// relations containing it form a connected subtree (test helper).
+    pub fn satisfies_running_intersection(&self, q: &TreeQuery) -> bool {
+        for a in q.attrs() {
+            let holders: Vec<usize> = (0..q.edges().len())
+                .filter(|&i| q.edges()[i].contains(a))
+                .collect();
+            if holders.len() <= 1 {
+                continue;
+            }
+            // All holders must connect through holder-only paths: walk up
+            // from each holder; the union of holders must form a subtree,
+            // i.e. every holder except one has its parent inside the set.
+            let inside = |i: usize| holders.contains(&i);
+            let roots = holders
+                .iter()
+                .filter(|&&i| self.parent[i].map_or(true, |p| !inside(p)))
+                .count();
+            if roots != 1 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_query::Edge;
+
+    const A: Attr = Attr(0);
+    const B: Attr = Attr(1);
+    const C: Attr = Attr(2);
+    const D: Attr = Attr(3);
+
+    #[test]
+    fn chain_join_tree() {
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, B), Edge::binary(B, C), Edge::binary(C, D)],
+            [A, D],
+        );
+        let jt = JoinTree::build(&q, Some(A));
+        assert_eq!(jt.root(), 0);
+        assert_eq!(jt.parent, vec![None, Some(0), Some(1)]);
+        assert!(jt.satisfies_running_intersection(&q));
+    }
+
+    #[test]
+    fn star_join_tree_connects_center() {
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, D), Edge::binary(B, D), Edge::binary(C, D)],
+            [A, B, C],
+        );
+        for root in [A, B, C, D] {
+            let jt = JoinTree::build(&q, Some(root));
+            assert!(
+                jt.satisfies_running_intersection(&q),
+                "running intersection violated rooting at {root}"
+            );
+        }
+    }
+
+    #[test]
+    fn unary_relation_attaches() {
+        let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::unary(B)], [A]);
+        let jt = JoinTree::build(&q, Some(A));
+        assert_eq!(jt.parent[1], Some(0));
+        assert!(jt.satisfies_running_intersection(&q));
+    }
+
+    #[test]
+    fn postorder_is_children_first() {
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, D), Edge::binary(B, D), Edge::binary(C, D)],
+            [A, B, C],
+        );
+        let jt = JoinTree::build(&q, Some(D));
+        let pos: HashMap<usize, usize> = jt
+            .postorder
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (e, i))
+            .collect();
+        for (e, p) in jt.parent.iter().enumerate() {
+            if let Some(p) = p {
+                assert!(pos[&e] < pos[p], "child {e} after parent {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_relation_query() {
+        let q = TreeQuery::new(vec![Edge::binary(A, B)], [A, B]);
+        let jt = JoinTree::build(&q, None);
+        assert_eq!(jt.postorder, vec![0]);
+        assert_eq!(jt.parent, vec![None]);
+    }
+}

@@ -1,0 +1,22 @@
+//! The Yannakakis algorithm, sequential and distributed (§1.2, §1.4 of
+//! Hu & Yi, PODS 2020).
+//!
+//! * [`JoinTree`] — the rooted relation tree both variants traverse,
+//! * [`sequential_join_aggregate`] — the exact RAM-model algorithm, used
+//!   throughout the workspace as the correctness oracle,
+//! * [`remove_dangling`] — the distributed full reducer (§2.1),
+//! * [`distributed_yannakakis`] — the MPC baseline: semijoin reduction
+//!   followed by bottom-up worst-case-optimal two-way joins with eager
+//!   aggregation. Its load, `O(N/p + J/p)` for maximum intermediate join
+//!   size `J`, is the left column of the paper's Table 1; every algorithm
+//!   in `mpcjoin-matmul` and `mpcjoin-joinagg` is designed to beat it.
+
+mod dangling;
+mod distributed;
+mod jointree;
+mod sequential;
+
+pub use dangling::{is_output_empty, remove_dangling};
+pub use distributed::{distributed_yannakakis, yannakakis_merge};
+pub use jointree::JoinTree;
+pub use sequential::{sequential_join_aggregate, validate_instance};

@@ -1,0 +1,187 @@
+//! The sequential (RAM-model) Yannakakis algorithm (§1.2) — the
+//! correctness oracle for every distributed algorithm in this workspace.
+//!
+//! Processing the join tree in post-order, each relation is joined into
+//! its parent and all attributes that are neither output attributes nor
+//! needed higher up are aggregated away immediately; the final relation is
+//! projected-and-aggregated onto `y`. This is the aggregation-aware
+//! variant of Yannakakis noted in [15] (AJAR) and §1.2 of the paper.
+
+use crate::jointree::JoinTree;
+use mpcjoin_query::TreeQuery;
+use mpcjoin_relation::{Attr, Relation};
+use mpcjoin_semiring::Semiring;
+
+/// Check that `instance` matches the query: one relation per edge with
+/// exactly the edge's attributes (in edge order).
+pub fn validate_instance<S: Semiring>(q: &TreeQuery, instance: &[Relation<S>]) {
+    assert_eq!(
+        q.edges().len(),
+        instance.len(),
+        "need exactly one relation per edge"
+    );
+    for (e, r) in q.edges().iter().zip(instance) {
+        assert_eq!(
+            r.schema().attrs(),
+            e.attrs(),
+            "relation schema {} does not match edge {:?}",
+            r.schema(),
+            e.attrs()
+        );
+    }
+}
+
+/// Evaluate the join-aggregate query sequentially and exactly.
+///
+/// Intended as a test oracle and for small driver-side computations: it
+/// materializes intermediate joins whose size can reach the full-join
+/// bound, exactly as §1.2 describes.
+pub fn sequential_join_aggregate<S: Semiring>(
+    q: &TreeQuery,
+    instance: &[Relation<S>],
+) -> Relation<S> {
+    validate_instance(q, instance);
+    let output: Vec<Attr> = q.output().iter().copied().collect();
+    let jt = JoinTree::build(q, None);
+
+    let mut rels: Vec<Option<Relation<S>>> = instance.iter().cloned().map(Some).collect();
+    for &i in &jt.postorder {
+        let Some(p) = jt.parent[i] else { continue };
+        let child = rels[i].take().expect("child not yet merged");
+        let parent = rels[p].take().expect("parent still alive");
+        // Keep the parent's columns plus any output columns the child
+        // carries; everything else in the child is private to this subtree
+        // (running intersection) and is aggregated out now.
+        let mut keep: Vec<Attr> = parent.schema().attrs().to_vec();
+        for &a in child.schema().attrs() {
+            if q.is_output(a) && !keep.contains(&a) {
+                keep.push(a);
+            }
+        }
+        rels[p] = Some(parent.natural_join(&child).project_aggregate(&keep));
+    }
+
+    let root = rels[jt.root()].take().expect("root survives");
+    root.project_aggregate(&output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_query::Edge;
+    use mpcjoin_relation::Schema;
+    use mpcjoin_semiring::{Count, TropicalMin};
+
+    const A: Attr = Attr(0);
+    const B: Attr = Attr(1);
+    const C: Attr = Attr(2);
+    const D: Attr = Attr(3);
+
+    #[test]
+    fn matrix_multiplication_counts_paths() {
+        let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, C]);
+        let r1: Relation<Count> = Relation::binary_ones(A, B, [(1, 10), (1, 11), (2, 10)]);
+        let r2: Relation<Count> = Relation::binary_ones(B, C, [(10, 5), (11, 5), (10, 6)]);
+        let out = sequential_join_aggregate(&q, &[r1, r2]);
+        // (1,5) via 10 and 11 → 2; (1,6) via 10 → 1; (2,5), (2,6) via 10.
+        assert_eq!(
+            out.canonical(),
+            vec![
+                (vec![1, 5], Count(2)),
+                (vec![1, 6], Count(1)),
+                (vec![2, 5], Count(1)),
+                (vec![2, 6], Count(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn full_aggregation_counts_join_size() {
+        let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], []);
+        let r1: Relation<Count> = Relation::binary_ones(A, B, [(1, 10), (2, 10)]);
+        let r2: Relation<Count> = Relation::binary_ones(B, C, [(10, 5), (10, 6)]);
+        let out = sequential_join_aggregate(&q, &[r1, r2]);
+        assert_eq!(out.canonical(), vec![(vec![], Count(4))]);
+    }
+
+    #[test]
+    fn line_query_tropical_shortest_path() {
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, B), Edge::binary(B, C), Edge::binary(C, D)],
+            [A, D],
+        );
+        let w = |v: i64| TropicalMin::finite(v);
+        let r1 = Relation::from_entries(
+            Schema::binary(A, B),
+            vec![(vec![0, 1], w(1)), (vec![0, 2], w(5))],
+        );
+        let r2 = Relation::from_entries(
+            Schema::binary(B, C),
+            vec![(vec![1, 3], w(10)), (vec![2, 3], w(1))],
+        );
+        let r3 = Relation::from_entries(Schema::binary(C, D), vec![(vec![3, 9], w(2))]);
+        let out = sequential_join_aggregate(&q, &[r1, r2, r3]);
+        // Paths 0→1→3→9 (13) and 0→2→3→9 (8): min is 8.
+        assert_eq!(out.canonical(), vec![(vec![0, 9], w(8))]);
+    }
+
+    #[test]
+    fn star_query_grouping() {
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, D), Edge::binary(B, D), Edge::binary(C, D)],
+            [A, B, C],
+        );
+        let r1: Relation<Count> = Relation::binary_ones(A, D, [(1, 0), (2, 0)]);
+        let r2: Relation<Count> = Relation::binary_ones(B, D, [(7, 0)]);
+        let r3: Relation<Count> = Relation::binary_ones(C, D, [(8, 0), (9, 0)]);
+        let out = sequential_join_aggregate(&q, &[r1, r2, r3]);
+        assert_eq!(out.len(), 4); // {1,2} × {7} × {8,9}
+    }
+
+    #[test]
+    fn internal_output_attribute_is_kept() {
+        // y = {A, B, D}: B is internal and output.
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, B), Edge::binary(B, C), Edge::binary(C, D)],
+            [A, B, D],
+        );
+        let r1: Relation<Count> = Relation::binary_ones(A, B, [(1, 10), (2, 11)]);
+        let r2: Relation<Count> = Relation::binary_ones(B, C, [(10, 20), (11, 20)]);
+        let r3: Relation<Count> = Relation::binary_ones(C, D, [(20, 30)]);
+        let out = sequential_join_aggregate(&q, &[r1, r2, r3]);
+        assert_eq!(
+            out.canonical(),
+            vec![
+                (vec![1, 10, 30], Count(1)),
+                (vec![2, 11, 30], Count(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn dangling_tuples_contribute_nothing() {
+        let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, C]);
+        let r1: Relation<Count> = Relation::binary_ones(A, B, [(1, 10), (9, 99)]);
+        let r2: Relation<Count> = Relation::binary_ones(B, C, [(10, 5)]);
+        let out = sequential_join_aggregate(&q, &[r1, r2]);
+        assert_eq!(out.canonical(), vec![(vec![1, 5], Count(1))]);
+    }
+
+    #[test]
+    fn empty_relation_gives_empty_output() {
+        let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, C]);
+        let r1: Relation<Count> = Relation::binary_ones(A, B, [(1, 10)]);
+        let r2: Relation<Count> = Relation::empty(Schema::binary(B, C));
+        let out = sequential_join_aggregate(&q, &[r1, r2]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match edge")]
+    fn schema_mismatch_rejected() {
+        let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, C]);
+        let r1: Relation<Count> = Relation::binary_ones(A, C, [(1, 10)]);
+        let r2: Relation<Count> = Relation::binary_ones(B, C, [(10, 5)]);
+        let _ = sequential_join_aggregate(&q, &[r1, r2]);
+    }
+}

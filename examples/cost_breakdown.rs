@@ -1,0 +1,46 @@
+//! Where does the load go? Per-phase cost breakdown of a matrix
+//! multiplication.
+//!
+//! The simulator's ledger can be partitioned into labeled phases; the
+//! Theorem-1 dispatcher marks its stages (dangling removal, §2.2
+//! estimation, the chosen algorithm), so one run shows exactly which step
+//! dominates the load — the kind of introspection a systems paper's
+//! "cost breakdown" figure would give.
+//!
+//! Run with: `cargo run -p mpcjoin-examples --bin cost_breakdown --release`
+
+use mpcjoin::mpc::{Cluster, DistRelation};
+use mpcjoin::prelude::*;
+use mpcjoin::workload::matrix;
+
+fn main() {
+    let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+    let p = 16;
+
+    for (label, side) in [("sparse output", 4u64), ("dense output", 64u64)] {
+        let inst = matrix::blocks::<Count>((a, b, c), 1536 / (4 * side), side, 2);
+        let mut cluster = Cluster::new(p);
+        let d1 = DistRelation::scatter(&cluster, &inst.r1);
+        let d2 = DistRelation::scatter(&cluster, &inst.r2);
+        let (result, path) = mpcjoin::matmul::matmul(&mut cluster, &d1, &d2);
+
+        println!(
+            "\n{label}: N = {}, OUT = {}, chosen path = {path:?}, |output| = {}",
+            inst.r1.len() + inst.r2.len(),
+            inst.out,
+            result.total_len(),
+        );
+        println!("{:<36} {:>8} {:>8} {:>10}", "phase", "load", "rounds", "traffic");
+        for (phase, report) in cluster.phase_reports() {
+            println!(
+                "{:<36} {:>8} {:>8} {:>10}",
+                phase, report.load, report.rounds, report.total_units
+            );
+        }
+        let total = cluster.report();
+        println!(
+            "{:<36} {:>8} {:>8} {:>10}",
+            "TOTAL", total.load, total.rounds, total.total_units
+        );
+    }
+}

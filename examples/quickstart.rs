@@ -1,0 +1,59 @@
+//! Quickstart: sparse matrix multiplication as a join-aggregate query.
+//!
+//! Computes `∑_B R1(A,B) ⋈ R2(B,C)` over the counting semiring — i.e. the
+//! number of length-2 paths between every `(a, c)` pair — on a simulated
+//! 16-server MPC cluster, and prints the measured load next to the
+//! distributed-Yannakakis baseline.
+//!
+//! Run with: `cargo run -p mpcjoin-examples --bin quickstart`
+
+use mpcjoin::prelude::*;
+
+fn main() {
+    let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+
+    // The query: matrix multiplication, the simplest non-free-connex
+    // join-aggregate query (paper §1.1).
+    let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c]);
+
+    // A small sparse instance: a bipartite "fan" with one popular middle
+    // vertex plus a sparse diagonal fringe.
+    let mut r1_tuples = Vec::new();
+    let mut r2_tuples = Vec::new();
+    for i in 0..400u64 {
+        r1_tuples.push((i, 0)); // every a reaches b = 0
+        r2_tuples.push((0, i)); // b = 0 reaches every c
+        r1_tuples.push((i, 1 + i)); // …plus a private b per a
+        r2_tuples.push((1 + i, i));
+    }
+    let r1: Relation<Count> = Relation::binary_ones(a, b, r1_tuples);
+    let r2: Relation<Count> = Relation::binary_ones(b, c, r2_tuples);
+
+    let p = 16;
+    let new = mpcjoin::execute(p, &q, &[r1.clone(), r2.clone()]);
+    let baseline = mpcjoin::execute_baseline(p, &q, &[r1, r2]);
+
+    assert!(new.output.semantically_eq(&baseline.output));
+
+    println!("sparse matrix multiplication on p = {p} servers");
+    println!("  N1 = N2 = 800, OUT = {}", new.output.len());
+    println!("  plan chosen:          {:?}", new.plan);
+    println!(
+        "  paper algorithm:      load = {:>6}   rounds = {:>2}   total traffic = {}",
+        new.cost.load, new.cost.rounds, new.cost.total_units
+    );
+    println!(
+        "  Yannakakis baseline:  load = {:>6}   rounds = {:>2}   total traffic = {}",
+        baseline.cost.load, baseline.cost.rounds, baseline.cost.total_units
+    );
+
+    // A peek at the output: (0, 0) is connected through b = 0 and through
+    // the private b = 1, so its path count is 2.
+    let two_paths = new
+        .output
+        .canonical()
+        .into_iter()
+        .find(|(row, _)| row == &vec![0, 0])
+        .expect("(0,0) is an output");
+    println!("  example output: (a=0, c=0) has {} two-hop paths", two_paths.1);
+}

@@ -1,0 +1,150 @@
+//! MPC-model guarantees: constant rounds, load-bound sanity, and the
+//! paper's predicted baseline-vs-new ordering.
+
+use mpcjoin::matmul::theory;
+use mpcjoin::prelude::*;
+use mpcjoin::workload::{chain, matrix, rng, star, trees};
+use mpcjoin::{execute, execute_baseline};
+
+/// Rounds must not grow with the input size at a fixed query shape
+/// (constant-round requirement, §1.3).
+#[test]
+fn rounds_constant_matmul() {
+    let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+    let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c]);
+    let mut rounds = Vec::new();
+    for scale in [1u64, 4, 16] {
+        let inst = matrix::blocks::<Count>((a, b, c), 4 * scale, 8, 2);
+        let r = execute(8, &q, &[inst.r1, inst.r2]);
+        rounds.push(r.cost.rounds);
+    }
+    assert!(
+        rounds.windows(2).all(|w| w[0] == w[1]),
+        "matmul rounds grew with N: {rounds:?}"
+    );
+}
+
+#[test]
+fn rounds_constant_line() {
+    let mut rounds = Vec::new();
+    for dom in [16u64, 64, 256] {
+        let inst = chain::layered::<Count>(3, dom, 2);
+        let r = execute(8, &inst.query, &inst.rels);
+        rounds.push(r.cost.rounds);
+    }
+    assert!(
+        rounds.windows(2).all(|w| w[0] == w[1]),
+        "line rounds grew with N: {rounds:?}"
+    );
+}
+
+#[test]
+fn rounds_constant_star() {
+    let mut rounds = Vec::new();
+    for scale in [2u64, 8, 32] {
+        // Same degree profile (hence the same permutation classes) at
+        // growing scale.
+        let inst = star::degree_profile::<Count>(3, scale, &[vec![2], vec![3], vec![4]]);
+        let r = execute(8, &inst.query, &inst.rels);
+        rounds.push(r.cost.rounds);
+    }
+    assert!(
+        rounds.windows(2).all(|w| w[0] == w[1]),
+        "star rounds grew with N: {rounds:?}"
+    );
+}
+
+#[test]
+fn rounds_constant_tree() {
+    let q = trees::figure3_query();
+    let mut rounds = Vec::new();
+    for dom in [4u64, 8, 16] {
+        let inst = trees::layered_instance::<Count>(&q, dom, 2);
+        let r = execute(8, &inst.query, &inst.rels);
+        rounds.push(r.cost.rounds);
+    }
+    assert!(
+        rounds.windows(2).all(|w| w[0] == w[1]),
+        "tree rounds grew with N: {rounds:?}"
+    );
+}
+
+/// The measured matmul load must stay within a constant factor of the
+/// Theorem 1 bound across the OUT sweep.
+#[test]
+fn matmul_load_tracks_theorem1_bound() {
+    let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+    let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c]);
+    let p = 16u64;
+    for side in [4u64, 16, 64] {
+        let inst = matrix::blocks::<Count>((a, b, c), 8, side, 2);
+        let n = inst.r1.len() as u64;
+        let r = execute(p as usize, &q, &[inst.r1, inst.r2]);
+        let bound = theory::new_mm_bound(n, n, inst.out, p);
+        assert!(
+            (r.cost.load as f64) <= 20.0 * bound + 400.0,
+            "side={side}: load {} vs bound {bound:.0}",
+            r.cost.load
+        );
+    }
+}
+
+/// Headline result: for OUT = ω(1) the paper's algorithm beats the
+/// distributed Yannakakis baseline on matrix multiplication.
+#[test]
+fn matmul_beats_baseline_for_large_out() {
+    let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+    let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c]);
+    // Dense blocks: OUT = 8·48² ≈ 18k from N ≈ 1.5k.
+    let inst = matrix::blocks::<Count>((a, b, c), 8, 48, 2);
+    let rels = [inst.r1, inst.r2];
+    let new = execute(16, &q, &rels);
+    let base = execute_baseline(16, &q, &rels);
+    assert!(new.output.semantically_eq(&base.output));
+    assert!(
+        new.cost.load < base.cost.load,
+        "paper algorithm (load {}) should beat the baseline (load {}) at OUT = {}",
+        new.cost.load,
+        base.cost.load,
+        inst.out
+    );
+}
+
+/// The KMV estimator is within a constant factor on line queries.
+#[test]
+fn kmv_estimates_within_constant_factor() {
+    use mpcjoin::mpc::{Cluster, DistRelation};
+    use mpcjoin::sketch::estimate_out_chain_default;
+    for fanout in [1u64, 4, 8] {
+        let inst = chain::layered::<Count>(3, 64, fanout);
+        let mut cluster = Cluster::new(8);
+        let dist: Vec<DistRelation<Count>> = inst
+            .rels
+            .iter()
+            .map(|r| DistRelation::scatter(&cluster, r))
+            .collect();
+        let est = estimate_out_chain_default(
+            &mut cluster,
+            &dist.iter().collect::<Vec<_>>(),
+            &inst.attrs,
+        );
+        assert!(
+            est.total >= inst.out / 3 && est.total <= inst.out * 3,
+            "fanout {fanout}: estimate {} vs exact {}",
+            est.total,
+            inst.out
+        );
+    }
+}
+
+/// Traffic conservation: what is received equals what the ledger records,
+/// and the load can never be below total/(p·rounds).
+#[test]
+fn load_lower_bounded_by_average() {
+    let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+    let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c]);
+    let inst = matrix::uniform::<Count>(&mut rng(13), (a, b, c), 500, 500, (90, 40, 90));
+    let r = execute(8, &q, &[inst.r1, inst.r2]);
+    let avg = r.cost.total_units / (8 * r.cost.rounds.max(1));
+    assert!(r.cost.load >= avg);
+}

@@ -1,0 +1,175 @@
+//! End-to-end oracle tests: for every query shape, the planner-selected
+//! distributed algorithm must produce exactly the sequential Yannakakis
+//! result — as annotated relations, across semirings with different
+//! failure modes (counting detects double-adds, GF(2) detects duplicated
+//! elementary products, tropical detects lost alternatives).
+
+use mpcjoin::prelude::*;
+use mpcjoin::workload::{chain, matrix, rng, star, trees};
+use mpcjoin::{execute, execute_sequential, PlanKind};
+
+fn assert_oracle<S: Semiring>(
+    q: &TreeQuery,
+    rels: &[Relation<S>],
+    p: usize,
+    expect_plan: Option<PlanKind>,
+) {
+    let result = execute(p, q, rels);
+    if let Some(plan) = expect_plan {
+        assert_eq!(result.plan, plan);
+    }
+    let oracle = execute_sequential(q, rels);
+    assert!(
+        result.output.semantically_eq(&oracle),
+        "plan {:?} diverged from the sequential oracle",
+        result.plan
+    );
+}
+
+#[test]
+fn matmul_uniform_instances_three_semirings() {
+    let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+    let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c]);
+    for seed in 0..3 {
+        let inst = matrix::uniform::<Count>(&mut rng(seed), (a, b, c), 300, 300, (80, 30, 80));
+        assert_oracle(&q, &[inst.r1.clone(), inst.r2.clone()], 16, Some(PlanKind::MatMul));
+
+        // Re-annotate the same instance in GF(2) and tropical.
+        let x1 = Relation::<XorRing>::from_entries(
+            inst.r1.schema().clone(),
+            inst.r1.entries().iter().map(|(r, _)| (r.clone(), XorRing(true))).collect(),
+        );
+        let x2 = Relation::<XorRing>::from_entries(
+            inst.r2.schema().clone(),
+            inst.r2.entries().iter().map(|(r, _)| (r.clone(), XorRing(true))).collect(),
+        );
+        assert_oracle(&q, &[x1, x2], 16, None);
+
+        let t = |rel: &Relation<Count>| {
+            Relation::<TropicalMin>::from_entries(
+                rel.schema().clone(),
+                rel.entries()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (r, _))| (r.clone(), TropicalMin::finite((i % 17) as i64)))
+                    .collect(),
+            )
+        };
+        assert_oracle(&q, &[t(&inst.r1), t(&inst.r2)], 16, None);
+    }
+}
+
+#[test]
+fn matmul_zipf_skew() {
+    let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+    let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c]);
+    for theta in [0.5, 1.0, 1.5] {
+        let inst =
+            matrix::zipf::<Count>(&mut rng(99), (a, b, c), 400, 400, 60, theta);
+        assert_oracle(&q, &[inst.r1, inst.r2], 8, Some(PlanKind::MatMul));
+    }
+}
+
+#[test]
+fn matmul_block_dense_output() {
+    let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+    let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c]);
+    let inst = matrix::blocks::<Count>((a, b, c), 6, 16, 2);
+    assert_oracle(&q, &[inst.r1, inst.r2], 16, Some(PlanKind::MatMul));
+}
+
+#[test]
+fn line_queries_of_increasing_length() {
+    for hops in [3usize, 4, 5] {
+        let inst = chain::uniform::<Count>(&mut rng(hops as u64), hops, 80, 14);
+        assert_oracle(&inst.query, &inst.rels, 8, Some(PlanKind::Line));
+    }
+}
+
+#[test]
+fn line_query_layered_fanout() {
+    for fanout in [1u64, 3, 6] {
+        let inst = chain::layered::<Count>(4, 16, fanout);
+        assert_oracle(&inst.query, &inst.rels, 8, Some(PlanKind::Line));
+    }
+}
+
+#[test]
+fn star_queries_three_to_five_arms() {
+    for arms in [3usize, 4, 5] {
+        let inst = star::uniform::<Count>(&mut rng(7 + arms as u64), arms, 30, 25, 5);
+        assert_oracle(&inst.query, &inst.rels, 8, Some(PlanKind::Star));
+    }
+}
+
+#[test]
+fn star_query_forced_permutation_classes() {
+    // Degree profiles forcing several distinct permutation classes.
+    let inst = star::degree_profile::<Count>(
+        3,
+        6,
+        &[vec![1, 5, 2], vec![4, 1, 1, 3], vec![2, 2, 6]],
+    );
+    assert_oracle(&inst.query, &inst.rels, 8, Some(PlanKind::Star));
+}
+
+#[test]
+fn figure3_general_twig_random() {
+    let q = trees::figure3_query();
+    for seed in 0..2 {
+        let inst = trees::random_instance::<Count>(&mut rng(seed), &q, 25, 5);
+        assert_oracle(&inst.query, &inst.rels, 8, Some(PlanKind::Tree));
+    }
+}
+
+#[test]
+fn figure2_full_tree_random() {
+    let q = trees::figure2_query();
+    let inst = trees::random_instance::<Count>(&mut rng(4), &q, 18, 5);
+    assert_oracle(&inst.query, &inst.rels, 8, Some(PlanKind::Tree));
+}
+
+#[test]
+fn figure2_full_tree_xor() {
+    let q = trees::figure2_query();
+    let inst = trees::random_instance::<Count>(&mut rng(5), &q, 15, 4);
+    let rels: Vec<Relation<XorRing>> = inst
+        .rels
+        .iter()
+        .map(|r| {
+            Relation::from_entries(
+                r.schema().clone(),
+                r.entries()
+                    .iter()
+                    .map(|(row, _)| (row.clone(), XorRing(true)))
+                    .collect(),
+            )
+        })
+        .collect();
+    assert_oracle(&q, &rels, 8, Some(PlanKind::Tree));
+}
+
+#[test]
+fn free_connex_queries_take_yannakakis() {
+    let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+    // Full join: y = V.
+    let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, b, c]);
+    let rels = vec![
+        Relation::<Count>::binary_ones(a, b, (0..60u64).map(|i| (i % 12, i % 7))),
+        Relation::<Count>::binary_ones(b, c, (0..60u64).map(|i| (i % 7, i % 9))),
+    ];
+    assert_oracle(&q, &rels, 8, Some(PlanKind::FreeConnexYannakakis));
+}
+
+#[test]
+fn full_aggregation_count_join_size() {
+    let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+    let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], []);
+    let rels = vec![
+        Relation::<Count>::binary_ones(a, b, (0..50u64).map(|i| (i % 10, i % 6))),
+        Relation::<Count>::binary_ones(b, c, (0..50u64).map(|i| (i % 6, i % 8))),
+    ];
+    let result = execute(8, &q, &rels);
+    let oracle = execute_sequential(&q, &rels);
+    assert!(result.output.semantically_eq(&oracle));
+}

@@ -1,0 +1,162 @@
+//! End-to-end runs over the full semiring menagerie: each semiring's
+//! *semantics* is checked, not just oracle equality — shortest paths are
+//! actually shortest, witness sets are actually witnesses, counts count.
+
+use mpcjoin::prelude::*;
+use mpcjoin::{execute, execute_sequential, PlanKind};
+
+const A: Attr = Attr(0);
+const B: Attr = Attr(1);
+const C: Attr = Attr(2);
+const D: Attr = Attr(3);
+
+fn line3() -> TreeQuery {
+    TreeQuery::new(
+        vec![Edge::binary(A, B), Edge::binary(B, C), Edge::binary(C, D)],
+        [A, D],
+    )
+}
+
+#[test]
+fn mincount_counts_shortest_paths() {
+    // Two cost-5 paths 0→9 and one cost-7 path.
+    let q = line3();
+    let w = |c: i64| MinCount::path(c);
+    let rels = vec![
+        Relation::from_entries(
+            Schema::binary(A, B),
+            vec![(vec![0, 1], w(1)), (vec![0, 2], w(2)), (vec![0, 3], w(3))],
+        ),
+        Relation::from_entries(
+            Schema::binary(B, C),
+            vec![(vec![1, 4], w(2)), (vec![2, 4], w(1)), (vec![3, 4], w(3))],
+        ),
+        Relation::from_entries(Schema::binary(C, D), vec![(vec![4, 9], w(2))]),
+    ];
+    let result = execute(4, &q, &rels);
+    assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+    let (row, agg) = &result.output.canonical()[0];
+    assert_eq!(row, &vec![0, 9]);
+    // Paths: 1+2+2 = 5, 2+1+2 = 5, 3+3+2 = 8 → (5, two ways).
+    assert_eq!(agg.get(), Some((5, 2)));
+}
+
+#[test]
+fn viterbi_most_probable_route() {
+    let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, C]);
+    let half = Viterbi::prob(mpcjoin::semiring::ONE_SCALE / 2);
+    let tenth = Viterbi::prob(mpcjoin::semiring::ONE_SCALE / 10);
+    let rels = vec![
+        Relation::from_entries(
+            Schema::binary(A, B),
+            vec![(vec![0, 1], half), (vec![0, 2], tenth)],
+        ),
+        Relation::from_entries(
+            Schema::binary(B, C),
+            vec![(vec![1, 7], half), (vec![2, 7], Viterbi::one())],
+        ),
+    ];
+    let result = execute(4, &q, &rels);
+    assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+    let (_, best) = &result.output.canonical()[0];
+    // max(0.5·0.5, 0.1·1.0) = 0.25.
+    assert_eq!(best.value(), mpcjoin::semiring::ONE_SCALE / 4);
+}
+
+#[test]
+fn product_semiring_computes_two_aggregates_at_once() {
+    let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, C]);
+    let mk = |w: i64| Prod(Count(1), TropicalMin::finite(w));
+    let rels = vec![
+        Relation::from_entries(
+            Schema::binary(A, B),
+            vec![(vec![0, 1], mk(4)), (vec![0, 2], mk(1))],
+        ),
+        Relation::from_entries(
+            Schema::binary(B, C),
+            vec![(vec![1, 5], mk(1)), (vec![2, 5], mk(2))],
+        ),
+    ];
+    let result = execute(4, &q, &rels);
+    let (row, Prod(count, dist)) = &result.output.canonical()[0] else {
+        panic!("one output expected");
+    };
+    assert_eq!(row, &vec![0, 5]);
+    assert_eq!(*count, Count(2)); // two b-paths
+    assert_eq!(*dist, TropicalMin::finite(3)); // min(4+1, 1+2)
+}
+
+#[test]
+fn bottleneck_widest_path_line_query() {
+    let q = line3();
+    let cap = Bottleneck::finite;
+    let rels = vec![
+        Relation::from_entries(
+            Schema::binary(A, B),
+            vec![(vec![0, 1], cap(10)), (vec![0, 2], cap(3))],
+        ),
+        Relation::from_entries(
+            Schema::binary(B, C),
+            vec![(vec![1, 4], cap(2)), (vec![2, 4], cap(9))],
+        ),
+        Relation::from_entries(Schema::binary(C, D), vec![(vec![4, 9], cap(8))]),
+    ];
+    let result = execute(4, &q, &rels);
+    assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+    let (_, widest) = &result.output.canonical()[0];
+    // max(min(10,2,8), min(3,9,8)) = max(2, 3) = 3.
+    assert_eq!(widest.value(), Some(3));
+}
+
+#[test]
+fn whyprov_star_witnesses_are_sound_and_complete() {
+    let q = TreeQuery::new(
+        vec![Edge::binary(A, D), Edge::binary(B, D), Edge::binary(C, D)],
+        [A, B, C],
+    );
+    let rels = vec![
+        Relation::from_entries(
+            Schema::binary(A, D),
+            vec![(vec![1, 0], WhyProv::tuple(1)), (vec![1, 1], WhyProv::tuple(2))],
+        ),
+        Relation::from_entries(
+            Schema::binary(B, D),
+            vec![(vec![5, 0], WhyProv::tuple(10)), (vec![5, 1], WhyProv::tuple(11))],
+        ),
+        Relation::from_entries(Schema::binary(C, D), vec![(vec![8, 0], WhyProv::tuple(20)), (vec![8, 1], WhyProv::tuple(21))]),
+    ];
+    let result = execute(4, &q, &rels);
+    assert_eq!(result.plan, PlanKind::Star);
+    assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+    let (row, prov) = &result.output.canonical()[0];
+    assert_eq!(row, &vec![1, 5, 8]);
+    // (1,5,8) holds via d=0 with facts {1,10,20} and via d=1 with
+    // {2,11,21}: exactly two witnesses.
+    assert_eq!(prov.len(), 2);
+    assert!(prov
+        .witnesses()
+        .contains(&std::collections::BTreeSet::from([1, 10, 20])));
+    assert!(prov
+        .witnesses()
+        .contains(&std::collections::BTreeSet::from([2, 11, 21])));
+}
+
+#[test]
+fn maxplus_longest_path() {
+    let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, C]);
+    let w = MaxPlus::finite;
+    let rels = vec![
+        Relation::from_entries(
+            Schema::binary(A, B),
+            vec![(vec![0, 1], w(3)), (vec![0, 2], w(7))],
+        ),
+        Relation::from_entries(
+            Schema::binary(B, C),
+            vec![(vec![1, 4], w(10)), (vec![2, 4], w(1))],
+        ),
+    ];
+    let result = execute(4, &q, &rels);
+    let (_, longest) = &result.output.canonical()[0];
+    // max(3+10, 7+1) = 13.
+    assert_eq!(longest.value(), Some(13));
+}

@@ -1,0 +1,154 @@
+//! Non-trivial annotation weights through every pipeline stage.
+//!
+//! Most workload generators annotate tuples with `1`, which would mask a
+//! bug that forgets to ⊗-combine annotations (e.g. in the §7 reduce-step
+//! folds or the arm-shrinking passes). These tests drive weighted
+//! counting-semiring annotations through each algorithm and compare the
+//! exact aggregated values against the oracle.
+
+use mpcjoin::prelude::*;
+use mpcjoin::{execute, execute_sequential, PlanKind};
+
+fn weighted(
+    x: Attr,
+    y: Attr,
+    tuples: impl IntoIterator<Item = (u64, u64, u64)>,
+) -> Relation<Count> {
+    Relation::from_entries(
+        Schema::binary(x, y),
+        tuples
+            .into_iter()
+            .map(|(a, b, w)| (vec![a, b], Count(w)))
+            .collect(),
+    )
+}
+
+#[test]
+fn weighted_matmul() {
+    let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+    let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c]);
+    let rels = vec![
+        weighted(a, b, (0..60).map(|i| (i % 12, i % 7, 1 + i % 5))),
+        weighted(b, c, (0..60).map(|i| (i % 7, i % 9, 1 + i % 3))),
+    ];
+    let result = execute(8, &q, &rels);
+    assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+}
+
+#[test]
+fn weighted_reduce_fold() {
+    // y = {A}: the whole chain folds into R1 by §7 reduce steps, each
+    // fold ⊗-combining aggregated annotations. Exact weighted counts must
+    // survive three folds.
+    let attrs: Vec<Attr> = (0..4).map(Attr).collect();
+    let q = TreeQuery::new(
+        vec![
+            Edge::binary(attrs[0], attrs[1]),
+            Edge::binary(attrs[1], attrs[2]),
+            Edge::binary(attrs[2], attrs[3]),
+        ],
+        [attrs[0]],
+    );
+    let rels = vec![
+        weighted(attrs[0], attrs[1], [(1, 10, 2), (1, 11, 3), (2, 10, 5)]),
+        weighted(attrs[1], attrs[2], [(10, 20, 7), (11, 21, 11), (10, 21, 1)]),
+        weighted(attrs[2], attrs[3], [(20, 30, 13), (21, 30, 2)]),
+    ];
+    let result = execute(4, &q, &rels);
+    let oracle = execute_sequential(&q, &rels);
+    assert!(result.output.semantically_eq(&oracle));
+    // Hand-checked: a=1 paths: (1,10,20,30):2·7·13=182, (1,10,21,30):2·1·2=4,
+    // (1,11,21,30):3·11·2=66 → 252. a=2: (2,10,20,30):5·7·13=455,
+    // (2,10,21,30):5·1·2=10 → 465.
+    assert_eq!(
+        oracle.canonical(),
+        vec![(vec![1], Count(252)), (vec![2], Count(465))]
+    );
+}
+
+#[test]
+fn weighted_line_query() {
+    let attrs: Vec<Attr> = (0..4).map(Attr).collect();
+    let q = TreeQuery::new(
+        vec![
+            Edge::binary(attrs[0], attrs[1]),
+            Edge::binary(attrs[1], attrs[2]),
+            Edge::binary(attrs[2], attrs[3]),
+        ],
+        [attrs[0], attrs[3]],
+    );
+    let rels = vec![
+        weighted(attrs[0], attrs[1], (0..40).map(|i| (i % 8, i % 5, 1 + i % 4))),
+        weighted(attrs[1], attrs[2], (0..40).map(|i| (i % 5, i % 6, 1 + i % 2))),
+        weighted(attrs[2], attrs[3], (0..40).map(|i| (i % 6, i % 7, 1 + i % 3))),
+    ];
+    let result = execute(8, &q, &rels);
+    assert_eq!(result.plan, PlanKind::Line);
+    assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+}
+
+#[test]
+fn weighted_star_query() {
+    let b = Attr(9);
+    let q = TreeQuery::new(
+        vec![
+            Edge::binary(Attr(0), b),
+            Edge::binary(Attr(1), b),
+            Edge::binary(Attr(2), b),
+        ],
+        [Attr(0), Attr(1), Attr(2)],
+    );
+    let rels = vec![
+        weighted(Attr(0), b, (0..24).map(|i| (i % 6, i % 3, 1 + i % 5))),
+        weighted(Attr(1), b, (0..24).map(|i| (i % 5, i % 3, 1 + i % 4))),
+        weighted(Attr(2), b, (0..24).map(|i| (i % 4, i % 3, 1 + i % 2))),
+    ];
+    let result = execute(8, &q, &rels);
+    assert_eq!(result.plan, PlanKind::Star);
+    assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+}
+
+#[test]
+fn weighted_general_twig() {
+    let (b1, b2) = (Attr(10), Attr(11));
+    let q = TreeQuery::new(
+        vec![
+            Edge::binary(b1, Attr(0)),
+            Edge::binary(b1, Attr(1)),
+            Edge::binary(b1, b2),
+            Edge::binary(b2, Attr(2)),
+            Edge::binary(b2, Attr(3)),
+        ],
+        [Attr(0), Attr(1), Attr(2), Attr(3)],
+    );
+    let rels = vec![
+        weighted(b1, Attr(0), (0..16).map(|i| (i % 2, i % 5, 1 + i % 3))),
+        weighted(b1, Attr(1), (0..16).map(|i| (i % 2, i % 4, 1 + i % 2))),
+        weighted(b1, b2, [(0, 0, 3), (0, 1, 2), (1, 1, 7)]),
+        weighted(b2, Attr(2), (0..16).map(|i| (i % 2, i % 6, 1 + i % 4))),
+        weighted(b2, Attr(3), (0..16).map(|i| (i % 2, i % 3, 1 + i % 5))),
+    ];
+    let result = execute(8, &q, &rels);
+    assert_eq!(result.plan, PlanKind::Tree);
+    assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+}
+
+#[test]
+fn duplicate_rows_in_bag_inputs() {
+    // Bags: the same row appearing twice with different weights must
+    // behave as its coalesced sum through the whole pipeline.
+    let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+    let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c]);
+    let rels = vec![
+        weighted(a, b, [(1, 5, 2), (1, 5, 3), (2, 5, 1)]),
+        weighted(b, c, [(5, 9, 4), (5, 9, 1)]),
+    ];
+    let result = execute(4, &q, &rels);
+    let oracle = execute_sequential(&q, &rels);
+    assert!(result.output.semantically_eq(&oracle));
+    // (1,9): (2+3)·(4+1) = 25; (2,9): 1·5 = 5.
+    assert_eq!(
+        oracle.canonical(),
+        vec![(vec![1, 9], Count(25)), (vec![2, 9], Count(5))]
+    );
+}
