@@ -1,13 +1,14 @@
-//! Criterion benchmarks: wall-clock of the simulated runs, one group per
-//! experiment of the DESIGN.md index. (The paper's cost metric is the
-//! *load*, printed by the harness binaries; these benches track the
+//! Wall-clock benchmarks: simulator runtime of the experiments in the
+//! DESIGN.md index, one section per experiment. (The paper's cost metric
+//! is the *load*, printed by the harness binaries; these benches track the
 //! simulator's own performance so regressions in the implementation are
-//! visible too.)
+//! visible too.) Plain `main` timing loop; run with
+//! `cargo bench --bench experiments [-- --threads N]`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpcjoin::prelude::*;
 use mpcjoin::workload::{chain, matrix, rng, star, trees};
 use mpcjoin::{execute, execute_baseline};
+use mpcjoin_bench::bench_case;
 
 const A: Attr = Attr(0);
 const B: Attr = Attr(1);
@@ -18,28 +19,23 @@ fn mm_query() -> TreeQuery {
 }
 
 /// T1.mm: the Table-1 matrix multiplication row (new vs baseline).
-fn bench_table1_mm(c: &mut Criterion) {
+fn bench_table1_mm() {
     let q = mm_query();
-    let mut group = c.benchmark_group("table1_mm");
-    group.sample_size(10);
     for side in [4u64, 16, 48] {
         let inst = matrix::blocks::<Count>((A, B, C), 384 / (4 * side).max(1), side, 2);
         let rels = [inst.r1, inst.r2];
-        group.bench_with_input(BenchmarkId::new("new", side), &rels, |b, rels| {
-            b.iter(|| execute(16, &q, rels).cost.load)
+        bench_case(&format!("table1_mm/new/{side}"), 10, || {
+            execute(16, &q, &rels).cost.load
         });
-        group.bench_with_input(BenchmarkId::new("baseline", side), &rels, |b, rels| {
-            b.iter(|| execute_baseline(16, &q, rels).cost.load)
+        bench_case(&format!("table1_mm/baseline/{side}"), 10, || {
+            execute_baseline(16, &q, &rels).cost.load
         });
     }
-    group.finish();
 }
 
 /// T1.mm.uneq: unequal matrix sizes.
-fn bench_table1_mm_unequal(c: &mut Criterion) {
+fn bench_table1_mm_unequal() {
     let q = mm_query();
-    let mut group = c.benchmark_group("table1_mm_unequal");
-    group.sample_size(10);
     for ratio in [1u64, 16] {
         let inst = matrix::uniform::<Count>(
             &mut rng(5 + ratio),
@@ -49,137 +45,106 @@ fn bench_table1_mm_unequal(c: &mut Criterion) {
             ((256 / ratio).max(2), 16, 256),
         );
         let rels = [inst.r1, inst.r2];
-        group.bench_with_input(BenchmarkId::new("new", ratio), &rels, |b, rels| {
-            b.iter(|| execute(16, &q, rels).cost.load)
+        bench_case(&format!("table1_mm_unequal/new/{ratio}"), 10, || {
+            execute(16, &q, &rels).cost.load
         });
     }
-    group.finish();
 }
 
 /// T1.line: the Table-1 line row.
-fn bench_table1_line(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_line");
-    group.sample_size(10);
+fn bench_table1_line() {
     for fanout in [1u64, 4] {
         let inst = chain::layered::<Count>(3, 32, fanout);
-        group.bench_with_input(BenchmarkId::new("new", fanout), &inst, |b, inst| {
-            b.iter(|| execute(16, &inst.query, &inst.rels).cost.load)
+        bench_case(&format!("table1_line/new/{fanout}"), 10, || {
+            execute(16, &inst.query, &inst.rels).cost.load
         });
-        group.bench_with_input(BenchmarkId::new("baseline", fanout), &inst, |b, inst| {
-            b.iter(|| execute_baseline(16, &inst.query, &inst.rels).cost.load)
+        bench_case(&format!("table1_line/baseline/{fanout}"), 10, || {
+            execute_baseline(16, &inst.query, &inst.rels).cost.load
         });
     }
-    group.finish();
 }
 
 /// T1.star: the Table-1 star row.
-fn bench_table1_star(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_star");
-    group.sample_size(10);
+fn bench_table1_star() {
     for deg in [1u64, 4] {
         let inst = star::degree_profile::<Count>(3, 16, &[vec![deg], vec![deg], vec![deg]]);
-        group.bench_with_input(BenchmarkId::new("new", deg), &inst, |b, inst| {
-            b.iter(|| execute(16, &inst.query, &inst.rels).cost.load)
+        bench_case(&format!("table1_star/new/{deg}"), 10, || {
+            execute(16, &inst.query, &inst.rels).cost.load
         });
-        group.bench_with_input(BenchmarkId::new("baseline", deg), &inst, |b, inst| {
-            b.iter(|| execute_baseline(16, &inst.query, &inst.rels).cost.load)
+        bench_case(&format!("table1_star/baseline/{deg}"), 10, || {
+            execute_baseline(16, &inst.query, &inst.rels).cost.load
         });
     }
-    group.finish();
 }
 
 /// T1.tree: the Table-1 tree row on the Figure-3 twig.
-fn bench_table1_tree(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_tree");
-    group.sample_size(10);
+fn bench_table1_tree() {
     let q = trees::figure3_query();
     for fanout in [1u64, 2] {
         let inst = trees::layered_instance::<Count>(&q, 6, fanout);
-        group.bench_with_input(BenchmarkId::new("new", fanout), &inst, |b, inst| {
-            b.iter(|| execute(16, &inst.query, &inst.rels).cost.load)
+        bench_case(&format!("table1_tree/new/{fanout}"), 10, || {
+            execute(16, &inst.query, &inst.rels).cost.load
         });
-        group.bench_with_input(BenchmarkId::new("baseline", fanout), &inst, |b, inst| {
-            b.iter(|| execute_baseline(16, &inst.query, &inst.rels).cost.load)
+        bench_case(&format!("table1_tree/baseline/{fanout}"), 10, || {
+            execute_baseline(16, &inst.query, &inst.rels).cost.load
         });
     }
-    group.finish();
 }
 
 /// LB: hard-instance runs (Theorem 3 construction).
-fn bench_lower_bounds(c: &mut Criterion) {
+fn bench_lower_bounds() {
     use mpcjoin::matmul::hard;
-    let mut group = c.benchmark_group("lowerbounds");
-    group.sample_size(10);
     for out_factor in [1u64, 16] {
         let inst = hard::theorem3_instance::<BoolRing>(A, B, C, 256, 256, 256 * out_factor, 16);
-        group.bench_with_input(
-            BenchmarkId::new("thm3", out_factor),
-            &inst,
-            |b, inst| {
-                b.iter(|| {
-                    let mut cluster = mpcjoin::mpc::Cluster::new(16);
-                    let (d1, d2) = hard::place(&cluster, inst);
-                    let (out, _) = mpcjoin::matmul::matmul(&mut cluster, &d1, &d2);
-                    out.total_len()
-                })
-            },
-        );
+        bench_case(&format!("lowerbounds/thm3/{out_factor}"), 10, || {
+            let mut cluster = mpcjoin::mpc::Cluster::new(16);
+            let (d1, d2) = hard::place(&cluster, &inst);
+            let (out, _) = mpcjoin::matmul::matmul(&mut cluster, &d1, &d2);
+            out.total_len()
+        });
     }
-    group.finish();
 }
 
 /// P.kmv: §2.2 estimation.
-fn bench_kmv(c: &mut Criterion) {
+fn bench_kmv() {
     use mpcjoin::mpc::{Cluster, DistRelation};
     use mpcjoin::sketch::estimate_out_chain_default;
-    let mut group = c.benchmark_group("kmv_accuracy");
-    group.sample_size(10);
     let inst = chain::layered::<Count>(3, 64, 4);
-    group.bench_function("estimate", |b| {
-        b.iter(|| {
-            let mut cluster = Cluster::new(16);
-            let dist: Vec<DistRelation<Count>> = inst
-                .rels
-                .iter()
-                .map(|r| DistRelation::scatter(&cluster, r))
-                .collect();
-            estimate_out_chain_default(
-                &mut cluster,
-                &dist.iter().collect::<Vec<_>>(),
-                &inst.attrs,
-            )
+    bench_case("kmv_accuracy/estimate", 10, || {
+        let mut cluster = Cluster::new(16);
+        let dist: Vec<DistRelation<Count>> = inst
+            .rels
+            .iter()
+            .map(|r| DistRelation::scatter(&cluster, r))
+            .collect();
+        estimate_out_chain_default(&mut cluster, &dist.iter().collect::<Vec<_>>(), &inst.attrs)
             .total
-        })
     });
-    group.finish();
 }
 
 /// Fig: the figure queries end to end.
-fn bench_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
+fn bench_figures() {
     let q2 = trees::figure2_query();
     let inst2 = trees::random_instance::<Count>(&mut rng(1), &q2, 12, 4);
-    group.bench_function("figure2_tree", |b| {
-        b.iter(|| execute(16, &inst2.query, &inst2.rels).cost.load)
+    bench_case("figures/figure2_tree", 10, || {
+        execute(16, &inst2.query, &inst2.rels).cost.load
     });
     let q3 = trees::figure3_query();
     let inst3 = trees::layered_instance::<Count>(&q3, 6, 2);
-    group.bench_function("figure3_twig", |b| {
-        b.iter(|| execute(16, &inst3.query, &inst3.rels).cost.load)
+    bench_case("figures/figure3_twig", 10, || {
+        execute(16, &inst3.query, &inst3.rels).cost.load
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_table1_mm,
-    bench_table1_mm_unequal,
-    bench_table1_line,
-    bench_table1_star,
-    bench_table1_tree,
-    bench_lower_bounds,
-    bench_kmv,
-    bench_figures,
-);
-criterion_main!(benches);
+fn main() {
+    let threads = mpcjoin_bench::init_threads();
+    println!("experiments bench — {threads} local thread(s)\n");
+    bench_table1_mm();
+    bench_table1_mm_unequal();
+    bench_table1_line();
+    bench_table1_star();
+    bench_table1_tree();
+    bench_lower_bounds();
+    bench_kmv();
+    bench_figures();
+}

@@ -1,83 +1,63 @@
-//! Criterion benchmarks of the §2.1 primitives themselves: simulator
+//! Wall-clock benchmarks of the §2.1 primitives themselves: simulator
 //! throughput for sort / reduce / multi-search / packing and the
-//! skew-optimal two-way join, across input sizes.
+//! skew-optimal two-way join, across input sizes. Plain `main` timing
+//! loop (no external harness); run with
+//! `cargo bench --bench primitives [-- --threads N]`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpcjoin::mpc::primitives::reduce::reduce_by_key;
 use mpcjoin::mpc::primitives::scan::parallel_packing;
 use mpcjoin::mpc::primitives::search::multi_search;
 use mpcjoin::mpc::primitives::sort::sort_by_key;
 use mpcjoin::mpc::{join::full_join, Cluster, DistRelation};
 use mpcjoin::prelude::*;
+use mpcjoin_bench::bench_case;
 
-fn bench_sort(c: &mut Criterion) {
-    let mut group = c.benchmark_group("primitive_sort");
+fn bench_sort() {
     for n in [1_000u64, 10_000, 50_000] {
-        group.throughput(Throughput::Elements(n));
         let items: Vec<u64> = (0..n).map(|i| (i * 2_654_435_761) % n).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &items, |b, items| {
-            b.iter(|| {
-                let mut cluster = Cluster::new(16);
-                let data = cluster.scatter_initial(items.clone());
-                sort_by_key(&mut cluster, data, |x| *x).total_len()
-            })
+        bench_case(&format!("primitive_sort/{n}"), 10, || {
+            let mut cluster = Cluster::new(16);
+            let data = cluster.scatter_initial(items.clone());
+            sort_by_key(&mut cluster, data, |x| *x).total_len()
         });
     }
-    group.finish();
 }
 
-fn bench_reduce(c: &mut Criterion) {
-    let mut group = c.benchmark_group("primitive_reduce_by_key");
+fn bench_reduce() {
     for n in [1_000u64, 10_000, 50_000] {
-        group.throughput(Throughput::Elements(n));
         let pairs: Vec<(u64, u64)> = (0..n).map(|i| (i % (n / 10 + 1), 1)).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &pairs, |b, pairs| {
-            b.iter(|| {
-                let mut cluster = Cluster::new(16);
-                let data = cluster.scatter_initial(pairs.clone());
-                reduce_by_key(&mut cluster, data, |a, b| *a += b).total_len()
-            })
+        bench_case(&format!("primitive_reduce_by_key/{n}"), 10, || {
+            let mut cluster = Cluster::new(16);
+            let data = cluster.scatter_initial(pairs.clone());
+            reduce_by_key(&mut cluster, data, |a, b| *a += b).total_len()
         });
     }
-    group.finish();
 }
 
-fn bench_multi_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("primitive_multi_search");
+fn bench_multi_search() {
     for n in [1_000u64, 10_000] {
-        group.throughput(Throughput::Elements(2 * n));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut cluster = Cluster::new(16);
-                let cat = cluster
-                    .scatter_initial((0..n).step_by(2).map(|k| (k, k)).collect::<Vec<_>>());
-                let qs = cluster.scatter_initial((0..n).collect::<Vec<_>>());
-                multi_search(&mut cluster, qs, |q| *q, cat).total_len()
-            })
+        bench_case(&format!("primitive_multi_search/{n}"), 10, || {
+            let mut cluster = Cluster::new(16);
+            let cat =
+                cluster.scatter_initial((0..n).step_by(2).map(|k| (k, k)).collect::<Vec<_>>());
+            let qs = cluster.scatter_initial((0..n).collect::<Vec<_>>());
+            multi_search(&mut cluster, qs, |q| *q, cat).total_len()
         });
     }
-    group.finish();
 }
 
-fn bench_packing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("primitive_parallel_packing");
+fn bench_packing() {
     for n in [1_000u64, 20_000] {
-        group.throughput(Throughput::Elements(n));
         let weights: Vec<u64> = (0..n).map(|i| 1 + i % 10).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &weights, |b, weights| {
-            b.iter(|| {
-                let mut cluster = Cluster::new(16);
-                let data = cluster.scatter_initial(weights.clone());
-                parallel_packing(&mut cluster, data, |w| *w, 100).groups
-            })
+        bench_case(&format!("primitive_parallel_packing/{n}"), 10, || {
+            let mut cluster = Cluster::new(16);
+            let data = cluster.scatter_initial(weights.clone());
+            parallel_packing(&mut cluster, data, |w| *w, 100).groups
         });
     }
-    group.finish();
 }
 
-fn bench_two_way_join(c: &mut Criterion) {
-    let mut group = c.benchmark_group("primitive_two_way_join");
-    group.sample_size(10);
+fn bench_two_way_join() {
     for skew in ["uniform", "heavy"] {
         let n = 5_000u64;
         let r1: Relation<Count> = match skew {
@@ -88,24 +68,21 @@ fn bench_two_way_join(c: &mut Criterion) {
             "uniform" => Relation::binary_ones(Attr(1), Attr(2), (0..n).map(|i| (i % 500, i))),
             _ => Relation::binary_ones(Attr(1), Attr(2), (0..n).map(|i| (i % 5, i))),
         };
-        group.bench_with_input(BenchmarkId::from_parameter(skew), &(r1, r2), |b, (r1, r2)| {
-            b.iter(|| {
-                let mut cluster = Cluster::new(16);
-                let d1 = DistRelation::scatter(&cluster, r1);
-                let d2 = DistRelation::scatter(&cluster, r2);
-                full_join(&mut cluster, &d1, &d2).total_len()
-            })
+        bench_case(&format!("primitive_two_way_join/{skew}"), 10, || {
+            let mut cluster = Cluster::new(16);
+            let d1 = DistRelation::scatter(&cluster, &r1);
+            let d2 = DistRelation::scatter(&cluster, &r2);
+            full_join(&mut cluster, &d1, &d2).total_len()
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_sort,
-    bench_reduce,
-    bench_multi_search,
-    bench_packing,
-    bench_two_way_join,
-);
-criterion_main!(benches);
+fn main() {
+    let threads = mpcjoin_bench::init_threads();
+    println!("primitives bench — {threads} local thread(s)\n");
+    bench_sort();
+    bench_reduce();
+    bench_multi_search();
+    bench_packing();
+    bench_two_way_join();
+}

@@ -3,14 +3,18 @@
 //!
 //! Run with: `cargo run -p mpcjoin-bench --release --bin ablation [scale]`
 
-use mpcjoin_bench::experiments;
 use mpcjoin_bench::emit;
+use mpcjoin_bench::experiments;
 
 fn main() {
+    mpcjoin_bench::init_threads();
     let scale: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(4);
-    emit(&experiments::ablation_min_terms(16, scale), "ablation_min_terms");
+    emit(
+        &experiments::ablation_min_terms(16, scale),
+        "ablation_min_terms",
+    );
     emit(&experiments::p_scaling(scale), "p_scaling");
 }

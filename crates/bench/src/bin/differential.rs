@@ -12,7 +12,6 @@
 use mpcjoin::prelude::*;
 use mpcjoin::verify_instance;
 use mpcjoin::workload::{chain, matrix, rng, star, trees};
-use rand::Rng;
 
 fn check_instance(q: &TreeQuery, rels: &[Relation<Count>], p: usize, label: &str) -> u64 {
     let v = verify_instance(p, q, rels);
@@ -29,6 +28,7 @@ fn check_instance(q: &TreeQuery, rels: &[Relation<Count>], p: usize, label: &str
 }
 
 fn main() {
+    mpcjoin_bench::init_threads();
     let mut args = std::env::args().skip(1);
     let instances: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(60);
     let seed0: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
@@ -51,7 +51,10 @@ fn main() {
                     (dom, dom / 2 + 1, dom),
                 );
                 let q = TreeQuery::new(
-                    vec![Edge::binary(Attr(0), Attr(1)), Edge::binary(Attr(1), Attr(2))],
+                    vec![
+                        Edge::binary(Attr(0), Attr(1)),
+                        Edge::binary(Attr(1), Attr(2)),
+                    ],
                     [Attr(0), Attr(2)],
                 );
                 outputs += check_instance(&q, &[inst.r1, inst.r2], p, "matmul");
@@ -87,7 +90,7 @@ fn main() {
             }
         }
         checked += 1;
-        if checked % 10 == 0 {
+        if checked.is_multiple_of(10) {
             println!("  {checked}/{instances} instances verified…");
         }
     }

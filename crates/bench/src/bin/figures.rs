@@ -7,6 +7,7 @@ use mpcjoin_bench::experiments;
 use mpcjoin_bench::print_table;
 
 fn main() {
+    mpcjoin_bench::init_threads();
     for table in experiments::figures(16) {
         print_table(&table);
     }

@@ -4,15 +4,19 @@
 //!
 //! Run with: `cargo run -p mpcjoin-bench --release --bin lowerbounds [scale]`
 
-use mpcjoin_bench::experiments;
 use mpcjoin_bench::emit;
+use mpcjoin_bench::experiments;
 
 fn main() {
+    mpcjoin_bench::init_threads();
     let scale: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
     for p in [16usize, 64] {
-        emit(&experiments::lower_bounds(p, scale), &format!("lowerbounds_p{p}"));
+        emit(
+            &experiments::lower_bounds(p, scale),
+            &format!("lowerbounds_p{p}"),
+        );
     }
 }

@@ -3,10 +3,11 @@
 //!
 //! Run with: `cargo run -p mpcjoin-bench --release --bin model_checks`
 
-use mpcjoin_bench::experiments;
 use mpcjoin_bench::emit;
+use mpcjoin_bench::experiments;
 
 fn main() {
+    mpcjoin_bench::init_threads();
     emit(&experiments::rounds_constancy(16), "rounds_constancy");
     emit(&experiments::kmv_accuracy(16), "kmv_accuracy");
 }

@@ -5,17 +5,21 @@
 //! Run with: `cargo run -p mpcjoin-bench --release --bin table1 [scale]`
 //! (`scale` defaults to 1; larger values grow the instances).
 
-use mpcjoin_bench::experiments;
 use mpcjoin_bench::emit;
+use mpcjoin_bench::experiments;
 
 fn main() {
+    mpcjoin_bench::init_threads();
     let scale: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(4);
     println!("Table 1 reproduction (instance scale {scale})");
     emit(&experiments::table1_mm(&[16, 64], scale), "table1_mm");
-    emit(&experiments::table1_mm_unequal(16, scale), "table1_mm_unequal");
+    emit(
+        &experiments::table1_mm_unequal(16, scale),
+        "table1_mm_unequal",
+    );
     emit(&experiments::table1_line(16, scale), "table1_line");
     emit(&experiments::table1_star(16, scale), "table1_star");
     emit(&experiments::table1_tree(16, scale), "table1_tree");

@@ -47,10 +47,19 @@ pub fn table1_mm(ps: &[usize], scale: u64) -> Table {
     }
     Table {
         title: "Table 1 / matrix multiplication: load vs OUT (blocks workload)".into(),
-        header: ["p", "N", "OUT", "base load", "new load", "base bound", "new bound", "speedup"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        header: [
+            "p",
+            "N",
+            "OUT",
+            "base load",
+            "new load",
+            "base bound",
+            "new bound",
+            "speedup",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
         rows,
     }
 }
@@ -116,10 +125,18 @@ pub fn table1_line(p: usize, scale: u64) -> Table {
     }
     Table {
         title: format!("Table 1 / line queries (3-hop funnel, p = {p})"),
-        header: ["N/rel", "OUT", "base load", "new load", "base bound", "new bound", "speedup"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        header: [
+            "N/rel",
+            "OUT",
+            "base load",
+            "new load",
+            "base bound",
+            "new bound",
+            "speedup",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
         rows,
     }
 }
@@ -147,10 +164,18 @@ pub fn table1_star(p: usize, scale: u64) -> Table {
     }
     Table {
         title: format!("Table 1 / star queries (3 arms, overlapping witnesses, p = {p})"),
-        header: ["N/rel", "OUT", "base load", "new load", "base bound", "new bound", "speedup"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        header: [
+            "N/rel",
+            "OUT",
+            "base load",
+            "new load",
+            "base bound",
+            "new bound",
+            "speedup",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
         rows,
     }
 }
@@ -176,10 +201,17 @@ pub fn table1_tree(p: usize, scale: u64) -> Table {
     }
     Table {
         title: format!("Table 1 / tree queries (Figure-3 twig, overlapping witnesses, p = {p})"),
-        header: ["N/rel", "OUT", "base load", "new load", "base bound", "new bound"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        header: [
+            "N/rel",
+            "OUT",
+            "base load",
+            "new load",
+            "base bound",
+            "new bound",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
         rows,
     }
 }
@@ -237,10 +269,12 @@ pub fn lower_bounds(p: usize, scale: u64) -> Table {
     }
     Table {
         title: format!("Lower-bound instances (p = {p}): Ω ≤ measured ≤ O"),
-        header: ["instance", "N1", "N2", "OUT", "Ω bound", "measured", "O bound"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        header: [
+            "instance", "N1", "N2", "OUT", "Ω bound", "measured", "O bound",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
         rows,
     }
 }
@@ -313,11 +347,8 @@ pub fn kmv_accuracy(p: usize) -> Table {
             .iter()
             .map(|r| DistRelation::scatter(&cluster, r))
             .collect();
-        let est = estimate_out_chain_default(
-            &mut cluster,
-            &dist.iter().collect::<Vec<_>>(),
-            &inst.attrs,
-        );
+        let est =
+            estimate_out_chain_default(&mut cluster, &dist.iter().collect::<Vec<_>>(), &inst.attrs);
         rows.push(vec![
             Cell::Int(inst.rels[0].len() as u64),
             Cell::Int(inst.out),
@@ -375,11 +406,17 @@ pub fn ablation_min_terms(p: usize, scale: u64) -> Table {
             Cell::Int(inst.out),
             Cell::Int(wco_load),
             Cell::Int(os_load),
-            Cell::Text(if wco_load <= os_load { "§3.1" } else { "§3.2" }.into()),
+            Cell::Text(
+                if wco_load <= os_load {
+                    "§3.1"
+                } else {
+                    "§3.2"
+                }
+                .into(),
+            ),
             Cell::Float(((n * n) as f64 / p as f64).sqrt()),
             Cell::Float(
-                ((n as f64) * (n as f64) * (inst.out as f64)).cbrt()
-                    / (p as f64).powf(2.0 / 3.0),
+                ((n as f64) * (n as f64) * (inst.out as f64)).cbrt() / (p as f64).powf(2.0 / 3.0),
             ),
         ]);
     }
@@ -466,7 +503,10 @@ pub fn figures(p: usize) -> Vec<Table> {
     let sk = skeleton(&q3).expect("figure-3 twig has a skeleton");
     tables.push(Table {
         title: "Figure 3: skeleton of the general twig".into(),
-        header: ["quantity", "value"].iter().map(|s| s.to_string()).collect(),
+        header: ["quantity", "value"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         rows: vec![
             vec![
                 Cell::Text("V* (attrs in >2 relations)".into()),

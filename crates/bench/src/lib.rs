@@ -12,6 +12,50 @@ pub mod table;
 
 pub use table::{print_table, to_csv, Cell, Table};
 
+/// Configure the simulator's local-execution thread pool for a harness
+/// binary: `--threads N` on the command line wins, then the
+/// `MPCJOIN_THREADS` environment variable, then all available cores.
+/// Returns the chosen thread count.
+pub fn init_threads() -> usize {
+    let mut threads = None;
+    let args: Vec<String> = std::env::args().collect();
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(v) = arg.strip_prefix("--threads=") {
+            threads = v.parse().ok();
+        } else if arg == "--threads" {
+            threads = args.get(i + 1).and_then(|v| v.parse().ok());
+        }
+    }
+    let threads = threads
+        .or_else(|| {
+            std::env::var("MPCJOIN_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or_else(mpcjoin::mpc::exec::available_threads);
+    mpcjoin::mpc::exec::set_default_threads(threads);
+    threads
+}
+
+/// Minimal timing loop for the plain-`main` bench targets: run `f` once to
+/// warm up, then `iters` timed repetitions, and print the best and mean
+/// wall-clock per iteration. The closure's return value is consumed so the
+/// computation cannot be optimized away.
+pub fn bench_case<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    let sink = f();
+    std::hint::black_box(&sink);
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let start = std::time::Instant::now();
+        let out = f();
+        samples.push(start.elapsed());
+        std::hint::black_box(&out);
+    }
+    let best = samples.iter().min().copied().unwrap_or_default();
+    let mean = samples.iter().sum::<std::time::Duration>() / iters.max(1);
+    println!("{name:<48} best {best:>10.3?}   mean {mean:>10.3?}   ({iters} iters)");
+}
+
 /// Harness-binary output helper: print the table, and when the
 /// environment variable `MPCJOIN_CSV_DIR` is set, also write it there as
 /// `<slug>.csv`.

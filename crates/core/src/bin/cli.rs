@@ -32,6 +32,7 @@ struct Args {
     query: String,
     inputs: Vec<(String, PathBuf)>,
     servers: usize,
+    threads: usize,
     semiring: String,
     baseline: bool,
     limit: usize,
@@ -40,8 +41,8 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: mpcjoin-cli --query '<head> :- <body>' --input NAME=FILE [--input NAME=FILE …]\n\
-     \x20      [--servers P] [--semiring count|bool|minplus|mincount] [--baseline]\n\
-     \x20      [--limit N] [--dot]"
+     \x20      [--servers P] [--threads N] [--semiring count|bool|minplus|mincount]\n\
+     \x20      [--baseline] [--limit N] [--dot]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
         query: String::new(),
         inputs: Vec::new(),
         servers: 16,
+        threads: mpcjoin::mpc::exec::available_threads(),
         semiring: "count".to_string(),
         baseline: false,
         limit: 20,
@@ -74,6 +76,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--servers expects a positive integer".to_string())?
             }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects a positive integer".to_string())?
+            }
             "--semiring" => args.semiring = value("--semiring")?,
             "--baseline" => args.baseline = true,
             "--limit" => {
@@ -91,6 +98,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.servers == 0 {
         return Err("--servers must be at least 1".to_string());
+    }
+    if args.threads == 0 {
+        return Err("--threads must be at least 1".to_string());
     }
     Ok(args)
 }
@@ -147,8 +157,15 @@ fn run_semiring<S: Semiring + std::fmt::Debug>(
 
     let result = mpcjoin::execute(args.servers, &parsed.query, &rels);
     println!(
-        "plan: {:?}   servers: {}   load: {}   rounds: {}   traffic: {}",
-        result.plan, args.servers, result.cost.load, result.cost.rounds, result.cost.total_units
+        "plan: {:?}   servers: {}   threads: {}   load: {}   rounds: {}   traffic: {}   elapsed: {:.3?}   skew: {:.2}",
+        result.plan,
+        args.servers,
+        args.threads,
+        result.cost.load,
+        result.cost.rounds,
+        result.cost.total_units,
+        result.cost.elapsed,
+        result.output_skew,
     );
     println!("output ({} rows):", result.output.len());
     print!("{}", render_output(&result.output, &dict, args.limit));
@@ -180,18 +197,18 @@ fn main() -> ExitCode {
         }
     };
     if args.dot {
-        print!("{}", mpcjoin::query::to_dot(&parsed.query, Some(&parsed.names)));
+        print!(
+            "{}",
+            mpcjoin::query::to_dot(&parsed.query, Some(&parsed.names))
+        );
         return ExitCode::SUCCESS;
     }
+    mpcjoin::mpc::exec::set_default_threads(args.threads);
 
     let outcome = match args.semiring.as_str() {
-        "count" => run_semiring(&args, &parsed, |w| {
-            Count(w.unwrap_or(1).max(0) as u64)
-        }),
+        "count" => run_semiring(&args, &parsed, |w| Count(w.unwrap_or(1).max(0) as u64)),
         "bool" => run_semiring(&args, &parsed, |_| BoolRing(true)),
-        "minplus" => run_semiring(&args, &parsed, |w| {
-            TropicalMin::finite(w.unwrap_or(0))
-        }),
+        "minplus" => run_semiring(&args, &parsed, |w| TropicalMin::finite(w.unwrap_or(0))),
         "mincount" => run_semiring(&args, &parsed, |w| MinCount::path(w.unwrap_or(0))),
         other => Err(format!(
             "unknown semiring `{other}` (expected count|bool|minplus|mincount)"

@@ -61,7 +61,8 @@ mod planner;
 mod verify;
 
 pub use planner::{
-    execute, execute_baseline, execute_on, execute_sequential, ExecutionResult, PlanKind,
+    execute, execute_baseline, execute_on, execute_sequential, execute_threaded, ExecutionResult,
+    PlanKind,
 };
 pub use verify::{verify_instance, Verification};
 

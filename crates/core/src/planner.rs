@@ -35,6 +35,9 @@ pub struct ExecutionResult<S: Semiring> {
     pub cost: CostReport,
     /// The plan that was executed.
     pub plan: PlanKind,
+    /// Placement skew of the distributed output before gathering
+    /// (max / mean tuples per server; 1.0 is perfectly balanced).
+    pub output_skew: f64,
 }
 
 /// Evaluate `q` on an already-populated cluster; returns the distributed
@@ -56,17 +59,12 @@ pub fn execute_on<S: Semiring>(
             (out, PlanKind::MatMul)
         }
         Shape::Line { edges, attrs } => {
-            let chain: Vec<DistRelation<S>> =
-                edges.iter().map(|&e| rels[e].clone()).collect();
+            let chain: Vec<DistRelation<S>> = edges.iter().map(|&e| rels[e].clone()).collect();
             (line_query(cluster, &chain, &attrs), PlanKind::Line)
         }
         Shape::Star { center, arms } => {
-            let ordered: Vec<DistRelation<S>> =
-                arms.iter().map(|&e| rels[e].clone()).collect();
-            let endpoints: Vec<Attr> = arms
-                .iter()
-                .map(|&e| q.edges()[e].other(center))
-                .collect();
+            let ordered: Vec<DistRelation<S>> = arms.iter().map(|&e| rels[e].clone()).collect();
+            let endpoints: Vec<Attr> = arms.iter().map(|&e| q.edges()[e].other(center)).collect();
             (
                 star_query(cluster, &ordered, center, &endpoints),
                 PlanKind::Star,
@@ -86,17 +84,39 @@ pub fn execute<S: Semiring>(
     q: &TreeQuery,
     instance: &[Relation<S>],
 ) -> ExecutionResult<S> {
+    execute_with(Cluster::new(p), q, instance)
+}
+
+/// [`execute`] with an explicit worker-thread count for per-server local
+/// computation. Results and measured costs are identical to [`execute`]
+/// for every thread count (see `mpcjoin_mpc::exec`); only the wall-clock
+/// `elapsed` in the cost report changes.
+pub fn execute_threaded<S: Semiring>(
+    p: usize,
+    threads: usize,
+    q: &TreeQuery,
+    instance: &[Relation<S>],
+) -> ExecutionResult<S> {
+    execute_with(Cluster::with_threads(p, threads), q, instance)
+}
+
+fn execute_with<S: Semiring>(
+    mut cluster: Cluster,
+    q: &TreeQuery,
+    instance: &[Relation<S>],
+) -> ExecutionResult<S> {
     validate_instance(q, instance);
-    let mut cluster = Cluster::new(p);
     let dist: Vec<DistRelation<S>> = instance
         .iter()
         .map(|r| DistRelation::scatter(&cluster, r))
         .collect();
     let (result, plan) = execute_on(&mut cluster, q, &dist);
+    let output_skew = result.data().skew();
     ExecutionResult {
         output: result.gather(),
         cost: cluster.report(),
         plan,
+        output_skew,
     }
 }
 
@@ -114,11 +134,13 @@ pub fn execute_baseline<S: Semiring>(
         .map(|r| DistRelation::scatter(&cluster, r))
         .collect();
     let output: Vec<Attr> = q.output().iter().copied().collect();
-    let result = distributed_yannakakis(&mut cluster, q, &dist);
+    let result = normalize(distributed_yannakakis(&mut cluster, q, &dist), &output);
+    let output_skew = result.data().skew();
     ExecutionResult {
-        output: normalize(result, &output).gather(),
+        output: result.gather(),
         cost: cluster.report(),
         plan: PlanKind::FreeConnexYannakakis,
+        output_skew,
     }
 }
 
@@ -167,7 +189,9 @@ mod tests {
         ];
         let result = execute(8, &q, &rels);
         assert_eq!(result.plan, PlanKind::MatMul);
-        assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+        assert!(result
+            .output
+            .semantically_eq(&execute_sequential(&q, &rels)));
         assert!(result.cost.rounds > 0);
     }
 
@@ -213,6 +237,8 @@ mod tests {
         ];
         let result = execute(8, &q, &rels);
         assert_eq!(result.plan, PlanKind::Star);
-        assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+        assert!(result
+            .output
+            .semantically_eq(&execute_sequential(&q, &rels)));
     }
 }

@@ -74,7 +74,7 @@ mod tests {
         let v = verify_instance(8, &q, &rels);
         assert!(v.all_agree());
         assert_eq!(v.plan, PlanKind::MatMul);
-        assert!(v.oracle.len() > 0);
+        assert!(!v.oracle.is_empty());
         assert!(v.engine_cost.rounds > 0 && v.baseline_cost.rounds > 0);
     }
 }

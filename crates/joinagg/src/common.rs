@@ -145,11 +145,9 @@ pub fn union_aggregate<S: Semiring>(
             parts[i].extend(local);
         }
     }
-    let reduced = reduce_by_key(
-        cluster,
-        Distributed::from_parts(parts),
-        |acc: &mut S, v| acc.add_assign(&v),
-    );
+    let reduced = reduce_by_key(cluster, Distributed::from_parts(parts), |acc: &mut S, v| {
+        acc.add_assign(&v)
+    });
     let data = reduced.map_local(|_, items| {
         items
             .into_iter()
@@ -225,10 +223,7 @@ mod tests {
         // Fragment with swapped column order: must be reordered.
         let f2 = DistRelation::scatter(
             &cluster,
-            &Relation::<Count>::from_entries(
-                Schema::binary(B, A),
-                vec![(vec![2, 1], Count(4))],
-            ),
+            &Relation::<Count>::from_entries(Schema::binary(B, A), vec![(vec![2, 1], Count(4))]),
         );
         let merged = union_aggregate(&mut cluster, schema, vec![f1, f2]);
         assert_eq!(

@@ -44,7 +44,9 @@ pub fn line_query<S: Semiring>(
 
     // Remove dangling tuples over the whole chain.
     let q = TreeQuery::new(
-        (0..n).map(|i| Edge::binary(attrs[i], attrs[i + 1])).collect(),
+        (0..n)
+            .map(|i| Edge::binary(attrs[i], attrs[i + 1]))
+            .collect(),
         [attrs[0], attrs[n]],
     );
     let reduced = remove_dangling(cluster, &q, rels);
@@ -53,11 +55,7 @@ pub fn line_query<S: Semiring>(
     }
 
     // Constant-factor OUT approximation (§2.2).
-    let est = estimate_out_chain_default(
-        cluster,
-        &reduced.iter().collect::<Vec<_>>(),
-        attrs,
-    );
+    let est = estimate_out_chain_default(cluster, &reduced.iter().collect::<Vec<_>>(), attrs);
     let threshold = ((est.total.max(1) as f64).sqrt().ceil() as u64).max(1);
 
     // Step 1: classify A2 values by R1-degree.

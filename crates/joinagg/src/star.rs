@@ -53,7 +53,11 @@ pub fn star_query<S: Semiring>(
     let p = cluster.p();
     let mut deg_parts: Vec<Vec<(Value, Vec<u64>)>> = vec![Vec::new(); p];
     for (i, rel) in reduced.iter().enumerate() {
-        for (server, local) in rel.degrees(cluster, center).into_parts().into_iter().enumerate()
+        for (server, local) in rel
+            .degrees(cluster, center)
+            .into_parts()
+            .into_iter()
+            .enumerate()
         {
             deg_parts[server].extend(local.into_iter().map(|(b, d)| {
                 let mut v = vec![0u64; n];
@@ -264,9 +268,7 @@ mod tests {
                 pairs
                     .iter()
                     .enumerate()
-                    .map(|(i, &(a, b))| {
-                        (vec![a, b], WhyProv::tuple((k * 100 + i) as u32))
-                    })
+                    .map(|(i, &(a, b))| (vec![a, b], WhyProv::tuple((k * 100 + i) as u32)))
                     .collect::<Vec<_>>(),
             )
         };

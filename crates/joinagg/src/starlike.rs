@@ -56,8 +56,7 @@ pub fn star_like_query<S: Semiring>(
         let stats = if arm.len() == 1 {
             reduced[arm.edges[0]].degrees(cluster, center)
         } else {
-            let chain: Vec<&DistRelation<S>> =
-                arm.edges.iter().map(|&e| &reduced[e]).collect();
+            let chain: Vec<&DistRelation<S>> = arm.edges.iter().map(|&e| &reduced[e]).collect();
             estimate_out_chain_default(cluster, &chain, &arm.attrs).per_group
         };
         for (server, local) in stats.into_parts().into_iter().enumerate() {
@@ -166,8 +165,7 @@ pub fn star_like_query<S: Semiring>(
             if joined.is_empty() {
                 continue;
             }
-            let light_cols: Vec<Attr> =
-                light_positions.iter().map(|&i| endpoints[i]).collect();
+            let light_cols: Vec<Attr> = light_positions.iter().map(|&i| endpoints[i]).collect();
             let combined = combine_columns(cluster, &joined, &light_cols, code_1);
 
             let heavy_arm = &shape.arms[order[n - 1]];
@@ -179,16 +177,12 @@ pub fn star_like_query<S: Semiring>(
             if line_out.is_empty() {
                 continue;
             }
-            let expanded =
-                expand_column(cluster, &line_out, code_1, &light_cols, combined.decode);
+            let expanded = expand_column(cluster, &line_out, code_1, &light_cols, combined.decode);
             fragments.push(expanded);
         } else {
             // --- Step 3: shrink all arms, split per Lemma 11, uniformize.
-            let shrunk: Vec<DistRelation<S>> = shape
-                .arms
-                .iter()
-                .map(|arm| shrink(cluster, arm))
-                .collect();
+            let shrunk: Vec<DistRelation<S>> =
+                shape.arms.iter().map(|arm| shrink(cluster, arm)).collect();
             if shrunk.iter().any(DistRelation::is_empty) {
                 continue;
             }
@@ -220,8 +214,7 @@ pub fn star_like_query<S: Semiring>(
                 continue;
             }
             let cols_i: Vec<Attr> = (0..n).filter(|&i| in_i[i]).map(|i| endpoints[i]).collect();
-            let cols_j: Vec<Attr> =
-                (0..n).filter(|&i| !in_i[i]).map(|i| endpoints[i]).collect();
+            let cols_j: Vec<Attr> = (0..n).filter(|&i| !in_i[i]).map(|i| endpoints[i]).collect();
             let ci = combine_columns(cluster, &r_i, &cols_i, code_1);
             let cj = combine_columns(cluster, &r_j, &cols_j, code_2);
 
@@ -239,7 +232,7 @@ pub fn star_like_query<S: Semiring>(
 }
 
 /// Attach a per-center-value statistic to a relation's tuples.
-fn rel_attach<S: Semiring, U: Clone + 'static>(
+fn rel_attach<S: Semiring, U: Clone + Send + 'static>(
     cluster: &mut Cluster,
     rel: &DistRelation<S>,
     center: Attr,
@@ -262,7 +255,12 @@ fn shrink_arm<S: Semiring>(
     // attrs[k]..attrs[k+1]. Walk from the endpoint toward the center.
     let mut acc = rels[arm.edges[h - 1]].clone();
     for k in (0..h - 1).rev() {
-        acc = join_aggregate(cluster, &acc, &rels[arm.edges[k]], &[endpoint, arm.attrs[k]]);
+        acc = join_aggregate(
+            cluster,
+            &acc,
+            &rels[arm.edges[k]],
+            &[endpoint, arm.attrs[k]],
+        );
     }
     reorder_binary(acc, &Schema::binary(endpoint, center))
 }
@@ -291,11 +289,9 @@ fn uniformized_matmul<S: Semiring>(
     for (i, local) in r_tag.iter() {
         count_parts[i].extend(local.iter().filter_map(|(_, b)| b.map(|b| (b, 1u64))));
     }
-    let counts = reduce_by_key(
-        cluster,
-        Distributed::from_parts(count_parts),
-        |acc, v| *acc += v,
-    );
+    let counts = reduce_by_key(cluster, Distributed::from_parts(count_parts), |acc, v| {
+        *acc += v
+    });
     let gathered = cluster.exchange(
         counts
             .into_parts()
@@ -353,10 +349,8 @@ fn uniformized_matmul<S: Semiring>(
                 }
             }
         }
-        let dl = DistRelation::from_distributed(
-            left.schema().clone(),
-            Distributed::from_parts(l_parts),
-        );
+        let dl =
+            DistRelation::from_distributed(left.schema().clone(), Distributed::from_parts(l_parts));
         let dr = DistRelation::from_distributed(
             right.schema().clone(),
             Distributed::from_parts(r_parts),
@@ -393,10 +387,10 @@ mod tests {
     fn fig1_query() -> TreeQuery {
         TreeQuery::new(
             vec![
-                Edge::binary(B, Attr(0)),  // arm 1 (single edge)
-                Edge::binary(B, Attr(10)), // arm 3 start (interior)
+                Edge::binary(B, Attr(0)),        // arm 1 (single edge)
+                Edge::binary(B, Attr(10)),       // arm 3 start (interior)
                 Edge::binary(Attr(10), Attr(1)), // arm 3 end
-                Edge::binary(B, Attr(2)),  // arm 2 (single edge)
+                Edge::binary(B, Attr(2)),        // arm 2 (single edge)
             ],
             [Attr(0), Attr(1), Attr(2)],
         )
@@ -547,7 +541,7 @@ mod tests {
     #[test]
     fn empty_after_reduction() {
         let q = fig1_query();
-        let rels = vec![
+        let rels = [
             Relation::<Count>::binary_ones(B, Attr(0), [(0, 1)]),
             Relation::<Count>::binary_ones(B, Attr(10), [(1, 5)]),
             Relation::<Count>::binary_ones(Attr(10), Attr(1), [(5, 7)]),

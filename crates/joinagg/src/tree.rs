@@ -61,8 +61,7 @@ pub fn tree_query<S: Semiring>(
 
     // --- Reduce: fold removable relations into neighbours. ---
     let plan = plan_reduction(q);
-    let mut working: Vec<Option<DistRelation<S>>> =
-        reduced_input.into_iter().map(Some).collect();
+    let mut working: Vec<Option<DistRelation<S>>> = reduced_input.into_iter().map(Some).collect();
     for step in &plan.steps {
         let removed = working[step.removed].take().expect("fold source alive");
         let absorber = working[step.absorber].take().expect("fold target alive");
@@ -124,17 +123,12 @@ fn execute_twig<S: Semiring>(
             reorder_binary(out, &Schema::binary(a.min(c), a.max(c)))
         }
         Shape::Line { edges, attrs } => {
-            let chain: Vec<DistRelation<S>> =
-                edges.iter().map(|&e| rels[e].clone()).collect();
+            let chain: Vec<DistRelation<S>> = edges.iter().map(|&e| rels[e].clone()).collect();
             line_query(cluster, &chain, &attrs)
         }
         Shape::Star { center, arms } => {
-            let ordered: Vec<DistRelation<S>> =
-                arms.iter().map(|&e| rels[e].clone()).collect();
-            let endpoints: Vec<Attr> = arms
-                .iter()
-                .map(|&e| q.edges()[e].other(center))
-                .collect();
+            let ordered: Vec<DistRelation<S>> = arms.iter().map(|&e| rels[e].clone()).collect();
+            let endpoints: Vec<Attr> = arms.iter().map(|&e| q.edges()[e].other(center)).collect();
             star_query(cluster, &ordered, center, &endpoints)
         }
         Shape::StarLike(_) => star_like_query(cluster, q, rels),
@@ -208,16 +202,13 @@ fn general_twig<S: Semiring>(
                 }
                 let attached =
                     sub_rels[e].attach_stat(cluster, &[part.b], flag_catalogs[i].clone());
-                let data = attached.map_local(|_, items| {
+                let data = attached.par_map_local(cluster, |_, items| {
                     items
                         .into_iter()
-                        .filter_map(|(entry, h)| {
-                            (h.unwrap_or(false) == want).then_some(entry)
-                        })
+                        .filter_map(|(entry, h)| (h.unwrap_or(false) == want).then_some(entry))
                         .collect::<Vec<_>>()
                 });
-                sub_rels[e] =
-                    DistRelation::from_distributed(reduced[e].schema().clone(), data);
+                sub_rels[e] = DistRelation::from_distributed(reduced[e].schema().clone(), data);
             }
         }
         let sub_rels = remove_dangling(cluster, q, &sub_rels);
@@ -264,12 +255,12 @@ fn general_twig<S: Semiring>(
             continue;
         }
 
-        for e in 0..q.edges().len() {
+        for (e, (edge, rel)) in q.edges().iter().zip(&sub_rels).enumerate() {
             if swallowed.contains(&e) {
                 continue;
             }
-            residual_edges.push(q.edges()[e].clone());
-            residual_rels.push(sub_rels[e].clone());
+            residual_edges.push(edge.clone());
+            residual_rels.push(rel.clone());
         }
         let residual_attrs: std::collections::BTreeSet<Attr> = residual_edges
             .iter()
@@ -392,7 +383,7 @@ fn estimate_out_tree<S: Semiring>(
             let catalog = child_stats.map(|(v, yv)| (vec![v], yv));
             let attached = rels[edge].attach_stat(cluster, &[child], catalog);
             let c_pos = rels[edge].positions_of(&[c_attr])[0];
-            let pairs = attached.map_local(|_, items| {
+            let pairs = attached.par_map_local(cluster, |_, items| {
                 items
                     .into_iter()
                     .filter_map(|((row, _), yv)| yv.map(|yv| (row[c_pos], yv)))
@@ -552,13 +543,13 @@ mod tests {
         // and a star-like twig, plus a foldable non-output tail.
         let q = TreeQuery::new(
             vec![
-                Edge::binary(Attr(0), Attr(1)),   // all-output
-                Edge::binary(Attr(1), Attr(20)),  // matmul via m=20
+                Edge::binary(Attr(0), Attr(1)),  // all-output
+                Edge::binary(Attr(1), Attr(20)), // matmul via m=20
                 Edge::binary(Attr(20), Attr(2)),
-                Edge::binary(Attr(2), Attr(21)),  // star-like at 21
+                Edge::binary(Attr(2), Attr(21)), // star-like at 21
                 Edge::binary(Attr(21), Attr(3)),
                 Edge::binary(Attr(21), Attr(4)),
-                Edge::binary(Attr(4), Attr(22)),  // foldable tail (22 non-output leaf)
+                Edge::binary(Attr(4), Attr(22)), // foldable tail (22 non-output leaf)
             ],
             [Attr(0), Attr(1), Attr(2), Attr(3), Attr(4)],
         );
@@ -649,7 +640,7 @@ mod tests {
     #[test]
     fn empty_tree_query() {
         let q = two_center_twig();
-        let rels = vec![
+        let rels = [
             Relation::<Count>::binary_ones(Attr(10), Attr(0), [(0, 1)]),
             Relation::<Count>::binary_ones(Attr(10), Attr(1), [(1, 2)]), // b mismatch
             Relation::<Count>::binary_ones(Attr(10), Attr(11), [(0, 0)]),

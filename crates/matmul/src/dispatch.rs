@@ -40,10 +40,7 @@ pub fn matmul<S: Semiring>(
 
     // Dangling removal first (all paths below assume it).
     let q = TreeQuery::new(
-        vec![
-            Edge::binary(m.a, m.b),
-            Edge::binary(m.b, m.c),
-        ],
+        vec![Edge::binary(m.a, m.b), Edge::binary(m.b, m.c)],
         [m.a, m.c],
     );
     cluster.mark_phase("matmul: dangling removal");
@@ -93,9 +90,10 @@ fn normalize<S: Semiring>(
         return r.clone();
     }
     let pos = r.positions_of(&[x, y]);
-    let data = r.data().clone().map(|(row, s)| {
-        (pos.iter().map(|&i| row[i]).collect::<Vec<_>>(), s)
-    });
+    let data = r
+        .data()
+        .clone()
+        .map(|(row, s)| (pos.iter().map(|&i| row[i]).collect::<Vec<_>>(), s));
     DistRelation::from_distributed(target, data)
 }
 

@@ -100,7 +100,9 @@ pub fn theorem3_instance<S: Semiring>(
     // R1 on the first half of the servers, R2 on the second half.
     let split = (p / 2).max(1);
     let r1_placement = (0..r1.len()).map(|i| i % split).collect();
-    let r2_placement = (0..r2.len()).map(|i| split + (i % (p - split).max(1))).collect();
+    let r2_placement = (0..r2.len())
+        .map(|i| split + (i % (p - split).max(1)))
+        .collect();
     let out_exact = dom_a * dom_c;
     HardInstance {
         r1,
@@ -120,10 +122,7 @@ pub fn theorem2_bound(n1: u64, n2: u64, p: u64) -> f64 {
 pub fn place<S: Semiring>(
     cluster: &mpcjoin_mpc::Cluster,
     inst: &HardInstance<S>,
-) -> (
-    mpcjoin_mpc::DistRelation<S>,
-    mpcjoin_mpc::DistRelation<S>,
-) {
+) -> (mpcjoin_mpc::DistRelation<S>, mpcjoin_mpc::DistRelation<S>) {
     let d1 = cluster.place_initial(
         inst.r1_placement
             .iter()

@@ -14,8 +14,8 @@
 //! * [`hard`] — the Theorem 2–3 lower-bound instances,
 //! * [`theory`] — closed-form bound formulas for the harness.
 
-pub mod hard;
 mod dispatch;
+pub mod hard;
 mod linear;
 mod output_sensitive;
 mod problem;

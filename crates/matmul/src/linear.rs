@@ -49,11 +49,9 @@ pub fn linear_sparse_mm<S: Semiring>(
     for (i, local) in r2.data().iter() {
         key_parts[i].extend(local.iter().map(|(row, _)| (row[pos_b2], 1u64)));
     }
-    let degrees = reduce_by_key(
-        cluster,
-        Distributed::from_parts(key_parts),
-        |acc, v| *acc += v,
-    );
+    let degrees = reduce_by_key(cluster, Distributed::from_parts(key_parts), |acc, v| {
+        *acc += v
+    });
 
     // Group b-values; capacity covers the expected OUT ≤ N/p degree bound
     // but stretches to the true max degree so the pass is total.
@@ -95,17 +93,9 @@ pub fn linear_sparse_mm<S: Semiring>(
         let mut by_b: HashMap<Value, (Vec<(Value, S)>, Vec<(Value, S)>)> = HashMap::new();
         for (side, row, s) in items {
             if side == 1 {
-                by_b
-                    .entry(row[pos_b1])
-                    .or_default()
-                    .0
-                    .push((row[pos_a], s));
+                by_b.entry(row[pos_b1]).or_default().0.push((row[pos_a], s));
             } else {
-                by_b
-                    .entry(row[pos_b2])
-                    .or_default()
-                    .1
-                    .push((row[pos_c], s));
+                by_b.entry(row[pos_b2]).or_default().1.push((row[pos_c], s));
             }
         }
         let mut agg: HashMap<(Value, Value), S> = HashMap::new();

@@ -136,7 +136,7 @@ pub fn output_sensitive_matmul<S: Semiring>(
 
     // --- Step 3: pack light rows into groups A_i by OUT_a. ---
     let ha_cap = cap_a;
-    let light_per_a = est.per_a.map_local(move |_, items| {
+    let light_per_a = est.per_a.par_map_local(cluster, move |_, items| {
         items
             .into_iter()
             .filter(|(_, e)| *e < ha_cap)
@@ -145,10 +145,7 @@ pub fn output_sensitive_matmul<S: Semiring>(
     });
     let pack_a = parallel_packing(cluster, light_per_a, |(_, e)| *e, cap_a);
     let k1 = pack_a.groups as usize;
-    let gid_catalog = pack_a
-        .assigned
-        .clone()
-        .map(|((a, _), gid)| (vec![a], gid));
+    let gid_catalog = pack_a.assigned.clone().map(|((a, _), gid)| (vec![a], gid));
     let with_gid = lookup_exact(
         cluster,
         r1_light.data().clone(),
@@ -159,9 +156,7 @@ pub fn output_sensitive_matmul<S: Semiring>(
     // Group sizes (driver knowledge; one gather round inside reduce).
     let gid_counts = reduce_by_key(
         cluster,
-        with_gid
-            .clone()
-            .map(|(_, gid)| (gid.unwrap_or(0), 1u64)),
+        with_gid.clone().map(|(_, gid)| (gid.unwrap_or(0), 1u64)),
         |acc, v| *acc += v,
     );
     let gathered = cluster.exchange(
@@ -224,14 +219,10 @@ pub fn output_sensitive_matmul<S: Semiring>(
                 }
             }
         }
-        let mut r1_i = DistRelation::from_distributed(
-            r1_schema.clone(),
-            Distributed::from_parts(r1_parts),
-        );
-        let mut r2_i = DistRelation::from_distributed(
-            r2.schema().clone(),
-            Distributed::from_parts(r2_parts),
-        );
+        let mut r1_i =
+            DistRelation::from_distributed(r1_schema.clone(), Distributed::from_parts(r1_parts));
+        let mut r2_i =
+            DistRelation::from_distributed(r2.schema().clone(), Distributed::from_parts(r2_parts));
 
         // Group-internal dangling removal (degrees within the subquery
         // then obey d1·d2 ≤ group output).
@@ -258,10 +249,8 @@ pub fn output_sensitive_matmul<S: Semiring>(
                 }
             }
         }
-        let r2_heavy = DistRelation::from_distributed(
-            r2_i.schema().clone(),
-            Distributed::from_parts(hvy),
-        );
+        let r2_heavy =
+            DistRelation::from_distributed(r2_i.schema().clone(), Distributed::from_parts(hvy));
         if !r2_heavy.is_empty() {
             let out_hc = join_aggregate(child, &r1_i, &r2_heavy, &[m.a, m.c]);
             for (slot, local) in out_hc
@@ -278,7 +267,7 @@ pub fn output_sensitive_matmul<S: Semiring>(
         // Pack light columns into windows of O(L) group-local output and
         // emit (c → group·window) assignment tuples.
         let lcap = load;
-        let light_cols = col_est.per_group.map_local(move |_, items| {
+        let light_cols = col_est.per_group.par_map_local(child, move |_, items| {
             items
                 .into_iter()
                 .filter(|(_, e)| *e < lcap)
@@ -304,7 +293,7 @@ pub fn output_sensitive_matmul<S: Semiring>(
         Schema::binary(m.c, g_attr),
         Distributed::from_parts(assign_c_parts),
     );
-    let assign_a_data = pack_a.assigned.map_local(|_, items| {
+    let assign_a_data = pack_a.assigned.par_map_local(cluster, |_, items| {
         items
             .into_iter()
             .flat_map(|((a, _), i)| {
@@ -312,8 +301,7 @@ pub fn output_sensitive_matmul<S: Semiring>(
             })
             .collect::<Vec<_>>()
     });
-    let assign_a =
-        DistRelation::from_distributed(Schema::binary(m.a, g_attr), assign_a_data);
+    let assign_a = DistRelation::from_distributed(Schema::binary(m.a, g_attr), assign_a_data);
 
     if assign_a.is_empty() || assign_c.is_empty() {
         return DistRelation::from_distributed(
@@ -337,10 +325,10 @@ pub fn output_sensitive_matmul<S: Semiring>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mpcjoin_query::{Edge, TreeQuery};
     use mpcjoin_relation::Relation;
     use mpcjoin_semiring::{Count, XorRing};
     use mpcjoin_yannakakis::remove_dangling;
-    use mpcjoin_query::{Edge, TreeQuery};
 
     const A: Attr = Attr(0);
     const B: Attr = Attr(1);
@@ -364,10 +352,8 @@ mod tests {
 
     #[test]
     fn medium_output_random() {
-        let r1 =
-            Relation::<Count>::binary_ones(A, B, (0..300u64).map(|i| (i % 60, (i * 7) % 20)));
-        let r2 =
-            Relation::<Count>::binary_ones(B, C, (0..300u64).map(|i| ((i * 3) % 20, i % 50)));
+        let r1 = Relation::<Count>::binary_ones(A, B, (0..300u64).map(|i| (i % 60, (i * 7) % 20)));
+        let r2 = Relation::<Count>::binary_ones(B, C, (0..300u64).map(|i| ((i * 3) % 20, i % 50)));
         check(&r1, &r2, 8);
     }
 
@@ -393,8 +379,10 @@ mod tests {
     fn xor_detects_duplicate_elementary_products() {
         // GF(2): if any (a,b,c) product were computed twice, annotations
         // would cancel and diverge from the oracle.
-        let r1 = Relation::<XorRing>::binary_ones(A, B, (0..200u64).map(|i| (i % 40, (i * 11) % 25)));
-        let r2 = Relation::<XorRing>::binary_ones(B, C, (0..200u64).map(|i| ((i * 13) % 25, i % 30)));
+        let r1 =
+            Relation::<XorRing>::binary_ones(A, B, (0..200u64).map(|i| (i % 40, (i * 11) % 25)));
+        let r2 =
+            Relation::<XorRing>::binary_ones(B, C, (0..200u64).map(|i| ((i * 13) % 25, i % 30)));
         check(&r1, &r2, 8);
     }
 

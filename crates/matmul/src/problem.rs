@@ -25,9 +25,7 @@ impl MatMulAttrs {
         assert_eq!(r2.schema().arity(), 2, "R2 must be binary");
         let shared = r1.schema().common(r2.schema());
         let [b] = shared[..] else {
-            panic!(
-                "matrix multiplication needs exactly one shared attribute, got {shared:?}"
-            );
+            panic!("matrix multiplication needs exactly one shared attribute, got {shared:?}");
         };
         let a = r1.schema().attrs()[usize::from(r1.schema().attrs()[0] == b)];
         let c = r2.schema().attrs()[usize::from(r2.schema().attrs()[0] == b)];

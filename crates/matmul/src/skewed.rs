@@ -85,8 +85,7 @@ pub fn skewed_matmul<S: Semiring>(
     let data = big_grouped.map_local(|server, local| {
         let mut by_b: HashMap<u64, Vec<(u64, S)>> = HashMap::new();
         for (row, s) in small_everywhere.data().local(server) {
-            by_b
-                .entry(row[small_b])
+            by_b.entry(row[small_b])
                 .or_default()
                 .push((row[small_out], s.clone()));
         }
@@ -132,8 +131,7 @@ mod tests {
         let mut cluster = Cluster::new(8);
         // N1 = 3, N2 = 400 > 8·3.
         let r1: Relation<Count> = Relation::binary_ones(A, B, [(1, 0), (1, 1), (2, 0)]);
-        let r2: Relation<Count> =
-            Relation::binary_ones(B, C, (0..400).map(|i| (i % 3, i)));
+        let r2: Relation<Count> = Relation::binary_ones(B, C, (0..400).map(|i| (i % 3, i)));
         let d1 = DistRelation::scatter(&cluster, &r1);
         let d2 = DistRelation::scatter(&cluster, &r2);
         assert!(is_skewed(&d1, &d2, 8));
@@ -147,8 +145,7 @@ mod tests {
     #[test]
     fn tiny_r2_against_big_r1() {
         let mut cluster = Cluster::new(8);
-        let r1: Relation<Count> =
-            Relation::binary_ones(A, B, (0..300).map(|i| (i, i % 2)));
+        let r1: Relation<Count> = Relation::binary_ones(A, B, (0..300).map(|i| (i, i % 2)));
         let r2: Relation<Count> = Relation::binary_ones(B, C, [(0, 9), (1, 9)]);
         let d1 = DistRelation::scatter(&cluster, &r1);
         let d2 = DistRelation::scatter(&cluster, &r2);

@@ -71,8 +71,7 @@ mod tests {
     fn one_row_matrix_times_big_matrix() {
         let mut cluster = Cluster::new(4);
         let r1: Relation<Count> = Relation::binary_ones(A, B, [(7, 3)]);
-        let r2: Relation<Count> =
-            Relation::binary_ones(B, C, (0..100).map(|i| (i % 5, i)));
+        let r2: Relation<Count> = Relation::binary_ones(B, C, (0..100).map(|i| (i % 5, i)));
         let d1 = DistRelation::scatter(&cluster, &r1);
         let d2 = DistRelation::scatter(&cluster, &r2);
         let got = trivial_matmul(&mut cluster, &d1, &d2);
@@ -85,8 +84,7 @@ mod tests {
     #[test]
     fn tiny_right_side() {
         let mut cluster = Cluster::new(4);
-        let r1: Relation<Count> =
-            Relation::binary_ones(A, B, (0..50).map(|i| (i, i % 7)));
+        let r1: Relation<Count> = Relation::binary_ones(A, B, (0..50).map(|i| (i, i % 7)));
         let r2: Relation<Count> = Relation::binary_ones(B, C, [(3, 42)]);
         let d1 = DistRelation::scatter(&cluster, &r1);
         let d2 = DistRelation::scatter(&cluster, &r2);

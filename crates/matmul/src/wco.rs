@@ -28,7 +28,7 @@ use mpcjoin_mpc::primitives::scan::parallel_packing;
 use mpcjoin_mpc::primitives::search::lookup_exact;
 use mpcjoin_mpc::{Cluster, DistRelation, Distributed};
 use mpcjoin_relation::{Row, Value};
-use mpcjoin_semiring::{Semiring};
+use mpcjoin_semiring::Semiring;
 use std::collections::{HashMap, HashSet};
 
 /// Kind tags for the four subqueries.
@@ -64,12 +64,18 @@ pub fn wco_matmul<S: Semiring>(
 
     // Light-value bundles on both sides (Step 4 prep).
     let ha = heavy_a_set.clone();
-    let light_a = deg_a.map_local(|_, items| {
-        items.into_iter().filter(|(v, _)| !ha.contains(v)).collect::<Vec<_>>()
+    let light_a = deg_a.par_map_local(cluster, |_, items| {
+        items
+            .into_iter()
+            .filter(|(v, _)| !ha.contains(v))
+            .collect::<Vec<_>>()
     });
     let hc = heavy_c_set.clone();
-    let light_c = deg_c.map_local(|_, items| {
-        items.into_iter().filter(|(v, _)| !hc.contains(v)).collect::<Vec<_>>()
+    let light_c = deg_c.par_map_local(cluster, |_, items| {
+        items
+            .into_iter()
+            .filter(|(v, _)| !hc.contains(v))
+            .collect::<Vec<_>>()
     });
     let pack_a = parallel_packing(cluster, light_a, |(_, d)| *d, load);
     let pack_c = parallel_packing(cluster, light_c, |(_, d)| *d, load);
@@ -157,15 +163,15 @@ pub fn wco_matmul<S: Semiring>(
                 };
                 if is_heavy {
                     // Heavy-heavy pairs with every heavy partner.
-                    let partners: &Vec<(Value, u64)> =
-                        if side == 1 { &heavy_c } else { &heavy_a };
+                    let partners: &Vec<(Value, u64)> = if side == 1 { &heavy_c } else { &heavy_a };
                     for &(other, _) in partners {
-                        let key = if side == 1 { (own, other) } else { (other, own) };
+                        let key = if side == 1 {
+                            (own, other)
+                        } else {
+                            (other, own)
+                        };
                         let (base, size) = hh_groups[&key];
-                        out.push((
-                            (base + hb % size) % p,
-                            (HH, key, side, b, own, s.clone()),
-                        ));
+                        out.push(((base + hb % size) % p, (HH, key, side, b, own, s.clone())));
                     }
                     // Its own heavy-light (resp. light-heavy) group.
                     let (kind, (base, size)) = if side == 1 {
@@ -173,10 +179,7 @@ pub fn wco_matmul<S: Semiring>(
                     } else {
                         (LH, lh_groups[&own])
                     };
-                    out.push((
-                        (base + hb % size) % p,
-                        (kind, (own, 0), side, b, own, s),
-                    ));
+                    out.push(((base + hb % size) % p, (kind, (own, 0), side, b, own, s)));
                 } else {
                     // Light: join every heavy partner's group…
                     let partner_groups: &HashMap<Value, (usize, usize)> =
@@ -214,7 +217,7 @@ pub fn wco_matmul<S: Semiring>(
 
     // --- Local joins. Light-light results are final; the hash-partitioned
     // kinds produce (a, c)-keyed partials for one global aggregation. ---
-    let computed = at_servers.map_local(|_, items| {
+    let computed = at_servers.par_map_local(cluster, |_, items| {
         // (kind, task, b) → per-side values.
         let mut sides: HashMap<(u8, (Value, Value), Value), (Vec<(Value, S)>, Vec<(Value, S)>)> =
             HashMap::new();
@@ -229,7 +232,11 @@ pub fn wco_matmul<S: Semiring>(
         let mut partials: HashMap<(Value, Value), S> = HashMap::new();
         let mut finals: HashMap<(Value, Value), S> = HashMap::new();
         for ((kind, _task, _b), (lefts, rights)) in sides {
-            let sink = if kind == LL { &mut finals } else { &mut partials };
+            let sink = if kind == LL {
+                &mut finals
+            } else {
+                &mut partials
+            };
             for (a_val, ls) in &lefts {
                 for (c_val, rs) in &rights {
                     let annot = ls.mul(rs);
@@ -247,7 +254,7 @@ pub fn wco_matmul<S: Semiring>(
             .map(|(k, s)| (false, k, s))
             .chain(finals.into_iter().map(|(k, s)| (true, k, s)))
             .collect();
-        out.sort_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+        out.sort_by_key(|x| (x.0, x.1));
         out
     });
 
@@ -288,7 +295,7 @@ fn broadcast_heavy(
     degrees: &Distributed<(Value, u64)>,
     load: u64,
 ) -> Vec<(Value, u64)> {
-    let filtered = degrees.clone().map_local(|_, items| {
+    let filtered = degrees.clone().par_map_local(cluster, |_, items| {
         items
             .into_iter()
             .filter(|(_, d)| *d >= load)

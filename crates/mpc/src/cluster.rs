@@ -1,6 +1,9 @@
 //! The simulated MPC cluster.
 
+use std::sync::Arc;
+
 use crate::cost::{CostReport, CostTracker, SharedTracker};
+use crate::exec::{self, ExecBackend};
 
 /// Data distributed across the servers of one [`Cluster`]: `data[i]` is the
 /// local state of logical server `i`.
@@ -57,6 +60,17 @@ impl<T> Distributed<T> {
         self.data.iter().map(Vec::len).max().unwrap_or(0)
     }
 
+    /// Storage skew: `max_local_len / mean_local_len`. `1.0` is perfectly
+    /// balanced; large values flag hot servers. Empty data reports `1.0`.
+    pub fn skew(&self) -> f64 {
+        let total = self.total_len();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.servers().max(1) as f64;
+        self.max_local_len() as f64 / mean
+    }
+
     /// Apply `f` to every item locally (free: no communication).
     pub fn map<U>(self, mut f: impl FnMut(T) -> U) -> Distributed<U> {
         Distributed {
@@ -77,6 +91,35 @@ impl<T> Distributed<T> {
                 .enumerate()
                 .map(|(i, v)| f(i, v))
                 .collect(),
+        }
+    }
+
+    /// [`Distributed::map`] on the cluster's execution backend: servers'
+    /// local work runs concurrently, results merge in server order, so the
+    /// output is identical to `map` for any backend and thread count.
+    pub fn par_map<U, F>(self, cluster: &Cluster, f: F) -> Distributed<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        self.par_map_local(cluster, |_, local| local.into_iter().map(&f).collect())
+    }
+
+    /// [`Distributed::map_local`] on the cluster's execution backend.
+    ///
+    /// The closure must be pure local computation: it sees one server's
+    /// data at a time and must not touch the cluster (all exchanges stay
+    /// on the driver thread). Output slot `i` is `f(i, local_i)` exactly
+    /// as with `map_local` — determinism is independent of scheduling.
+    pub fn par_map_local<U, F>(self, cluster: &Cluster, f: F) -> Distributed<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(usize, Vec<T>) -> Vec<U> + Sync,
+    {
+        Distributed {
+            data: exec::par_map_parts(cluster.backend(), self.data, f),
         }
     }
 
@@ -129,17 +172,55 @@ pub struct Cluster {
     /// Current round cursor on the global timeline.
     round: u64,
     tracker: SharedTracker,
+    /// How per-server local computation is executed (serial or thread
+    /// pool). Affects wall-clock time only — never results or costs.
+    backend: Arc<dyn ExecBackend>,
 }
 
 impl Cluster {
-    /// A fresh top-level cluster of `p ≥ 1` physical servers.
+    /// A fresh top-level cluster of `p ≥ 1` physical servers, using the
+    /// process-default execution backend (serial unless a binary opted in
+    /// via [`exec::set_default_threads`]).
     pub fn new(p: usize) -> Self {
+        Cluster::with_backend(p, exec::default_backend())
+    }
+
+    /// A fresh cluster executing local computation on `threads` workers.
+    pub fn with_threads(p: usize, threads: usize) -> Self {
+        Cluster::with_backend(p, exec::backend_for_threads(threads))
+    }
+
+    /// A fresh cluster on an explicit execution backend.
+    pub fn with_backend(p: usize, backend: Arc<dyn ExecBackend>) -> Self {
         assert!(p >= 1, "a cluster needs at least one server");
         Cluster {
             phys: (0..p).collect(),
             round: 0,
             tracker: CostTracker::shared(),
+            backend,
         }
+    }
+
+    /// The execution backend local computation runs on.
+    pub fn backend(&self) -> &dyn ExecBackend {
+        self.backend.as_ref()
+    }
+
+    /// Worker threads the backend uses (1 = serial).
+    pub fn threads(&self) -> usize {
+        self.backend.threads()
+    }
+
+    /// Run `task(i)` for every `i < n` on the execution backend and
+    /// collect results in index order. `task` must be pure local
+    /// computation (no cluster access — exchanges stay on the driver
+    /// thread), which is what makes results backend-independent.
+    pub fn par_run<R, F>(&self, n: usize, task: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        exec::par_run(self.backend.as_ref(), n, task)
     }
 
     /// Number of logical servers in this (sub-)cluster.
@@ -266,6 +347,7 @@ impl Cluster {
                 phys,
                 round: self.round,
                 tracker: self.tracker.clone(),
+                backend: self.backend.clone(),
             });
             offsets.push(offset);
             offset += size;
@@ -374,5 +456,52 @@ mod tests {
     fn exchange_rejects_bad_destination() {
         let mut c = Cluster::new(2);
         let _ = c.exchange(vec![vec![(5, ())], vec![]]);
+    }
+
+    #[test]
+    fn reindexed_wraps_and_concatenates_in_child_order() {
+        // 5 logical child servers over 3 parent servers, base 1:
+        // child j lands on parent (1 + j) % 3, so parents get
+        //   parent 0 ← child 2,   parent 1 ← children 0 and 3 (in that
+        //   order), parent 2 ← children 1 and 4.
+        let child = Distributed::from_parts(vec![
+            vec!["c0"],
+            vec!["c1a", "c1b"],
+            vec!["c2"],
+            vec!["c3"],
+            vec!["c4"],
+        ]);
+        let parent = child.reindexed(3, 1);
+        assert_eq!(parent.servers(), 3);
+        assert_eq!(parent.local(0), &vec!["c2"]);
+        assert_eq!(parent.local(1), &vec!["c0", "c3"]);
+        assert_eq!(parent.local(2), &vec!["c1a", "c1b", "c4"]);
+        // Wrap preserves every item exactly once.
+        assert_eq!(parent.total_len(), 6);
+    }
+
+    #[test]
+    fn skew_measures_imbalance() {
+        let balanced = Distributed::from_parts(vec![vec![1u8; 4], vec![1; 4]]);
+        assert!((balanced.skew() - 1.0).abs() < 1e-12);
+        let hot = Distributed::from_parts(vec![vec![1u8; 9], vec![1; 1]]);
+        assert!((hot.skew() - 1.8).abs() < 1e-12);
+        let empty: Distributed<u8> = Distributed::empty(4);
+        assert!((empty.skew() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn par_map_local_matches_map_local_on_every_backend() {
+        let parts: Vec<Vec<u64>> = (0..13).map(|i| (0..i).collect()).collect();
+        let serial = Distributed::from_parts(parts.clone())
+            .map_local(|s, v| v.into_iter().map(|x| x * 3 + s as u64).collect())
+            .into_parts();
+        for threads in [1, 2, 8] {
+            let c = Cluster::with_threads(4, threads);
+            let par = Distributed::from_parts(parts.clone())
+                .par_map_local(&c, |s, v| v.into_iter().map(|x| x * 3 + s as u64).collect())
+                .into_parts();
+            assert_eq!(par, serial, "threads={threads}");
+        }
     }
 }

@@ -14,15 +14,33 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::time::{Duration, Instant};
 
 /// Mutable ledger of received units per `(physical server, global round)`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CostTracker {
     cells: HashMap<(usize, u64), u64>,
     max_round_used: u64,
     total_units: u64,
-    /// Labeled phase boundaries: `(first round of the phase, label)`.
-    phases: Vec<(u64, String)>,
+    /// Labeled phase boundaries: `(first round of the phase, label, wall
+    /// clock at the mark)`.
+    phases: Vec<(u64, String, Instant)>,
+    /// Wall clock at ledger creation; `CostReport::elapsed` is measured
+    /// from here. Wall-clock time is *instrumentation only* — it never
+    /// feeds back into loads or routing, which stay deterministic.
+    started: Instant,
+}
+
+impl Default for CostTracker {
+    fn default() -> Self {
+        CostTracker {
+            cells: HashMap::new(),
+            max_round_used: 0,
+            total_units: 0,
+            phases: Vec::new(),
+            started: Instant::now(),
+        }
+    }
 }
 
 /// Shared handle to a [`CostTracker`]; clusters and their sub-clusters all
@@ -78,13 +96,19 @@ impl CostTracker {
             load: self.max_load(),
             rounds: self.rounds_used(),
             total_units: self.total_units(),
+            elapsed: self.started.elapsed(),
         }
+    }
+
+    /// Wall-clock time since the ledger was created.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
     }
 
     /// Open a labeled phase starting at `round`; the previous phase (if
     /// any) ends here.
     pub fn mark_phase(&mut self, round: u64, label: &str) {
-        self.phases.push((round, label.to_string()));
+        self.phases.push((round, label.to_string(), Instant::now()));
     }
 
     /// Per-phase summaries: for each labeled phase, the load / rounds /
@@ -92,22 +116,35 @@ impl CostTracker {
     /// first mark are reported under `"(preamble)"` when they carry
     /// traffic.
     pub fn phase_reports(&self) -> Vec<(String, CostReport)> {
-        let mut spans: Vec<(u64, u64, String)> = Vec::new();
-        if let Some((first, _)) = self.phases.first() {
+        let now = Instant::now();
+        let mut spans: Vec<(u64, u64, String, Duration)> = Vec::new();
+        if let Some((first, _, at)) = self.phases.first() {
             if *first > 0 {
-                spans.push((0, *first, "(preamble)".to_string()));
+                spans.push((
+                    0,
+                    *first,
+                    "(preamble)".to_string(),
+                    at.saturating_duration_since(self.started),
+                ));
             }
         }
-        for (i, (start, label)) in self.phases.iter().enumerate() {
-            let end = self
+        for (i, (start, label, at)) in self.phases.iter().enumerate() {
+            let (end, until) = self
                 .phases
                 .get(i + 1)
-                .map_or(self.max_round_used, |(next, _)| *next);
-            spans.push((*start, end.max(*start), label.clone()));
+                .map_or((self.max_round_used, now), |(next, _, next_at)| {
+                    (*next, *next_at)
+                });
+            spans.push((
+                *start,
+                end.max(*start),
+                label.clone(),
+                until.saturating_duration_since(*at),
+            ));
         }
         spans
             .into_iter()
-            .map(|(start, end, label)| {
+            .map(|(start, end, label, elapsed)| {
                 let mut load = 0u64;
                 let mut total = 0u64;
                 for ((_, round), units) in &self.cells {
@@ -122,6 +159,7 @@ impl CostTracker {
                         load,
                         rounds: end - start,
                         total_units: total,
+                        elapsed,
                     },
                 )
             })
@@ -130,7 +168,7 @@ impl CostTracker {
 }
 
 /// Summary of a finished (or in-progress) MPC execution.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug)]
 pub struct CostReport {
     /// The load `L`: max units received by any server in any round.
     pub load: u64,
@@ -138,7 +176,22 @@ pub struct CostReport {
     pub rounds: u64,
     /// Total units delivered.
     pub total_units: u64,
+    /// Wall-clock time of the run — instrumentation only, excluded from
+    /// equality: two runs with the same model costs compare equal no
+    /// matter how long they took or which [`crate::exec::ExecBackend`]
+    /// executed them.
+    pub elapsed: Duration,
 }
+
+impl PartialEq for CostReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.load == other.load
+            && self.rounds == other.rounds
+            && self.total_units == other.total_units
+    }
+}
+
+impl Eq for CostReport {}
 
 impl std::fmt::Display for CostReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -207,5 +260,27 @@ mod tests {
         assert_eq!(r.rounds, 1);
         assert_eq!(r.total_units, 4);
         assert_eq!(r.to_string(), "load=4 rounds=1 total=4");
+    }
+
+    #[test]
+    fn equality_ignores_elapsed() {
+        let mut t = CostTracker::default();
+        t.credit(0, 0, 4);
+        let a = t.report();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = t.report();
+        assert!(b.elapsed > a.elapsed);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phase_reports_carry_wall_clock() {
+        let mut t = CostTracker::default();
+        t.mark_phase(0, "only");
+        t.credit(0, 0, 1);
+        std::thread::sleep(Duration::from_millis(2));
+        let phases = t.phase_reports();
+        assert_eq!(phases.len(), 1);
+        assert!(phases[0].1.elapsed >= Duration::from_millis(2));
     }
 }

@@ -79,6 +79,16 @@ impl<S: Semiring> DistRelation<S> {
         DistRelation { schema, data }
     }
 
+    /// [`DistRelation::filter_local`] on the cluster's execution backend:
+    /// per-server filtering runs concurrently, same output.
+    pub fn par_filter_local(self, cluster: &Cluster, pred: impl Fn(&Row) -> bool + Sync) -> Self {
+        let schema = self.schema.clone();
+        let data = self.data.par_map_local(cluster, |_, items| {
+            items.into_iter().filter(|(r, _)| pred(r)).collect()
+        });
+        DistRelation { schema, data }
+    }
+
     /// Positions of `attrs` in this relation's schema.
     pub fn positions_of(&self, attrs: &[Attr]) -> Vec<usize> {
         self.schema.positions_of(attrs)
@@ -89,12 +99,9 @@ impl<S: Semiring> DistRelation<S> {
     /// input plus output).
     pub fn project_aggregate(&self, cluster: &mut Cluster, attrs: &[Attr]) -> DistRelation<S> {
         let pos = self.positions_of(attrs);
-        let pairs = self
-            .data
-            .clone()
-            .map(|(row, s)| (project(&row, &pos), s));
+        let pairs = self.data.clone().map(|(row, s)| (project(&row, &pos), s));
         let reduced = reduce_by_key(cluster, pairs, |acc: &mut S, v| acc.add_assign(&v));
-        let data = reduced.map_local(|_, items| {
+        let data = reduced.par_map_local(cluster, |_, items| {
             items
                 .into_iter()
                 .filter(|(_, s)| !s.is_zero())
@@ -144,7 +151,7 @@ impl<S: Semiring> DistRelation<S> {
             move |(row, _): &(Row, S)| project(row, &pos),
             keys,
         );
-        let data = probed.map_local(|_, items| {
+        let data = probed.par_map_local(cluster, |_, items| {
             items
                 .into_iter()
                 .filter_map(|(entry, hit)| hit.map(|()| entry))
@@ -159,7 +166,7 @@ impl<S: Semiring> DistRelation<S> {
     /// Attach a per-key statistic to every entry: entry with key
     /// `π_{attrs}(row)` receives `stats[key]` (or `None`). Skew-proof
     /// (multi-search underneath).
-    pub fn attach_stat<U: Clone + 'static>(
+    pub fn attach_stat<U: Clone + Send + 'static>(
         &self,
         cluster: &mut Cluster,
         attrs: &[Attr],

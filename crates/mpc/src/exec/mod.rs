@@ -1,0 +1,256 @@
+//! The execution backend: how the simulator spends *wall-clock* time.
+//!
+//! The MPC model (§1.3) assumes all `p` servers compute simultaneously;
+//! the simulator's cost ledger already accounts loads that way, but the
+//! per-server local computation itself historically ran serially, so
+//! wall-clock time scaled with `p · local-work`. This module abstracts
+//! "run one closure per server" behind [`ExecBackend`] with two
+//! implementations:
+//!
+//! * [`SerialBackend`] — runs tasks `0, 1, …, n-1` in order on the calling
+//!   thread (the historical behavior, bit-for-bit),
+//! * [`ThreadPoolBackend`] — fans tasks out over scoped `std` threads.
+//!
+//! **Determinism contract.** Backends only ever execute *pure local
+//! computation*: closures over one server's local data that never touch
+//! the cluster, its round cursor, or the cost ledger (all exchanges stay
+//! on the driver thread). Results are written into per-index slots and
+//! merged in server order, so the output — and therefore every downstream
+//! routing decision and the measured `(load, rounds, total_units)` — is
+//! identical across backends and thread counts. Only the new wall-clock
+//! `elapsed` measurement changes.
+//!
+//! The backend has no access to randomness and takes no scheduling-order-
+//! dependent decisions; `ThreadPoolBackend` merely changes *when* each
+//! server's closure runs, never *what* it computes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Strategy for running `n` independent per-server tasks.
+///
+/// Implementations must call `task(i)` exactly once for every
+/// `i ∈ 0..n`, in any order, on any thread. They must not return before
+/// all calls completed.
+pub trait ExecBackend: Send + Sync + std::fmt::Debug {
+    /// Number of worker threads this backend uses (1 for serial).
+    fn threads(&self) -> usize;
+
+    /// Run `task(0), …, task(n-1)`, returning once all have completed.
+    fn execute(&self, n: usize, task: &(dyn Fn(usize) + Sync));
+}
+
+/// Runs every task on the calling thread, in index order — the
+/// historical simulator behavior.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerialBackend;
+
+impl ExecBackend for SerialBackend {
+    fn threads(&self) -> usize {
+        1
+    }
+
+    fn execute(&self, n: usize, task: &(dyn Fn(usize) + Sync)) {
+        for i in 0..n {
+            task(i);
+        }
+    }
+}
+
+/// Fans tasks out over `threads` scoped `std::thread`s; workers pull the
+/// next index from a shared atomic counter (work stealing by contention).
+///
+/// Built on [`std::thread::scope`] — no external dependencies — so
+/// borrowed per-server data can cross into workers safely.
+#[derive(Clone, Debug)]
+pub struct ThreadPoolBackend {
+    threads: usize,
+}
+
+impl ThreadPoolBackend {
+    /// A pool of `threads ≥ 1` workers.
+    pub fn new(threads: usize) -> Self {
+        ThreadPoolBackend {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized to the machine ([`std::thread::available_parallelism`]).
+    pub fn auto() -> Self {
+        ThreadPoolBackend::new(available_threads())
+    }
+}
+
+impl ExecBackend for ThreadPoolBackend {
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn execute(&self, n: usize, task: &(dyn Fn(usize) + Sync)) {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            for i in 0..n {
+                task(i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    task(i);
+                });
+            }
+        });
+    }
+}
+
+/// The machine's available parallelism (1 if unknown).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A backend for `threads` workers: serial for 1, thread pool otherwise.
+pub fn backend_for_threads(threads: usize) -> Arc<dyn ExecBackend> {
+    if threads <= 1 {
+        Arc::new(SerialBackend)
+    } else {
+        Arc::new(ThreadPoolBackend::new(threads))
+    }
+}
+
+/// Process-wide default thread count used by [`crate::Cluster::new`].
+/// Defaults to 1 (serial) so library users and tests see the historical
+/// behavior; binaries opt in via [`set_default_threads`] (`--threads`).
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Set the default thread count for subsequently created clusters.
+/// Intended for binary startup (`--threads N`); tests wanting an explicit
+/// backend should use [`crate::Cluster::with_threads`] instead.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads.max(1), Ordering::Relaxed);
+}
+
+/// The current default thread count (see [`set_default_threads`]).
+pub fn default_threads() -> usize {
+    DEFAULT_THREADS.load(Ordering::Relaxed)
+}
+
+/// The backend [`crate::Cluster::new`] uses: sized by [`default_threads`].
+pub fn default_backend() -> Arc<dyn ExecBackend> {
+    backend_for_threads(default_threads())
+}
+
+/// Run `task(i)` for `i ∈ 0..n` on `backend` and collect the results **in
+/// index order**, regardless of scheduling.
+pub fn par_run<R, F>(backend: &dyn ExecBackend, n: usize, task: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    backend.execute(n, &|i| {
+        let r = task(i);
+        *slots[i].lock().expect("result slot poisoned") = Some(r);
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("backend skipped a task index")
+        })
+        .collect()
+}
+
+/// Consume per-server vectors through `f` on `backend`: result slot `i`
+/// is `f(i, parts[i])`, merged in index order. Each part is *moved* into
+/// its task, so `T` only needs `Send`, not `Sync`.
+pub fn par_consume_parts<T, R, F>(backend: &dyn ExecBackend, parts: Vec<Vec<T>>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, Vec<T>) -> R + Sync,
+{
+    let inputs: Vec<Mutex<Option<Vec<T>>>> =
+        parts.into_iter().map(|v| Mutex::new(Some(v))).collect();
+    par_run(backend, inputs.len(), |i| {
+        let local = inputs[i]
+            .lock()
+            .expect("input slot poisoned")
+            .take()
+            .expect("input slot consumed twice");
+        f(i, local)
+    })
+}
+
+/// Map per-server vectors through `f` on `backend`; output slot `i` is
+/// `f(i, parts[i])`, in order — the parallel version of
+/// [`crate::Distributed`]'s `map_local`.
+pub fn par_map_parts<T, U, F>(backend: &dyn ExecBackend, parts: Vec<Vec<T>>, f: F) -> Vec<Vec<U>>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, Vec<T>) -> Vec<U> + Sync,
+{
+    par_consume_parts(backend, parts, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_runs_in_order() {
+        let order = Mutex::new(Vec::new());
+        SerialBackend.execute(5, &|i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn par_run_results_in_index_order_on_every_backend() {
+        let backends: Vec<Arc<dyn ExecBackend>> = vec![
+            Arc::new(SerialBackend),
+            Arc::new(ThreadPoolBackend::new(2)),
+            Arc::new(ThreadPoolBackend::new(8)),
+        ];
+        for backend in backends {
+            let out = par_run(backend.as_ref(), 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_parts_preserves_slots() {
+        let parts: Vec<Vec<u64>> = (0..16).map(|i| vec![i, i + 1]).collect();
+        let pool = ThreadPoolBackend::new(4);
+        let doubled = par_map_parts(&pool, parts, |server, local| {
+            local.into_iter().map(|v| v * 2 + server as u64).collect()
+        });
+        for (i, local) in doubled.iter().enumerate() {
+            let i = i as u64;
+            assert_eq!(local, &vec![3 * i, 3 * i + 2]);
+        }
+    }
+
+    #[test]
+    fn thread_pool_handles_empty_and_tiny() {
+        let pool = ThreadPoolBackend::new(8);
+        let none: Vec<u64> = par_run(&pool, 0, |_| unreachable!());
+        assert!(none.is_empty());
+        assert_eq!(par_run(&pool, 1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn backend_for_threads_picks_serial_for_one() {
+        assert_eq!(backend_for_threads(1).threads(), 1);
+        assert_eq!(backend_for_threads(0).threads(), 1);
+        assert_eq!(backend_for_threads(6).threads(), 6);
+    }
+}

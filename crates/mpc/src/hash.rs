@@ -70,7 +70,10 @@ mod tests {
 
     #[test]
     fn deterministic_across_calls() {
-        assert_eq!(stable_hash(&vec![1u64, 2, 3]), stable_hash(&vec![1u64, 2, 3]));
+        assert_eq!(
+            stable_hash(&vec![1u64, 2, 3]),
+            stable_hash(&vec![1u64, 2, 3])
+        );
         assert_ne!(stable_hash(&1u64), stable_hash(&2u64));
     }
 
@@ -92,8 +95,14 @@ mod tests {
         }
         // Roughly uniform: every partition within 2x of the mean.
         for &count in &seen {
-            assert!(count > 10_000 / p / 2, "partition badly unbalanced: {seen:?}");
-            assert!(count < 10_000 / p * 2, "partition badly unbalanced: {seen:?}");
+            assert!(
+                count > 10_000 / p / 2,
+                "partition badly unbalanced: {seen:?}"
+            );
+            assert!(
+                count < 10_000 / p * 2,
+                "partition badly unbalanced: {seen:?}"
+            );
         }
     }
 }

@@ -18,6 +18,7 @@
 
 use crate::cluster::{Cluster, Distributed};
 use crate::drel::{project, DistRelation};
+use crate::exec;
 use crate::hash::stable_hash;
 use crate::primitives::reduce::{global_sum, reduce_by_key};
 use crate::primitives::scan::parallel_packing;
@@ -62,10 +63,18 @@ pub fn full_join<S: Semiring>(
     // --- Per-key degree statistics (1 round). ---
     let mut stat_pairs: Vec<Vec<(Row, (u64, u64))>> = (0..p).map(|_| Vec::new()).collect();
     for (i, local) in r1.data().iter() {
-        stat_pairs[i].extend(local.iter().map(|(row, _)| (project(row, &key1), (1u64, 0u64))));
+        stat_pairs[i].extend(
+            local
+                .iter()
+                .map(|(row, _)| (project(row, &key1), (1u64, 0u64))),
+        );
     }
     for (i, local) in r2.data().iter() {
-        stat_pairs[i].extend(local.iter().map(|(row, _)| (project(row, &key2), (0u64, 1u64))));
+        stat_pairs[i].extend(
+            local
+                .iter()
+                .map(|(row, _)| (project(row, &key2), (0u64, 1u64))),
+        );
     }
     let stats = reduce_by_key(
         cluster,
@@ -76,7 +85,7 @@ pub fn full_join<S: Semiring>(
         },
     );
     // Keys present on only one side join with nothing.
-    let stats = stats.map_local(|_, items| {
+    let stats = stats.par_map_local(cluster, |_, items| {
         items
             .into_iter()
             .filter(|(_, (d1, d2))| *d1 > 0 && *d2 > 0)
@@ -84,9 +93,7 @@ pub fn full_join<S: Semiring>(
     });
 
     // --- Full join size and load target (1 round). ---
-    let partial = stats
-        .clone()
-        .map(|(_, (d1, d2))| d1.saturating_mul(d2));
+    let partial = stats.clone().map(|(_, (d1, d2))| d1.saturating_mul(d2));
     let out_f = global_sum(cluster, partial);
     if out_f == 0 {
         return DistRelation::empty(cluster, out_schema);
@@ -149,7 +156,7 @@ pub fn full_join<S: Semiring>(
     let heavy_catalog = cluster.exchange(heavy_catalog_out);
 
     // --- Light keys: pack into groups of total degree ≤ load (2 rounds).
-    let light_stats = stats.map_local(|_, items| {
+    let light_stats = stats.par_map_local(cluster, |_, items| {
         items
             .into_iter()
             .filter(|(_, (d1, d2))| !is_heavy(*d1, *d2))
@@ -195,11 +202,10 @@ pub fn full_join<S: Semiring>(
         catalog,
     );
 
-    // --- Route tuples to their join servers (1 round). ---
-    let outboxes: Vec<Vec<(usize, (u8, Row, S))>> = routed
-        .into_parts()
-        .into_iter()
-        .map(|local| {
+    // --- Route tuples to their join servers (1 round; outbox
+    // construction is per-server work on the exec backend). ---
+    let outboxes: Vec<Vec<(usize, (u8, Row, S))>> =
+        exec::par_map_parts(cluster.backend(), routed.into_parts(), |_, local| {
             let mut out = Vec::new();
             for ((side, row, s), route) in local {
                 let Some(route) = route else { continue };
@@ -228,12 +234,11 @@ pub fn full_join<S: Semiring>(
                 }
             }
             out
-        })
-        .collect();
+        });
     let at_servers = cluster.exchange(outboxes);
 
-    // --- Local join (free). ---
-    let data = at_servers.map_local(|_, items| {
+    // --- Local join (free; the heaviest local stage, on the backend). ---
+    let data = at_servers.par_map_local(cluster, |_, items| {
         let mut left: HashMap<Row, Vec<(Row, S)>> = HashMap::new();
         let mut right: Vec<(Row, S)> = Vec::new();
         for (side, row, s) in items {

@@ -23,8 +23,11 @@
 //!   [5, 13], the building block the paper's baseline plugs into
 //!   Yannakakis.
 //!
-//! The simulator executes serially and deterministically (stable hashing,
-//! explicit tiebreaks), so measured loads are exactly reproducible.
+//! The simulator is deterministic (stable hashing, explicit tiebreaks),
+//! so measured loads are exactly reproducible. Per-server *local*
+//! computation can optionally run on a thread pool (see [`exec`]); the
+//! execution backend changes wall-clock time only, never results or
+//! measured costs.
 //!
 //! ```
 //! use mpcjoin_mpc::Cluster;
@@ -47,10 +50,14 @@
 mod cluster;
 mod cost;
 pub mod drel;
+pub mod exec;
 pub mod hash;
 pub mod join;
 pub mod primitives;
+pub mod rng;
 
 pub use cluster::{Cluster, Distributed};
 pub use cost::{CostReport, CostTracker};
 pub use drel::DistRelation;
+pub use exec::{ExecBackend, SerialBackend, ThreadPoolBackend};
+pub use rng::DetRng;

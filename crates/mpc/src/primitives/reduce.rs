@@ -8,6 +8,7 @@
 //! skew.
 
 use crate::cluster::{Cluster, Distributed};
+use crate::exec;
 use crate::hash::partition_of;
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -21,17 +22,16 @@ pub fn reduce_by_key<K, V, F>(
     combine: F,
 ) -> Distributed<(K, V)>
 where
-    K: Ord + Hash + Clone,
-    V: Clone,
-    F: Fn(&mut V, V) + Copy,
+    K: Ord + Hash + Clone + Send,
+    V: Clone + Send,
+    F: Fn(&mut V, V) + Copy + Sync,
 {
     let p = cluster.p();
 
-    // Local pre-aggregation; emit partials routed by key hash.
-    let outboxes: Vec<Vec<(usize, (K, V))>> = pairs
-        .into_parts()
-        .into_iter()
-        .map(|items| {
+    // Local pre-aggregation (on the exec backend); emit partials routed
+    // by key hash.
+    let outboxes: Vec<Vec<(usize, (K, V))>> =
+        exec::par_map_parts(cluster.backend(), pairs.into_parts(), |_, items| {
             let mut partial: HashMap<K, V> = HashMap::with_capacity(items.len());
             for (k, v) in items {
                 match partial.get_mut(&k) {
@@ -48,12 +48,11 @@ where
             // Deterministic emission order (HashMap iteration order isn't).
             out.sort_by(|a, b| (a.0, &a.1 .0).cmp(&(b.0, &b.1 .0)));
             out
-        })
-        .collect();
+        });
 
     let routed = cluster.exchange(outboxes);
 
-    routed.map_local(|_, items| {
+    routed.par_map_local(cluster, |_, items| {
         let mut acc: HashMap<K, V> = HashMap::with_capacity(items.len());
         for (k, v) in items {
             match acc.get_mut(&k) {
@@ -73,7 +72,7 @@ where
 /// everywhere ("each tuple has key `π_v t` and value 1").
 pub fn count_by_key<K>(cluster: &mut Cluster, keys: Distributed<K>) -> Distributed<(K, u64)>
 where
-    K: Ord + Hash + Clone,
+    K: Ord + Hash + Clone + Send,
 {
     let pairs = keys.map(|k| (k, 1u64));
     reduce_by_key(cluster, pairs, |acc, v| *acc += v)

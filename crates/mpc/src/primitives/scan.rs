@@ -1,6 +1,7 @@
 //! Prefix sums and parallel-packing (§2.1).
 
 use crate::cluster::{Cluster, Distributed};
+use crate::exec;
 
 /// Annotate every item with the exclusive prefix sum of `weight` over the
 /// current global item order (server 0's items first, in local order, then
@@ -11,8 +12,8 @@ pub fn prefix_sums<T, F>(
     weight: F,
 ) -> Distributed<(T, u64)>
 where
-    T: Clone,
-    F: Fn(&T) -> u64,
+    T: Clone + Send,
+    F: Fn(&T) -> u64 + Sync,
 {
     let p = cluster.p();
 
@@ -50,8 +51,9 @@ where
         .collect();
     let offset_at = cluster.exchange(scatter_out);
 
-    // Local exclusive prefix.
-    data.map_local(|server, local| {
+    // Local exclusive prefix (per-server work on the exec backend; the
+    // closure only reads its own server's offset).
+    data.par_map_local(cluster, |server, local| {
         let mut acc = offset_at.local(server).first().copied().unwrap_or(0);
         local
             .into_iter()
@@ -82,10 +84,10 @@ pub fn segmented_prefix_sums<T, K, FS, FW>(
     weight: FW,
 ) -> Distributed<(T, u64)>
 where
-    T: Clone,
-    K: Ord + Clone,
-    FS: Fn(&T) -> K,
-    FW: Fn(&T) -> u64,
+    T: Clone + Send,
+    K: Ord + Clone + Send + Sync,
+    FS: Fn(&T) -> K + Sync,
+    FW: Fn(&T) -> u64 + Sync,
 {
     let p = cluster.p();
 
@@ -162,12 +164,8 @@ where
         .collect();
     let carry_at = cluster.exchange(scatter_out);
 
-    data.map_local(|server, local| {
-        let (carry_seg, carry_w) = carry_at
-            .local(server)
-            .first()
-            .cloned()
-            .unwrap_or((None, 0));
+    data.par_map_local(cluster, |server, local| {
+        let (carry_seg, carry_w) = carry_at.local(server).first().cloned().unwrap_or((None, 0));
         let mut cur_seg: Option<K> = carry_seg;
         let mut acc = carry_w;
         local
@@ -216,8 +214,8 @@ pub fn parallel_packing<T, F>(
     capacity: u64,
 ) -> Packing<T>
 where
-    T: Clone,
-    F: Fn(&T) -> u64 + Copy,
+    T: Clone + Send,
+    F: Fn(&T) -> u64 + Copy + Sync,
 {
     assert!(capacity >= 1, "capacity must be positive");
     let half = (capacity / 2).max(1);
@@ -285,27 +283,38 @@ where
         .collect();
     let offset_at = cluster.exchange(scatter_out);
 
-    let mut max_gid = 0u64;
-    let assigned = weighted.map_local(|server, local| {
-        let (mut sw, mut lc, small_groups) =
-            offset_at.local(server).first().copied().unwrap_or((0, 0, 1));
-        local
-            .into_iter()
-            .map(|(t, w)| {
-                let gid = if w > half {
-                    let g = small_groups + lc;
-                    lc += 1;
-                    g
-                } else {
-                    let g = sw / half;
-                    sw += w;
-                    g
-                };
-                max_gid = max_gid.max(gid);
-                (t, gid)
-            })
-            .collect()
-    });
+    // Per-server assignment on the exec backend. Each server returns its
+    // local max group id alongside its assignments; the global max is a
+    // deterministic fold over the server-ordered results (the closure must
+    // not mutate shared state, so the max cannot live in a capture).
+    let per_server: Vec<(Vec<(T, u64)>, u64)> =
+        exec::par_consume_parts(cluster.backend(), weighted.into_parts(), |server, local| {
+            let (mut sw, mut lc, small_groups) = offset_at
+                .local(server)
+                .first()
+                .copied()
+                .unwrap_or((0, 0, 1));
+            let mut local_max = 0u64;
+            let out: Vec<(T, u64)> = local
+                .into_iter()
+                .map(|(t, w)| {
+                    let gid = if w > half {
+                        let g = small_groups + lc;
+                        lc += 1;
+                        g
+                    } else {
+                        let g = sw / half;
+                        sw += w;
+                        g
+                    };
+                    local_max = local_max.max(gid);
+                    (t, gid)
+                })
+                .collect();
+            (out, local_max)
+        });
+    let max_gid = per_server.iter().map(|(_, m)| *m).max().unwrap_or(0);
+    let assigned = Distributed::from_parts(per_server.into_iter().map(|(out, _)| out).collect());
 
     Packing {
         assigned,
@@ -407,8 +416,7 @@ mod tests {
         let mut c = Cluster::new(4);
         let placed = c.place_initial((0..20usize).map(|pos| (pos / 5, ())).collect());
         let prefixed = segmented_prefix_sums(&mut c, placed, |_| 0u64, |_| 2);
-        let mut prefixes: Vec<u64> =
-            prefixed.collect_all().into_iter().map(|(_, s)| s).collect();
+        let mut prefixes: Vec<u64> = prefixed.collect_all().into_iter().map(|(_, s)| s).collect();
         prefixes.sort_unstable();
         assert_eq!(prefixes, (0..20).map(|i| 2 * i).collect::<Vec<u64>>());
     }

@@ -15,6 +15,7 @@
 //! 6 rounds total, load `O((|X|+|Y|)/p + p·log p)`.
 
 use crate::cluster::{Cluster, Distributed};
+use crate::exec;
 use crate::primitives::sort::sort_by_key;
 
 /// Joint sort element.
@@ -43,10 +44,10 @@ pub fn multi_search<T, K, V, F>(
     catalog: Distributed<(K, V)>,
 ) -> Distributed<(T, Option<(K, V)>)>
 where
-    T: Clone,
-    K: Ord + Clone,
-    V: Clone,
-    F: Fn(&T) -> K,
+    T: Clone + Send,
+    K: Ord + Clone + Send,
+    V: Clone + Send,
+    F: Fn(&T) -> K + Sync,
 {
     let p = cluster.p();
 
@@ -65,25 +66,31 @@ where
 
     let sorted = sort_by_key(cluster, Distributed::from_parts(merged), Entry::key);
 
-    // Local resolution; remember each server's last catalog entry.
-    let mut last_cat_per_server: Vec<Option<(K, V)>> = Vec::with_capacity(p);
-    let mut resolved: Vec<Vec<(T, Option<(K, V)>)>> = Vec::with_capacity(p);
-    let mut unresolved: Vec<Vec<usize>> = Vec::with_capacity(p); // indices needing carry
-    for (_, local) in sorted.iter() {
-        let mut last: Option<(K, V)> = None;
-        let mut out = Vec::new();
-        let mut pending = Vec::new();
-        for entry in local {
-            match entry {
-                Entry::Cat(k, v) => last = Some((k.clone(), v.clone())),
-                Entry::Query(_, t) => {
-                    if last.is_none() {
-                        pending.push(out.len());
+    // Local resolution on the exec backend; remember each server's last
+    // catalog entry. Results merge in server order (deterministic).
+    type Resolution<T, K, V> = (Option<(K, V)>, Vec<(T, Option<(K, V)>)>, Vec<usize>);
+    let resolutions: Vec<Resolution<T, K, V>> =
+        exec::par_consume_parts(cluster.backend(), sorted.into_parts(), |_, local| {
+            let mut last: Option<(K, V)> = None;
+            let mut out = Vec::new();
+            let mut pending = Vec::new(); // indices needing carry
+            for entry in local {
+                match entry {
+                    Entry::Cat(k, v) => last = Some((k, v)),
+                    Entry::Query(_, t) => {
+                        if last.is_none() {
+                            pending.push(out.len());
+                        }
+                        out.push((t, last.clone()));
                     }
-                    out.push((t.clone(), last.clone()));
                 }
             }
-        }
+            (last, out, pending)
+        });
+    let mut last_cat_per_server: Vec<Option<(K, V)>> = Vec::with_capacity(p);
+    let mut resolved: Vec<Vec<(T, Option<(K, V)>)>> = Vec::with_capacity(p);
+    let mut unresolved: Vec<Vec<usize>> = Vec::with_capacity(p);
+    for (last, out, pending) in resolutions {
         last_cat_per_server.push(last);
         resolved.push(out);
         unresolved.push(pending);
@@ -148,10 +155,10 @@ pub fn lookup_exact<T, K, V, F>(
     catalog: Distributed<(K, V)>,
 ) -> Distributed<(T, Option<V>)>
 where
-    T: Clone,
-    K: Ord + Clone,
-    V: Clone,
-    F: Fn(&T) -> K,
+    T: Clone + Send,
+    K: Ord + Clone + Send,
+    V: Clone + Send,
+    F: Fn(&T) -> K + Sync,
 {
     let found = multi_search(cluster, queries, &qkey, catalog);
     found.map(move |(t, pred)| {

@@ -15,6 +15,7 @@
 //! or two consecutive servers".
 
 use crate::cluster::{Cluster, Distributed};
+use crate::exec;
 use crate::hash::seeded_hash;
 
 /// Seed for the sampling hash (arbitrary constant; determinism matters,
@@ -26,14 +27,14 @@ const SAMPLE_SEED: u64 = 0x5057_2053_4f52_5421;
 /// vector is sorted. Uses 4 rounds.
 pub fn sort_by_key<T, K, F>(cluster: &mut Cluster, data: Distributed<T>, key: F) -> Distributed<T>
 where
-    T: Clone,
-    K: Ord + Clone,
-    F: Fn(&T) -> K,
+    T: Clone + Send,
+    K: Ord + Clone + Send,
+    F: Fn(&T) -> K + Sync,
 {
     let p = cluster.p();
     if p == 1 {
         let mut parts = data.into_parts();
-        parts[0].sort_by(|a, b| key(a).cmp(&key(b)));
+        parts[0].sort_by_key(|a| key(a));
         // Keep the round structure identical to the multi-server path so
         // that round counts don't depend on p.
         cluster.skip_rounds(4);
@@ -41,12 +42,9 @@ where
     }
 
     // Tag each item with a unique (server, index) tiebreaker and sort
-    // locally by (key, tiebreak).
-    let mut tagged: Vec<Vec<(K, (usize, usize), T)>> = data
-        .into_parts()
-        .into_iter()
-        .enumerate()
-        .map(|(src, items)| {
+    // locally by (key, tiebreak) — per-server work on the exec backend.
+    let mut tagged: Vec<Vec<(K, (usize, usize), T)>> =
+        exec::par_map_parts(cluster.backend(), data.into_parts(), |src, items| {
             let mut v: Vec<(K, (usize, usize), T)> = items
                 .into_iter()
                 .enumerate()
@@ -54,8 +52,7 @@ where
                 .collect();
             v.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
             v
-        })
-        .collect();
+        });
 
     // Round 1: global size to the coordinator, setting the sample rate.
     let count_out: Vec<Vec<(usize, u64)>> = tagged
@@ -123,8 +120,7 @@ where
             local
                 .into_iter()
                 .map(|(k, tb, item)| {
-                    let dest = my_splitters
-                        .partition_point(|(sk, stb)| (sk, *stb) <= (&k, tb));
+                    let dest = my_splitters.partition_point(|(sk, stb)| (sk, *stb) <= (&k, tb));
                     (dest, (k, tb, item))
                 })
                 .collect()
@@ -133,7 +129,7 @@ where
     let routed = cluster.exchange(route_out);
 
     // Final local sort, then strip tags.
-    routed.map_local(|_, mut items| {
+    routed.par_map_local(cluster, |_, mut items| {
         items.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
         items.into_iter().map(|(_, _, item)| item).collect()
     })

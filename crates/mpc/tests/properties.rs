@@ -1,41 +1,54 @@
-//! Property-based tests of the §2.1 primitives: every primitive is
+//! Randomized property tests of the §2.1 primitives: every primitive is
 //! checked against its sequential specification over random inputs and
 //! cluster sizes, and the simulator's conservation invariants hold.
+//!
+//! Inputs come from the in-tree deterministic generator ([`DetRng`]) with
+//! fixed seeds, so every run checks the identical case set — failures are
+//! reproducible by construction and the suite works offline.
 
 use mpcjoin_mpc::primitives::reduce::{count_by_key, global_max, global_sum, reduce_by_key};
 use mpcjoin_mpc::primitives::scan::{parallel_packing, prefix_sums, segmented_prefix_sums};
 use mpcjoin_mpc::primitives::search::{lookup_exact, multi_search};
 use mpcjoin_mpc::primitives::sort::{is_globally_sorted, sort_by_key};
-use mpcjoin_mpc::Cluster;
-use proptest::prelude::*;
-use std::collections::HashMap;
+use mpcjoin_mpc::{Cluster, DetRng};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// Sorting produces a globally sorted permutation of the input.
-    #[test]
-    fn sort_is_a_sorted_permutation(
-        items in proptest::collection::vec(any::<u32>(), 0..400),
-        p in 1usize..12,
-    ) {
+fn vec_of(rng: &mut DetRng, max_len: usize, max_val: u64) -> Vec<u64> {
+    let len = rng.gen_range(0..max_len);
+    (0..len).map(|_| rng.gen_range(0..max_val)).collect()
+}
+
+/// Sorting produces a globally sorted permutation of the input.
+#[test]
+fn sort_is_a_sorted_permutation() {
+    let mut rng = DetRng::seed_from_u64(0xA001);
+    for _ in 0..CASES {
+        let items = vec_of(&mut rng, 400, u64::from(u32::MAX));
+        let p = rng.gen_range(1usize..12);
         let mut c = Cluster::new(p);
         let data = c.scatter_initial(items.clone());
         let sorted = sort_by_key(&mut c, data, |x| *x);
-        prop_assert!(is_globally_sorted(&sorted, |x| *x));
+        assert!(is_globally_sorted(&sorted, |x| *x));
         let mut got = sorted.collect_all();
         let mut expect = items;
         got.sort_unstable();
         expect.sort_unstable();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
+}
 
-    /// Reduce-by-key equals the sequential fold.
-    #[test]
-    fn reduce_matches_hashmap(
-        pairs in proptest::collection::vec((0u64..50, 1u64..100), 0..300),
-        p in 1usize..10,
-    ) {
+/// Reduce-by-key equals the sequential fold.
+#[test]
+fn reduce_matches_hashmap() {
+    let mut rng = DetRng::seed_from_u64(0xA002);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..300);
+        let pairs: Vec<(u64, u64)> = (0..len)
+            .map(|_| (rng.gen_range(0u64..50), rng.gen_range(1u64..100)))
+            .collect();
+        let p = rng.gen_range(1usize..10);
         let mut expect: HashMap<u64, u64> = HashMap::new();
         for (k, v) in &pairs {
             *expect.entry(*k).or_insert(0) += v;
@@ -44,81 +57,100 @@ proptest! {
         let data = c.scatter_initial(pairs);
         let reduced = reduce_by_key(&mut c, data, |a, b| *a += b);
         let got: HashMap<u64, u64> = reduced.collect_all().into_iter().collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
+}
 
-    /// count_by_key equals multiplicity counting.
-    #[test]
-    fn count_matches_multiplicities(
-        keys in proptest::collection::vec(0u64..30, 0..200),
-        p in 1usize..8,
-    ) {
+/// count_by_key equals multiplicity counting.
+#[test]
+fn count_matches_multiplicities() {
+    let mut rng = DetRng::seed_from_u64(0xA003);
+    for _ in 0..CASES {
+        let keys = vec_of(&mut rng, 200, 30);
+        let p = rng.gen_range(1usize..8);
         let mut expect: HashMap<u64, u64> = HashMap::new();
         for k in &keys {
             *expect.entry(*k).or_insert(0) += 1;
         }
         let mut c = Cluster::new(p);
         let data = c.scatter_initial(keys);
-        let got: HashMap<u64, u64> = count_by_key(&mut c, data).collect_all().into_iter().collect();
-        prop_assert_eq!(got, expect);
+        let got: HashMap<u64, u64> = count_by_key(&mut c, data)
+            .collect_all()
+            .into_iter()
+            .collect();
+        assert_eq!(got, expect);
     }
+}
 
-    /// Global sum / max agree with the sequential reductions.
-    #[test]
-    fn global_aggregates(
-        values in proptest::collection::vec(0u64..1_000_000, 0..200),
-        p in 1usize..10,
-    ) {
+/// Global sum / max agree with the sequential reductions.
+#[test]
+fn global_aggregates() {
+    let mut rng = DetRng::seed_from_u64(0xA004);
+    for _ in 0..CASES {
+        let values = vec_of(&mut rng, 200, 1_000_000);
+        let p = rng.gen_range(1usize..10);
         let mut c = Cluster::new(p);
         let data = c.scatter_initial(values.clone());
-        prop_assert_eq!(global_sum(&mut c, data), values.iter().sum::<u64>());
+        assert_eq!(global_sum(&mut c, data), values.iter().sum::<u64>());
         let mut c2 = Cluster::new(p);
         let data2 = c2.scatter_initial(values.clone());
-        prop_assert_eq!(global_max(&mut c2, data2), values.iter().copied().max().unwrap_or(0));
+        assert_eq!(
+            global_max(&mut c2, data2),
+            values.iter().copied().max().unwrap_or(0)
+        );
     }
+}
 
-    /// Multi-search finds exactly the predecessor-or-equal.
-    #[test]
-    fn multi_search_matches_binary_search(
-        mut catalog in proptest::collection::btree_set(0u64..1000, 0..60),
-        queries in proptest::collection::vec(0u64..1000, 0..120),
-        p in 1usize..10,
-    ) {
+/// Multi-search finds exactly the predecessor-or-equal.
+#[test]
+fn multi_search_matches_binary_search() {
+    let mut rng = DetRng::seed_from_u64(0xA005);
+    for _ in 0..CASES {
+        let catalog: BTreeSet<u64> = vec_of(&mut rng, 60, 1000).into_iter().collect();
+        let queries = vec_of(&mut rng, 120, 1000);
+        let p = rng.gen_range(1usize..10);
         let cat: Vec<(u64, u64)> = catalog.iter().map(|&k| (k, k * 2)).collect();
         let mut c = Cluster::new(p);
-        let catalog_d = c.scatter_initial(cat.clone());
+        let catalog_d = c.scatter_initial(cat);
         let queries_d = c.scatter_initial(queries);
         let results = multi_search(&mut c, queries_d, |q| *q, catalog_d);
         for (q, hit) in results.collect_all() {
             let expect = catalog.range(..=q).next_back().map(|&k| (k, k * 2));
-            prop_assert_eq!(hit, expect, "query {}", q);
+            assert_eq!(hit, expect, "query {q}");
         }
-        catalog.clear();
     }
+}
 
-    /// lookup_exact is semantically a hash-map get.
-    #[test]
-    fn lookup_exact_matches_map(
-        entries in proptest::collection::btree_map(0u64..200, 0u64..1000, 0..50),
-        queries in proptest::collection::vec(0u64..250, 0..100),
-        p in 1usize..8,
-    ) {
+/// lookup_exact is semantically a hash-map get.
+#[test]
+fn lookup_exact_matches_map() {
+    let mut rng = DetRng::seed_from_u64(0xA006);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0usize..50);
+        let entries: BTreeMap<u64, u64> = (0..n)
+            .map(|_| (rng.gen_range(0u64..200), rng.gen_range(0u64..1000)))
+            .collect();
+        let queries = vec_of(&mut rng, 100, 250);
+        let p = rng.gen_range(1usize..8);
         let mut c = Cluster::new(p);
         let catalog = c.scatter_initial(entries.clone().into_iter().collect::<Vec<_>>());
         let queries_d = c.scatter_initial(queries);
         let results = lookup_exact(&mut c, queries_d, |q| *q, catalog);
         for (q, hit) in results.collect_all() {
-            prop_assert_eq!(hit, entries.get(&q).copied());
+            assert_eq!(hit, entries.get(&q).copied());
         }
     }
+}
 
-    /// Prefix sums assign each item a distinct offset consistent with
-    /// total weight.
-    #[test]
-    fn prefix_sums_consistent(
-        weights in proptest::collection::vec(1u64..20, 0..150),
-        p in 1usize..8,
-    ) {
+/// Prefix sums assign each item a distinct offset consistent with total
+/// weight.
+#[test]
+fn prefix_sums_consistent() {
+    let mut rng = DetRng::seed_from_u64(0xA007);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..150);
+        let weights: Vec<u64> = (0..len).map(|_| rng.gen_range(1u64..20)).collect();
+        let p = rng.gen_range(1usize..8);
         let mut c = Cluster::new(p);
         let data = c.scatter_initial(weights.clone());
         let prefixed = prefix_sums(&mut c, data, |w| *w);
@@ -132,20 +164,24 @@ proptest! {
         // Offsets tile [0, total) without gaps or overlaps.
         let mut cursor = 0u64;
         for (offset, w) in seen {
-            prop_assert_eq!(offset, cursor);
+            assert_eq!(offset, cursor);
             cursor += w;
         }
-        prop_assert_eq!(cursor, total);
+        assert_eq!(cursor, total);
     }
+}
 
-    /// Segmented prefix sums restart exactly at segment boundaries.
-    #[test]
-    fn segmented_prefix_tiles_each_segment(
-        spec in proptest::collection::vec((0u64..6, 1u64..8), 0..120),
-        p in 1usize..8,
-    ) {
+/// Segmented prefix sums restart exactly at segment boundaries.
+#[test]
+fn segmented_prefix_tiles_each_segment() {
+    let mut rng = DetRng::seed_from_u64(0xA008);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..120);
+        let mut items: Vec<(u64, u64)> = (0..len)
+            .map(|_| (rng.gen_range(0u64..6), rng.gen_range(1u64..8)))
+            .collect();
+        let p = rng.gen_range(1usize..8);
         // Group-contiguous layout: sort by segment first.
-        let mut items = spec;
         items.sort_unstable();
         let n = items.len().max(1);
         let mut c = Cluster::new(p);
@@ -166,47 +202,55 @@ proptest! {
             offsets.sort_unstable();
             let mut cursor = 0u64;
             for (offset, w) in offsets {
-                prop_assert_eq!(offset, cursor, "segment {}", seg);
+                assert_eq!(offset, cursor, "segment {seg}");
                 cursor += w;
             }
         }
     }
+}
 
-    /// Packing postconditions: every group within capacity, group ids
-    /// dense-ish, and the group count near-optimal.
-    #[test]
-    fn packing_postconditions(
-        weights in proptest::collection::vec(1u64..=10, 0..150),
-        p in 1usize..8,
-    ) {
+/// Packing postconditions: every group within capacity, group ids
+/// dense-ish, and the group count near-optimal.
+#[test]
+fn packing_postconditions() {
+    let mut rng = DetRng::seed_from_u64(0xA009);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..150);
+        let weights: Vec<u64> = (0..len).map(|_| rng.gen_range(1u64..11)).collect();
+        let p = rng.gen_range(1usize..8);
         let cap = 10u64;
         let mut c = Cluster::new(p);
         let data = c.scatter_initial(weights.clone());
         let packing = parallel_packing(&mut c, data, |w| *w, cap);
         let mut sums: HashMap<u64, u64> = HashMap::new();
         for (w, gid) in packing.assigned.collect_all() {
-            prop_assert!(gid < packing.groups);
+            assert!(gid < packing.groups);
             *sums.entry(gid).or_insert(0) += w;
         }
         for (&gid, &sum) in &sums {
-            prop_assert!(sum <= cap, "group {} overfull: {}", gid, sum);
+            assert!(sum <= cap, "group {gid} overfull: {sum}");
         }
         let total: u64 = weights.iter().sum();
-        prop_assert!(packing.groups <= 2 + 4 * total / cap);
+        assert!(packing.groups <= 2 + 4 * total / cap);
     }
+}
 
-    /// Conservation: the load is at least the per-round average, and the
-    /// ledger total is stable across reads.
-    #[test]
-    fn ledger_conservation(
-        items in proptest::collection::vec(any::<u16>(), 1..300),
-        p in 2usize..10,
-    ) {
+/// Conservation: the load is at least the per-round average, and the
+/// ledger total is stable across reads.
+#[test]
+fn ledger_conservation() {
+    let mut rng = DetRng::seed_from_u64(0xA00A);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1usize..300);
+        let items: Vec<u64> = (0..len)
+            .map(|_| rng.gen_range(0u64..u64::from(u16::MAX)))
+            .collect();
+        let p = rng.gen_range(2usize..10);
         let mut c = Cluster::new(p);
         let data = c.scatter_initial(items);
         let _ = sort_by_key(&mut c, data, |x| *x);
         let r = c.report();
-        prop_assert!(r.load >= r.total_units / (p as u64 * r.rounds.max(1)));
-        prop_assert_eq!(c.report(), r);
+        assert!(r.load >= r.total_units / (p as u64 * r.rounds.max(1)));
+        assert_eq!(c.report(), r);
     }
 }

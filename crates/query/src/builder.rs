@@ -135,7 +135,13 @@ pub fn to_dot(q: &TreeQuery, names: Option<&AttrNames>) -> String {
     for (i, e) in q.edges().iter().enumerate() {
         match e.attrs() {
             [x, y] => {
-                let _ = writeln!(out, "  \"{}\" -- \"{}\" [label=\"R{}\"];", label(*x), label(*y), i);
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -- \"{}\" [label=\"R{}\"];",
+                    label(*x),
+                    label(*y),
+                    i
+                );
             }
             [x] => {
                 let _ = writeln!(out, "  \"u{i}\" [shape=point];");

@@ -197,11 +197,7 @@ fn detect_star(q: &TreeQuery) -> Option<Shape> {
     if q.is_output(center) {
         return None;
     }
-    let endpoints: BTreeSet<Attr> = q
-        .edges()
-        .iter()
-        .map(|e| e.other(center))
-        .collect();
+    let endpoints: BTreeSet<Attr> = q.edges().iter().map(|e| e.other(center)).collect();
     (*q.output() == endpoints).then_some(Shape::Star {
         center,
         arms: (0..q.edges().len()).collect(),
@@ -215,11 +211,7 @@ pub fn detect_star_like(q: &TreeQuery) -> Option<StarLikeShape> {
     if q.edges().iter().any(|e| !e.is_binary()) {
         return None;
     }
-    let high_degree: Vec<Attr> = q
-        .attrs()
-        .into_iter()
-        .filter(|&a| q.degree(a) > 2)
-        .collect();
+    let high_degree: Vec<Attr> = q.attrs().into_iter().filter(|&a| q.degree(a) > 2).collect();
     let center = match high_degree[..] {
         [b] => b,
         [] => {
@@ -373,8 +365,7 @@ mod tests {
             Shape::StarLike(shape) => {
                 assert_eq!(shape.center, D);
                 assert_eq!(shape.arms.len(), 3);
-                let endpoints: BTreeSet<Attr> =
-                    shape.arms.iter().map(Arm::endpoint).collect();
+                let endpoints: BTreeSet<Attr> = shape.arms.iter().map(Arm::endpoint).collect();
                 assert_eq!(endpoints, BTreeSet::from([A, B, E]));
                 let long = shape
                     .arms

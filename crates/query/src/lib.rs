@@ -25,11 +25,11 @@ mod tree;
 mod twig;
 
 pub use builder::{to_dot, AttrNames, QueryBuilder};
-pub use parse::{parse_query, ParseError, ParsedQuery};
 pub use classify::{
     classify, detect_star_like, is_free_connex, is_twig, star_like_with_center, Arm, Shape,
     StarLikeShape,
 };
+pub use parse::{parse_query, ParseError, ParsedQuery};
 pub use reduce::{plan_reduction, ReduceStep, Reduction};
 pub use skeleton::{skeleton, ContractedPart, Skeleton};
 pub use tree::{Edge, TreeQuery};

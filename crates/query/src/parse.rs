@@ -96,17 +96,15 @@ pub fn parse_query(text: &str) -> Result<ParsedQuery, ParseError> {
     }
 
     let builder = builder.output(outputs.iter().map(String::as_str));
-    let (query, names) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        builder.build()
-    }))
-    .map_err(|panic| {
-        let msg = panic
-            .downcast_ref::<String>()
-            .cloned()
-            .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
-            .unwrap_or_else(|| "invalid query structure".to_string());
-        ParseError(msg)
-    })?;
+    let (query, names) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| builder.build()))
+        .map_err(|panic| {
+            let msg = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "invalid query structure".to_string());
+            ParseError(msg)
+        })?;
     Ok(ParsedQuery {
         query,
         names,
@@ -198,8 +196,7 @@ mod tests {
     #[test]
     fn parses_star_and_unary() {
         let parsed =
-            parse_query("Out(x, y, z) :- A(x, hub), B(y, hub), C(z, hub), F(hub)")
-                .expect("valid");
+            parse_query("Out(x, y, z) :- A(x, hub), B(y, hub), C(z, hub), F(hub)").expect("valid");
         assert_eq!(parsed.query.edges().len(), 4);
         assert_eq!(parsed.relation_names, vec!["A", "B", "C", "F"]);
     }

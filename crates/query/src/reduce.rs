@@ -73,11 +73,13 @@ pub fn plan_reduction(q: &TreeQuery) -> Reduction {
         .collect();
     let reduced = TreeQuery::new(
         kept_edges,
-        q.output().iter().copied().filter(|a| attrs_left.contains(a)),
+        q.output()
+            .iter()
+            .copied()
+            .filter(|a| attrs_left.contains(a)),
     );
     debug_assert!(
-        reduced.edges().len() == 1
-            || reduced.leaves().iter().all(|&a| reduced.is_output(a)),
+        reduced.edges().len() == 1 || reduced.leaves().iter().all(|&a| reduced.is_output(a)),
         "reduction must leave only output leaves"
     );
     Reduction {
@@ -108,9 +110,11 @@ fn find_removable(q: &TreeQuery, alive: &[bool]) -> Option<(usize, usize)> {
             continue;
         }
         // Any live neighbour sharing an attribute absorbs.
-        let absorber = q.edges().iter().enumerate().find(|(j, e2)| {
-            alive[*j] && *j != i && e.attrs().iter().any(|a| e2.contains(*a))
-        });
+        let absorber = q
+            .edges()
+            .iter()
+            .enumerate()
+            .find(|(j, e2)| alive[*j] && *j != i && e.attrs().iter().any(|a| e2.contains(*a)));
         if let Some((j, _)) = absorber {
             return Some((i, j));
         }

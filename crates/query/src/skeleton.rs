@@ -46,11 +46,7 @@ pub struct Skeleton {
 /// Compute the skeleton of a twig, or `None` when `|V*| < 2` (the twig is
 /// already star-like or simpler and needs no skeleton).
 pub fn skeleton(q: &TreeQuery) -> Option<Skeleton> {
-    let vstar: Vec<Attr> = q
-        .attrs()
-        .into_iter()
-        .filter(|&a| q.degree(a) > 2)
-        .collect();
+    let vstar: Vec<Attr> = q.attrs().into_iter().filter(|&a| q.degree(a) > 2).collect();
     if vstar.len() < 2 {
         return None;
     }
@@ -89,15 +85,9 @@ pub fn skeleton(q: &TreeQuery) -> Option<Skeleton> {
             .expect("leaf has an incident T_{V*} edge");
         let side = q.component_without(b, &HashSet::from([eb]));
         let edges: Vec<usize> = (0..q.edges().len())
-            .filter(|&ei| {
-                ei != eb && q.edges()[ei].attrs().iter().all(|a| side.contains(a))
-            })
+            .filter(|&ei| ei != eb && q.edges()[ei].attrs().iter().all(|a| side.contains(a)))
             .collect();
-        let outputs: Vec<Attr> = side
-            .iter()
-            .copied()
-            .filter(|a| q.is_output(*a))
-            .collect();
+        let outputs: Vec<Attr> = side.iter().copied().filter(|a| q.is_output(*a)).collect();
         let sub = TreeQuery::new(
             edges.iter().map(|&ei| q.edges()[ei].clone()).collect(),
             outputs.clone(),

@@ -90,7 +90,10 @@ impl TreeQuery {
         let q = TreeQuery { edges, output };
         let attrs = q.attrs();
         for a in &q.output {
-            assert!(attrs.contains(a), "output attribute {a} not in any relation");
+            assert!(
+                attrs.contains(a),
+                "output attribute {a} not in any relation"
+            );
         }
 
         // Binary edges must form a tree spanning every attribute (except
@@ -303,10 +306,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "spanning tree")]
     fn rejects_forest() {
-        let _ = TreeQuery::new(
-            vec![Edge::binary(A, B), Edge::binary(C, D)],
-            [A, D],
-        );
+        let _ = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(C, D)], [A, D]);
     }
 
     #[test]
@@ -332,10 +332,7 @@ mod tests {
 
     #[test]
     fn unary_edges_allowed() {
-        let q = TreeQuery::new(
-            vec![Edge::binary(A, B), Edge::unary(A)],
-            [B],
-        );
+        let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::unary(A)], [B]);
         assert_eq!(q.degree(A), 2);
         assert_eq!(q.leaves(), vec![B]);
     }

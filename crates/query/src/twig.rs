@@ -77,11 +77,7 @@ pub fn decompose_twigs(q: &TreeQuery) -> Vec<Twig> {
             .iter()
             .flat_map(|&j| q.edges()[j].attrs().iter().copied())
             .collect();
-        let output: Vec<Attr> = attrs
-            .iter()
-            .copied()
-            .filter(|a| q.is_output(*a))
-            .collect();
+        let output: Vec<Attr> = attrs.iter().copied().filter(|a| q.is_output(*a)).collect();
         twigs.push(Twig {
             query: TreeQuery::new(edges, output),
             parent_edges: members,
@@ -143,24 +139,21 @@ mod tests {
         let m1 = Attr(23);
         let c1 = Attr(25);
         let edges = vec![
-            Edge::binary(o[1], o[2]),  // twig 1: single all-output relation
-            Edge::binary(o[2], m1),    // twig 2: matmul o2 –m1– o3
+            Edge::binary(o[1], o[2]), // twig 1: single all-output relation
+            Edge::binary(o[2], m1),   // twig 2: matmul o2 –m1– o3
             Edge::binary(m1, o[3]),
-            Edge::binary(o[3], b1),    // twig 3: star-like at b1
-            Edge::binary(b1, c1),      //   arm with interior c1
+            Edge::binary(o[3], b1), // twig 3: star-like at b1
+            Edge::binary(b1, c1),   //   arm with interior c1
             Edge::binary(c1, o[4]),
-            Edge::binary(b1, o[5]),    //   short arm
-            Edge::binary(o[5], b2),    // twig 4: general twig, centers b2, b3
+            Edge::binary(b1, o[5]), //   short arm
+            Edge::binary(o[5], b2), // twig 4: general twig, centers b2, b3
             Edge::binary(b2, o[6]),
             Edge::binary(b2, b3),
             Edge::binary(b3, o[7]),
             Edge::binary(b3, o[8]),
             Edge::binary(o[8], Attr(26)), // twig 5-ish: single relation o8–o9
         ];
-        let outputs = vec![
-            o[1], o[2], o[3], o[4], o[5], o[6], o[7], o[8],
-            Attr(26),
-        ];
+        let outputs = vec![o[1], o[2], o[3], o[4], o[5], o[6], o[7], o[8], Attr(26)];
         let q = TreeQuery::new(edges, outputs);
         let twigs = decompose_twigs(&q);
         assert_eq!(twigs.len(), 5);

@@ -1,75 +1,72 @@
-//! Property-based tests of the query-layer invariants over *random* tree
+//! Randomized tests of the query-layer invariants over *random* tree
 //! queries: classification is total and consistent, reduction leaves only
 //! output leaves, twig decomposition partitions the edges with outputs
-//! exactly at twig leaves, and skeletons cover general twigs.
+//! exactly at twig leaves, and skeletons cover general twigs. Random trees
+//! come from the deterministic in-tree generator with fixed seeds.
 
+use mpcjoin_mpc::DetRng;
+use mpcjoin_query::Edge;
 use mpcjoin_query::{
     classify, decompose_twigs, is_free_connex, plan_reduction, skeleton, Shape, TreeQuery,
 };
-use mpcjoin_query::Edge;
 use mpcjoin_relation::Attr;
-use proptest::prelude::*;
 use std::collections::BTreeSet;
+
+const CASES: u64 = 128;
 
 /// A random tree over `n` attributes (Prüfer-like: attach each new vertex
 /// to a random existing one) with a random output subset.
-fn tree_strategy() -> impl Strategy<Value = TreeQuery> {
-    (2usize..10)
-        .prop_flat_map(|n| {
-            (
-                proptest::collection::vec(0usize..n, n - 1),
-                proptest::collection::vec(any::<bool>(), n),
-            )
-                .prop_map(move |(attach, outputs)| (n, attach, outputs))
-        })
-        .prop_map(|(n, attach, outputs)| {
-            let edges: Vec<Edge> = (1..n)
-                .map(|v| Edge::binary(Attr(v as u32), Attr((attach[v - 1] % v) as u32)))
-                .collect();
-            // At least one output attribute (y = ∅ is legal but makes the
-            // leaf-oriented invariants trivial; tested separately).
-            let mut out: Vec<Attr> = (0..n)
-                .filter(|&i| outputs[i])
-                .map(|i| Attr(i as u32))
-                .collect();
-            if out.is_empty() {
-                out.push(Attr(0));
-            }
-            TreeQuery::new(edges, out)
-        })
+fn random_tree(rng: &mut DetRng) -> TreeQuery {
+    let n = rng.gen_range(2usize..10);
+    let edges: Vec<Edge> = (1..n)
+        .map(|v| Edge::binary(Attr(v as u32), Attr(rng.gen_range(0usize..v) as u32)))
+        .collect();
+    // At least one output attribute (y = ∅ is legal but makes the
+    // leaf-oriented invariants trivial; tested separately).
+    let mut out: Vec<Attr> = (0..n)
+        .filter(|_| rng.gen_bool(0.5))
+        .map(|i| Attr(i as u32))
+        .collect();
+    if out.is_empty() {
+        out.push(Attr(0));
+    }
+    TreeQuery::new(edges, out)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// classify() is total and consistent with is_free_connex().
-    #[test]
-    fn classification_total_and_consistent(q in tree_strategy()) {
+/// classify() is total and consistent with is_free_connex().
+#[test]
+fn classification_total_and_consistent() {
+    let mut rng = DetRng::seed_from_u64(0xD001);
+    for _ in 0..CASES {
+        let q = random_tree(&mut rng);
         let shape = classify(&q);
-        prop_assert_eq!(
+        assert_eq!(
             matches!(shape, Shape::FreeConnex),
             is_free_connex(&q),
             "classify() and is_free_connex() disagree"
         );
     }
+}
 
-    /// Reduction never drops output attributes and leaves only output
-    /// leaves (or a single relation).
-    #[test]
-    fn reduction_invariants(q in tree_strategy()) {
+/// Reduction never drops output attributes and leaves only output leaves
+/// (or a single relation).
+#[test]
+fn reduction_invariants() {
+    let mut rng = DetRng::seed_from_u64(0xD002);
+    for _ in 0..CASES {
+        let q = random_tree(&mut rng);
         let r = plan_reduction(&q);
-        let reduced_attrs = r.reduced.attrs();
         // Steps + kept partition the original edge set.
         let mut seen: BTreeSet<usize> = r.kept.iter().copied().collect();
         for step in &r.steps {
-            prop_assert!(seen.insert(step.removed), "edge folded twice");
+            assert!(seen.insert(step.removed), "edge folded twice");
         }
-        prop_assert_eq!(seen.len(), q.edges().len());
+        assert_eq!(seen.len(), q.edges().len());
         // Every output attribute that survives anywhere is in the reduced
         // query; leaves of the reduced query are outputs.
         if r.reduced.edges().len() > 1 {
             for leaf in r.reduced.leaves() {
-                prop_assert!(
+                assert!(
                     q.is_output(leaf),
                     "non-output leaf {leaf} survived reduction"
                 );
@@ -79,61 +76,69 @@ proptest! {
         for (i, step) in r.steps.iter().enumerate() {
             let absorber_alive = r.kept.contains(&step.absorber)
                 || r.steps[i + 1..].iter().any(|s| s.removed == step.absorber);
-            prop_assert!(absorber_alive, "fold into an already-removed relation");
+            assert!(absorber_alive, "fold into an already-removed relation");
         }
-        let _ = reduced_attrs;
     }
+}
 
-    /// Twig decomposition partitions the reduced edges; each twig's
-    /// outputs are exactly its leaves and classify to a non-General shape.
-    #[test]
-    fn twig_invariants(q in tree_strategy()) {
+/// Twig decomposition partitions the reduced edges; each twig's outputs
+/// are exactly its leaves and classify to a non-General shape.
+#[test]
+fn twig_invariants() {
+    let mut rng = DetRng::seed_from_u64(0xD003);
+    for _ in 0..CASES {
+        let q = random_tree(&mut rng);
         let r = plan_reduction(&q);
         let twigs = decompose_twigs(&r.reduced);
         let mut covered: BTreeSet<usize> = BTreeSet::new();
         for t in &twigs {
             for &e in &t.parent_edges {
-                prop_assert!(covered.insert(e), "edge {e} in two twigs");
+                assert!(covered.insert(e), "edge {e} in two twigs");
             }
             if t.query.edges().len() > 1 {
                 let leaves: BTreeSet<Attr> = t.query.leaves().into_iter().collect();
-                prop_assert_eq!(
-                    &leaves, t.query.output(),
+                assert_eq!(
+                    &leaves,
+                    t.query.output(),
                     "twig outputs must be exactly its leaves"
                 );
             }
-            prop_assert!(
+            assert!(
                 !matches!(classify(&t.query), Shape::General),
                 "a twig must classify to a specific shape"
             );
         }
-        prop_assert_eq!(covered.len(), r.reduced.edges().len());
+        assert_eq!(covered.len(), r.reduced.edges().len());
     }
+}
 
-    /// Every general twig has a skeleton, whose contracted parts swallow
-    /// disjoint edge sets not overlapping the skeleton edges.
-    #[test]
-    fn skeleton_invariants(q in tree_strategy()) {
+/// Every general twig has a skeleton, whose contracted parts swallow
+/// disjoint edge sets not overlapping the skeleton edges.
+#[test]
+fn skeleton_invariants() {
+    let mut rng = DetRng::seed_from_u64(0xD004);
+    for _ in 0..CASES {
+        let q = random_tree(&mut rng);
         let r = plan_reduction(&q);
         for t in decompose_twigs(&r.reduced) {
             if classify(&t.query) != Shape::Twig {
                 continue;
             }
-            let Some(sk) = skeleton(&t.query) else {
-                // Twig shape with |V*| < 2 classifies as star-like/line
-                // earlier, so a Twig must have a skeleton.
-                prop_assert!(false, "general twig without skeleton");
-                continue;
-            };
-            prop_assert!(sk.vstar.len() >= 2);
+            // Twig shape with |V*| < 2 classifies as star-like/line
+            // earlier, so a Twig must have a skeleton.
+            let sk = skeleton(&t.query).expect("general twig without skeleton");
+            assert!(sk.vstar.len() >= 2);
             let mut used: BTreeSet<usize> = sk.skeleton_edges.iter().copied().collect();
             for part in &sk.contracted {
-                prop_assert!(!t.query.is_output(part.b), "contracted root must be non-output");
+                assert!(
+                    !t.query.is_output(part.b),
+                    "contracted root must be non-output"
+                );
                 for &e in &part.edges {
-                    prop_assert!(used.insert(e), "edge {e} claimed twice in skeleton split");
+                    assert!(used.insert(e), "edge {e} claimed twice in skeleton split");
                 }
             }
-            prop_assert_eq!(used.len(), t.query.edges().len());
+            assert_eq!(used.len(), t.query.edges().len());
         }
     }
 }

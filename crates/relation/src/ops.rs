@@ -141,15 +141,16 @@ mod tests {
     fn rel(schema: Schema, rows: &[(&[u64], u64)]) -> Relation<Count> {
         Relation::from_entries(
             schema,
-            rows.iter()
-                .map(|(r, w)| (r.to_vec(), Count(*w)))
-                .collect(),
+            rows.iter().map(|(r, w)| (r.to_vec(), Count(*w))).collect(),
         )
     }
 
     #[test]
     fn join_matches_on_common_attribute() {
-        let r1 = rel(Schema::binary(A, B), &[(&[1, 10], 2), (&[2, 10], 3), (&[3, 11], 5)]);
+        let r1 = rel(
+            Schema::binary(A, B),
+            &[(&[1, 10], 2), (&[2, 10], 3), (&[3, 11], 5)],
+        );
         let r2 = rel(Schema::binary(B, C), &[(&[10, 100], 7), (&[12, 200], 1)]);
         let j = r1.natural_join(&r2);
         assert_eq!(j.schema().attrs(), &[A, B, C]);
@@ -157,10 +158,7 @@ mod tests {
         rows.sort();
         assert_eq!(
             rows,
-            vec![
-                (vec![1, 10, 100], Count(14)),
-                (vec![2, 10, 100], Count(21)),
-            ]
+            vec![(vec![1, 10, 100], Count(14)), (vec![2, 10, 100], Count(21)),]
         );
     }
 
@@ -243,10 +241,7 @@ mod tests {
             ],
         );
         let out = s1.join_aggregate(&s2, &[A, C]);
-        assert_eq!(
-            out.canonical(),
-            vec![(vec![0, 9], TropicalMin::finite(4))]
-        );
+        assert_eq!(out.canonical(), vec![(vec![0, 9], TropicalMin::finite(4))]);
     }
 
     #[test]

@@ -1,96 +1,123 @@
-//! Property-based tests of relational-algebra identities that the
-//! distributed algorithms rely on implicitly.
+//! Randomized tests of relational-algebra identities that the distributed
+//! algorithms rely on implicitly. Inputs come from the deterministic
+//! in-tree generator with fixed seeds (reproducible, offline).
 
+use mpcjoin_mpc::DetRng;
 use mpcjoin_relation::{Attr, Relation, Schema};
 use mpcjoin_semiring::{Count, Semiring};
-use proptest::prelude::*;
 
 const A: Attr = Attr(0);
 const B: Attr = Attr(1);
 const C: Attr = Attr(2);
 
-fn rel_strategy(
-    left: Attr,
-    right: Attr,
-    max_val: u64,
-) -> impl Strategy<Value = Relation<Count>> {
-    proptest::collection::vec(((0..max_val), (0..max_val), (1u64..5)), 0..25).prop_map(
-        move |rows| {
-            Relation::from_entries(
-                Schema::binary(left, right),
-                rows.into_iter()
-                    .map(|(x, y, w)| (vec![x, y], Count(w)))
-                    .collect(),
-            )
-        },
+const CASES: u64 = 64;
+
+fn random_rel(rng: &mut DetRng, left: Attr, right: Attr, max_val: u64) -> Relation<Count> {
+    let n = rng.gen_range(0usize..25);
+    Relation::from_entries(
+        Schema::binary(left, right),
+        (0..n)
+            .map(|_| {
+                (
+                    vec![rng.gen_range(0..max_val), rng.gen_range(0..max_val)],
+                    Count(rng.gen_range(1u64..5)),
+                )
+            })
+            .collect(),
     )
 }
 
-proptest! {
-    /// Join is commutative up to column order and annotation values.
-    #[test]
-    fn join_commutes(r1 in rel_strategy(A, B, 6), r2 in rel_strategy(B, C, 6)) {
+/// Join is commutative up to column order and annotation values.
+#[test]
+fn join_commutes() {
+    let mut rng = DetRng::seed_from_u64(0xC001);
+    for _ in 0..CASES {
+        let r1 = random_rel(&mut rng, A, B, 6);
+        let r2 = random_rel(&mut rng, B, C, 6);
         let left = r1.natural_join(&r2);
         let right = r2.natural_join(&r1).reorder(left.schema());
-        prop_assert!(left.semantically_eq(&right));
+        assert!(left.semantically_eq(&right));
     }
+}
 
-    /// Aggregating after the join equals aggregating the coalesced join:
-    /// coalescing is transparent to downstream aggregation.
-    #[test]
-    fn coalesce_transparent_to_aggregation(
-        r1 in rel_strategy(A, B, 6),
-        r2 in rel_strategy(B, C, 6),
-    ) {
+/// Aggregating after the join equals aggregating the coalesced join:
+/// coalescing is transparent to downstream aggregation.
+#[test]
+fn coalesce_transparent_to_aggregation() {
+    let mut rng = DetRng::seed_from_u64(0xC002);
+    for _ in 0..CASES {
+        let r1 = random_rel(&mut rng, A, B, 6);
+        let r2 = random_rel(&mut rng, B, C, 6);
         let j = r1.natural_join(&r2);
-        prop_assert!(
-            j.project_aggregate(&[A, C])
-                .semantically_eq(&j.coalesce().project_aggregate(&[A, C]))
-        );
+        assert!(j
+            .project_aggregate(&[A, C])
+            .semantically_eq(&j.coalesce().project_aggregate(&[A, C])));
     }
+}
 
-    /// Semijoin is idempotent and only shrinks.
-    #[test]
-    fn semijoin_idempotent(r1 in rel_strategy(A, B, 6), r2 in rel_strategy(B, C, 6)) {
+/// Semijoin is idempotent and only shrinks.
+#[test]
+fn semijoin_idempotent() {
+    let mut rng = DetRng::seed_from_u64(0xC003);
+    for _ in 0..CASES {
+        let r1 = random_rel(&mut rng, A, B, 6);
+        let r2 = random_rel(&mut rng, B, C, 6);
         let once = r1.semijoin(&r2);
         let twice = once.semijoin(&r2);
-        prop_assert!(once.semantically_eq(&twice));
-        prop_assert!(once.len() <= r1.len());
+        assert!(once.semantically_eq(&twice));
+        assert!(once.len() <= r1.len());
     }
+}
 
-    /// Semijoin before join does not change the join result (dangling
-    /// tuples contribute nothing) — the correctness core of the paper's
-    /// "remove dangling tuples" preprocessing.
-    #[test]
-    fn semijoin_preserves_join(r1 in rel_strategy(A, B, 6), r2 in rel_strategy(B, C, 6)) {
+/// Semijoin before join does not change the join result (dangling tuples
+/// contribute nothing) — the correctness core of the paper's "remove
+/// dangling tuples" preprocessing.
+#[test]
+fn semijoin_preserves_join() {
+    let mut rng = DetRng::seed_from_u64(0xC004);
+    for _ in 0..CASES {
+        let r1 = random_rel(&mut rng, A, B, 6);
+        let r2 = random_rel(&mut rng, B, C, 6);
         let direct = r1.natural_join(&r2).project_aggregate(&[A, C]);
-        let reduced = r1.semijoin(&r2).natural_join(&r2.semijoin(&r1)).project_aggregate(&[A, C]);
-        prop_assert!(direct.semantically_eq(&reduced));
+        let reduced = r1
+            .semijoin(&r2)
+            .natural_join(&r2.semijoin(&r1))
+            .project_aggregate(&[A, C]);
+        assert!(direct.semantically_eq(&reduced));
     }
+}
 
-    /// Aggregation can be pushed through a join on the non-join attribute:
-    /// ∑_B (R1 ⋈ R2) grouped on A equals joining then grouping — the
-    /// distributivity the Yannakakis algorithm exploits.
-    #[test]
-    fn early_aggregation_is_sound(r1 in rel_strategy(A, B, 6), r2 in rel_strategy(B, C, 6)) {
+/// Aggregation can be pushed through a join on the non-join attribute:
+/// ∑_B (R1 ⋈ R2) grouped on A equals joining then grouping — the
+/// distributivity the Yannakakis algorithm exploits.
+#[test]
+fn early_aggregation_is_sound() {
+    let mut rng = DetRng::seed_from_u64(0xC005);
+    for _ in 0..CASES {
+        let r1 = random_rel(&mut rng, A, B, 6);
+        let r2 = random_rel(&mut rng, B, C, 6);
         // Late: full join, then drop B and C.
         let late = r1.natural_join(&r2).project_aggregate(&[A]);
         // Early: pre-aggregate R2 onto B, join, then drop B.
         let r2_agg = r2.project_aggregate(&[B]);
         let early = r1.natural_join(&r2_agg).project_aggregate(&[A]);
-        prop_assert!(late.semantically_eq(&early));
+        assert!(late.semantically_eq(&early));
     }
+}
 
-    /// aggregate_all equals project_aggregate onto the empty attribute list.
-    #[test]
-    fn aggregate_all_is_empty_projection(r1 in rel_strategy(A, B, 6)) {
+/// aggregate_all equals project_aggregate onto the empty attribute list.
+#[test]
+fn aggregate_all_is_empty_projection() {
+    let mut rng = DetRng::seed_from_u64(0xC006);
+    for _ in 0..CASES {
+        let r1 = random_rel(&mut rng, A, B, 6);
         let total = r1.aggregate_all();
         let via_project = r1.project_aggregate(&[]);
         if total.is_zero() {
-            prop_assert!(via_project.is_empty());
+            assert!(via_project.is_empty());
         } else {
-            prop_assert_eq!(via_project.entries().len(), 1);
-            prop_assert_eq!(&via_project.entries()[0].1, &total);
+            assert_eq!(via_project.entries().len(), 1);
+            assert_eq!(&via_project.entries()[0].1, &total);
         }
     }
 }

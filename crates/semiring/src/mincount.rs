@@ -49,7 +49,10 @@ impl Semiring for MinCount {
     const IDEMPOTENT_ADD: bool = false;
 
     fn zero() -> Self {
-        MinCount { cost: INF, count: 0 }
+        MinCount {
+            cost: INF,
+            count: 0,
+        }
     }
 
     fn one() -> Self {

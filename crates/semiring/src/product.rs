@@ -57,6 +57,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants under test are the point
     fn idempotence_is_conjunctive() {
         assert!(!<Prod<Count, BoolRing>>::IDEMPOTENT_ADD);
         assert!(<Prod<BoolRing, TropicalMin>>::IDEMPOTENT_ADD);

@@ -79,7 +79,10 @@ const NEG_INF: i64 = i64::MIN;
 impl MaxPlus {
     /// A finite max-plus value. Panics if `|v|` exceeds the finite range.
     pub fn finite(v: i64) -> Self {
-        assert!(v.abs() <= FIN_MAX, "max-plus value {v} outside finite range");
+        assert!(
+            v.abs() <= FIN_MAX,
+            "max-plus value {v} outside finite range"
+        );
         MaxPlus(v)
     }
 

@@ -1,126 +1,203 @@
-//! Property-based verification of the semiring laws for every instance.
+//! Randomized verification of the semiring laws for every instance,
+//! driven by the deterministic in-tree generator with fixed seeds.
 
+use mpcjoin_mpc::DetRng;
 use mpcjoin_semiring::{
     check_laws, BoolRing, Bottleneck, Count, MaxPlus, MinCount, Prod, Semiring, TropicalMin,
     Viterbi, WhyProv, XorRing, ONE_SCALE,
 };
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
-fn tropical_strategy() -> impl Strategy<Value = TropicalMin> {
-    prop_oneof![
-        5 => (-1_000_000i64..1_000_000).prop_map(TropicalMin::finite),
-        1 => Just(TropicalMin::infinity()),
-    ]
+const CASES: u64 = 256;
+
+fn signed(rng: &mut DetRng) -> i64 {
+    rng.gen_range(0u64..2_000_000) as i64 - 1_000_000
 }
 
-fn maxplus_strategy() -> impl Strategy<Value = MaxPlus> {
-    prop_oneof![
-        5 => (-1_000_000i64..1_000_000).prop_map(MaxPlus::finite),
-        1 => Just(MaxPlus::neg_infinity()),
-    ]
+fn tropical(rng: &mut DetRng) -> TropicalMin {
+    if rng.gen_range(0u64..6) == 0 {
+        TropicalMin::infinity()
+    } else {
+        TropicalMin::finite(signed(rng))
+    }
 }
 
-fn bottleneck_strategy() -> impl Strategy<Value = Bottleneck> {
-    prop_oneof![
-        5 => (-1_000_000i64..1_000_000).prop_map(Bottleneck::finite),
-        1 => Just(Bottleneck::zero()),
-        1 => Just(Bottleneck::one()),
-    ]
+fn maxplus(rng: &mut DetRng) -> MaxPlus {
+    if rng.gen_range(0u64..6) == 0 {
+        MaxPlus::neg_infinity()
+    } else {
+        MaxPlus::finite(signed(rng))
+    }
 }
 
-fn mincount_strategy() -> impl Strategy<Value = MinCount> {
-    prop_oneof![
-        5 => ((-1_000_000i64..1_000_000), (1u64..1000)).prop_map(|(c, n)| MinCount::new(c, n)),
-        1 => Just(MinCount::zero()),
-    ]
+fn bottleneck(rng: &mut DetRng) -> Bottleneck {
+    match rng.gen_range(0u64..7) {
+        0 => Bottleneck::zero(),
+        1 => Bottleneck::one(),
+        _ => Bottleneck::finite(signed(rng)),
+    }
+}
+
+fn mincount(rng: &mut DetRng) -> MinCount {
+    if rng.gen_range(0u64..6) == 0 {
+        MinCount::zero()
+    } else {
+        MinCount::new(signed(rng), rng.gen_range(1u64..1000))
+    }
 }
 
 /// Small powers of two stay exactly representable under the fixed-point
 /// `⊗` (triple products need `2^{a+b+c} | 10^9`, i.e. exponents summing
 /// to ≤ 9), keeping the associativity check exact. Distributivity holds
 /// for *all* values because `max` commutes with the monotone `⊗`.
-fn viterbi_strategy() -> impl Strategy<Value = Viterbi> {
-    (0u32..=3).prop_map(|k| Viterbi::prob(ONE_SCALE >> k))
+fn viterbi(rng: &mut DetRng) -> Viterbi {
+    Viterbi::prob(ONE_SCALE >> rng.gen_range(0u32..4))
 }
 
-fn whyprov_strategy() -> impl Strategy<Value = WhyProv> {
+fn whyprov(rng: &mut DetRng) -> WhyProv {
     // Small sets of small witnesses keep ⊗ products tractable.
-    proptest::collection::btree_set(proptest::collection::btree_set(0u32..8, 0..3), 0..3)
-        .prop_map(WhyProv::from_witnesses)
+    let n = rng.gen_range(0usize..3);
+    let witnesses: BTreeSet<BTreeSet<u32>> = (0..n)
+        .map(|_| {
+            let m = rng.gen_range(0usize..3);
+            (0..m).map(|_| rng.gen_range(0u32..8)).collect()
+        })
+        .collect();
+    WhyProv::from_witnesses(witnesses)
 }
 
-proptest! {
-    #[test]
-    fn count_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
-        check_laws(&Count(a), &Count(b), &Count(c));
-    }
-
-    #[test]
-    fn bool_laws(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
-        check_laws(&BoolRing(a), &BoolRing(b), &BoolRing(c));
-    }
-
-    #[test]
-    fn xor_laws(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
-        check_laws(&XorRing(a), &XorRing(b), &XorRing(c));
-    }
-
-    #[test]
-    fn tropical_laws(a in tropical_strategy(), b in tropical_strategy(), c in tropical_strategy()) {
-        check_laws(&a, &b, &c);
-    }
-
-    #[test]
-    fn maxplus_laws(a in maxplus_strategy(), b in maxplus_strategy(), c in maxplus_strategy()) {
-        check_laws(&a, &b, &c);
-    }
-
-    #[test]
-    fn bottleneck_laws(
-        a in bottleneck_strategy(),
-        b in bottleneck_strategy(),
-        c in bottleneck_strategy(),
-    ) {
-        check_laws(&a, &b, &c);
-    }
-
-    #[test]
-    fn whyprov_laws(a in whyprov_strategy(), b in whyprov_strategy(), c in whyprov_strategy()) {
-        check_laws(&a, &b, &c);
-    }
-
-    #[test]
-    fn mincount_laws(a in mincount_strategy(), b in mincount_strategy(), c in mincount_strategy()) {
-        check_laws(&a, &b, &c);
-    }
-
-    #[test]
-    fn viterbi_laws(a in viterbi_strategy(), b in viterbi_strategy(), c in viterbi_strategy()) {
-        check_laws(&a, &b, &c);
-    }
-
-    #[test]
-    fn product_laws(
-        (a1, a2) in (any::<u64>(), any::<bool>()),
-        (b1, b2) in (any::<u64>(), any::<bool>()),
-        (c1, c2) in (any::<u64>(), any::<bool>()),
-    ) {
+#[test]
+fn count_laws() {
+    let mut rng = DetRng::seed_from_u64(0xE001);
+    for _ in 0..CASES {
         check_laws(
-            &Prod(Count(a1), BoolRing(a2)),
-            &Prod(Count(b1), BoolRing(b2)),
-            &Prod(Count(c1), BoolRing(c2)),
+            &Count(rng.next_u64()),
+            &Count(rng.next_u64()),
+            &Count(rng.next_u64()),
         );
     }
+}
 
-    #[test]
-    fn sum_matches_fold(xs in proptest::collection::vec(any::<u64>(), 0..20)) {
-        let expected = xs.iter().fold(0u64, |acc, x| acc.wrapping_add(*x));
-        prop_assert_eq!(mpcjoin_semiring::sum(xs.into_iter().map(Count)), Count(expected));
+#[test]
+fn bool_laws() {
+    let mut rng = DetRng::seed_from_u64(0xE002);
+    for _ in 0..CASES {
+        check_laws(
+            &BoolRing(rng.gen_bool(0.5)),
+            &BoolRing(rng.gen_bool(0.5)),
+            &BoolRing(rng.gen_bool(0.5)),
+        );
     }
+}
 
-    #[test]
-    fn product_matches_fold(xs in proptest::collection::vec(any::<u64>(), 0..20)) {
+#[test]
+fn xor_laws() {
+    let mut rng = DetRng::seed_from_u64(0xE003);
+    for _ in 0..CASES {
+        check_laws(
+            &XorRing(rng.gen_bool(0.5)),
+            &XorRing(rng.gen_bool(0.5)),
+            &XorRing(rng.gen_bool(0.5)),
+        );
+    }
+}
+
+#[test]
+fn tropical_laws() {
+    let mut rng = DetRng::seed_from_u64(0xE004);
+    for _ in 0..CASES {
+        let (a, b, c) = (tropical(&mut rng), tropical(&mut rng), tropical(&mut rng));
+        check_laws(&a, &b, &c);
+    }
+}
+
+#[test]
+fn maxplus_laws() {
+    let mut rng = DetRng::seed_from_u64(0xE005);
+    for _ in 0..CASES {
+        let (a, b, c) = (maxplus(&mut rng), maxplus(&mut rng), maxplus(&mut rng));
+        check_laws(&a, &b, &c);
+    }
+}
+
+#[test]
+fn bottleneck_laws() {
+    let mut rng = DetRng::seed_from_u64(0xE006);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            bottleneck(&mut rng),
+            bottleneck(&mut rng),
+            bottleneck(&mut rng),
+        );
+        check_laws(&a, &b, &c);
+    }
+}
+
+#[test]
+fn whyprov_laws() {
+    let mut rng = DetRng::seed_from_u64(0xE007);
+    for _ in 0..CASES {
+        let (a, b, c) = (whyprov(&mut rng), whyprov(&mut rng), whyprov(&mut rng));
+        check_laws(&a, &b, &c);
+    }
+}
+
+#[test]
+fn mincount_laws() {
+    let mut rng = DetRng::seed_from_u64(0xE008);
+    for _ in 0..CASES {
+        let (a, b, c) = (mincount(&mut rng), mincount(&mut rng), mincount(&mut rng));
+        check_laws(&a, &b, &c);
+    }
+}
+
+#[test]
+fn viterbi_laws() {
+    let mut rng = DetRng::seed_from_u64(0xE009);
+    for _ in 0..CASES {
+        let (a, b, c) = (viterbi(&mut rng), viterbi(&mut rng), viterbi(&mut rng));
+        check_laws(&a, &b, &c);
+    }
+}
+
+#[test]
+fn product_laws() {
+    let mut rng = DetRng::seed_from_u64(0xE00A);
+    for _ in 0..CASES {
+        check_laws(
+            &Prod(Count(rng.next_u64()), BoolRing(rng.gen_bool(0.5))),
+            &Prod(Count(rng.next_u64()), BoolRing(rng.gen_bool(0.5))),
+            &Prod(Count(rng.next_u64()), BoolRing(rng.gen_bool(0.5))),
+        );
+    }
+}
+
+#[test]
+fn sum_matches_fold() {
+    let mut rng = DetRng::seed_from_u64(0xE00B);
+    for _ in 0..CASES {
+        let xs: Vec<u64> = (0..rng.gen_range(0usize..20))
+            .map(|_| rng.next_u64())
+            .collect();
+        let expected = xs.iter().fold(0u64, |acc, x| acc.wrapping_add(*x));
+        assert_eq!(
+            mpcjoin_semiring::sum(xs.into_iter().map(Count)),
+            Count(expected)
+        );
+    }
+}
+
+#[test]
+fn product_matches_fold() {
+    let mut rng = DetRng::seed_from_u64(0xE00C);
+    for _ in 0..CASES {
+        let xs: Vec<u64> = (0..rng.gen_range(0usize..20))
+            .map(|_| rng.next_u64())
+            .collect();
         let expected = xs.iter().fold(1u64, |acc, x| acc.wrapping_mul(*x));
-        prop_assert_eq!(mpcjoin_semiring::product(xs.into_iter().map(Count)), Count(expected));
+        assert_eq!(
+            mpcjoin_semiring::product(xs.into_iter().map(Count)),
+            Count(expected)
+        );
     }
 }

@@ -108,6 +108,7 @@ pub fn estimate_out_chain_default<S: Semiring>(
 }
 
 /// Merge two per-key sketch vectors instance-wise.
+#[allow(clippy::ptr_arg)] // signature fixed by `reduce_by_key`'s `Fn(&mut V, V)`
 fn merge_sketch_vecs(acc: &mut Vec<Kmv>, other: Vec<Kmv>) {
     debug_assert_eq!(acc.len(), other.len());
     for (a, b) in acc.iter_mut().zip(other.iter()) {
@@ -190,17 +191,24 @@ mod tests {
         // A 3-hop chain where every a reaches all 64 d-values.
         let hops = 64u64;
         let r1: Relation<Count> = Relation::binary_ones(A, B, (0..8).map(|a| (a, a % 4)));
-        let r2: Relation<Count> = Relation::binary_ones(B, C, (0..4).flat_map(|b| (0..4).map(move |c| (b, c))));
-        let r3: Relation<Count> =
-            Relation::binary_ones(C, Attr(3), (0..4).flat_map(|c| (0..hops).map(move |d| (c, d))));
+        let r2: Relation<Count> =
+            Relation::binary_ones(B, C, (0..4).flat_map(|b| (0..4).map(move |c| (b, c))));
+        let r3: Relation<Count> = Relation::binary_ones(
+            C,
+            Attr(3),
+            (0..4).flat_map(|c| (0..hops).map(move |d| (c, d))),
+        );
         let mut cl = Cluster::new(4);
         let d1 = DistRelation::scatter(&cl, &r1);
         let d2 = DistRelation::scatter(&cl, &r2);
         let d3 = DistRelation::scatter(&cl, &r3);
-        let est =
-            estimate_out_chain_default(&mut cl, &[&d1, &d2, &d3], &[A, B, C, Attr(3)]);
+        let est = estimate_out_chain_default(&mut cl, &[&d1, &d2, &d3], &[A, B, C, Attr(3)]);
         // Exact OUT = 8 a-values × 64 reachable d's = 512.
-        assert!(est.total >= 512 / 3 && est.total <= 512 * 3, "{}", est.total);
+        assert!(
+            est.total >= 512 / 3 && est.total <= 512 * 3,
+            "{}",
+            est.total
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ mod estimate;
 mod kmv;
 
 pub use estimate::{
-    estimate_out_chain, estimate_out_chain_default, per_group_catalog, OutEstimate, DEFAULT_INSTANCES,
-    DEFAULT_K,
+    estimate_out_chain, estimate_out_chain_default, per_group_catalog, OutEstimate,
+    DEFAULT_INSTANCES, DEFAULT_K,
 };
 pub use kmv::Kmv;

@@ -1,10 +1,9 @@
 //! Line-query workloads for the §4 experiments.
 
+use crate::DetRng;
 use mpcjoin_query::{Edge, TreeQuery};
 use mpcjoin_relation::{Attr, Relation};
 use mpcjoin_semiring::Semiring;
-use rand::rngs::StdRng;
-use rand::Rng;
 use std::collections::HashSet;
 
 /// A generated line-query instance with its query and exact output size.
@@ -21,12 +20,7 @@ pub struct ChainInstance<S: Semiring> {
 
 /// Uniform random chain: `hops` relations of `n` distinct tuples each over
 /// per-level domains of size `dom`.
-pub fn uniform<S: Semiring>(
-    rng: &mut StdRng,
-    hops: usize,
-    n: usize,
-    dom: u64,
-) -> ChainInstance<S> {
+pub fn uniform<S: Semiring>(rng: &mut DetRng, hops: usize, n: usize, dom: u64) -> ChainInstance<S> {
     let attrs: Vec<Attr> = (0..=hops as u32).map(Attr).collect();
     let mut rels = Vec::with_capacity(hops);
     for h in 0..hops {

@@ -91,7 +91,7 @@ pub fn parse_relation<S: Semiring>(
             continue;
         }
         let fields: Vec<&str> = line
-            .split(|c: char| c == '\t' || c == ',' || c == ' ')
+            .split(['\t', ',', ' '])
             .filter(|f| !f.is_empty())
             .collect();
         let (a, b, w) = match fields.as_slice() {
@@ -126,8 +126,8 @@ pub fn read_relation<S: Semiring>(
     dict: &mut StringDict,
     weight: impl FnMut(Option<i64>) -> S,
 ) -> Result<Relation<S>, LoadError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| LoadError(format!("{}: {e}", path.display())))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| LoadError(format!("{}: {e}", path.display())))?;
     parse_relation(&text, &path.display().to_string(), x, y, dict, weight)
 }
 
@@ -182,36 +182,28 @@ mod tests {
         assert_eq!(dict.len(), 5);
         let alice = dict.encode("alice");
         let movies = dict.encode("movies");
-        assert!(rel
-            .canonical()
-            .contains(&(vec![alice, movies], Count(1))));
+        assert!(rel.canonical().contains(&(vec![alice, movies], Count(1))));
     }
 
     #[test]
     fn weights_feed_semirings() {
         let mut dict = StringDict::new();
-        let rel: Relation<TropicalMin> = parse_relation(
-            "x y 4\ny z 7\n",
-            "test",
-            A,
-            B,
-            &mut dict,
-            |w| TropicalMin::finite(w.unwrap_or(0)),
-        )
-        .expect("valid");
+        let rel: Relation<TropicalMin> =
+            parse_relation("x y 4\ny z 7\n", "test", A, B, &mut dict, |w| {
+                TropicalMin::finite(w.unwrap_or(0))
+            })
+            .expect("valid");
         assert_eq!(rel.entries()[0].1, TropicalMin::finite(4));
     }
 
     #[test]
     fn reports_bad_rows_with_position() {
         let mut dict = StringDict::new();
-        let e = parse_relation::<Count>("a b\nc\n", "input.tsv", A, B, &mut dict, |_| {
-            Count(1)
-        })
-        .unwrap_err();
-        assert!(e.to_string().contains("input.tsv:2"), "{e}");
-        let e2 = parse_relation::<Count>("a b x\n", "f", A, B, &mut dict, |_| Count(1))
+        let e = parse_relation::<Count>("a b\nc\n", "input.tsv", A, B, &mut dict, |_| Count(1))
             .unwrap_err();
+        assert!(e.to_string().contains("input.tsv:2"), "{e}");
+        let e2 =
+            parse_relation::<Count>("a b x\n", "f", A, B, &mut dict, |_| Count(1)).unwrap_err();
         assert!(e2.to_string().contains("not an integer"), "{e2}");
     }
 
@@ -230,15 +222,8 @@ mod tests {
     #[test]
     fn render_decodes_and_limits() {
         let mut dict = StringDict::new();
-        let rel: Relation<Count> = parse_relation(
-            "a b\nc d\ne f\n",
-            "f",
-            A,
-            B,
-            &mut dict,
-            |_| Count(1),
-        )
-        .unwrap();
+        let rel: Relation<Count> =
+            parse_relation("a b\nc d\ne f\n", "f", A, B, &mut dict, |_| Count(1)).unwrap();
         let text = render_output(&rel, &dict, 2);
         assert!(text.contains("a\tb"));
         assert!(text.contains("and 1 more rows"));

@@ -11,8 +11,9 @@
 //! * [`star`] — star and star-like instances,
 //! * [`trees`] — instances for the Figure-2/3 tree queries.
 //!
-//! All generators take an explicit [`rand::rngs::StdRng`] seed and are
-//! fully deterministic.
+//! All generators take an explicitly seeded [`DetRng`] (the in-tree
+//! deterministic PRNG — the build is offline, no `rand` crate) and are
+//! fully reproducible from the seed.
 
 pub mod chain;
 pub mod io;
@@ -20,14 +21,13 @@ pub mod matrix;
 pub mod star;
 pub mod trees;
 
+pub use mpcjoin_mpc::rng::DetRng;
 use mpcjoin_relation::Relation;
 use mpcjoin_semiring::Semiring;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// A seeded RNG for deterministic workloads.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> DetRng {
+    DetRng::seed_from_u64(seed)
 }
 
 /// Exact output size of `∑_B R1 ⋈ R2` grouped on the outer attributes —

@@ -1,9 +1,8 @@
 //! Sparse matrix workloads for the §3 experiments.
 
+use crate::DetRng;
 use mpcjoin_relation::{Attr, Relation};
 use mpcjoin_semiring::Semiring;
-use rand::rngs::StdRng;
-use rand::Rng;
 use std::collections::HashSet;
 
 /// A generated matrix multiplication instance `R1(A,B), R2(B,C)` with its
@@ -20,7 +19,7 @@ pub struct MmInstance<S: Semiring> {
 /// Uniform random sparse matrices: `n1`/`n2` distinct nonzeros drawn over
 /// `dom_a × dom_b` and `dom_b × dom_c`.
 pub fn uniform<S: Semiring>(
-    rng: &mut StdRng,
+    rng: &mut DetRng,
     attrs: (Attr, Attr, Attr),
     n1: usize,
     n2: usize,
@@ -83,7 +82,7 @@ pub fn blocks<S: Semiring>(
 /// creating the heavy/light mix that exercises the §3.1 and §3.2
 /// classification machinery.
 pub fn zipf<S: Semiring>(
-    rng: &mut StdRng,
+    rng: &mut DetRng,
     attrs: (Attr, Attr, Attr),
     n1: usize,
     n2: usize,
@@ -100,8 +99,8 @@ pub fn zipf<S: Semiring>(
         acc += w / total;
         cdf.push(acc);
     }
-    let draw = |rng: &mut StdRng| -> u64 {
-        let x: f64 = rng.gen();
+    let draw = |rng: &mut DetRng| -> u64 {
+        let x = rng.gen_f64();
         cdf.partition_point(|&v| v < x) as u64
     };
     let mut s1 = HashSet::with_capacity(n1);

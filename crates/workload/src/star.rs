@@ -1,10 +1,9 @@
 //! Star and star-like workloads for the §5–§6 experiments.
 
+use crate::DetRng;
 use mpcjoin_query::{Edge, TreeQuery};
 use mpcjoin_relation::{Attr, Relation};
 use mpcjoin_semiring::Semiring;
-use rand::rngs::StdRng;
-use rand::Rng;
 use std::collections::{HashMap, HashSet};
 
 /// A generated star instance with its query and exact output size.
@@ -24,7 +23,7 @@ pub struct StarInstance<S: Semiring> {
 /// Uniform random star: `arms` relations of `n` tuples over endpoint
 /// domains `dom_a` and center domain `dom_b`.
 pub fn uniform<S: Semiring>(
-    rng: &mut StdRng,
+    rng: &mut DetRng,
     arms: usize,
     n: usize,
     dom_a: u64,

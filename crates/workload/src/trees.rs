@@ -1,12 +1,11 @@
 //! Tree-query workloads: the Figure-2 and Figure-3 queries of the paper,
 //! with data generators, for the §7 experiments.
 
+use crate::DetRng;
 use mpcjoin_query::{Edge, TreeQuery};
 use mpcjoin_relation::{Attr, Relation};
 use mpcjoin_semiring::Semiring;
 use mpcjoin_yannakakis::sequential_join_aggregate;
-use rand::rngs::StdRng;
-use rand::Rng;
 use std::collections::HashSet;
 
 /// A generated tree-query instance.
@@ -50,14 +49,14 @@ pub fn figure2_query() -> TreeQuery {
     let c1 = Attr(25);
     TreeQuery::new(
         vec![
-            Edge::binary(o[1], o[2]),     // twig: single all-output relation
-            Edge::binary(o[2], m1),       // twig: matmul o2 –m1– o3
+            Edge::binary(o[1], o[2]), // twig: single all-output relation
+            Edge::binary(o[2], m1),   // twig: matmul o2 –m1– o3
             Edge::binary(m1, o[3]),
-            Edge::binary(o[3], b1),       // twig: star-like at b1
+            Edge::binary(o[3], b1), // twig: star-like at b1
             Edge::binary(b1, c1),
             Edge::binary(c1, o[4]),
             Edge::binary(b1, o[5]),
-            Edge::binary(o[5], b2),       // twig: general (centers b2, b3)
+            Edge::binary(o[5], b2), // twig: general (centers b2, b3)
             Edge::binary(b2, o[6]),
             Edge::binary(b2, b3),
             Edge::binary(b3, o[7]),
@@ -71,7 +70,7 @@ pub fn figure2_query() -> TreeQuery {
 /// Random data for any tree query: each relation gets `n` distinct tuples
 /// with both columns drawn from `0..dom`.
 pub fn random_instance<S: Semiring>(
-    rng: &mut StdRng,
+    rng: &mut DetRng,
     query: &TreeQuery,
     n: usize,
     dom: u64,
@@ -101,11 +100,7 @@ pub fn random_instance<S: Semiring>(
 /// Fan-out-controlled data for any tree query: every value connects to
 /// `fanout` consecutive values of the neighbouring attribute over domains
 /// of size `dom` — OUT grows smoothly with `fanout` at fixed N.
-pub fn layered_instance<S: Semiring>(
-    query: &TreeQuery,
-    dom: u64,
-    fanout: u64,
-) -> TreeInstance<S> {
+pub fn layered_instance<S: Semiring>(query: &TreeQuery, dom: u64, fanout: u64) -> TreeInstance<S> {
     let rels: Vec<Relation<S>> = query
         .edges()
         .iter()

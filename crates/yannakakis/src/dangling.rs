@@ -60,10 +60,7 @@ mod tests {
     const C: Attr = Attr(2);
     const D: Attr = Attr(3);
 
-    fn run(
-        q: &TreeQuery,
-        rels: Vec<Relation<Count>>,
-    ) -> (Cluster, Vec<DistRelation<Count>>) {
+    fn run(q: &TreeQuery, rels: Vec<Relation<Count>>) -> (Cluster, Vec<DistRelation<Count>>) {
         let mut cluster = Cluster::new(4);
         let dist: Vec<DistRelation<Count>> = rels
             .iter()

@@ -186,7 +186,7 @@ mod tests {
     #[test]
     fn empty_instance_yields_empty_output() {
         let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, C]);
-        let rels = vec![
+        let rels = [
             Relation::<Count>::binary_ones(A, B, [(1, 10)]),
             Relation::<Count>::binary_ones(B, C, [(99, 5)]),
         ];

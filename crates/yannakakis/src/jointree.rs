@@ -135,7 +135,7 @@ impl JoinTree {
             let inside = |i: usize| holders.contains(&i);
             let roots = holders
                 .iter()
-                .filter(|&&i| self.parent[i].map_or(true, |p| !inside(p)))
+                .filter(|&&i| self.parent[i].is_none_or(|p| !inside(p)))
                 .count();
             if roots != 1 {
                 return false;

@@ -151,10 +151,7 @@ mod tests {
         let out = sequential_join_aggregate(&q, &[r1, r2, r3]);
         assert_eq!(
             out.canonical(),
-            vec![
-                (vec![1, 10, 30], Count(1)),
-                (vec![2, 11, 30], Count(1)),
-            ]
+            vec![(vec![1, 10, 30], Count(1)), (vec![2, 11, 30], Count(1)),]
         );
     }
 

@@ -30,7 +30,10 @@ fn main() {
             inst.out,
             result.total_len(),
         );
-        println!("{:<36} {:>8} {:>8} {:>10}", "phase", "load", "rounds", "traffic");
+        println!(
+            "{:<36} {:>8} {:>8} {:>10}",
+            "phase", "load", "rounds", "traffic"
+        );
         for (phase, report) in cluster.phase_reports() {
             println!(
                 "{:<36} {:>8} {:>8} {:>10}",

@@ -46,7 +46,11 @@ fn main() {
     let stocks = table(warehouse, part, 200, &[(10, 7), (11, 7), (10, 8), (12, 9)]);
     let certifies = table(auditor, part, 300, &[(20, 7), (21, 8), (20, 9), (21, 7)]);
 
-    let result = mpcjoin::execute(8, &q, &[supplies.clone(), stocks.clone(), certifies.clone()]);
+    let result = mpcjoin::execute(
+        8,
+        &q,
+        &[supplies.clone(), stocks.clone(), certifies.clone()],
+    );
     let oracle = mpcjoin::execute_sequential(&q, &[supplies, stocks, certifies]);
     assert!(result.output.semantically_eq(&oracle));
 
@@ -55,7 +59,10 @@ fn main() {
         "  plan = {:?}, load = {}, rounds = {}",
         result.plan, result.cost.load, result.cost.rounds
     );
-    println!("  {} (supplier, warehouse, auditor) combinations:", result.output.len());
+    println!(
+        "  {} (supplier, warehouse, auditor) combinations:",
+        result.output.len()
+    );
     for (row, prov) in result.output.canonical() {
         let witnesses: Vec<String> = prov
             .witnesses()

@@ -55,5 +55,8 @@ fn main() {
         .into_iter()
         .find(|(row, _)| row == &vec![0, 0])
         .expect("(0,0) is an output");
-    println!("  example output: (a=0, c=0) has {} two-hop paths", two_paths.1);
+    println!(
+        "  example output: (a=0, c=0) has {} two-hop paths",
+        two_paths.1
+    );
 }

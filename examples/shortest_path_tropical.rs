@@ -10,13 +10,7 @@
 
 use mpcjoin::prelude::*;
 
-fn leg(
-    from_attr: Attr,
-    to_attr: Attr,
-    from: u64,
-    to: u64,
-    seed: u64,
-) -> Relation<TropicalMin> {
+fn leg(from_attr: Attr, to_attr: Attr, from: u64, to: u64, seed: u64) -> Relation<TropicalMin> {
     // A sparse layered bipartite graph: each node connects to 3 of the
     // next layer, with deterministic pseudo-random costs 1..20.
     let mut entries = Vec::new();
@@ -56,7 +50,10 @@ fn main() {
         "  plan = {:?}, load = {}, rounds = {}",
         result.plan, result.cost.load, result.cost.rounds
     );
-    println!("  {} (source, destination) pairs are connected", result.output.len());
+    println!(
+        "  {} (source, destination) pairs are connected",
+        result.output.len()
+    );
 
     // Show the five cheapest routes.
     let mut routes: Vec<(i64, u64, u64)> = result

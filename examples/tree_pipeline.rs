@@ -11,8 +11,11 @@ use mpcjoin::workload::{rng, trees};
 
 fn main() {
     let q = trees::figure2_query();
-    println!("The Figure-2 tree query ({} relations, {} output attributes):",
-        q.edges().len(), q.output().len());
+    println!(
+        "The Figure-2 tree query ({} relations, {} output attributes):",
+        q.edges().len(),
+        q.output().len()
+    );
     println!("--- graphviz ---\n{}--- end ---\n", to_dot(&q, None));
 
     // Structural pipeline.
@@ -55,7 +58,10 @@ fn main() {
     let new = mpcjoin::execute(16, &q, &inst.rels);
     let base = mpcjoin::execute_baseline(16, &q, &inst.rels);
     assert!(new.output.semantically_eq(&base.output));
-    println!("\nexecution on p = 16 (N = {}/relation, OUT = {}):", 24, inst.out);
+    println!(
+        "\nexecution on p = 16 (N = {}/relation, OUT = {}):",
+        24, inst.out
+    );
     println!(
         "  §7 pipeline: load {:>6}, rounds {:>5}",
         new.cost.load, new.cost.rounds

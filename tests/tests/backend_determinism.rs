@@ -1,0 +1,105 @@
+//! The determinism contract of the execution backends: running the same
+//! query on the serial backend and on thread pools of any size must
+//! produce identical output relations AND identical measured costs
+//! (load, rounds, total traffic). Local computation is free in the MPC
+//! cost model, so parallelizing it can only change the wall clock.
+
+use mpcjoin::prelude::*;
+use mpcjoin::workload::{rng, trees};
+use mpcjoin::{execute, execute_sequential, execute_threaded};
+
+const A: Attr = Attr(0);
+const B: Attr = Attr(1);
+const C: Attr = Attr(2);
+
+fn matmul_instance() -> (TreeQuery, Vec<Relation<Count>>) {
+    let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, C]);
+    // Mixed skew: one heavy row plus a uniform fringe, so the run
+    // exercises the heavy/light split and the packing machinery.
+    let mut p1: Vec<(u64, u64)> = (0..60u64).map(|b| (999, b)).collect();
+    p1.extend((0..400u64).map(|i| (i % 80, (i * 7) % 60)));
+    let r2: Vec<(u64, u64)> = (0..800u64).map(|i| (i % 60, i % 97)).collect();
+    let rels = vec![
+        Relation::binary_ones(A, B, p1),
+        Relation::binary_ones(B, C, r2),
+    ];
+    (q, rels)
+}
+
+fn tree_instance() -> (TreeQuery, Vec<Relation<Count>>) {
+    let q = trees::figure2_query();
+    let inst = trees::random_instance::<Count>(&mut rng(7), &q, 10, 3);
+    (inst.query, inst.rels)
+}
+
+fn assert_backend_invariant(q: &TreeQuery, rels: &[Relation<Count>]) {
+    let baseline = execute(8, q, rels);
+    let oracle = execute_sequential(q, rels);
+    assert!(
+        baseline.output.semantically_eq(&oracle),
+        "default run diverged from the sequential oracle"
+    );
+    for threads in [1usize, 2, 8] {
+        let run = execute_threaded(8, threads, q, rels);
+        // Identical output tuples (canonical entry order after gather).
+        assert_eq!(
+            run.output.entries(),
+            baseline.output.entries(),
+            "output differs between serial and {threads}-thread backends"
+        );
+        // Identical measured cost: CostReport equality covers load,
+        // rounds and total_units (wall clock is deliberately excluded).
+        assert_eq!(
+            run.cost, baseline.cost,
+            "measured cost differs at {threads} threads"
+        );
+        assert_eq!(run.plan, baseline.plan);
+        assert!((run.output_skew - baseline.output_skew).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn matmul_deterministic_across_backends() {
+    let (q, rels) = matmul_instance();
+    assert_backend_invariant(&q, &rels);
+}
+
+#[test]
+fn tree_query_deterministic_across_backends() {
+    let (q, rels) = tree_instance();
+    assert_backend_invariant(&q, &rels);
+}
+
+/// Wall-clock smoke test (ignored by default: timing-sensitive). On a
+/// multi-core machine the threaded run should not be slower than serial
+/// on a large instance; prints the observed speedup.
+///
+/// Run with: `cargo test -q --test backend_determinism -- --ignored`
+#[test]
+#[ignore = "timing-sensitive; run explicitly on a quiet multi-core machine"]
+fn thread_pool_speeds_up_large_matmul() {
+    let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, C]);
+    let n = 60_000u64;
+    let rels = vec![
+        Relation::<Count>::binary_ones(A, B, (0..n).map(|i| (i % 6000, (i * 7) % 300))),
+        Relation::<Count>::binary_ones(B, C, (0..n).map(|i| ((i * 3) % 300, i % 5000))),
+    ];
+
+    let serial = execute_threaded(16, 1, &q, &rels);
+    let threads = mpcjoin::mpc::exec::available_threads();
+    let parallel = execute_threaded(16, threads, &q, &rels);
+
+    assert_eq!(serial.output.entries(), parallel.output.entries());
+    assert_eq!(serial.cost, parallel.cost);
+    let speedup = serial.cost.elapsed.as_secs_f64() / parallel.cost.elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "serial {:.3?} vs {} threads {:.3?} — speedup {speedup:.2}x",
+        serial.cost.elapsed, threads, parallel.cost.elapsed
+    );
+    assert!(
+        parallel.cost.elapsed <= serial.cost.elapsed.mul_f64(1.10),
+        "threaded run slower than serial: {:?} vs {:?}",
+        parallel.cost.elapsed,
+        serial.cost.elapsed
+    );
+}

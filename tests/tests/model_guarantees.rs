@@ -123,11 +123,8 @@ fn kmv_estimates_within_constant_factor() {
             .iter()
             .map(|r| DistRelation::scatter(&cluster, r))
             .collect();
-        let est = estimate_out_chain_default(
-            &mut cluster,
-            &dist.iter().collect::<Vec<_>>(),
-            &inst.attrs,
-        );
+        let est =
+            estimate_out_chain_default(&mut cluster, &dist.iter().collect::<Vec<_>>(), &inst.attrs);
         assert!(
             est.total >= inst.out / 3 && est.total <= inst.out * 3,
             "fanout {fanout}: estimate {} vs exact {}",

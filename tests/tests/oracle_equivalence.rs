@@ -32,16 +32,29 @@ fn matmul_uniform_instances_three_semirings() {
     let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c]);
     for seed in 0..3 {
         let inst = matrix::uniform::<Count>(&mut rng(seed), (a, b, c), 300, 300, (80, 30, 80));
-        assert_oracle(&q, &[inst.r1.clone(), inst.r2.clone()], 16, Some(PlanKind::MatMul));
+        assert_oracle(
+            &q,
+            &[inst.r1.clone(), inst.r2.clone()],
+            16,
+            Some(PlanKind::MatMul),
+        );
 
         // Re-annotate the same instance in GF(2) and tropical.
         let x1 = Relation::<XorRing>::from_entries(
             inst.r1.schema().clone(),
-            inst.r1.entries().iter().map(|(r, _)| (r.clone(), XorRing(true))).collect(),
+            inst.r1
+                .entries()
+                .iter()
+                .map(|(r, _)| (r.clone(), XorRing(true)))
+                .collect(),
         );
         let x2 = Relation::<XorRing>::from_entries(
             inst.r2.schema().clone(),
-            inst.r2.entries().iter().map(|(r, _)| (r.clone(), XorRing(true))).collect(),
+            inst.r2
+                .entries()
+                .iter()
+                .map(|(r, _)| (r.clone(), XorRing(true)))
+                .collect(),
         );
         assert_oracle(&q, &[x1, x2], 16, None);
 
@@ -64,8 +77,7 @@ fn matmul_zipf_skew() {
     let (a, b, c) = (Attr(0), Attr(1), Attr(2));
     let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c]);
     for theta in [0.5, 1.0, 1.5] {
-        let inst =
-            matrix::zipf::<Count>(&mut rng(99), (a, b, c), 400, 400, 60, theta);
+        let inst = matrix::zipf::<Count>(&mut rng(99), (a, b, c), 400, 400, 60, theta);
         assert_oracle(&q, &[inst.r1, inst.r2], 8, Some(PlanKind::MatMul));
     }
 }
@@ -105,11 +117,8 @@ fn star_queries_three_to_five_arms() {
 #[test]
 fn star_query_forced_permutation_classes() {
     // Degree profiles forcing several distinct permutation classes.
-    let inst = star::degree_profile::<Count>(
-        3,
-        6,
-        &[vec![1, 5, 2], vec![4, 1, 1, 3], vec![2, 2, 6]],
-    );
+    let inst =
+        star::degree_profile::<Count>(3, 6, &[vec![1, 5, 2], vec![4, 1, 1, 3], vec![2, 2, 6]]);
     assert_oracle(&inst.query, &inst.rels, 8, Some(PlanKind::Star));
 }
 

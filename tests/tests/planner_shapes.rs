@@ -27,7 +27,9 @@ fn star_like_plan_selected_and_correct() {
     ];
     let result = execute(8, &q, &rels);
     assert_eq!(result.plan, PlanKind::StarLike);
-    assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+    assert!(result
+        .output
+        .semantically_eq(&execute_sequential(&q, &rels)));
 }
 
 #[test]
@@ -52,7 +54,9 @@ fn tree_plan_for_internal_outputs() {
         .collect();
     let result = execute(8, &q, &rels);
     assert_eq!(result.plan, PlanKind::Tree);
-    assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+    assert!(result
+        .output
+        .semantically_eq(&execute_sequential(&q, &rels)));
 }
 
 #[test]
@@ -72,7 +76,9 @@ fn builder_to_execution_pipeline() {
     ];
     let result = execute(8, &q, &rels);
     assert_eq!(result.plan, PlanKind::MatMul);
-    assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+    assert!(result
+        .output
+        .semantically_eq(&execute_sequential(&q, &rels)));
     // DOT rendering names the attributes.
     let dot = mpcjoin::query::to_dot(&q, Some(&names));
     assert!(dot.contains("\"user\" [shape=doublecircle]"));
@@ -83,7 +89,10 @@ fn builder_to_execution_pipeline() {
 fn single_server_cluster_end_to_end() {
     // p = 1: everything is local; algorithms must still be correct.
     let q = TreeQuery::new(
-        vec![Edge::binary(Attr(0), Attr(1)), Edge::binary(Attr(1), Attr(2))],
+        vec![
+            Edge::binary(Attr(0), Attr(1)),
+            Edge::binary(Attr(1), Attr(2)),
+        ],
         [Attr(0), Attr(2)],
     );
     let rels = vec![
@@ -91,13 +100,18 @@ fn single_server_cluster_end_to_end() {
         Relation::<Count>::binary_ones(Attr(1), Attr(2), (0..30u64).map(|i| (i % 5, i % 7))),
     ];
     let result = execute(1, &q, &rels);
-    assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+    assert!(result
+        .output
+        .semantically_eq(&execute_sequential(&q, &rels)));
 }
 
 #[test]
 fn empty_relations_everywhere() {
     let q = TreeQuery::new(
-        vec![Edge::binary(Attr(0), Attr(1)), Edge::binary(Attr(1), Attr(2))],
+        vec![
+            Edge::binary(Attr(0), Attr(1)),
+            Edge::binary(Attr(1), Attr(2)),
+        ],
         [Attr(0), Attr(2)],
     );
     let rels = vec![
@@ -141,7 +155,10 @@ fn plan_loads_are_deterministic() {
     // Two identical runs must report identical costs (the simulator is
     // fully deterministic).
     let q = TreeQuery::new(
-        vec![Edge::binary(Attr(0), Attr(1)), Edge::binary(Attr(1), Attr(2))],
+        vec![
+            Edge::binary(Attr(0), Attr(1)),
+            Edge::binary(Attr(1), Attr(2)),
+        ],
         [Attr(0), Attr(2)],
     );
     let rels = vec![

@@ -1,60 +1,71 @@
-//! Property-based integration tests: randomized instances and shapes,
-//! distributed results vs. the sequential oracle.
+//! Randomized integration tests: random instances and shapes, distributed
+//! results vs. the sequential oracle. Inputs come from the deterministic
+//! in-tree generator with fixed seeds so every run checks the identical
+//! case set and works offline.
 
+use mpcjoin::mpc::DetRng;
 use mpcjoin::prelude::*;
 use mpcjoin::{execute, execute_baseline, execute_sequential};
-use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const CASES: u64 = 24;
 
 /// A random binary relation over bounded domains, annotated with small
 /// counts (weights > 1 exercise ⊗ as well as ⊕).
-fn rel_strategy(
+fn random_rel(
+    rng: &mut DetRng,
     left: Attr,
     right: Attr,
     dom: u64,
     max_tuples: usize,
-) -> impl Strategy<Value = Relation<Count>> {
-    proptest::collection::btree_set((0..dom, 0..dom), 1..max_tuples).prop_map(move |set| {
-        Relation::from_entries(
-            Schema::binary(left, right),
-            set.into_iter()
-                .enumerate()
-                .map(|(i, (x, y))| (vec![x, y], Count(1 + (i as u64 % 3))))
-                .collect(),
-        )
-    })
+) -> Relation<Count> {
+    let n = rng.gen_range(1..max_tuples);
+    let set: BTreeSet<(u64, u64)> = (0..n)
+        .map(|_| (rng.gen_range(0..dom), rng.gen_range(0..dom)))
+        .collect();
+    Relation::from_entries(
+        Schema::binary(left, right),
+        set.into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| (vec![x, y], Count(1 + (i as u64 % 3))))
+            .collect(),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Matrix multiplication agrees with the oracle on arbitrary inputs
-    /// (including heavily dangling ones), and with the baseline.
-    #[test]
-    fn matmul_agrees_with_oracle(
-        r1 in rel_strategy(Attr(0), Attr(1), 12, 60),
-        r2 in rel_strategy(Attr(1), Attr(2), 12, 60),
-        p in 2usize..12,
-    ) {
+/// Matrix multiplication agrees with the oracle on arbitrary inputs
+/// (including heavily dangling ones), and with the baseline.
+#[test]
+fn matmul_agrees_with_oracle() {
+    let mut rng = DetRng::seed_from_u64(0xB001);
+    for _ in 0..CASES {
+        let r1 = random_rel(&mut rng, Attr(0), Attr(1), 12, 60);
+        let r2 = random_rel(&mut rng, Attr(1), Attr(2), 12, 60);
+        let p = rng.gen_range(2usize..12);
         let q = TreeQuery::new(
-            vec![Edge::binary(Attr(0), Attr(1)), Edge::binary(Attr(1), Attr(2))],
+            vec![
+                Edge::binary(Attr(0), Attr(1)),
+                Edge::binary(Attr(1), Attr(2)),
+            ],
             [Attr(0), Attr(2)],
         );
         let rels = [r1, r2];
         let result = execute(p, &q, &rels);
         let oracle = execute_sequential(&q, &rels);
-        prop_assert!(result.output.semantically_eq(&oracle));
+        assert!(result.output.semantically_eq(&oracle));
         let base = execute_baseline(p, &q, &rels);
-        prop_assert!(base.output.semantically_eq(&oracle));
+        assert!(base.output.semantically_eq(&oracle));
     }
+}
 
-    /// Three-hop line queries agree with the oracle.
-    #[test]
-    fn line_agrees_with_oracle(
-        r1 in rel_strategy(Attr(0), Attr(1), 8, 40),
-        r2 in rel_strategy(Attr(1), Attr(2), 8, 40),
-        r3 in rel_strategy(Attr(2), Attr(3), 8, 40),
-        p in 2usize..10,
-    ) {
+/// Three-hop line queries agree with the oracle.
+#[test]
+fn line_agrees_with_oracle() {
+    let mut rng = DetRng::seed_from_u64(0xB002);
+    for _ in 0..CASES {
+        let r1 = random_rel(&mut rng, Attr(0), Attr(1), 8, 40);
+        let r2 = random_rel(&mut rng, Attr(1), Attr(2), 8, 40);
+        let r3 = random_rel(&mut rng, Attr(2), Attr(3), 8, 40);
+        let p = rng.gen_range(2usize..10);
         let q = TreeQuery::new(
             vec![
                 Edge::binary(Attr(0), Attr(1)),
@@ -65,17 +76,21 @@ proptest! {
         );
         let rels = [r1, r2, r3];
         let result = execute(p, &q, &rels);
-        prop_assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+        assert!(result
+            .output
+            .semantically_eq(&execute_sequential(&q, &rels)));
     }
+}
 
-    /// Three-arm star queries agree with the oracle.
-    #[test]
-    fn star_agrees_with_oracle(
-        r1 in rel_strategy(Attr(0), Attr(9), 7, 30),
-        r2 in rel_strategy(Attr(1), Attr(9), 7, 30),
-        r3 in rel_strategy(Attr(2), Attr(9), 7, 30),
-        p in 2usize..10,
-    ) {
+/// Three-arm star queries agree with the oracle.
+#[test]
+fn star_agrees_with_oracle() {
+    let mut rng = DetRng::seed_from_u64(0xB003);
+    for _ in 0..CASES {
+        let r1 = random_rel(&mut rng, Attr(0), Attr(9), 7, 30);
+        let r2 = random_rel(&mut rng, Attr(1), Attr(9), 7, 30);
+        let r3 = random_rel(&mut rng, Attr(2), Attr(9), 7, 30);
+        let p = rng.gen_range(2usize..10);
         let q = TreeQuery::new(
             vec![
                 Edge::binary(Attr(0), Attr(9)),
@@ -86,18 +101,22 @@ proptest! {
         );
         let rels = [r1, r2, r3];
         let result = execute(p, &q, &rels);
-        prop_assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+        assert!(result
+            .output
+            .semantically_eq(&execute_sequential(&q, &rels)));
     }
+}
 
-    /// The minimal general twig agrees with the oracle.
-    #[test]
-    fn general_twig_agrees_with_oracle(
-        e0 in rel_strategy(Attr(10), Attr(0), 5, 20),
-        e1 in rel_strategy(Attr(10), Attr(1), 5, 20),
-        bridge in rel_strategy(Attr(10), Attr(11), 5, 15),
-        e2 in rel_strategy(Attr(11), Attr(2), 5, 20),
-        e3 in rel_strategy(Attr(11), Attr(3), 5, 20),
-    ) {
+/// The minimal general twig agrees with the oracle.
+#[test]
+fn general_twig_agrees_with_oracle() {
+    let mut rng = DetRng::seed_from_u64(0xB004);
+    for _ in 0..CASES {
+        let e0 = random_rel(&mut rng, Attr(10), Attr(0), 5, 20);
+        let e1 = random_rel(&mut rng, Attr(10), Attr(1), 5, 20);
+        let bridge = random_rel(&mut rng, Attr(10), Attr(11), 5, 15);
+        let e2 = random_rel(&mut rng, Attr(11), Attr(2), 5, 20);
+        let e3 = random_rel(&mut rng, Attr(11), Attr(3), 5, 20);
         let q = TreeQuery::new(
             vec![
                 Edge::binary(Attr(10), Attr(0)),
@@ -110,17 +129,21 @@ proptest! {
         );
         let rels = [e0, e1, bridge, e2, e3];
         let result = execute(6, &q, &rels);
-        prop_assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+        assert!(result
+            .output
+            .semantically_eq(&execute_sequential(&q, &rels)));
     }
+}
 
-    /// Internal output attributes (general tree, non-twig) agree with the
-    /// oracle.
-    #[test]
-    fn internal_outputs_agree_with_oracle(
-        r1 in rel_strategy(Attr(0), Attr(1), 6, 25),
-        r2 in rel_strategy(Attr(1), Attr(2), 6, 25),
-        r3 in rel_strategy(Attr(2), Attr(3), 6, 25),
-    ) {
+/// Internal output attributes (general tree, non-twig) agree with the
+/// oracle.
+#[test]
+fn internal_outputs_agree_with_oracle() {
+    let mut rng = DetRng::seed_from_u64(0xB005);
+    for _ in 0..CASES {
+        let r1 = random_rel(&mut rng, Attr(0), Attr(1), 6, 25);
+        let r2 = random_rel(&mut rng, Attr(1), Attr(2), 6, 25);
+        let r3 = random_rel(&mut rng, Attr(2), Attr(3), 6, 25);
         // y = {A1, A2, A4}: A2 is an internal output → twig split at A2.
         let q = TreeQuery::new(
             vec![
@@ -132,6 +155,8 @@ proptest! {
         );
         let rels = [r1, r2, r3];
         let result = execute(6, &q, &rels);
-        prop_assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+        assert!(result
+            .output
+            .semantically_eq(&execute_sequential(&q, &rels)));
     }
 }

@@ -34,7 +34,9 @@ fn mincount_counts_shortest_paths() {
         Relation::from_entries(Schema::binary(C, D), vec![(vec![4, 9], w(2))]),
     ];
     let result = execute(4, &q, &rels);
-    assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+    assert!(result
+        .output
+        .semantically_eq(&execute_sequential(&q, &rels)));
     let (row, agg) = &result.output.canonical()[0];
     assert_eq!(row, &vec![0, 9]);
     // Paths: 1+2+2 = 5, 2+1+2 = 5, 3+3+2 = 8 → (5, two ways).
@@ -57,7 +59,9 @@ fn viterbi_most_probable_route() {
         ),
     ];
     let result = execute(4, &q, &rels);
-    assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+    assert!(result
+        .output
+        .semantically_eq(&execute_sequential(&q, &rels)));
     let (_, best) = &result.output.canonical()[0];
     // max(0.5·0.5, 0.1·1.0) = 0.25.
     assert_eq!(best.value(), mpcjoin::semiring::ONE_SCALE / 4);
@@ -78,9 +82,9 @@ fn product_semiring_computes_two_aggregates_at_once() {
         ),
     ];
     let result = execute(4, &q, &rels);
-    let (row, Prod(count, dist)) = &result.output.canonical()[0] else {
-        panic!("one output expected");
-    };
+    let canonical = result.output.canonical();
+    assert_eq!(canonical.len(), 1, "one output expected");
+    let (row, Prod(count, dist)) = &canonical[0];
     assert_eq!(row, &vec![0, 5]);
     assert_eq!(*count, Count(2)); // two b-paths
     assert_eq!(*dist, TropicalMin::finite(3)); // min(4+1, 1+2)
@@ -102,7 +106,9 @@ fn bottleneck_widest_path_line_query() {
         Relation::from_entries(Schema::binary(C, D), vec![(vec![4, 9], cap(8))]),
     ];
     let result = execute(4, &q, &rels);
-    assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+    assert!(result
+        .output
+        .semantically_eq(&execute_sequential(&q, &rels)));
     let (_, widest) = &result.output.canonical()[0];
     // max(min(10,2,8), min(3,9,8)) = max(2, 3) = 3.
     assert_eq!(widest.value(), Some(3));
@@ -117,17 +123,31 @@ fn whyprov_star_witnesses_are_sound_and_complete() {
     let rels = vec![
         Relation::from_entries(
             Schema::binary(A, D),
-            vec![(vec![1, 0], WhyProv::tuple(1)), (vec![1, 1], WhyProv::tuple(2))],
+            vec![
+                (vec![1, 0], WhyProv::tuple(1)),
+                (vec![1, 1], WhyProv::tuple(2)),
+            ],
         ),
         Relation::from_entries(
             Schema::binary(B, D),
-            vec![(vec![5, 0], WhyProv::tuple(10)), (vec![5, 1], WhyProv::tuple(11))],
+            vec![
+                (vec![5, 0], WhyProv::tuple(10)),
+                (vec![5, 1], WhyProv::tuple(11)),
+            ],
         ),
-        Relation::from_entries(Schema::binary(C, D), vec![(vec![8, 0], WhyProv::tuple(20)), (vec![8, 1], WhyProv::tuple(21))]),
+        Relation::from_entries(
+            Schema::binary(C, D),
+            vec![
+                (vec![8, 0], WhyProv::tuple(20)),
+                (vec![8, 1], WhyProv::tuple(21)),
+            ],
+        ),
     ];
     let result = execute(4, &q, &rels);
     assert_eq!(result.plan, PlanKind::Star);
-    assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+    assert!(result
+        .output
+        .semantically_eq(&execute_sequential(&q, &rels)));
     let (row, prov) = &result.output.canonical()[0];
     assert_eq!(row, &vec![1, 5, 8]);
     // (1,5,8) holds via d=0 with facts {1,10,20} and via d=1 with

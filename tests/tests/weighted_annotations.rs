@@ -32,7 +32,9 @@ fn weighted_matmul() {
         weighted(b, c, (0..60).map(|i| (i % 7, i % 9, 1 + i % 3))),
     ];
     let result = execute(8, &q, &rels);
-    assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+    assert!(result
+        .output
+        .semantically_eq(&execute_sequential(&q, &rels)));
 }
 
 #[test]
@@ -78,13 +80,27 @@ fn weighted_line_query() {
         [attrs[0], attrs[3]],
     );
     let rels = vec![
-        weighted(attrs[0], attrs[1], (0..40).map(|i| (i % 8, i % 5, 1 + i % 4))),
-        weighted(attrs[1], attrs[2], (0..40).map(|i| (i % 5, i % 6, 1 + i % 2))),
-        weighted(attrs[2], attrs[3], (0..40).map(|i| (i % 6, i % 7, 1 + i % 3))),
+        weighted(
+            attrs[0],
+            attrs[1],
+            (0..40).map(|i| (i % 8, i % 5, 1 + i % 4)),
+        ),
+        weighted(
+            attrs[1],
+            attrs[2],
+            (0..40).map(|i| (i % 5, i % 6, 1 + i % 2)),
+        ),
+        weighted(
+            attrs[2],
+            attrs[3],
+            (0..40).map(|i| (i % 6, i % 7, 1 + i % 3)),
+        ),
     ];
     let result = execute(8, &q, &rels);
     assert_eq!(result.plan, PlanKind::Line);
-    assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+    assert!(result
+        .output
+        .semantically_eq(&execute_sequential(&q, &rels)));
 }
 
 #[test]
@@ -105,7 +121,9 @@ fn weighted_star_query() {
     ];
     let result = execute(8, &q, &rels);
     assert_eq!(result.plan, PlanKind::Star);
-    assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+    assert!(result
+        .output
+        .semantically_eq(&execute_sequential(&q, &rels)));
 }
 
 #[test]
@@ -130,7 +148,9 @@ fn weighted_general_twig() {
     ];
     let result = execute(8, &q, &rels);
     assert_eq!(result.plan, PlanKind::Tree);
-    assert!(result.output.semantically_eq(&execute_sequential(&q, &rels)));
+    assert!(result
+        .output
+        .semantically_eq(&execute_sequential(&q, &rels)));
 }
 
 #[test]
