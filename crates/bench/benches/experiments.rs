@@ -7,8 +7,24 @@
 
 use mpcjoin::prelude::*;
 use mpcjoin::workload::{chain, matrix, rng, star, trees};
-use mpcjoin::{execute, execute_baseline};
 use mpcjoin_bench::bench_case;
+
+fn execute<S: Semiring>(p: usize, q: &TreeQuery, rels: &[Relation<S>]) -> ExecutionResult<S> {
+    QueryEngine::new(p)
+        .run(q, rels)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn execute_baseline<S: Semiring>(
+    p: usize,
+    q: &TreeQuery,
+    rels: &[Relation<S>],
+) -> ExecutionResult<S> {
+    QueryEngine::new(p)
+        .plan(PlanChoice::Baseline)
+        .run(q, rels)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
 
 const A: Attr = Attr(0);
 const B: Attr = Attr(1);

@@ -5,8 +5,8 @@
 //! Run with: `cargo run -p mpcjoin-bench --release --bin table1 [scale]`
 //! (`scale` defaults to 1; larger values grow the instances).
 
-use mpcjoin_bench::emit;
 use mpcjoin_bench::experiments;
+use mpcjoin_bench::{emit, emit_trace};
 
 fn main() {
     mpcjoin_bench::init_threads();
@@ -23,4 +23,5 @@ fn main() {
     emit(&experiments::table1_line(16, scale), "table1_line");
     emit(&experiments::table1_star(16, scale), "table1_star");
     emit(&experiments::table1_tree(16, scale), "table1_tree");
+    emit_trace(&experiments::table1_line_trace(16, scale), "table1_line");
 }

@@ -4,7 +4,37 @@ use crate::table::{Cell, Table};
 use mpcjoin::matmul::{hard, theory};
 use mpcjoin::prelude::*;
 use mpcjoin::workload::{chain, matrix, rng, star, trees};
-use mpcjoin::{execute, execute_baseline};
+
+/// Run the planner's algorithm end to end. The workloads here are
+/// constructed to match their queries, so engine errors are bugs.
+fn execute<S: Semiring>(p: usize, q: &TreeQuery, rels: &[Relation<S>]) -> ExecutionResult<S> {
+    QueryEngine::new(p)
+        .run(q, rels)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Run the distributed Yannakakis baseline end to end.
+fn execute_baseline<S: Semiring>(
+    p: usize,
+    q: &TreeQuery,
+    rels: &[Relation<S>],
+) -> ExecutionResult<S> {
+    QueryEngine::new(p)
+        .plan(PlanChoice::Baseline)
+        .run(q, rels)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// One traced run of the Table-1 line query (the funnel family), for the
+/// round-level trace artifact the harness writes next to the CSVs.
+pub fn table1_line_trace(p: usize, scale: u64) -> Trace {
+    let inst = chain::funnel::<Count>(8 * scale, 8, 4);
+    let r = QueryEngine::new(p)
+        .trace(true)
+        .run(&inst.query, &inst.rels)
+        .unwrap_or_else(|e| panic!("{e}"));
+    r.trace.expect("tracing was enabled")
+}
 
 const A: Attr = Attr(0);
 const B: Attr = Attr(1);

@@ -68,3 +68,30 @@ pub fn emit(table: &Table, slug: &str) {
         }
     }
 }
+
+/// Like [`emit`] for execution traces: print a short summary, and when
+/// `MPCJOIN_CSV_DIR` is set, write the full JSON next to the CSVs as
+/// `<slug>_trace.json`.
+pub fn emit_trace(trace: &mpcjoin::mpc::Trace, slug: &str) {
+    let report = trace.report();
+    println!("\n== trace: {slug} ==");
+    println!(
+        "{} exchange events over {} rounds, load {}, traffic {}",
+        trace.events.len(),
+        trace.cost.rounds,
+        trace.cost.load,
+        trace.cost.total_units
+    );
+    if let Some(c) = &report.critical {
+        println!(
+            "critical cell: server {} in round {} received {} units during `{}`",
+            c.server, c.round, c.units, c.label
+        );
+    }
+    if let Ok(dir) = std::env::var("MPCJOIN_CSV_DIR") {
+        let path = std::path::Path::new(&dir).join(format!("{slug}_trace.json"));
+        if let Err(e) = std::fs::write(&path, trace.to_json()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}

@@ -20,7 +20,9 @@
 //!
 //! Prints the decoded output rows, the chosen plan, and the measured MPC
 //! cost (load / rounds / traffic); `--baseline` also runs the distributed
-//! Yannakakis algorithm for comparison.
+//! Yannakakis algorithm for comparison, and `--trace FILE` records a
+//! round-level execution trace and writes it to `FILE` as JSON
+//! (schema `mpcjoin-trace-v1`, see `mpcjoin_mpc::trace`).
 
 use mpcjoin::prelude::*;
 use mpcjoin::query::{parse_query, ParsedQuery};
@@ -37,12 +39,13 @@ struct Args {
     baseline: bool,
     limit: usize,
     dot: bool,
+    trace: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: mpcjoin-cli --query '<head> :- <body>' --input NAME=FILE [--input NAME=FILE …]\n\
      \x20      [--servers P] [--threads N] [--semiring count|bool|minplus|mincount]\n\
-     \x20      [--baseline] [--limit N] [--dot]"
+     \x20      [--baseline] [--limit N] [--dot] [--trace FILE]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         baseline: false,
         limit: 20,
         dot: false,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -89,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--limit expects an integer".to_string())?
             }
             "--dot" => args.dot = true,
+            "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -155,23 +160,42 @@ fn run_semiring<S: Semiring + std::fmt::Debug>(
         rels.push(rel);
     }
 
-    let result = mpcjoin::execute(args.servers, &parsed.query, &rels);
+    let result = QueryEngine::new(args.servers)
+        .threads(args.threads)
+        .trace(args.trace.is_some())
+        .run(&parsed.query, &rels)
+        .map_err(|e| e.to_string())?;
     println!(
-        "plan: {:?}   servers: {}   threads: {}   load: {}   rounds: {}   traffic: {}   elapsed: {:.3?}   skew: {:.2}",
-        result.plan,
-        args.servers,
-        args.threads,
-        result.cost.load,
-        result.cost.rounds,
-        result.cost.total_units,
-        result.cost.elapsed,
-        result.output_skew,
+        "servers: {}   threads: {}   {result}",
+        args.servers, args.threads
     );
     println!("output ({} rows):", result.output.len());
     print!("{}", render_output(&result.output, &dict, args.limit));
 
+    if let Some(path) = &args.trace {
+        let trace = result.trace.as_ref().expect("tracing was enabled");
+        std::fs::write(path, trace.to_json()).map_err(|e| format!("{}: {e}", path.display()))?;
+        let report = trace.report();
+        println!(
+            "trace: {} events, {} phases, written to {}",
+            trace.events.len(),
+            report.per_phase.len(),
+            path.display()
+        );
+        if let Some(critical) = &report.critical {
+            println!(
+                "critical cell: server {} in round {} received {} units during `{}`",
+                critical.server, critical.round, critical.units, critical.label
+            );
+        }
+    }
+
     if args.baseline {
-        let base = mpcjoin::execute_baseline(args.servers, &parsed.query, &rels);
+        let base = QueryEngine::new(args.servers)
+            .threads(args.threads)
+            .plan(PlanChoice::Baseline)
+            .run(&parsed.query, &rels)
+            .map_err(|e| e.to_string())?;
         let agree = base.output.semantically_eq(&result.output);
         println!(
             "baseline (distributed Yannakakis): load: {}   rounds: {}   traffic: {}   outputs agree: {}",

@@ -1,0 +1,176 @@
+//! `trace_check` — validate a trace JSON document emitted by
+//! `mpcjoin-cli --trace` (or `Trace::to_json`) without any third-party
+//! JSON dependency. Used by CI to keep the exporter honest.
+//!
+//! ```text
+//! trace_check out/trace.json
+//! ```
+//!
+//! Checks, in order: the document parses, carries the
+//! `mpcjoin-trace-v1` schema tag, every event's traffic matrix is
+//! `servers × servers` and re-sums to its received vector, the events
+//! account for exactly `total_units` of traffic, the maximum
+//! (server, round) cell equals `load`, and the embedded report
+//! (per-server histogram, critical cell) agrees with the recomputation.
+
+use mpcjoin::mpc::json::Json;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn check(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+
+    let str_field = |j: &Json, k: &str| -> Result<String, String> {
+        j.get(k)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing string field `{k}`"))
+    };
+    let num_field = |j: &Json, k: &str| -> Result<u64, String> {
+        j.get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing numeric field `{k}`"))
+    };
+
+    let schema = str_field(&doc, "schema")?;
+    if schema != "mpcjoin-trace-v1" {
+        return Err(format!("unknown schema `{schema}`"));
+    }
+    let servers = num_field(&doc, "servers")? as usize;
+    if servers == 0 {
+        return Err("servers must be positive".into());
+    }
+    let load = num_field(&doc, "load")?;
+    let rounds = num_field(&doc, "rounds")?;
+    let total_units = num_field(&doc, "total_units")?;
+
+    let events = doc
+        .get("events")
+        .and_then(Json::as_arr)
+        .ok_or("missing `events` array")?;
+    let mut unit_sum = 0u64;
+    let mut cells: HashMap<(usize, u64), u64> = HashMap::new();
+    let mut per_server = vec![0u64; servers];
+    for (i, event) in events.iter().enumerate() {
+        let round = num_field(event, "round")?;
+        if round >= rounds {
+            return Err(format!(
+                "event {i}: round {round} out of range (rounds = {rounds})"
+            ));
+        }
+        let received: Vec<u64> = event
+            .get("received")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("event {i}: missing `received`"))?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .ok_or_else(|| format!("event {i}: bad unit count"))
+            })
+            .collect::<Result<_, _>>()?;
+        if received.len() != servers {
+            return Err(format!(
+                "event {i}: received vector has {} entries for {servers} servers",
+                received.len()
+            ));
+        }
+        let traffic = event
+            .get("traffic")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("event {i}: missing `traffic`"))?;
+        if traffic.len() != servers {
+            return Err(format!(
+                "event {i}: traffic matrix is not {servers}×{servers}"
+            ));
+        }
+        for (dst, &got) in received.iter().enumerate() {
+            let mut col_sum = 0u64;
+            for row in traffic {
+                let row = row
+                    .as_arr()
+                    .ok_or_else(|| format!("event {i}: traffic row is not an array"))?;
+                if row.len() != servers {
+                    return Err(format!(
+                        "event {i}: traffic matrix is not {servers}×{servers}"
+                    ));
+                }
+                col_sum += row[dst]
+                    .as_u64()
+                    .ok_or_else(|| format!("event {i}: bad traffic cell"))?;
+            }
+            if col_sum != got {
+                return Err(format!(
+                    "event {i}: traffic column {dst} sums to {col_sum}, received says {got}"
+                ));
+            }
+            *cells.entry((dst, round)).or_default() += got;
+            per_server[dst] += got;
+            unit_sum += got;
+        }
+    }
+    if unit_sum != total_units {
+        return Err(format!(
+            "events account for {unit_sum} units, header says {total_units}"
+        ));
+    }
+    let max_cell = cells.values().copied().max().unwrap_or(0);
+    if max_cell != load {
+        return Err(format!(
+            "max (server, round) cell is {max_cell}, header says load = {load}"
+        ));
+    }
+
+    let report = doc.get("report").ok_or("missing `report`")?;
+    let reported: Vec<u64> = report
+        .get("per_server")
+        .and_then(Json::as_arr)
+        .ok_or("missing `report.per_server`")?
+        .iter()
+        .map(|v| v.as_u64().ok_or("bad per_server entry".to_string()))
+        .collect::<Result<_, _>>()?;
+    if reported != per_server {
+        return Err("report.per_server disagrees with the events".into());
+    }
+    match report.get("critical") {
+        Some(Json::Null) | None => {
+            if load > 0 {
+                return Err("load is positive but report.critical is null".into());
+            }
+        }
+        Some(critical) => {
+            let units = num_field(critical, "units")?;
+            if units != load {
+                return Err(format!("report.critical.units = {units} but load = {load}"));
+            }
+            let server = num_field(critical, "server")? as usize;
+            let round = num_field(critical, "round")?;
+            if cells.get(&(server, round)).copied().unwrap_or(0) != load {
+                return Err("report.critical does not point at a maximal cell".into());
+            }
+        }
+    }
+
+    Ok(format!(
+        "trace OK: {} servers, {} events, load {load}, {rounds} rounds, {total_units} units",
+        servers,
+        events.len()
+    ))
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_check <trace.json>");
+        return ExitCode::FAILURE;
+    };
+    match check(&path) {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace_check: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -23,14 +23,14 @@
 //! let r1: Relation<Count> = Relation::binary_ones(a, b, [(1, 10), (1, 11), (2, 10)]);
 //! let r2: Relation<Count> = Relation::binary_ones(b, c, [(10, 7), (11, 7)]);
 //!
-//! let result = mpcjoin::execute(8, &q, &[r1, r2]);
+//! let result = mpcjoin::QueryEngine::new(8).run(&q, &[r1, r2]).unwrap();
 //! assert_eq!(result.plan, mpcjoin::PlanKind::MatMul);
 //! // (1,7) is reachable via b=10 and b=11: count 2.
 //! assert!(result
 //!     .output
 //!     .canonical()
 //!     .contains(&(vec![1, 7], Count(2))));
-//! println!("load = {}, rounds = {}", result.cost.load, result.cost.rounds);
+//! println!("{result}"); // plan, load, rounds, traffic, elapsed, skew
 //! ```
 //!
 //! ## Crate map
@@ -60,16 +60,17 @@ pub use mpcjoin_yannakakis as yannakakis;
 mod planner;
 mod verify;
 
+#[allow(deprecated)]
+pub use planner::{execute, execute_baseline, execute_threaded};
 pub use planner::{
-    execute, execute_baseline, execute_on, execute_sequential, execute_threaded, ExecutionResult,
-    PlanKind,
+    execute_on, execute_sequential, ExecutionResult, PlanChoice, PlanKind, QueryEngine,
 };
 pub use verify::{verify_instance, Verification};
 
 /// The common imports for applications.
 pub mod prelude {
-    pub use crate::planner::{execute, execute_baseline, ExecutionResult, PlanKind};
-    pub use mpcjoin_mpc::{Cluster, CostReport, DistRelation};
+    pub use crate::planner::{ExecutionResult, PlanChoice, PlanKind, QueryEngine};
+    pub use mpcjoin_mpc::{Cluster, CostReport, DistRelation, MpcError, Trace};
     pub use mpcjoin_query::{Edge, TreeQuery};
     pub use mpcjoin_relation::{Attr, Relation, Schema, Value};
     pub use mpcjoin_semiring::{

@@ -1,13 +1,32 @@
 //! The query planner: classify a tree join-aggregate query and dispatch
 //! to the algorithm with the best known load bound.
+//!
+//! The single entry point is [`QueryEngine`], a builder that owns every
+//! execution knob (server count, worker threads, tracing, plan choice)
+//! and returns a [`Result`] instead of aborting on bad input:
+//!
+//! ```
+//! use mpcjoin::prelude::*;
+//!
+//! let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+//! let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c]);
+//! let r1: Relation<Count> = Relation::binary_ones(a, b, [(1, 10)]);
+//! let r2: Relation<Count> = Relation::binary_ones(b, c, [(10, 7)]);
+//!
+//! let result = QueryEngine::new(4).trace(true).run(&q, &[r1, r2]).unwrap();
+//! assert_eq!(result.plan, PlanKind::MatMul);
+//! let trace = result.trace.as_ref().unwrap();
+//! assert_eq!(trace.cost, result.cost);
+//! ```
 
 use mpcjoin_joinagg::{line_query, star_like_query, star_query, tree_query};
 use mpcjoin_matmul::matmul;
-use mpcjoin_mpc::{Cluster, CostReport, DistRelation};
+use mpcjoin_mpc::{Cluster, CostReport, DistRelation, MpcError, Trace};
 use mpcjoin_query::{classify, Shape, TreeQuery};
 use mpcjoin_relation::{Attr, Relation, Row, Schema};
 use mpcjoin_semiring::Semiring;
 use mpcjoin_yannakakis::{distributed_yannakakis, sequential_join_aggregate, validate_instance};
+use std::fmt;
 
 /// Which top-level plan the engine chose.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -27,6 +46,150 @@ pub enum PlanKind {
     Tree,
 }
 
+/// How [`QueryEngine`] picks the algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PlanChoice {
+    /// Classify the query and dispatch to the algorithm with the best
+    /// known load bound (the paper's Table 1 column).
+    #[default]
+    Auto,
+    /// The distributed Yannakakis baseline (§1.4), regardless of shape.
+    Baseline,
+    /// Force a specific algorithm. [`QueryEngine::run`] returns
+    /// [`MpcError::UnsupportedPlan`] if the query's shape does not admit
+    /// it ([`PlanKind::Tree`] and [`PlanKind::FreeConnexYannakakis`]
+    /// accept every tree query).
+    Force(PlanKind),
+}
+
+/// Builder-style entry point for executing a join-aggregate query on the
+/// simulated MPC cluster.
+///
+/// Replaces the free functions `execute` / `execute_threaded` /
+/// `execute_baseline`: one builder, every knob, and a `Result` at the
+/// boundary instead of a panic.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryEngine {
+    p: usize,
+    threads: Option<usize>,
+    trace: bool,
+    plan: PlanChoice,
+}
+
+impl QueryEngine {
+    /// An engine over `p` simulated servers, serial local computation,
+    /// tracing off, automatic plan choice.
+    pub fn new(p: usize) -> Self {
+        Self {
+            p,
+            threads: None,
+            trace: false,
+            plan: PlanChoice::Auto,
+        }
+    }
+
+    /// Use `n` worker threads for per-server local computation. Results
+    /// and measured costs are identical for every thread count (see
+    /// `mpcjoin_mpc::exec`); only wall-clock timings change.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Record a round-level execution trace; the run's
+    /// [`ExecutionResult::trace`] is `Some` and ledger costs stay
+    /// bit-identical to an untraced run.
+    #[must_use]
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Choose the plan: automatic dispatch, the baseline, or a forced
+    /// algorithm.
+    #[must_use]
+    pub fn plan(mut self, choice: PlanChoice) -> Self {
+        self.plan = choice;
+        self
+    }
+
+    /// Place `instance` on a fresh cluster, execute `q`, and gather the
+    /// output plus the measured cost (and trace, if enabled).
+    ///
+    /// Errors with [`MpcError::InvalidInstance`] when `instance` does not
+    /// match the query's edges, and [`MpcError::UnsupportedPlan`] when a
+    /// forced plan does not apply to the query's shape.
+    pub fn run<S: Semiring>(
+        &self,
+        q: &TreeQuery,
+        instance: &[Relation<S>],
+    ) -> Result<ExecutionResult<S>, MpcError> {
+        validate_instance(q, instance)?;
+        let mut cluster = match self.threads {
+            Some(n) => Cluster::with_threads(self.p, n),
+            None => Cluster::new(self.p),
+        };
+        if self.trace {
+            cluster.enable_tracing();
+        }
+        let dist: Vec<DistRelation<S>> = instance
+            .iter()
+            .map(|r| DistRelation::scatter(&cluster, r))
+            .collect();
+        let output: Vec<Attr> = q.output().iter().copied().collect();
+        let (result, plan) = match self.plan {
+            PlanChoice::Auto => execute_on(&mut cluster, q, &dist),
+            PlanChoice::Baseline => (
+                normalize(distributed_yannakakis(&mut cluster, q, &dist), &output),
+                PlanKind::FreeConnexYannakakis,
+            ),
+            PlanChoice::Force(kind) => {
+                let forced = run_forced(&mut cluster, kind, q, &dist)?;
+                (normalize(forced, &output), kind)
+            }
+        };
+        let output_skew = result.data().skew();
+        Ok(ExecutionResult {
+            output: result.gather(),
+            cost: cluster.report(),
+            plan,
+            output_skew,
+            trace: cluster.take_trace(),
+        })
+    }
+}
+
+/// Run a specific algorithm, checking that the query's shape admits it.
+fn run_forced<S: Semiring>(
+    cluster: &mut Cluster,
+    kind: PlanKind,
+    q: &TreeQuery,
+    rels: &[DistRelation<S>],
+) -> Result<DistRelation<S>, MpcError> {
+    let shape = classify(q);
+    match (kind, shape) {
+        (PlanKind::FreeConnexYannakakis, _) => Ok(distributed_yannakakis(cluster, q, rels)),
+        (PlanKind::Tree, _) => Ok(tree_query(cluster, q, rels)),
+        (PlanKind::MatMul, Shape::MatMul { r1, r2, .. }) => {
+            Ok(matmul(cluster, &rels[r1], &rels[r2]).0)
+        }
+        (PlanKind::Line, Shape::Line { edges, attrs }) => {
+            let chain: Vec<DistRelation<S>> = edges.iter().map(|&e| rels[e].clone()).collect();
+            Ok(line_query(cluster, &chain, &attrs))
+        }
+        (PlanKind::Star, Shape::Star { center, arms }) => {
+            let ordered: Vec<DistRelation<S>> = arms.iter().map(|&e| rels[e].clone()).collect();
+            let endpoints: Vec<Attr> = arms.iter().map(|&e| q.edges()[e].other(center)).collect();
+            Ok(star_query(cluster, &ordered, center, &endpoints))
+        }
+        (PlanKind::StarLike, Shape::StarLike(_)) => Ok(star_like_query(cluster, q, rels)),
+        (kind, shape) => Err(MpcError::UnsupportedPlan(format!(
+            "forced plan {kind:?} does not apply to this query (classified as {shape:?})"
+        ))),
+    }
+}
+
 /// Result of executing a query on the simulated cluster.
 pub struct ExecutionResult<S: Semiring> {
     /// The query output over `q.output()` (sorted attribute order).
@@ -38,6 +201,37 @@ pub struct ExecutionResult<S: Semiring> {
     /// Placement skew of the distributed output before gathering
     /// (max / mean tuples per server; 1.0 is perfectly balanced).
     pub output_skew: f64,
+    /// The round-level execution trace, when the engine ran with
+    /// [`QueryEngine::trace`] enabled.
+    pub trace: Option<Trace>,
+}
+
+impl<S: Semiring> fmt::Debug for ExecutionResult<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecutionResult")
+            .field("plan", &self.plan)
+            .field("cost", &self.cost)
+            .field("output_rows", &self.output.len())
+            .field("output_skew", &self.output_skew)
+            .field("traced", &self.trace.is_some())
+            .finish()
+    }
+}
+
+impl<S: Semiring> fmt::Display for ExecutionResult<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "plan: {:?}   load: {}   rounds: {}   traffic: {}   elapsed: {:.3?}   skew: {:.2}   output rows: {}",
+            self.plan,
+            self.cost.load,
+            self.cost.rounds,
+            self.cost.total_units,
+            self.cost.elapsed,
+            self.output_skew,
+            self.output.len(),
+        )
+    }
 }
 
 /// Evaluate `q` on an already-populated cluster; returns the distributed
@@ -79,69 +273,43 @@ pub fn execute_on<S: Semiring>(
 /// End-to-end convenience: place `instance` on a fresh `p`-server
 /// cluster, execute `q` with the paper's algorithms, and gather the
 /// output plus the measured cost.
+#[deprecated(note = "use `QueryEngine::new(p).run(q, instance)`")]
 pub fn execute<S: Semiring>(
     p: usize,
     q: &TreeQuery,
     instance: &[Relation<S>],
 ) -> ExecutionResult<S> {
-    execute_with(Cluster::new(p), q, instance)
+    QueryEngine::new(p)
+        .run(q, instance)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// [`execute`] with an explicit worker-thread count for per-server local
-/// computation. Results and measured costs are identical to [`execute`]
-/// for every thread count (see `mpcjoin_mpc::exec`); only the wall-clock
-/// `elapsed` in the cost report changes.
+/// computation.
+#[deprecated(note = "use `QueryEngine::new(p).threads(n).run(q, instance)`")]
 pub fn execute_threaded<S: Semiring>(
     p: usize,
     threads: usize,
     q: &TreeQuery,
     instance: &[Relation<S>],
 ) -> ExecutionResult<S> {
-    execute_with(Cluster::with_threads(p, threads), q, instance)
+    QueryEngine::new(p)
+        .threads(threads)
+        .run(q, instance)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
-fn execute_with<S: Semiring>(
-    mut cluster: Cluster,
-    q: &TreeQuery,
-    instance: &[Relation<S>],
-) -> ExecutionResult<S> {
-    validate_instance(q, instance);
-    let dist: Vec<DistRelation<S>> = instance
-        .iter()
-        .map(|r| DistRelation::scatter(&cluster, r))
-        .collect();
-    let (result, plan) = execute_on(&mut cluster, q, &dist);
-    let output_skew = result.data().skew();
-    ExecutionResult {
-        output: result.gather(),
-        cost: cluster.report(),
-        plan,
-        output_skew,
-    }
-}
-
-/// End-to-end baseline: the distributed Yannakakis algorithm (§1.4), for
-/// comparison against [`execute`].
+/// End-to-end baseline: the distributed Yannakakis algorithm (§1.4).
+#[deprecated(note = "use `QueryEngine::new(p).plan(PlanChoice::Baseline).run(q, instance)`")]
 pub fn execute_baseline<S: Semiring>(
     p: usize,
     q: &TreeQuery,
     instance: &[Relation<S>],
 ) -> ExecutionResult<S> {
-    validate_instance(q, instance);
-    let mut cluster = Cluster::new(p);
-    let dist: Vec<DistRelation<S>> = instance
-        .iter()
-        .map(|r| DistRelation::scatter(&cluster, r))
-        .collect();
-    let output: Vec<Attr> = q.output().iter().copied().collect();
-    let result = normalize(distributed_yannakakis(&mut cluster, q, &dist), &output);
-    let output_skew = result.data().skew();
-    ExecutionResult {
-        output: result.gather(),
-        cost: cluster.report(),
-        plan: PlanKind::FreeConnexYannakakis,
-        output_skew,
-    }
+    QueryEngine::new(p)
+        .plan(PlanChoice::Baseline)
+        .run(q, instance)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Sequential reference evaluation (the oracle), projected onto the
@@ -157,7 +325,7 @@ fn normalize<S: Semiring>(rel: DistRelation<S>, output: &[Attr]) -> DistRelation
     if rel.schema() == &target {
         return rel;
     }
-    let pos = rel.positions_of(output);
+    let pos = rel.schema().positions_of(output);
     let data = rel
         .data()
         .clone()
@@ -181,18 +349,19 @@ mod tests {
     }
 
     #[test]
-    fn execute_matches_sequential_and_reports_plan() {
+    fn engine_matches_sequential_and_reports_plan() {
         let q = mm_query();
         let rels = vec![
             Relation::<Count>::binary_ones(A, B, (0..50u64).map(|i| (i % 10, i % 7))),
             Relation::<Count>::binary_ones(B, C, (0..50u64).map(|i| (i % 7, i % 12))),
         ];
-        let result = execute(8, &q, &rels);
+        let result = QueryEngine::new(8).run(&q, &rels).unwrap();
         assert_eq!(result.plan, PlanKind::MatMul);
         assert!(result
             .output
             .semantically_eq(&execute_sequential(&q, &rels)));
         assert!(result.cost.rounds > 0);
+        assert!(result.trace.is_none(), "tracing is off by default");
     }
 
     #[test]
@@ -206,9 +375,13 @@ mod tests {
             Relation::<Count>::binary_ones(B, C, (0..40u64).map(|i| (i % 5, i % 6))),
             Relation::<Count>::binary_ones(C, D, (0..40u64).map(|i| (i % 6, i % 9))),
         ];
-        let new = execute(8, &q, &rels);
-        let base = execute_baseline(8, &q, &rels);
+        let new = QueryEngine::new(8).run(&q, &rels).unwrap();
+        let base = QueryEngine::new(8)
+            .plan(PlanChoice::Baseline)
+            .run(&q, &rels)
+            .unwrap();
         assert_eq!(new.plan, PlanKind::Line);
+        assert_eq!(base.plan, PlanKind::FreeConnexYannakakis);
         assert!(new.output.semantically_eq(&base.output));
     }
 
@@ -219,7 +392,7 @@ mod tests {
             Relation::<Count>::binary_ones(A, B, [(1, 2)]),
             Relation::<Count>::binary_ones(B, C, [(2, 3)]),
         ];
-        let result = execute(4, &q, &rels);
+        let result = QueryEngine::new(4).run(&q, &rels).unwrap();
         assert_eq!(result.plan, PlanKind::FreeConnexYannakakis);
         assert_eq!(result.output.len(), 1);
     }
@@ -235,10 +408,95 @@ mod tests {
             Relation::<Count>::binary_ones(B, D, (0..20u64).map(|i| (i % 5, i % 3))),
             Relation::<Count>::binary_ones(C, D, (0..20u64).map(|i| (i % 4, i % 3))),
         ];
-        let result = execute(8, &q, &rels);
+        let result = QueryEngine::new(8).run(&q, &rels).unwrap();
         assert_eq!(result.plan, PlanKind::Star);
         assert!(result
             .output
             .semantically_eq(&execute_sequential(&q, &rels)));
+    }
+
+    #[test]
+    fn invalid_instance_is_an_error_not_a_panic() {
+        let q = mm_query();
+        let rels = vec![Relation::<Count>::binary_ones(A, B, [(1, 2)])];
+        let err = QueryEngine::new(4).run(&q, &rels).unwrap_err();
+        assert!(matches!(err, MpcError::InvalidInstance(_)));
+        assert!(err.to_string().contains("one relation per edge"));
+    }
+
+    #[test]
+    fn forced_plan_runs_or_errors_by_shape() {
+        let q = mm_query();
+        let rels = vec![
+            Relation::<Count>::binary_ones(A, B, (0..30u64).map(|i| (i % 9, i % 4))),
+            Relation::<Count>::binary_ones(B, C, (0..30u64).map(|i| (i % 4, i % 8))),
+        ];
+        let oracle = execute_sequential(&q, &rels);
+        // Tree and the baseline apply to every tree query; MatMul matches
+        // this shape; Star does not.
+        for choice in [
+            PlanKind::MatMul,
+            PlanKind::Tree,
+            PlanKind::FreeConnexYannakakis,
+        ] {
+            let r = QueryEngine::new(4)
+                .plan(PlanChoice::Force(choice))
+                .run(&q, &rels)
+                .unwrap();
+            assert_eq!(r.plan, choice);
+            assert!(r.output.semantically_eq(&oracle), "plan {choice:?}");
+        }
+        let err = QueryEngine::new(4)
+            .plan(PlanChoice::Force(PlanKind::Star))
+            .run(&q, &rels)
+            .unwrap_err();
+        assert!(matches!(err, MpcError::UnsupportedPlan(_)));
+    }
+
+    #[test]
+    fn traced_run_costs_match_untraced() {
+        let q = mm_query();
+        let rels = vec![
+            Relation::<Count>::binary_ones(A, B, (0..60u64).map(|i| (i % 12, i % 7))),
+            Relation::<Count>::binary_ones(B, C, (0..60u64).map(|i| (i % 7, i % 11))),
+        ];
+        let plain = QueryEngine::new(8).run(&q, &rels).unwrap();
+        let traced = QueryEngine::new(8).trace(true).run(&q, &rels).unwrap();
+        assert_eq!(plain.cost, traced.cost, "tracing must not perturb costs");
+        let trace = traced.trace.expect("trace requested");
+        assert_eq!(trace.cost, traced.cost);
+        assert_eq!(trace.report().critical.unwrap().units, traced.cost.load);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        // Compatibility: the old free functions keep their semantics
+        // (including panicking on bad input) until they are removed.
+        let q = mm_query();
+        let rels = vec![
+            Relation::<Count>::binary_ones(A, B, [(1, 10), (2, 10)]),
+            Relation::<Count>::binary_ones(B, C, [(10, 5)]),
+        ];
+        let old = execute(4, &q, &rels);
+        let new = QueryEngine::new(4).run(&q, &rels).unwrap();
+        assert!(old.output.semantically_eq(&new.output));
+        assert_eq!(old.cost, new.cost);
+        let threaded = execute_threaded(4, 2, &q, &rels);
+        assert_eq!(threaded.cost, new.cost);
+        let base = execute_baseline(4, &q, &rels);
+        assert!(base.output.semantically_eq(&new.output));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "does not match edge")]
+    fn deprecated_wrappers_keep_panicking_on_bad_input() {
+        let q = mm_query();
+        let rels = vec![
+            Relation::<Count>::binary_ones(A, C, [(1, 10)]),
+            Relation::<Count>::binary_ones(B, C, [(10, 5)]),
+        ];
+        let _ = execute(4, &q, &rels);
     }
 }

@@ -5,7 +5,7 @@
 //! instances — the same machinery drives this repository's differential
 //! soak tester (`cargo run -p mpcjoin-bench --bin differential`).
 
-use crate::planner::{execute, execute_baseline, execute_sequential, PlanKind};
+use crate::planner::{execute_sequential, PlanChoice, PlanKind, QueryEngine};
 use mpcjoin_mpc::CostReport;
 use mpcjoin_query::TreeQuery;
 use mpcjoin_relation::Relation;
@@ -44,8 +44,13 @@ pub fn verify_instance<S: Semiring>(
     instance: &[Relation<S>],
 ) -> Verification<S> {
     let oracle = execute_sequential(q, instance);
-    let engine = execute(p, q, instance);
-    let baseline = execute_baseline(p, q, instance);
+    let engine = QueryEngine::new(p)
+        .run(q, instance)
+        .unwrap_or_else(|e| panic!("{e}"));
+    let baseline = QueryEngine::new(p)
+        .plan(PlanChoice::Baseline)
+        .run(q, instance)
+        .unwrap_or_else(|e| panic!("{e}"));
     Verification {
         plan: engine.plan,
         engine_matches_oracle: engine.output.semantically_eq(&oracle),

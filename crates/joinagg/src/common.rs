@@ -34,7 +34,7 @@ pub fn combine_columns<S: Semiring>(
     code_attr: Attr,
 ) -> Combined<S> {
     assert!(!cols.is_empty());
-    let pos = rel.positions_of(cols);
+    let pos = rel.schema().positions_of(cols);
     let kept: Vec<Attr> = rel
         .schema()
         .attrs()
@@ -42,7 +42,7 @@ pub fn combine_columns<S: Semiring>(
         .copied()
         .filter(|a| !cols.contains(a))
         .collect();
-    let kept_pos = rel.positions_of(&kept);
+    let kept_pos = rel.schema().positions_of(&kept);
 
     // Rank distinct combinations: dedupe, sort, exclusive prefix count.
     let combos = rel.distinct(cluster, cols);
@@ -92,7 +92,7 @@ pub fn expand_column<S: Semiring>(
     target: &[Attr],
     decode: Distributed<(Value, Row)>,
 ) -> DistRelation<S> {
-    let code_pos = rel.positions_of(&[code_attr])[0];
+    let code_pos = rel.schema().positions_of(&[code_attr])[0];
     let catalog = decode.map(|(code, row)| (code, row));
     let with_combo = lookup_exact(
         cluster,
@@ -134,7 +134,7 @@ pub fn union_aggregate<S: Semiring>(
             frag
         } else {
             // Reorder columns to the target schema.
-            let pos = frag.positions_of(schema.attrs());
+            let pos = frag.schema().positions_of(schema.attrs());
             let data = frag
                 .data()
                 .clone()

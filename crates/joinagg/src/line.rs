@@ -43,6 +43,7 @@ pub fn line_query<S: Semiring>(
     }
 
     // Remove dangling tuples over the whole chain.
+    cluster.mark_phase("line: dangling removal");
     let q = TreeQuery::new(
         (0..n)
             .map(|i| Edge::binary(attrs[i], attrs[i + 1]))
@@ -55,10 +56,12 @@ pub fn line_query<S: Semiring>(
     }
 
     // Constant-factor OUT approximation (§2.2).
+    cluster.mark_phase("line: §2.2 OUT estimation");
     let est = estimate_out_chain_default(cluster, &reduced.iter().collect::<Vec<_>>(), attrs);
     let threshold = ((est.total.max(1) as f64).sqrt().ceil() as u64).max(1);
 
     // Step 1: classify A2 values by R1-degree.
+    cluster.mark_phase("line: heavy/light classification");
     let deg_a2 = reduced[0].degrees(cluster, attrs[1]);
     let heavy_catalog = deg_a2.map_local(move |_, items| {
         items
@@ -87,6 +90,7 @@ pub fn line_query<S: Semiring>(
     let mut fragments = Vec::new();
 
     // --- Step 2: Q^heavy. ---
+    cluster.mark_phase("line: Q^heavy");
     let r1_heavy = split(cluster, &reduced[0], true);
     let r2_heavy = split(cluster, &reduced[1], true);
     if !r1_heavy.is_empty() && !r2_heavy.is_empty() {
@@ -111,6 +115,7 @@ pub fn line_query<S: Semiring>(
     }
 
     // --- Step 3: Q^light. ---
+    cluster.mark_phase("line: Q^light");
     let r1_light = split(cluster, &reduced[0], false);
     let r2_light = split(cluster, &reduced[1], false);
     if !r1_light.is_empty() && !r2_light.is_empty() {
@@ -128,6 +133,7 @@ pub fn line_query<S: Semiring>(
     }
 
     // --- Step 4: aggregate the two subqueries. ---
+    cluster.mark_phase("line: combine fragments");
     union_aggregate(cluster, out_schema, fragments)
 }
 
@@ -139,7 +145,7 @@ pub(crate) fn reorder_binary<S: Semiring>(
     if rel.schema() == target {
         return rel;
     }
-    let pos = rel.positions_of(target.attrs());
+    let pos = rel.schema().positions_of(target.attrs());
     let data = rel
         .data()
         .clone()

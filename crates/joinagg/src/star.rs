@@ -40,6 +40,7 @@ pub fn star_query<S: Semiring>(
     }
 
     // Dangling removal: afterwards every b appears in all n relations.
+    cluster.mark_phase("star: dangling removal");
     let q = TreeQuery::new(
         (0..n).map(|i| Edge::binary(endpoints[i], center)).collect(),
         endpoints.iter().copied(),
@@ -50,6 +51,7 @@ pub fn star_query<S: Semiring>(
     }
 
     // --- Step 1: per-b degree vectors and permutation classes. ---
+    cluster.mark_phase("star: permutation classes");
     let p = cluster.p();
     let mut deg_parts: Vec<Vec<(Value, Vec<u64>)>> = vec![Vec::new(); p];
     for (i, rel) in reduced.iter().enumerate() {
@@ -122,6 +124,7 @@ pub fn star_query<S: Semiring>(
     };
 
     // --- Steps 2–3: one matrix multiplication per class. ---
+    cluster.mark_phase("star: per-class multiplications");
     let code_o = fresh_attr(endpoints.iter().copied().chain([center]));
     let code_e = Attr(code_o.0 + 1);
     let mut fragments = Vec::new();
@@ -178,6 +181,7 @@ pub fn star_query<S: Semiring>(
     }
 
     // --- Final aggregation across classes. ---
+    cluster.mark_phase("star: combine fragments");
     union_aggregate(cluster, out_schema, fragments)
 }
 

@@ -44,12 +44,14 @@ pub fn star_like_query<S: Semiring>(
     let endpoints: Vec<Attr> = shape.arms.iter().map(Arm::endpoint).collect();
     let out_schema = Schema::new(endpoints.clone());
 
+    cluster.mark_phase("starlike: dangling removal");
     let reduced = remove_dangling(cluster, q, rels);
     if reduced.iter().any(DistRelation::is_empty) {
         return DistRelation::empty(cluster, out_schema);
     }
 
     // --- Step 1: per-b arm degrees d_i(b). ---
+    cluster.mark_phase("starlike: arm degree statistics");
     let p = cluster.p();
     let mut deg_parts: Vec<Vec<(Value, Vec<u64>)>> = vec![Vec::new(); p];
     for (i, arm) in shape.arms.iter().enumerate() {
@@ -126,6 +128,7 @@ pub fn star_like_query<S: Semiring>(
     let code_1 = fresh_attr(q.attrs());
     let code_2 = Attr(code_1.0 + 1);
 
+    cluster.mark_phase("starlike: per-class subqueries");
     let mut fragments = Vec::new();
     for &class in &classes {
         let small = class % 2 == 0;
@@ -228,6 +231,7 @@ pub fn star_like_query<S: Semiring>(
         }
     }
 
+    cluster.mark_phase("starlike: combine fragments");
     union_aggregate(cluster, out_schema, fragments)
 }
 
@@ -419,7 +423,7 @@ mod tests {
         rel: DistRelation<SR>,
         target: &Schema,
     ) -> DistRelation<SR> {
-        let pos = rel.positions_of(target.attrs());
+        let pos = rel.schema().positions_of(target.attrs());
         let data = rel
             .data()
             .clone()

@@ -54,12 +54,14 @@ pub fn tree_query<S: Semiring>(
         return rels[0].project_aggregate(cluster, &output);
     }
 
+    cluster.mark_phase("tree: dangling removal");
     let reduced_input = remove_dangling(cluster, q, rels);
     if reduced_input.iter().any(DistRelation::is_empty) {
         return DistRelation::empty(cluster, out_schema);
     }
 
     // --- Reduce: fold removable relations into neighbours. ---
+    cluster.mark_phase("tree: fold removable relations");
     let plan = plan_reduction(q);
     let mut working: Vec<Option<DistRelation<S>>> = reduced_input.into_iter().map(Some).collect();
     for step in &plan.steps {
@@ -81,6 +83,7 @@ pub fn tree_query<S: Semiring>(
     let rq = rq.with_output(output.iter().copied().filter(|a| rq.attrs().contains(a)));
 
     // --- Twig decomposition and per-twig evaluation. ---
+    cluster.mark_phase("tree: per-twig evaluation");
     let twigs = decompose_twigs(&rq);
     let mut results: Vec<DistRelation<S>> = Vec::with_capacity(twigs.len());
     for twig in &twigs {
@@ -93,6 +96,7 @@ pub fn tree_query<S: Semiring>(
     }
 
     // --- Combine twigs: everything left is an output attribute. ---
+    cluster.mark_phase("tree: combine twigs");
     let mut acc = results.swap_remove(0);
     while !results.is_empty() {
         if acc.is_empty() {
@@ -153,12 +157,14 @@ fn general_twig<S: Semiring>(
     let sk = skeleton(q).expect("general twig has |V*| ≥ 2");
     let roots: Vec<Attr> = sk.contracted.iter().map(|c| c.b).collect();
 
+    cluster.mark_phase("twig: dangling removal");
     let reduced = remove_dangling(cluster, q, rels);
     if reduced.iter().any(DistRelation::is_empty) {
         return DistRelation::empty(cluster, out_schema);
     }
 
     // --- Step 1: x(b) per contracted part, y(b) per root (Algorithm 1).
+    cluster.mark_phase("twig: Algorithm-1 statistics");
     let mut x_stats: Vec<Distributed<(Value, u64)>> = Vec::new();
     for part in &sk.contracted {
         x_stats.push(arm_product_stats(cluster, part, &reduced));
@@ -185,6 +191,7 @@ fn general_twig<S: Semiring>(
         .collect();
 
     // --- Step 2: one subquery per heavy/light pattern over the roots. ---
+    cluster.mark_phase("twig: per-pattern subqueries");
     let m = roots.len();
     let mut fragments = Vec::new();
     for pattern in 0..(1u32 << m) {
@@ -382,7 +389,7 @@ fn estimate_out_tree<S: Semiring>(
             // m(c) = max over child values joining c.
             let catalog = child_stats.map(|(v, yv)| (vec![v], yv));
             let attached = rels[edge].attach_stat(cluster, &[child], catalog);
-            let c_pos = rels[edge].positions_of(&[c_attr])[0];
+            let c_pos = rels[edge].schema().positions_of(&[c_attr])[0];
             let pairs = attached.par_map_local(cluster, |_, items| {
                 items
                     .into_iter()

@@ -89,7 +89,7 @@ fn normalize<S: Semiring>(
     if *r.schema() == target {
         return r.clone();
     }
-    let pos = r.positions_of(&[x, y]);
+    let pos = r.schema().positions_of(&[x, y]);
     let data = r
         .data()
         .clone()

@@ -36,10 +36,10 @@ pub fn linear_sparse_mm<S: Semiring>(
         return DistRelation::empty(cluster, m.out_schema());
     }
 
-    let pos_a = r1.positions_of(&[m.a])[0];
-    let pos_b1 = r1.positions_of(&[m.b])[0];
-    let pos_b2 = r2.positions_of(&[m.b])[0];
-    let pos_c = r2.positions_of(&[m.c])[0];
+    let pos_a = r1.schema().positions_of(&[m.a])[0];
+    let pos_b1 = r1.schema().positions_of(&[m.b])[0];
+    let pos_b2 = r2.schema().positions_of(&[m.b])[0];
+    let pos_c = r2.schema().positions_of(&[m.c])[0];
 
     // Combined per-b degree over both relations.
     let mut key_parts: Vec<Vec<(Value, u64)>> = vec![Vec::new(); p];

@@ -96,7 +96,7 @@ pub fn output_sensitive_matmul<S: Semiring>(
 
     // --- Split R1 into heavy and light rows by OUT_a. ---
     let per_a_catalog = est.per_a.clone().map(|(a, e)| (vec![a], e));
-    let pos_a = r1.positions_of(&[m.a])[0];
+    let pos_a = r1.schema().positions_of(&[m.a])[0];
     let attached = r1.attach_stat(cluster, &[m.a], per_a_catalog);
     let mut heavy_parts: Vec<Vec<(Row, S)>> = vec![Vec::new(); p];
     let mut light_parts: Vec<Vec<(Row, S)>> = vec![Vec::new(); p];

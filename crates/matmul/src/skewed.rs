@@ -54,7 +54,7 @@ pub fn skewed_matmul<S: Semiring>(
     let degrees = big.degrees(cluster, outer_attr);
     let packing = parallel_packing(cluster, degrees, |(_, d)| *d, cap);
     let catalog = packing.assigned.map(|((v, _), gid)| (vec![v], gid));
-    let outer_pos = big.positions_of(&[outer_attr])[0];
+    let outer_pos = big.schema().positions_of(&[outer_attr])[0];
     let routed = lookup_exact(
         cluster,
         big.data().clone(),
@@ -77,10 +77,14 @@ pub fn skewed_matmul<S: Semiring>(
 
     // Local join-aggregate: per server, hash the (broadcast) small side by
     // B, then stream the big side.
-    let small_b = small.positions_of(&[m.b])[0];
-    let small_out = small.positions_of(&[if small_is_r1 { m.a } else { m.c }])[0];
-    let big_b = big.positions_of(&[m.b])[0];
-    let big_out = big.positions_of(&[if small_is_r1 { m.c } else { m.a }])[0];
+    let small_b = small.schema().positions_of(&[m.b])[0];
+    let small_out = small
+        .schema()
+        .positions_of(&[if small_is_r1 { m.a } else { m.c }])[0];
+    let big_b = big.schema().positions_of(&[m.b])[0];
+    let big_out = big
+        .schema()
+        .positions_of(&[if small_is_r1 { m.c } else { m.a }])[0];
 
     let data = big_grouped.map_local(|server, local| {
         let mut by_b: HashMap<u64, Vec<(u64, S)>> = HashMap::new();

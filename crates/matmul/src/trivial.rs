@@ -31,10 +31,14 @@ pub fn trivial_matmul<S: Semiring>(
     };
 
     let everywhere = tiny.broadcast(cluster);
-    let tiny_pos_b = tiny.positions_of(&[m.b])[0];
-    let tiny_pos_out = tiny.positions_of(&[if tiny_is_r1 { m.a } else { m.c }])[0];
-    let big_pos_b = big.positions_of(&[m.b])[0];
-    let big_pos_out = big.positions_of(&[if tiny_is_r1 { m.c } else { m.a }])[0];
+    let tiny_pos_b = tiny.schema().positions_of(&[m.b])[0];
+    let tiny_pos_out = tiny
+        .schema()
+        .positions_of(&[if tiny_is_r1 { m.a } else { m.c }])[0];
+    let big_pos_b = big.schema().positions_of(&[m.b])[0];
+    let big_pos_out = big
+        .schema()
+        .positions_of(&[if tiny_is_r1 { m.c } else { m.a }])[0];
 
     let out = big.data().clone().map_local(|server, local| {
         let small: &Vec<(Row, S)> = everywhere.data().local(server);

@@ -115,10 +115,10 @@ pub fn wco_matmul<S: Semiring>(
     }
     let catalog = Distributed::from_parts(catalog_parts);
 
-    let pos_a = r1.positions_of(&[m.a])[0];
-    let pos_b1 = r1.positions_of(&[m.b])[0];
-    let pos_b2 = r2.positions_of(&[m.b])[0];
-    let pos_c = r2.positions_of(&[m.c])[0];
+    let pos_a = r1.schema().positions_of(&[m.a])[0];
+    let pos_b1 = r1.schema().positions_of(&[m.b])[0];
+    let pos_b2 = r2.schema().positions_of(&[m.b])[0];
+    let pos_c = r2.schema().positions_of(&[m.c])[0];
 
     let mut tagged_parts: Vec<Vec<(u8, Row, S)>> = vec![Vec::new(); p];
     for (i, local) in r1.data().iter() {

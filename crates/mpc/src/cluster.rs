@@ -1,9 +1,11 @@
 //! The simulated MPC cluster.
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use crate::cost::{CostReport, CostTracker, SharedTracker};
+use crate::cost::{CostReport, CostTracker, PhaseReport, SharedTracker};
 use crate::exec::{self, ExecBackend};
+use crate::trace::{EventKind, Trace};
 
 /// Data distributed across the servers of one [`Cluster`]: `data[i]` is the
 /// local state of logical server `i`.
@@ -119,7 +121,7 @@ impl<T> Distributed<T> {
         F: Fn(usize, Vec<T>) -> Vec<U> + Sync,
     {
         Distributed {
-            data: exec::par_map_parts(cluster.backend(), self.data, f),
+            data: cluster.par_map_parts(self.data, f),
         }
     }
 
@@ -215,12 +217,64 @@ impl Cluster {
     /// collect results in index order. `task` must be pure local
     /// computation (no cluster access — exchanges stay on the driver
     /// thread), which is what makes results backend-independent.
+    ///
+    /// When tracing is on, the span's wall clock is recorded as a
+    /// [`crate::trace::ComputeSpan`] under the current operation scope.
     pub fn par_run<R, F>(&self, n: usize, task: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
-        exec::par_run(self.backend.as_ref(), n, task)
+        if !self.tracing_enabled() {
+            return exec::par_run(self.backend.as_ref(), n, task);
+        }
+        let start = Instant::now();
+        let out = exec::par_run(self.backend.as_ref(), n, task);
+        self.tracker
+            .borrow_mut()
+            .record_compute(self.round, n, start.elapsed());
+        out
+    }
+
+    /// Transform per-server parts on the execution backend (slot `i`
+    /// becomes `f(i, parts[i])`), timing the span when tracing is on.
+    pub fn par_map_parts<T, U, F>(&self, parts: Vec<Vec<T>>, f: F) -> Vec<Vec<U>>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(usize, Vec<T>) -> Vec<U> + Sync,
+    {
+        if !self.tracing_enabled() {
+            return exec::par_map_parts(self.backend.as_ref(), parts, f);
+        }
+        let n = parts.len();
+        let start = Instant::now();
+        let out = exec::par_map_parts(self.backend.as_ref(), parts, f);
+        self.tracker
+            .borrow_mut()
+            .record_compute(self.round, n, start.elapsed());
+        out
+    }
+
+    /// Consume per-server parts into one result each on the execution
+    /// backend (slot `i` becomes `f(i, parts[i])`), timing the span when
+    /// tracing is on.
+    pub fn par_consume<T, R, F>(&self, parts: Vec<Vec<T>>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, Vec<T>) -> R + Sync,
+    {
+        if !self.tracing_enabled() {
+            return exec::par_consume_parts(self.backend.as_ref(), parts, f);
+        }
+        let n = parts.len();
+        let start = Instant::now();
+        let out = exec::par_consume_parts(self.backend.as_ref(), parts, f);
+        self.tracker
+            .borrow_mut()
+            .record_compute(self.round, n, start.elapsed());
+        out
     }
 
     /// Number of logical servers in this (sub-)cluster.
@@ -247,8 +301,40 @@ impl Cluster {
 
     /// Per-phase cost summaries for the whole run (labels from
     /// [`Cluster::mark_phase`]).
-    pub fn phase_reports(&self) -> Vec<(String, CostReport)> {
+    pub fn phase_reports(&self) -> Vec<PhaseReport> {
         self.tracker.borrow().phase_reports()
+    }
+
+    /// Start recording an execution trace on this cluster's ledger (see
+    /// [`crate::trace`]). Call on the top-level cluster *before* running
+    /// an algorithm so every exchange is captured; sub-clusters created by
+    /// [`Cluster::split`] share the recording. Idempotent.
+    pub fn enable_tracing(&mut self) {
+        let servers = self.phys.iter().copied().max().map_or(1, |m| m + 1);
+        self.tracker.borrow_mut().enable_tracing(servers);
+    }
+
+    /// Whether this cluster's ledger is recording a trace.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracker.borrow().tracing_enabled()
+    }
+
+    /// Stop tracing and return the finalized [`Trace`] (`None` if tracing
+    /// was never enabled).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.tracker.borrow_mut().take_trace()
+    }
+
+    /// Open a named operation scope for trace labeling; the scope closes
+    /// when the returned guard drops. Scopes nest — an event recorded
+    /// inside `op("semijoin")` → `op("sort")` is labeled
+    /// `"semijoin/sort"`. Free when tracing is off.
+    #[must_use = "the scope closes when the guard drops; bind it with `let _op = …`"]
+    pub fn op(&self, label: &str) -> OpScope {
+        let pushed = self.tracker.borrow_mut().push_op(label);
+        OpScope {
+            tracker: pushed.then(|| self.tracker.clone()),
+        }
     }
 
     /// The exchange: deliver `outboxes[src] = [(dest, item), …]` and charge
@@ -266,11 +352,33 @@ impl Cluster {
         let mut inboxes: Vec<Vec<T>> = (0..self.p()).map(|_| Vec::new()).collect();
         {
             let mut tracker = self.tracker.borrow_mut();
-            for outbox in outboxes {
-                for (dest, item) in outbox {
-                    assert!(dest < self.p(), "destination {dest} out of range");
-                    tracker.credit(self.phys[dest], self.round, 1);
-                    inboxes[dest].push(item);
+            if tracker.tracing_enabled() {
+                // Traced path: build the physical traffic matrix, then
+                // credit each destination its column sum. u64 addition is
+                // commutative, so the ledger cells — and every CostReport
+                // derived from them — are identical to the untraced path.
+                let n = tracker.trace_servers();
+                let mut traffic = vec![vec![0u64; n]; n];
+                for (src, outbox) in outboxes.into_iter().enumerate() {
+                    let src_phys = self.phys[src];
+                    for (dest, item) in outbox {
+                        assert!(dest < self.p(), "destination {dest} out of range");
+                        traffic[src_phys][self.phys[dest]] += 1;
+                        inboxes[dest].push(item);
+                    }
+                }
+                for dest_phys in 0..n {
+                    let units = traffic.iter().map(|row| row[dest_phys]).sum();
+                    tracker.credit(dest_phys, self.round, units);
+                }
+                tracker.record_event(self.round, EventKind::Exchange, traffic);
+            } else {
+                for outbox in outboxes {
+                    for (dest, item) in outbox {
+                        assert!(dest < self.p(), "destination {dest} out of range");
+                        tracker.credit(self.phys[dest], self.round, 1);
+                        inboxes[dest].push(item);
+                    }
                 }
             }
         }
@@ -288,6 +396,19 @@ impl Cluster {
             let mut tracker = self.tracker.borrow_mut();
             for dest in 0..self.p() {
                 tracker.credit(self.phys[dest], self.round, units);
+            }
+            if tracker.tracing_enabled() {
+                // Every logical server ships its local items to every
+                // logical destination; column sums reproduce the per-dest
+                // credits above (oversubscribed slots stack, as charged).
+                let n = tracker.trace_servers();
+                let mut traffic = vec![vec![0u64; n]; n];
+                for (src, local) in data.iter() {
+                    for dest in 0..self.p() {
+                        traffic[self.phys[src]][self.phys[dest]] += local.len() as u64;
+                    }
+                }
+                tracker.record_event(self.round, EventKind::Broadcast, traffic);
             }
         }
         self.round += 1;
@@ -367,6 +488,21 @@ impl Cluster {
     /// conditional branches round-aligned when required).
     pub fn skip_rounds(&mut self, n: u64) {
         self.round += n;
+    }
+}
+
+/// RAII guard for a trace labeling scope, returned by [`Cluster::op`];
+/// dropping it closes the scope. Holds nothing when tracing is off.
+#[derive(Debug)]
+pub struct OpScope {
+    tracker: Option<SharedTracker>,
+}
+
+impl Drop for OpScope {
+    fn drop(&mut self) {
+        if let Some(tracker) = &self.tracker {
+            tracker.borrow_mut().pop_op();
+        }
     }
 }
 
@@ -488,6 +624,85 @@ mod tests {
         assert!((hot.skew() - 1.8).abs() < 1e-12);
         let empty: Distributed<u8> = Distributed::empty(4);
         assert!((empty.skew() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traced_exchange_matches_untraced_costs() {
+        let route = |c: &mut Cluster| {
+            let out = vec![vec![(2, "a"), (2, "b")], vec![(0, "c")], vec![]];
+            let _ = c.exchange(out);
+            let d = c.scatter_initial(vec![1u8, 2]);
+            let _ = c.broadcast(&d);
+        };
+        let mut plain = Cluster::new(3);
+        route(&mut plain);
+        let mut traced = Cluster::new(3);
+        traced.enable_tracing();
+        route(&mut traced);
+        assert_eq!(plain.report(), traced.report());
+        let trace = traced.take_trace().expect("tracing was on");
+        assert_eq!(trace.cost, plain.report());
+        assert_eq!(trace.events.len(), 2);
+        // Event 0: exchange; received = [1, 0, 2].
+        assert_eq!(trace.events[0].received, vec![1, 0, 2]);
+        assert_eq!(trace.events[0].traffic[0][2], 2);
+        // Event 1: broadcast of 2 items to all 3 servers.
+        assert_eq!(trace.events[1].received, vec![2, 2, 2]);
+        // Critical cell matches the measured load.
+        let critical = trace.critical_round().expect("has traffic");
+        assert_eq!(critical.units, trace.cost.load);
+    }
+
+    #[test]
+    fn op_scopes_nest_and_label_events() {
+        let mut c = Cluster::new(2);
+        c.enable_tracing();
+        {
+            let _outer = c.op("semijoin");
+            {
+                let _inner = c.op("sort");
+                let _ = c.exchange(vec![vec![(1, ())], vec![]]);
+            }
+            let _ = c.exchange(vec![vec![(0, ())], vec![]]);
+        }
+        c.mark_phase("late");
+        let _ = c.exchange(vec![vec![(1, ())], vec![]]);
+        let trace = c.take_trace().unwrap();
+        let labels: Vec<&str> = trace.events.iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, vec!["semijoin/sort", "semijoin", "(unlabeled)"]);
+        let phases: Vec<&str> = trace.events.iter().map(|e| e.phase.as_str()).collect();
+        assert_eq!(phases, vec!["(preamble)", "(preamble)", "late"]);
+    }
+
+    #[test]
+    fn oversubscribed_trace_stacks_like_ledger() {
+        let mut parent = Cluster::new(2);
+        parent.enable_tracing();
+        let mut children = parent.split(&[1, 1, 1, 1]);
+        for child in &mut children {
+            let _ = child.exchange(vec![vec![(0, ())]]);
+        }
+        parent.join_parallel(&children);
+        let trace = parent.take_trace().unwrap();
+        // Children 0 and 2 share physical server 0: the trace's cell view
+        // must stack exactly as the ledger did.
+        assert_eq!(trace.cost.load, 2);
+        assert_eq!(trace.critical_round().unwrap().units, 2);
+        assert_eq!(trace.per_server(), vec![2, 2]);
+    }
+
+    #[test]
+    fn compute_spans_record_task_counts() {
+        let mut c = Cluster::with_threads(3, 2);
+        c.enable_tracing();
+        let _op = c.op("map");
+        let squares = c.par_run(3, |i| i * i);
+        assert_eq!(squares, vec![0, 1, 4]);
+        drop(_op);
+        let trace = c.take_trace().unwrap();
+        assert_eq!(trace.compute.len(), 1);
+        assert_eq!(trace.compute[0].tasks, 3);
+        assert_eq!(trace.compute[0].label, "map");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! [`crate::Cluster::exchange`] credits incoming units to a
 //! `(physical server, round)` cell, and [`CostReport`] summarizes the run.
 
+use crate::trace::{ComputeSpan, EventKind, Trace, TraceEvent, TraceLog};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -29,6 +30,10 @@ pub struct CostTracker {
     /// from here. Wall-clock time is *instrumentation only* — it never
     /// feeds back into loads or routing, which stay deterministic.
     started: Instant,
+    /// Execution trace recording state; `None` (the default) disables
+    /// tracing entirely — the ledger then takes the exact pre-trace code
+    /// paths and pays nothing. See [`crate::trace`].
+    trace: Option<TraceLog>,
 }
 
 impl Default for CostTracker {
@@ -39,6 +44,7 @@ impl Default for CostTracker {
             total_units: 0,
             phases: Vec::new(),
             started: Instant::now(),
+            trace: None,
         }
     }
 }
@@ -111,11 +117,116 @@ impl CostTracker {
         self.phases.push((round, label.to_string(), Instant::now()));
     }
 
+    /// Begin recording an execution trace over `servers` physical servers.
+    /// Idempotent: a second call while recording is a no-op (sub-clusters
+    /// share this ledger and must not restart their parent's trace).
+    pub fn enable_tracing(&mut self, servers: usize) {
+        if self.trace.is_none() {
+            self.trace = Some(TraceLog::new(servers));
+        }
+    }
+
+    /// Whether an execution trace is being recorded.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Physical-server dimension of the active trace (0 when disabled).
+    pub fn trace_servers(&self) -> usize {
+        self.trace.as_ref().map_or(0, |t| t.servers)
+    }
+
+    /// Push a label onto the operation-scope stack; returns whether the
+    /// push happened (i.e. tracing is on), so RAII guards know whether to
+    /// pop. See [`crate::Cluster::op`].
+    pub fn push_op(&mut self, label: &str) -> bool {
+        match &mut self.trace {
+            Some(t) => {
+                t.stack.push(label.to_string());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pop the innermost operation-scope label.
+    pub fn pop_op(&mut self) {
+        if let Some(t) = &mut self.trace {
+            t.stack.pop();
+        }
+    }
+
+    /// The phase an event recorded now would be attributed to.
+    fn current_phase(&self) -> String {
+        self.phases
+            .last()
+            .map_or_else(|| "(preamble)".to_string(), |(_, l, _)| l.clone())
+    }
+
+    /// Record one communication event from its physical-server traffic
+    /// matrix. No-op when tracing is off or the event carried no units
+    /// (mirroring the ledger, which ignores zero credits).
+    pub fn record_event(&mut self, round: u64, kind: EventKind, traffic: Vec<Vec<u64>>) {
+        let at = self.started.elapsed();
+        let phase = self.current_phase();
+        if let Some(t) = &mut self.trace {
+            let received: Vec<u64> = (0..t.servers)
+                .map(|d| traffic.iter().map(|row| row[d]).sum())
+                .collect();
+            if received.iter().all(|&u| u == 0) {
+                return;
+            }
+            let label = t.label();
+            t.events.push(TraceEvent {
+                round,
+                kind,
+                label,
+                phase,
+                received,
+                traffic,
+                at,
+            });
+        }
+    }
+
+    /// Record a timed span of backend-executed local computation. No-op
+    /// when tracing is off.
+    pub fn record_compute(&mut self, round: u64, tasks: usize, elapsed: Duration) {
+        let phase = self.current_phase();
+        if let Some(t) = &mut self.trace {
+            let label = t.label();
+            t.compute.push(ComputeSpan {
+                label,
+                phase,
+                round,
+                tasks,
+                elapsed,
+            });
+        }
+    }
+
+    /// Stop tracing and hand back the finalized [`Trace`] (ledger totals
+    /// snapshotted now). `None` if tracing was never enabled.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        let log = self.trace.take()?;
+        Some(Trace {
+            servers: log.servers,
+            cost: self.report(),
+            phases: self
+                .phases
+                .iter()
+                .map(|(r, l, _)| (*r, l.clone()))
+                .collect(),
+            events: log.events,
+            compute: log.compute,
+        })
+    }
+
     /// Per-phase summaries: for each labeled phase, the load / rounds /
     /// traffic of the half-open round span it covers. Rounds before the
     /// first mark are reported under `"(preamble)"` when they carry
     /// traffic.
-    pub fn phase_reports(&self) -> Vec<(String, CostReport)> {
+    pub fn phase_reports(&self) -> Vec<PhaseReport> {
         let now = Instant::now();
         let mut spans: Vec<(u64, u64, String, Duration)> = Vec::new();
         if let Some((first, _, at)) = self.phases.first() {
@@ -153,17 +264,43 @@ impl CostTracker {
                         total += units;
                     }
                 }
-                (
+                PhaseReport {
                     label,
-                    CostReport {
+                    span: (start, end),
+                    cost: CostReport {
                         load,
                         rounds: end - start,
                         total_units: total,
                         elapsed,
                     },
-                )
+                }
             })
             .collect()
+    }
+}
+
+/// One labeled phase of a run: its round span and the costs incurred in
+/// it. Produced by [`CostTracker::phase_reports`] /
+/// [`crate::Cluster::phase_reports`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseReport {
+    /// The label passed to [`crate::Cluster::mark_phase`] (or
+    /// `"(preamble)"` for traffic before the first mark).
+    pub label: String,
+    /// Half-open global-round span `[start, end)` the phase covers.
+    pub span: (u64, u64),
+    /// Load / rounds / traffic incurred within the span, plus the phase's
+    /// wall-clock duration.
+    pub cost: CostReport,
+}
+
+impl std::fmt::Display for PhaseReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [rounds {}..{}): {}",
+            self.label, self.span.0, self.span.1, self.cost
+        )
     }
 }
 
@@ -239,15 +376,17 @@ mod tests {
         t.credit(0, 3, 4);
         let phases = t.phase_reports();
         assert_eq!(phases.len(), 3);
-        assert_eq!(phases[0].0, "(preamble)");
-        assert_eq!(phases[0].1.load, 2);
-        assert_eq!(phases[1].0, "join");
-        assert_eq!(phases[1].1.load, 9);
-        assert_eq!(phases[1].1.total_units, 14);
-        assert_eq!(phases[2].0, "aggregate");
-        assert_eq!(phases[2].1.load, 4);
+        assert_eq!(phases[0].label, "(preamble)");
+        assert_eq!(phases[0].cost.load, 2);
+        assert_eq!(phases[0].span, (0, 1));
+        assert_eq!(phases[1].label, "join");
+        assert_eq!(phases[1].cost.load, 9);
+        assert_eq!(phases[1].cost.total_units, 14);
+        assert_eq!(phases[1].span, (1, 3));
+        assert_eq!(phases[2].label, "aggregate");
+        assert_eq!(phases[2].cost.load, 4);
         // Totals across phases cover everything.
-        let sum: u64 = phases.iter().map(|(_, r)| r.total_units).sum();
+        let sum: u64 = phases.iter().map(|p| p.cost.total_units).sum();
         assert_eq!(sum, t.total_units());
     }
 
@@ -281,6 +420,6 @@ mod tests {
         std::thread::sleep(Duration::from_millis(2));
         let phases = t.phase_reports();
         assert_eq!(phases.len(), 1);
-        assert!(phases[0].1.elapsed >= Duration::from_millis(2));
+        assert!(phases[0].cost.elapsed >= Duration::from_millis(2));
     }
 }

@@ -3,6 +3,7 @@
 //! from (§2.1 primitives lifted to relations).
 
 use crate::cluster::{Cluster, Distributed};
+use crate::error::MpcError;
 use crate::primitives::reduce::reduce_by_key;
 use crate::primitives::search::lookup_exact;
 use crate::primitives::sort::sort_by_key;
@@ -89,16 +90,26 @@ impl<S: Semiring> DistRelation<S> {
         DistRelation { schema, data }
     }
 
-    /// Positions of `attrs` in this relation's schema.
-    pub fn positions_of(&self, attrs: &[Attr]) -> Vec<usize> {
-        self.schema.positions_of(attrs)
+    /// Positions of `attrs` in this relation's schema, or
+    /// [`MpcError::MissingAttr`] for the first attribute not present.
+    /// Algorithm internals that project onto attributes they constructed
+    /// use the panicking [`Schema::positions_of`] instead (a miss there is
+    /// a bug, not an input error).
+    pub fn positions_of(&self, attrs: &[Attr]) -> Result<Vec<usize>, MpcError> {
+        self.schema
+            .try_positions_of(attrs)
+            .map_err(|attr| MpcError::MissingAttr {
+                attr,
+                schema: self.schema.to_string(),
+            })
     }
 
     /// Project each entry onto `attrs` and ⊕-combine duplicates via
     /// reduce-by-key: the distributed `∑_{ȳ}` (1 round, linear load in the
     /// input plus output).
     pub fn project_aggregate(&self, cluster: &mut Cluster, attrs: &[Attr]) -> DistRelation<S> {
-        let pos = self.positions_of(attrs);
+        let _op = cluster.op("project-aggregate");
+        let pos = self.schema.positions_of(attrs);
         let pairs = self.data.clone().map(|(row, s)| (project(&row, &pos), s));
         let reduced = reduce_by_key(cluster, pairs, |acc: &mut S, v| acc.add_assign(&v));
         let data = reduced.par_map_local(cluster, |_, items| {
@@ -121,13 +132,15 @@ impl<S: Semiring> DistRelation<S> {
 
     /// Distinct projections onto `attrs` (annotations ignored).
     pub fn distinct(&self, cluster: &mut Cluster, attrs: &[Attr]) -> Distributed<(Row, ())> {
-        let pos = self.positions_of(attrs);
+        let _op = cluster.op("distinct");
+        let pos = self.schema.positions_of(attrs);
         let keys = self.data.clone().map(|(row, _)| (project(&row, &pos), ()));
         reduce_by_key(cluster, keys, |_, _| {})
     }
 
     /// Degree of every value of `attr`: `value → |σ_{attr=v} R|`.
     pub fn degrees(&self, cluster: &mut Cluster, attr: Attr) -> Distributed<(Value, u64)> {
+        let _op = cluster.op("degrees");
         let pos = self.schema.positions_of(&[attr])[0];
         let keys = self.data.clone().map(move |(row, _)| (row[pos], 1u64));
         reduce_by_key(cluster, keys, |acc, v| *acc += v)
@@ -143,8 +156,9 @@ impl<S: Semiring> DistRelation<S> {
             !common.is_empty(),
             "distributed semijoin requires shared attributes"
         );
+        let _op = cluster.op("semijoin");
         let keys = other.distinct(cluster, &common);
-        let pos = self.positions_of(&common);
+        let pos = self.schema.positions_of(&common);
         let probed = lookup_exact(
             cluster,
             self.data.clone(),
@@ -172,7 +186,8 @@ impl<S: Semiring> DistRelation<S> {
         attrs: &[Attr],
         stats: Distributed<(Row, U)>,
     ) -> Distributed<((Row, S), Option<U>)> {
-        let pos = self.positions_of(attrs);
+        let _op = cluster.op("attach-stat");
+        let pos = self.schema.positions_of(attrs);
         lookup_exact(
             cluster,
             self.data.clone(),
@@ -184,7 +199,7 @@ impl<S: Semiring> DistRelation<S> {
     /// Sort entries by their projection onto `attrs`; equal keys land on
     /// the same or consecutive servers (3 rounds, linear load).
     pub fn sort_by_attrs(&self, cluster: &mut Cluster, attrs: &[Attr]) -> DistRelation<S> {
-        let pos = self.positions_of(attrs);
+        let pos = self.schema.positions_of(attrs);
         let data = sort_by_key(cluster, self.data.clone(), |(row, _): &(Row, S)| {
             project(row, &pos)
         });
@@ -197,6 +212,7 @@ impl<S: Semiring> DistRelation<S> {
     /// One costed round that re-spreads entries round-robin — used after
     /// heavy filtering so later steps see balanced `N/p` inputs.
     pub fn rebalance(&self, cluster: &mut Cluster) -> DistRelation<S> {
+        let _op = cluster.op("rebalance");
         let p = cluster.p();
         let mut next = 0usize;
         let outboxes: Vec<Vec<(usize, (Row, S))>> = self
@@ -328,6 +344,21 @@ mod tests {
         let mut expect = keys.clone();
         expect.sort_unstable();
         assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn positions_of_reports_missing_attr() {
+        let c = Cluster::new(2);
+        let d = DistRelation::scatter(&c, &rel(&[(1, 2, 3)]));
+        assert_eq!(d.positions_of(&[B, A]), Ok(vec![1, 0]));
+        let err = d.positions_of(&[A, C]).unwrap_err();
+        assert_eq!(
+            err,
+            MpcError::MissingAttr {
+                attr: C,
+                schema: "(x0, x1)".to_string(),
+            }
+        );
     }
 
     #[test]

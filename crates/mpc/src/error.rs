@@ -1,0 +1,61 @@
+//! The error type for fallible entry points of the simulator stack.
+//!
+//! The algorithms themselves run under validated invariants and keep
+//! panicking on internal contract violations (a panic there is a bug, not
+//! a user error); [`MpcError`] is for the *boundary* — query/instance
+//! validation, plan selection, and schema lookups on untrusted input —
+//! so that embedding applications (the CLI, services built on
+//! `QueryEngine`) can report problems instead of aborting.
+
+use mpcjoin_relation::Attr;
+use std::fmt;
+
+/// What went wrong at an engine boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MpcError {
+    /// The instance does not match the query (wrong relation count or a
+    /// schema that disagrees with its edge).
+    InvalidInstance(String),
+    /// A projection or key lookup referenced an attribute absent from the
+    /// relation's schema.
+    MissingAttr {
+        /// The attribute that was requested.
+        attr: Attr,
+        /// Rendering of the schema it was looked up in.
+        schema: String,
+    },
+    /// A forced plan cannot evaluate the given query shape.
+    UnsupportedPlan(String),
+}
+
+impl fmt::Display for MpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpcError::InvalidInstance(msg) => write!(f, "invalid instance: {msg}"),
+            MpcError::MissingAttr { attr, schema } => {
+                write!(f, "attribute {attr} not in schema {schema}")
+            }
+            MpcError::UnsupportedPlan(msg) => write!(f, "unsupported plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MpcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let e = MpcError::InvalidInstance("3 relations for 2 edges".into());
+        assert!(e.to_string().contains("invalid instance"));
+        let e = MpcError::MissingAttr {
+            attr: Attr(7),
+            schema: "(x0, x1)".into(),
+        };
+        assert!(e.to_string().contains("x7"));
+        let e = MpcError::UnsupportedPlan("Star forced on a line query".into());
+        assert!(e.to_string().contains("unsupported plan"));
+    }
+}

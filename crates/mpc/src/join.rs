@@ -18,7 +18,6 @@
 
 use crate::cluster::{Cluster, Distributed};
 use crate::drel::{project, DistRelation};
-use crate::exec;
 use crate::hash::stable_hash;
 use crate::primitives::reduce::{global_sum, reduce_by_key};
 use crate::primitives::scan::parallel_packing;
@@ -53,12 +52,14 @@ pub fn full_join<S: Semiring>(
         r1.schema(),
         r2.schema()
     );
+    let _op = cluster.op("full-join");
     let out_schema = r1.schema().join_schema(r2.schema());
     let p = cluster.p();
     let n = (r1.total_len() + r2.total_len()) as u64;
 
-    let key1 = r1.positions_of(&common);
-    let key2 = r2.positions_of(&common);
+    // `common` comes from the schemas themselves, so lookups cannot miss.
+    let key1 = r1.schema().positions_of(&common);
+    let key2 = r2.schema().positions_of(&common);
 
     // --- Per-key degree statistics (1 round). ---
     let mut stat_pairs: Vec<Vec<(Row, (u64, u64))>> = (0..p).map(|_| Vec::new()).collect();
@@ -205,7 +206,7 @@ pub fn full_join<S: Semiring>(
     // --- Route tuples to their join servers (1 round; outbox
     // construction is per-server work on the exec backend). ---
     let outboxes: Vec<Vec<(usize, (u8, Row, S))>> =
-        exec::par_map_parts(cluster.backend(), routed.into_parts(), |_, local| {
+        cluster.par_map_parts(routed.into_parts(), |_, local| {
             let mut out = Vec::new();
             for ((side, row, s), route) in local {
                 let Some(route) = route else { continue };

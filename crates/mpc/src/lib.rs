@@ -15,6 +15,10 @@
 //! * [`Distributed`] — per-server local state, manipulated freely by local
 //!   Rust code (local computation is uncosted, as in the model),
 //! * [`CostReport`] — the measured `(load, rounds, total traffic)`,
+//! * [`trace`] — opt-in round-level execution tracing
+//!   ([`Cluster::enable_tracing`]): per-exchange traffic matrices,
+//!   primitive/phase labels, and wall-clock compute spans, with a JSON
+//!   export; zero-cost when off,
 //! * [`primitives`] — the §2.1 toolbox: sorting, reduce-by-key,
 //!   multi-search, prefix sums, parallel-packing,
 //! * [`DistRelation`] — annotated relations partitioned over a cluster,
@@ -50,14 +54,19 @@
 mod cluster;
 mod cost;
 pub mod drel;
+mod error;
 pub mod exec;
 pub mod hash;
 pub mod join;
+pub mod json;
 pub mod primitives;
 pub mod rng;
+pub mod trace;
 
-pub use cluster::{Cluster, Distributed};
-pub use cost::{CostReport, CostTracker};
+pub use cluster::{Cluster, Distributed, OpScope};
+pub use cost::{CostReport, CostTracker, PhaseReport};
 pub use drel::DistRelation;
+pub use error::MpcError;
 pub use exec::{ExecBackend, SerialBackend, ThreadPoolBackend};
 pub use rng::DetRng;
+pub use trace::{CriticalCell, Trace, TraceBreakdown, TraceEvent, TraceReport};

@@ -8,7 +8,6 @@
 //! skew.
 
 use crate::cluster::{Cluster, Distributed};
-use crate::exec;
 use crate::hash::partition_of;
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -26,12 +25,13 @@ where
     V: Clone + Send,
     F: Fn(&mut V, V) + Copy + Sync,
 {
+    let _op = cluster.op("reduce-by-key");
     let p = cluster.p();
 
     // Local pre-aggregation (on the exec backend); emit partials routed
     // by key hash.
     let outboxes: Vec<Vec<(usize, (K, V))>> =
-        exec::par_map_parts(cluster.backend(), pairs.into_parts(), |_, items| {
+        cluster.par_map_parts(pairs.into_parts(), |_, items| {
             let mut partial: HashMap<K, V> = HashMap::with_capacity(items.len());
             for (k, v) in items {
                 match partial.get_mut(&k) {
@@ -81,6 +81,7 @@ where
 /// Maximum over all `u64`s on the cluster (0 when empty), as
 /// coordinator-known value; same communication shape as [`global_sum`].
 pub fn global_max(cluster: &mut Cluster, values: Distributed<u64>) -> u64 {
+    let _op = cluster.op("global-max");
     let outboxes: Vec<Vec<(usize, u64)>> = values
         .into_parts()
         .into_iter()
@@ -96,6 +97,7 @@ pub fn global_max(cluster: &mut Cluster, values: Distributed<u64>) -> u64 {
 /// return value models coordinator knowledge, which the paper's algorithms
 /// use freely for sizing decisions.
 pub fn global_sum(cluster: &mut Cluster, values: Distributed<u64>) -> u64 {
+    let _op = cluster.op("global-sum");
     let outboxes: Vec<Vec<(usize, u64)>> = values
         .into_parts()
         .into_iter()

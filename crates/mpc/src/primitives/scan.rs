@@ -1,7 +1,6 @@
 //! Prefix sums and parallel-packing (§2.1).
 
 use crate::cluster::{Cluster, Distributed};
-use crate::exec;
 
 /// Annotate every item with the exclusive prefix sum of `weight` over the
 /// current global item order (server 0's items first, in local order, then
@@ -15,6 +14,7 @@ where
     T: Clone + Send,
     F: Fn(&T) -> u64 + Sync,
 {
+    let _op = cluster.op("prefix-sums");
     let p = cluster.p();
 
     // Round 1: local totals to the coordinator.
@@ -89,6 +89,7 @@ where
     FS: Fn(&T) -> K + Sync,
     FW: Fn(&T) -> u64 + Sync,
 {
+    let _op = cluster.op("segmented-prefix-sums");
     let p = cluster.p();
 
     // Round 1: each server reports (first segment, last segment, total
@@ -218,6 +219,7 @@ where
     F: Fn(&T) -> u64 + Copy + Sync,
 {
     assert!(capacity >= 1, "capacity must be positive");
+    let _op = cluster.op("parallel-packing");
     let half = (capacity / 2).max(1);
 
     // Weigh each item as (small-weight, large-count); prefix both at once.
@@ -288,7 +290,7 @@ where
     // deterministic fold over the server-ordered results (the closure must
     // not mutate shared state, so the max cannot live in a capture).
     let per_server: Vec<(Vec<(T, u64)>, u64)> =
-        exec::par_consume_parts(cluster.backend(), weighted.into_parts(), |server, local| {
+        cluster.par_consume(weighted.into_parts(), |server, local| {
             let (mut sw, mut lc, small_groups) = offset_at
                 .local(server)
                 .first()

@@ -15,7 +15,6 @@
 //! 6 rounds total, load `O((|X|+|Y|)/p + p·log p)`.
 
 use crate::cluster::{Cluster, Distributed};
-use crate::exec;
 use crate::primitives::sort::sort_by_key;
 
 /// Joint sort element.
@@ -49,6 +48,7 @@ where
     V: Clone + Send,
     F: Fn(&T) -> K + Sync,
 {
+    let _op = cluster.op("multi-search");
     let p = cluster.p();
 
     // Merge both inputs into one distributed collection (local relabeling —
@@ -70,7 +70,7 @@ where
     // catalog entry. Results merge in server order (deterministic).
     type Resolution<T, K, V> = (Option<(K, V)>, Vec<(T, Option<(K, V)>)>, Vec<usize>);
     let resolutions: Vec<Resolution<T, K, V>> =
-        exec::par_consume_parts(cluster.backend(), sorted.into_parts(), |_, local| {
+        cluster.par_consume(sorted.into_parts(), |_, local| {
             let mut last: Option<(K, V)> = None;
             let mut out = Vec::new();
             let mut pending = Vec::new(); // indices needing carry
@@ -160,6 +160,7 @@ where
     V: Clone + Send,
     F: Fn(&T) -> K + Sync,
 {
+    let _op = cluster.op("lookup-exact");
     let found = multi_search(cluster, queries, &qkey, catalog);
     found.map(move |(t, pred)| {
         let hit = pred.and_then(|(k, v)| (k == qkey(&t)).then_some(v));

@@ -15,7 +15,6 @@
 //! or two consecutive servers".
 
 use crate::cluster::{Cluster, Distributed};
-use crate::exec;
 use crate::hash::seeded_hash;
 
 /// Seed for the sampling hash (arbitrary constant; determinism matters,
@@ -31,6 +30,7 @@ where
     K: Ord + Clone + Send,
     F: Fn(&T) -> K + Sync,
 {
+    let _op = cluster.op("sort");
     let p = cluster.p();
     if p == 1 {
         let mut parts = data.into_parts();
@@ -44,7 +44,7 @@ where
     // Tag each item with a unique (server, index) tiebreaker and sort
     // locally by (key, tiebreak) — per-server work on the exec backend.
     let mut tagged: Vec<Vec<(K, (usize, usize), T)>> =
-        exec::par_map_parts(cluster.backend(), data.into_parts(), |src, items| {
+        cluster.par_map_parts(data.into_parts(), |src, items| {
             let mut v: Vec<(K, (usize, usize), T)> = items
                 .into_iter()
                 .enumerate()

@@ -1,0 +1,582 @@
+//! Round-level execution tracing: *where* did the load come from?
+//!
+//! [`crate::CostReport`] answers "how much": the scalar load `L`, round
+//! count, and total traffic of §1.3. This module answers "where": an
+//! opt-in event log capturing, for every costed communication step, the
+//! global round, the primitive/phase that issued it (sort, multi-search,
+//! semijoin, broadcast, twig-combine, …), the per-server received-unit
+//! vector, and the full sender→receiver traffic matrix — plus wall-clock
+//! spans of the per-server local computation executed by the
+//! [`crate::exec`] backend.
+//!
+//! Tracing is **off by default and zero-cost when disabled**: with tracing
+//! off, the simulator takes the exact code paths it always took and the
+//! measured `(load, rounds, total_units)` is bit-identical across
+//! backends and thread counts. With tracing on (see
+//! [`crate::Cluster::enable_tracing`]), the same quantities are measured
+//! *and* every unit is attributable: the per-label and per-phase
+//! breakdowns of [`TraceReport`] sum to the ledger totals, and
+//! [`Trace::critical_round`] names the `(server, round, label)` cell that
+//! defines the load.
+//!
+//! ## Labeling contract
+//!
+//! * Primitives and relational operators open an *operation scope*
+//!   ([`crate::Cluster::op`]); scopes nest, and an event's `label` is the
+//!   scope path at record time (e.g. `"semijoin/multi-search/sort"`).
+//! * Algorithms mark coarse *phases* ([`crate::Cluster::mark_phase`]); an
+//!   event's `phase` is the innermost mark preceding it on the round
+//!   timeline (`"(preamble)"` before the first mark).
+//!
+//! New algorithms should mark a phase per paper-level step and rely on
+//! the primitives' scopes for fine-grained labels.
+
+use crate::cost::CostReport;
+use crate::json::Json;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Which cluster operation produced a [`TraceEvent`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A point-to-point [`crate::Cluster::exchange`].
+    Exchange,
+    /// A [`crate::Cluster::broadcast`] (every server receives everything).
+    Broadcast,
+}
+
+impl EventKind {
+    /// Stable lowercase name (used in the JSON export).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Exchange => "exchange",
+            EventKind::Broadcast => "broadcast",
+        }
+    }
+}
+
+/// One costed communication step. Equality ignores the wall-clock `at`
+/// field, so traces from different execution backends compare equal —
+/// the backend may change *when* things ran, never *what* was sent.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Global round the exchange consumed.
+    pub round: u64,
+    /// Exchange or broadcast.
+    pub kind: EventKind,
+    /// Operation-scope path at record time (`"(unlabeled)"` outside any
+    /// scope), e.g. `"semijoin/multi-search/sort"`.
+    pub label: String,
+    /// Innermost phase mark preceding this event (`"(preamble)"` before
+    /// the first mark).
+    pub phase: String,
+    /// Units received per *physical* server in this event (index =
+    /// physical server id).
+    pub received: Vec<u64>,
+    /// `traffic[src][dst]` = units sent from physical server `src` to
+    /// physical server `dst` in this event.
+    pub traffic: Vec<Vec<u64>>,
+    /// Wall clock at record time, relative to trace start —
+    /// instrumentation only, excluded from equality.
+    pub at: Duration,
+}
+
+impl PartialEq for TraceEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.round == other.round
+            && self.kind == other.kind
+            && self.label == other.label
+            && self.phase == other.phase
+            && self.received == other.received
+            && self.traffic == other.traffic
+    }
+}
+
+impl Eq for TraceEvent {}
+
+/// A timed span of per-server local computation run by the
+/// [`crate::exec`] backend. Equality ignores the wall-clock fields.
+#[derive(Clone, Debug)]
+pub struct ComputeSpan {
+    /// Operation-scope path at record time.
+    pub label: String,
+    /// Innermost phase mark at record time.
+    pub phase: String,
+    /// Round cursor when the computation ran.
+    pub round: u64,
+    /// Number of per-server tasks executed.
+    pub tasks: usize,
+    /// Wall-clock duration of the whole span — instrumentation only,
+    /// excluded from equality.
+    pub elapsed: Duration,
+}
+
+impl PartialEq for ComputeSpan {
+    fn eq(&self, other: &Self) -> bool {
+        self.label == other.label
+            && self.phase == other.phase
+            && self.round == other.round
+            && self.tasks == other.tasks
+    }
+}
+
+impl Eq for ComputeSpan {}
+
+/// The in-flight recording state, owned by [`crate::CostTracker`] while
+/// tracing is enabled.
+#[derive(Debug, Default)]
+pub(crate) struct TraceLog {
+    pub(crate) servers: usize,
+    pub(crate) events: Vec<TraceEvent>,
+    pub(crate) compute: Vec<ComputeSpan>,
+    pub(crate) stack: Vec<String>,
+}
+
+impl TraceLog {
+    pub(crate) fn new(servers: usize) -> Self {
+        TraceLog {
+            servers,
+            events: Vec::new(),
+            compute: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// The current operation-scope path.
+    pub(crate) fn label(&self) -> String {
+        if self.stack.is_empty() {
+            "(unlabeled)".to_string()
+        } else {
+            self.stack.join("/")
+        }
+    }
+}
+
+/// A finalized execution trace (see [`crate::Cluster::take_trace`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    /// Number of physical servers (the dimension of `received` vectors
+    /// and `traffic` matrices).
+    pub servers: usize,
+    /// Ledger totals at finalization — the same `(load, rounds,
+    /// total_units)` as [`crate::CostReport`].
+    pub cost: CostReport,
+    /// Phase marks: `(first round of the phase, label)`.
+    pub phases: Vec<(u64, String)>,
+    /// Every costed communication step, in simulation order.
+    pub events: Vec<TraceEvent>,
+    /// Wall-clock spans of backend-executed local computation.
+    pub compute: Vec<ComputeSpan>,
+}
+
+/// Per-label (or per-phase) slice of a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceBreakdown {
+    /// The operation-scope path or phase label.
+    pub label: String,
+    /// Max units any server received in any single round under this
+    /// label alone.
+    pub load: u64,
+    /// Number of distinct rounds with traffic under this label.
+    pub rounds: u64,
+    /// Total units delivered under this label.
+    pub total_units: u64,
+    /// Number of events.
+    pub events: usize,
+    /// Wall clock spent in backend local computation under this label.
+    pub elapsed: Duration,
+}
+
+/// The `(server, round)` cell that defines the load, and the label that
+/// contributed the most units to it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CriticalCell {
+    /// Physical server of the peak cell.
+    pub server: usize,
+    /// Round of the peak cell.
+    pub round: u64,
+    /// Units received in the cell — equals [`CostReport::load`] when the
+    /// trace covers the whole run.
+    pub units: u64,
+    /// Label contributing the most units to the cell.
+    pub label: String,
+}
+
+/// Structured summary of a [`Trace`]: per-primitive and per-phase
+/// breakdowns, a per-server footprint histogram, and the critical cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Physical server count.
+    pub servers: usize,
+    /// Ledger totals (see [`Trace::cost`]).
+    pub cost: CostReport,
+    /// Breakdown by operation-scope path, in first-appearance order.
+    pub per_label: Vec<TraceBreakdown>,
+    /// Breakdown by phase mark, in first-appearance order.
+    pub per_phase: Vec<TraceBreakdown>,
+    /// Units received per physical server, summed over all rounds.
+    pub per_server: Vec<u64>,
+    /// The load-defining cell (`None` for a traffic-free trace).
+    pub critical: Option<CriticalCell>,
+}
+
+impl Trace {
+    /// Compute the structured summary.
+    pub fn report(&self) -> TraceReport {
+        TraceReport {
+            servers: self.servers,
+            cost: self.cost,
+            per_label: self.breakdown(|e| e.label.clone(), |c| c.label.clone()),
+            per_phase: self.breakdown(|e| e.phase.clone(), |c| c.phase.clone()),
+            per_server: self.per_server(),
+            critical: self.critical_round(),
+        }
+    }
+
+    /// Units received per physical server, summed over all rounds.
+    pub fn per_server(&self) -> Vec<u64> {
+        let mut totals = vec![0u64; self.servers];
+        for e in &self.events {
+            for (s, u) in e.received.iter().enumerate() {
+                totals[s] += u;
+            }
+        }
+        totals
+    }
+
+    /// The `(server, round, label)` cell defining the load: the maximum
+    /// per-round received volume across the whole trace. Ties break
+    /// toward the earliest round, then the lowest server id, so the
+    /// answer is deterministic.
+    pub fn critical_round(&self) -> Option<CriticalCell> {
+        // (server, round) -> total units, and -> per-label units.
+        let mut cells: HashMap<(usize, u64), u64> = HashMap::new();
+        let mut by_label: HashMap<(usize, u64), Vec<(String, u64)>> = HashMap::new();
+        for e in &self.events {
+            for (s, &u) in e.received.iter().enumerate() {
+                if u == 0 {
+                    continue;
+                }
+                *cells.entry((s, e.round)).or_insert(0) += u;
+                let labels = by_label.entry((s, e.round)).or_default();
+                match labels.iter_mut().find(|(l, _)| *l == e.label) {
+                    Some((_, total)) => *total += u,
+                    None => labels.push((e.label.clone(), u)),
+                }
+            }
+        }
+        let (&(server, round), &units) = cells
+            .iter()
+            .max_by_key(|(&(s, r), &u)| (u, std::cmp::Reverse(r), std::cmp::Reverse(s)))?;
+        let label = by_label[&(server, round)]
+            .iter()
+            .max_by(|(la, ua), (lb, ub)| ua.cmp(ub).then(lb.cmp(la)))
+            .map(|(l, _)| l.clone())
+            .unwrap_or_default();
+        Some(CriticalCell {
+            server,
+            round,
+            units,
+            label,
+        })
+    }
+
+    fn breakdown(
+        &self,
+        event_key: impl Fn(&TraceEvent) -> String,
+        span_key: impl Fn(&ComputeSpan) -> String,
+    ) -> Vec<TraceBreakdown> {
+        // First-appearance order.
+        let mut order: Vec<String> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut idx_of = |key: String, order: &mut Vec<String>| -> usize {
+            *index.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                order.len() - 1
+            })
+        };
+        struct Acc {
+            cells: HashMap<(usize, u64), u64>,
+            rounds: std::collections::BTreeSet<u64>,
+            total: u64,
+            events: usize,
+            elapsed: Duration,
+        }
+        let mut accs: Vec<Acc> = Vec::new();
+        let acc_at = |i: usize, accs: &mut Vec<Acc>| {
+            while accs.len() <= i {
+                accs.push(Acc {
+                    cells: HashMap::new(),
+                    rounds: std::collections::BTreeSet::new(),
+                    total: 0,
+                    events: 0,
+                    elapsed: Duration::ZERO,
+                });
+            }
+        };
+        for e in &self.events {
+            let i = idx_of(event_key(e), &mut order);
+            acc_at(i, &mut accs);
+            let acc = &mut accs[i];
+            acc.events += 1;
+            acc.rounds.insert(e.round);
+            for (s, &u) in e.received.iter().enumerate() {
+                if u > 0 {
+                    *acc.cells.entry((s, e.round)).or_insert(0) += u;
+                    acc.total += u;
+                }
+            }
+        }
+        for span in &self.compute {
+            let i = idx_of(span_key(span), &mut order);
+            acc_at(i, &mut accs);
+            accs[i].elapsed += span.elapsed;
+        }
+        order
+            .into_iter()
+            .zip(accs)
+            .map(|(label, acc)| TraceBreakdown {
+                label,
+                load: acc.cells.values().copied().max().unwrap_or(0),
+                rounds: acc.rounds.len() as u64,
+                total_units: acc.total,
+                events: acc.events,
+                elapsed: acc.elapsed,
+            })
+            .collect()
+    }
+
+    /// Serialize the full trace (events, compute spans, phases, and the
+    /// structured report) as a self-contained JSON document.
+    pub fn to_json(&self) -> String {
+        let report = self.report();
+        let breakdown_json = |b: &TraceBreakdown| {
+            Json::Obj(vec![
+                ("label".into(), Json::Str(b.label.clone())),
+                ("load".into(), Json::Num(b.load as f64)),
+                ("rounds".into(), Json::Num(b.rounds as f64)),
+                ("total_units".into(), Json::Num(b.total_units as f64)),
+                ("events".into(), Json::Num(b.events as f64)),
+                ("elapsed_ns".into(), Json::Num(b.elapsed.as_nanos() as f64)),
+            ])
+        };
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("round".into(), Json::Num(e.round as f64)),
+                    ("kind".into(), Json::Str(e.kind.name().into())),
+                    ("label".into(), Json::Str(e.label.clone())),
+                    ("phase".into(), Json::Str(e.phase.clone())),
+                    (
+                        "received".into(),
+                        Json::Arr(e.received.iter().map(|&u| Json::Num(u as f64)).collect()),
+                    ),
+                    (
+                        "traffic".into(),
+                        Json::Arr(
+                            e.traffic
+                                .iter()
+                                .map(|row| {
+                                    Json::Arr(row.iter().map(|&u| Json::Num(u as f64)).collect())
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("at_ns".into(), Json::Num(e.at.as_nanos() as f64)),
+                ])
+            })
+            .collect();
+        let compute = self
+            .compute
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("label".into(), Json::Str(c.label.clone())),
+                    ("phase".into(), Json::Str(c.phase.clone())),
+                    ("round".into(), Json::Num(c.round as f64)),
+                    ("tasks".into(), Json::Num(c.tasks as f64)),
+                    ("elapsed_ns".into(), Json::Num(c.elapsed.as_nanos() as f64)),
+                ])
+            })
+            .collect();
+        let phases = self
+            .phases
+            .iter()
+            .map(|(round, label)| {
+                Json::Obj(vec![
+                    ("round".into(), Json::Num(*round as f64)),
+                    ("label".into(), Json::Str(label.clone())),
+                ])
+            })
+            .collect();
+        let critical = match &report.critical {
+            Some(c) => Json::Obj(vec![
+                ("server".into(), Json::Num(c.server as f64)),
+                ("round".into(), Json::Num(c.round as f64)),
+                ("units".into(), Json::Num(c.units as f64)),
+                ("label".into(), Json::Str(c.label.clone())),
+            ]),
+            None => Json::Null,
+        };
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::Str("mpcjoin-trace-v1".into())),
+            ("servers".into(), Json::Num(self.servers as f64)),
+            ("load".into(), Json::Num(self.cost.load as f64)),
+            ("rounds".into(), Json::Num(self.cost.rounds as f64)),
+            (
+                "total_units".into(),
+                Json::Num(self.cost.total_units as f64),
+            ),
+            (
+                "elapsed_ns".into(),
+                Json::Num(self.cost.elapsed.as_nanos() as f64),
+            ),
+            ("phases".into(), Json::Arr(phases)),
+            ("events".into(), Json::Arr(events)),
+            ("compute".into(), Json::Arr(compute)),
+            (
+                "report".into(),
+                Json::Obj(vec![
+                    (
+                        "per_label".into(),
+                        Json::Arr(report.per_label.iter().map(breakdown_json).collect()),
+                    ),
+                    (
+                        "per_phase".into(),
+                        Json::Arr(report.per_phase.iter().map(breakdown_json).collect()),
+                    ),
+                    (
+                        "per_server".into(),
+                        Json::Arr(
+                            report
+                                .per_server
+                                .iter()
+                                .map(|&u| Json::Num(u as f64))
+                                .collect(),
+                        ),
+                    ),
+                    ("critical".into(), critical),
+                ]),
+            ),
+        ]);
+        doc.to_string_compact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(round: u64, label: &str, phase: &str, traffic: Vec<Vec<u64>>) -> TraceEvent {
+        let servers = traffic.len();
+        let received = (0..servers)
+            .map(|d| traffic.iter().map(|row| row[d]).sum())
+            .collect();
+        TraceEvent {
+            round,
+            kind: EventKind::Exchange,
+            label: label.into(),
+            phase: phase.into(),
+            received,
+            traffic,
+            at: Duration::ZERO,
+        }
+    }
+
+    fn two_label_trace() -> Trace {
+        Trace {
+            servers: 2,
+            cost: CostReport {
+                load: 7,
+                rounds: 2,
+                total_units: 15,
+                elapsed: Duration::ZERO,
+            },
+            phases: vec![(0, "build".into()), (1, "probe".into())],
+            events: vec![
+                event(0, "sort", "build", vec![vec![0, 3], vec![2, 0]]),
+                event(0, "scan", "build", vec![vec![0, 4], vec![0, 0]]),
+                event(1, "join", "probe", vec![vec![1, 0], vec![5, 0]]),
+            ],
+            compute: vec![ComputeSpan {
+                label: "sort".into(),
+                phase: "build".into(),
+                round: 0,
+                tasks: 2,
+                elapsed: Duration::from_nanos(500),
+            }],
+        }
+    }
+
+    #[test]
+    fn breakdowns_sum_to_totals() {
+        let t = two_label_trace();
+        let r = t.report();
+        let label_sum: u64 = r.per_label.iter().map(|b| b.total_units).sum();
+        let phase_sum: u64 = r.per_phase.iter().map(|b| b.total_units).sum();
+        let server_sum: u64 = r.per_server.iter().sum();
+        assert_eq!(label_sum, t.cost.total_units);
+        assert_eq!(phase_sum, t.cost.total_units);
+        assert_eq!(server_sum, t.cost.total_units);
+    }
+
+    #[test]
+    fn critical_cell_matches_load() {
+        let t = two_label_trace();
+        // Cell (server 1, round 0) receives 3 (sort) + 4 (scan) = 7.
+        let c = t.critical_round().expect("has traffic");
+        assert_eq!(c.units, t.cost.load);
+        assert_eq!((c.server, c.round), (1, 0));
+        assert_eq!(c.label, "scan"); // 4 of the 7 units
+    }
+
+    #[test]
+    fn per_label_load_is_within_label() {
+        let t = two_label_trace();
+        let r = t.report();
+        let sort = r.per_label.iter().find(|b| b.label == "sort").unwrap();
+        assert_eq!(sort.load, 3);
+        assert_eq!(sort.total_units, 5);
+        assert_eq!(sort.rounds, 1);
+        assert_eq!(sort.elapsed, Duration::from_nanos(500));
+        let join = r.per_label.iter().find(|b| b.label == "join").unwrap();
+        assert_eq!(join.load, 6); // server 0 receives 1 + 5 in round 1
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_totals() {
+        let t = two_label_trace();
+        let doc = crate::json::Json::parse(&t.to_json()).expect("valid json");
+        assert_eq!(doc.get("load").and_then(crate::json::Json::as_u64), Some(7));
+        assert_eq!(
+            doc.get("total_units").and_then(crate::json::Json::as_u64),
+            Some(15)
+        );
+        let events = doc
+            .get("events")
+            .and_then(crate::json::Json::as_arr)
+            .unwrap();
+        assert_eq!(events.len(), 3);
+        let units: u64 = events
+            .iter()
+            .flat_map(|e| {
+                e.get("received")
+                    .and_then(crate::json::Json::as_arr)
+                    .unwrap()
+            })
+            .map(|u| u.as_u64().unwrap())
+            .sum();
+        assert_eq!(units, 15);
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock() {
+        let a = two_label_trace();
+        let mut b = two_label_trace();
+        b.events[0].at = Duration::from_secs(5);
+        b.compute[0].elapsed = Duration::from_secs(5);
+        assert_eq!(a, b);
+    }
+}

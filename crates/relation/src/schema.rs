@@ -92,13 +92,17 @@ impl Schema {
     /// The positions of `attrs` within this schema; panics if any is absent
     /// (algorithms only project onto attributes they know are present).
     pub fn positions_of(&self, attrs: &[Attr]) -> Vec<usize> {
-        attrs
-            .iter()
-            .map(|a| {
-                self.position(*a)
-                    .unwrap_or_else(|| panic!("attribute {a} not in schema {:?}", self.attrs))
-            })
-            .collect()
+        match self.try_positions_of(attrs) {
+            Ok(pos) => pos,
+            Err(a) => panic!("attribute {a} not in schema {:?}", self.attrs),
+        }
+    }
+
+    /// The positions of `attrs` within this schema, or the first missing
+    /// attribute — the fallible twin of [`Schema::positions_of`] for
+    /// callers handling untrusted queries.
+    pub fn try_positions_of(&self, attrs: &[Attr]) -> Result<Vec<usize>, Attr> {
+        attrs.iter().map(|a| self.position(*a).ok_or(*a)).collect()
     }
 
     /// Schema of the natural join of `self` and `other`: this schema's

@@ -61,8 +61,8 @@ pub fn estimate_out_chain<S: Semiring>(
     // Seed sketches at the far end: per A_n value, sketch the reachable
     // A_{n+1} values (one sketch per instance).
     let last = chain[n - 1];
-    let from_pos = last.positions_of(&[attrs[n - 1]])[0];
-    let to_pos = last.positions_of(&[attrs[n]])[0];
+    let from_pos = last.schema().positions_of(&[attrs[n - 1]])[0];
+    let to_pos = last.schema().positions_of(&[attrs[n]])[0];
     let seeded = last.data().clone().map(|(row, _)| {
         let sketches: Vec<Kmv> = (0..instances)
             .map(|j| Kmv::singleton(k, seeded_hash(j as u64, &row[to_pos])))
@@ -77,7 +77,7 @@ pub fn estimate_out_chain<S: Semiring>(
         let rel = chain[i];
         let catalog = stats.map(|(v, sketches)| (vec![v], sketches));
         let attached = rel.attach_stat(cluster, &[attrs[i + 1]], catalog);
-        let from = rel.positions_of(&[attrs[i]])[0];
+        let from = rel.schema().positions_of(&[attrs[i]])[0];
         let pairs = attached.map_local(|_, items| {
             items
                 .into_iter()

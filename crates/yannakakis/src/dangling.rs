@@ -24,6 +24,7 @@ pub fn remove_dangling<S: Semiring>(
     instance: &[DistRelation<S>],
 ) -> Vec<DistRelation<S>> {
     assert_eq!(q.edges().len(), instance.len());
+    let _op = cluster.op("remove-dangling");
     let jt = JoinTree::build(q, None);
     let mut rels: Vec<DistRelation<S>> = instance.to_vec();
 

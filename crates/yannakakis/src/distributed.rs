@@ -26,7 +26,9 @@ pub fn distributed_yannakakis<S: Semiring>(
     instance: &[DistRelation<S>],
 ) -> DistRelation<S> {
     let output: Vec<Attr> = q.output().iter().copied().collect();
+    cluster.mark_phase("yannakakis: dangling removal");
     let reduced = remove_dangling(cluster, q, instance);
+    cluster.mark_phase("yannakakis: bottom-up merge");
     yannakakis_merge(cluster, q, &reduced, &output)
 }
 
@@ -42,6 +44,7 @@ pub fn yannakakis_merge<S: Semiring>(
     keep_always: &[Attr],
 ) -> DistRelation<S> {
     assert_eq!(q.edges().len(), instance.len());
+    let _op = cluster.op("yannakakis-merge");
     let jt = JoinTree::build(q, None);
     let mut rels: Vec<Option<DistRelation<S>>> = instance.iter().cloned().map(Some).collect();
 

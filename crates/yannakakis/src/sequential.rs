@@ -8,27 +8,36 @@
 //! variant of Yannakakis noted in [15] (AJAR) and §1.2 of the paper.
 
 use crate::jointree::JoinTree;
+use mpcjoin_mpc::MpcError;
 use mpcjoin_query::TreeQuery;
 use mpcjoin_relation::{Attr, Relation};
 use mpcjoin_semiring::Semiring;
 
 /// Check that `instance` matches the query: one relation per edge with
-/// exactly the edge's attributes (in edge order).
-pub fn validate_instance<S: Semiring>(q: &TreeQuery, instance: &[Relation<S>]) {
-    assert_eq!(
-        q.edges().len(),
-        instance.len(),
-        "need exactly one relation per edge"
-    );
-    for (e, r) in q.edges().iter().zip(instance) {
-        assert_eq!(
-            r.schema().attrs(),
-            e.attrs(),
-            "relation schema {} does not match edge {:?}",
-            r.schema(),
-            e.attrs()
-        );
+/// exactly the edge's attributes (in edge order). Returns
+/// [`MpcError::InvalidInstance`] on a mismatch so engine entry points can
+/// surface the problem instead of aborting.
+pub fn validate_instance<S: Semiring>(
+    q: &TreeQuery,
+    instance: &[Relation<S>],
+) -> Result<(), MpcError> {
+    if q.edges().len() != instance.len() {
+        return Err(MpcError::InvalidInstance(format!(
+            "{} relations for {} edges — need exactly one relation per edge",
+            instance.len(),
+            q.edges().len()
+        )));
     }
+    for (e, r) in q.edges().iter().zip(instance) {
+        if r.schema().attrs() != e.attrs() {
+            return Err(MpcError::InvalidInstance(format!(
+                "relation schema {} does not match edge {:?}",
+                r.schema(),
+                e.attrs()
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Evaluate the join-aggregate query sequentially and exactly.
@@ -40,7 +49,9 @@ pub fn sequential_join_aggregate<S: Semiring>(
     q: &TreeQuery,
     instance: &[Relation<S>],
 ) -> Relation<S> {
-    validate_instance(q, instance);
+    if let Err(e) = validate_instance(q, instance) {
+        panic!("{e}");
+    }
     let output: Vec<Attr> = q.output().iter().copied().collect();
     let jt = JoinTree::build(q, None);
 

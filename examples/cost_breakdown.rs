@@ -34,10 +34,10 @@ fn main() {
             "{:<36} {:>8} {:>8} {:>10}",
             "phase", "load", "rounds", "traffic"
         );
-        for (phase, report) in cluster.phase_reports() {
+        for phase in cluster.phase_reports() {
             println!(
                 "{:<36} {:>8} {:>8} {:>10}",
-                phase, report.load, report.rounds, report.total_units
+                phase.label, phase.cost.load, phase.cost.rounds, phase.cost.total_units
             );
         }
         let total = cluster.report();

@@ -29,8 +29,11 @@ fn main() {
         let mut r = rng(42);
         let inst = matrix::zipf::<BoolRing>(&mut r, (a, b, c), 1500, 1500, 120, theta);
         let rels = [inst.r1, inst.r2];
-        let new = mpcjoin::execute(p, &q, &rels);
-        let base = mpcjoin::execute_baseline(p, &q, &rels);
+        let new = mpcjoin::QueryEngine::new(p).run(&q, &rels).unwrap();
+        let base = mpcjoin::QueryEngine::new(p)
+            .plan(mpcjoin::PlanChoice::Baseline)
+            .run(&q, &rels)
+            .unwrap();
         assert!(new.output.semantically_eq(&base.output));
         println!(
             "{:>8} {:>8} {:>10} {:>12} {:>11.2}x {:>8}",
@@ -48,8 +51,11 @@ fn main() {
         let inst = matrix::blocks::<BoolRing>((a, b, c), 8, side, 2);
         let n = inst.r1.len();
         let rels = [inst.r1, inst.r2];
-        let new = mpcjoin::execute(p, &q, &rels);
-        let base = mpcjoin::execute_baseline(p, &q, &rels);
+        let new = mpcjoin::QueryEngine::new(p).run(&q, &rels).unwrap();
+        let base = mpcjoin::QueryEngine::new(p)
+            .plan(mpcjoin::PlanChoice::Baseline)
+            .run(&q, &rels)
+            .unwrap();
         assert!(new.output.semantically_eq(&base.output));
         println!(
             "{:>8} {:>8} {:>10} {:>12} {:>11.2}x {:>8}",

@@ -46,11 +46,9 @@ fn main() {
     let stocks = table(warehouse, part, 200, &[(10, 7), (11, 7), (10, 8), (12, 9)]);
     let certifies = table(auditor, part, 300, &[(20, 7), (21, 8), (20, 9), (21, 7)]);
 
-    let result = mpcjoin::execute(
-        8,
-        &q,
-        &[supplies.clone(), stocks.clone(), certifies.clone()],
-    );
+    let result = mpcjoin::QueryEngine::new(8)
+        .run(&q, &[supplies.clone(), stocks.clone(), certifies.clone()])
+        .unwrap();
     let oracle = mpcjoin::execute_sequential(&q, &[supplies, stocks, certifies]);
     assert!(result.output.semantically_eq(&oracle));
 

@@ -30,8 +30,13 @@ fn main() {
     let r2: Relation<Count> = Relation::binary_ones(b, c, r2_tuples);
 
     let p = 16;
-    let new = mpcjoin::execute(p, &q, &[r1.clone(), r2.clone()]);
-    let baseline = mpcjoin::execute_baseline(p, &q, &[r1, r2]);
+    let new = mpcjoin::QueryEngine::new(p)
+        .run(&q, &[r1.clone(), r2.clone()])
+        .unwrap();
+    let baseline = mpcjoin::QueryEngine::new(p)
+        .plan(mpcjoin::PlanChoice::Baseline)
+        .run(&q, &[r1, r2])
+        .unwrap();
 
     assert!(new.output.semantically_eq(&baseline.output));
 

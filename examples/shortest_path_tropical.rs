@@ -41,7 +41,7 @@ fn main() {
     ];
 
     let p = 8;
-    let result = mpcjoin::execute(p, &q, &rels);
+    let result = mpcjoin::QueryEngine::new(p).run(&q, &rels).unwrap();
     let oracle = mpcjoin::execute_sequential(&q, &rels);
     assert!(result.output.semantically_eq(&oracle));
 

@@ -55,8 +55,11 @@ fn main() {
 
     // Data + execution.
     let inst = trees::random_instance::<Count>(&mut rng(2026), &q, 24, 6);
-    let new = mpcjoin::execute(16, &q, &inst.rels);
-    let base = mpcjoin::execute_baseline(16, &q, &inst.rels);
+    let new = mpcjoin::QueryEngine::new(16).run(&q, &inst.rels).unwrap();
+    let base = mpcjoin::QueryEngine::new(16)
+        .plan(mpcjoin::PlanChoice::Baseline)
+        .run(&q, &inst.rels)
+        .unwrap();
     assert!(new.output.semantically_eq(&base.output));
     println!(
         "\nexecution on p = 16 (N = {}/relation, OUT = {}):",

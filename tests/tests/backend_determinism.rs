@@ -6,7 +6,7 @@
 
 use mpcjoin::prelude::*;
 use mpcjoin::workload::{rng, trees};
-use mpcjoin::{execute, execute_sequential, execute_threaded};
+use mpcjoin::{execute_sequential, QueryEngine};
 
 const A: Attr = Attr(0);
 const B: Attr = Attr(1);
@@ -33,14 +33,14 @@ fn tree_instance() -> (TreeQuery, Vec<Relation<Count>>) {
 }
 
 fn assert_backend_invariant(q: &TreeQuery, rels: &[Relation<Count>]) {
-    let baseline = execute(8, q, rels);
+    let baseline = QueryEngine::new(8).run(q, rels).unwrap();
     let oracle = execute_sequential(q, rels);
     assert!(
         baseline.output.semantically_eq(&oracle),
         "default run diverged from the sequential oracle"
     );
     for threads in [1usize, 2, 8] {
-        let run = execute_threaded(8, threads, q, rels);
+        let run = QueryEngine::new(8).threads(threads).run(q, rels).unwrap();
         // Identical output tuples (canonical entry order after gather).
         assert_eq!(
             run.output.entries(),
@@ -85,9 +85,12 @@ fn thread_pool_speeds_up_large_matmul() {
         Relation::<Count>::binary_ones(B, C, (0..n).map(|i| ((i * 3) % 300, i % 5000))),
     ];
 
-    let serial = execute_threaded(16, 1, &q, &rels);
+    let serial = QueryEngine::new(16).threads(1).run(&q, &rels).unwrap();
     let threads = mpcjoin::mpc::exec::available_threads();
-    let parallel = execute_threaded(16, threads, &q, &rels);
+    let parallel = QueryEngine::new(16)
+        .threads(threads)
+        .run(&q, &rels)
+        .unwrap();
 
     assert_eq!(serial.output.entries(), parallel.output.entries());
     assert_eq!(serial.cost, parallel.cost);

@@ -4,7 +4,7 @@
 use mpcjoin::matmul::theory;
 use mpcjoin::prelude::*;
 use mpcjoin::workload::{chain, matrix, rng, star, trees};
-use mpcjoin::{execute, execute_baseline};
+use mpcjoin::{PlanChoice, QueryEngine};
 
 /// Rounds must not grow with the input size at a fixed query shape
 /// (constant-round requirement, §1.3).
@@ -15,7 +15,7 @@ fn rounds_constant_matmul() {
     let mut rounds = Vec::new();
     for scale in [1u64, 4, 16] {
         let inst = matrix::blocks::<Count>((a, b, c), 4 * scale, 8, 2);
-        let r = execute(8, &q, &[inst.r1, inst.r2]);
+        let r = QueryEngine::new(8).run(&q, &[inst.r1, inst.r2]).unwrap();
         rounds.push(r.cost.rounds);
     }
     assert!(
@@ -29,7 +29,7 @@ fn rounds_constant_line() {
     let mut rounds = Vec::new();
     for dom in [16u64, 64, 256] {
         let inst = chain::layered::<Count>(3, dom, 2);
-        let r = execute(8, &inst.query, &inst.rels);
+        let r = QueryEngine::new(8).run(&inst.query, &inst.rels).unwrap();
         rounds.push(r.cost.rounds);
     }
     assert!(
@@ -45,7 +45,7 @@ fn rounds_constant_star() {
         // Same degree profile (hence the same permutation classes) at
         // growing scale.
         let inst = star::degree_profile::<Count>(3, scale, &[vec![2], vec![3], vec![4]]);
-        let r = execute(8, &inst.query, &inst.rels);
+        let r = QueryEngine::new(8).run(&inst.query, &inst.rels).unwrap();
         rounds.push(r.cost.rounds);
     }
     assert!(
@@ -60,7 +60,7 @@ fn rounds_constant_tree() {
     let mut rounds = Vec::new();
     for dom in [4u64, 8, 16] {
         let inst = trees::layered_instance::<Count>(&q, dom, 2);
-        let r = execute(8, &inst.query, &inst.rels);
+        let r = QueryEngine::new(8).run(&inst.query, &inst.rels).unwrap();
         rounds.push(r.cost.rounds);
     }
     assert!(
@@ -79,7 +79,9 @@ fn matmul_load_tracks_theorem1_bound() {
     for side in [4u64, 16, 64] {
         let inst = matrix::blocks::<Count>((a, b, c), 8, side, 2);
         let n = inst.r1.len() as u64;
-        let r = execute(p as usize, &q, &[inst.r1, inst.r2]);
+        let r = QueryEngine::new(p as usize)
+            .run(&q, &[inst.r1, inst.r2])
+            .unwrap();
         let bound = theory::new_mm_bound(n, n, inst.out, p);
         assert!(
             (r.cost.load as f64) <= 20.0 * bound + 400.0,
@@ -98,8 +100,11 @@ fn matmul_beats_baseline_for_large_out() {
     // Dense blocks: OUT = 8·48² ≈ 18k from N ≈ 1.5k.
     let inst = matrix::blocks::<Count>((a, b, c), 8, 48, 2);
     let rels = [inst.r1, inst.r2];
-    let new = execute(16, &q, &rels);
-    let base = execute_baseline(16, &q, &rels);
+    let new = QueryEngine::new(16).run(&q, &rels).unwrap();
+    let base = QueryEngine::new(16)
+        .plan(PlanChoice::Baseline)
+        .run(&q, &rels)
+        .unwrap();
     assert!(new.output.semantically_eq(&base.output));
     assert!(
         new.cost.load < base.cost.load,
@@ -141,7 +146,7 @@ fn load_lower_bounded_by_average() {
     let (a, b, c) = (Attr(0), Attr(1), Attr(2));
     let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c]);
     let inst = matrix::uniform::<Count>(&mut rng(13), (a, b, c), 500, 500, (90, 40, 90));
-    let r = execute(8, &q, &[inst.r1, inst.r2]);
+    let r = QueryEngine::new(8).run(&q, &[inst.r1, inst.r2]).unwrap();
     let avg = r.cost.total_units / (8 * r.cost.rounds.max(1));
     assert!(r.cost.load >= avg);
 }

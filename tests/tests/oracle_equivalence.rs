@@ -6,7 +6,7 @@
 
 use mpcjoin::prelude::*;
 use mpcjoin::workload::{chain, matrix, rng, star, trees};
-use mpcjoin::{execute, execute_sequential, PlanKind};
+use mpcjoin::{execute_sequential, PlanKind, QueryEngine};
 
 fn assert_oracle<S: Semiring>(
     q: &TreeQuery,
@@ -14,7 +14,7 @@ fn assert_oracle<S: Semiring>(
     p: usize,
     expect_plan: Option<PlanKind>,
 ) {
-    let result = execute(p, q, rels);
+    let result = QueryEngine::new(p).run(q, rels).unwrap();
     if let Some(plan) = expect_plan {
         assert_eq!(result.plan, plan);
     }
@@ -178,7 +178,7 @@ fn full_aggregation_count_join_size() {
         Relation::<Count>::binary_ones(a, b, (0..50u64).map(|i| (i % 10, i % 6))),
         Relation::<Count>::binary_ones(b, c, (0..50u64).map(|i| (i % 6, i % 8))),
     ];
-    let result = execute(8, &q, &rels);
+    let result = QueryEngine::new(8).run(&q, &rels).unwrap();
     let oracle = execute_sequential(&q, &rels);
     assert!(result.output.semantically_eq(&oracle));
 }

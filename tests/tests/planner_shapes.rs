@@ -3,7 +3,7 @@
 
 use mpcjoin::prelude::*;
 use mpcjoin::query::QueryBuilder;
-use mpcjoin::{execute, execute_sequential, PlanKind};
+use mpcjoin::{execute_sequential, PlanKind, QueryEngine};
 
 #[test]
 fn star_like_plan_selected_and_correct() {
@@ -25,7 +25,7 @@ fn star_like_plan_selected_and_correct() {
         Relation::<Count>::binary_ones(mid, Attr(1), (0..24u64).map(|i| (i % 5, i % 6))),
         Relation::<Count>::binary_ones(b, Attr(2), (0..24u64).map(|i| (i % 4, i % 3))),
     ];
-    let result = execute(8, &q, &rels);
+    let result = QueryEngine::new(8).run(&q, &rels).unwrap();
     assert_eq!(result.plan, PlanKind::StarLike);
     assert!(result
         .output
@@ -52,7 +52,7 @@ fn tree_plan_for_internal_outputs() {
             )
         })
         .collect();
-    let result = execute(8, &q, &rels);
+    let result = QueryEngine::new(8).run(&q, &rels).unwrap();
     assert_eq!(result.plan, PlanKind::Tree);
     assert!(result
         .output
@@ -74,7 +74,7 @@ fn builder_to_execution_pipeline() {
         Relation::<BoolRing>::binary_ones(user, community, (0..40u64).map(|i| (i % 10, i % 4))),
         Relation::<BoolRing>::binary_ones(community, topic, (0..40u64).map(|i| (i % 4, i % 9))),
     ];
-    let result = execute(8, &q, &rels);
+    let result = QueryEngine::new(8).run(&q, &rels).unwrap();
     assert_eq!(result.plan, PlanKind::MatMul);
     assert!(result
         .output
@@ -99,7 +99,7 @@ fn single_server_cluster_end_to_end() {
         Relation::<Count>::binary_ones(Attr(0), Attr(1), (0..30u64).map(|i| (i % 6, i % 5))),
         Relation::<Count>::binary_ones(Attr(1), Attr(2), (0..30u64).map(|i| (i % 5, i % 7))),
     ];
-    let result = execute(1, &q, &rels);
+    let result = QueryEngine::new(1).run(&q, &rels).unwrap();
     assert!(result
         .output
         .semantically_eq(&execute_sequential(&q, &rels)));
@@ -118,7 +118,7 @@ fn empty_relations_everywhere() {
         Relation::<Count>::empty(Schema::binary(Attr(0), Attr(1))),
         Relation::<Count>::empty(Schema::binary(Attr(1), Attr(2))),
     ];
-    let result = execute(4, &q, &rels);
+    let result = QueryEngine::new(4).run(&q, &rels).unwrap();
     assert!(result.output.is_empty());
 }
 
@@ -140,7 +140,7 @@ fn unary_filter_relation_folds_in() {
         Relation::<Count>::binary_ones(b, c, [(5, 7), (6, 8)]),
         filter,
     ];
-    let result = execute(4, &q, &rels);
+    let result = QueryEngine::new(4).run(&q, &rels).unwrap();
     let oracle = execute_sequential(&q, &rels);
     assert!(result.output.semantically_eq(&oracle));
     // a=2 is filtered out; a=1 carries weight 10.
@@ -165,8 +165,8 @@ fn plan_loads_are_deterministic() {
         Relation::<Count>::binary_ones(Attr(0), Attr(1), (0..200u64).map(|i| (i % 40, i % 13))),
         Relation::<Count>::binary_ones(Attr(1), Attr(2), (0..200u64).map(|i| (i % 13, i % 31))),
     ];
-    let r1 = execute(8, &q, &rels);
-    let r2 = execute(8, &q, &rels);
+    let r1 = QueryEngine::new(8).run(&q, &rels).unwrap();
+    let r2 = QueryEngine::new(8).run(&q, &rels).unwrap();
     assert_eq!(r1.cost, r2.cost);
     assert!(r1.output.semantically_eq(&r2.output));
 }

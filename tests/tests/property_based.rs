@@ -5,7 +5,7 @@
 
 use mpcjoin::mpc::DetRng;
 use mpcjoin::prelude::*;
-use mpcjoin::{execute, execute_baseline, execute_sequential};
+use mpcjoin::{execute_sequential, PlanChoice, QueryEngine};
 use std::collections::BTreeSet;
 
 const CASES: u64 = 24;
@@ -49,10 +49,13 @@ fn matmul_agrees_with_oracle() {
             [Attr(0), Attr(2)],
         );
         let rels = [r1, r2];
-        let result = execute(p, &q, &rels);
+        let result = QueryEngine::new(p).run(&q, &rels).unwrap();
         let oracle = execute_sequential(&q, &rels);
         assert!(result.output.semantically_eq(&oracle));
-        let base = execute_baseline(p, &q, &rels);
+        let base = QueryEngine::new(p)
+            .plan(PlanChoice::Baseline)
+            .run(&q, &rels)
+            .unwrap();
         assert!(base.output.semantically_eq(&oracle));
     }
 }
@@ -75,7 +78,7 @@ fn line_agrees_with_oracle() {
             [Attr(0), Attr(3)],
         );
         let rels = [r1, r2, r3];
-        let result = execute(p, &q, &rels);
+        let result = QueryEngine::new(p).run(&q, &rels).unwrap();
         assert!(result
             .output
             .semantically_eq(&execute_sequential(&q, &rels)));
@@ -100,7 +103,7 @@ fn star_agrees_with_oracle() {
             [Attr(0), Attr(1), Attr(2)],
         );
         let rels = [r1, r2, r3];
-        let result = execute(p, &q, &rels);
+        let result = QueryEngine::new(p).run(&q, &rels).unwrap();
         assert!(result
             .output
             .semantically_eq(&execute_sequential(&q, &rels)));
@@ -128,7 +131,7 @@ fn general_twig_agrees_with_oracle() {
             [Attr(0), Attr(1), Attr(2), Attr(3)],
         );
         let rels = [e0, e1, bridge, e2, e3];
-        let result = execute(6, &q, &rels);
+        let result = QueryEngine::new(6).run(&q, &rels).unwrap();
         assert!(result
             .output
             .semantically_eq(&execute_sequential(&q, &rels)));
@@ -154,7 +157,7 @@ fn internal_outputs_agree_with_oracle() {
             [Attr(0), Attr(1), Attr(3)],
         );
         let rels = [r1, r2, r3];
-        let result = execute(6, &q, &rels);
+        let result = QueryEngine::new(6).run(&q, &rels).unwrap();
         assert!(result
             .output
             .semantically_eq(&execute_sequential(&q, &rels)));

@@ -3,7 +3,7 @@
 //! actually shortest, witness sets are actually witnesses, counts count.
 
 use mpcjoin::prelude::*;
-use mpcjoin::{execute, execute_sequential, PlanKind};
+use mpcjoin::{execute_sequential, PlanKind, QueryEngine};
 
 const A: Attr = Attr(0);
 const B: Attr = Attr(1);
@@ -33,7 +33,7 @@ fn mincount_counts_shortest_paths() {
         ),
         Relation::from_entries(Schema::binary(C, D), vec![(vec![4, 9], w(2))]),
     ];
-    let result = execute(4, &q, &rels);
+    let result = QueryEngine::new(4).run(&q, &rels).unwrap();
     assert!(result
         .output
         .semantically_eq(&execute_sequential(&q, &rels)));
@@ -58,7 +58,7 @@ fn viterbi_most_probable_route() {
             vec![(vec![1, 7], half), (vec![2, 7], Viterbi::one())],
         ),
     ];
-    let result = execute(4, &q, &rels);
+    let result = QueryEngine::new(4).run(&q, &rels).unwrap();
     assert!(result
         .output
         .semantically_eq(&execute_sequential(&q, &rels)));
@@ -81,7 +81,7 @@ fn product_semiring_computes_two_aggregates_at_once() {
             vec![(vec![1, 5], mk(1)), (vec![2, 5], mk(2))],
         ),
     ];
-    let result = execute(4, &q, &rels);
+    let result = QueryEngine::new(4).run(&q, &rels).unwrap();
     let canonical = result.output.canonical();
     assert_eq!(canonical.len(), 1, "one output expected");
     let (row, Prod(count, dist)) = &canonical[0];
@@ -105,7 +105,7 @@ fn bottleneck_widest_path_line_query() {
         ),
         Relation::from_entries(Schema::binary(C, D), vec![(vec![4, 9], cap(8))]),
     ];
-    let result = execute(4, &q, &rels);
+    let result = QueryEngine::new(4).run(&q, &rels).unwrap();
     assert!(result
         .output
         .semantically_eq(&execute_sequential(&q, &rels)));
@@ -143,7 +143,7 @@ fn whyprov_star_witnesses_are_sound_and_complete() {
             ],
         ),
     ];
-    let result = execute(4, &q, &rels);
+    let result = QueryEngine::new(4).run(&q, &rels).unwrap();
     assert_eq!(result.plan, PlanKind::Star);
     assert!(result
         .output
@@ -175,7 +175,7 @@ fn maxplus_longest_path() {
             vec![(vec![1, 4], w(10)), (vec![2, 4], w(1))],
         ),
     ];
-    let result = execute(4, &q, &rels);
+    let result = QueryEngine::new(4).run(&q, &rels).unwrap();
     let (_, longest) = &result.output.canonical()[0];
     // max(3+10, 7+1) = 13.
     assert_eq!(longest.value(), Some(13));

@@ -7,7 +7,7 @@
 //! exact aggregated values against the oracle.
 
 use mpcjoin::prelude::*;
-use mpcjoin::{execute, execute_sequential, PlanKind};
+use mpcjoin::{execute_sequential, PlanKind, QueryEngine};
 
 fn weighted(
     x: Attr,
@@ -31,7 +31,7 @@ fn weighted_matmul() {
         weighted(a, b, (0..60).map(|i| (i % 12, i % 7, 1 + i % 5))),
         weighted(b, c, (0..60).map(|i| (i % 7, i % 9, 1 + i % 3))),
     ];
-    let result = execute(8, &q, &rels);
+    let result = QueryEngine::new(8).run(&q, &rels).unwrap();
     assert!(result
         .output
         .semantically_eq(&execute_sequential(&q, &rels)));
@@ -56,7 +56,7 @@ fn weighted_reduce_fold() {
         weighted(attrs[1], attrs[2], [(10, 20, 7), (11, 21, 11), (10, 21, 1)]),
         weighted(attrs[2], attrs[3], [(20, 30, 13), (21, 30, 2)]),
     ];
-    let result = execute(4, &q, &rels);
+    let result = QueryEngine::new(4).run(&q, &rels).unwrap();
     let oracle = execute_sequential(&q, &rels);
     assert!(result.output.semantically_eq(&oracle));
     // Hand-checked: a=1 paths: (1,10,20,30):2·7·13=182, (1,10,21,30):2·1·2=4,
@@ -96,7 +96,7 @@ fn weighted_line_query() {
             (0..40).map(|i| (i % 6, i % 7, 1 + i % 3)),
         ),
     ];
-    let result = execute(8, &q, &rels);
+    let result = QueryEngine::new(8).run(&q, &rels).unwrap();
     assert_eq!(result.plan, PlanKind::Line);
     assert!(result
         .output
@@ -119,7 +119,7 @@ fn weighted_star_query() {
         weighted(Attr(1), b, (0..24).map(|i| (i % 5, i % 3, 1 + i % 4))),
         weighted(Attr(2), b, (0..24).map(|i| (i % 4, i % 3, 1 + i % 2))),
     ];
-    let result = execute(8, &q, &rels);
+    let result = QueryEngine::new(8).run(&q, &rels).unwrap();
     assert_eq!(result.plan, PlanKind::Star);
     assert!(result
         .output
@@ -146,7 +146,7 @@ fn weighted_general_twig() {
         weighted(b2, Attr(2), (0..16).map(|i| (i % 2, i % 6, 1 + i % 4))),
         weighted(b2, Attr(3), (0..16).map(|i| (i % 2, i % 3, 1 + i % 5))),
     ];
-    let result = execute(8, &q, &rels);
+    let result = QueryEngine::new(8).run(&q, &rels).unwrap();
     assert_eq!(result.plan, PlanKind::Tree);
     assert!(result
         .output
@@ -163,7 +163,7 @@ fn duplicate_rows_in_bag_inputs() {
         weighted(a, b, [(1, 5, 2), (1, 5, 3), (2, 5, 1)]),
         weighted(b, c, [(5, 9, 4), (5, 9, 1)]),
     ];
-    let result = execute(4, &q, &rels);
+    let result = QueryEngine::new(4).run(&q, &rels).unwrap();
     let oracle = execute_sequential(&q, &rels);
     assert!(result.output.semantically_eq(&oracle));
     // (1,9): (2+3)·(4+1) = 25; (2,9): 1·5 = 5.
