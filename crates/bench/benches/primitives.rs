@@ -3,6 +3,11 @@
 //! skew-optimal two-way join, across input sizes. Plain `main` timing
 //! loop (no external harness); run with
 //! `cargo bench --bench primitives [-- --threads N]`.
+//!
+//! Besides the printed timings, writes the machine-readable
+//! `BENCH_microbench.json` artifact (schema `mpcjoin-bench-v1`): per
+//! primitive and input size, the measured MPC load next to its `O(N/p)`-
+//! style bound and the best wall-clock at the configured thread count.
 
 use mpcjoin::mpc::primitives::reduce::reduce_by_key;
 use mpcjoin::mpc::primitives::scan::parallel_packing;
@@ -10,54 +15,137 @@ use mpcjoin::mpc::primitives::search::multi_search;
 use mpcjoin::mpc::primitives::sort::sort_by_key;
 use mpcjoin::mpc::{join::full_join, Cluster, DistRelation};
 use mpcjoin::prelude::*;
-use mpcjoin_bench::bench_case;
+use mpcjoin_bench::{bench_case, emit_json, BenchArtifact, BenchRecord};
 
-fn bench_sort() {
+const P: usize = 16;
+
+/// Build one artifact row from a primitive's measured (load, out) and
+/// its linear-per-server bound, mirroring the engine auditor's
+/// `measured ≤ slack·bound + p` rule (slack 4, additive p).
+fn record(
+    experiment: &str,
+    workload: String,
+    n: u64,
+    out: u64,
+    load: u64,
+    bound: f64,
+    wall: std::time::Duration,
+) -> BenchRecord {
+    BenchRecord {
+        experiment: experiment.to_string(),
+        workload,
+        p: P as u64,
+        n,
+        out,
+        base_load: 0,
+        load,
+        bound,
+        ratio: if bound > 0.0 {
+            load as f64 / bound
+        } else {
+            0.0
+        },
+        within: (load as f64) <= 4.0 * bound + P as f64,
+        threads: mpcjoin::mpc::exec::default_threads() as u64,
+        wall_ns: wall.as_nanos() as u64,
+    }
+}
+
+fn bench_sort(records: &mut Vec<BenchRecord>) {
     for n in [1_000u64, 10_000, 50_000] {
         let items: Vec<u64> = (0..n).map(|i| (i * 2_654_435_761) % n).collect();
-        bench_case(&format!("primitive_sort/{n}"), 10, || {
-            let mut cluster = Cluster::new(16);
+        let run = || {
+            let mut cluster = Cluster::new(P);
             let data = cluster.scatter_initial(items.clone());
-            sort_by_key(&mut cluster, data, |x| *x).total_len()
-        });
+            let out = sort_by_key(&mut cluster, data, |x| *x).total_len();
+            (out, cluster.report().load)
+        };
+        let (out, load) = run();
+        let wall = bench_case(&format!("primitive_sort/{n}"), 10, || run().1);
+        records.push(record(
+            "primitive_sort",
+            format!("n={n}"),
+            n,
+            out as u64,
+            load,
+            n as f64 / P as f64,
+            wall,
+        ));
     }
 }
 
-fn bench_reduce() {
+fn bench_reduce(records: &mut Vec<BenchRecord>) {
     for n in [1_000u64, 10_000, 50_000] {
         let pairs: Vec<(u64, u64)> = (0..n).map(|i| (i % (n / 10 + 1), 1)).collect();
-        bench_case(&format!("primitive_reduce_by_key/{n}"), 10, || {
-            let mut cluster = Cluster::new(16);
+        let run = || {
+            let mut cluster = Cluster::new(P);
             let data = cluster.scatter_initial(pairs.clone());
-            reduce_by_key(&mut cluster, data, |a, b| *a += b).total_len()
-        });
+            let out = reduce_by_key(&mut cluster, data, |a, b| *a += b).total_len();
+            (out, cluster.report().load)
+        };
+        let (out, load) = run();
+        let wall = bench_case(&format!("primitive_reduce_by_key/{n}"), 10, || run().1);
+        records.push(record(
+            "primitive_reduce_by_key",
+            format!("n={n}"),
+            n,
+            out as u64,
+            load,
+            n as f64 / P as f64,
+            wall,
+        ));
     }
 }
 
-fn bench_multi_search() {
+fn bench_multi_search(records: &mut Vec<BenchRecord>) {
     for n in [1_000u64, 10_000] {
-        bench_case(&format!("primitive_multi_search/{n}"), 10, || {
-            let mut cluster = Cluster::new(16);
+        let run = || {
+            let mut cluster = Cluster::new(P);
             let cat =
                 cluster.scatter_initial((0..n).step_by(2).map(|k| (k, k)).collect::<Vec<_>>());
             let qs = cluster.scatter_initial((0..n).collect::<Vec<_>>());
-            multi_search(&mut cluster, qs, |q| *q, cat).total_len()
-        });
+            let out = multi_search(&mut cluster, qs, |q| *q, cat).total_len();
+            (out, cluster.report().load)
+        };
+        let (out, load) = run();
+        let wall = bench_case(&format!("primitive_multi_search/{n}"), 10, || run().1);
+        // Catalog N/2 entries plus N queries move through the cluster.
+        records.push(record(
+            "primitive_multi_search",
+            format!("n={n}"),
+            n,
+            out as u64,
+            load,
+            (n + n / 2) as f64 / P as f64,
+            wall,
+        ));
     }
 }
 
-fn bench_packing() {
+fn bench_packing(records: &mut Vec<BenchRecord>) {
     for n in [1_000u64, 20_000] {
         let weights: Vec<u64> = (0..n).map(|i| 1 + i % 10).collect();
-        bench_case(&format!("primitive_parallel_packing/{n}"), 10, || {
-            let mut cluster = Cluster::new(16);
+        let run = || {
+            let mut cluster = Cluster::new(P);
             let data = cluster.scatter_initial(weights.clone());
-            parallel_packing(&mut cluster, data, |w| *w, 100).groups
-        });
+            let out = parallel_packing(&mut cluster, data, |w| *w, 100).groups;
+            (out, cluster.report().load)
+        };
+        let (out, load) = run();
+        let wall = bench_case(&format!("primitive_parallel_packing/{n}"), 10, || run().1);
+        records.push(record(
+            "primitive_parallel_packing",
+            format!("n={n}"),
+            n,
+            out,
+            load,
+            n as f64 / P as f64,
+            wall,
+        ));
     }
 }
 
-fn bench_two_way_join() {
+fn bench_two_way_join(records: &mut Vec<BenchRecord>) {
     for skew in ["uniform", "heavy"] {
         let n = 5_000u64;
         let r1: Relation<Count> = match skew {
@@ -68,21 +156,36 @@ fn bench_two_way_join() {
             "uniform" => Relation::binary_ones(Attr(1), Attr(2), (0..n).map(|i| (i % 500, i))),
             _ => Relation::binary_ones(Attr(1), Attr(2), (0..n).map(|i| (i % 5, i))),
         };
-        bench_case(&format!("primitive_two_way_join/{skew}"), 10, || {
-            let mut cluster = Cluster::new(16);
+        let run = || {
+            let mut cluster = Cluster::new(P);
             let d1 = DistRelation::scatter(&cluster, &r1);
             let d2 = DistRelation::scatter(&cluster, &r2);
-            full_join(&mut cluster, &d1, &d2).total_len()
-        });
+            let out = full_join(&mut cluster, &d1, &d2).total_len();
+            (out, cluster.report().load)
+        };
+        let (out, load) = run();
+        let wall = bench_case(&format!("primitive_two_way_join/{skew}"), 10, || run().1);
+        // The skew-optimal join moves O((N1 + N2 + OUT)/p).
+        records.push(record(
+            "primitive_two_way_join",
+            format!("skew={skew}"),
+            2 * n,
+            out as u64,
+            load,
+            (2 * n + out as u64) as f64 / P as f64,
+            wall,
+        ));
     }
 }
 
 fn main() {
     let threads = mpcjoin_bench::init_threads();
     println!("primitives bench — {threads} local thread(s)\n");
-    bench_sort();
-    bench_reduce();
-    bench_multi_search();
-    bench_packing();
-    bench_two_way_join();
+    let mut records = Vec::new();
+    bench_sort(&mut records);
+    bench_reduce(&mut records);
+    bench_multi_search(&mut records);
+    bench_packing(&mut records);
+    bench_two_way_join(&mut records);
+    emit_json(&BenchArtifact::new(records), "BENCH_microbench.json");
 }

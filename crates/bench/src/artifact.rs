@@ -1,0 +1,339 @@
+//! Machine-readable bench artifacts and the regression differ behind
+//! `bench_check`.
+//!
+//! Every Table-1 experiment row becomes a [`BenchRecord`]; a harness run
+//! collects them into a [`BenchArtifact`] and writes it as JSON (schema
+//! [`SCHEMA`]). CI commits one artifact as the baseline
+//! (`results/BENCH_baseline_table1.json`), regenerates a fresh one per
+//! run, and [`diff`]s the two: measured *loads* are deterministic on the
+//! simulator, so any load above the baseline (beyond a small tolerance
+//! for intentional re-tuning) is a real algorithmic regression, and any
+//! row whose bound audit newly flips to a violation is a broken bound.
+//! Wall-clock fields are carried for the record but never diffed — they
+//! vary with the machine.
+
+use mpcjoin::mpc::json::Json;
+use mpcjoin::prelude::*;
+
+/// Schema tag of the artifact documents.
+pub const SCHEMA: &str = "mpcjoin-bench-v1";
+
+/// One experiment configuration's measured outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Experiment family, e.g. `"table1_mm"`.
+    pub experiment: String,
+    /// Workload point within the family, e.g. `"side=8"`.
+    pub workload: String,
+    /// Servers.
+    pub p: u64,
+    /// Input size N under the experiment's convention (total size for
+    /// matrix multiplication, max relation size for the join families).
+    pub n: u64,
+    /// Output size.
+    pub out: u64,
+    /// Measured load of the distributed Yannakakis baseline (0 when the
+    /// experiment has no baseline arm).
+    pub base_load: u64,
+    /// Measured load of the paper's algorithm.
+    pub load: u64,
+    /// The closed-form bound audited against (units, constants stripped).
+    pub bound: f64,
+    /// `load / bound` (0 when the bound is 0).
+    pub ratio: f64,
+    /// The audit verdict: `load ≤ slack·bound + p`.
+    pub within: bool,
+    /// Local-execution threads the run used (informational).
+    pub threads: u64,
+    /// Wall-clock of the new-algorithm run in nanoseconds
+    /// (informational; never diffed).
+    pub wall_ns: u64,
+}
+
+impl BenchRecord {
+    /// Build a record from a finished engine run (plus its baseline's
+    /// load, when the experiment ran one).
+    pub fn from_run<S: Semiring>(
+        experiment: &str,
+        workload: &str,
+        p: usize,
+        n: u64,
+        out: u64,
+        result: &ExecutionResult<S>,
+        base_load: u64,
+    ) -> BenchRecord {
+        let a = &result.audit;
+        BenchRecord {
+            experiment: experiment.to_string(),
+            workload: workload.to_string(),
+            p: p as u64,
+            n,
+            out,
+            base_load,
+            load: result.cost.load,
+            bound: a.bound,
+            ratio: if a.ratio.is_finite() { a.ratio } else { 0.0 },
+            within: a.within,
+            threads: mpcjoin::mpc::exec::default_threads() as u64,
+            wall_ns: result.cost.elapsed.as_nanos() as u64,
+        }
+    }
+
+    /// The identity under which [`diff`] matches baseline and fresh rows.
+    pub fn key(&self) -> (String, String, u64, u64, u64) {
+        (
+            self.experiment.clone(),
+            self.workload.clone(),
+            self.p,
+            self.n,
+            self.out,
+        )
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("experiment".into(), Json::Str(self.experiment.clone())),
+            ("workload".into(), Json::Str(self.workload.clone())),
+            ("p".into(), Json::Num(self.p as f64)),
+            ("n".into(), Json::Num(self.n as f64)),
+            ("out".into(), Json::Num(self.out as f64)),
+            ("base_load".into(), Json::Num(self.base_load as f64)),
+            ("load".into(), Json::Num(self.load as f64)),
+            ("bound".into(), Json::Num(self.bound)),
+            ("ratio".into(), Json::Num(self.ratio)),
+            ("within".into(), Json::Bool(self.within)),
+            ("threads".into(), Json::Num(self.threads as f64)),
+            ("wall_ns".into(), Json::Num(self.wall_ns as f64)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<BenchRecord, String> {
+        let s = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("record missing string `{k}`"))
+        };
+        let u = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("record missing integer `{k}`"))
+        };
+        let f = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("record missing number `{k}`"))
+        };
+        Ok(BenchRecord {
+            experiment: s("experiment")?,
+            workload: s("workload")?,
+            p: u("p")?,
+            n: u("n")?,
+            out: u("out")?,
+            base_load: u("base_load")?,
+            load: u("load")?,
+            bound: f("bound")?,
+            ratio: f("ratio")?,
+            within: match j.get("within") {
+                Some(Json::Bool(b)) => *b,
+                _ => return Err("record missing boolean `within`".into()),
+            },
+            threads: u("threads")?,
+            wall_ns: u("wall_ns")?,
+        })
+    }
+}
+
+/// A harness run's full set of records.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchArtifact {
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchArtifact {
+    pub fn new(records: Vec<BenchRecord>) -> BenchArtifact {
+        BenchArtifact { records }
+    }
+
+    /// Serialize as a pretty-enough compact JSON document.
+    pub fn to_json_string(&self) -> String {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(SCHEMA.into())),
+            (
+                "records".into(),
+                Json::Arr(self.records.iter().map(BenchRecord::to_json).collect()),
+            ),
+        ])
+        .to_string_compact()
+        .expect("bench records contain only finite numbers")
+    }
+
+    /// Parse a document produced by [`BenchArtifact::to_json_string`].
+    pub fn parse(text: &str) -> Result<BenchArtifact, String> {
+        let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA) => {}
+            Some(other) => return Err(format!("unknown schema `{other}`")),
+            None => return Err("missing `schema`".into()),
+        }
+        let records = doc
+            .get("records")
+            .and_then(Json::as_arr)
+            .ok_or("missing `records` array")?
+            .iter()
+            .map(BenchRecord::from_json)
+            .collect::<Result<_, _>>()?;
+        Ok(BenchArtifact { records })
+    }
+}
+
+/// Compare a fresh artifact against the committed baseline.
+///
+/// Fails (returning every violation) when a fresh row's load exceeds its
+/// baseline row's load by more than `load_tol` (fractional, e.g. `0.05`),
+/// when a row's bound audit flips from within-bound to violating, or
+/// when a baseline row has no fresh counterpart (coverage loss). Fresh
+/// rows with no baseline counterpart are reported in the success summary
+/// — new coverage is fine, it just means the baseline wants regenerating.
+/// Wall-clock and thread counts are never compared.
+pub fn diff(
+    baseline: &BenchArtifact,
+    fresh: &BenchArtifact,
+    load_tol: f64,
+) -> Result<String, Vec<String>> {
+    let fresh_by_key: std::collections::BTreeMap<_, _> =
+        fresh.records.iter().map(|r| (r.key(), r)).collect();
+    let mut errors = Vec::new();
+    let mut matched = 0usize;
+    for old in &baseline.records {
+        let id = format!(
+            "{}/{} (p={}, N={}, OUT={})",
+            old.experiment, old.workload, old.p, old.n, old.out
+        );
+        let Some(new) = fresh_by_key.get(&old.key()) else {
+            errors.push(format!(
+                "{id}: present in baseline but missing from the fresh run"
+            ));
+            continue;
+        };
+        matched += 1;
+        let allowed = (old.load as f64 * (1.0 + load_tol)).ceil() as u64;
+        if new.load > allowed {
+            errors.push(format!(
+                "{id}: load regressed {} -> {} (allowed ≤ {allowed} at tol {load_tol})",
+                old.load, new.load
+            ));
+        }
+        if old.within && !new.within {
+            errors.push(format!(
+                "{id}: new bound violation (load {} vs bound {:.1}, ratio {:.2})",
+                new.load, new.bound, new.ratio
+            ));
+        }
+    }
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+    let extra = fresh.records.len().saturating_sub(matched);
+    Ok(format!(
+        "bench OK: {matched} rows within tolerance {load_tol}{}",
+        if extra > 0 {
+            format!(", {extra} new rows not in baseline")
+        } else {
+            String::new()
+        }
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(load: u64, within: bool) -> BenchRecord {
+        BenchRecord {
+            experiment: "table1_mm".into(),
+            workload: "side=8".into(),
+            p: 16,
+            n: 4608,
+            out: 4608,
+            base_load: 1826,
+            load,
+            bound: 867.81,
+            ratio: load as f64 / 867.81,
+            within,
+            threads: 4,
+            wall_ns: 1_234_567,
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips_through_json() {
+        let art = BenchArtifact::new(vec![record(700, true), record(900, false)]);
+        let text = art.to_json_string();
+        assert!(text.contains("\"schema\":\"mpcjoin-bench-v1\""));
+        assert_eq!(BenchArtifact::parse(&text).unwrap(), art);
+    }
+
+    #[test]
+    fn parse_rejects_foreign_schemas() {
+        assert!(BenchArtifact::parse("{\"schema\":\"other\",\"records\":[]}").is_err());
+        assert!(BenchArtifact::parse("{\"records\":[]}").is_err());
+        assert!(BenchArtifact::parse("not json").is_err());
+    }
+
+    #[test]
+    fn diff_passes_identical_and_improved_runs() {
+        let base = BenchArtifact::new(vec![record(700, true)]);
+        assert!(diff(&base, &base, 0.05).is_ok());
+        let better = BenchArtifact::new(vec![record(600, true)]);
+        assert!(diff(&base, &better, 0.05).is_ok());
+        // Inside the tolerance band is fine too.
+        let wobble = BenchArtifact::new(vec![record(731, true)]);
+        assert!(diff(&base, &wobble, 0.05).is_ok());
+    }
+
+    #[test]
+    fn diff_fails_on_injected_load_regression() {
+        // The synthetic-regression guarantee: inflate one row's load and
+        // the differ must fail, naming the offending configuration.
+        let base = BenchArtifact::new(vec![record(700, true)]);
+        let regressed = BenchArtifact::new(vec![record(1400, true)]);
+        let errors = diff(&base, &regressed, 0.05).unwrap_err();
+        assert_eq!(errors.len(), 1);
+        assert!(
+            errors[0].contains("load regressed 700 -> 1400"),
+            "{errors:?}"
+        );
+        assert!(errors[0].contains("table1_mm/side=8"), "{errors:?}");
+    }
+
+    #[test]
+    fn diff_fails_on_new_bound_violations_only() {
+        let base = BenchArtifact::new(vec![record(700, true)]);
+        let violating = BenchArtifact::new(vec![record(701, false)]);
+        let errors = diff(&base, &violating, 0.05).unwrap_err();
+        assert!(errors[0].contains("new bound violation"), "{errors:?}");
+        // A violation already in the baseline is not *new*.
+        let known = BenchArtifact::new(vec![record(700, false)]);
+        assert!(diff(&known, &known, 0.05).is_ok());
+    }
+
+    #[test]
+    fn diff_fails_on_lost_coverage() {
+        let base = BenchArtifact::new(vec![record(700, true)]);
+        let empty = BenchArtifact::new(vec![]);
+        let errors = diff(&base, &empty, 0.05).unwrap_err();
+        assert!(
+            errors[0].contains("missing from the fresh run"),
+            "{errors:?}"
+        );
+        // Extra fresh rows are fine and reported.
+        let more = BenchArtifact::new(vec![record(700, true), {
+            let mut r = record(50, true);
+            r.workload = "side=32".into();
+            r
+        }]);
+        let msg = diff(&base, &more, 0.05).unwrap();
+        assert!(msg.contains("1 new rows"), "{msg}");
+    }
+}

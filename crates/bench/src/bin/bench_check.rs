@@ -1,0 +1,67 @@
+//! `bench_check` — diff a fresh bench artifact against a committed
+//! baseline and fail on regressions. Used by CI after regenerating
+//! `BENCH_table1.json` at the baseline's scale.
+//!
+//! ```text
+//! bench_check <baseline.json> <fresh.json> [--tol FRAC]
+//! ```
+//!
+//! Exits nonzero when a fresh row's measured load exceeds its baseline
+//! row by more than `--tol` (default 0.05 — loads are deterministic on
+//! the simulator, the band only absorbs intentional re-tuning), when any
+//! row's bound audit newly flips to a violation, or when a baseline row
+//! is missing from the fresh run. Wall-clock fields are never compared.
+
+use mpcjoin_bench::{artifact, BenchArtifact};
+use std::process::ExitCode;
+
+fn run() -> Result<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tol = 0.05f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tol" => {
+                tol = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--tol expects a fraction, e.g. 0.05")?
+            }
+            "--help" | "-h" => {
+                return Err("usage: bench_check <baseline.json> <fresh.json> [--tol FRAC]".into())
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        return Err("usage: bench_check <baseline.json> <fresh.json> [--tol FRAC]".into());
+    };
+    let read = |path: &str| -> Result<BenchArtifact, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        BenchArtifact::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let baseline = read(baseline_path)?;
+    let fresh = read(fresh_path)?;
+    artifact::diff(&baseline, &fresh, tol).map_err(|errors| {
+        let mut msg = format!("{} regression(s) vs {baseline_path}:", errors.len());
+        for e in errors {
+            msg.push_str("\n  ");
+            msg.push_str(&e);
+        }
+        msg
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

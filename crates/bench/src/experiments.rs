@@ -1,9 +1,27 @@
 //! The experiments behind every table and figure (DESIGN.md §4 index).
+//!
+//! The Table-1 experiments return both a printable [`Table`] and the
+//! machine-readable [`BenchRecord`]s behind its rows, so the harness can
+//! write `BENCH_table1.json` for the `bench_check` regression differ.
 
+use crate::artifact::BenchRecord;
 use crate::table::{Cell, Table};
 use mpcjoin::matmul::{hard, theory};
 use mpcjoin::prelude::*;
 use mpcjoin::workload::{chain, matrix, rng, star, trees};
+
+/// The printed ratio/audit pair for a run: `measured/bound` under the
+/// engine's own [`mpcjoin::BoundAuditor`], and its verdict.
+fn audit_cells<S: Semiring>(r: &ExecutionResult<S>) -> [Cell; 2] {
+    [
+        Cell::Float(if r.audit.ratio.is_finite() {
+            r.audit.ratio
+        } else {
+            0.0
+        }),
+        Cell::Text(if r.audit.within { "ok" } else { "VIOLATION" }.into()),
+    ]
+}
 
 /// Run the planner's algorithm end to end. The workloads here are
 /// constructed to match their queries, so engine errors are bugs.
@@ -47,9 +65,10 @@ fn mm_query() -> TreeQuery {
 /// **T1.mm** — Table 1, matrix multiplication row: measured load of the
 /// baseline vs. the Theorem-1 algorithm while OUT sweeps at (roughly)
 /// fixed N, for each p. `scale` shrinks the instances for smoke runs.
-pub fn table1_mm(ps: &[usize], scale: u64) -> Table {
+pub fn table1_mm(ps: &[usize], scale: u64) -> (Table, Vec<BenchRecord>) {
     let q = mm_query();
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for &p in ps {
         // Blocks: k blocks of side s with b-thickness 2 → N = 2·k·s·2,
         // OUT = k·s². Sweep s at N ≈ const by adjusting k.
@@ -63,6 +82,7 @@ pub fn table1_mm(ps: &[usize], scale: u64) -> Table {
             let new = execute(p, &q, &rels);
             let base = execute_baseline(p, &q, &rels);
             assert!(new.output.semantically_eq(&base.output));
+            let [ratio, audit] = audit_cells(&new);
             rows.push(vec![
                 Cell::Int(p as u64),
                 Cell::Int(2 * n),
@@ -72,10 +92,21 @@ pub fn table1_mm(ps: &[usize], scale: u64) -> Table {
                 Cell::Float(theory::yannakakis_mm_bound(2 * n, inst.out, p as u64)),
                 Cell::Float(theory::new_mm_bound(n, n, inst.out, p as u64)),
                 Cell::Float(base.cost.load as f64 / new.cost.load.max(1) as f64),
+                ratio,
+                audit,
             ]);
+            records.push(BenchRecord::from_run(
+                "table1_mm",
+                &format!("side={side}"),
+                p,
+                2 * n,
+                inst.out,
+                &new,
+                base.cost.load,
+            ));
         }
     }
-    Table {
+    let table = Table {
         title: "Table 1 / matrix multiplication: load vs OUT (blocks workload)".into(),
         header: [
             "p",
@@ -86,18 +117,22 @@ pub fn table1_mm(ps: &[usize], scale: u64) -> Table {
             "base bound",
             "new bound",
             "speedup",
+            "ratio",
+            "audit",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect(),
         rows,
-    }
+    };
+    (table, records)
 }
 
 /// **T1.mm.uneq** — Theorem 1 with unequal matrix sizes.
-pub fn table1_mm_unequal(p: usize, scale: u64) -> Table {
+pub fn table1_mm_unequal(p: usize, scale: u64) -> (Table, Vec<BenchRecord>) {
     let q = mm_query();
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for ratio in [1u64, 4, 16, 64] {
         let n2 = 256 * scale;
         let n1 = (n2 / ratio).max(2);
@@ -112,6 +147,7 @@ pub fn table1_mm_unequal(p: usize, scale: u64) -> Table {
         let new = execute(p, &q, &rels);
         let base = execute_baseline(p, &q, &rels);
         assert!(new.output.semantically_eq(&base.output));
+        let [aratio, audit] = audit_cells(&new);
         rows.push(vec![
             Cell::Int(n1),
             Cell::Int(n2),
@@ -119,21 +155,43 @@ pub fn table1_mm_unequal(p: usize, scale: u64) -> Table {
             Cell::Int(base.cost.load),
             Cell::Int(new.cost.load),
             Cell::Float(theory::new_mm_bound(n1, n2, inst.out, p as u64)),
+            aratio,
+            audit,
         ]);
+        records.push(BenchRecord::from_run(
+            "table1_mm_unequal",
+            &format!("ratio={ratio}"),
+            p,
+            n1 + n2,
+            inst.out,
+            &new,
+            base.cost.load,
+        ));
     }
-    Table {
+    let table = Table {
         title: format!("Theorem 1 / unequal sizes (p = {p})"),
-        header: ["N1", "N2", "OUT", "base load", "new load", "new bound"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        header: [
+            "N1",
+            "N2",
+            "OUT",
+            "base load",
+            "new load",
+            "new bound",
+            "ratio",
+            "audit",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
         rows,
-    }
+    };
+    (table, records)
 }
 
 /// **T1.line** — Table 1, line row: 3-hop chains, fan-out sweep.
-pub fn table1_line(p: usize, scale: u64) -> Table {
+pub fn table1_line(p: usize, scale: u64) -> (Table, Vec<BenchRecord>) {
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     // The funnel family: per group, k² join witnesses collapse onto m
     // outputs; sweeping k grows the baseline's intermediate join while
     // OUT stays fixed.
@@ -143,6 +201,7 @@ pub fn table1_line(p: usize, scale: u64) -> Table {
         let new = execute(p, &inst.query, &inst.rels);
         let base = execute_baseline(p, &inst.query, &inst.rels);
         assert!(new.output.semantically_eq(&base.output));
+        let [ratio, audit] = audit_cells(&new);
         rows.push(vec![
             Cell::Int(n),
             Cell::Int(inst.out),
@@ -151,9 +210,20 @@ pub fn table1_line(p: usize, scale: u64) -> Table {
             Cell::Float(theory::yannakakis_line_bound(n, inst.out, p as u64)),
             Cell::Float(theory::new_star_line_bound(n, inst.out, p as u64)),
             Cell::Float(base.cost.load as f64 / new.cost.load.max(1) as f64),
+            ratio,
+            audit,
         ]);
+        records.push(BenchRecord::from_run(
+            "table1_line",
+            &format!("k={k}"),
+            p,
+            n,
+            inst.out,
+            &new,
+            base.cost.load,
+        ));
     }
-    Table {
+    let table = Table {
         title: format!("Table 1 / line queries (3-hop funnel, p = {p})"),
         header: [
             "N/rel",
@@ -163,17 +233,21 @@ pub fn table1_line(p: usize, scale: u64) -> Table {
             "base bound",
             "new bound",
             "speedup",
+            "ratio",
+            "audit",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect(),
         rows,
-    }
+    };
+    (table, records)
 }
 
 /// **T1.star** — Table 1, star row: 3-arm stars, degree sweep.
-pub fn table1_star(p: usize, scale: u64) -> Table {
+pub fn table1_star(p: usize, scale: u64) -> (Table, Vec<BenchRecord>) {
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     // The overlapping family: `centers` duplicate witnesses per output;
     // OUT = d³ stays fixed while the baseline's full join grows.
     for centers in [1u64, 4, 16, 64] {
@@ -182,6 +256,7 @@ pub fn table1_star(p: usize, scale: u64) -> Table {
         let new = execute(p, &inst.query, &inst.rels);
         let base = execute_baseline(p, &inst.query, &inst.rels);
         assert!(new.output.semantically_eq(&base.output));
+        let [ratio, audit] = audit_cells(&new);
         rows.push(vec![
             Cell::Int(n),
             Cell::Int(inst.out),
@@ -190,9 +265,20 @@ pub fn table1_star(p: usize, scale: u64) -> Table {
             Cell::Float(theory::yannakakis_star_bound(n, inst.out, p as u64, 3)),
             Cell::Float(theory::new_star_line_bound(n, inst.out, p as u64)),
             Cell::Float(base.cost.load as f64 / new.cost.load.max(1) as f64),
+            ratio,
+            audit,
         ]);
+        records.push(BenchRecord::from_run(
+            "table1_star",
+            &format!("centers={centers}"),
+            p,
+            n,
+            inst.out,
+            &new,
+            base.cost.load,
+        ));
     }
-    Table {
+    let table = Table {
         title: format!("Table 1 / star queries (3 arms, overlapping witnesses, p = {p})"),
         header: [
             "N/rel",
@@ -202,24 +288,29 @@ pub fn table1_star(p: usize, scale: u64) -> Table {
             "base bound",
             "new bound",
             "speedup",
+            "ratio",
+            "audit",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect(),
         rows,
-    }
+    };
+    (table, records)
 }
 
 /// **T1.tree** — Table 1, tree row: the Figure-3 twig, fan-out sweep.
-pub fn table1_tree(p: usize, scale: u64) -> Table {
+pub fn table1_tree(p: usize, scale: u64) -> (Table, Vec<BenchRecord>) {
     let q = trees::figure3_query();
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for centers in [2u64, 4, 8] {
         let inst = trees::overlapping_instance::<Count>(&q, centers * scale, 3);
         let n = inst.rels.iter().map(|r| r.len()).max().unwrap_or(0) as u64;
         let new = execute(p, &inst.query, &inst.rels);
         let base = execute_baseline(p, &inst.query, &inst.rels);
         assert!(new.output.semantically_eq(&base.output));
+        let [ratio, audit] = audit_cells(&new);
         rows.push(vec![
             Cell::Int(n),
             Cell::Int(inst.out),
@@ -227,9 +318,20 @@ pub fn table1_tree(p: usize, scale: u64) -> Table {
             Cell::Int(new.cost.load),
             Cell::Float(theory::yannakakis_line_bound(n, inst.out, p as u64)),
             Cell::Float(theory::new_tree_bound(n, inst.out, p as u64)),
+            ratio,
+            audit,
         ]);
+        records.push(BenchRecord::from_run(
+            "table1_tree",
+            &format!("centers={centers}"),
+            p,
+            n,
+            inst.out,
+            &new,
+            base.cost.load,
+        ));
     }
-    Table {
+    let table = Table {
         title: format!("Table 1 / tree queries (Figure-3 twig, overlapping witnesses, p = {p})"),
         header: [
             "N/rel",
@@ -238,12 +340,15 @@ pub fn table1_tree(p: usize, scale: u64) -> Table {
             "new load",
             "base bound",
             "new bound",
+            "ratio",
+            "audit",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect(),
         rows,
-    }
+    };
+    (table, records)
 }
 
 /// **LB.thm2 / LB.thm3** — the lower-bound instances: measured load of

@@ -7,9 +7,11 @@
 //! off the simulator's exact ledger, alongside the closed-form bounds of
 //! Table 1.
 
+pub mod artifact;
 pub mod experiments;
 pub mod table;
 
+pub use artifact::{diff, BenchArtifact, BenchRecord};
 pub use table::{print_table, to_csv, Cell, Table};
 
 /// Configure the simulator's local-execution thread pool for a harness
@@ -40,8 +42,9 @@ pub fn init_threads() -> usize {
 /// Minimal timing loop for the plain-`main` bench targets: run `f` once to
 /// warm up, then `iters` timed repetitions, and print the best and mean
 /// wall-clock per iteration. The closure's return value is consumed so the
-/// computation cannot be optimized away.
-pub fn bench_case<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+/// computation cannot be optimized away. Returns the best sample, for
+/// harnesses that also write machine-readable artifacts.
+pub fn bench_case<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> std::time::Duration {
     let sink = f();
     std::hint::black_box(&sink);
     let mut samples = Vec::with_capacity(iters as usize);
@@ -54,6 +57,7 @@ pub fn bench_case<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
     let best = samples.iter().min().copied().unwrap_or_default();
     let mean = samples.iter().sum::<std::time::Duration>() / iters.max(1);
     println!("{name:<48} best {best:>10.3?}   mean {mean:>10.3?}   ({iters} iters)");
+    best
 }
 
 /// Harness-binary output helper: print the table, and when the
@@ -67,6 +71,27 @@ pub fn emit(table: &Table, slug: &str) {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
     }
+}
+
+/// Write a machine-readable bench artifact (schema `mpcjoin-bench-v1`)
+/// as `<name>` into `MPCJOIN_BENCH_DIR` (preferred) or
+/// `MPCJOIN_CSV_DIR`, or next to the current directory when neither is
+/// set. Returns the path written, for the harness to log.
+pub fn emit_json(artifact: &BenchArtifact, name: &str) -> std::path::PathBuf {
+    let dir = std::env::var("MPCJOIN_BENCH_DIR")
+        .or_else(|_| std::env::var("MPCJOIN_CSV_DIR"))
+        .unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&dir).join(name);
+    if let Err(e) = std::fs::write(&path, artifact.to_json_string()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!(
+            "wrote {} ({} records)",
+            path.display(),
+            artifact.records.len()
+        );
+    }
+    path
 }
 
 /// Like [`emit`] for execution traces: print a short summary, and when

@@ -1,0 +1,306 @@
+//! Theoretical-bound auditing: check every measured load against the
+//! paper's bound for the plan that actually ran.
+//!
+//! Table 1 and Theorems 1–6 of Hu & Yi (PODS 2020) are `O(·)` statements;
+//! the simulator measures loads in exact units. The [`BoundAuditor`]
+//! closes the loop: after a [`crate::QueryEngine::run`], it evaluates the
+//! closed-form bound of the executed [`PlanKind`] (the formulas of
+//! [`mpcjoin_matmul::theory`], re-exported as [`crate::theory`]) on the
+//! instance's `(N, OUT, p)` and compares. The resulting [`AuditVerdict`]
+//! is attached to every [`crate::ExecutionResult`], surfaced in its
+//! `Display`, and embeddable in trace JSON (schema `mpcjoin-trace-v2`)
+//! and the bench artifacts.
+//!
+//! ## The slack constant
+//!
+//! `O(·)` hides constants, so the verdict's `within` flag tests
+//! `measured ≤ slack·bound + p` rather than `measured ≤ bound`. The
+//! default slack is [`DEFAULT_SLACK`] = 4: the §3.1 worst-case optimal
+//! algorithm's light-light grid delivers one A-bundle plus one C-bundle
+//! to each cell, each of size up to `2L` after parallel-packing, i.e.
+//! exactly `4·√(N1N2/p)` units in its routing round (measured and
+//! documented in EXPERIMENTS.md; observed ratios across the Table-1
+//! sweeps top out near 2.8 once clear of the small-instance floor). The
+//! additive `p·(1 + ⌈log₂p⌉²)` term covers the statistics exchanges —
+//! global sizes, degree histograms, and above all the `Θ(p·log p)`
+//! splitter samples each sample-sort pools at its coordinator, summed
+//! over the constant number of relations sorted concurrently in one
+//! round — that the theorems absorb under the `N ≥ p^{1+ε}` regime but
+//! that dominate on deliberately tiny instances (measured floor ≈
+//! `20·p`–`28·p` at scale 1, independent of `N`).
+
+use crate::planner::PlanKind;
+use mpcjoin_matmul::theory;
+use mpcjoin_mpc::json::Json;
+use mpcjoin_query::{classify, Shape, TreeQuery};
+use mpcjoin_relation::Relation;
+use mpcjoin_semiring::Semiring;
+use std::fmt;
+
+/// Default multiplicative slack applied to the paper's bounds: the
+/// largest constant the reproduced algorithms provably incur (the §3.1
+/// light-light grid's `4L` routing round).
+pub const DEFAULT_SLACK: f64 = 4.0;
+
+/// Outcome of checking one run's measured load against the theoretical
+/// bound of the plan that ran.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuditVerdict {
+    /// The plan whose bound was evaluated.
+    pub plan: PlanKind,
+    /// The closed-form bound in load units (an `O(·)` *shape*, constants
+    /// stripped).
+    pub bound: f64,
+    /// The measured load `L` of the run.
+    pub measured: u64,
+    /// `measured / bound`; [`f64::INFINITY`] when `bound` is zero but
+    /// units moved (serialized as `null` in JSON).
+    pub ratio: f64,
+    /// Multiplicative slack the verdict allowed.
+    pub slack: f64,
+    /// Additive allowance (in units) the verdict allowed —
+    /// [`BoundAuditor::additive_for`]`(p)`, covering the statistics
+    /// exchanges outside the `N ≥ p^{1+ε}` regime.
+    pub additive: f64,
+    /// `measured ≤ slack·bound + additive`.
+    pub within: bool,
+}
+
+impl AuditVerdict {
+    /// Serialize as a JSON value (embedded into trace documents and
+    /// bench artifacts). A non-finite `ratio` becomes `null` — the JSON
+    /// writer refuses non-finite numbers by design.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("plan".into(), Json::Str(format!("{:?}", self.plan))),
+            ("bound".into(), Json::Num(self.bound)),
+            ("measured".into(), Json::Num(self.measured as f64)),
+            (
+                "ratio".into(),
+                if self.ratio.is_finite() {
+                    Json::Num(self.ratio)
+                } else {
+                    Json::Null
+                },
+            ),
+            ("slack".into(), Json::Num(self.slack)),
+            ("additive".into(), Json::Num(self.additive)),
+            ("within".into(), Json::Bool(self.within)),
+        ])
+    }
+}
+
+impl fmt::Display for AuditVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ratio = if self.ratio.is_finite() {
+            format!("{:.2}", self.ratio)
+        } else {
+            "inf".to_string()
+        };
+        if self.within {
+            write!(
+                f,
+                "ratio {ratio} of bound {:.1} (ok, slack {:.1}x)",
+                self.bound, self.slack
+            )
+        } else {
+            write!(
+                f,
+                "ratio {ratio} of bound {:.1} (BOUND VIOLATION: {} > {:.1}x bound + {:.0})",
+                self.bound, self.measured, self.slack, self.additive
+            )
+        }
+    }
+}
+
+/// Audits measured loads against the paper's closed-form bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundAuditor {
+    slack: f64,
+}
+
+impl Default for BoundAuditor {
+    fn default() -> Self {
+        BoundAuditor::new()
+    }
+}
+
+impl BoundAuditor {
+    /// An auditor with the default slack ([`DEFAULT_SLACK`]).
+    pub fn new() -> Self {
+        BoundAuditor {
+            slack: DEFAULT_SLACK,
+        }
+    }
+
+    /// An auditor with an explicit multiplicative slack (≥ 0).
+    pub fn with_slack(slack: f64) -> Self {
+        BoundAuditor { slack }
+    }
+
+    /// The additive allowance for a run on `p` servers:
+    /// `p·(1 + ⌈log₂p⌉²)` units. Sample sort pools `Θ(p·log p)` splitter
+    /// samples at its coordinator and a constant number of relations are
+    /// sorted concurrently in one round, so tiny instances see a load
+    /// floor proportional to `p·log p` that no `O(·)` bound reflects;
+    /// the extra `log` is headroom for those stacked statistics rounds.
+    /// Negligible against `slack·bound` once `N ≥ p^{1+ε}`.
+    pub fn additive_for(p: usize) -> f64 {
+        let lg = (p as f64).log2().ceil().max(1.0);
+        p as f64 * (1.0 + lg * lg)
+    }
+
+    /// The closed-form bound (in load units, constants stripped) for
+    /// `plan` executed on an instance with the given per-edge relation
+    /// sizes, output size, and server count.
+    ///
+    /// `Line`/`Star`/`StarLike` share the paper's star/line bound and
+    /// `Tree` uses Theorem 6, both parameterized by `N = max |R_i|` (the
+    /// convention of Table 1 and the bench harness). The Yannakakis
+    /// baseline is audited against *its own* Table-1 column, which
+    /// depends on the query shape it ran on.
+    pub fn bound_for(&self, plan: PlanKind, q: &TreeQuery, sizes: &[u64], out: u64, p: u64) -> f64 {
+        let n_max = sizes.iter().copied().max().unwrap_or(0);
+        let n_total: u64 = sizes.iter().sum();
+        match plan {
+            PlanKind::MatMul => {
+                let (n1, n2) = match classify(q) {
+                    Shape::MatMul { r1, r2, .. } => (sizes[r1], sizes[r2]),
+                    _ => (n_max, n_max),
+                };
+                theory::new_mm_bound(n1, n2, out, p)
+            }
+            PlanKind::Line | PlanKind::Star | PlanKind::StarLike => {
+                theory::new_star_line_bound(n_max, out, p)
+            }
+            PlanKind::Tree => theory::new_tree_bound(n_max, out, p),
+            PlanKind::FreeConnexYannakakis => match classify(q) {
+                Shape::FreeConnex => theory::yannakakis_free_connex_bound(n_total, out, p),
+                Shape::MatMul { r1, r2, .. } => {
+                    theory::yannakakis_mm_bound(sizes[r1] + sizes[r2], out, p)
+                }
+                Shape::Star { arms, .. } => {
+                    theory::yannakakis_star_bound(n_max, out, p, arms.len() as u32)
+                }
+                _ => theory::yannakakis_line_bound(n_max, out, p),
+            },
+        }
+    }
+
+    /// Audit one finished run: evaluate the bound for `plan` on the
+    /// original `instance` (sizes taken before dangling removal, as in
+    /// the theorems) and compare against the measured load.
+    pub fn audit<S: Semiring>(
+        &self,
+        plan: PlanKind,
+        q: &TreeQuery,
+        instance: &[Relation<S>],
+        p: usize,
+        out: u64,
+        measured: u64,
+    ) -> AuditVerdict {
+        let sizes: Vec<u64> = instance.iter().map(|r| r.len() as u64).collect();
+        let bound = self.bound_for(plan, q, &sizes, out, p as u64);
+        let additive = BoundAuditor::additive_for(p);
+        let ratio = if bound > 0.0 {
+            measured as f64 / bound
+        } else if measured == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        AuditVerdict {
+            plan,
+            bound,
+            measured,
+            ratio,
+            slack: self.slack,
+            additive,
+            within: (measured as f64) <= self.slack * bound + additive,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_query::Edge;
+    use mpcjoin_relation::Attr;
+    use mpcjoin_semiring::Count;
+
+    fn mm_query() -> TreeQuery {
+        let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+        TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c])
+    }
+
+    #[test]
+    fn matmul_bound_uses_both_relation_sizes() {
+        let q = mm_query();
+        let auditor = BoundAuditor::new();
+        let b = auditor.bound_for(PlanKind::MatMul, &q, &[1 << 10, 1 << 14], 1 << 12, 64);
+        assert!((b - theory::new_mm_bound(1 << 10, 1 << 14, 1 << 12, 64)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_bound_follows_query_shape() {
+        let q = mm_query();
+        let auditor = BoundAuditor::new();
+        let b = auditor.bound_for(PlanKind::FreeConnexYannakakis, &q, &[100, 100], 50, 8);
+        assert!((b - theory::yannakakis_mm_bound(200, 50, 8)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn verdict_flags_violations_beyond_slack() {
+        let q = mm_query();
+        let r1 = Relation::<Count>::binary_ones(Attr(0), Attr(1), (0..1000u64).map(|i| (i, i)));
+        let r2 = Relation::<Count>::binary_ones(Attr(1), Attr(2), (0..1000u64).map(|i| (i, i)));
+        let rels = [r1, r2];
+        let auditor = BoundAuditor::new();
+        let bound = auditor.bound_for(PlanKind::MatMul, &q, &[1000, 1000], 1000, 16);
+        let ok = auditor.audit(PlanKind::MatMul, &q, &rels, 16, 1000, bound as u64);
+        assert!(ok.within, "measured = bound is always within slack");
+        assert!((ok.ratio - 1.0).abs() < 0.05);
+        let violating = (DEFAULT_SLACK * bound + BoundAuditor::additive_for(16) + 10.0) as u64;
+        let bad = auditor.audit(PlanKind::MatMul, &q, &rels, 16, 1000, violating);
+        assert!(!bad.within, "past slack·bound + p must be flagged");
+        assert!(bad.to_json().get("within") == Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn zero_bound_zero_measured_is_clean() {
+        let q = mm_query();
+        let rels: [Relation<Count>; 2] = [
+            Relation::binary_ones(Attr(0), Attr(1), []),
+            Relation::binary_ones(Attr(1), Attr(2), []),
+        ];
+        let v = BoundAuditor::new().audit(PlanKind::MatMul, &q, &rels, 4, 0, 0);
+        assert!(v.within);
+        assert_eq!(v.ratio, 0.0);
+        // A non-finite ratio must serialize as null, never NaN.
+        let v2 = AuditVerdict {
+            ratio: f64::INFINITY,
+            ..v
+        };
+        assert_eq!(v2.to_json().get("ratio"), Some(&Json::Null));
+        let text = v2.to_json().to_string_compact().expect("serializable");
+        assert!(text.contains("\"ratio\":null"));
+    }
+
+    #[test]
+    fn display_names_violations() {
+        let v = AuditVerdict {
+            plan: PlanKind::MatMul,
+            bound: 867.81,
+            measured: 1826,
+            ratio: 2.104,
+            slack: DEFAULT_SLACK,
+            additive: 16.0,
+            within: true,
+        };
+        let s = v.to_string();
+        assert!(s.contains("2.10"), "{s}");
+        assert!(s.contains("ok"), "{s}");
+        let bad = AuditVerdict { within: false, ..v };
+        assert!(bad.to_string().contains("VIOLATION"));
+    }
+}

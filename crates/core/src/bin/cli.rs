@@ -18,11 +18,16 @@
 //! * `minplus` — edge costs; outputs carry shortest combined cost,
 //! * `mincount` — shortest cost plus the number of ways to achieve it.
 //!
-//! Prints the decoded output rows, the chosen plan, and the measured MPC
-//! cost (load / rounds / traffic); `--baseline` also runs the distributed
-//! Yannakakis algorithm for comparison, and `--trace FILE` records a
-//! round-level execution trace and writes it to `FILE` as JSON
-//! (schema `mpcjoin-trace-v1`, see `mpcjoin_mpc::trace`).
+//! Prints the decoded output rows, the chosen plan, the measured MPC
+//! cost (load / rounds / traffic), and the bound-audit verdict;
+//! `--baseline` also runs the distributed Yannakakis algorithm for
+//! comparison. `--format json` emits a machine-readable run summary
+//! (schema `mpcjoin-result-v1`, including the audit verdict) instead of
+//! the human-readable report. `--trace FILE` records a round-level
+//! execution trace and writes it to `FILE` as JSON with the audit
+//! verdict embedded (schema `mpcjoin-trace-v2`, see
+//! `mpcjoin_mpc::trace`), and `--metrics FILE` writes the run's metrics
+//! snapshot (schema `mpcjoin-metrics-v1`, see `mpcjoin_mpc::metrics`).
 
 use mpcjoin::prelude::*;
 use mpcjoin::query::{parse_query, ParsedQuery};
@@ -40,12 +45,15 @@ struct Args {
     limit: usize,
     dot: bool,
     trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    json: bool,
 }
 
 fn usage() -> &'static str {
     "usage: mpcjoin-cli --query '<head> :- <body>' --input NAME=FILE [--input NAME=FILE …]\n\
      \x20      [--servers P] [--threads N] [--semiring count|bool|minplus|mincount]\n\
-     \x20      [--baseline] [--limit N] [--dot] [--trace FILE]"
+     \x20      [--baseline] [--limit N] [--dot] [--format text|json]\n\
+     \x20      [--trace FILE] [--metrics FILE]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -59,6 +67,8 @@ fn parse_args() -> Result<Args, String> {
         limit: 20,
         dot: false,
         trace: None,
+        metrics: None,
+        json: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -94,6 +104,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--dot" => args.dot = true,
             "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
+            "--metrics" => args.metrics = Some(PathBuf::from(value("--metrics")?)),
+            "--format" => {
+                args.json = match value("--format")?.as_str() {
+                    "json" => true,
+                    "text" => false,
+                    other => return Err(format!("--format expects text|json, got `{other}`")),
+                }
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -163,29 +181,56 @@ fn run_semiring<S: Semiring + std::fmt::Debug>(
     let result = QueryEngine::new(args.servers)
         .threads(args.threads)
         .trace(args.trace.is_some())
+        .metrics(args.metrics.is_some())
         .run(&parsed.query, &rels)
         .map_err(|e| e.to_string())?;
-    println!(
-        "servers: {}   threads: {}   {result}",
-        args.servers, args.threads
-    );
-    println!("output ({} rows):", result.output.len());
-    print!("{}", render_output(&result.output, &dict, args.limit));
+    if args.json {
+        let text = result
+            .to_json()
+            .to_string_compact()
+            .map_err(|e| format!("result summary: {e}"))?;
+        println!("{text}");
+    } else {
+        println!(
+            "servers: {}   threads: {}   {result}",
+            args.servers, args.threads
+        );
+        println!("output ({} rows):", result.output.len());
+        print!("{}", render_output(&result.output, &dict, args.limit));
+    }
 
     if let Some(path) = &args.trace {
         let trace = result.trace.as_ref().expect("tracing was enabled");
-        std::fs::write(path, trace.to_json()).map_err(|e| format!("{}: {e}", path.display()))?;
-        let report = trace.report();
-        println!(
-            "trace: {} events, {} phases, written to {}",
-            trace.events.len(),
-            report.per_phase.len(),
-            path.display()
-        );
-        if let Some(critical) = &report.critical {
+        std::fs::write(path, trace.to_json_with(Some(&result.audit.to_json())))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        if !args.json {
+            let report = trace.report();
             println!(
-                "critical cell: server {} in round {} received {} units during `{}`",
-                critical.server, critical.round, critical.units, critical.label
+                "trace: {} events, {} phases, written to {}",
+                trace.events.len(),
+                report.per_phase.len(),
+                path.display()
+            );
+            if let Some(critical) = &report.critical {
+                println!(
+                    "critical cell: server {} in round {} received {} units during `{}`",
+                    critical.server, critical.round, critical.units, critical.label
+                );
+            }
+        }
+    }
+
+    if let Some(path) = &args.metrics {
+        let snap = result.metrics.as_ref().expect("metrics were enabled");
+        std::fs::write(path, snap.to_json()).map_err(|e| format!("{}: {e}", path.display()))?;
+        if !args.json {
+            println!(
+                "metrics: received p50 {} / p95 {} / max {} units (skew {:.2}), written to {}",
+                snap.received.p50,
+                snap.received.p95,
+                snap.received.max,
+                snap.received.skew,
+                path.display()
             );
         }
     }
@@ -197,10 +242,19 @@ fn run_semiring<S: Semiring + std::fmt::Debug>(
             .run(&parsed.query, &rels)
             .map_err(|e| e.to_string())?;
         let agree = base.output.semantically_eq(&result.output);
-        println!(
-            "baseline (distributed Yannakakis): load: {}   rounds: {}   traffic: {}   outputs agree: {}",
-            base.cost.load, base.cost.rounds, base.cost.total_units, agree
-        );
+        if args.json {
+            // A second result document on its own line (JSON-lines style).
+            let text = base
+                .to_json()
+                .to_string_compact()
+                .map_err(|e| format!("baseline summary: {e}"))?;
+            println!("{text}");
+        } else {
+            println!(
+                "baseline (distributed Yannakakis): load: {}   rounds: {}   traffic: {}   outputs agree: {}",
+                base.cost.load, base.cost.rounds, base.cost.total_units, agree
+            );
+        }
     }
     Ok(())
 }

@@ -6,12 +6,15 @@
 //! trace_check out/trace.json
 //! ```
 //!
-//! Checks, in order: the document parses, carries the
-//! `mpcjoin-trace-v1` schema tag, every event's traffic matrix is
-//! `servers × servers` and re-sums to its received vector, the events
-//! account for exactly `total_units` of traffic, the maximum
+//! Checks, in order: the document parses, carries a known schema tag
+//! (`mpcjoin-trace-v1` or `mpcjoin-trace-v2`), every event's traffic
+//! matrix is `servers × servers` and re-sums to its received vector, the
+//! events account for exactly `total_units` of traffic, the maximum
 //! (server, round) cell equals `load`, and the embedded report
 //! (per-server histogram, critical cell) agrees with the recomputation.
+//! For v2 documents carrying a non-null `audit` member, the verdict must
+//! audit this very trace (`audit.measured == load`) and its `within`
+//! flag must be consistent with `measured ≤ slack·bound + additive`.
 
 use mpcjoin::mpc::json::Json;
 use std::collections::HashMap;
@@ -34,7 +37,7 @@ fn check(path: &str) -> Result<String, String> {
     };
 
     let schema = str_field(&doc, "schema")?;
-    if schema != "mpcjoin-trace-v1" {
+    if schema != "mpcjoin-trace-v1" && schema != "mpcjoin-trace-v2" {
         return Err(format!("unknown schema `{schema}`"));
     }
     let servers = num_field(&doc, "servers")? as usize;
@@ -151,8 +154,43 @@ fn check(path: &str) -> Result<String, String> {
         }
     }
 
+    // v2 documents may embed a bound-audit verdict; when present it must
+    // audit this very trace and be internally consistent.
+    let mut audit_note = String::new();
+    match doc.get("audit") {
+        None if schema == "mpcjoin-trace-v2" => return Err("v2 document missing `audit`".into()),
+        None | Some(Json::Null) => {}
+        Some(audit) => {
+            let measured = num_field(audit, "measured")?;
+            if measured != load {
+                return Err(format!(
+                    "audit.measured = {measured} but the trace's load is {load}"
+                ));
+            }
+            let f64_field = |k: &str| -> Result<f64, String> {
+                audit
+                    .get(k)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("missing numeric field `audit.{k}`"))
+            };
+            let bound = f64_field("bound")?;
+            let slack = f64_field("slack")?;
+            let additive = f64_field("additive")?;
+            let within = match audit.get("within") {
+                Some(Json::Bool(b)) => *b,
+                _ => return Err("missing boolean field `audit.within`".into()),
+            };
+            if within != (measured as f64 <= slack * bound + additive) {
+                return Err(format!(
+                    "audit.within = {within} contradicts {measured} vs {slack}·{bound} + {additive}"
+                ));
+            }
+            audit_note = format!(", audit {}", if within { "ok" } else { "VIOLATION" });
+        }
+    }
+
     Ok(format!(
-        "trace OK: {} servers, {} events, load {load}, {rounds} rounds, {total_units} units",
+        "trace OK ({schema}): {} servers, {} events, load {load}, {rounds} rounds, {total_units} units{audit_note}",
         servers,
         events.len()
     ))

@@ -57,9 +57,16 @@ pub use mpcjoin_sketch as sketch;
 pub use mpcjoin_workload as workload;
 pub use mpcjoin_yannakakis as yannakakis;
 
+pub mod audit;
 mod planner;
 mod verify;
 
+/// The closed-form load bounds of Table 1 / Theorems 1–6 (re-exported
+/// from `mpcjoin_matmul::theory` so bound consumers — the auditor, the
+/// bench harness — share one set of formulas).
+pub use mpcjoin_matmul::theory;
+
+pub use audit::{AuditVerdict, BoundAuditor, DEFAULT_SLACK};
 #[allow(deprecated)]
 pub use planner::{execute, execute_baseline, execute_threaded};
 pub use planner::{
@@ -69,8 +76,9 @@ pub use verify::{verify_instance, Verification};
 
 /// The common imports for applications.
 pub mod prelude {
+    pub use crate::audit::{AuditVerdict, BoundAuditor};
     pub use crate::planner::{ExecutionResult, PlanChoice, PlanKind, QueryEngine};
-    pub use mpcjoin_mpc::{Cluster, CostReport, DistRelation, MpcError, Trace};
+    pub use mpcjoin_mpc::{Cluster, CostReport, DistRelation, MetricsSnapshot, MpcError, Trace};
     pub use mpcjoin_query::{Edge, TreeQuery};
     pub use mpcjoin_relation::{Attr, Relation, Schema, Value};
     pub use mpcjoin_semiring::{

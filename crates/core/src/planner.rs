@@ -19,9 +19,10 @@
 //! assert_eq!(trace.cost, result.cost);
 //! ```
 
+use crate::audit::{AuditVerdict, BoundAuditor};
 use mpcjoin_joinagg::{line_query, star_like_query, star_query, tree_query};
 use mpcjoin_matmul::matmul;
-use mpcjoin_mpc::{Cluster, CostReport, DistRelation, MpcError, Trace};
+use mpcjoin_mpc::{Cluster, CostReport, DistRelation, MetricsSnapshot, MpcError, Trace};
 use mpcjoin_query::{classify, Shape, TreeQuery};
 use mpcjoin_relation::{Attr, Relation, Row, Schema};
 use mpcjoin_semiring::Semiring;
@@ -73,17 +74,19 @@ pub struct QueryEngine {
     p: usize,
     threads: Option<usize>,
     trace: bool,
+    metrics: bool,
     plan: PlanChoice,
 }
 
 impl QueryEngine {
     /// An engine over `p` simulated servers, serial local computation,
-    /// tracing off, automatic plan choice.
+    /// tracing and metrics off, automatic plan choice.
     pub fn new(p: usize) -> Self {
         Self {
             p,
             threads: None,
             trace: false,
+            metrics: false,
             plan: PlanChoice::Auto,
         }
     }
@@ -103,6 +106,15 @@ impl QueryEngine {
     #[must_use]
     pub fn trace(mut self, on: bool) -> Self {
         self.trace = on;
+        self
+    }
+
+    /// Collect aggregate metrics (see `mpcjoin_mpc::metrics`); the run's
+    /// [`ExecutionResult::metrics`] is `Some` and — like tracing — the
+    /// ledger costs stay bit-identical to an uninstrumented run.
+    #[must_use]
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
         self
     }
 
@@ -133,6 +145,9 @@ impl QueryEngine {
         if self.trace {
             cluster.enable_tracing();
         }
+        if self.metrics {
+            cluster.enable_metrics();
+        }
         let dist: Vec<DistRelation<S>> = instance
             .iter()
             .map(|r| DistRelation::scatter(&cluster, r))
@@ -150,12 +165,21 @@ impl QueryEngine {
             }
         };
         let output_skew = result.data().skew();
+        let output = result.gather();
+        let cost = cluster.report();
+        // Audit the measured load against the bound of the plan that
+        // actually ran (sizes from the original instance, OUT from the
+        // actual output — the output-sensitive form of the theorems).
+        let audit =
+            BoundAuditor::new().audit(plan, q, instance, self.p, output.len() as u64, cost.load);
         Ok(ExecutionResult {
-            output: result.gather(),
-            cost: cluster.report(),
+            output,
+            cost,
             plan,
             output_skew,
+            audit,
             trace: cluster.take_trace(),
+            metrics: cluster.take_metrics(),
         })
     }
 }
@@ -201,9 +225,41 @@ pub struct ExecutionResult<S: Semiring> {
     /// Placement skew of the distributed output before gathering
     /// (max / mean tuples per server; 1.0 is perfectly balanced).
     pub output_skew: f64,
+    /// The measured load audited against the theoretical bound of the
+    /// plan that ran (always present; see [`crate::audit`]).
+    pub audit: AuditVerdict,
     /// The round-level execution trace, when the engine ran with
     /// [`QueryEngine::trace`] enabled.
     pub trace: Option<Trace>,
+    /// The metrics snapshot, when the engine ran with
+    /// [`QueryEngine::metrics`] enabled.
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+impl<S: Semiring> ExecutionResult<S> {
+    /// Serialize the result's summary (plan, costs, skew, and the audit
+    /// verdict — not the output tuples) as a JSON value
+    /// (schema `mpcjoin-result-v1`).
+    pub fn to_json(&self) -> mpcjoin_mpc::json::Json {
+        use mpcjoin_mpc::json::Json;
+        Json::Obj(vec![
+            ("schema".into(), Json::Str("mpcjoin-result-v1".into())),
+            ("plan".into(), Json::Str(format!("{:?}", self.plan))),
+            ("load".into(), Json::Num(self.cost.load as f64)),
+            ("rounds".into(), Json::Num(self.cost.rounds as f64)),
+            (
+                "total_units".into(),
+                Json::Num(self.cost.total_units as f64),
+            ),
+            (
+                "elapsed_ns".into(),
+                Json::Num(self.cost.elapsed.as_nanos() as f64),
+            ),
+            ("output_rows".into(), Json::Num(self.output.len() as f64)),
+            ("output_skew".into(), Json::Num(self.output_skew)),
+            ("audit".into(), self.audit.to_json()),
+        ])
+    }
 }
 
 impl<S: Semiring> fmt::Debug for ExecutionResult<S> {
@@ -213,7 +269,9 @@ impl<S: Semiring> fmt::Debug for ExecutionResult<S> {
             .field("cost", &self.cost)
             .field("output_rows", &self.output.len())
             .field("output_skew", &self.output_skew)
+            .field("audit", &self.audit)
             .field("traced", &self.trace.is_some())
+            .field("metered", &self.metrics.is_some())
             .finish()
     }
 }
@@ -222,7 +280,7 @@ impl<S: Semiring> fmt::Display for ExecutionResult<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "plan: {:?}   load: {}   rounds: {}   traffic: {}   elapsed: {:.3?}   skew: {:.2}   output rows: {}",
+            "plan: {:?}   load: {}   rounds: {}   traffic: {}   elapsed: {:.3?}   skew: {:.2}   output rows: {}   audit: {}",
             self.plan,
             self.cost.load,
             self.cost.rounds,
@@ -230,6 +288,7 @@ impl<S: Semiring> fmt::Display for ExecutionResult<S> {
             self.cost.elapsed,
             self.output_skew,
             self.output.len(),
+            self.audit,
         )
     }
 }
@@ -466,6 +525,62 @@ mod tests {
         let trace = traced.trace.expect("trace requested");
         assert_eq!(trace.cost, traced.cost);
         assert_eq!(trace.report().critical.unwrap().units, traced.cost.load);
+    }
+
+    #[test]
+    fn every_run_yields_an_audit_verdict() {
+        let q = mm_query();
+        let rels = vec![
+            Relation::<Count>::binary_ones(A, B, (0..50u64).map(|i| (i % 10, i % 7))),
+            Relation::<Count>::binary_ones(B, C, (0..50u64).map(|i| (i % 7, i % 12))),
+        ];
+        for choice in [
+            PlanChoice::Auto,
+            PlanChoice::Baseline,
+            PlanChoice::Force(PlanKind::Tree),
+        ] {
+            let r = QueryEngine::new(8).plan(choice).run(&q, &rels).unwrap();
+            assert_eq!(r.audit.plan, r.plan, "{choice:?}");
+            assert_eq!(r.audit.measured, r.cost.load, "{choice:?}");
+            assert!(r.audit.bound > 0.0, "{choice:?}");
+            assert!(r.audit.within, "{choice:?}: {}", r.audit);
+            // The verdict is in the Display line and the JSON summary.
+            assert!(r.to_string().contains("audit:"));
+            let doc =
+                mpcjoin_mpc::json::Json::parse(&r.to_json().to_string_compact().expect("finite"))
+                    .unwrap();
+            let audit = doc.get("audit").expect("audit member");
+            assert_eq!(
+                audit
+                    .get("measured")
+                    .and_then(mpcjoin_mpc::json::Json::as_u64),
+                Some(r.cost.load)
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_are_off_by_default_and_invisible_when_on() {
+        let q = mm_query();
+        let rels = vec![
+            Relation::<Count>::binary_ones(A, B, (0..60u64).map(|i| (i % 12, i % 7))),
+            Relation::<Count>::binary_ones(B, C, (0..60u64).map(|i| (i % 7, i % 11))),
+        ];
+        let plain = QueryEngine::new(8).run(&q, &rels).unwrap();
+        assert!(plain.metrics.is_none(), "metrics are off by default");
+        let metered = QueryEngine::new(8).metrics(true).run(&q, &rels).unwrap();
+        assert_eq!(plain.cost, metered.cost, "metrics must not perturb costs");
+        let snap = metered.metrics.expect("metrics requested");
+        assert_eq!(
+            snap.per_server.iter().sum::<u64>(),
+            metered.cost.total_units
+        );
+        assert_eq!(snap.received.max as u64 > 0, metered.cost.total_units > 0);
+        assert!(
+            snap.per_primitive.iter().any(|(k, _)| k.contains("sort")),
+            "primitive labels recorded without tracing"
+        );
+        assert!(plain.output.semantically_eq(&metered.output));
     }
 
     #[test]

@@ -159,13 +159,16 @@ pub fn output_sensitive_matmul<S: Semiring>(
         with_gid.clone().map(|(_, gid)| (gid.unwrap_or(0), 1u64)),
         |acc, v| *acc += v,
     );
-    let gathered = cluster.exchange(
-        gid_counts
-            .into_parts()
-            .into_iter()
-            .map(|local| local.into_iter().map(|kv| (0usize, kv)).collect())
-            .collect(),
-    );
+    let gathered = {
+        let _op = cluster.op("os:gather-group-sizes");
+        cluster.exchange(
+            gid_counts
+                .into_parts()
+                .into_iter()
+                .map(|local| local.into_iter().map(|kv| (0usize, kv)).collect())
+                .collect(),
+        )
+    };
     let mut size_of_group = vec![0u64; k1];
     for &(gid, count) in gathered.local(0) {
         size_of_group[gid as usize] = count;
@@ -195,7 +198,10 @@ pub fn output_sensitive_matmul<S: Semiring>(
             }
         }
     }
-    let shipped = cluster.exchange(ship_out);
+    let shipped = {
+        let _op = cluster.op("os:ship-groups");
+        cluster.exchange(ship_out)
+    };
 
     // --- Per-group work: estimate columns, join heavy columns, emit
     // light-column window assignments. All groups run in parallel on the

@@ -54,6 +54,13 @@ pub fn new_tree_bound(n_input: u64, out: u64, p: u64) -> f64 {
     n * out.powf(2.0 / 3.0) / p + (n + out) / p
 }
 
+/// Load of distributed Yannakakis on a *free-connex* query, where it is
+/// already output-optimal (§1.2, §1.4): `O((N + OUT)/p)`.
+pub fn yannakakis_free_connex_bound(n_input: u64, out: u64, p: u64) -> f64 {
+    let (n, out, p) = (n_input as f64, out as f64, p as f64);
+    (n + out) / p
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

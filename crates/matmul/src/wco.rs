@@ -213,7 +213,14 @@ pub fn wco_matmul<S: Semiring>(
             out
         })
         .collect();
-    let at_servers = cluster.exchange(outboxes);
+    let at_servers = {
+        // The Theorem-1 routing round: every light-light grid cell gets
+        // one A-bundle plus one C-bundle (≤ 2L each after packing), so a
+        // cell server receives up to 4L units here — the constant behind
+        // the auditor's default slack.
+        let _op = cluster.op("wco:route");
+        cluster.exchange(outboxes)
+    };
 
     // --- Local joins. Light-light results are final; the hash-partitioned
     // kinds produce (a, c)-keyed partials for one global aggregation. ---
@@ -301,6 +308,7 @@ fn broadcast_heavy(
             .filter(|(_, d)| *d >= load)
             .collect::<Vec<_>>()
     });
+    let _op = cluster.op("wco:heavy-stats");
     let everywhere = cluster.broadcast(&filtered);
     let mut list = everywhere.local(0).clone();
     list.sort_unstable();

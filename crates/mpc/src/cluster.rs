@@ -5,6 +5,7 @@ use std::time::Instant;
 
 use crate::cost::{CostReport, CostTracker, PhaseReport, SharedTracker};
 use crate::exec::{self, ExecBackend};
+use crate::metrics::MetricsSnapshot;
 use crate::trace::{EventKind, Trace};
 
 /// Data distributed across the servers of one [`Cluster`]: `data[i]` is the
@@ -225,7 +226,7 @@ impl Cluster {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
-        if !self.tracing_enabled() {
+        if !self.instrumented() {
             return exec::par_run(self.backend.as_ref(), n, task);
         }
         let start = Instant::now();
@@ -244,7 +245,7 @@ impl Cluster {
         U: Send,
         F: Fn(usize, Vec<T>) -> Vec<U> + Sync,
     {
-        if !self.tracing_enabled() {
+        if !self.instrumented() {
             return exec::par_map_parts(self.backend.as_ref(), parts, f);
         }
         let n = parts.len();
@@ -265,7 +266,7 @@ impl Cluster {
         R: Send,
         F: Fn(usize, Vec<T>) -> R + Sync,
     {
-        if !self.tracing_enabled() {
+        if !self.instrumented() {
             return exec::par_consume_parts(self.backend.as_ref(), parts, f);
         }
         let n = parts.len();
@@ -325,10 +326,36 @@ impl Cluster {
         self.tracker.borrow_mut().take_trace()
     }
 
-    /// Open a named operation scope for trace labeling; the scope closes
-    /// when the returned guard drops. Scopes nest — an event recorded
-    /// inside `op("semijoin")` → `op("sort")` is labeled
-    /// `"semijoin/sort"`. Free when tracing is off.
+    /// Start collecting metrics on this cluster's ledger (see
+    /// [`crate::metrics`]). Like tracing, call on the top-level cluster
+    /// before running an algorithm; sub-clusters share the registry.
+    /// Idempotent, off by default, and — pinned by tests — invisible in
+    /// the [`CostReport`] ledger.
+    pub fn enable_metrics(&mut self) {
+        let servers = self.phys.iter().copied().max().map_or(1, |m| m + 1);
+        self.tracker.borrow_mut().enable_metrics(servers);
+    }
+
+    /// Whether this cluster's ledger is collecting metrics.
+    pub fn metrics_enabled(&self) -> bool {
+        self.tracker.borrow().metrics_enabled()
+    }
+
+    /// Stop collecting metrics and return the finalized snapshot (`None`
+    /// if metrics were never enabled).
+    pub fn take_metrics(&mut self) -> Option<MetricsSnapshot> {
+        self.tracker.borrow_mut().take_metrics()
+    }
+
+    /// Whether any instrumentation (tracing or metrics) is active.
+    fn instrumented(&self) -> bool {
+        self.tracker.borrow().instrumented()
+    }
+
+    /// Open a named operation scope for trace/metrics labeling; the scope
+    /// closes when the returned guard drops. Scopes nest — an event
+    /// recorded inside `op("semijoin")` → `op("sort")` is labeled
+    /// `"semijoin/sort"`. Free when neither tracing nor metrics is on.
     #[must_use = "the scope closes when the guard drops; bind it with `let _op = …`"]
     pub fn op(&self, label: &str) -> OpScope {
         let pushed = self.tracker.borrow_mut().push_op(label);
@@ -352,12 +379,13 @@ impl Cluster {
         let mut inboxes: Vec<Vec<T>> = (0..self.p()).map(|_| Vec::new()).collect();
         {
             let mut tracker = self.tracker.borrow_mut();
-            if tracker.tracing_enabled() {
-                // Traced path: build the physical traffic matrix, then
-                // credit each destination its column sum. u64 addition is
-                // commutative, so the ledger cells — and every CostReport
-                // derived from them — are identical to the untraced path.
-                let n = tracker.trace_servers();
+            if tracker.instrumented() {
+                // Instrumented path (tracing and/or metrics): build the
+                // physical traffic matrix, then credit each destination
+                // its column sum. u64 addition is commutative, so the
+                // ledger cells — and every CostReport derived from them —
+                // are identical to the uninstrumented path.
+                let n = tracker.instrument_servers();
                 let mut traffic = vec![vec![0u64; n]; n];
                 for (src, outbox) in outboxes.into_iter().enumerate() {
                     let src_phys = self.phys[src];
@@ -367,10 +395,13 @@ impl Cluster {
                         inboxes[dest].push(item);
                     }
                 }
-                for dest_phys in 0..n {
-                    let units = traffic.iter().map(|row| row[dest_phys]).sum();
+                let received: Vec<u64> = (0..n)
+                    .map(|d| traffic.iter().map(|row| row[d]).sum())
+                    .collect();
+                for (dest_phys, &units) in received.iter().enumerate() {
                     tracker.credit(dest_phys, self.round, units);
                 }
+                tracker.record_metrics_event(EventKind::Exchange, &received);
                 tracker.record_event(self.round, EventKind::Exchange, traffic);
             } else {
                 for outbox in outboxes {
@@ -397,17 +428,21 @@ impl Cluster {
             for dest in 0..self.p() {
                 tracker.credit(self.phys[dest], self.round, units);
             }
-            if tracker.tracing_enabled() {
+            if tracker.instrumented() {
                 // Every logical server ships its local items to every
                 // logical destination; column sums reproduce the per-dest
                 // credits above (oversubscribed slots stack, as charged).
-                let n = tracker.trace_servers();
+                let n = tracker.instrument_servers();
                 let mut traffic = vec![vec![0u64; n]; n];
                 for (src, local) in data.iter() {
                     for dest in 0..self.p() {
                         traffic[self.phys[src]][self.phys[dest]] += local.len() as u64;
                     }
                 }
+                let received: Vec<u64> = (0..n)
+                    .map(|d| traffic.iter().map(|row| row[d]).sum())
+                    .collect();
+                tracker.record_metrics_event(EventKind::Broadcast, &received);
                 tracker.record_event(self.round, EventKind::Broadcast, traffic);
             }
         }
@@ -491,8 +526,9 @@ impl Cluster {
     }
 }
 
-/// RAII guard for a trace labeling scope, returned by [`Cluster::op`];
-/// dropping it closes the scope. Holds nothing when tracing is off.
+/// RAII guard for an instrumentation labeling scope, returned by
+/// [`Cluster::op`]; dropping it closes the scope. Holds nothing when
+/// neither tracing nor metrics is enabled.
 #[derive(Debug)]
 pub struct OpScope {
     tracker: Option<SharedTracker>,
@@ -651,6 +687,66 @@ mod tests {
         // Critical cell matches the measured load.
         let critical = trace.critical_round().expect("has traffic");
         assert_eq!(critical.units, trace.cost.load);
+    }
+
+    #[test]
+    fn metrics_match_ledger_and_stay_invisible() {
+        let route = |c: &mut Cluster| {
+            {
+                let _op = c.op("route");
+                let out = vec![vec![(2, "a"), (2, "b")], vec![(0, "c")], vec![]];
+                let _ = c.exchange(out);
+            }
+            let d = c.scatter_initial(vec![1u8, 2]);
+            let _ = c.broadcast(&d);
+        };
+        let mut plain = Cluster::new(3);
+        route(&mut plain);
+        let mut metered = Cluster::new(3);
+        metered.enable_metrics();
+        assert!(metered.metrics_enabled());
+        assert!(!metered.tracing_enabled(), "metrics do not imply tracing");
+        route(&mut metered);
+        // The registry never perturbs the ledger.
+        assert_eq!(plain.report(), metered.report());
+        let snap = metered.take_metrics().expect("metrics were on");
+        // Exchange received [1, 0, 2]; broadcast adds 2 to every server.
+        assert_eq!(snap.per_server, vec![3, 2, 4]);
+        assert_eq!(snap.received.max, 4);
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(counter("events.exchange"), Some(1));
+        assert_eq!(counter("events.broadcast"), Some(1));
+        // The op scope labeled the exchange even with tracing off.
+        let route_hist = snap
+            .per_primitive
+            .iter()
+            .find(|(k, _)| k == "route")
+            .map(|(_, h)| h)
+            .expect("scope label recorded");
+        assert_eq!(route_hist.sum, 3);
+        assert_eq!(route_hist.count, 1);
+        // Ledger gauges were sampled at snapshot time.
+        let gauge = |name: &str| snap.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v);
+        assert_eq!(gauge("load"), Some(plain.report().load as f64));
+        assert_eq!(gauge("rounds"), Some(2.0));
+    }
+
+    #[test]
+    fn metrics_and_tracing_compose() {
+        let mut c = Cluster::new(2);
+        c.enable_metrics();
+        c.enable_tracing();
+        let _ = c.exchange(vec![vec![(1, ()), (1, ())], vec![(0, ())]]);
+        let trace = c.take_trace().expect("tracing on");
+        let snap = c.take_metrics().expect("metrics on");
+        assert_eq!(trace.per_server(), snap.per_server);
+        assert_eq!(trace.cost.load, 2);
+        assert_eq!(snap.received.max, 2);
     }
 
     #[test]

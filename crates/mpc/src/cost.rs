@@ -11,6 +11,7 @@
 //! [`crate::Cluster::exchange`] credits incoming units to a
 //! `(physical server, round)` cell, and [`CostReport`] summarizes the run.
 
+use crate::metrics::{LoadSummary, MetricsLog, MetricsSnapshot};
 use crate::trace::{ComputeSpan, EventKind, Trace, TraceEvent, TraceLog};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -34,6 +35,12 @@ pub struct CostTracker {
     /// tracing entirely — the ledger then takes the exact pre-trace code
     /// paths and pays nothing. See [`crate::trace`].
     trace: Option<TraceLog>,
+    /// Metrics registry; `None` (the default) disables metrics
+    /// collection. See [`crate::metrics`].
+    metrics: Option<MetricsLog>,
+    /// Operation-scope label stack (see [`crate::Cluster::op`]); shared by
+    /// tracing and metrics, and only pushed to while either is enabled.
+    op_stack: Vec<String>,
 }
 
 impl Default for CostTracker {
@@ -45,6 +52,8 @@ impl Default for CostTracker {
             phases: Vec::new(),
             started: Instant::now(),
             trace: None,
+            metrics: None,
+            op_stack: Vec::new(),
         }
     }
 }
@@ -137,23 +146,104 @@ impl CostTracker {
     }
 
     /// Push a label onto the operation-scope stack; returns whether the
-    /// push happened (i.e. tracing is on), so RAII guards know whether to
-    /// pop. See [`crate::Cluster::op`].
+    /// push happened (i.e. tracing or metrics is on), so RAII guards know
+    /// whether to pop. See [`crate::Cluster::op`].
     pub fn push_op(&mut self, label: &str) -> bool {
-        match &mut self.trace {
-            Some(t) => {
-                t.stack.push(label.to_string());
-                true
-            }
-            None => false,
+        if self.trace.is_some() || self.metrics.is_some() {
+            self.op_stack.push(label.to_string());
+            true
+        } else {
+            false
         }
     }
 
     /// Pop the innermost operation-scope label.
     pub fn pop_op(&mut self) {
-        if let Some(t) = &mut self.trace {
-            t.stack.pop();
+        self.op_stack.pop();
+    }
+
+    /// The current operation-scope path (`"(unlabeled)"` outside any
+    /// scope).
+    fn op_label(&self) -> String {
+        if self.op_stack.is_empty() {
+            "(unlabeled)".to_string()
+        } else {
+            self.op_stack.join("/")
         }
+    }
+
+    /// Whether any instrumentation (tracing or metrics) wants per-event
+    /// received vectors from [`crate::Cluster::exchange`].
+    pub fn instrumented(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+
+    /// Begin collecting metrics over `servers` physical servers.
+    /// Idempotent, like [`CostTracker::enable_tracing`].
+    pub fn enable_metrics(&mut self, servers: usize) {
+        if self.metrics.is_none() {
+            self.metrics = Some(MetricsLog::new(servers));
+        }
+    }
+
+    /// Whether a metrics registry is collecting.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// Physical-server dimension of the instrumentation (0 when neither
+    /// tracing nor metrics is on).
+    pub fn instrument_servers(&self) -> usize {
+        self.trace_servers()
+            .max(self.metrics.as_ref().map_or(0, |m| m.servers))
+    }
+
+    /// Record one communication event into the metrics registry:
+    /// `received[s]` units arrived at physical server `s`. No-op when
+    /// metrics are off.
+    pub fn record_metrics_event(&mut self, kind: EventKind, received: &[u64]) {
+        let label = self.op_label();
+        if let Some(m) = &mut self.metrics {
+            let counter = match kind {
+                EventKind::Exchange => "events.exchange",
+                EventKind::Broadcast => "events.broadcast",
+            };
+            m.record_event(counter, &label, received);
+        }
+    }
+
+    /// Stop collecting metrics and hand back the finalized snapshot
+    /// (ledger gauges and phase wall-clocks sampled now). `None` if
+    /// metrics were never enabled.
+    pub fn take_metrics(&mut self) -> Option<MetricsSnapshot> {
+        let log = self.metrics.take()?;
+        let now = Instant::now();
+        let report = self.report();
+        let gauges = vec![
+            ("elapsed_ns".to_string(), report.elapsed.as_nanos() as f64),
+            ("load".to_string(), report.load as f64),
+            ("rounds".to_string(), report.rounds as f64),
+            ("total_units".to_string(), report.total_units as f64),
+        ];
+        let phase_wall = self
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(i, (_, label, at))| {
+                let until = self.phases.get(i + 1).map_or(now, |(_, _, next)| *next);
+                (label.clone(), until.saturating_duration_since(*at))
+            })
+            .collect();
+        Some(MetricsSnapshot {
+            servers: log.servers,
+            counters: log.counters.into_iter().collect(),
+            gauges,
+            per_primitive: log.per_primitive.into_iter().collect(),
+            event_units: log.event_units,
+            received: LoadSummary::of(&log.per_server),
+            per_server: log.per_server,
+            phase_wall,
+        })
     }
 
     /// The phase an event recorded now would be attributed to.
@@ -169,6 +259,7 @@ impl CostTracker {
     pub fn record_event(&mut self, round: u64, kind: EventKind, traffic: Vec<Vec<u64>>) {
         let at = self.started.elapsed();
         let phase = self.current_phase();
+        let label = self.op_label();
         if let Some(t) = &mut self.trace {
             let received: Vec<u64> = (0..t.servers)
                 .map(|d| traffic.iter().map(|row| row[d]).sum())
@@ -176,7 +267,6 @@ impl CostTracker {
             if received.iter().all(|&u| u == 0) {
                 return;
             }
-            let label = t.label();
             t.events.push(TraceEvent {
                 round,
                 kind,
@@ -190,11 +280,15 @@ impl CostTracker {
     }
 
     /// Record a timed span of backend-executed local computation. No-op
-    /// when tracing is off.
+    /// when neither tracing nor metrics is on.
     pub fn record_compute(&mut self, round: u64, tasks: usize, elapsed: Duration) {
         let phase = self.current_phase();
+        let label = self.op_label();
+        if let Some(m) = &mut self.metrics {
+            m.bump("compute.spans", 1);
+            m.bump("compute.tasks", tasks as u64);
+        }
         if let Some(t) = &mut self.trace {
-            let label = t.label();
             t.compute.push(ComputeSpan {
                 label,
                 phase,

@@ -84,10 +84,17 @@ impl Json {
     }
 
     /// Serialize compactly (no whitespace).
-    pub fn to_string_compact(&self) -> String {
+    ///
+    /// Errors when the document contains a non-finite number: `NaN` and
+    /// `±∞` have no JSON representation, and silently emitting `null` (or
+    /// an unparseable bare `NaN` token) would corrupt downstream
+    /// consumers. Callers with potentially non-finite values must decide
+    /// their own encoding (e.g. substitute [`Json::Null`]) *before*
+    /// serializing.
+    pub fn to_string_compact(&self) -> Result<String, String> {
         let mut out = String::new();
-        write_value(self, &mut out);
-        out
+        write_value(self, &mut out)?;
+        Ok(out)
     }
 }
 
@@ -112,11 +119,14 @@ pub fn escape_str(s: &str) -> String {
     out
 }
 
-fn write_value(v: &Json, out: &mut String) {
+fn write_value(v: &Json, out: &mut String) -> Result<(), String> {
     match v {
         Json::Null => out.push_str("null"),
         Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
         Json::Num(n) => {
+            if !n.is_finite() {
+                return Err(format!("non-finite number {n} has no JSON representation"));
+            }
             if n.fract() == 0.0 && n.abs() < 9e15 {
                 let _ = write!(out, "{}", *n as i64);
             } else {
@@ -130,7 +140,7 @@ fn write_value(v: &Json, out: &mut String) {
                 if i > 0 {
                     out.push(',');
                 }
-                write_value(item, out);
+                write_value(item, out)?;
             }
             out.push(']');
         }
@@ -142,11 +152,12 @@ fn write_value(v: &Json, out: &mut String) {
                 }
                 out.push_str(&escape_str(k));
                 out.push(':');
-                write_value(v, out);
+                write_value(v, out)?;
             }
             out.push('}');
         }
     }
+    Ok(())
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
@@ -330,7 +341,7 @@ mod tests {
                 ]),
             ),
         ]);
-        let text = doc.to_string_compact();
+        let text = doc.to_string_compact().expect("finite doc serializes");
         let back = Json::parse(&text).expect("parses");
         assert_eq!(back, doc);
         assert_eq!(back.get("load").and_then(Json::as_u64), Some(1234));
@@ -366,6 +377,60 @@ mod tests {
         let arr = v.get("k").and_then(Json::as_arr).unwrap();
         assert_eq!(arr[1].as_str(), Some("aAb"));
         assert_eq!(arr[2], Json::Null);
+    }
+
+    #[test]
+    fn unicode_and_control_characters_round_trip() {
+        // Multi-byte UTF-8 (including astral-plane chars), every named
+        // escape, and raw C0 control characters all survive a
+        // write→parse round trip.
+        let cases = [
+            "héllo wörld",
+            "日本語テスト",
+            "𝕊𝕡𝕒𝕣𝕤𝕖 ⊗ 𝕄𝕒𝕥𝕣𝕚𝕩",
+            "emoji: \u{1F680} end",
+            "quote \" backslash \\ slash / done",
+            "tab\there\nnewline\rreturn",
+            "bell \u{7} backspace \u{8} formfeed \u{c} esc \u{1b}",
+            "nul \u{0} unit-sep \u{1f}",
+            "",
+        ];
+        for s in cases {
+            let doc = Json::Obj(vec![("k".into(), Json::Str(s.into()))]);
+            let text = doc.to_string_compact().expect("finite doc serializes");
+            // Control characters must be escaped, never emitted raw.
+            assert!(
+                !text.chars().any(|c| (c as u32) < 0x20),
+                "raw control char in {text:?}"
+            );
+            let back = Json::parse(&text).expect("round-trip parses");
+            assert_eq!(back.get("k").and_then(Json::as_str), Some(s));
+        }
+    }
+
+    #[test]
+    fn parses_surrogate_free_u_escapes_for_bmp_chars() {
+        let v = Json::parse("\"\\u00e9\\u65e5\\u001f\"").unwrap();
+        assert_eq!(v.as_str(), Some("é日\u{1f}"));
+    }
+
+    #[test]
+    fn non_finite_numbers_are_an_error_not_null() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = Json::Obj(vec![("ratio".into(), Json::Num(bad))]);
+            let err = doc.to_string_compact().expect_err("must refuse {bad}");
+            assert!(
+                err.contains("non-finite"),
+                "error should name the problem: {err}"
+            );
+        }
+        // Nested occurrences are caught too.
+        let nested = Json::Arr(vec![Json::Num(1.0), Json::Arr(vec![Json::Num(f64::NAN)])]);
+        assert!(nested.to_string_compact().is_err());
+        // And the parser rejects bare NaN/Infinity tokens on the way in.
+        for bad in ["NaN", "Infinity", "-Infinity", "[NaN]"] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
     }
 
     #[test]

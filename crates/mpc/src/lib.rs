@@ -19,6 +19,10 @@
 //!   ([`Cluster::enable_tracing`]): per-exchange traffic matrices,
 //!   primitive/phase labels, and wall-clock compute spans, with a JSON
 //!   export; zero-cost when off,
+//! * [`metrics`] — opt-in aggregate metrics ([`Cluster::enable_metrics`]):
+//!   counters, ledger gauges, log₂ histograms of per-primitive exchange
+//!   volumes, and the per-server received-load distribution
+//!   (p50/p95/max/skew); like tracing, never perturbs the ledger,
 //! * [`primitives`] — the §2.1 toolbox: sorting, reduce-by-key,
 //!   multi-search, prefix sums, parallel-packing,
 //! * [`DistRelation`] — annotated relations partitioned over a cluster,
@@ -59,6 +63,7 @@ pub mod exec;
 pub mod hash;
 pub mod join;
 pub mod json;
+pub mod metrics;
 pub mod primitives;
 pub mod rng;
 pub mod trace;
@@ -68,5 +73,6 @@ pub use cost::{CostReport, CostTracker, PhaseReport};
 pub use drel::DistRelation;
 pub use error::MpcError;
 pub use exec::{ExecBackend, SerialBackend, ThreadPoolBackend};
+pub use metrics::{LoadSummary, LogHistogram, MetricsSnapshot};
 pub use rng::DetRng;
 pub use trace::{CriticalCell, Trace, TraceBreakdown, TraceEvent, TraceReport};

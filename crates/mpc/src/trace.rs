@@ -129,7 +129,6 @@ pub(crate) struct TraceLog {
     pub(crate) servers: usize,
     pub(crate) events: Vec<TraceEvent>,
     pub(crate) compute: Vec<ComputeSpan>,
-    pub(crate) stack: Vec<String>,
 }
 
 impl TraceLog {
@@ -138,16 +137,6 @@ impl TraceLog {
             servers,
             events: Vec::new(),
             compute: Vec::new(),
-            stack: Vec::new(),
-        }
-    }
-
-    /// The current operation-scope path.
-    pub(crate) fn label(&self) -> String {
-        if self.stack.is_empty() {
-            "(unlabeled)".to_string()
-        } else {
-            self.stack.join("/")
         }
     }
 }
@@ -347,8 +336,21 @@ impl Trace {
     }
 
     /// Serialize the full trace (events, compute spans, phases, and the
-    /// structured report) as a self-contained JSON document.
+    /// structured report) as a self-contained JSON document
+    /// (schema `mpcjoin-trace-v2`; the `audit` member is `null`).
     pub fn to_json(&self) -> String {
+        self.to_json_with(None)
+    }
+
+    /// [`Trace::to_json`] with an optional `audit` member: callers that
+    /// know the theoretical bound of the plan that ran (see
+    /// `mpcjoin::core::audit`) attach its verdict here, so the exported
+    /// document is self-contained for bound-violation triage.
+    ///
+    /// Schema history: `mpcjoin-trace-v1` lacked the `audit` member;
+    /// `mpcjoin-trace-v2` adds it (possibly `null`). Readers should accept
+    /// both (the `trace_check` tool does).
+    pub fn to_json_with(&self, audit: Option<&Json>) -> String {
         let report = self.report();
         let breakdown_json = |b: &TraceBreakdown| {
             Json::Obj(vec![
@@ -421,7 +423,8 @@ impl Trace {
             None => Json::Null,
         };
         let doc = Json::Obj(vec![
-            ("schema".into(), Json::Str("mpcjoin-trace-v1".into())),
+            ("schema".into(), Json::Str("mpcjoin-trace-v2".into())),
+            ("audit".into(), audit.cloned().unwrap_or(Json::Null)),
             ("servers".into(), Json::Num(self.servers as f64)),
             ("load".into(), Json::Num(self.cost.load as f64)),
             ("rounds".into(), Json::Num(self.cost.rounds as f64)),
@@ -461,7 +464,11 @@ impl Trace {
                 ]),
             ),
         ]);
+        // Every number here is a u64 cast or a Duration in nanoseconds —
+        // always finite — and a non-null `audit` is sanitized by its
+        // producer, so serialization cannot fail.
         doc.to_string_compact()
+            .expect("trace documents contain only finite numbers")
     }
 }
 
@@ -569,6 +576,23 @@ mod tests {
             .map(|u| u.as_u64().unwrap())
             .sum();
         assert_eq!(units, 15);
+    }
+
+    #[test]
+    fn json_schema_is_v2_with_audit_slot() {
+        let t = two_label_trace();
+        let doc = Json::parse(&t.to_json()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("mpcjoin-trace-v2")
+        );
+        assert_eq!(doc.get("audit"), Some(&Json::Null));
+        let audit = Json::Obj(vec![("within".into(), Json::Bool(true))]);
+        let doc2 = Json::parse(&t.to_json_with(Some(&audit))).unwrap();
+        assert_eq!(
+            doc2.get("audit").and_then(|a| a.get("within")),
+            Some(&Json::Bool(true))
+        );
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Attribute measured load to the theoretical bound, primitive by primitive.
+//!
+//! Runs the blocks matrix-multiplication workload at a few (p, block-side)
+//! points, prints the `AuditVerdict` every `QueryEngine::run` attaches to its
+//! result, and then uses the execution trace's per-label / per-phase report to
+//! show *where* the constant factor over the bound is spent — the same
+//! breakdown that pinned the §3.1 routing round (`wco:route`, up to 4L per
+//! cell server) and the `Θ(p·log p)` sort-statistics floor documented in
+//! EXPERIMENTS.md "Measured constant factors".
+
+use mpcjoin::prelude::*;
+use mpcjoin::workload::matrix;
+
+fn main() {
+    let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+    let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c]);
+    for (p, side, scale) in [(16usize, 2u64, 4u64), (16, 8, 4), (64, 8, 4)] {
+        let k = (96 * p as u64 * scale / (4 * side)).max(1);
+        let inst = matrix::blocks::<Count>((a, b, c), k, side, 2);
+        let n = inst.r1.len() as u64;
+        let rels = [inst.r1, inst.r2];
+        let r = QueryEngine::new(p).trace(true).run(&q, &rels).unwrap();
+        println!(
+            "\n=== p={p} side={side} N={} OUT={} load={} ===",
+            2 * n,
+            inst.out,
+            r.cost.load,
+        );
+        println!("{}", r.audit);
+        let report = r.trace.unwrap().report();
+        if let Some(crit) = report.critical {
+            println!(
+                "critical: server {} round {} received {} units during `{}`",
+                crit.server, crit.round, crit.units, crit.label
+            );
+        }
+        for bucket in &report.per_label {
+            println!(
+                "  label {:<50} load {:>7} total {:>9} rounds {}",
+                bucket.label, bucket.load, bucket.total_units, bucket.rounds
+            );
+        }
+        for bucket in &report.per_phase {
+            println!(
+                "  phase {:<50} load {:>7} total {:>9}",
+                bucket.label, bucket.load, bucket.total_units
+            );
+        }
+    }
+}

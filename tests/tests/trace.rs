@@ -27,7 +27,12 @@ fn trace_json_roundtrips_and_matches_cost_report() {
     let doc = Json::parse(&trace.to_json()).expect("exporter emits valid JSON");
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("mpcjoin-trace-v1")
+        Some("mpcjoin-trace-v2")
+    );
+    assert_eq!(
+        doc.get("audit"),
+        Some(&Json::Null),
+        "standalone export carries an empty audit slot"
     );
     assert_eq!(doc.get("servers").and_then(Json::as_u64), Some(8));
     assert_eq!(doc.get("load").and_then(Json::as_u64), Some(cost.load));
@@ -64,6 +69,25 @@ fn trace_json_roundtrips_and_matches_cost_report() {
         unit_sum += received.iter().sum::<u64>();
     }
     assert_eq!(unit_sum, cost.total_units, "events account for all traffic");
+}
+
+#[test]
+fn trace_json_embeds_the_audit_verdict() {
+    let (q, rels) = funnel_instance();
+    let result = QueryEngine::new(8).trace(true).run(&q, &rels).unwrap();
+    let trace = result.trace.as_ref().unwrap();
+    let doc = Json::parse(&trace.to_json_with(Some(&result.audit.to_json()))).unwrap();
+    let audit = doc.get("audit").expect("audit member present");
+    assert_ne!(audit, &Json::Null);
+    assert_eq!(
+        audit.get("measured").and_then(Json::as_u64),
+        Some(result.cost.load),
+        "the embedded verdict audits this very run"
+    );
+    assert_eq!(
+        audit.get("within").cloned(),
+        Some(Json::Bool(result.audit.within))
+    );
 }
 
 #[test]
