@@ -8,7 +8,7 @@
 //! [`mpcjoin_matmul::theory`], re-exported as [`crate::theory`]) on the
 //! instance's `(N, OUT, p)` and compares. The resulting [`AuditVerdict`]
 //! is attached to every [`crate::ExecutionResult`], surfaced in its
-//! `Display`, and embeddable in trace JSON (schema `mpcjoin-trace-v2`)
+//! `Display`, and embeddable in trace JSON (schema `mpcjoin-trace-v3`)
 //! and the bench artifacts.
 //!
 //! ## The slack constant

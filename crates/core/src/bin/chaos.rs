@@ -1,0 +1,230 @@
+//! `chaos` — sweep seeded fault schedules over every plan the engine
+//! can choose, checking that recovery is transparent: each faulted run
+//! must produce the same output and the same measured cost ledger as
+//! the fault-free run of the same workload, or fail with a structured
+//! [`MpcError::Unrecoverable`] — never a panic, never a silent drift.
+//!
+//! ```text
+//! chaos [--schedules N] [--scale S] [--seed BASE] [--servers P]
+//! ```
+//!
+//! Schedule `i` runs workload `i mod 6` (one per [`PlanKind`]) under a
+//! fault plan drawn from `DetRng::seed_from_u64(BASE + i)` — crashes,
+//! drops, duplicates, reorders, stragglers, and compute faults in random
+//! combination. The sweep exits nonzero if any run diverges from its
+//! fault-free twin, errors outside the unrecoverable contract, or if no
+//! schedule fired a single fault (a vacuous sweep means the generator
+//! is broken, not that the engine is robust).
+
+use mpcjoin::prelude::*;
+use mpcjoin::workload::{chain, matrix, rng, star, trees};
+use mpcjoin::{execute_sequential, PlanKind, QueryEngine};
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    schedules: u64,
+    scale: u64,
+    seed: u64,
+    servers: usize,
+}
+
+fn usage() -> &'static str {
+    "usage: chaos [--schedules N] [--scale S] [--seed BASE] [--servers P]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        schedules: 60,
+        scale: 1,
+        seed: 0xC4A05,
+        servers: 8,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        let parse = |name: &str, v: String| {
+            v.parse::<u64>()
+                .map_err(|_| format!("{name} expects a non-negative integer"))
+        };
+        match flag.as_str() {
+            "--schedules" => args.schedules = parse("--schedules", value("--schedules")?)?,
+            "--scale" => args.scale = parse("--scale", value("--scale")?)?.max(1),
+            "--seed" => args.seed = parse("--seed", value("--seed")?)?,
+            "--servers" => args.servers = parse("--servers", value("--servers")?)?.max(2) as usize,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+/// One workload per [`PlanKind`], sized by `scale`.
+fn workloads(scale: u64) -> Vec<(&'static str, PlanKind, TreeQuery, Vec<Relation<Count>>)> {
+    let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+    let mm = matrix::blocks::<Count>((a, b, c), 4 * scale, 4, 2);
+    let mm_q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c]);
+    let fc_q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, b, c]);
+    let fc = trees::random_instance::<Count>(&mut rng(7), &fc_q, (40 * scale) as usize, 12);
+    let line = chain::funnel::<Count>(8 * scale, 4, 4);
+    let star = star::uniform::<Count>(&mut rng(11), 3, (30 * scale) as usize, 9, 5);
+    let star_like = star_like_workload(scale);
+    let tree = trees::layered_instance::<Count>(&trees::figure3_query(), 4 * scale, 2);
+    vec![
+        ("matmul", PlanKind::MatMul, mm_q, vec![mm.r1, mm.r2]),
+        (
+            "free-connex",
+            PlanKind::FreeConnexYannakakis,
+            fc.query,
+            fc.rels,
+        ),
+        ("line", PlanKind::Line, line.query, line.rels),
+        ("star", PlanKind::Star, star.query, star.rels),
+        ("star-like", PlanKind::StarLike, star_like.0, star_like.1),
+        ("tree", PlanKind::Tree, tree.query, tree.rels),
+    ]
+}
+
+/// A center with one two-hop arm and two one-hop arms (§6's shape).
+fn star_like_workload(scale: u64) -> (TreeQuery, Vec<Relation<Count>>) {
+    let (b, mid) = (Attr(9), Attr(10));
+    let q = TreeQuery::new(
+        vec![
+            Edge::binary(b, Attr(0)),
+            Edge::binary(b, mid),
+            Edge::binary(mid, Attr(1)),
+            Edge::binary(b, Attr(2)),
+        ],
+        [Attr(0), Attr(1), Attr(2)],
+    );
+    let n = 24 * scale;
+    let rels = vec![
+        Relation::binary_ones(b, Attr(0), (0..n).map(|i| (i % 4, i % 7))),
+        Relation::binary_ones(b, mid, (0..n).map(|i| (i % 4, i % 5))),
+        Relation::binary_ones(mid, Attr(1), (0..n).map(|i| (i % 5, i % 6))),
+        Relation::binary_ones(b, Attr(2), (0..n).map(|i| (i % 4, i % 3))),
+    ];
+    (q, rels)
+}
+
+/// Draw a random fault plan: one to three specs over the early rounds,
+/// every fault kind reachable. Drop probabilities stay below certainty
+/// so the default retry policy recovers almost every schedule; the rare
+/// exhaustion exercises the structured-error path instead.
+fn random_plan(seed: u64, servers: usize) -> FaultPlan {
+    let mut r = rng(seed);
+    let mut plan = FaultPlan::new(seed).retries(5);
+    for _ in 0..r.gen_range(1..4u64) {
+        let round = r.gen_range(0..10u64);
+        plan = match r.gen_range(0..6u64) {
+            0 => {
+                let width = r.gen_range(1..4u64);
+                plan.drop_window(round, round + width, 0.2 + 0.6 * r.gen_f64())
+            }
+            1 => plan.duplicate(round, 0.2 + 0.6 * r.gen_f64()),
+            2 => plan.reorder(round),
+            3 => plan.crash(round, r.gen_range(0..servers as u64) as usize),
+            4 => plan.straggle(
+                round,
+                r.gen_range(0..servers as u64) as usize,
+                Duration::from_micros(r.gen_range(10..200u64)),
+            ),
+            _ => plan.compute_fault(round, r.gen_range(1..3u64) as u32),
+        };
+    }
+    plan
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cases = workloads(args.scale);
+
+    // Fault-free twins, one per workload — and a plan-coverage check:
+    // the sweep is only meaningful if it really spans every PlanKind.
+    let mut clean = Vec::new();
+    for (name, kind, q, rels) in &cases {
+        let r = match QueryEngine::new(args.servers).run(q, rels) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("chaos: {name}: fault-free run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if r.plan != *kind {
+            eprintln!(
+                "chaos: {name}: expected plan {kind:?}, engine chose {:?}",
+                r.plan
+            );
+            return ExitCode::FAILURE;
+        }
+        if !r.output.semantically_eq(&execute_sequential(q, rels)) {
+            eprintln!("chaos: {name}: fault-free run disagrees with the oracle");
+            return ExitCode::FAILURE;
+        }
+        clean.push(r);
+    }
+
+    let (mut fired, mut unrecoverable, mut failures) = (0u64, 0u64, 0u64);
+    for i in 0..args.schedules {
+        let case = (i % cases.len() as u64) as usize;
+        let (name, _, q, rels) = &cases[case];
+        let seed = args.seed + i;
+        let plan = random_plan(seed, args.servers);
+        match QueryEngine::new(args.servers).faults(plan).run(q, rels) {
+            Ok(r) => {
+                let report = r.recovery.as_ref().expect("fault plan was installed");
+                if !report.is_clean() {
+                    fired += 1;
+                }
+                let twin = &clean[case];
+                if r.cost != twin.cost {
+                    eprintln!(
+                        "chaos: schedule {i} [{name}, seed {seed}]: ledger drift — faulted {:?} vs clean {:?}\n  {report}",
+                        r.cost, twin.cost
+                    );
+                    failures += 1;
+                } else if !r.output.semantically_eq(&twin.output) {
+                    eprintln!(
+                        "chaos: schedule {i} [{name}, seed {seed}]: output drift\n  {report}"
+                    );
+                    failures += 1;
+                } else {
+                    println!("schedule {i} [{name}, seed {seed}]: {report}");
+                }
+            }
+            Err(MpcError::Unrecoverable { round, detail }) => {
+                unrecoverable += 1;
+                println!(
+                    "schedule {i} [{name}, seed {seed}]: unrecoverable at round {round}: {detail}"
+                );
+            }
+            Err(e) => {
+                eprintln!("chaos: schedule {i} [{name}, seed {seed}]: unexpected error: {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    println!(
+        "chaos: {} schedules over {} workloads — {fired} fired faults, {unrecoverable} unrecoverable, {failures} failures",
+        args.schedules,
+        cases.len()
+    );
+    if failures > 0 {
+        return ExitCode::FAILURE;
+    }
+    if args.schedules >= cases.len() as u64 && fired == 0 {
+        eprintln!("chaos: no schedule fired a single fault — the sweep is vacuous");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

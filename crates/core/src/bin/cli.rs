@@ -25,9 +25,19 @@
 //! (schema `mpcjoin-result-v1`, including the audit verdict) instead of
 //! the human-readable report. `--trace FILE` records a round-level
 //! execution trace and writes it to `FILE` as JSON with the audit
-//! verdict embedded (schema `mpcjoin-trace-v2`, see
-//! `mpcjoin_mpc::trace`), and `--metrics FILE` writes the run's metrics
-//! snapshot (schema `mpcjoin-metrics-v1`, see `mpcjoin_mpc::metrics`).
+//! verdict and any recovery report embedded (schema `mpcjoin-trace-v3`,
+//! see `mpcjoin_mpc::trace`), and `--metrics FILE` writes the run's
+//! metrics snapshot (schema `mpcjoin-metrics-v1`, see
+//! `mpcjoin_mpc::metrics`).
+//!
+//! `--fault-plan FILE` loads a deterministic fault schedule (schema
+//! `mpcjoin-faultplan-v1`, see `mpcjoin_mpc::fault`) and injects it into
+//! the run; the engine recovers transparently — output and measured
+//! costs stay bit-identical to the fault-free run — and the recovery
+//! summary is printed (and embedded in the `--trace` / `--format json`
+//! artifacts). `--fault-seed N` overrides the plan's RNG seed, for
+//! sweeping schedules. Faults apply to the main run only, never to the
+//! `--baseline` comparison run.
 
 use mpcjoin::prelude::*;
 use mpcjoin::query::{parse_query, ParsedQuery};
@@ -47,13 +57,15 @@ struct Args {
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
     json: bool,
+    fault_plan: Option<PathBuf>,
+    fault_seed: Option<u64>,
 }
 
 fn usage() -> &'static str {
     "usage: mpcjoin-cli --query '<head> :- <body>' --input NAME=FILE [--input NAME=FILE …]\n\
      \x20      [--servers P] [--threads N] [--semiring count|bool|minplus|mincount]\n\
      \x20      [--baseline] [--limit N] [--dot] [--format text|json]\n\
-     \x20      [--trace FILE] [--metrics FILE]"
+     \x20      [--trace FILE] [--metrics FILE] [--fault-plan FILE] [--fault-seed N]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,6 +81,8 @@ fn parse_args() -> Result<Args, String> {
         trace: None,
         metrics: None,
         json: false,
+        fault_plan: None,
+        fault_seed: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -105,6 +119,14 @@ fn parse_args() -> Result<Args, String> {
             "--dot" => args.dot = true,
             "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
             "--metrics" => args.metrics = Some(PathBuf::from(value("--metrics")?)),
+            "--fault-plan" => args.fault_plan = Some(PathBuf::from(value("--fault-plan")?)),
+            "--fault-seed" => {
+                args.fault_seed = Some(
+                    value("--fault-seed")?
+                        .parse()
+                        .map_err(|_| "--fault-seed expects a non-negative integer".to_string())?,
+                )
+            }
             "--format" => {
                 args.json = match value("--format")?.as_str() {
                     "json" => true,
@@ -125,7 +147,24 @@ fn parse_args() -> Result<Args, String> {
     if args.threads == 0 {
         return Err("--threads must be at least 1".to_string());
     }
+    if args.fault_seed.is_some() && args.fault_plan.is_none() {
+        return Err("--fault-seed needs a --fault-plan to override".to_string());
+    }
     Ok(args)
+}
+
+/// Load `--fault-plan` (applying any `--fault-seed` override), or `None`
+/// when no plan was requested.
+fn load_fault_plan(args: &Args) -> Result<Option<FaultPlan>, String> {
+    let Some(path) = &args.fault_plan else {
+        return Ok(None);
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut plan = FaultPlan::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    if let Some(seed) = args.fault_seed {
+        plan = plan.with_seed(seed);
+    }
+    Ok(Some(plan))
 }
 
 fn run_semiring<S: Semiring + std::fmt::Debug>(
@@ -178,10 +217,14 @@ fn run_semiring<S: Semiring + std::fmt::Debug>(
         rels.push(rel);
     }
 
-    let result = QueryEngine::new(args.servers)
+    let mut engine = QueryEngine::new(args.servers)
         .threads(args.threads)
         .trace(args.trace.is_some())
-        .metrics(args.metrics.is_some())
+        .metrics(args.metrics.is_some());
+    if let Some(plan) = load_fault_plan(args)? {
+        engine = engine.faults(plan);
+    }
+    let result = engine
         .run(&parsed.query, &rels)
         .map_err(|e| e.to_string())?;
     if args.json {
@@ -197,12 +240,18 @@ fn run_semiring<S: Semiring + std::fmt::Debug>(
         );
         println!("output ({} rows):", result.output.len());
         print!("{}", render_output(&result.output, &dict, args.limit));
+        if let Some(report) = &result.recovery {
+            println!("fault plane: {report}");
+        }
     }
 
     if let Some(path) = &args.trace {
         let trace = result.trace.as_ref().expect("tracing was enabled");
-        std::fs::write(path, trace.to_json_with(Some(&result.audit.to_json())))
-            .map_err(|e| format!("{}: {e}", path.display()))?;
+        std::fs::write(
+            path,
+            trace.to_json_with(Some(&result.audit.to_json()), result.recovery.as_ref()),
+        )
+        .map_err(|e| format!("{}: {e}", path.display()))?;
         if !args.json {
             let report = trace.report();
             println!(

@@ -67,8 +67,6 @@ mod verify;
 pub use mpcjoin_matmul::theory;
 
 pub use audit::{AuditVerdict, BoundAuditor, DEFAULT_SLACK};
-#[allow(deprecated)]
-pub use planner::{execute, execute_baseline, execute_threaded};
 pub use planner::{
     execute_on, execute_sequential, ExecutionResult, PlanChoice, PlanKind, QueryEngine,
 };
@@ -78,7 +76,10 @@ pub use verify::{verify_instance, Verification};
 pub mod prelude {
     pub use crate::audit::{AuditVerdict, BoundAuditor};
     pub use crate::planner::{ExecutionResult, PlanChoice, PlanKind, QueryEngine};
-    pub use mpcjoin_mpc::{Cluster, CostReport, DistRelation, MetricsSnapshot, MpcError, Trace};
+    pub use mpcjoin_mpc::{
+        Cluster, CostReport, DistRelation, FaultKind, FaultPlan, MetricsSnapshot, MpcError,
+        RecoveryReport, Trace,
+    };
     pub use mpcjoin_query::{Edge, TreeQuery};
     pub use mpcjoin_relation::{Attr, Relation, Schema, Value};
     pub use mpcjoin_semiring::{

@@ -22,7 +22,9 @@
 use crate::audit::{AuditVerdict, BoundAuditor};
 use mpcjoin_joinagg::{line_query, star_like_query, star_query, tree_query};
 use mpcjoin_matmul::matmul;
-use mpcjoin_mpc::{Cluster, CostReport, DistRelation, MetricsSnapshot, MpcError, Trace};
+use mpcjoin_mpc::{
+    Cluster, CostReport, DistRelation, FaultPlan, MetricsSnapshot, MpcError, RecoveryReport, Trace,
+};
 use mpcjoin_query::{classify, Shape, TreeQuery};
 use mpcjoin_relation::{Attr, Relation, Row, Schema};
 use mpcjoin_semiring::Semiring;
@@ -64,23 +66,22 @@ pub enum PlanChoice {
 }
 
 /// Builder-style entry point for executing a join-aggregate query on the
-/// simulated MPC cluster.
-///
-/// Replaces the free functions `execute` / `execute_threaded` /
-/// `execute_baseline`: one builder, every knob, and a `Result` at the
-/// boundary instead of a panic.
-#[derive(Clone, Copy, Debug)]
+/// simulated MPC cluster: one builder, every knob (server count, worker
+/// threads, tracing, metrics, plan choice, fault injection), and a
+/// `Result` at the boundary instead of a panic.
+#[derive(Clone, Debug)]
 pub struct QueryEngine {
     p: usize,
     threads: Option<usize>,
     trace: bool,
     metrics: bool,
     plan: PlanChoice,
+    faults: Option<FaultPlan>,
 }
 
 impl QueryEngine {
     /// An engine over `p` simulated servers, serial local computation,
-    /// tracing and metrics off, automatic plan choice.
+    /// tracing and metrics off, automatic plan choice, no fault plan.
     pub fn new(p: usize) -> Self {
         Self {
             p,
@@ -88,6 +89,7 @@ impl QueryEngine {
             trace: false,
             metrics: false,
             plan: PlanChoice::Auto,
+            faults: None,
         }
     }
 
@@ -126,12 +128,26 @@ impl QueryEngine {
         self
     }
 
+    /// Inject a deterministic fault schedule (see `mpcjoin_mpc::fault`).
+    /// The run recovers transparently — output, cost ledger, and per-phase
+    /// loads stay bit-identical to the fault-free run; only wall-clock
+    /// time absorbs the recovery work — and [`ExecutionResult::recovery`]
+    /// carries the [`RecoveryReport`]. A schedule the retry policy cannot
+    /// absorb surfaces as [`MpcError::Unrecoverable`], never a panic.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Place `instance` on a fresh cluster, execute `q`, and gather the
     /// output plus the measured cost (and trace, if enabled).
     ///
     /// Errors with [`MpcError::InvalidInstance`] when `instance` does not
-    /// match the query's edges, and [`MpcError::UnsupportedPlan`] when a
-    /// forced plan does not apply to the query's shape.
+    /// match the query's edges, [`MpcError::UnsupportedPlan`] when a
+    /// forced plan does not apply to the query's shape, and
+    /// [`MpcError::Unrecoverable`] when an injected fault schedule
+    /// exhausts the retry policy (see [`QueryEngine::faults`]).
     pub fn run<S: Semiring>(
         &self,
         q: &TreeQuery,
@@ -147,6 +163,9 @@ impl QueryEngine {
         }
         if self.metrics {
             cluster.enable_metrics();
+        }
+        if let Some(plan) = &self.faults {
+            cluster.install_faults(plan.clone());
         }
         let dist: Vec<DistRelation<S>> = instance
             .iter()
@@ -166,20 +185,28 @@ impl QueryEngine {
         };
         let output_skew = result.data().skew();
         let output = result.gather();
+        if let Some((round, detail)) = cluster.recovery_failed() {
+            return Err(MpcError::Unrecoverable { round, detail });
+        }
         let cost = cluster.report();
         // Audit the measured load against the bound of the plan that
         // actually ran (sizes from the original instance, OUT from the
         // actual output — the output-sensitive form of the theorems).
         let audit =
             BoundAuditor::new().audit(plan, q, instance, self.p, output.len() as u64, cost.load);
+        // Trace first: the trace snapshots the plane's recovery events,
+        // and `take_recovery` uninstalls the plane.
+        let trace = cluster.take_trace();
+        let recovery = cluster.take_recovery();
         Ok(ExecutionResult {
             output,
             cost,
             plan,
             output_skew,
             audit,
-            trace: cluster.take_trace(),
+            trace,
             metrics: cluster.take_metrics(),
+            recovery,
         })
     }
 }
@@ -234,6 +261,10 @@ pub struct ExecutionResult<S: Semiring> {
     /// The metrics snapshot, when the engine ran with
     /// [`QueryEngine::metrics`] enabled.
     pub metrics: Option<MetricsSnapshot>,
+    /// What the fault plane did to this run, when the engine ran with a
+    /// [`QueryEngine::faults`] plan installed (even one whose schedule
+    /// never fired — then [`RecoveryReport::is_clean`] holds).
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl<S: Semiring> ExecutionResult<S> {
@@ -258,6 +289,12 @@ impl<S: Semiring> ExecutionResult<S> {
             ("output_rows".into(), Json::Num(self.output.len() as f64)),
             ("output_skew".into(), Json::Num(self.output_skew)),
             ("audit".into(), self.audit.to_json()),
+            (
+                "recovery".into(),
+                self.recovery
+                    .as_ref()
+                    .map_or(Json::Null, RecoveryReport::to_json),
+            ),
         ])
     }
 }
@@ -272,6 +309,7 @@ impl<S: Semiring> fmt::Debug for ExecutionResult<S> {
             .field("audit", &self.audit)
             .field("traced", &self.trace.is_some())
             .field("metered", &self.metrics.is_some())
+            .field("recovery", &self.recovery)
             .finish()
     }
 }
@@ -289,7 +327,11 @@ impl<S: Semiring> fmt::Display for ExecutionResult<S> {
             self.output_skew,
             self.output.len(),
             self.audit,
-        )
+        )?;
+        if let Some(r) = &self.recovery {
+            write!(f, "   recovery: {r}")?;
+        }
+        Ok(())
     }
 }
 
@@ -327,48 +369,6 @@ pub fn execute_on<S: Semiring>(
         Shape::Twig | Shape::General => (tree_query(cluster, q, rels), PlanKind::Tree),
     };
     (normalize(result, &output), plan)
-}
-
-/// End-to-end convenience: place `instance` on a fresh `p`-server
-/// cluster, execute `q` with the paper's algorithms, and gather the
-/// output plus the measured cost.
-#[deprecated(note = "use `QueryEngine::new(p).run(q, instance)`")]
-pub fn execute<S: Semiring>(
-    p: usize,
-    q: &TreeQuery,
-    instance: &[Relation<S>],
-) -> ExecutionResult<S> {
-    QueryEngine::new(p)
-        .run(q, instance)
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// [`execute`] with an explicit worker-thread count for per-server local
-/// computation.
-#[deprecated(note = "use `QueryEngine::new(p).threads(n).run(q, instance)`")]
-pub fn execute_threaded<S: Semiring>(
-    p: usize,
-    threads: usize,
-    q: &TreeQuery,
-    instance: &[Relation<S>],
-) -> ExecutionResult<S> {
-    QueryEngine::new(p)
-        .threads(threads)
-        .run(q, instance)
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// End-to-end baseline: the distributed Yannakakis algorithm (§1.4).
-#[deprecated(note = "use `QueryEngine::new(p).plan(PlanChoice::Baseline).run(q, instance)`")]
-pub fn execute_baseline<S: Semiring>(
-    p: usize,
-    q: &TreeQuery,
-    instance: &[Relation<S>],
-) -> ExecutionResult<S> {
-    QueryEngine::new(p)
-        .plan(PlanChoice::Baseline)
-        .run(q, instance)
-        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Sequential reference evaluation (the oracle), projected onto the
@@ -584,34 +584,51 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_work() {
-        // Compatibility: the old free functions keep their semantics
-        // (including panicking on bad input) until they are removed.
+    fn faulted_run_recovers_bit_identically() {
         let q = mm_query();
         let rels = vec![
-            Relation::<Count>::binary_ones(A, B, [(1, 10), (2, 10)]),
-            Relation::<Count>::binary_ones(B, C, [(10, 5)]),
+            Relation::<Count>::binary_ones(A, B, (0..60u64).map(|i| (i % 12, i % 7))),
+            Relation::<Count>::binary_ones(B, C, (0..60u64).map(|i| (i % 7, i % 11))),
         ];
-        let old = execute(4, &q, &rels);
-        let new = QueryEngine::new(4).run(&q, &rels).unwrap();
-        assert!(old.output.semantically_eq(&new.output));
-        assert_eq!(old.cost, new.cost);
-        let threaded = execute_threaded(4, 2, &q, &rels);
-        assert_eq!(threaded.cost, new.cost);
-        let base = execute_baseline(4, &q, &rels);
-        assert!(base.output.semantically_eq(&new.output));
+        let clean = QueryEngine::new(8).run(&q, &rels).unwrap();
+        assert!(clean.recovery.is_none(), "no plan installed, no report");
+        // Drop probability and retry budget are chosen so the schedule is
+        // deterministically recoverable: each message survives with
+        // failure probability 0.3^11 across ~56 messages per round.
+        let plan = FaultPlan::new(11)
+            .retries(10)
+            .drop_window(0, 4, 0.3)
+            .duplicate(2, 0.5)
+            .reorder(1)
+            .crash(3, 5);
+        let faulted = QueryEngine::new(8).faults(plan).run(&q, &rels).unwrap();
+        assert_eq!(clean.cost, faulted.cost, "recovery must not perturb costs");
+        assert!(clean.output.semantically_eq(&faulted.output));
+        let report = faulted.recovery.as_ref().expect("fault plan installed");
+        assert!(report.recovered());
+        assert_eq!(report.servers_lost, vec![5]);
+        // The report rides along in the Display line and the JSON summary.
+        assert!(faulted.to_string().contains("recovery:"));
+        let doc =
+            mpcjoin_mpc::json::Json::parse(&faulted.to_json().to_string_compact().expect("finite"))
+                .unwrap();
+        let rec = doc.get("recovery").expect("recovery member");
+        assert_eq!(
+            rec.get("schema").and_then(mpcjoin_mpc::json::Json::as_str),
+            Some("mpcjoin-recovery-v1")
+        );
     }
 
     #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "does not match edge")]
-    fn deprecated_wrappers_keep_panicking_on_bad_input() {
+    fn unrecoverable_schedule_is_an_error_not_a_panic() {
         let q = mm_query();
         let rels = vec![
-            Relation::<Count>::binary_ones(A, C, [(1, 10)]),
-            Relation::<Count>::binary_ones(B, C, [(10, 5)]),
+            Relation::<Count>::binary_ones(A, B, (0..40u64).map(|i| (i % 8, i % 5))),
+            Relation::<Count>::binary_ones(B, C, (0..40u64).map(|i| (i % 5, i % 6))),
         ];
-        let _ = execute(4, &q, &rels);
+        let plan = FaultPlan::new(7).retries(1).drop_window(0, u64::MAX, 1.0);
+        let err = QueryEngine::new(4).faults(plan).run(&q, &rels).unwrap_err();
+        assert!(matches!(err, MpcError::Unrecoverable { .. }), "{err}");
+        assert!(err.to_string().contains("unrecoverable"));
     }
 }

@@ -3,8 +3,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::cost::{CostReport, CostTracker, PhaseReport, SharedTracker};
+use crate::cost::{CostReport, CostTracker, LedgerCursor, PhaseReport, SharedTracker};
 use crate::exec::{self, ExecBackend};
+use crate::fault::{FaultPlan, RecoveryReport};
 use crate::metrics::MetricsSnapshot;
 use crate::trace::{EventKind, Trace};
 
@@ -226,6 +227,7 @@ impl Cluster {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        self.absorb_compute_faults();
         if !self.instrumented() {
             return exec::par_run(self.backend.as_ref(), n, task);
         }
@@ -245,6 +247,7 @@ impl Cluster {
         U: Send,
         F: Fn(usize, Vec<T>) -> Vec<U> + Sync,
     {
+        self.absorb_compute_faults();
         if !self.instrumented() {
             return exec::par_map_parts(self.backend.as_ref(), parts, f);
         }
@@ -266,6 +269,7 @@ impl Cluster {
         R: Send,
         F: Fn(usize, Vec<T>) -> R + Sync,
     {
+        self.absorb_compute_faults();
         if !self.instrumented() {
             return exec::par_consume_parts(self.backend.as_ref(), parts, f);
         }
@@ -352,6 +356,72 @@ impl Cluster {
         self.tracker.borrow().instrumented()
     }
 
+    /// Install a deterministic fault plane on this cluster's ledger (see
+    /// [`crate::fault`]). Like tracing and metrics, call on the top-level
+    /// cluster before running an algorithm; sub-clusters created by
+    /// [`Cluster::split`] share the plane (and its seeded draw stream).
+    /// Idempotent, off by default, and — pinned by tests — invisible in
+    /// the [`CostReport`] ledger: recovery overhead is accounted in the
+    /// [`RecoveryReport`] and in wall-clock spans only.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        let servers = self.phys.iter().copied().max().map_or(1, |m| m + 1);
+        self.tracker.borrow_mut().install_faults(plan, servers);
+    }
+
+    /// Whether a fault plane is installed on this cluster's ledger.
+    pub fn faults_installed(&self) -> bool {
+        self.tracker.borrow().faults_installed()
+    }
+
+    /// `Some((round, detail))` once the installed fault plane has
+    /// exhausted its retry budget; `None` while recovery is holding (or
+    /// when no plane is installed). Callers running algorithms directly
+    /// on a cluster should check this after the run and refuse to trust
+    /// the output when it is `Some` — `QueryEngine` does this and
+    /// returns [`crate::MpcError::Unrecoverable`].
+    pub fn recovery_failed(&self) -> Option<(u64, String)> {
+        self.tracker.borrow().fault_failed()
+    }
+
+    /// Uninstall the fault plane and return everything it did (`None` if
+    /// no plane was ever installed).
+    pub fn take_recovery(&mut self) -> Option<RecoveryReport> {
+        self.tracker.borrow_mut().take_recovery()
+    }
+
+    /// Snapshot this cluster's round cursor, the given per-server state,
+    /// and every shared ledger/instrumentation stream (cost cells, trace
+    /// and metrics cursors, fault-plane RNG) into a round-boundary
+    /// [`Checkpoint`]. Restoring it with [`Cluster::restore`] rewinds the
+    /// simulation to this exact point, so a replayed round re-produces
+    /// bit-identical deliveries, credits, and fault draws.
+    pub fn checkpoint<T: Clone>(&self, state: &Distributed<T>) -> Checkpoint<T> {
+        Checkpoint {
+            round: self.round,
+            state: state.clone(),
+            cursor: self.tracker.borrow().cursor(),
+        }
+    }
+
+    /// Rewind this cluster (round cursor, shared ledger, instrumentation,
+    /// fault plane) to `checkpoint` and hand back the state captured in
+    /// it. Everything simulated after the matching
+    /// [`Cluster::checkpoint`] call is discarded.
+    pub fn restore<T>(&mut self, checkpoint: Checkpoint<T>) -> Distributed<T> {
+        self.tracker.borrow_mut().rollback(checkpoint.cursor);
+        self.round = checkpoint.round;
+        checkpoint.state
+    }
+
+    /// Run the fault plane's transient-compute simulation (no-op without
+    /// a plane) and absorb any retry backoff outside the tracker borrow.
+    fn absorb_compute_faults(&self) {
+        let delay = self.tracker.borrow_mut().fault_compute(self.round);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+    }
+
     /// Open a named operation scope for trace/metrics labeling; the scope
     /// closes when the returned guard drops. Scopes nest — an event
     /// recorded inside `op("semijoin")` → `op("sort")` is labeled
@@ -376,9 +446,46 @@ impl Cluster {
             self.p(),
             "one outbox per logical server required"
         );
+        // Fault plane first (no-op Duration::ZERO without one): the
+        // reliable-delivery simulation decides what the transport had to
+        // do — retransmissions, dedup, crash replays — over this round's
+        // message sequence, and returns the wall-clock delay to absorb
+        // (stragglers, retry backoff). The committed delivery below is
+        // the faithful one in all cases: a recovered round delivers the
+        // exact fault-free sequence, which is why output and ledger are
+        // bit-identical under faults. The sleep happens outside the
+        // tracker borrow.
+        let n_messages: usize = outboxes.iter().map(Vec::len).sum();
+        let fault_delay = self
+            .tracker
+            .borrow_mut()
+            .fault_exchange(self.round, n_messages);
+        if !fault_delay.is_zero() {
+            std::thread::sleep(fault_delay);
+        }
         let mut inboxes: Vec<Vec<T>> = (0..self.p()).map(|_| Vec::new()).collect();
         {
             let mut tracker = self.tracker.borrow_mut();
+            // With a fault plane installed, a corrupted destination is
+            // reported through the plane (the run becomes unrecoverable)
+            // instead of aborting the process; without one it stays the
+            // hard contract violation it always was.
+            let hardened = tracker.faults_installed();
+            let p = self.p();
+            let round = self.round;
+            let check_dest = |tracker: &mut CostTracker, dest: usize| -> bool {
+                if dest < p {
+                    return true;
+                }
+                if hardened {
+                    tracker.fault_poison(
+                        round,
+                        format!("exchange destination {dest} out of range for {p} servers"),
+                    );
+                    return false;
+                }
+                panic!("destination {dest} out of range");
+            };
             if tracker.instrumented() {
                 // Instrumented path (tracing and/or metrics): build the
                 // physical traffic matrix, then credit each destination
@@ -390,7 +497,9 @@ impl Cluster {
                 for (src, outbox) in outboxes.into_iter().enumerate() {
                     let src_phys = self.phys[src];
                     for (dest, item) in outbox {
-                        assert!(dest < self.p(), "destination {dest} out of range");
+                        if !check_dest(&mut tracker, dest) {
+                            continue;
+                        }
                         traffic[src_phys][self.phys[dest]] += 1;
                         inboxes[dest].push(item);
                     }
@@ -406,7 +515,9 @@ impl Cluster {
             } else {
                 for outbox in outboxes {
                     for (dest, item) in outbox {
-                        assert!(dest < self.p(), "destination {dest} out of range");
+                        if !check_dest(&mut tracker, dest) {
+                            continue;
+                        }
                         tracker.credit(self.phys[dest], self.round, 1);
                         inboxes[dest].push(item);
                     }
@@ -423,6 +534,15 @@ impl Cluster {
     pub fn broadcast<T: Clone>(&mut self, data: &Distributed<T>) -> Distributed<T> {
         let items: Vec<T> = data.iter().flat_map(|(_, v)| v.iter().cloned()).collect();
         let units = items.len() as u64;
+        // Broadcast rides the same reliable-delivery layer as exchange:
+        // one message per (item, destination) pair.
+        let fault_delay = self
+            .tracker
+            .borrow_mut()
+            .fault_exchange(self.round, items.len() * self.p());
+        if !fault_delay.is_zero() {
+            std::thread::sleep(fault_delay);
+        }
         {
             let mut tracker = self.tracker.borrow_mut();
             for dest in 0..self.p() {
@@ -523,6 +643,26 @@ impl Cluster {
     /// conditional branches round-aligned when required).
     pub fn skip_rounds(&mut self, n: u64) {
         self.round += n;
+    }
+}
+
+/// A round-boundary snapshot of a simulation: the cluster's round
+/// cursor, per-server state, and an opaque [`LedgerCursor`] covering the
+/// shared cost ledger, trace/metrics cursors, and the fault plane's RNG
+/// stream. Produced by [`Cluster::checkpoint`], consumed by
+/// [`Cluster::restore`]; replaying from a checkpoint re-produces the
+/// exact same simulation (deliveries, credits, and fault draws included).
+#[derive(Clone, Debug)]
+pub struct Checkpoint<T> {
+    round: u64,
+    state: Distributed<T>,
+    cursor: LedgerCursor,
+}
+
+impl<T> Checkpoint<T> {
+    /// The global round the checkpoint was taken at.
+    pub fn round(&self) -> u64 {
+        self.round
     }
 }
 
@@ -799,6 +939,116 @@ mod tests {
         assert_eq!(trace.compute.len(), 1);
         assert_eq!(trace.compute[0].tasks, 3);
         assert_eq!(trace.compute[0].label, "map");
+    }
+
+    #[test]
+    fn fault_plane_never_perturbs_ledger_or_deliveries() {
+        use crate::fault::FaultPlan;
+        let route = |c: &mut Cluster| -> Vec<Vec<&'static str>> {
+            let out = vec![vec![(2, "a"), (2, "b")], vec![(0, "c")], vec![]];
+            let d = c.exchange(out);
+            let s = c.scatter_initial(vec!["x", "y"]);
+            let b = c.broadcast(&s);
+            let mut parts = d.into_parts();
+            parts.extend(b.into_parts());
+            parts
+        };
+        let mut plain = Cluster::new(3);
+        let plain_parts = route(&mut plain);
+        let mut faulted = Cluster::new(3);
+        faulted.install_faults(
+            FaultPlan::new(42)
+                .drop_window(0, 8, 0.5)
+                .duplicate(0, 0.5)
+                .reorder(1)
+                .retries(64),
+        );
+        assert!(faulted.faults_installed());
+        let faulted_parts = route(&mut faulted);
+        // Recovered deliveries and the cost ledger are bit-identical.
+        assert_eq!(faulted_parts, plain_parts);
+        assert_eq!(faulted.report(), plain.report());
+        let report = faulted.take_recovery().expect("plane installed");
+        assert!(report.recovered());
+        assert!(report.faults_injected > 0, "schedule should have fired");
+    }
+
+    #[test]
+    fn crash_recovery_keeps_costs_and_reports_lost_server() {
+        use crate::fault::FaultPlan;
+        let route = |c: &mut Cluster| {
+            for _ in 0..3 {
+                let out = vec![vec![(1, ())], vec![(0, ())], vec![(2, ())]];
+                let _ = c.exchange(out);
+            }
+        };
+        let mut plain = Cluster::new(3);
+        route(&mut plain);
+        let mut faulted = Cluster::new(3);
+        faulted.install_faults(FaultPlan::new(7).crash(1, 2));
+        route(&mut faulted);
+        assert_eq!(faulted.report(), plain.report());
+        let report = faulted.take_recovery().unwrap();
+        assert!(report.recovered());
+        assert_eq!(report.servers_lost, vec![2]);
+        assert_eq!(report.rounds_replayed, 1);
+    }
+
+    #[test]
+    fn exhausted_retries_poison_instead_of_panicking() {
+        use crate::fault::FaultPlan;
+        let mut c = Cluster::new(2);
+        c.install_faults(FaultPlan::new(3).drop_window(0, 100, 1.0).retries(1));
+        // The run completes (delivery stays faithful so invariants hold)…
+        let d = c.exchange(vec![vec![(1, 5u32)], vec![]]);
+        assert_eq!(d.local(1), &vec![5]);
+        // …but the plane has recorded the terminal failure.
+        let (round, detail) = c.recovery_failed().expect("budget exhausted");
+        assert_eq!(round, 0);
+        assert!(detail.contains("undelivered"));
+        assert!(!c.take_recovery().unwrap().recovered());
+    }
+
+    #[test]
+    fn bad_destination_poisons_under_fault_plane() {
+        use crate::fault::FaultPlan;
+        let mut c = Cluster::new(2);
+        c.install_faults(FaultPlan::new(1));
+        let d = c.exchange(vec![vec![(5, "lost"), (1, "kept")], vec![]]);
+        assert_eq!(d.local(1), &vec!["kept"]);
+        let (_, detail) = c.recovery_failed().expect("poisoned");
+        assert!(detail.contains("out of range"));
+    }
+
+    #[test]
+    fn checkpoint_restore_replays_bit_identically() {
+        use crate::fault::FaultPlan;
+        let mut c = Cluster::new(3);
+        c.enable_tracing();
+        c.install_faults(FaultPlan::new(11).drop_window(0, 10, 0.4).retries(64));
+        let state = c.scatter_initial((0..9u64).collect::<Vec<_>>());
+        let outboxes = |d: &Distributed<u64>| -> Vec<Vec<(usize, u64)>> {
+            d.iter()
+                .map(|(_, local)| local.iter().map(|&v| ((v % 3) as usize, v)).collect())
+                .collect()
+        };
+        let cp = c.checkpoint(&state);
+        assert_eq!(cp.round(), 0);
+        let first = c.exchange(outboxes(&state));
+        let report_after_first = c.report();
+        assert!(c.recovery_failed().is_none());
+        // Rewind and replay: same deliveries, same ledger, same fault
+        // draws (the plane's RNG stream was part of the checkpoint).
+        let restored = c.restore(cp.clone());
+        assert_eq!(c.round(), 0);
+        assert_eq!(c.report().rounds, 0);
+        let replay = c.exchange(outboxes(&restored));
+        assert_eq!(replay.into_parts(), first.into_parts());
+        assert_eq!(c.report(), report_after_first);
+        let trace = c.take_trace().unwrap();
+        assert_eq!(trace.events.len(), 1, "rollback discarded the first try");
+        let recovery = c.take_recovery().unwrap();
+        assert!(recovery.recovered());
     }
 
     #[test]

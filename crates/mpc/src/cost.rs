@@ -11,6 +11,7 @@
 //! [`crate::Cluster::exchange`] credits incoming units to a
 //! `(physical server, round)` cell, and [`CostReport`] summarizes the run.
 
+use crate::fault::{FaultPlan, FaultPlane, RecoveryReport};
 use crate::metrics::{LoadSummary, MetricsLog, MetricsSnapshot};
 use crate::trace::{ComputeSpan, EventKind, Trace, TraceEvent, TraceLog};
 use std::cell::RefCell;
@@ -38,8 +39,13 @@ pub struct CostTracker {
     /// Metrics registry; `None` (the default) disables metrics
     /// collection. See [`crate::metrics`].
     metrics: Option<MetricsLog>,
+    /// Installed fault plane; `None` (the default) disables fault
+    /// injection entirely — exchanges then take the exact fault-free
+    /// code paths. See [`crate::fault`].
+    fault: Option<FaultPlane>,
     /// Operation-scope label stack (see [`crate::Cluster::op`]); shared by
-    /// tracing and metrics, and only pushed to while either is enabled.
+    /// tracing, metrics, and the fault plane, and only pushed to while at
+    /// least one of them is enabled.
     op_stack: Vec<String>,
 }
 
@@ -53,6 +59,7 @@ impl Default for CostTracker {
             started: Instant::now(),
             trace: None,
             metrics: None,
+            fault: None,
             op_stack: Vec::new(),
         }
     }
@@ -149,7 +156,7 @@ impl CostTracker {
     /// push happened (i.e. tracing or metrics is on), so RAII guards know
     /// whether to pop. See [`crate::Cluster::op`].
     pub fn push_op(&mut self, label: &str) -> bool {
-        if self.trace.is_some() || self.metrics.is_some() {
+        if self.trace.is_some() || self.metrics.is_some() || self.fault.is_some() {
             self.op_stack.push(label.to_string());
             true
         } else {
@@ -246,6 +253,137 @@ impl CostTracker {
         })
     }
 
+    /// Install a fault plane driving seeded fault injection over
+    /// `servers` physical servers. Idempotent, like
+    /// [`CostTracker::enable_tracing`]: sub-clusters share this ledger
+    /// and must not reset their parent's plane.
+    pub fn install_faults(&mut self, plan: FaultPlan, servers: usize) {
+        if self.fault.is_none() {
+            self.fault = Some(FaultPlane::new(plan, servers));
+        }
+    }
+
+    /// Whether a fault plane is installed.
+    pub fn faults_installed(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// `Some((round, detail))` once the installed plane has given up on
+    /// recovery; `None` while healthy (or when no plane is installed).
+    pub fn fault_failed(&self) -> Option<(u64, String)> {
+        self.fault
+            .as_ref()
+            .and_then(|p| p.report.unrecoverable.clone())
+    }
+
+    /// Uninstall the fault plane and hand back everything it did.
+    /// `None` if no plane was ever installed.
+    pub fn take_recovery(&mut self) -> Option<RecoveryReport> {
+        self.fault.take().map(|p| p.report)
+    }
+
+    /// Run the fault plane's reliable-delivery simulation for one
+    /// exchange of `n` messages at `round`; returns the wall-clock delay
+    /// the round must absorb (stragglers + retry backoff). No-op
+    /// `Duration::ZERO` when no plane is installed.
+    ///
+    /// Recovery actions are mirrored into the metrics registry (when
+    /// enabled) under `fault.*` counters; the cost ledger is never
+    /// touched — see [`crate::fault`] for why.
+    pub fn fault_exchange(&mut self, round: u64, n: usize) -> Duration {
+        if self.fault.is_none() {
+            return Duration::ZERO;
+        }
+        let phase = self.current_phase();
+        let label = self.op_label();
+        let plane = self.fault.as_mut().expect("checked above");
+        let before = fault_counters(&plane.report);
+        let delays = plane.on_exchange(round, n, &phase, &label);
+        let after = fault_counters(&plane.report);
+        self.bump_fault_metrics(before, after);
+        delays.total
+    }
+
+    /// Run the fault plane's transient local-compute fault simulation at
+    /// `round`; returns the retry backoff delay to absorb. No-op when no
+    /// plane is installed.
+    pub fn fault_compute(&mut self, round: u64) -> Duration {
+        if self.fault.is_none() {
+            return Duration::ZERO;
+        }
+        let phase = self.current_phase();
+        let label = self.op_label();
+        let plane = self.fault.as_mut().expect("checked above");
+        let before = fault_counters(&plane.report);
+        let delays = plane.on_compute(round, &phase, &label);
+        let after = fault_counters(&plane.report);
+        self.bump_fault_metrics(before, after);
+        delays.total
+    }
+
+    /// Mark the run unrecoverable for a reason outside the fault
+    /// schedule (hardened contract violations report instead of
+    /// panicking when a plane is installed). No-op without a plane.
+    pub fn fault_poison(&mut self, round: u64, detail: String) {
+        let phase = self.current_phase();
+        let label = self.op_label();
+        if let Some(plane) = &mut self.fault {
+            plane.poison(round, &phase, &label, detail);
+        }
+    }
+
+    fn bump_fault_metrics(&mut self, before: [u64; 6], after: [u64; 6]) {
+        if let Some(m) = &mut self.metrics {
+            const KEYS: [&str; 6] = [
+                "fault.retries",
+                "fault.messages_dropped",
+                "fault.messages_duplicated",
+                "fault.rounds_replayed",
+                "fault.compute_retries",
+                "fault.servers_lost",
+            ];
+            for (i, key) in KEYS.iter().enumerate() {
+                if after[i] > before[i] {
+                    m.bump(key, after[i] - before[i]);
+                }
+            }
+        }
+    }
+
+    /// Snapshot the ledger and every instrumentation stream for a
+    /// round-boundary checkpoint (see [`crate::Cluster::checkpoint`]).
+    pub fn cursor(&self) -> LedgerCursor {
+        LedgerCursor {
+            cells: self.cells.clone(),
+            max_round_used: self.max_round_used,
+            total_units: self.total_units,
+            phases: self.phases.clone(),
+            trace_events: self.trace.as_ref().map_or(0, |t| t.events.len()),
+            trace_compute: self.trace.as_ref().map_or(0, |t| t.compute.len()),
+            metrics: self.metrics.clone(),
+            fault: self.fault.clone(),
+            op_stack: self.op_stack.clone(),
+        }
+    }
+
+    /// Roll the ledger and instrumentation back to `cursor`. Everything
+    /// credited, recorded, or drawn (fault-plane RNG included) since the
+    /// matching [`CostTracker::cursor`] call is discarded, so a replay
+    /// from the checkpoint re-produces the exact same stream.
+    pub fn rollback(&mut self, cursor: LedgerCursor) {
+        self.cells = cursor.cells;
+        self.max_round_used = cursor.max_round_used;
+        self.total_units = cursor.total_units;
+        self.phases = cursor.phases;
+        if let Some(t) = &mut self.trace {
+            t.events.truncate(cursor.trace_events);
+            t.compute.truncate(cursor.trace_compute);
+        }
+        self.metrics = cursor.metrics;
+        self.fault = cursor.fault;
+        self.op_stack = cursor.op_stack;
+    }
+
     /// The phase an event recorded now would be attributed to.
     fn current_phase(&self) -> String {
         self.phases
@@ -313,6 +451,10 @@ impl CostTracker {
                 .collect(),
             events: log.events,
             compute: log.compute,
+            recovery: self
+                .fault
+                .as_ref()
+                .map_or_else(Vec::new, |p| p.report.events.clone()),
         })
     }
 
@@ -371,6 +513,36 @@ impl CostTracker {
             })
             .collect()
     }
+}
+
+/// The fault-plane counters mirrored into metrics, in a fixed order
+/// (retries, dropped, duplicated, replays, compute retries, crashes).
+fn fault_counters(r: &RecoveryReport) -> [u64; 6] {
+    [
+        r.retries,
+        r.messages_dropped,
+        r.messages_duplicated,
+        r.rounds_replayed,
+        r.compute_retries,
+        r.servers_lost.len() as u64,
+    ]
+}
+
+/// An opaque snapshot of the ledger and all instrumentation streams
+/// (trace/metrics cursors, fault-plane RNG state), taken at a round
+/// boundary by [`CostTracker::cursor`] and restored by
+/// [`CostTracker::rollback`]. Part of a [`crate::Checkpoint`].
+#[derive(Clone, Debug)]
+pub struct LedgerCursor {
+    cells: HashMap<(usize, u64), u64>,
+    max_round_used: u64,
+    total_units: u64,
+    phases: Vec<(u64, String, Instant)>,
+    trace_events: usize,
+    trace_compute: usize,
+    metrics: Option<MetricsLog>,
+    fault: Option<FaultPlane>,
+    op_stack: Vec<String>,
 }
 
 /// One labeled phase of a run: its round span and the costs incurred in

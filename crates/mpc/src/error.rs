@@ -26,6 +26,21 @@ pub enum MpcError {
     },
     /// A forced plan cannot evaluate the given query shape.
     UnsupportedPlan(String),
+    /// A fault-plan document (see [`crate::fault::FaultPlan`]) was
+    /// malformed.
+    InvalidFaultPlan(String),
+    /// An installed fault plan exhausted the retry budget: the run
+    /// completed no useful result and cannot be trusted. Carries the
+    /// round the recovery gave up in.
+    Unrecoverable {
+        /// Global round at which recovery was abandoned.
+        round: u64,
+        /// Human-readable description of the terminal fault.
+        detail: String,
+    },
+    /// An internal invariant was violated on a hardened path (reported
+    /// instead of panicking when a fault plane is installed).
+    Internal(String),
 }
 
 impl fmt::Display for MpcError {
@@ -36,6 +51,11 @@ impl fmt::Display for MpcError {
                 write!(f, "attribute {attr} not in schema {schema}")
             }
             MpcError::UnsupportedPlan(msg) => write!(f, "unsupported plan: {msg}"),
+            MpcError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            MpcError::Unrecoverable { round, detail } => {
+                write!(f, "unrecoverable fault at round {round}: {detail}")
+            }
+            MpcError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
@@ -57,5 +77,14 @@ mod tests {
         assert!(e.to_string().contains("x7"));
         let e = MpcError::UnsupportedPlan("Star forced on a line query".into());
         assert!(e.to_string().contains("unsupported plan"));
+        let e = MpcError::InvalidFaultPlan("missing `faults`".into());
+        assert!(e.to_string().contains("invalid fault plan"));
+        let e = MpcError::Unrecoverable {
+            round: 4,
+            detail: "3 messages undelivered".into(),
+        };
+        assert!(e.to_string().contains("round 4"));
+        let e = MpcError::Internal("slot poisoned".into());
+        assert!(e.to_string().contains("internal error"));
     }
 }

@@ -25,7 +25,7 @@
 //! server's closure runs, never *what* it computes.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Strategy for running `n` independent per-server tasks.
 ///
@@ -147,6 +147,15 @@ pub fn default_backend() -> Arc<dyn ExecBackend> {
     backend_for_threads(default_threads())
 }
 
+/// Lock a slot mutex, tolerating poison: slots are write-once cells, so
+/// a panic in some *other* task cannot have left this slot's value torn —
+/// the stored data is valid whether or not the lock is poisoned. Treating
+/// poison as fatal would escalate one server's panic (already unwinding)
+/// into an abort of the whole driver.
+fn lock_slot<T>(slot: &Mutex<T>) -> MutexGuard<'_, T> {
+    slot.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Run `task(i)` for `i ∈ 0..n` on `backend` and collect the results **in
 /// index order**, regardless of scheduling.
 pub fn par_run<R, F>(backend: &dyn ExecBackend, n: usize, task: F) -> Vec<R>
@@ -157,13 +166,13 @@ where
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     backend.execute(n, &|i| {
         let r = task(i);
-        *slots[i].lock().expect("result slot poisoned") = Some(r);
+        *lock_slot(&slots[i]) = Some(r);
     });
     slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("backend skipped a task index")
         })
         .collect()
@@ -181,9 +190,7 @@ where
     let inputs: Vec<Mutex<Option<Vec<T>>>> =
         parts.into_iter().map(|v| Mutex::new(Some(v))).collect();
     par_run(backend, inputs.len(), |i| {
-        let local = inputs[i]
-            .lock()
-            .expect("input slot poisoned")
+        let local = lock_slot(&inputs[i])
             .take()
             .expect("input slot consumed twice");
         f(i, local)

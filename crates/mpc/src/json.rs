@@ -96,6 +96,36 @@ impl Json {
         write_value(self, &mut out)?;
         Ok(out)
     }
+
+    /// Serialize compactly, substituting `null` for any non-finite
+    /// number — a *total* function for hardened emit paths (trace and
+    /// metrics export) where aborting on a bad guest value would turn an
+    /// instrumentation bug into a crashed run. Prefer
+    /// [`Json::to_string_compact`] when the caller can meaningfully
+    /// report the error instead.
+    pub fn to_string_sanitized(&self) -> String {
+        fn sanitize(v: &Json) -> Json {
+            match v {
+                Json::Num(n) if !n.is_finite() => Json::Null,
+                Json::Arr(items) => Json::Arr(items.iter().map(sanitize).collect()),
+                Json::Obj(members) => Json::Obj(
+                    members
+                        .iter()
+                        .map(|(k, v)| (k.clone(), sanitize(v)))
+                        .collect(),
+                ),
+                other => other.clone(),
+            }
+        }
+        let mut out = String::new();
+        // Sanitized values contain no non-finite numbers, so writing
+        // cannot fail; fall back to the input's shape with `null`s if it
+        // somehow did.
+        if write_value(&sanitize(self), &mut out).is_err() {
+            out = "null".to_string();
+        }
+        out
+    }
 }
 
 /// Escape `s` into a JSON string literal (with surrounding quotes).
@@ -431,6 +461,23 @@ mod tests {
         for bad in ["NaN", "Infinity", "-Infinity", "[NaN]"] {
             assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn sanitized_printer_is_total() {
+        let doc = Json::Obj(vec![
+            ("ok".into(), Json::Num(2.5)),
+            ("bad".into(), Json::Num(f64::NAN)),
+            ("nested".into(), Json::Arr(vec![Json::Num(f64::INFINITY)])),
+        ]);
+        let text = doc.to_string_sanitized();
+        let back = Json::parse(&text).expect("sanitized output parses");
+        assert_eq!(back.get("ok").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(back.get("bad"), Some(&Json::Null));
+        assert_eq!(
+            back.get("nested").and_then(Json::as_arr),
+            Some(&[Json::Null][..])
+        );
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //!   counters, ledger gauges, log₂ histograms of per-primitive exchange
 //!   volumes, and the per-server received-load distribution
 //!   (p50/p95/max/skew); like tracing, never perturbs the ledger,
+//! * [`fault`] — opt-in deterministic fault injection and recovery
+//!   ([`Cluster::install_faults`]): seeded crash-stop failures, message
+//!   drop/duplication/reordering, stragglers, and transient compute
+//!   faults, recovered by a simulated reliable-delivery layer with
+//!   round-boundary checkpoints ([`Cluster::checkpoint`]); a recovered
+//!   run's output and ledger are bit-identical to the fault-free run,
 //! * [`primitives`] — the §2.1 toolbox: sorting, reduce-by-key,
 //!   multi-search, prefix sums, parallel-packing,
 //! * [`DistRelation`] — annotated relations partitioned over a cluster,
@@ -60,6 +66,7 @@ mod cost;
 pub mod drel;
 mod error;
 pub mod exec;
+pub mod fault;
 pub mod hash;
 pub mod join;
 pub mod json;
@@ -68,11 +75,14 @@ pub mod primitives;
 pub mod rng;
 pub mod trace;
 
-pub use cluster::{Cluster, Distributed, OpScope};
-pub use cost::{CostReport, CostTracker, PhaseReport};
+pub use cluster::{Checkpoint, Cluster, Distributed, OpScope};
+pub use cost::{CostReport, CostTracker, LedgerCursor, PhaseReport};
 pub use drel::DistRelation;
 pub use error::MpcError;
 pub use exec::{ExecBackend, SerialBackend, ThreadPoolBackend};
+pub use fault::{
+    FaultKind, FaultPlan, FaultSpec, RecoveryEvent, RecoveryKind, RecoveryReport, RetryPolicy,
+};
 pub use metrics::{LoadSummary, LogHistogram, MetricsSnapshot};
 pub use rng::DetRng;
 pub use trace::{CriticalCell, Trace, TraceBreakdown, TraceEvent, TraceReport};

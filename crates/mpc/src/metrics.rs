@@ -111,7 +111,7 @@ impl LoadSummary {
             let idx = ((sorted.len() as f64 - 1.0) * q).floor() as usize;
             sorted[idx]
         };
-        let max = *sorted.last().unwrap();
+        let max = sorted.last().copied().unwrap_or(0);
         let mean = sorted.iter().sum::<u64>() as f64 / sorted.len() as f64;
         let skew = if mean > 0.0 { max as f64 / mean } else { 1.0 };
         LoadSummary {
@@ -125,8 +125,9 @@ impl LoadSummary {
 }
 
 /// The in-flight registry, owned by [`crate::CostTracker`] while metrics
-/// collection is enabled.
-#[derive(Debug, Default)]
+/// collection is enabled. `Clone` so round-boundary checkpoints (see
+/// [`crate::Cluster::checkpoint`]) can snapshot and restore it.
+#[derive(Clone, Debug, Default)]
 pub(crate) struct MetricsLog {
     /// Physical-server dimension of `per_server`.
     pub(crate) servers: usize,
@@ -294,9 +295,9 @@ impl MetricsSnapshot {
             ),
         ]);
         // Counters/histograms are u64 casts; `mean`/`skew` are finite by
-        // construction (guarded divisions), so serialization cannot fail.
-        doc.to_string_compact()
-            .expect("metrics documents contain only finite numbers")
+        // construction (guarded divisions) — but emit through the total
+        // sanitizing printer anyway so a bad gauge can never abort a run.
+        doc.to_string_sanitized()
     }
 }
 

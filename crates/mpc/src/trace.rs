@@ -32,6 +32,7 @@
 //! the primitives' scopes for fine-grained labels.
 
 use crate::cost::CostReport;
+use crate::fault::{RecoveryEvent, RecoveryReport};
 use crate::json::Json;
 use std::collections::HashMap;
 use std::time::Duration;
@@ -156,6 +157,11 @@ pub struct Trace {
     pub events: Vec<TraceEvent>,
     /// Wall-clock spans of backend-executed local computation.
     pub compute: Vec<ComputeSpan>,
+    /// Recovery actions taken by an installed fault plane, in simulation
+    /// order, attributed to the phase/label active when they happened
+    /// (empty when no plane was installed — the common case). See
+    /// [`crate::fault`].
+    pub recovery: Vec<RecoveryEvent>,
 }
 
 /// Per-label (or per-phase) slice of a trace.
@@ -337,20 +343,25 @@ impl Trace {
 
     /// Serialize the full trace (events, compute spans, phases, and the
     /// structured report) as a self-contained JSON document
-    /// (schema `mpcjoin-trace-v2`; the `audit` member is `null`).
+    /// (schema `mpcjoin-trace-v3`; the `audit` and `recovery_report`
+    /// members are `null`).
     pub fn to_json(&self) -> String {
-        self.to_json_with(None)
+        self.to_json_with(None, None)
     }
 
-    /// [`Trace::to_json`] with an optional `audit` member: callers that
-    /// know the theoretical bound of the plan that ran (see
-    /// `mpcjoin::core::audit`) attach its verdict here, so the exported
-    /// document is self-contained for bound-violation triage.
+    /// [`Trace::to_json`] with optional `audit` and `recovery_report`
+    /// members: callers that know the theoretical bound of the plan that
+    /// ran (see `mpcjoin::core::audit`) attach its verdict, and callers
+    /// that ran under a fault plane attach the aggregated
+    /// [`RecoveryReport`], so the exported document is self-contained for
+    /// both bound-violation and recovery triage.
     ///
     /// Schema history: `mpcjoin-trace-v1` lacked the `audit` member;
-    /// `mpcjoin-trace-v2` adds it (possibly `null`). Readers should accept
-    /// both (the `trace_check` tool does).
-    pub fn to_json_with(&self, audit: Option<&Json>) -> String {
+    /// `mpcjoin-trace-v2` added it (possibly `null`); `mpcjoin-trace-v3`
+    /// adds the per-event `recovery` array and the `recovery_report`
+    /// member (possibly `null`). Readers should accept all three (the
+    /// `trace_check` tool does).
+    pub fn to_json_with(&self, audit: Option<&Json>, recovery: Option<&RecoveryReport>) -> String {
         let report = self.report();
         let breakdown_json = |b: &TraceBreakdown| {
             Json::Obj(vec![
@@ -423,8 +434,16 @@ impl Trace {
             None => Json::Null,
         };
         let doc = Json::Obj(vec![
-            ("schema".into(), Json::Str("mpcjoin-trace-v2".into())),
+            ("schema".into(), Json::Str("mpcjoin-trace-v3".into())),
             ("audit".into(), audit.cloned().unwrap_or(Json::Null)),
+            (
+                "recovery_report".into(),
+                recovery.map_or(Json::Null, RecoveryReport::to_json),
+            ),
+            (
+                "recovery".into(),
+                Json::Arr(self.recovery.iter().map(RecoveryEvent::to_json).collect()),
+            ),
             ("servers".into(), Json::Num(self.servers as f64)),
             ("load".into(), Json::Num(self.cost.load as f64)),
             ("rounds".into(), Json::Num(self.cost.rounds as f64)),
@@ -465,10 +484,10 @@ impl Trace {
             ),
         ]);
         // Every number here is a u64 cast or a Duration in nanoseconds —
-        // always finite — and a non-null `audit` is sanitized by its
-        // producer, so serialization cannot fail.
-        doc.to_string_compact()
-            .expect("trace documents contain only finite numbers")
+        // always finite — but an embedded `audit` comes from outside this
+        // module, so emit through the total sanitizing printer (non-finite
+        // numbers become `null`) instead of panicking on a bad guest.
+        doc.to_string_sanitized()
     }
 }
 
@@ -514,6 +533,7 @@ mod tests {
                 tasks: 2,
                 elapsed: Duration::from_nanos(500),
             }],
+            recovery: Vec::new(),
         }
     }
 
@@ -579,19 +599,72 @@ mod tests {
     }
 
     #[test]
-    fn json_schema_is_v2_with_audit_slot() {
+    fn json_schema_is_v3_with_audit_and_recovery_slots() {
         let t = two_label_trace();
         let doc = Json::parse(&t.to_json()).unwrap();
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
-            Some("mpcjoin-trace-v2")
+            Some("mpcjoin-trace-v3")
         );
         assert_eq!(doc.get("audit"), Some(&Json::Null));
+        assert_eq!(doc.get("recovery_report"), Some(&Json::Null));
+        assert_eq!(
+            doc.get("recovery")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(0)
+        );
         let audit = Json::Obj(vec![("within".into(), Json::Bool(true))]);
-        let doc2 = Json::parse(&t.to_json_with(Some(&audit))).unwrap();
+        let doc2 = Json::parse(&t.to_json_with(Some(&audit), None)).unwrap();
         assert_eq!(
             doc2.get("audit").and_then(|a| a.get("within")),
             Some(&Json::Bool(true))
+        );
+    }
+
+    #[test]
+    fn json_embeds_recovery_events_and_report() {
+        use crate::fault::{RecoveryKind, RecoveryReport};
+        let mut t = two_label_trace();
+        t.recovery.push(RecoveryEvent {
+            round: 1,
+            attempt: 1,
+            kind: RecoveryKind::Retransmit,
+            phase: "probe".into(),
+            label: "join".into(),
+            server: None,
+            units: 4,
+            delay: Duration::from_micros(10),
+        });
+        let report = RecoveryReport {
+            faults_injected: 1,
+            retries: 1,
+            messages_dropped: 4,
+            retransmitted_units: 4,
+            events: t.recovery.clone(),
+            ..RecoveryReport::default()
+        };
+        let doc = Json::parse(&t.to_json_with(None, Some(&report))).unwrap();
+        let events = doc.get("recovery").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].get("kind").and_then(Json::as_str),
+            Some("retransmit")
+        );
+        assert_eq!(events[0].get("phase").and_then(Json::as_str), Some("probe"));
+        let rr = doc.get("recovery_report").unwrap();
+        assert_eq!(rr.get("recovered"), Some(&Json::Bool(true)));
+        assert_eq!(rr.get("retries").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn non_finite_audit_guest_is_sanitized_not_fatal() {
+        let t = two_label_trace();
+        let audit = Json::Obj(vec![("ratio".into(), Json::Num(f64::NAN))]);
+        let doc = Json::parse(&t.to_json_with(Some(&audit), None)).unwrap();
+        assert_eq!(
+            doc.get("audit").and_then(|a| a.get("ratio")),
+            Some(&Json::Null)
         );
     }
 

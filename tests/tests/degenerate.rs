@@ -1,9 +1,11 @@
 //! Degenerate inputs through the full engine: empty relations, p = 1
 //! clusters, and OUT = 0 instances must execute cleanly, audit cleanly,
 //! and keep the cost ledger bit-identical whether or not instrumentation
-//! (tracing and metrics) is enabled, on both execution backends.
+//! (tracing, metrics, or a fault plane) is enabled, on both execution
+//! backends.
 
 use mpcjoin::prelude::*;
+use std::time::Duration;
 
 const A: Attr = Attr(0);
 const B: Attr = Attr(1);
@@ -39,6 +41,25 @@ fn run_all_ways(p: usize, q: &TreeQuery, rels: &[Relation<Count>]) -> ExecutionR
             "metrics account for exactly the ledger's traffic"
         );
     }
+    // Degenerate inputs under faults: the plane must recover these runs
+    // (mostly empty exchanges) just as invisibly as instrumentation.
+    let faulted = QueryEngine::new(p)
+        .faults(
+            FaultPlan::new(5)
+                .retries(10)
+                .drop_window(0, 3, 0.3)
+                .duplicate(1, 0.5)
+                .reorder(0)
+                .straggle(0, 0, Duration::from_micros(20)),
+        )
+        .run(q, rels)
+        .expect("the default retry policy absorbs this schedule");
+    assert_eq!(
+        plain.cost, faulted.cost,
+        "fault recovery must be invisible in the ledger"
+    );
+    assert!(plain.output.semantically_eq(&faulted.output));
+    assert!(faulted.recovery.expect("plan installed").recovered());
     assert_eq!(plain.audit.measured, plain.cost.load);
     plain
 }

@@ -27,12 +27,24 @@ fn trace_json_roundtrips_and_matches_cost_report() {
     let doc = Json::parse(&trace.to_json()).expect("exporter emits valid JSON");
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("mpcjoin-trace-v2")
+        Some("mpcjoin-trace-v3")
     );
     assert_eq!(
         doc.get("audit"),
         Some(&Json::Null),
         "standalone export carries an empty audit slot"
+    );
+    assert_eq!(
+        doc.get("recovery_report"),
+        Some(&Json::Null),
+        "no fault plane, no recovery report"
+    );
+    assert_eq!(
+        doc.get("recovery")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(0),
+        "no fault plane, no recovery events"
     );
     assert_eq!(doc.get("servers").and_then(Json::as_u64), Some(8));
     assert_eq!(doc.get("load").and_then(Json::as_u64), Some(cost.load));
@@ -76,7 +88,9 @@ fn trace_json_embeds_the_audit_verdict() {
     let (q, rels) = funnel_instance();
     let result = QueryEngine::new(8).trace(true).run(&q, &rels).unwrap();
     let trace = result.trace.as_ref().unwrap();
-    let doc = Json::parse(&trace.to_json_with(Some(&result.audit.to_json()))).unwrap();
+    let doc =
+        Json::parse(&trace.to_json_with(Some(&result.audit.to_json()), result.recovery.as_ref()))
+            .unwrap();
     let audit = doc.get("audit").expect("audit member present");
     assert_ne!(audit, &Json::Null);
     assert_eq!(
