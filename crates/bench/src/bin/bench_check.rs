@@ -1,18 +1,29 @@
 //! `bench_check` — diff a fresh bench artifact against a committed
 //! baseline and fail on regressions. Used by CI after regenerating
-//! `BENCH_table1.json` at the baseline's scale.
+//! `BENCH_table1.json` at the baseline's scale, and by the `serve` job
+//! for `BENCH_server.json`.
 //!
 //! ```text
 //! bench_check <baseline.json> <fresh.json> [--tol FRAC]
 //! ```
 //!
-//! Exits nonzero when a fresh row's measured load exceeds its baseline
-//! row by more than `--tol` (default 0.05 — loads are deterministic on
-//! the simulator, the band only absorbs intentional re-tuning), when any
-//! row's bound audit newly flips to a violation, or when a baseline row
-//! is missing from the fresh run. Wall-clock fields are never compared.
+//! The artifact family is dispatched on the baseline's `schema` tag:
+//!
+//! * `mpcjoin-bench-v1` (Table-1 runs) — exits nonzero when a fresh
+//!   row's measured load exceeds its baseline row by more than `--tol`
+//!   (default 0.05 — loads are deterministic on the simulator, the band
+//!   only absorbs intentional re-tuning), when any row's bound audit
+//!   newly flips to a violation, or when a baseline row is missing from
+//!   the fresh run.
+//! * `mpcjoin-bench-server-v1` (loadgen runs) — deterministic fields
+//!   (query counts, summed loads, run configuration) must match exactly
+//!   and the zero-loss/zero-duplication invariants must hold; `--tol` is
+//!   ignored.
+//!
+//! Wall-clock and latency fields are never compared in either family.
 
-use mpcjoin_bench::{artifact, BenchArtifact};
+use mpcjoin::mpc::json::Json;
+use mpcjoin_bench::{artifact, server, BenchArtifact, ServerArtifact};
 use std::process::ExitCode;
 
 fn run() -> Result<String, String> {
@@ -37,20 +48,45 @@ fn run() -> Result<String, String> {
     let [baseline_path, fresh_path] = paths.as_slice() else {
         return Err("usage: bench_check <baseline.json> <fresh.json> [--tol FRAC]".into());
     };
-    let read = |path: &str| -> Result<BenchArtifact, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        BenchArtifact::parse(&text).map_err(|e| format!("{path}: {e}"))
+    let read = |path: &str| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
     };
-    let baseline = read(baseline_path)?;
-    let fresh = read(fresh_path)?;
-    artifact::diff(&baseline, &fresh, tol).map_err(|errors| {
+    let baseline_text = read(baseline_path)?;
+    let fresh_text = read(fresh_path)?;
+    let schema = Json::parse(&baseline_text)
+        .map_err(|e| format!("{baseline_path}: invalid JSON: {e}"))?
+        .get("schema")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("{baseline_path}: missing `schema`"))?;
+
+    let render = |errors: Vec<String>| {
         let mut msg = format!("{} regression(s) vs {baseline_path}:", errors.len());
         for e in errors {
             msg.push_str("\n  ");
             msg.push_str(&e);
         }
         msg
-    })
+    };
+    match schema.as_str() {
+        artifact::SCHEMA => {
+            let baseline = BenchArtifact::parse(&baseline_text)
+                .map_err(|e| format!("{baseline_path}: {e}"))?;
+            let fresh =
+                BenchArtifact::parse(&fresh_text).map_err(|e| format!("{fresh_path}: {e}"))?;
+            artifact::diff(&baseline, &fresh, tol).map_err(render)
+        }
+        server::SERVER_SCHEMA => {
+            let baseline = ServerArtifact::parse(&baseline_text)
+                .map_err(|e| format!("{baseline_path}: {e}"))?;
+            let fresh =
+                ServerArtifact::parse(&fresh_text).map_err(|e| format!("{fresh_path}: {e}"))?;
+            server::diff_server(&baseline, &fresh).map_err(render)
+        }
+        other => Err(format!(
+            "{baseline_path}: unknown artifact schema `{other}`"
+        )),
+    }
 }
 
 fn main() -> ExitCode {

@@ -9,9 +9,11 @@
 
 pub mod artifact;
 pub mod experiments;
+pub mod server;
 pub mod table;
 
 pub use artifact::{diff, BenchArtifact, BenchRecord};
+pub use server::{diff_server, ServerArtifact, ServerRecord};
 pub use table::{print_table, to_csv, Cell, Table};
 
 /// Configure the simulator's local-execution thread pool for a harness

@@ -1,0 +1,313 @@
+//! Serving-layer bench artifacts (schema [`SERVER_SCHEMA`]) and their
+//! regression differ.
+//!
+//! `loadgen` (in `crates/server`) replays a mixed workload against a
+//! running `mpcjoin-serve` and writes one of these artifacts; CI commits
+//! a baseline (`results/BENCH_baseline_server.json`) and diffs fresh
+//! runs against it with `bench_check`, which dispatches on the
+//! baseline's `schema` tag.
+//!
+//! The diffable fields are the *deterministic* ones: per-workload query
+//! counts, the zero-loss/zero-duplication invariants, and `load_sum` —
+//! the sum of simulated MPC loads across the workload's responses, which
+//! is exactly reproducible on any machine because instances are
+//! seed-generated and the simulator's ledger is exact. Latency,
+//! throughput, retry counts, and cache hit counts are recorded for the
+//! human but never diffed: they depend on the machine and on scheduling
+//! races (how often a burst overflows the admission queue is real
+//! nondeterminism, by design).
+
+use mpcjoin::mpc::json::Json;
+
+/// Schema tag of serving-bench artifacts.
+pub const SERVER_SCHEMA: &str = "mpcjoin-bench-server-v1";
+
+/// One workload class's aggregate outcome across all sessions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServerRecord {
+    /// Workload class, e.g. `"mm"`, `"line"`, `"star"`.
+    pub workload: String,
+    /// Queries sent (excluding rejected attempts that were retried).
+    pub sent: u64,
+    /// Result frames received for distinct ids.
+    pub responses: u64,
+    /// Ids that never received a response (must be 0).
+    pub lost: u64,
+    /// Ids that received more than one response (must be 0).
+    pub duplicated: u64,
+    /// Backpressure rejections that were retried (informational).
+    pub retries: u64,
+    /// Responses served from the result cache (informational).
+    pub cache_hits: u64,
+    /// Sum of simulated MPC loads over the responses (deterministic).
+    pub load_sum: u64,
+    /// Latency percentiles in nanoseconds (informational).
+    pub p50_ns: u64,
+    /// 95th-percentile latency (informational).
+    pub p95_ns: u64,
+    /// Worst latency (informational).
+    pub max_ns: u64,
+}
+
+impl ServerRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workload".into(), Json::Str(self.workload.clone())),
+            ("sent".into(), Json::Num(self.sent as f64)),
+            ("responses".into(), Json::Num(self.responses as f64)),
+            ("lost".into(), Json::Num(self.lost as f64)),
+            ("duplicated".into(), Json::Num(self.duplicated as f64)),
+            ("retries".into(), Json::Num(self.retries as f64)),
+            ("cache_hits".into(), Json::Num(self.cache_hits as f64)),
+            ("load_sum".into(), Json::Num(self.load_sum as f64)),
+            ("p50_ns".into(), Json::Num(self.p50_ns as f64)),
+            ("p95_ns".into(), Json::Num(self.p95_ns as f64)),
+            ("max_ns".into(), Json::Num(self.max_ns as f64)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<ServerRecord, String> {
+        let u = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("server record missing integer `{k}`"))
+        };
+        Ok(ServerRecord {
+            workload: j
+                .get("workload")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or("server record missing string `workload`")?,
+            sent: u("sent")?,
+            responses: u("responses")?,
+            lost: u("lost")?,
+            duplicated: u("duplicated")?,
+            retries: u("retries")?,
+            cache_hits: u("cache_hits")?,
+            load_sum: u("load_sum")?,
+            p50_ns: u("p50_ns")?,
+            p95_ns: u("p95_ns")?,
+            max_ns: u("max_ns")?,
+        })
+    }
+}
+
+/// A full loadgen run: configuration echo + per-workload records +
+/// run-level wall-clock summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServerArtifact {
+    /// Concurrent client sessions the run drove.
+    pub sessions: u64,
+    /// Queries per session per workload class.
+    pub per_session: u64,
+    /// Instance-generator seed.
+    pub seed: u64,
+    /// Per-workload aggregates.
+    pub records: Vec<ServerRecord>,
+    /// Whole-run wall-clock in nanoseconds (informational).
+    pub wall_ns: u64,
+    /// Whole-run throughput in queries/second (informational).
+    pub throughput_qps: f64,
+}
+
+impl ServerArtifact {
+    /// Serialize (schema [`SERVER_SCHEMA`]).
+    pub fn to_json_string(&self) -> String {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(SERVER_SCHEMA.into())),
+            ("sessions".into(), Json::Num(self.sessions as f64)),
+            ("per_session".into(), Json::Num(self.per_session as f64)),
+            ("seed".into(), Json::Num(self.seed as f64)),
+            (
+                "records".into(),
+                Json::Arr(self.records.iter().map(ServerRecord::to_json).collect()),
+            ),
+            ("wall_ns".into(), Json::Num(self.wall_ns as f64)),
+            ("throughput_qps".into(), Json::Num(self.throughput_qps)),
+        ])
+        .to_string_sanitized()
+    }
+
+    /// Parse a document produced by [`ServerArtifact::to_json_string`].
+    pub fn parse(text: &str) -> Result<ServerArtifact, String> {
+        let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(SERVER_SCHEMA) => {}
+            Some(other) => return Err(format!("unknown schema `{other}`")),
+            None => return Err("missing `schema`".into()),
+        }
+        let u = |k: &str| {
+            doc.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("artifact missing integer `{k}`"))
+        };
+        Ok(ServerArtifact {
+            sessions: u("sessions")?,
+            per_session: u("per_session")?,
+            seed: u("seed")?,
+            records: doc
+                .get("records")
+                .and_then(Json::as_arr)
+                .ok_or("missing `records` array")?
+                .iter()
+                .map(ServerRecord::from_json)
+                .collect::<Result<_, _>>()?,
+            wall_ns: u("wall_ns")?,
+            throughput_qps: doc
+                .get("throughput_qps")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+        })
+    }
+}
+
+/// Compare a fresh serving run against the committed baseline.
+///
+/// Deterministic fields must match exactly: run configuration (sessions,
+/// per-session count, seed), per-workload `sent`/`responses`, and
+/// `load_sum`. Both sides must uphold the protocol invariants
+/// `lost == 0` and `duplicated == 0`. Latency, throughput, retries, and
+/// cache-hit counts are never compared.
+pub fn diff_server(
+    baseline: &ServerArtifact,
+    fresh: &ServerArtifact,
+) -> Result<String, Vec<String>> {
+    let mut errors = Vec::new();
+    for (name, old, new) in [
+        ("sessions", baseline.sessions, fresh.sessions),
+        ("per_session", baseline.per_session, fresh.per_session),
+        ("seed", baseline.seed, fresh.seed),
+    ] {
+        if old != new {
+            errors.push(format!(
+                "run configuration drifted: `{name}` {old} -> {new} (regenerate the baseline?)"
+            ));
+        }
+    }
+    let fresh_by_name: std::collections::BTreeMap<_, _> = fresh
+        .records
+        .iter()
+        .map(|r| (r.workload.as_str(), r))
+        .collect();
+    for old in &baseline.records {
+        let Some(new) = fresh_by_name.get(old.workload.as_str()) else {
+            errors.push(format!(
+                "workload `{}`: present in baseline but missing from the fresh run",
+                old.workload
+            ));
+            continue;
+        };
+        for (field, o, n) in [
+            ("sent", old.sent, new.sent),
+            ("responses", old.responses, new.responses),
+            ("load_sum", old.load_sum, new.load_sum),
+        ] {
+            if o != n {
+                errors.push(format!(
+                    "workload `{}`: {field} changed {o} -> {n} (deterministic field)",
+                    old.workload
+                ));
+            }
+        }
+        if new.lost != 0 || new.duplicated != 0 {
+            errors.push(format!(
+                "workload `{}`: protocol invariant broken ({} lost, {} duplicated)",
+                old.workload, new.lost, new.duplicated
+            ));
+        }
+    }
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+    Ok(format!(
+        "server bench OK: {} workloads, {} sessions, deterministic fields identical",
+        baseline.records.len(),
+        baseline.sessions
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(workload: &str, load_sum: u64) -> ServerRecord {
+        ServerRecord {
+            workload: workload.into(),
+            sent: 128,
+            responses: 128,
+            lost: 0,
+            duplicated: 0,
+            retries: 3,
+            cache_hits: 32,
+            load_sum,
+            p50_ns: 1_000_000,
+            p95_ns: 5_000_000,
+            max_ns: 9_000_000,
+        }
+    }
+
+    fn artifact(load_sum: u64) -> ServerArtifact {
+        ServerArtifact {
+            sessions: 32,
+            per_session: 4,
+            seed: 7,
+            records: vec![record("mm", load_sum), record("line", 500)],
+            wall_ns: 123,
+            throughput_qps: 400.0,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let art = artifact(1000);
+        let text = art.to_json_string();
+        assert!(text.contains("\"schema\":\"mpcjoin-bench-server-v1\""));
+        assert_eq!(ServerArtifact::parse(&text).unwrap(), art);
+    }
+
+    #[test]
+    fn rejects_foreign_schemas() {
+        assert!(ServerArtifact::parse("{\"schema\":\"mpcjoin-bench-v1\"}").is_err());
+        assert!(ServerArtifact::parse("nope").is_err());
+    }
+
+    #[test]
+    fn diff_ignores_machine_dependent_fields() {
+        let base = artifact(1000);
+        let mut fresh = artifact(1000);
+        fresh.records[0].retries = 99;
+        fresh.records[0].cache_hits = 0;
+        fresh.records[0].p95_ns = u64::MAX;
+        fresh.wall_ns = 1;
+        fresh.throughput_qps = 2.0;
+        assert!(diff_server(&base, &fresh).is_ok());
+    }
+
+    #[test]
+    fn diff_fails_on_deterministic_drift_and_invariants() {
+        let base = artifact(1000);
+        let drifted = artifact(1001);
+        let errors = diff_server(&base, &drifted).unwrap_err();
+        assert!(
+            errors[0].contains("load_sum changed 1000 -> 1001"),
+            "{errors:?}"
+        );
+
+        let mut lossy = artifact(1000);
+        lossy.records[1].lost = 2;
+        let errors = diff_server(&base, &lossy).unwrap_err();
+        assert!(errors[0].contains("protocol invariant"), "{errors:?}");
+
+        let mut cfg = artifact(1000);
+        cfg.seed = 8;
+        assert!(diff_server(&base, &cfg).is_err());
+
+        let mut missing = artifact(1000);
+        missing.records.pop();
+        let errors = diff_server(&base, &missing).unwrap_err();
+        assert!(
+            errors[0].contains("missing from the fresh run"),
+            "{errors:?}"
+        );
+    }
+}

@@ -23,7 +23,10 @@
 //! `--baseline` also runs the distributed Yannakakis algorithm for
 //! comparison. `--format json` emits a machine-readable run summary
 //! (schema `mpcjoin-result-v1`, including the audit verdict) instead of
-//! the human-readable report. `--trace FILE` records a round-level
+//! the human-readable report; when the run fails, it emits a structured
+//! error frame instead (`{"schema":"mpcjoin-wire-v1","type":"error",
+//! "code":…,"detail":…}`, the same shape `mpcjoin-serve` sends on the
+//! wire) and exits nonzero, so clients can branch on the failure mode. `--trace FILE` records a round-level
 //! execution trace and writes it to `FILE` as JSON with the audit
 //! verdict and any recovery report embedded (schema `mpcjoin-trace-v3`,
 //! see `mpcjoin_mpc::trace`), and `--metrics FILE` writes the run's
@@ -39,11 +42,73 @@
 //! sweeping schedules. Faults apply to the main run only, never to the
 //! `--baseline` comparison run.
 
+use mpcjoin::mpc::json::Json;
 use mpcjoin::prelude::*;
 use mpcjoin::query::{parse_query, ParsedQuery};
 use mpcjoin::workload::io::{read_relation, render_output, StringDict};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// What a CLI run can fail with: a structured engine error, a query
+/// syntax error, or an environment problem (I/O, bindings, flags). In
+/// `--format json` mode every variant is emitted as a schema-tagged
+/// error frame (the same shape the `mpcjoin-serve` wire protocol uses —
+/// see `mpcjoin::mpc::ERROR_FRAME_SCHEMA`) with a machine-readable
+/// `code`, so scripts can branch on the failure mode; the exit code is
+/// nonzero either way.
+enum CliError {
+    /// An engine boundary error; carries its own `MpcError::code()`.
+    Mpc(MpcError),
+    /// The query text did not parse.
+    Query(String),
+    /// Anything else: missing files, bad bindings, serialization.
+    Other(String),
+}
+
+impl CliError {
+    fn code(&self) -> &'static str {
+        match self {
+            CliError::Mpc(e) => e.code(),
+            CliError::Query(_) => "bad_query",
+            CliError::Other(_) => "cli",
+        }
+    }
+
+    fn detail(&self) -> String {
+        match self {
+            CliError::Mpc(e) => e.to_string(),
+            CliError::Query(msg) | CliError::Other(msg) => msg.clone(),
+        }
+    }
+
+    /// The structured error frame for `--format json` mode.
+    fn to_frame(&self) -> Json {
+        match self {
+            CliError::Mpc(e) => e.to_error_frame(),
+            _ => Json::Obj(vec![
+                (
+                    "schema".into(),
+                    Json::Str(mpcjoin::mpc::ERROR_FRAME_SCHEMA.into()),
+                ),
+                ("type".into(), Json::Str("error".into())),
+                ("code".into(), Json::Str(self.code().into())),
+                ("detail".into(), Json::Str(self.detail())),
+            ]),
+        }
+    }
+}
+
+impl From<MpcError> for CliError {
+    fn from(e: MpcError) -> CliError {
+        CliError::Mpc(e)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Other(msg)
+    }
+}
 
 struct Args {
     query: String,
@@ -155,12 +220,21 @@ fn parse_args() -> Result<Args, String> {
 
 /// Load `--fault-plan` (applying any `--fault-seed` override), or `None`
 /// when no plan was requested.
-fn load_fault_plan(args: &Args) -> Result<Option<FaultPlan>, String> {
+fn load_fault_plan(args: &Args) -> Result<Option<FaultPlan>, CliError> {
     let Some(path) = &args.fault_plan else {
         return Ok(None);
     };
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let mut plan = FaultPlan::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    // Keep the path in the message but preserve the structured error (and
+    // therefore its `invalid_fault_plan` code) for `--format json`.
+    let mut plan = FaultPlan::from_json(&text).map_err(|e| {
+        CliError::Mpc(match e {
+            MpcError::InvalidFaultPlan(m) => {
+                MpcError::InvalidFaultPlan(format!("{}: {m}", path.display()))
+            }
+            other => other,
+        })
+    })?;
     if let Some(seed) = args.fault_seed {
         plan = plan.with_seed(seed);
     }
@@ -171,7 +245,7 @@ fn run_semiring<S: Semiring + std::fmt::Debug>(
     args: &Args,
     parsed: &ParsedQuery,
     weight: impl FnMut(Option<i64>) -> S + Copy,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     // Bind input files to the body atoms by relation name.
     let mut dict = StringDict::new();
     let mut rels: Vec<Relation<S>> = Vec::new();
@@ -224,9 +298,7 @@ fn run_semiring<S: Semiring + std::fmt::Debug>(
     if let Some(plan) = load_fault_plan(args)? {
         engine = engine.faults(plan);
     }
-    let result = engine
-        .run(&parsed.query, &rels)
-        .map_err(|e| e.to_string())?;
+    let result = engine.run(&parsed.query, &rels)?;
     if args.json {
         let text = result
             .to_json()
@@ -288,8 +360,7 @@ fn run_semiring<S: Semiring + std::fmt::Debug>(
         let base = QueryEngine::new(args.servers)
             .threads(args.threads)
             .plan(PlanChoice::Baseline)
-            .run(&parsed.query, &rels)
-            .map_err(|e| e.to_string())?;
+            .run(&parsed.query, &rels)?;
         let agree = base.output.semantically_eq(&result.output);
         if args.json {
             // A second result document on its own line (JSON-lines style).
@@ -308,6 +379,20 @@ fn run_semiring<S: Semiring + std::fmt::Debug>(
     Ok(())
 }
 
+/// Report a failed run and pick the exit code: a structured JSONL error
+/// frame on stdout in `--format json` mode (so clients always receive
+/// exactly one machine-readable document per run, success or not), prose
+/// on stderr otherwise. Nonzero exit either way.
+fn fail(json: bool, e: &CliError) -> ExitCode {
+    if json {
+        println!("{}", e.to_frame().to_string_sanitized());
+        eprintln!("{}", e.detail());
+    } else {
+        eprintln!("{}", e.detail());
+    }
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -318,10 +403,7 @@ fn main() -> ExitCode {
     };
     let parsed = match parse_query(&args.query) {
         Ok(p) => p,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(args.json, &CliError::Query(e.to_string())),
     };
     if args.dot {
         print!(
@@ -337,15 +419,12 @@ fn main() -> ExitCode {
         "bool" => run_semiring(&args, &parsed, |_| BoolRing(true)),
         "minplus" => run_semiring(&args, &parsed, |w| TropicalMin::finite(w.unwrap_or(0))),
         "mincount" => run_semiring(&args, &parsed, |w| MinCount::path(w.unwrap_or(0))),
-        other => Err(format!(
+        other => Err(CliError::Other(format!(
             "unknown semiring `{other}` (expected count|bool|minplus|mincount)"
-        )),
+        ))),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("{e}");
-            ExitCode::FAILURE
-        }
+        Err(e) => fail(args.json, &e),
     }
 }

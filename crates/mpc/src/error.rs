@@ -7,8 +7,16 @@
 //! so that embedding applications (the CLI, services built on
 //! `QueryEngine`) can report problems instead of aborting.
 
+use crate::json::Json;
 use mpcjoin_relation::Attr;
 use std::fmt;
+
+/// Schema tag of the structured error frame shared by the CLI's
+/// `--format json` output and the serving wire protocol
+/// (`mpcjoin-server`). It lives here — at the error type — because both
+/// surfaces must emit byte-compatible frames without depending on each
+/// other.
+pub const ERROR_FRAME_SCHEMA: &str = "mpcjoin-wire-v1";
 
 /// What went wrong at an engine boundary.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -41,6 +49,36 @@ pub enum MpcError {
     /// An internal invariant was violated on a hardened path (reported
     /// instead of panicking when a fault plane is installed).
     Internal(String),
+}
+
+impl MpcError {
+    /// A stable machine-readable code naming the failure mode. These are
+    /// part of the wire protocol (`error` frames carry them verbatim) and
+    /// of the CLI's `--format json` contract, so clients and CI can
+    /// branch on *which* way a run failed without parsing prose.
+    pub fn code(&self) -> &'static str {
+        match self {
+            MpcError::InvalidInstance(_) => "invalid_instance",
+            MpcError::MissingAttr { .. } => "missing_attr",
+            MpcError::UnsupportedPlan(_) => "unsupported_plan",
+            MpcError::InvalidFaultPlan(_) => "invalid_fault_plan",
+            MpcError::Unrecoverable { .. } => "unrecoverable",
+            MpcError::Internal(_) => "internal",
+        }
+    }
+
+    /// The structured error frame (schema [`ERROR_FRAME_SCHEMA`]):
+    /// `{"schema":…,"type":"error","code":…,"detail":…}`. The serving
+    /// layer extends this object with per-request fields (`id`,
+    /// `retry_after_ms`); the CLI emits it as-is.
+    pub fn to_error_frame(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(ERROR_FRAME_SCHEMA.into())),
+            ("type".into(), Json::Str("error".into())),
+            ("code".into(), Json::Str(self.code().into())),
+            ("detail".into(), Json::Str(self.to_string())),
+        ])
+    }
 }
 
 impl fmt::Display for MpcError {
@@ -86,5 +124,48 @@ mod tests {
         assert!(e.to_string().contains("round 4"));
         let e = MpcError::Internal("slot poisoned".into());
         assert!(e.to_string().contains("internal error"));
+    }
+
+    #[test]
+    fn codes_are_distinct_and_stable() {
+        let variants = [
+            MpcError::InvalidInstance(String::new()),
+            MpcError::MissingAttr {
+                attr: Attr(0),
+                schema: String::new(),
+            },
+            MpcError::UnsupportedPlan(String::new()),
+            MpcError::InvalidFaultPlan(String::new()),
+            MpcError::Unrecoverable {
+                round: 0,
+                detail: String::new(),
+            },
+            MpcError::Internal(String::new()),
+        ];
+        let codes: Vec<&str> = variants.iter().map(MpcError::code).collect();
+        let mut unique = codes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), variants.len(), "codes must be distinct");
+        assert_eq!(codes[0], "invalid_instance");
+        assert_eq!(codes[4], "unrecoverable");
+    }
+
+    #[test]
+    fn error_frame_is_schema_tagged_json() {
+        let e = MpcError::UnsupportedPlan("Star forced on a line query".into());
+        let frame = e.to_error_frame();
+        assert_eq!(
+            frame.get("schema").and_then(Json::as_str),
+            Some(ERROR_FRAME_SCHEMA)
+        );
+        assert_eq!(frame.get("type").and_then(Json::as_str), Some("error"));
+        assert_eq!(
+            frame.get("code").and_then(Json::as_str),
+            Some("unsupported_plan")
+        );
+        let text = frame.to_string_compact().expect("finite");
+        let back = Json::parse(&text).expect("frame round-trips");
+        assert_eq!(back, frame);
     }
 }

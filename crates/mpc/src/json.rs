@@ -6,7 +6,11 @@
 //! serde. It supports exactly the JSON the simulator emits: objects,
 //! arrays, strings (with `\uXXXX` escapes), integers/floats, booleans and
 //! `null` — and is strict enough to reject truncated or malformed
-//! documents, which is all the CI validation step needs.
+//! documents, which is all the CI validation step needs. Since the
+//! serving layer (`mpcjoin-server`) also parses *adversarial* bytes off
+//! the wire with it, the parser is hardened: it never panics on any
+//! input, and every error message names the byte offset of the problem
+//! (pinned by the seeded fuzz suite in `tests/tests/json_fuzz.rs`).
 
 use std::fmt::Write as _;
 
@@ -213,7 +217,7 @@ fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
 fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
-        None => Err("unexpected end of input".into()),
+        None => Err(format!("unexpected end of input at byte {}", *pos)),
         Some(b'{') => parse_object(bytes, pos),
         Some(b'[') => parse_array(bytes, pos),
         Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
@@ -249,18 +253,20 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     ) {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|e| format!("{e} at byte {start}"))?;
     text.parse::<f64>()
         .map(Json::Num)
         .map_err(|_| format!("invalid number `{text}` at byte {start}"))
 }
 
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    let start = *pos;
     expect(bytes, pos, b'"')?;
     let mut out = String::new();
     loop {
         match bytes.get(*pos) {
-            None => return Err("unterminated string".into()),
+            None => return Err(format!("unterminated string starting at byte {start}")),
             Some(b'"') => {
                 *pos += 1;
                 return Ok(out);
@@ -279,22 +285,27 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'u') => {
                         let hex = bytes
                             .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            .ok_or(format!("truncated \\u escape at byte {}", *pos))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|e| format!("{e} at byte {}", *pos))?;
                         let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            .map_err(|_| format!("bad \\u escape `{hex}` at byte {}", *pos))?;
                         out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         *pos += 4;
                     }
-                    other => return Err(format!("bad escape {other:?}")),
+                    other => return Err(format!("bad escape {other:?} at byte {}", *pos)),
                 }
                 *pos += 1;
             }
             Some(_) => {
                 // Consume one UTF-8 scalar (bytes are valid UTF-8: input
                 // came from a &str).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().ok_or("unterminated string")?;
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|e| format!("{e} at byte {}", *pos))?;
+                let c = rest
+                    .chars()
+                    .next()
+                    .ok_or(format!("unterminated string starting at byte {start}"))?;
                 out.push(c);
                 *pos += c.len_utf8();
             }

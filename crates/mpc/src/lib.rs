@@ -78,7 +78,7 @@ pub mod trace;
 pub use cluster::{Checkpoint, Cluster, Distributed, OpScope};
 pub use cost::{CostReport, CostTracker, LedgerCursor, PhaseReport};
 pub use drel::DistRelation;
-pub use error::MpcError;
+pub use error::{MpcError, ERROR_FRAME_SCHEMA};
 pub use exec::{ExecBackend, SerialBackend, ThreadPoolBackend};
 pub use fault::{
     FaultKind, FaultPlan, FaultSpec, RecoveryEvent, RecoveryKind, RecoveryReport, RetryPolicy,

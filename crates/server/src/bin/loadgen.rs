@@ -1,0 +1,655 @@
+//! `loadgen` — drive a running `mpcjoin-serve` with a mixed workload and
+//! verify the serving invariants end to end.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--sessions N] [--queries K] [--seed S]
+//!         [--servers P] [--artifact FILE] [--fault-plan FILE]
+//!         [--wait-ready] [--shutdown]
+//! ```
+//!
+//! The flags compose in sequence: `--wait-ready` polls (ping → pong,
+//! 30 s budget) before the run, then the workload runs, then
+//! `--shutdown` sends a graceful drain + ack after it. `--sessions 0`
+//! skips the workload, so `loadgen --addr X --sessions 0 --shutdown`
+//! is a standalone drain and `--sessions 0 --wait-ready` a standalone
+//! readiness probe.
+//!
+//! The default mode opens one TCP connection per session (default 32)
+//! and replays, per session, `K` seed-generated queries from each
+//! workload class — matrix multiplication (`count`), a 3-hop line query
+//! (`minplus`), and a 3-arm star query (`bool`) — then re-sends the
+//! session's first matrix query verbatim, asserting the response is a
+//! cache hit whose `result` member is byte-identical to the cold
+//! response. With `--fault-plan FILE`, session 0 additionally re-sends
+//! its first matrix query with the fault schedule embedded, asserting
+//! the recovered output is byte-identical to the clean twin and that a
+//! recovery report rode the frame (recorded as workload `fault`).
+//!
+//! Requests are serial per session (concurrency = sessions); a
+//! backpressure rejection (`overloaded` / `quota_exceeded`) sleeps the
+//! advertised `retry_after_ms` and resends — retries are counted, never
+//! failures. The run **fails** (nonzero exit) if any query goes
+//! unanswered or double-answered, any cache-hit or fault-twin
+//! bit-identity check fails, or — when at least one cache check ran —
+//! the server produced zero cache hits.
+//!
+//! `--artifact FILE` writes a `mpcjoin-bench-server-v1` document (see
+//! `mpcjoin_bench::server`): per-class query counts and summed simulated
+//! loads are deterministic (diffed by `bench_check` against
+//! `results/BENCH_baseline_server.json`); throughput and latency
+//! percentiles are informational.
+
+use mpcjoin::mpc::hash::seeded_hash;
+use mpcjoin::mpc::json::Json;
+use mpcjoin::mpc::DetRng;
+use mpcjoin::prelude::*;
+use mpcjoin_bench::server::{ServerArtifact, ServerRecord};
+use mpcjoin_server::wire::ResponseView;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const CLASSES: [&str; 3] = ["mm", "line", "star"];
+
+struct Args {
+    addr: String,
+    sessions: usize,
+    queries: usize,
+    seed: u64,
+    servers: usize,
+    artifact: Option<String>,
+    fault_plan: Option<String>,
+    wait_ready: bool,
+    shutdown: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: loadgen --addr HOST:PORT [--sessions N] [--queries K] [--seed S]\n\
+     \x20      [--servers P] [--artifact FILE] [--fault-plan FILE]\n\
+     \x20      [--wait-ready] [--shutdown]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: String::new(),
+        sessions: 32,
+        queries: 2,
+        seed: 7,
+        servers: 8,
+        artifact: None,
+        fault_plan: None,
+        wait_ready: false,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--sessions" => {
+                args.sessions = value("--sessions")?
+                    .parse()
+                    .map_err(|_| "--sessions expects a positive integer".to_string())?
+            }
+            "--queries" => {
+                args.queries = value("--queries")?
+                    .parse()
+                    .map_err(|_| "--queries expects a positive integer".to_string())?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?
+            }
+            "--servers" => {
+                args.servers = value("--servers")?
+                    .parse()
+                    .map_err(|_| "--servers expects a positive integer".to_string())?
+            }
+            "--artifact" => args.artifact = Some(value("--artifact")?),
+            "--fault-plan" => args.fault_plan = Some(value("--fault-plan")?),
+            "--wait-ready" => args.wait_ready = true,
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    if args.addr.is_empty() {
+        return Err(format!("--addr is required\n{}", usage()));
+    }
+    if args.queries == 0 {
+        return Err("--queries must be at least 1".into());
+    }
+    Ok(args)
+}
+
+/// One connection with line-oriented request/response helpers.
+struct Conn {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Result<Conn, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .map_err(|e| e.to_string())?;
+        let read_half = stream.try_clone().map_err(|e| e.to_string())?;
+        Ok(Conn {
+            writer: BufWriter::new(stream),
+            reader: BufReader::new(read_half),
+        })
+    }
+
+    fn send(&mut self, frame: &str) -> Result<(), String> {
+        writeln!(self.writer, "{frame}")
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send: {e}"))
+    }
+
+    fn recv(&mut self) -> Result<ResponseView, String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("connection closed by server".into()),
+            Ok(_) => ResponseView::parse(line.trim_end()),
+            Err(e) => Err(format!("recv: {e}")),
+        }
+    }
+}
+
+/// A prepared query: the request frame minus id/session (filled per
+/// send), plus everything needed to re-send it verbatim.
+struct PreparedQuery {
+    query: String,
+    semiring: &'static str,
+    /// `(name, rows)` with rows in the relation's entry order.
+    relations: Vec<(String, Vec<Vec<u64>>)>,
+}
+
+impl PreparedQuery {
+    fn frame(&self, id: u64, session: &str, servers: usize, fault_plan: Option<&Json>) -> String {
+        let rels: Vec<(String, Json)> = self
+            .relations
+            .iter()
+            .map(|(name, rows)| {
+                (
+                    name.clone(),
+                    Json::Arr(
+                        rows.iter()
+                            .map(|row| {
+                                Json::Arr(row.iter().map(|&v| Json::Num(v as f64)).collect())
+                            })
+                            .collect(),
+                    ),
+                )
+            })
+            .collect();
+        let mut members = vec![
+            (
+                "schema".into(),
+                Json::Str(mpcjoin_server::wire::WIRE_SCHEMA.into()),
+            ),
+            ("type".into(), Json::Str("query".into())),
+            ("id".into(), Json::Num(id as f64)),
+            ("session".into(), Json::Str(session.into())),
+            ("query".into(), Json::Str(self.query.clone())),
+            ("semiring".into(), Json::Str(self.semiring.into())),
+            ("servers".into(), Json::Num(servers as f64)),
+            ("relations".into(), Json::Obj(rels)),
+        ];
+        if let Some(plan) = fault_plan {
+            members.push(("fault_plan".into(), plan.clone()));
+        }
+        Json::Obj(members)
+            .to_string_compact()
+            .expect("request frames contain only finite numbers")
+    }
+}
+
+fn rows_of(rel: &Relation<Count>) -> Vec<Vec<u64>> {
+    rel.entries().iter().map(|(row, _)| row.clone()).collect()
+}
+
+/// Deterministically generate the `i`-th query of `class` for `session`.
+fn prepare(class: &'static str, session: usize, i: usize, seed: u64) -> PreparedQuery {
+    let mut rng = DetRng::seed_from_u64(seeded_hash(seed, &(class, session as u64, i as u64)));
+    match class {
+        "mm" => {
+            let inst = mpcjoin::workload::matrix::uniform::<Count>(
+                &mut rng,
+                (Attr(0), Attr(1), Attr(2)),
+                48,
+                48,
+                (12, 8, 12),
+            );
+            PreparedQuery {
+                query: "Q(a, c) :- R0(a, b), R1(b, c)".into(),
+                semiring: "count",
+                relations: vec![
+                    ("R0".into(), rows_of(&inst.r1)),
+                    ("R1".into(), rows_of(&inst.r2)),
+                ],
+            }
+        }
+        "line" => {
+            let inst = mpcjoin::workload::chain::uniform::<Count>(&mut rng, 3, 40, 10);
+            PreparedQuery {
+                query: "Q(x0, x3) :- R0(x0, x1), R1(x1, x2), R2(x2, x3)".into(),
+                semiring: "minplus",
+                relations: inst
+                    .rels
+                    .iter()
+                    .enumerate()
+                    .map(|(h, r)| (format!("R{h}"), rows_of(r)))
+                    .collect(),
+            }
+        }
+        _ => {
+            let inst = mpcjoin::workload::star::uniform::<Count>(&mut rng, 3, 30, 8, 6);
+            PreparedQuery {
+                query: "Q(a0, a1, a2) :- R0(a0, b), R1(a1, b), R2(a2, b)".into(),
+                semiring: "bool",
+                relations: inst
+                    .rels
+                    .iter()
+                    .enumerate()
+                    .map(|(k, r)| (format!("R{k}"), rows_of(r)))
+                    .collect(),
+            }
+        }
+    }
+}
+
+/// Per-(session, class) accumulator, summed into [`ServerRecord`]s.
+#[derive(Default)]
+struct Agg {
+    sent: u64,
+    responses: u64,
+    lost: u64,
+    duplicated: u64,
+    retries: u64,
+    cache_hits: u64,
+    load_sum: u64,
+    latencies_ns: Vec<u64>,
+}
+
+/// Send one query, retrying through backpressure, and record the
+/// outcome. Returns the response view of the final (non-backpressure)
+/// answer, or `None` when the query was ultimately lost.
+fn run_query(
+    conn: &mut Conn,
+    frame: &str,
+    expected_id: u64,
+    agg: &mut Agg,
+    failures: &mut Vec<String>,
+) -> Option<ResponseView> {
+    agg.sent += 1;
+    let started = Instant::now();
+    for _attempt in 0..10_000u32 {
+        if let Err(e) = conn.send(frame) {
+            failures.push(e);
+            agg.lost += 1;
+            return None;
+        }
+        let view = match conn.recv() {
+            Ok(v) => v,
+            Err(e) => {
+                failures.push(e);
+                agg.lost += 1;
+                return None;
+            }
+        };
+        // Sessions are strictly serial request/response, so an id
+        // mismatch means a duplicated or misdelivered frame.
+        if view.id != Some(expected_id) {
+            agg.duplicated += 1;
+            failures.push(format!(
+                "response id {:?} does not match request {expected_id}",
+                view.id
+            ));
+            return None;
+        }
+        match view.code.as_deref() {
+            Some("overloaded") | Some("quota_exceeded") => {
+                agg.retries += 1;
+                std::thread::sleep(Duration::from_millis(view.retry_after_ms.unwrap_or(25)));
+                continue;
+            }
+            _ => {}
+        }
+        agg.responses += 1;
+        agg.latencies_ns
+            .push(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        if view.cached {
+            agg.cache_hits += 1;
+        }
+        agg.load_sum += view.load.unwrap_or(0);
+        return Some(view);
+    }
+    failures.push("gave up after 10000 backpressure retries".into());
+    agg.lost += 1;
+    None
+}
+
+struct SessionReport {
+    /// Aggregates indexed like [`CLASSES`], plus `fault` at the end.
+    per_class: Vec<Agg>,
+    failures: Vec<String>,
+}
+
+fn run_session(args: &Args, session: usize, fault_plan: Option<&Json>) -> SessionReport {
+    let mut per_class: Vec<Agg> = (0..CLASSES.len() + 1).map(|_| Agg::default()).collect();
+    let mut failures = Vec::new();
+    let mut conn = match Conn::open(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            failures.push(e);
+            return SessionReport {
+                per_class,
+                failures,
+            };
+        }
+    };
+    let session_name = format!("s{session}");
+    let mut next_id = (session as u64) * 1_000_000;
+    let mut id = || {
+        next_id += 1;
+        next_id
+    };
+    // The session's first matrix query, kept for the repeat + fault twin.
+    let mut first_mm: Option<(PreparedQuery, String)> = None;
+
+    for (c, class) in CLASSES.iter().enumerate() {
+        for i in 0..args.queries {
+            let q = prepare(class, session, i, args.seed);
+            let qid = id();
+            let frame = q.frame(qid, &session_name, args.servers, None);
+            let Some(view) = run_query(&mut conn, &frame, qid, &mut per_class[c], &mut failures)
+            else {
+                continue;
+            };
+            if view.kind != "result" {
+                failures.push(format!(
+                    "session {session} {class}#{i}: unexpected {} frame ({:?}: {:?})",
+                    view.kind, view.code, view.detail
+                ));
+                continue;
+            }
+            if *class == "mm" && i == 0 {
+                first_mm = Some((q, view.result.clone().unwrap_or_default()));
+            }
+        }
+    }
+
+    // Forced cache hit: re-send the first matrix query; the response must
+    // be marked cached and its result member byte-identical to the cold
+    // run's.
+    if let Some((q, cold_body)) = &first_mm {
+        let qid = id();
+        let frame = q.frame(qid, &session_name, args.servers, None);
+        if let Some(view) = run_query(&mut conn, &frame, qid, &mut per_class[0], &mut failures) {
+            if !view.cached {
+                failures.push(format!(
+                    "session {session}: repeated query was not served from the cache"
+                ));
+            }
+            if view.result.as_deref() != Some(cold_body.as_str()) {
+                failures.push(format!(
+                    "session {session}: cached response is not bit-identical to the cold run"
+                ));
+            }
+        }
+    }
+
+    // Fault twin (session 0 only): same query with a fault schedule —
+    // must bypass the cache, recover, and reproduce the clean bytes.
+    if session == 0 {
+        if let (Some(plan), Some((q, cold_body))) = (fault_plan, &first_mm) {
+            let fault_agg = CLASSES.len();
+            let qid = id();
+            let frame = q.frame(qid, &session_name, args.servers, Some(plan));
+            if let Some(view) = run_query(
+                &mut conn,
+                &frame,
+                qid,
+                &mut per_class[fault_agg],
+                &mut failures,
+            ) {
+                if view.kind != "result" {
+                    failures.push(format!(
+                        "fault twin: unexpected {} frame ({:?}: {:?})",
+                        view.kind, view.code, view.detail
+                    ));
+                } else {
+                    if view.cached {
+                        failures.push("fault twin: faulted request hit the cache".into());
+                    }
+                    if !view.recovered {
+                        failures.push("fault twin: no recovery report on the frame".into());
+                    }
+                    if view.result.as_deref() != Some(cold_body.as_str()) {
+                        failures
+                            .push("fault twin: recovered output differs from clean twin".into());
+                    }
+                }
+            }
+        }
+    }
+    SessionReport {
+        per_class,
+        failures,
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn wait_ready(addr: &str) -> Result<(), String> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(mut conn) = Conn::open(addr) {
+            let ping = format!(
+                "{{\"schema\":\"{}\",\"type\":\"ping\",\"id\":0}}",
+                mpcjoin_server::wire::WIRE_SCHEMA
+            );
+            if conn.send(&ping).is_ok() {
+                if let Ok(view) = conn.recv() {
+                    if view.kind == "pong" {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        if Instant::now() > deadline {
+            return Err(format!("server at {addr} not ready after 30s"));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+fn shutdown(addr: &str) -> Result<u64, String> {
+    let mut conn = Conn::open(addr)?;
+    conn.send(&format!(
+        "{{\"schema\":\"{}\",\"type\":\"shutdown\",\"id\":0}}",
+        mpcjoin_server::wire::WIRE_SCHEMA
+    ))?;
+    let view = conn.recv()?;
+    if view.kind != "shutdown_ack" {
+        return Err(format!("expected shutdown_ack, got `{}`", view.kind));
+    }
+    Ok(view.completed.unwrap_or(0))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.wait_ready {
+        match wait_ready(&args.addr) {
+            Ok(()) => println!("ready"),
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let finish = |run_ok: bool| {
+        if args.shutdown {
+            match shutdown(&args.addr) {
+                Ok(completed) => println!("server drained: {completed} queries completed"),
+                Err(e) => {
+                    eprintln!("loadgen: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if run_ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    };
+    if args.sessions == 0 {
+        return finish(true);
+    }
+
+    let fault_plan = match &args.fault_plan {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path)
+            .map_err(|e| format!("{path}: {e}"))
+            .and_then(|text| Json::parse(&text).map_err(|e| format!("{path}: {e}")))
+        {
+            Ok(doc) => Some(doc),
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let started = Instant::now();
+    let reports: Vec<SessionReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.sessions)
+            .map(|s| {
+                let args = &args;
+                let fault_plan = fault_plan.as_ref();
+                scope.spawn(move || run_session(args, s, fault_plan))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread"))
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    // Aggregate per class (+ the fault twin pseudo-class).
+    let mut failures: Vec<String> = Vec::new();
+    let mut records = Vec::new();
+    let labels: Vec<&str> = CLASSES.iter().copied().chain(["fault"]).collect();
+    for (c, label) in labels.iter().enumerate() {
+        let mut total = Agg::default();
+        for report in &reports {
+            let a = &report.per_class[c];
+            total.sent += a.sent;
+            total.responses += a.responses;
+            total.lost += a.lost;
+            total.duplicated += a.duplicated;
+            total.retries += a.retries;
+            total.cache_hits += a.cache_hits;
+            total.load_sum += a.load_sum;
+            total.latencies_ns.extend(&a.latencies_ns);
+        }
+        if total.sent == 0 {
+            continue; // e.g. no --fault-plan ⇒ no `fault` record
+        }
+        total.latencies_ns.sort_unstable();
+        records.push(ServerRecord {
+            workload: (*label).to_string(),
+            sent: total.sent,
+            responses: total.responses,
+            lost: total.lost,
+            duplicated: total.duplicated,
+            retries: total.retries,
+            cache_hits: total.cache_hits,
+            load_sum: total.load_sum,
+            p50_ns: percentile(&total.latencies_ns, 0.50),
+            p95_ns: percentile(&total.latencies_ns, 0.95),
+            max_ns: total.latencies_ns.last().copied().unwrap_or(0),
+        });
+    }
+    for report in &reports {
+        failures.extend(report.failures.iter().cloned());
+    }
+    let total_responses: u64 = records.iter().map(|r| r.responses).sum();
+    let total_hits: u64 = records.iter().map(|r| r.cache_hits).sum();
+    if total_hits == 0 {
+        failures.push("no response was ever served from the cache".into());
+    }
+
+    let throughput = total_responses as f64 / wall.as_secs_f64().max(1e-9);
+    println!(
+        "loadgen: {} sessions, {total_responses} responses in {wall:.2?} ({throughput:.0} q/s), {} cache hits",
+        args.sessions, total_hits
+    );
+    for r in &records {
+        println!(
+            "  {:<6} sent {:>5}  responses {:>5}  retries {:>4}  hits {:>4}  load_sum {:>8}  \
+             p50 {:>8.3?}  p95 {:>8.3?}  max {:>8.3?}",
+            r.workload,
+            r.sent,
+            r.responses,
+            r.retries,
+            r.cache_hits,
+            r.load_sum,
+            Duration::from_nanos(r.p50_ns),
+            Duration::from_nanos(r.p95_ns),
+            Duration::from_nanos(r.max_ns),
+        );
+    }
+
+    let artifact = ServerArtifact {
+        sessions: args.sessions as u64,
+        per_session: args.queries as u64,
+        seed: args.seed,
+        records,
+        wall_ns: wall.as_nanos().min(u64::MAX as u128) as u64,
+        throughput_qps: throughput,
+    };
+    if let Some(path) = &args.artifact {
+        if let Err(e) = std::fs::write(path, artifact.to_json_string()) {
+            eprintln!("loadgen: write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if !failures.is_empty() {
+        eprintln!("loadgen: {} failure(s):", failures.len());
+        for f in failures.iter().take(20) {
+            eprintln!("  {f}");
+        }
+        if failures.len() > 20 {
+            eprintln!("  … and {} more", failures.len() - 20);
+        }
+        return finish(false);
+    }
+    println!(
+        "loadgen: all invariants held (no lost/duplicated responses, cache hits bit-identical)"
+    );
+    finish(true)
+}

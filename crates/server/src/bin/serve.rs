@@ -1,0 +1,222 @@
+//! `mpcjoin-serve` — the query service daemon.
+//!
+//! ```text
+//! mpcjoin-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!               [--session-quota N] [--cache-cap N] [--max-servers P]
+//!               [--threads N] [--retry-after-ms MS] [--artifact-dir DIR]
+//! ```
+//!
+//! Binds a TCP listener (`--addr 127.0.0.1:0` by default — port 0 picks
+//! a free port, printed on the first stdout line as
+//! `mpcjoin-serve listening on <addr>` so harnesses can scrape it),
+//! then serves the `mpcjoin-wire-v1` JSONL protocol (see
+//! `mpcjoin_server::wire`): one thread per connection reads frames, query
+//! jobs go through the shared scheduler (bounded queue, per-session
+//! quotas, explicit backpressure), and responses are written back on the
+//! requesting connection as they complete — pipelined requests may
+//! complete out of order; match on `id`.
+//!
+//! A `shutdown` frame triggers the graceful path: admission closes
+//! (later submissions get `draining` errors), every queued and in-flight
+//! query runs to completion and its response is delivered, per-query
+//! artifacts are flushed (they are written synchronously at the end of
+//! each run), the `shutdown_ack` frame reports the lifetime completion
+//! count, and the process exits 0.
+
+use mpcjoin_server::wire::{self, Frame};
+use mpcjoin_server::{Scheduler, ServerConfig};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+fn usage() -> &'static str {
+    "usage: mpcjoin-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
+     \x20      [--session-quota N] [--cache-cap N] [--max-servers P]\n\
+     \x20      [--threads N] [--retry-after-ms MS] [--artifact-dir DIR]"
+}
+
+fn parse_args() -> Result<(String, ServerConfig), String> {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut cfg = ServerConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        let parse_usize = |name: &str, v: String| {
+            v.parse::<usize>()
+                .map_err(|_| format!("{name} expects a non-negative integer, got `{v}`"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--workers" => cfg.workers = parse_usize("--workers", value("--workers")?)?.max(1),
+            "--queue-cap" => cfg.queue_cap = parse_usize("--queue-cap", value("--queue-cap")?)?,
+            "--session-quota" => {
+                cfg.session_quota =
+                    parse_usize("--session-quota", value("--session-quota")?)?.max(1)
+            }
+            "--cache-cap" => cfg.cache_cap = parse_usize("--cache-cap", value("--cache-cap")?)?,
+            "--max-servers" => {
+                cfg.max_servers = parse_usize("--max-servers", value("--max-servers")?)?.max(1)
+            }
+            "--threads" => {
+                cfg.threads_per_job = parse_usize("--threads", value("--threads")?)?.max(1)
+            }
+            "--retry-after-ms" => {
+                cfg.retry_after_ms =
+                    parse_usize("--retry-after-ms", value("--retry-after-ms")?)? as u64
+            }
+            "--artifact-dir" => {
+                cfg.artifact_dir = Some(std::path::PathBuf::from(value("--artifact-dir")?))
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok((addr, cfg))
+}
+
+/// Write one frame line to a shared connection writer; returns `false`
+/// when the peer has gone away (the job's result is then dropped — the
+/// work itself already completed and was cached/counted normally).
+fn send(writer: &Mutex<BufWriter<TcpStream>>, frame: &str) -> bool {
+    let mut w = writer.lock().expect("connection writer lock");
+    writeln!(w, "{frame}").and_then(|()| w.flush()).is_ok()
+}
+
+fn stats_frame(id: Option<u64>, sched: &Scheduler) -> String {
+    let s = sched.stats();
+    let c = sched.executor().cache_stats();
+    let id = id.map_or_else(|| "null".to_string(), |v| v.to_string());
+    format!(
+        "{{\"schema\":\"{}\",\"type\":\"stats\",\"id\":{id},\
+         \"admitted\":{},\"completed\":{},\"rejected_overload\":{},\
+         \"rejected_quota\":{},\"rejected_draining\":{},\
+         \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"len\":{}}}}}",
+        wire::WIRE_SCHEMA,
+        s.admitted,
+        s.completed,
+        s.rejected_overload,
+        s.rejected_quota,
+        s.rejected_draining,
+        c.hits,
+        c.misses,
+        c.evictions,
+        c.len,
+    )
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    conn_id: u64,
+    sched: Arc<Scheduler>,
+    stopping: Arc<AtomicBool>,
+    local: SocketAddr,
+) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(BufWriter::new(stream)));
+    // Sessions default to a per-connection identity so anonymous clients
+    // are quota'd individually rather than pooled under "".
+    let default_session = format!("conn-{conn_id}");
+    for line in BufReader::new(read_half).lines() {
+        let Ok(line) = line else {
+            break; // peer reset mid-line
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match wire::parse_frame(&line) {
+            Err(e) => {
+                if !send(&writer, &e.to_frame()) {
+                    break;
+                }
+            }
+            Ok(Frame::Ping { id }) => {
+                if !send(&writer, &wire::pong_frame(id)) {
+                    break;
+                }
+            }
+            Ok(Frame::Stats { id }) => {
+                if !send(&writer, &stats_frame(id, &sched)) {
+                    break;
+                }
+            }
+            Ok(Frame::Shutdown { id }) => {
+                // Drain synchronously: by the time the ack goes out, every
+                // admitted query has been answered and its artifacts
+                // flushed.
+                let completed = sched.drain();
+                send(&writer, &wire::shutdown_ack_frame(id, completed));
+                stopping.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so the process can exit.
+                let _ = TcpStream::connect(local);
+                return;
+            }
+            Ok(Frame::Query(req)) => {
+                let mut req = *req;
+                if req.session.is_empty() {
+                    req.session = default_session.clone();
+                }
+                let writer = Arc::clone(&writer);
+                sched.submit(req, move |frame| {
+                    send(&writer, &frame);
+                });
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let (addr, cfg) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(dir) = &cfg.artifact_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("--artifact-dir {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let local = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    println!("mpcjoin-serve listening on {local}");
+    let _ = std::io::stdout().flush();
+
+    let sched = Arc::new(Scheduler::new(cfg));
+    let stopping = Arc::new(AtomicBool::new(false));
+    let conn_counter = AtomicU64::new(0);
+    for stream in listener.incoming() {
+        if stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else {
+            continue;
+        };
+        let conn_id = conn_counter.fetch_add(1, Ordering::Relaxed);
+        let sched = Arc::clone(&sched);
+        let stopping = Arc::clone(&stopping);
+        std::thread::spawn(move || handle_connection(stream, conn_id, sched, stopping, local));
+    }
+    // Drain is idempotent; on the shutdown path the work already finished
+    // and this just stops the worker threads. Connection reader threads
+    // still blocked on idle peers die with the process.
+    let completed = sched.shutdown();
+    println!("mpcjoin-serve: drained, {completed} queries completed");
+    ExitCode::SUCCESS
+}

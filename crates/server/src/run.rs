@@ -1,0 +1,535 @@
+//! The executor: turn a validated [`QueryRequest`] into exactly one
+//! response frame.
+//!
+//! One [`Executor`] is shared by every scheduler worker. It owns the
+//! [`ResultCache`] and a pool of [`QueryEngine`]s keyed by
+//! `(servers, plan, instrumented)` — engines are deliberately *reused*
+//! across requests, sessions, and semirings; the `engine_reuse`
+//! integration test pins that a reused engine's runs are bit-identical
+//! to fresh-engine runs, which is what makes both the pool and the
+//! result cache sound.
+//!
+//! ## The canonical result body
+//!
+//! A successful run serializes to a *canonical body*: plan, measured
+//! cost ledger, audit verdict, and the output rows in canonical order.
+//! Everything in it is deterministic; wall-clock time and the recovery
+//! report are deliberately excluded (they ride on the outer frame),
+//! because the body is what the cache stores and replays bit-exactly.
+//! Output rows are `[[value…], "annotation"]` pairs using the
+//! semiring's `Debug` rendering — the same rendering for cold and
+//! cached responses, trivially, since cached responses are the cold
+//! response's bytes.
+
+use crate::cache::{digest_tokens, CacheStats, ResultCache};
+use crate::wire::{error_frame, mpc_error_frame, result_frame, QueryRequest};
+use mpcjoin::mpc::json::Json;
+use mpcjoin::prelude::*;
+use mpcjoin::query::{parse_query, ParsedQuery};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Executes requests against the simulated cluster. Shared (behind an
+/// `Arc`) by all scheduler workers; internally synchronized.
+pub struct Executor {
+    /// Upper bound on a request's simulated cluster width.
+    pub max_servers: usize,
+    /// Worker threads for per-server local computation inside one run.
+    pub threads_per_job: usize,
+    /// When set, per-query trace/metrics artifacts are written here.
+    pub artifact_dir: Option<PathBuf>,
+    cache: Mutex<ResultCache>,
+    engines: Mutex<HashMap<(usize, String, bool), Arc<QueryEngine>>>,
+}
+
+impl Executor {
+    /// An executor with a result cache of `cache_cap` entries.
+    pub fn new(
+        max_servers: usize,
+        threads_per_job: usize,
+        cache_cap: usize,
+        artifact_dir: Option<PathBuf>,
+    ) -> Self {
+        Executor {
+            max_servers,
+            threads_per_job,
+            artifact_dir,
+            cache: Mutex::new(ResultCache::new(cache_cap)),
+            engines: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Current cache counters (for `stats` frames).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Execute one query request, returning its response frame (a result
+    /// frame or an error frame — never nothing, never a panic).
+    pub fn execute(&self, req: &QueryRequest) -> String {
+        if req.delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(req.delay_ms));
+        }
+        let started = Instant::now();
+        match self.respond(req, started) {
+            Ok(frame) | Err(frame) => frame,
+        }
+    }
+
+    /// `Err` carries an already-rendered error frame.
+    fn respond(&self, req: &QueryRequest, started: Instant) -> Result<String, String> {
+        let parsed = parse_query(&req.query)
+            .map_err(|e| error_frame(Some(req.id), "bad_query", &e.to_string(), None))?;
+        if req.servers == 0 || req.servers > self.max_servers {
+            return Err(error_frame(
+                Some(req.id),
+                "bad_request",
+                &format!(
+                    "`servers` must be between 1 and {} (got {})",
+                    self.max_servers, req.servers
+                ),
+                None,
+            ));
+        }
+        let choice = plan_choice(&req.plan).ok_or_else(|| {
+            error_frame(
+                Some(req.id),
+                "bad_request",
+                &format!(
+                    "unknown plan `{}` (expected auto|baseline|matmul|line|star|starlike|tree|yannakakis)",
+                    req.plan
+                ),
+                None,
+            )
+        })?;
+        match req.semiring.as_str() {
+            "count" => self.run_semiring(req, &parsed, choice, started, |w| {
+                Count(w.unwrap_or(1).max(0) as u64)
+            }),
+            "bool" => self.run_semiring(req, &parsed, choice, started, |_| BoolRing(true)),
+            "minplus" => self.run_semiring(req, &parsed, choice, started, |w| {
+                TropicalMin::finite(w.unwrap_or(0))
+            }),
+            "mincount" => self.run_semiring(req, &parsed, choice, started, |w| {
+                MinCount::path(w.unwrap_or(0))
+            }),
+            other => Err(error_frame(
+                Some(req.id),
+                "bad_request",
+                &format!("unknown semiring `{other}` (expected count|bool|minplus|mincount)"),
+                None,
+            )),
+        }
+    }
+
+    fn run_semiring<S: Semiring + std::fmt::Debug>(
+        &self,
+        req: &QueryRequest,
+        parsed: &ParsedQuery,
+        choice: PlanChoice,
+        started: Instant,
+        weight: impl FnMut(Option<i64>) -> S + Copy,
+    ) -> Result<String, String> {
+        let rels = build_relations(req, parsed, weight)?;
+
+        // Faulted requests bypass the cache in both directions: they must
+        // actually exercise the recovery path, and their (identical)
+        // output must not shadow the clean run's entry semantics.
+        let key = if req.fault_plan.is_none() {
+            Some(digest_tokens(&digest_stream(req, parsed)))
+        } else {
+            None
+        };
+        if let Some(k) = key {
+            if let Some(body) = self.cache.lock().expect("cache lock").get(k) {
+                return Ok(result_frame(
+                    req.id,
+                    true,
+                    started.elapsed().as_nanos(),
+                    None,
+                    &body,
+                ));
+            }
+        }
+
+        let instrumented = self.artifact_dir.is_some();
+        let engine = self.engine_for(req.servers, &req.plan, choice, instrumented);
+        let result = match &req.fault_plan {
+            // A fault plan is per-request state, so it runs on a derived
+            // engine; the pooled one stays fault-free.
+            Some(plan) => (*engine).clone().faults(plan.clone()),
+            None => (*engine).clone(),
+        }
+        .run(&parsed.query, &rels)
+        .map_err(|e| mpc_error_frame(req.id, &e))?;
+
+        self.write_artifacts(req, &result);
+        let body = canonical_body(&result, req.limit);
+        let recovery = result.recovery.as_ref().map(RecoveryReport::to_json);
+        if let Some(k) = key {
+            self.cache
+                .lock()
+                .expect("cache lock")
+                .insert(k, Arc::from(body.as_str()));
+        }
+        Ok(result_frame(
+            req.id,
+            false,
+            started.elapsed().as_nanos(),
+            recovery.as_ref(),
+            &body,
+        ))
+    }
+
+    fn engine_for(
+        &self,
+        servers: usize,
+        plan_name: &str,
+        choice: PlanChoice,
+        instrumented: bool,
+    ) -> Arc<QueryEngine> {
+        let mut pool = self.engines.lock().expect("engine pool lock");
+        Arc::clone(
+            pool.entry((servers, plan_name.to_string(), instrumented))
+                .or_insert_with(|| {
+                    Arc::new(
+                        QueryEngine::new(servers)
+                            .threads(self.threads_per_job)
+                            .plan(choice)
+                            .trace(instrumented)
+                            .metrics(instrumented),
+                    )
+                }),
+        )
+    }
+
+    /// Flush this run's trace/metrics artifacts (observability is
+    /// best-effort: a full disk must not fail the query).
+    fn write_artifacts<S: Semiring>(&self, req: &QueryRequest, result: &ExecutionResult<S>) {
+        let Some(dir) = &self.artifact_dir else {
+            return;
+        };
+        let session: String = req
+            .session
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        if let Some(trace) = &result.trace {
+            let path = dir.join(format!("trace_{session}_{}.json", req.id));
+            let doc = trace.to_json_with(Some(&result.audit.to_json()), result.recovery.as_ref());
+            if let Err(e) = std::fs::write(&path, doc) {
+                eprintln!("artifact write failed: {}: {e}", path.display());
+            }
+        }
+        if let Some(snap) = &result.metrics {
+            let path = dir.join(format!("metrics_{session}_{}.json", req.id));
+            if let Err(e) = std::fs::write(&path, snap.to_json()) {
+                eprintln!("artifact write failed: {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+/// Resolve a wire plan name.
+fn plan_choice(name: &str) -> Option<PlanChoice> {
+    Some(match name {
+        "auto" => PlanChoice::Auto,
+        "baseline" => PlanChoice::Baseline,
+        "matmul" => PlanChoice::Force(PlanKind::MatMul),
+        "line" => PlanChoice::Force(PlanKind::Line),
+        "star" => PlanChoice::Force(PlanKind::Star),
+        "starlike" => PlanChoice::Force(PlanKind::StarLike),
+        "tree" => PlanChoice::Force(PlanKind::Tree),
+        "yannakakis" => PlanChoice::Force(PlanKind::FreeConnexYannakakis),
+        _ => return None,
+    })
+}
+
+/// Bind the request's relation rows to the parsed query's body atoms and
+/// build annotated relations; row values follow the edge's attribute
+/// order, with an optional trailing weight.
+fn build_relations<S: Semiring>(
+    req: &QueryRequest,
+    parsed: &ParsedQuery,
+    mut weight: impl FnMut(Option<i64>) -> S,
+) -> Result<Vec<Relation<S>>, String> {
+    let bad = |detail: String| error_frame(Some(req.id), "bad_request", &detail, None);
+    let mut rels = Vec::with_capacity(parsed.relation_names.len());
+    for (i, name) in parsed.relation_names.iter().enumerate() {
+        let rows = req
+            .relations
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, rows)| rows)
+            .ok_or_else(|| bad(format!("no rows provided for relation `{name}`")))?;
+        let edge = &parsed.query.edges()[i];
+        let arity = edge.attrs().len();
+        let mut rel = Relation::empty(Schema::new(edge.attrs().to_vec()));
+        for (j, row) in rows.iter().enumerate() {
+            if row.len() != arity && row.len() != arity + 1 {
+                return Err(bad(format!(
+                    "relation `{name}` row {j}: expected {arity} values (plus an optional weight), got {}",
+                    row.len()
+                )));
+            }
+            let values: Vec<Value> = row[..arity]
+                .iter()
+                .map(|&v| {
+                    Value::try_from(v)
+                        .map_err(|_| bad(format!("relation `{name}` row {j}: negative value {v}")))
+                })
+                .collect::<Result<_, _>>()?;
+            rel.push(values, weight(row.get(arity).copied()));
+        }
+        rels.push(rel);
+    }
+    Ok(rels)
+}
+
+/// The canonical token stream a cacheable request digests to. Relation
+/// and attribute *names* never enter the stream (attributes are the
+/// parser's appearance-ordered ids; relations bind to atoms by
+/// position), and rows are sorted, so renamed or reordered spellings of
+/// the same run share a cache entry.
+fn digest_stream(req: &QueryRequest, parsed: &ParsedQuery) -> Vec<u64> {
+    let mut tokens: Vec<u64> = vec![
+        match req.semiring.as_str() {
+            "count" => 0,
+            "bool" => 1,
+            "minplus" => 2,
+            _ => 3, // mincount (unknown semirings never reach the digest)
+        },
+        req.servers as u64,
+        mpcjoin::mpc::hash::stable_hash(req.plan.as_str()),
+        req.limit.map_or(u64::MAX, |n| n as u64),
+        // Query structure: edges (attr ids in edge order), then outputs.
+        parsed.query.edges().len() as u64,
+    ];
+    for edge in parsed.query.edges() {
+        tokens.push(edge.attrs().len() as u64);
+        tokens.extend(edge.attrs().iter().map(|a| a.0 as u64));
+    }
+    for a in parsed.query.output() {
+        tokens.push(a.0 as u64);
+    }
+    // Relation data, bound in atom order, rows sorted.
+    for name in &parsed.relation_names {
+        let rows = req
+            .relations
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, rows)| rows.clone())
+            .unwrap_or_default();
+        let mut rows = rows;
+        rows.sort_unstable();
+        tokens.push(rows.len() as u64);
+        for row in rows {
+            tokens.push(row.len() as u64);
+            tokens.extend(row.iter().map(|&v| v as u64));
+        }
+    }
+    tokens
+}
+
+/// Serialize a run's deterministic summary + output rows. Excludes
+/// wall-clock and recovery by design (see the module docs).
+fn canonical_body<S: Semiring + std::fmt::Debug>(
+    result: &ExecutionResult<S>,
+    limit: Option<usize>,
+) -> String {
+    let canonical = result.output.canonical();
+    let shown = limit.unwrap_or(canonical.len()).min(canonical.len());
+    let rows: Vec<Json> = canonical[..shown]
+        .iter()
+        .map(|(row, annot)| {
+            Json::Arr(vec![
+                Json::Arr(row.iter().map(|&v| Json::Num(v as f64)).collect()),
+                Json::Str(format!("{annot:?}")),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("plan".into(), Json::Str(format!("{:?}", result.plan))),
+        ("load".into(), Json::Num(result.cost.load as f64)),
+        ("rounds".into(), Json::Num(result.cost.rounds as f64)),
+        (
+            "total_units".into(),
+            Json::Num(result.cost.total_units as f64),
+        ),
+        ("output_rows".into(), Json::Num(result.output.len() as f64)),
+        ("output_skew".into(), Json::Num(result.output_skew)),
+        ("audit".into(), result.audit.to_json()),
+        ("rows".into(), Json::Arr(rows)),
+    ])
+    // The sanitized printer is deterministic and total (non-finite
+    // numbers — e.g. the skew of an empty output — become null instead
+    // of failing), which is exactly the cache's requirement.
+    .to_string_sanitized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{parse_frame, Frame, ResponseView};
+
+    fn request(line: &str) -> QueryRequest {
+        match parse_frame(line).expect("frame parses") {
+            Frame::Query(req) => *req,
+            other => panic!("expected a query frame, got {other:?}"),
+        }
+    }
+
+    fn mm_request(id: u64) -> QueryRequest {
+        request(&format!(
+            "{{\"type\":\"query\",\"id\":{id},\"query\":\"Q(a, c) :- R(a, b), S(b, c)\",\
+             \"servers\":4,\
+             \"relations\":{{\"R\":[[1,10],[1,11],[2,10]],\"S\":[[10,7],[11,7]]}}}}"
+        ))
+    }
+
+    fn executor() -> Executor {
+        Executor::new(64, 1, 16, None)
+    }
+
+    #[test]
+    fn cold_run_then_cache_hit_bit_identical() {
+        let ex = executor();
+        let cold = ResponseView::parse(&ex.execute(&mm_request(1))).unwrap();
+        assert_eq!(cold.kind, "result");
+        assert!(!cold.cached);
+        let hit = ResponseView::parse(&ex.execute(&mm_request(2))).unwrap();
+        assert!(hit.cached, "identical request must hit");
+        assert_eq!(cold.result, hit.result, "hit must be bit-identical");
+        let stats = ex.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn cache_result_matches_oracle_and_body_shape() {
+        let ex = executor();
+        let view = ResponseView::parse(&ex.execute(&mm_request(1))).unwrap();
+        let body = Json::parse(view.result.as_deref().unwrap()).unwrap();
+        assert_eq!(body.get("plan").and_then(Json::as_str), Some("MatMul"));
+        // (1, 7) reachable via b = 10 and b = 11 ⇒ Count(2).
+        let rows = body.get("rows").and_then(Json::as_arr).unwrap();
+        let rendered: Vec<String> = rows
+            .iter()
+            .map(|r| r.to_string_compact().unwrap())
+            .collect();
+        assert!(
+            rendered.iter().any(|r| r == "[[1,7],\"Count(2)\"]"),
+            "{rendered:?}"
+        );
+        assert!(body.get("elapsed_ns").is_none(), "body is wall-clock-free");
+        assert!(body.get("recovery").is_none(), "recovery rides the frame");
+    }
+
+    #[test]
+    fn digest_ignores_names_and_row_order() {
+        let ex = executor();
+        assert!(
+            !ResponseView::parse(&ex.execute(&mm_request(1)))
+                .unwrap()
+                .cached
+        );
+        // Same run, different spelling: renamed attrs/relations, rows
+        // shuffled, members reordered.
+        let renamed = request(
+            "{\"type\":\"query\",\"id\":9,\"servers\":4,\
+             \"relations\":{\"Hop2\":[[11,7],[10,7]],\"Hop1\":[[2,10],[1,11],[1,10]]},\
+             \"query\":\"Out(u, w) :- Hop1(u, v), Hop2(v, w)\"}",
+        );
+        let view = ResponseView::parse(&ex.execute(&renamed)).unwrap();
+        assert!(view.cached, "canonicalized digest must match");
+    }
+
+    #[test]
+    fn digest_separates_different_runs() {
+        let ex = executor();
+        let base = mm_request(1);
+        assert!(!ResponseView::parse(&ex.execute(&base)).unwrap().cached);
+        for tweak in [
+            "\"servers\":8",
+            "\"semiring\":\"bool\"",
+            "\"plan\":\"tree\"",
+            "\"limit\":1",
+        ] {
+            let line = format!(
+                "{{\"type\":\"query\",\"id\":5,{tweak},\
+                 \"query\":\"Q(a, c) :- R(a, b), S(b, c)\",\
+                 \"relations\":{{\"R\":[[1,10],[1,11],[2,10]],\"S\":[[10,7],[11,7]]}}}}"
+            );
+            let mut req = request(&line);
+            if !line.contains("servers") {
+                req.servers = base.servers;
+            }
+            let view = ResponseView::parse(&ex.execute(&req)).unwrap();
+            assert!(!view.cached, "{tweak} must change the digest");
+        }
+    }
+
+    #[test]
+    fn faulted_requests_bypass_the_cache_and_recover() {
+        let ex = executor();
+        let clean = ResponseView::parse(&ex.execute(&mm_request(1))).unwrap();
+        let mut faulted = mm_request(2);
+        faulted.fault_plan = Some(FaultPlan::new(11).retries(10).reorder(1));
+        let view = ResponseView::parse(&ex.execute(&faulted)).unwrap();
+        assert_eq!(view.kind, "result");
+        assert!(!view.cached, "faulted twin must not be served from cache");
+        assert!(view.recovered, "recovery report must ride the frame");
+        assert_eq!(
+            view.result, clean.result,
+            "recovered output is bit-identical to the clean twin"
+        );
+        // And the faulted run must not have poisoned the cache either.
+        let mut again = mm_request(3);
+        again.fault_plan = Some(FaultPlan::new(11).retries(10).reorder(1));
+        assert!(!ResponseView::parse(&ex.execute(&again)).unwrap().cached);
+    }
+
+    #[test]
+    fn errors_are_frames_with_engine_codes() {
+        let ex = executor();
+        let mut req = mm_request(1);
+        req.query = "Q(a c) :- R(a, b)".into();
+        let view = ResponseView::parse(&ex.execute(&req)).unwrap();
+        assert_eq!(view.code.as_deref(), Some("bad_query"));
+
+        let mut req = mm_request(2);
+        req.plan = "star".into(); // wrong shape for a matmul query
+        let view = ResponseView::parse(&ex.execute(&req)).unwrap();
+        assert_eq!(view.code.as_deref(), Some("unsupported_plan"));
+
+        let mut req = mm_request(3);
+        req.relations.pop();
+        let view = ResponseView::parse(&ex.execute(&req)).unwrap();
+        assert_eq!(view.code.as_deref(), Some("bad_request"));
+
+        let mut req = mm_request(4);
+        req.servers = 10_000;
+        let view = ResponseView::parse(&ex.execute(&req)).unwrap();
+        assert_eq!(view.code.as_deref(), Some("bad_request"));
+
+        let mut req = mm_request(5);
+        req.semiring = "tropical".into();
+        let view = ResponseView::parse(&ex.execute(&req)).unwrap();
+        assert_eq!(view.code.as_deref(), Some("bad_request"));
+        assert_eq!(view.id, Some(5));
+    }
+
+    #[test]
+    fn weighted_semirings_execute() {
+        let line = "{\"type\":\"query\",\"id\":1,\"semiring\":\"minplus\",\"servers\":4,\
+                    \"query\":\"Q(a, c) :- R(a, b), S(b, c)\",\
+                    \"relations\":{\"R\":[[1,10,5],[1,11,2]],\"S\":[[10,7,1],[11,7,9]]}}";
+        let view = ResponseView::parse(&executor().execute(&request(line))).unwrap();
+        let body = Json::parse(view.result.as_deref().unwrap()).unwrap();
+        let rows = body.get("rows").and_then(Json::as_arr).unwrap();
+        // Shortest 1→7 cost: min(5 + 1, 2 + 9) = 6.
+        let rendered = rows[0].to_string_compact().unwrap();
+        assert!(rendered.contains('6'), "{rendered}");
+    }
+}

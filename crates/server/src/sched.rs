@@ -1,0 +1,436 @@
+//! The scheduler: bounded admission queue, worker pool, per-session
+//! quotas, and graceful drain.
+//!
+//! Admission control is explicit and structured: a request that cannot
+//! be queued is *answered* — with an `overloaded`, `quota_exceeded`, or
+//! `draining` error frame carrying a retry hint — never silently
+//! dropped, and the connection stays open. This is the serving analogue
+//! of the library's "errors at the boundary, never panics" rule.
+//!
+//! ## Lifecycle
+//!
+//! ```text
+//! submit ──► [admission checks] ──► queue ──► worker: execute ──► respond
+//!                 │ full / quota / draining
+//!                 └──► error frame (retry_after_ms)
+//! ```
+//!
+//! A session's quota counts its queued *and* running jobs, and is
+//! released only after the response callback returns — a tenant can
+//! never hold more than `session_quota` executor slots no matter how
+//! fast it pipelines.
+//!
+//! [`Scheduler::drain`] flips the admission gate (new work is rejected
+//! with `draining`), waits for the queue to empty and every in-flight
+//! job's response to be delivered, and reports how many jobs completed
+//! over the scheduler's lifetime. [`Scheduler::shutdown`] then stops and
+//! joins the workers.
+
+use crate::run::Executor;
+use crate::wire::{error_frame, QueryRequest};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Serving-layer tuning knobs (every one has a CLI flag on
+/// `mpcjoin-serve`).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Concurrent executor slots (worker threads).
+    pub workers: usize,
+    /// Admission queue capacity (jobs waiting for a worker).
+    pub queue_cap: usize,
+    /// Maximum queued + running jobs per session.
+    pub session_quota: usize,
+    /// Result cache capacity (entries).
+    pub cache_cap: usize,
+    /// Upper bound on a request's simulated cluster width.
+    pub max_servers: usize,
+    /// Local-computation threads inside one job.
+    pub threads_per_job: usize,
+    /// Retry hint attached to backpressure rejections.
+    pub retry_after_ms: u64,
+    /// Per-query trace/metrics artifact directory.
+    pub artifact_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_cap: 64,
+            session_quota: 16,
+            cache_cap: 256,
+            max_servers: 256,
+            threads_per_job: 1,
+            retry_after_ms: 25,
+            artifact_dir: None,
+        }
+    }
+}
+
+/// Monotone serving counters (reported in `stats` frames).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SchedStats {
+    /// Jobs admitted to the queue.
+    pub admitted: u64,
+    /// Jobs whose response has been delivered.
+    pub completed: u64,
+    /// Rejections: queue full.
+    pub rejected_overload: u64,
+    /// Rejections: session over quota.
+    pub rejected_quota: u64,
+    /// Rejections: server draining.
+    pub rejected_draining: u64,
+}
+
+struct Job {
+    request: QueryRequest,
+    respond: Box<dyn FnOnce(String) + Send>,
+}
+
+#[derive(Default)]
+struct State {
+    queue: VecDeque<Job>,
+    /// Queued + running jobs per session key.
+    session_load: HashMap<String, usize>,
+    running: usize,
+    draining: bool,
+    stopped: bool,
+}
+
+struct Inner {
+    cfg: ServerConfig,
+    executor: Executor,
+    state: Mutex<State>,
+    /// Signaled when work arrives or the scheduler stops.
+    work_cv: Condvar,
+    /// Signaled when a job finishes (drain waits on this).
+    idle_cv: Condvar,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_quota: AtomicU64,
+    rejected_draining: AtomicU64,
+}
+
+/// The worker pool + admission queue. Shared across connection threads
+/// behind an `Arc`; owns its worker threads until [`Scheduler::shutdown`].
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Start `cfg.workers` workers over a fresh executor.
+    pub fn new(cfg: ServerConfig) -> Self {
+        let executor = Executor::new(
+            cfg.max_servers,
+            cfg.threads_per_job,
+            cfg.cache_cap,
+            cfg.artifact_dir.clone(),
+        );
+        let inner = Arc::new(Inner {
+            executor,
+            state: Mutex::new(State::default()),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            admitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            rejected_quota: AtomicU64::new(0),
+            rejected_draining: AtomicU64::new(0),
+            cfg,
+        });
+        let workers = (0..inner.cfg.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Scheduler {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The executor (for cache statistics).
+    pub fn executor(&self) -> &Executor {
+        &self.inner.executor
+    }
+
+    /// Submit a query. Exactly one call to `respond` happens — either
+    /// immediately (a rejection frame, on the submitter's thread) or
+    /// from a worker once the job executes. `respond` must be cheap-ish:
+    /// it runs with no scheduler lock held but occupies the worker.
+    pub fn submit(&self, request: QueryRequest, respond: impl FnOnce(String) + Send + 'static) {
+        let inner = &self.inner;
+        let rejection = {
+            let mut state = inner.state.lock().expect("scheduler lock");
+            if state.draining || state.stopped {
+                inner.rejected_draining.fetch_add(1, Ordering::Relaxed);
+                Some(error_frame(
+                    Some(request.id),
+                    "draining",
+                    "server is shutting down; no new work admitted",
+                    None,
+                ))
+            } else if state.queue.len() >= inner.cfg.queue_cap {
+                inner.rejected_overload.fetch_add(1, Ordering::Relaxed);
+                Some(error_frame(
+                    Some(request.id),
+                    "overloaded",
+                    &format!("admission queue full ({} queued)", state.queue.len()),
+                    Some(inner.cfg.retry_after_ms),
+                ))
+            } else {
+                let load = state
+                    .session_load
+                    .entry(request.session.clone())
+                    .or_insert(0);
+                if *load >= inner.cfg.session_quota {
+                    inner.rejected_quota.fetch_add(1, Ordering::Relaxed);
+                    Some(error_frame(
+                        Some(request.id),
+                        "quota_exceeded",
+                        &format!(
+                            "session `{}` already has {load} jobs in flight (quota {})",
+                            request.session, inner.cfg.session_quota
+                        ),
+                        Some(inner.cfg.retry_after_ms),
+                    ))
+                } else {
+                    *load += 1;
+                    inner.admitted.fetch_add(1, Ordering::Relaxed);
+                    state.queue.push_back(Job {
+                        request,
+                        respond: Box::new(respond),
+                    });
+                    inner.work_cv.notify_one();
+                    return;
+                }
+            }
+        };
+        // Rejection frames are delivered outside the lock.
+        if let Some(frame) = rejection {
+            (respond)(frame);
+        }
+    }
+
+    /// Stop admitting work, wait until the queue is empty and every
+    /// in-flight job's response has been delivered, and return the
+    /// number of jobs completed over the scheduler's lifetime.
+    pub fn drain(&self) -> u64 {
+        let inner = &self.inner;
+        let mut state = inner.state.lock().expect("scheduler lock");
+        state.draining = true;
+        while !state.queue.is_empty() || state.running > 0 {
+            state = inner.idle_cv.wait(state).expect("scheduler lock");
+        }
+        inner.completed.load(Ordering::Relaxed)
+    }
+
+    /// Drain, then stop and join the worker threads. Safe to call from a
+    /// shared handle; a second call finds no workers left to join.
+    pub fn shutdown(&self) -> u64 {
+        let completed = self.drain();
+        {
+            let mut state = self.inner.state.lock().expect("scheduler lock");
+            state.stopped = true;
+            self.inner.work_cv.notify_all();
+        }
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("worker list lock")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        completed
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> SchedStats {
+        let inner = &self.inner;
+        SchedStats {
+            admitted: inner.admitted.load(Ordering::Relaxed),
+            completed: inner.completed.load(Ordering::Relaxed),
+            rejected_overload: inner.rejected_overload.load(Ordering::Relaxed),
+            rejected_quota: inner.rejected_quota.load(Ordering::Relaxed),
+            rejected_draining: inner.rejected_draining.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut state = inner.state.lock().expect("scheduler lock");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    state.running += 1;
+                    break job;
+                }
+                if state.stopped {
+                    return;
+                }
+                state = inner.work_cv.wait(state).expect("scheduler lock");
+            }
+        };
+        let frame = inner.executor.execute(&job.request);
+        (job.respond)(frame);
+        inner.completed.fetch_add(1, Ordering::Relaxed);
+        let mut state = inner.state.lock().expect("scheduler lock");
+        state.running -= 1;
+        if let Some(load) = state.session_load.get_mut(&job.request.session) {
+            *load -= 1;
+            if *load == 0 {
+                state.session_load.remove(&job.request.session);
+            }
+        }
+        inner.idle_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::ResponseView;
+    use std::sync::mpsc;
+
+    fn mm_request(id: u64, session: &str, delay_ms: u64) -> QueryRequest {
+        QueryRequest {
+            id,
+            session: session.to_string(),
+            query: "Q(a, c) :- R(a, b), S(b, c)".into(),
+            semiring: "count".into(),
+            servers: 4,
+            plan: "auto".into(),
+            relations: vec![
+                ("R".into(), vec![vec![1, 10], vec![1, 11], vec![2, 10]]),
+                ("S".into(), vec![vec![10, 7], vec![11, 7]]),
+            ],
+            limit: None,
+            delay_ms,
+            fault_plan: None,
+        }
+    }
+
+    fn small(workers: usize, queue_cap: usize, quota: usize) -> Scheduler {
+        Scheduler::new(ServerConfig {
+            workers,
+            queue_cap,
+            session_quota: quota,
+            cache_cap: 0, // keep every run cold so delays actually apply
+            ..ServerConfig::default()
+        })
+    }
+
+    #[test]
+    fn every_submission_gets_exactly_one_response() {
+        let sched = small(4, 64, 64);
+        let (tx, rx) = mpsc::channel::<String>();
+        const N: u64 = 40;
+        for id in 0..N {
+            let tx = tx.clone();
+            sched.submit(mm_request(id, "t", 0), move |frame| {
+                tx.send(frame).expect("collector alive");
+            });
+        }
+        let mut ids: Vec<u64> = (0..N)
+            .map(|_| {
+                let frame = rx.recv().expect("a response per submission");
+                let view = ResponseView::parse(&frame).expect("parseable");
+                assert_eq!(view.kind, "result");
+                view.id.expect("result frames echo ids")
+            })
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..N).collect::<Vec<_>>(), "no lost or duplicated");
+        assert_eq!(sched.shutdown(), N);
+    }
+
+    #[test]
+    fn overload_rejects_with_retry_hint() {
+        // One deliberately-slow worker and a tiny queue: the tail of a
+        // burst must be rejected as `overloaded`, not dropped.
+        let sched = small(1, 2, 1000);
+        let (tx, rx) = mpsc::channel::<String>();
+        for id in 0..20 {
+            let tx = tx.clone();
+            sched.submit(mm_request(id, "t", 30), move |frame| {
+                tx.send(frame).expect("collector alive");
+            });
+        }
+        let frames: Vec<ResponseView> = (0..20)
+            .map(|_| ResponseView::parse(&rx.recv().unwrap()).unwrap())
+            .collect();
+        let rejected = frames.iter().filter(|v| v.kind == "error").count();
+        assert!(rejected > 0, "burst must overflow the queue");
+        for v in frames.iter().filter(|v| v.kind == "error") {
+            assert_eq!(v.code.as_deref(), Some("overloaded"));
+            assert!(v.retry_after_ms.is_some());
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.rejected_overload, rejected as u64);
+        assert_eq!(stats.admitted, 20 - rejected as u64);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn session_quota_is_enforced_per_session() {
+        let sched = small(1, 64, 2);
+        let (tx, rx) = mpsc::channel::<String>();
+        // Session `a` floods; session `b` sends one job. Only `a` may be
+        // quota-rejected.
+        for id in 0..6 {
+            let tx = tx.clone();
+            sched.submit(mm_request(id, "a", 20), move |f| tx.send(f).unwrap());
+        }
+        let tx2 = tx.clone();
+        sched.submit(mm_request(100, "b", 0), move |f| tx2.send(f).unwrap());
+        let frames: Vec<ResponseView> = (0..7)
+            .map(|_| ResponseView::parse(&rx.recv().unwrap()).unwrap())
+            .collect();
+        let quota_rejected: Vec<_> = frames
+            .iter()
+            .filter(|v| v.code.as_deref() == Some("quota_exceeded"))
+            .collect();
+        assert_eq!(quota_rejected.len(), 4, "a: 2 admitted of 6");
+        assert!(
+            quota_rejected.iter().all(|v| v.id != Some(100)),
+            "session b is under quota"
+        );
+        assert!(frames
+            .iter()
+            .any(|v| v.id == Some(100) && v.kind == "result"));
+        sched.shutdown();
+    }
+
+    #[test]
+    fn drain_completes_in_flight_work_then_rejects() {
+        let sched = small(2, 64, 64);
+        let (tx, rx) = mpsc::channel::<String>();
+        for id in 0..6 {
+            let tx = tx.clone();
+            sched.submit(mm_request(id, "t", 25), move |f| tx.send(f).unwrap());
+        }
+        let completed = sched.drain();
+        assert_eq!(completed, 6, "drain waits for in-flight work");
+        // All six responses were delivered before drain returned.
+        for _ in 0..6 {
+            let v = ResponseView::parse(&rx.try_recv().expect("delivered")).unwrap();
+            assert_eq!(v.kind, "result");
+        }
+        // Post-drain submissions are structured rejections.
+        let (tx2, rx2) = mpsc::channel::<String>();
+        sched.submit(mm_request(99, "t", 0), move |f| tx2.send(f).unwrap());
+        let v = ResponseView::parse(&rx2.recv().unwrap()).unwrap();
+        assert_eq!(v.code.as_deref(), Some("draining"));
+        assert_eq!(sched.stats().rejected_draining, 1);
+        sched.shutdown();
+    }
+}

@@ -1,0 +1,512 @@
+//! The `mpcjoin-wire-v1` protocol: JSONL frames over TCP.
+//!
+//! Every frame is one JSON document on one line. Clients send request
+//! frames (`type`: `query`, `ping`, `stats`, `shutdown`); the server
+//! answers each with exactly one response frame (`result`, `error`,
+//! `pong`, `stats`, `shutdown_ack`). Responses carry the request's `id`,
+//! so clients may pipeline; ordering across distinct ids is *not*
+//! guaranteed — queries complete in scheduler order, not arrival order.
+//!
+//! ## Query frames
+//!
+//! ```json
+//! {"schema":"mpcjoin-wire-v1","type":"query","id":1,"session":"tenant-a",
+//!  "query":"Q(a, c) :- R(a, b), S(b, c)","semiring":"count","servers":8,
+//!  "plan":"auto","limit":64,
+//!  "relations":{"R":[[1,2],[3,4,2]],"S":[[2,5]]}}
+//! ```
+//!
+//! Relations are keyed by the body atom's name; each row is an integer
+//! array — the edge's attribute values in atom order, plus an optional
+//! trailing weight whose meaning depends on `semiring` (exactly the
+//! CLI's file-input convention). Optional fields: `session` (admission
+//! quotas are per-session; defaults to a per-connection identity),
+//! `servers` (simulated cluster width), `plan`
+//! (`auto|baseline|matmul|line|star|starlike|tree|yannakakis`), `limit`
+//! (maximum output rows echoed back; all by default), `delay_ms`
+//! (artificial pre-execution stall — a load-testing/straggler knob),
+//! `fault_plan` (an embedded `mpcjoin-faultplan-v1` document injected
+//! into the run; such runs bypass the result cache) and `fault_seed`.
+//!
+//! ## Result frames and the cache-determinism invariant
+//!
+//! ```json
+//! {"schema":"mpcjoin-wire-v1","type":"result","id":1,"cached":false,
+//!  "elapsed_ns":123456,"recovery":null,"result":{…}}
+//! ```
+//!
+//! The `result` member is the *canonical body*: plan, measured cost,
+//! audit verdict, and the output rows in canonical order — everything
+//! deterministic about the run, and nothing that is not (wall-clock and
+//! recovery live outside it). The cache stores the body **as serialized
+//! bytes** and a hit splices those bytes back verbatim, so a cache hit
+//! is bit-identical to the cold run *by construction*, not by replay.
+//!
+//! ## Error frames
+//!
+//! ```json
+//! {"schema":"mpcjoin-wire-v1","type":"error","id":7,"code":"overloaded",
+//!  "detail":"admission queue full (64 queued)","retry_after_ms":25}
+//! ```
+//!
+//! `code` is machine-readable: engine failures carry
+//! [`MpcError::code`]'s value (`invalid_instance`, `unsupported_plan`,
+//! `unrecoverable`, …); the serving layer adds `bad_frame` (unparseable
+//! line — the detail names the byte offset), `bad_request` (well-formed
+//! but invalid), `bad_query` (query syntax), `overloaded` (admission
+//! queue full), `quota_exceeded` (per-session cap) and `draining`
+//! (server is shutting down). `overloaded` and `quota_exceeded` carry
+//! `retry_after_ms` — backpressure is always an explicit, retryable
+//! protocol answer, never a dropped connection.
+
+use mpcjoin::mpc::json::{escape_str, Json};
+use mpcjoin::mpc::{FaultPlan, MpcError};
+
+/// The protocol schema tag (shared with the CLI's structured errors).
+pub const WIRE_SCHEMA: &str = mpcjoin::mpc::ERROR_FRAME_SCHEMA;
+
+/// A parsed client→server frame.
+#[derive(Debug)]
+pub enum Frame {
+    /// Run a query.
+    Query(Box<QueryRequest>),
+    /// Liveness probe.
+    Ping {
+        /// Echoed request id.
+        id: Option<u64>,
+    },
+    /// Scheduler / cache statistics.
+    Stats {
+        /// Echoed request id.
+        id: Option<u64>,
+    },
+    /// Graceful drain-and-shutdown: stop admitting, finish in-flight
+    /// queries, acknowledge, exit.
+    Shutdown {
+        /// Echoed request id.
+        id: Option<u64>,
+    },
+}
+
+/// A `type: "query"` frame, validated for shape (not yet for semantics —
+/// query syntax and instance validation happen at execution).
+#[derive(Clone, Debug)]
+pub struct QueryRequest {
+    /// Client-chosen request id, echoed on the response.
+    pub id: u64,
+    /// Admission-quota identity. Empty means "use the connection's".
+    pub session: String,
+    /// Datalog-style query text (see `mpcjoin::query::parse_query`).
+    pub query: String,
+    /// Semiring name: `count` / `bool` / `minplus` / `mincount`.
+    pub semiring: String,
+    /// Simulated MPC cluster width for this run.
+    pub servers: usize,
+    /// Plan choice: `auto`, `baseline`, or a forced algorithm name.
+    pub plan: String,
+    /// `(relation name, rows)`; each row is attribute values in atom
+    /// order with an optional trailing weight.
+    pub relations: Vec<(String, Vec<Vec<i64>>)>,
+    /// Maximum output rows echoed in the body (`None` = all).
+    pub limit: Option<usize>,
+    /// Artificial pre-execution stall in milliseconds (testing knob).
+    pub delay_ms: u64,
+    /// Deterministic fault schedule to inject (bypasses the cache).
+    pub fault_plan: Option<FaultPlan>,
+}
+
+/// A rejected frame: the protocol error to answer with.
+#[derive(Debug)]
+pub struct WireError {
+    /// The offending request's id, when it could still be extracted.
+    pub id: Option<u64>,
+    /// Machine-readable error code (`bad_frame` / `bad_request` / …).
+    pub code: &'static str,
+    /// Human-readable description (byte offsets for parse errors).
+    pub detail: String,
+}
+
+impl WireError {
+    fn frame(code: &'static str, detail: impl Into<String>) -> WireError {
+        WireError {
+            id: None,
+            code,
+            detail: detail.into(),
+        }
+    }
+
+    /// Render as an error frame line.
+    pub fn to_frame(&self) -> String {
+        error_frame(self.id, self.code, &self.detail, None)
+    }
+}
+
+/// JSON member `key` as a `u64`, with a typed error.
+fn get_u64(doc: &Json, key: &str) -> Result<Option<u64>, WireError> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            WireError::frame(
+                "bad_request",
+                format!("`{key}` must be a non-negative integer"),
+            )
+        }),
+    }
+}
+
+fn get_str(doc: &Json, key: &str) -> Result<Option<String>, WireError> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| WireError::frame("bad_request", format!("`{key}` must be a string"))),
+    }
+}
+
+/// Parse one JSONL line into a [`Frame`].
+pub fn parse_frame(line: &str) -> Result<Frame, WireError> {
+    let doc = Json::parse(line)
+        .map_err(|e| WireError::frame("bad_frame", format!("unparseable frame: {e}")))?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(WireError::frame("bad_frame", "frame must be a JSON object"));
+    }
+    if let Some(schema) = doc.get("schema") {
+        if schema.as_str() != Some(WIRE_SCHEMA) {
+            return Err(WireError::frame(
+                "bad_frame",
+                format!("unknown schema (expected `{WIRE_SCHEMA}`)"),
+            ));
+        }
+    }
+    // From here on the id is extractable, so semantic errors echo it.
+    let id = get_u64(&doc, "id")?;
+    let with_id = |mut e: WireError| {
+        e.id = id;
+        e
+    };
+    let kind = get_str(&doc, "type")?
+        .ok_or_else(|| with_id(WireError::frame("bad_frame", "missing `type`")))?;
+    match kind.as_str() {
+        "ping" => Ok(Frame::Ping { id }),
+        "stats" => Ok(Frame::Stats { id }),
+        "shutdown" => Ok(Frame::Shutdown { id }),
+        "query" => parse_query_frame(&doc, id).map_err(with_id),
+        other => Err(with_id(WireError::frame(
+            "bad_frame",
+            format!("unknown frame type `{other}`"),
+        ))),
+    }
+}
+
+fn parse_query_frame(doc: &Json, id: Option<u64>) -> Result<Frame, WireError> {
+    let id = id.ok_or_else(|| WireError::frame("bad_request", "query frames require an `id`"))?;
+    let query =
+        get_str(doc, "query")?.ok_or_else(|| WireError::frame("bad_request", "missing `query`"))?;
+    let relations = match doc.get("relations") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(Json::Obj(members)) => members
+            .iter()
+            .map(|(name, rows)| Ok((name.clone(), parse_rows(name, rows)?)))
+            .collect::<Result<_, WireError>>()?,
+        Some(_) => {
+            return Err(WireError::frame(
+                "bad_request",
+                "`relations` must be an object of name -> row arrays",
+            ))
+        }
+    };
+    let fault_plan = match doc.get("fault_plan") {
+        None | Some(Json::Null) => None,
+        Some(plan) => {
+            let text = plan
+                .to_string_compact()
+                .map_err(|e| WireError::frame("bad_request", format!("`fault_plan`: {e}")))?;
+            let mut plan = FaultPlan::from_json(&text)
+                .map_err(|e| WireError::frame("invalid_fault_plan", e.to_string()))?;
+            if let Some(seed) = get_u64(doc, "fault_seed")? {
+                plan = plan.with_seed(seed);
+            }
+            Some(plan)
+        }
+    };
+    Ok(Frame::Query(Box::new(QueryRequest {
+        id,
+        session: get_str(doc, "session")?.unwrap_or_default(),
+        query,
+        semiring: get_str(doc, "semiring")?.unwrap_or_else(|| "count".into()),
+        servers: get_u64(doc, "servers")?.unwrap_or(8) as usize,
+        plan: get_str(doc, "plan")?.unwrap_or_else(|| "auto".into()),
+        relations,
+        limit: get_u64(doc, "limit")?.map(|n| n as usize),
+        delay_ms: get_u64(doc, "delay_ms")?.unwrap_or(0),
+        fault_plan,
+    })))
+}
+
+fn parse_rows(name: &str, rows: &Json) -> Result<Vec<Vec<i64>>, WireError> {
+    let rows = rows.as_arr().ok_or_else(|| {
+        WireError::frame("bad_request", format!("relation `{name}` must be an array"))
+    })?;
+    rows.iter()
+        .map(|row| {
+            let row = row.as_arr().ok_or_else(|| {
+                WireError::frame(
+                    "bad_request",
+                    format!("relation `{name}`: each row must be an array"),
+                )
+            })?;
+            row.iter()
+                .map(|v| {
+                    v.as_f64()
+                        .filter(|f| f.fract() == 0.0 && f.abs() <= i64::MAX as f64)
+                        .map(|f| f as i64)
+                        .ok_or_else(|| {
+                            WireError::frame(
+                                "bad_request",
+                                format!("relation `{name}`: row values must be integers"),
+                            )
+                        })
+                })
+                .collect()
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Response frame builders. Result frames splice the canonical body in as
+// raw bytes (see the module docs): the cache's bit-identity guarantee
+// rests on never re-encoding a stored body.
+// ---------------------------------------------------------------------------
+
+fn id_json(id: Option<u64>) -> String {
+    id.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+/// A `result` frame around an already-serialized canonical body.
+pub fn result_frame(
+    id: u64,
+    cached: bool,
+    elapsed_ns: u128,
+    recovery: Option<&Json>,
+    body: &str,
+) -> String {
+    let recovery = recovery.map_or_else(|| "null".to_string(), Json::to_string_sanitized);
+    format!(
+        "{{\"schema\":\"{WIRE_SCHEMA}\",\"type\":\"result\",\"id\":{id},\"cached\":{cached},\
+         \"elapsed_ns\":{elapsed_ns},\"recovery\":{recovery},\"result\":{body}}}"
+    )
+}
+
+/// An `error` frame.
+pub fn error_frame(
+    id: Option<u64>,
+    code: &str,
+    detail: &str,
+    retry_after_ms: Option<u64>,
+) -> String {
+    let retry = retry_after_ms.map_or_else(|| "null".to_string(), |v| v.to_string());
+    format!(
+        "{{\"schema\":\"{WIRE_SCHEMA}\",\"type\":\"error\",\"id\":{},\"code\":{},\"detail\":{},\
+         \"retry_after_ms\":{retry}}}",
+        id_json(id),
+        escape_str(code),
+        escape_str(detail),
+    )
+}
+
+/// The error frame for an engine failure (reuses [`MpcError::code`]).
+pub fn mpc_error_frame(id: u64, e: &MpcError) -> String {
+    error_frame(Some(id), e.code(), &e.to_string(), None)
+}
+
+/// A `pong` frame.
+pub fn pong_frame(id: Option<u64>) -> String {
+    format!(
+        "{{\"schema\":\"{WIRE_SCHEMA}\",\"type\":\"pong\",\"id\":{}}}",
+        id_json(id)
+    )
+}
+
+/// A `shutdown_ack` frame reporting how many queries the server completed
+/// over its lifetime (in-flight work included — the ack is sent only
+/// after the drain).
+pub fn shutdown_ack_frame(id: Option<u64>, completed: u64) -> String {
+    format!(
+        "{{\"schema\":\"{WIRE_SCHEMA}\",\"type\":\"shutdown_ack\",\"id\":{},\"completed\":{completed}}}",
+        id_json(id)
+    )
+}
+
+/// A client-side view of one response line.
+#[derive(Debug)]
+pub struct ResponseView {
+    /// Frame type (`result`, `error`, `pong`, `stats`, `shutdown_ack`).
+    pub kind: String,
+    /// Echoed request id (absent on connection-level errors).
+    pub id: Option<u64>,
+    /// `cached` marker of a result frame.
+    pub cached: bool,
+    /// The canonical body of a result frame, re-serialized compactly.
+    /// The serializer is deterministic, so two byte-identical bodies
+    /// compare equal here and vice versa.
+    pub result: Option<String>,
+    /// Error code of an error frame.
+    pub code: Option<String>,
+    /// Error detail of an error frame.
+    pub detail: Option<String>,
+    /// Retry hint of a backpressure rejection.
+    pub retry_after_ms: Option<u64>,
+    /// `load` from a result body (convenience for load accounting).
+    pub load: Option<u64>,
+    /// Whether the frame carried a non-null recovery report.
+    pub recovered: bool,
+    /// `completed` of a `shutdown_ack`.
+    pub completed: Option<u64>,
+}
+
+impl ResponseView {
+    /// Parse a server response line.
+    pub fn parse(line: &str) -> Result<ResponseView, String> {
+        let doc = Json::parse(line).map_err(|e| format!("unparseable response: {e}"))?;
+        let kind = doc
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("response missing `type`")?
+            .to_string();
+        let result = doc.get("result");
+        Ok(ResponseView {
+            kind,
+            id: doc.get("id").and_then(Json::as_u64),
+            cached: matches!(doc.get("cached"), Some(Json::Bool(true))),
+            load: result.and_then(|r| r.get("load")).and_then(Json::as_u64),
+            result: result
+                .map(|r| r.to_string_compact().map_err(|e| e.to_string()))
+                .transpose()?,
+            code: doc.get("code").and_then(Json::as_str).map(str::to_string),
+            detail: doc.get("detail").and_then(Json::as_str).map(str::to_string),
+            retry_after_ms: doc.get("retry_after_ms").and_then(Json::as_u64),
+            recovered: doc
+                .get("recovery")
+                .is_some_and(|r| !matches!(r, Json::Null)),
+            completed: doc.get("completed").and_then(Json::as_u64),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_frame_round_trips() {
+        let line = "{\"schema\":\"mpcjoin-wire-v1\",\"type\":\"query\",\"id\":7,\
+                    \"session\":\"t1\",\"query\":\"Q(a,c) :- R(a,b), S(b,c)\",\
+                    \"servers\":4,\"plan\":\"baseline\",\"limit\":10,\
+                    \"relations\":{\"R\":[[1,2],[3,4,2]],\"S\":[[2,5]]}}";
+        let Frame::Query(req) = parse_frame(line).unwrap() else {
+            panic!("expected a query frame");
+        };
+        assert_eq!(req.id, 7);
+        assert_eq!(req.session, "t1");
+        assert_eq!(req.servers, 4);
+        assert_eq!(req.plan, "baseline");
+        assert_eq!(req.limit, Some(10));
+        assert_eq!(req.relations[0].1, vec![vec![1, 2], vec![3, 4, 2]]);
+        assert!(req.fault_plan.is_none());
+    }
+
+    #[test]
+    fn defaults_are_filled_in() {
+        let Frame::Query(req) =
+            parse_frame("{\"type\":\"query\",\"id\":1,\"query\":\"Q(a) :- R(a)\"}").unwrap()
+        else {
+            panic!("expected a query frame");
+        };
+        assert_eq!(req.semiring, "count");
+        assert_eq!(req.servers, 8);
+        assert_eq!(req.plan, "auto");
+        assert_eq!(req.limit, None);
+        assert!(req.relations.is_empty());
+    }
+
+    #[test]
+    fn malformed_frames_are_bad_frame_with_offsets() {
+        let err = parse_frame("{\"type\":\"query\",").unwrap_err();
+        assert_eq!(err.code, "bad_frame");
+        assert!(err.detail.contains("byte "), "{}", err.detail);
+        let err = parse_frame("[]").unwrap_err();
+        assert_eq!(err.code, "bad_frame");
+        let err = parse_frame("{\"schema\":\"other-v9\",\"type\":\"ping\"}").unwrap_err();
+        assert_eq!(err.code, "bad_frame");
+    }
+
+    #[test]
+    fn semantic_errors_echo_the_id() {
+        let err = parse_frame("{\"type\":\"query\",\"id\":42}").unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        assert_eq!(err.id, Some(42));
+        let err = parse_frame("{\"type\":\"warp\",\"id\":3}").unwrap_err();
+        assert_eq!(err.id, Some(3));
+        // Bad row shapes are caught at the frame boundary.
+        let err = parse_frame(
+            "{\"type\":\"query\",\"id\":1,\"query\":\"Q(a) :- R(a)\",\"relations\":{\"R\":[[1.5]]}}",
+        )
+        .unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        assert!(err.detail.contains("integers"));
+    }
+
+    #[test]
+    fn embedded_fault_plans_parse_and_reject() {
+        let line = "{\"type\":\"query\",\"id\":1,\"query\":\"Q(a) :- R(a)\",\
+                    \"fault_plan\":{\"schema\":\"mpcjoin-faultplan-v1\",\"seed\":9,\
+                    \"max_retries\":4,\"backoff_us\":0,\"faults\":[{\"kind\":\"reorder\",\"round\":1}]}}";
+        let Frame::Query(req) = parse_frame(line).unwrap() else {
+            panic!("expected a query frame");
+        };
+        assert!(req.fault_plan.is_some());
+        let err = parse_frame(
+            "{\"type\":\"query\",\"id\":1,\"query\":\"Q(a) :- R(a)\",\"fault_plan\":{\"nope\":1}}",
+        )
+        .unwrap_err();
+        assert_eq!(err.code, "invalid_fault_plan");
+    }
+
+    #[test]
+    fn response_frames_parse_back() {
+        let body = "{\"plan\":\"MatMul\",\"load\":12,\"rows\":[]}";
+        let line = result_frame(9, true, 1234, None, body);
+        let view = ResponseView::parse(&line).unwrap();
+        assert_eq!(view.kind, "result");
+        assert_eq!(view.id, Some(9));
+        assert!(view.cached);
+        assert_eq!(view.load, Some(12));
+        assert_eq!(view.result.as_deref(), Some(body));
+        assert!(!view.recovered);
+
+        let line = error_frame(Some(3), "overloaded", "queue full", Some(25));
+        let view = ResponseView::parse(&line).unwrap();
+        assert_eq!(view.kind, "error");
+        assert_eq!(view.code.as_deref(), Some("overloaded"));
+        assert_eq!(view.retry_after_ms, Some(25));
+
+        let view = ResponseView::parse(&pong_frame(Some(1))).unwrap();
+        assert_eq!(view.kind, "pong");
+        let view = ResponseView::parse(&shutdown_ack_frame(None, 17)).unwrap();
+        assert_eq!(view.completed, Some(17));
+    }
+
+    #[test]
+    fn result_frame_splices_the_body_verbatim() {
+        // The body is spliced as raw bytes: any deterministic serializer
+        // output survives the frame round-trip bit-exactly.
+        let body = "{\"plan\":\"Line\",\"load\":3,\"rows\":[[[1,7],\"Count(2)\"]]}";
+        let cold = result_frame(1, false, 111, None, body);
+        let hit = result_frame(2, true, 222, None, body);
+        let a = ResponseView::parse(&cold).unwrap().result.unwrap();
+        let b = ResponseView::parse(&hit).unwrap().result.unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, body);
+    }
+}

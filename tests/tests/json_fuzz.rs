@@ -1,0 +1,191 @@
+//! Adversarial-input fuzzing for `mpcjoin::mpc::json`.
+//!
+//! The JSON parser sits on the serving layer's wire boundary
+//! (`mpcjoin-serve` feeds it raw bytes from untrusted clients), so the
+//! contract is strict: `Json::parse` must never panic on *any* input,
+//! and every rejection must carry the byte offset of the problem so
+//! protocol errors are actionable. These tests drive the parser with
+//! seeded deterministic fuzz (the in-tree `DetRng`, no third-party fuzz
+//! framework): truncations and single-byte corruptions of valid
+//! documents, plus unstructured byte soup.
+
+use mpcjoin::mpc::json::Json;
+use mpcjoin::mpc::DetRng;
+
+/// Deterministically generate a random (valid) JSON document.
+fn gen_value(rng: &mut DetRng, depth: usize) -> Json {
+    let pick = if depth >= 3 {
+        rng.gen_range(0u32..4) // leaves only
+    } else {
+        rng.gen_range(0u32..6)
+    };
+    match pick {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen_bool(0.5)),
+        2 => {
+            // Mix of integers, negatives, and fractions.
+            let n = rng.gen_range(0u64..1_000_000) as f64;
+            match rng.gen_range(0u32..3) {
+                0 => Json::Num(n),
+                1 => Json::Num(-n),
+                _ => Json::Num(n / 64.0),
+            }
+        }
+        3 => Json::Str(gen_string(rng)),
+        4 => {
+            let len = rng.gen_range(0usize..4);
+            Json::Arr((0..len).map(|_| gen_value(rng, depth + 1)).collect())
+        }
+        _ => {
+            let len = rng.gen_range(0usize..4);
+            Json::Obj(
+                (0..len)
+                    .map(|_| (gen_string(rng), gen_value(rng, depth + 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Strings exercising escapes, control characters, and multi-byte UTF-8.
+fn gen_string(rng: &mut DetRng) -> String {
+    const POOL: &[char] = &[
+        'a',
+        'B',
+        '7',
+        '_',
+        ' ',
+        '"',
+        '\\',
+        '/',
+        '\n',
+        '\t',
+        '\r',
+        '\u{0}',
+        '\u{1f}',
+        'é',
+        '日',
+        '\u{1F680}',
+        '𝕊',
+    ];
+    let len = rng.gen_range(0usize..8);
+    (0..len)
+        .map(|_| POOL[rng.gen_range(0usize..POOL.len())])
+        .collect()
+}
+
+/// The hardening contract for one adversarial input: parsing must return
+/// (never panic), and any error must name a byte offset.
+fn assert_hardened(input: &str) {
+    if let Err(msg) = Json::parse(input) {
+        assert!(
+            msg.contains("byte "),
+            "error without a byte offset for {input:?}: {msg}"
+        );
+    }
+}
+
+#[test]
+fn truncated_documents_never_panic_and_report_offsets() {
+    let mut rng = DetRng::seed_from_u64(0xA11CE);
+    for round in 0..200 {
+        let doc = gen_value(&mut rng, 0);
+        let text = doc.to_string_compact().expect("generated docs are finite");
+        // Every char-boundary prefix of a valid document.
+        for (cut, _) in text.char_indices() {
+            let prefix = &text[..cut];
+            if prefix == text {
+                continue;
+            }
+            if let Ok(parsed) = Json::parse(prefix) {
+                // A strict prefix may still be valid JSON only when the
+                // document is a number whose prefix is a shorter number
+                // (e.g. `12|3`); anything structured must be rejected.
+                assert!(
+                    matches!(parsed, Json::Num(_)),
+                    "round {round}: structured prefix {prefix:?} of {text:?} parsed"
+                );
+            } else {
+                assert_hardened(prefix);
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupted_documents_never_panic_and_report_offsets() {
+    let mut rng = DetRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..500 {
+        let doc = gen_value(&mut rng, 0);
+        let text = doc.to_string_compact().expect("finite");
+        if text.is_empty() {
+            continue;
+        }
+        let mut bytes = text.clone().into_bytes();
+        // Corrupt 1–3 bytes with arbitrary values (possibly invalid
+        // UTF-8; the parser's entry point takes &str, so re-validate and
+        // skip non-UTF-8 mutations — the wire layer rejects those before
+        // the parser ever sees them).
+        for _ in 0..rng.gen_range(1usize..4) {
+            let at = rng.gen_range(0usize..bytes.len());
+            bytes[at] = (rng.next_u64() & 0xff) as u8;
+        }
+        if let Ok(mutated) = String::from_utf8(bytes) {
+            assert_hardened(&mutated);
+        }
+    }
+}
+
+#[test]
+fn byte_soup_never_panics() {
+    let mut rng = DetRng::seed_from_u64(0x5EED);
+    for _ in 0..500 {
+        let len = rng.gen_range(0usize..64);
+        let soup: String = (0..len)
+            .map(|_| {
+                // Bias toward JSON-significant characters so the fuzzer
+                // reaches deep parser states, with printable ASCII noise.
+                const SIG: &[u8] = b"{}[]\",:\\-0123456789.eEtrufalsn";
+                if rng.gen_bool(0.7) {
+                    SIG[rng.gen_range(0usize..SIG.len())] as char
+                } else {
+                    char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap()
+                }
+            })
+            .collect();
+        assert_hardened(&soup);
+    }
+}
+
+#[test]
+fn known_truncations_name_the_right_offset() {
+    // Pin offsets for a few hand-built frames so the "byte offset" claim
+    // is not merely "some number appears in the message".
+    let cases: [(&str, &str); 5] = [
+        ("", "byte 0"),
+        ("{\"k\": ", "byte 6"),
+        ("[1, 2", "byte 5"),
+        ("{\"k\" 1}", "byte 5"),
+        ("\"abc", "byte 0"), // unterminated string: offset of its opening quote
+    ];
+    for (input, expected) in cases {
+        let err = Json::parse(input).expect_err(input);
+        assert!(
+            err.contains(expected),
+            "{input:?}: expected {expected:?} in {err:?}"
+        );
+    }
+}
+
+#[test]
+fn valid_documents_still_round_trip_after_hardening() {
+    // The fuzz hardening must not have changed the accepted language:
+    // generated documents round-trip bit-exactly.
+    let mut rng = DetRng::seed_from_u64(42);
+    for _ in 0..200 {
+        let doc = gen_value(&mut rng, 0);
+        let text = doc.to_string_compact().expect("finite");
+        let back = Json::parse(&text).expect("valid doc parses");
+        assert_eq!(back.to_string_compact().expect("finite"), text);
+    }
+}
