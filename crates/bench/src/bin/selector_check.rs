@@ -1,0 +1,112 @@
+//! `selector_check` — compare the cost-based selector against the
+//! heuristic dispatch and every forced physical alternative on the
+//! Table-1 workload grid.
+//!
+//! For each workload the harness runs the engine once per strategy and
+//! prints measured load next to the compiler's predicted bound (the same
+//! `predict_bound` the auditor uses). The process exits nonzero when the
+//! cost-based choice is ever slower than the heuristic dispatch — the
+//! selection-quality guarantee the hysteretic margin is supposed to
+//! enforce — or when any forced plan's output disagrees.
+//!
+//! Run with: `cargo run -p mpcjoin-bench --release --bin selector_check [scale]`
+
+use mpcjoin::compiler::{applicable, predict_bound};
+use mpcjoin::prelude::*;
+use mpcjoin::workload::{chain, matrix, star, trees};
+use mpcjoin::QueryEngine;
+use mpcjoin_bench::{emit, Cell, Table};
+use std::process::ExitCode;
+
+fn workloads(scale: u64) -> Vec<(String, TreeQuery, Vec<Relation<Count>>)> {
+    let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+    let mm = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c]);
+    let mut cases = Vec::new();
+    for side in [2u64, 8, 32] {
+        let inst = matrix::blocks::<Count>((a, b, c), (96 * scale / (4 * side)).max(1), side, 2);
+        cases.push((
+            format!("mm side={side}"),
+            mm.clone(),
+            vec![inst.r1, inst.r2],
+        ));
+    }
+    for k in [2u64, 8] {
+        let inst = chain::funnel::<Count>(8 * scale, k, 4);
+        cases.push((format!("line k={k}"), inst.query, inst.rels));
+    }
+    for centers in [1u64, 4] {
+        let inst = star::overlapping::<Count>(3, centers * scale, 8);
+        cases.push((format!("star centers={centers}"), inst.query, inst.rels));
+    }
+    let q = trees::figure3_query();
+    for centers in [2u64, 4] {
+        let inst = trees::overlapping_instance::<Count>(&q, centers * scale, 3);
+        cases.push((format!("tree centers={centers}"), inst.query, inst.rels));
+    }
+    cases
+}
+
+fn main() -> ExitCode {
+    mpcjoin_bench::init_threads();
+    let scale: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let p = 16usize;
+    println!("selector check (p = {p}, instance scale {scale})");
+
+    let mut rows = Vec::new();
+    let mut failures = 0usize;
+    for (name, q, rels) in workloads(scale) {
+        let sizes: Vec<u64> = rels.iter().map(|r| r.len() as u64).collect();
+        let chosen = QueryEngine::new(p)
+            .plan(PlanChoice::CostBased)
+            .run(&q, &rels)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let heuristic = QueryEngine::new(p)
+            .plan(PlanChoice::Heuristic)
+            .run(&q, &rels)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        if chosen.cost.load > heuristic.cost.load {
+            println!(
+                "FAIL {name}: cost-based {:?} load {} > heuristic {:?} load {}",
+                chosen.plan, chosen.cost.load, heuristic.plan, heuristic.cost.load
+            );
+            failures += 1;
+        }
+        let reference = chosen.output.canonical();
+        for kind in applicable(&q) {
+            let forced = QueryEngine::new(p)
+                .plan(PlanChoice::Force(kind))
+                .run(&q, &rels)
+                .unwrap_or_else(|e| panic!("{name}: forced {kind:?}: {e}"));
+            if forced.output.canonical() != reference {
+                println!("FAIL {name}: forced {kind:?} output disagrees");
+                failures += 1;
+            }
+            let out = forced.output.len() as u64;
+            rows.push(vec![
+                Cell::Text(name.clone()),
+                Cell::Text(format!("{kind:?}")),
+                Cell::Text(if kind == chosen.plan { "chosen" } else { "" }.into()),
+                Cell::Int(forced.cost.load),
+                Cell::Float(predict_bound(kind, &q, &sizes, out, p as u64)),
+            ]);
+        }
+    }
+    let table = Table {
+        title: format!("Cost-based selection vs forced alternatives (p = {p})"),
+        header: ["workload", "plan", "", "load", "predicted bound"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows,
+    };
+    emit(&table, "selector_check");
+    if failures > 0 {
+        println!("selector check FAILED: {failures} violations");
+        return ExitCode::FAILURE;
+    }
+    println!("selector check OK: cost-based choice never lost to the heuristic dispatch");
+    ExitCode::SUCCESS
+}

@@ -89,6 +89,7 @@ pub fn table1_mm(ps: &[usize], scale: u64) -> (Table, Vec<BenchRecord>) {
                 Cell::Int(inst.out),
                 Cell::Int(base.cost.load),
                 Cell::Int(new.cost.load),
+                Cell::Text(format!("{:?}", new.plan)),
                 Cell::Float(theory::yannakakis_mm_bound(2 * n, inst.out, p as u64)),
                 Cell::Float(theory::new_mm_bound(n, n, inst.out, p as u64)),
                 Cell::Float(base.cost.load as f64 / new.cost.load.max(1) as f64),
@@ -114,6 +115,7 @@ pub fn table1_mm(ps: &[usize], scale: u64) -> (Table, Vec<BenchRecord>) {
             "OUT",
             "base load",
             "new load",
+            "plan",
             "base bound",
             "new bound",
             "speedup",
@@ -154,6 +156,7 @@ pub fn table1_mm_unequal(p: usize, scale: u64) -> (Table, Vec<BenchRecord>) {
             Cell::Int(inst.out),
             Cell::Int(base.cost.load),
             Cell::Int(new.cost.load),
+            Cell::Text(format!("{:?}", new.plan)),
             Cell::Float(theory::new_mm_bound(n1, n2, inst.out, p as u64)),
             aratio,
             audit,
@@ -176,6 +179,7 @@ pub fn table1_mm_unequal(p: usize, scale: u64) -> (Table, Vec<BenchRecord>) {
             "OUT",
             "base load",
             "new load",
+            "plan",
             "new bound",
             "ratio",
             "audit",
@@ -207,6 +211,7 @@ pub fn table1_line(p: usize, scale: u64) -> (Table, Vec<BenchRecord>) {
             Cell::Int(inst.out),
             Cell::Int(base.cost.load),
             Cell::Int(new.cost.load),
+            Cell::Text(format!("{:?}", new.plan)),
             Cell::Float(theory::yannakakis_line_bound(n, inst.out, p as u64)),
             Cell::Float(theory::new_star_line_bound(n, inst.out, p as u64)),
             Cell::Float(base.cost.load as f64 / new.cost.load.max(1) as f64),
@@ -230,6 +235,7 @@ pub fn table1_line(p: usize, scale: u64) -> (Table, Vec<BenchRecord>) {
             "OUT",
             "base load",
             "new load",
+            "plan",
             "base bound",
             "new bound",
             "speedup",
@@ -262,6 +268,7 @@ pub fn table1_star(p: usize, scale: u64) -> (Table, Vec<BenchRecord>) {
             Cell::Int(inst.out),
             Cell::Int(base.cost.load),
             Cell::Int(new.cost.load),
+            Cell::Text(format!("{:?}", new.plan)),
             Cell::Float(theory::yannakakis_star_bound(n, inst.out, p as u64, 3)),
             Cell::Float(theory::new_star_line_bound(n, inst.out, p as u64)),
             Cell::Float(base.cost.load as f64 / new.cost.load.max(1) as f64),
@@ -285,6 +292,7 @@ pub fn table1_star(p: usize, scale: u64) -> (Table, Vec<BenchRecord>) {
             "OUT",
             "base load",
             "new load",
+            "plan",
             "base bound",
             "new bound",
             "speedup",
@@ -316,6 +324,7 @@ pub fn table1_tree(p: usize, scale: u64) -> (Table, Vec<BenchRecord>) {
             Cell::Int(inst.out),
             Cell::Int(base.cost.load),
             Cell::Int(new.cost.load),
+            Cell::Text(format!("{:?}", new.plan)),
             Cell::Float(theory::yannakakis_line_bound(n, inst.out, p as u64)),
             Cell::Float(theory::new_tree_bound(n, inst.out, p as u64)),
             ratio,
@@ -338,6 +347,7 @@ pub fn table1_tree(p: usize, scale: u64) -> (Table, Vec<BenchRecord>) {
             "OUT",
             "base load",
             "new load",
+            "plan",
             "base bound",
             "new bound",
             "ratio",

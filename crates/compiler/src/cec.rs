@@ -1,0 +1,93 @@
+//! Canonical edge covers (Tao, 2201.03832, §3).
+//!
+//! An *edge cover* of the query hypergraph picks a subset of relations
+//! touching every attribute; the *canonical* one is the deterministic
+//! greedy cover that (1) takes every leaf attribute's unique edge —
+//! forced, a cover has no choice there — and then (2) sweeps the
+//! remaining attributes in order, adding the lowest-index incident edge
+//! for any attribute still uncovered. On trees this is minimum, and the
+//! non-cover edges are exactly the relations the §7 reduction can fold
+//! into a cover neighbour — which is why [`crate::PlanKind::CanonicalEdgeCover`]
+//! executes as "fold the complement, Yannakakis the cover".
+
+use mpcjoin_query::TreeQuery;
+
+/// The canonical edge cover of `q`: sorted edge indices.
+pub fn canonical_edge_cover(q: &TreeQuery) -> Vec<usize> {
+    let attrs = q.attrs();
+    let mut in_cover = vec![false; q.edges().len()];
+
+    // Forced picks: every degree-1 attribute's unique edge.
+    for &a in &attrs {
+        if q.degree(a) == 1 {
+            let e = (0..q.edges().len())
+                .find(|&i| q.edges()[i].contains(a))
+                .expect("degree-1 attribute has an incident edge");
+            in_cover[e] = true;
+        }
+    }
+    // Greedy sweep for anything still uncovered.
+    for &a in &attrs {
+        let is_covered = (0..q.edges().len()).any(|i| in_cover[i] && q.edges()[i].contains(a));
+        if !is_covered {
+            let e = (0..q.edges().len())
+                .find(|&i| q.edges()[i].contains(a))
+                .expect("every attribute is in some relation");
+            in_cover[e] = true;
+        }
+    }
+
+    (0..q.edges().len()).filter(|&i| in_cover[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_query::Edge;
+    use mpcjoin_relation::Attr;
+
+    const A: Attr = Attr(0);
+    const B: Attr = Attr(1);
+    const C: Attr = Attr(2);
+    const D: Attr = Attr(3);
+
+    #[test]
+    fn chain_cover_takes_the_end_edges() {
+        // A–B–C–D: leaves A and D force edges 0 and 2; B and C are then
+        // covered, so the middle edge stays out.
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, B), Edge::binary(B, C), Edge::binary(C, D)],
+            [A, D],
+        );
+        assert_eq!(canonical_edge_cover(&q), vec![0, 2]);
+    }
+
+    #[test]
+    fn star_cover_is_every_arm() {
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, D), Edge::binary(B, D), Edge::binary(C, D)],
+            [A, B, C],
+        );
+        assert_eq!(canonical_edge_cover(&q), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cover_touches_every_attribute() {
+        let q = TreeQuery::new(
+            vec![
+                Edge::binary(A, B),
+                Edge::binary(B, C),
+                Edge::binary(C, D),
+                Edge::binary(D, Attr(4)),
+            ],
+            [A, Attr(4)],
+        );
+        let cover = canonical_edge_cover(&q);
+        for a in q.attrs() {
+            assert!(
+                cover.iter().any(|&e| q.edges()[e].contains(a)),
+                "attribute {a:?} uncovered"
+            );
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The shared cost model: Table-1 bound formulas keyed by [`PlanKind`].
+//!
+//! This is the *single* implementation of "what load should plan `k` incur
+//! on instance `(sizes, OUT, p)`": the core `BoundAuditor` calls
+//! [`predict_bound`] to audit finished runs, and the compiler's enumerator
+//! calls it (with estimated `OUT`) to price candidates. One code path, so
+//! a cost-model bug is caught by the existing zero-violation audit tests.
+
+use crate::plan::PlanKind;
+use mpcjoin_matmul::theory;
+use mpcjoin_query::{classify, plan_reduction, Shape, TreeQuery};
+
+/// The closed-form bound (in load units, constants stripped) for `plan`
+/// executed on an instance with the given per-edge relation sizes, output
+/// size, and server count.
+///
+/// `Line`/`Star`/`StarLike` share the paper's star/line bound and `Tree`
+/// uses Theorem 6, both parameterized by `N = max |R_i|` (the convention
+/// of Table 1 and the bench harness). The Yannakakis baseline is audited
+/// against *its own* Table-1 column, which depends on the query shape it
+/// ran on. `CanonicalEdgeCover` is priced as its fold passes (one
+/// linear pass over the instance per fold) plus the Yannakakis column of
+/// the residual query left after folding.
+pub fn predict_bound(plan: PlanKind, q: &TreeQuery, sizes: &[u64], out: u64, p: u64) -> f64 {
+    let n_max = sizes.iter().copied().max().unwrap_or(0);
+    let n_total: u64 = sizes.iter().sum();
+    match plan {
+        PlanKind::MatMul => {
+            let (n1, n2) = match classify(q) {
+                Shape::MatMul { r1, r2, .. } => (sizes[r1], sizes[r2]),
+                _ => (n_max, n_max),
+            };
+            theory::new_mm_bound(n1, n2, out, p)
+        }
+        PlanKind::Line | PlanKind::Star | PlanKind::StarLike => {
+            theory::new_star_line_bound(n_max, out, p)
+        }
+        PlanKind::Tree => theory::new_tree_bound(n_max, out, p),
+        PlanKind::FreeConnexYannakakis => match classify(q) {
+            Shape::FreeConnex => theory::yannakakis_free_connex_bound(n_total, out, p),
+            Shape::MatMul { r1, r2, .. } => {
+                theory::yannakakis_mm_bound(sizes[r1] + sizes[r2], out, p)
+            }
+            Shape::Star { arms, .. } => {
+                theory::yannakakis_star_bound(n_max, out, p, arms.len() as u32)
+            }
+            _ => theory::yannakakis_line_bound(n_max, out, p),
+        },
+        PlanKind::CanonicalEdgeCover => {
+            let red = plan_reduction(q);
+            let fold_cost = red.steps.len() as f64 * n_total as f64 / p as f64;
+            let kept_sizes: Vec<u64> = red.kept.iter().map(|&i| sizes[i]).collect();
+            let kept_max = kept_sizes.iter().copied().max().unwrap_or(0);
+            let kept_total: u64 = kept_sizes.iter().sum();
+            let core = if red.reduced.edges().len() <= 1 {
+                theory::yannakakis_free_connex_bound(kept_total, out, p)
+            } else {
+                match classify(&red.reduced) {
+                    Shape::FreeConnex => theory::yannakakis_free_connex_bound(kept_total, out, p),
+                    Shape::MatMul { r1, r2, .. } => {
+                        theory::yannakakis_mm_bound(kept_sizes[r1] + kept_sizes[r2], out, p)
+                    }
+                    Shape::Star { arms, .. } => {
+                        theory::yannakakis_star_bound(kept_max, out, p, arms.len() as u32)
+                    }
+                    _ => theory::yannakakis_line_bound(kept_max, out, p),
+                }
+            };
+            fold_cost + core
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_query::Edge;
+    use mpcjoin_relation::Attr;
+
+    const A: Attr = Attr(0);
+    const B: Attr = Attr(1);
+    const C: Attr = Attr(2);
+    const D: Attr = Attr(3);
+
+    fn mm_query() -> TreeQuery {
+        TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, C])
+    }
+
+    #[test]
+    fn matmul_bound_uses_both_relation_sizes() {
+        let b = predict_bound(
+            PlanKind::MatMul,
+            &mm_query(),
+            &[1 << 10, 1 << 14],
+            1 << 12,
+            64,
+        );
+        assert!((b - theory::new_mm_bound(1 << 10, 1 << 14, 1 << 12, 64)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_bound_follows_query_shape() {
+        let b = predict_bound(
+            PlanKind::FreeConnexYannakakis,
+            &mm_query(),
+            &[100, 100],
+            50,
+            8,
+        );
+        assert!((b - theory::yannakakis_mm_bound(200, 50, 8)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cec_on_irreducible_query_is_the_yannakakis_column() {
+        // MatMul is irreducible: no folds, the CEC bound is exactly the
+        // baseline's matmul column.
+        let b = predict_bound(
+            PlanKind::CanonicalEdgeCover,
+            &mm_query(),
+            &[100, 120],
+            50,
+            8,
+        );
+        assert!((b - theory::yannakakis_mm_bound(220, 50, 8)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cec_charges_one_linear_pass_per_fold() {
+        // A — B — C — D with y = {A}: two folds, one surviving relation.
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, B), Edge::binary(B, C), Edge::binary(C, D)],
+            [A],
+        );
+        let sizes = [100u64, 100, 100];
+        let b = predict_bound(PlanKind::CanonicalEdgeCover, &q, &sizes, 10, 8);
+        let folds = 2.0 * 300.0 / 8.0;
+        let core = theory::yannakakis_free_connex_bound(100, 10, 8);
+        assert!((b - folds - core).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,189 @@
+//! `explain()`: the compiler's user-facing artifact — chosen plan,
+//! rejected alternatives, predicted bounds, and the lowered operator DAG
+//! — with a stable JSON rendering (schema [`PLAN_SCHEMA`]).
+
+use crate::enumerate::{enumerate_plans, Candidate};
+use crate::ir::{lower, LogicalOp, LogicalPlan};
+use crate::plan::PlanKind;
+use crate::stats::Stats;
+use mpcjoin_mpc::json::Json;
+use mpcjoin_query::{AttrNames, TreeQuery};
+use mpcjoin_relation::Attr;
+
+/// Schema tag of the explain JSON document.
+pub const PLAN_SCHEMA: &str = "mpcjoin-plan-v1";
+
+/// The full compilation result for one query on one instance.
+#[derive(Clone, Debug)]
+pub struct Explain {
+    /// The selected physical strategy.
+    pub chosen: PlanKind,
+    /// Every applicable strategy with predicted bound and verdict
+    /// (structural pick first; exactly one `selected`).
+    pub candidates: Vec<Candidate>,
+    /// The statistics the candidates were priced on.
+    pub stats: Stats,
+    /// Server count the plan was compiled for.
+    pub p: u64,
+    /// The chosen strategy lowered to the logical plan IR.
+    pub plan: LogicalPlan,
+}
+
+/// Compile `q`: collect nothing (statistics come in via `stats`),
+/// enumerate and price candidates, select, and lower the winner.
+pub fn explain(q: &TreeQuery, stats: Stats, p: u64) -> Explain {
+    let candidates = enumerate_plans(q, &stats, p);
+    let chosen = candidates
+        .iter()
+        .find(|c| c.selected)
+        .expect("exactly one candidate is selected")
+        .kind;
+    let plan = lower(q, chosen, &stats.sizes, stats.out, p);
+    Explain {
+        chosen,
+        candidates,
+        stats,
+        p,
+        plan,
+    }
+}
+
+impl Explain {
+    /// Serialize as a `mpcjoin-plan-v1` JSON document. `names` (from a
+    /// parse) labels attributes; without it they print as `x<i>`.
+    pub fn to_json(&self, names: Option<&AttrNames>) -> Json {
+        let label = |a: Attr| -> String {
+            match names {
+                Some(n) if (a.0 as usize) < n.len() => n.name(a).to_string(),
+                _ => format!("x{}", a.0),
+            }
+        };
+        let attr_arr = |attrs: &[Attr]| -> Json {
+            Json::Arr(attrs.iter().map(|&a| Json::Str(label(a))).collect())
+        };
+        let candidates: Vec<Json> = self
+            .candidates
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("plan".into(), Json::Str(format!("{:?}", c.kind))),
+                    ("bound".into(), Json::Num(c.bound)),
+                    ("selected".into(), Json::Bool(c.selected)),
+                    ("reason".into(), Json::Str(c.reason.clone())),
+                ])
+            })
+            .collect();
+        let operators: Vec<Json> = self
+            .plan
+            .nodes
+            .iter()
+            .map(|n| {
+                let mut fields = vec![("op".into(), Json::Str(n.op.name().into()))];
+                match &n.op {
+                    LogicalOp::Scan { edge } => {
+                        fields.push(("edge".into(), Json::Num(*edge as f64)));
+                    }
+                    LogicalOp::SemijoinReduce { on } => {
+                        fields.push(("on".into(), attr_arr(on)));
+                    }
+                    LogicalOp::Exchange { by } => {
+                        fields.push(("by".into(), attr_arr(by)));
+                    }
+                    LogicalOp::StarContract { center } => {
+                        fields.push(("center".into(), Json::Str(label(*center))));
+                    }
+                    LogicalOp::TwigEval { shape } => {
+                        fields.push(("shape".into(), Json::Str((*shape).into())));
+                    }
+                    LogicalOp::AggregateProject { output } => {
+                        fields.push(("output".into(), attr_arr(output)));
+                    }
+                }
+                fields.push((
+                    "inputs".into(),
+                    Json::Arr(n.inputs.iter().map(|&i| Json::Num(i as f64)).collect()),
+                ));
+                fields.push((
+                    "bound".into(),
+                    n.bound.map_or(Json::Null, |b| {
+                        if b.is_finite() {
+                            Json::Num(b)
+                        } else {
+                            Json::Null
+                        }
+                    }),
+                ));
+                Json::Obj(fields)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(PLAN_SCHEMA.into())),
+            ("chosen".into(), Json::Str(format!("{:?}", self.chosen))),
+            ("p".into(), Json::Num(self.p as f64)),
+            (
+                "sizes".into(),
+                Json::Arr(
+                    self.stats
+                        .sizes
+                        .iter()
+                        .map(|&s| Json::Num(s as f64))
+                        .collect(),
+                ),
+            ),
+            ("estimated_out".into(), Json::Num(self.stats.out as f64)),
+            ("candidates".into(), Json::Arr(candidates)),
+            ("operators".into(), Json::Arr(operators)),
+        ])
+    }
+
+    /// Render the chosen plan's operator DAG as Graphviz DOT (see
+    /// [`LogicalPlan::to_dot`]).
+    pub fn to_dot(&self, names: Option<&AttrNames>) -> String {
+        self.plan.to_dot(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_query::{parse_query, Edge};
+
+    const A: Attr = Attr(0);
+    const B: Attr = Attr(1);
+    const C: Attr = Attr(2);
+
+    #[test]
+    fn explain_json_is_stable_and_schema_tagged() {
+        let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, C]);
+        let stats = Stats {
+            sizes: vec![100, 120],
+            out: 50,
+        };
+        let ex = explain(&q, stats, 8);
+        assert_eq!(ex.chosen, PlanKind::MatMul);
+        let doc = ex.to_json(None);
+        let text = doc.to_string_compact().expect("finite");
+        assert!(text.contains("\"schema\":\"mpcjoin-plan-v1\""));
+        assert!(text.contains("\"chosen\":\"MatMul\""));
+        // Round-trips through the parser and is byte-stable.
+        let reparsed = Json::parse(&text).expect("valid JSON");
+        assert_eq!(reparsed.to_string_compact().expect("finite"), text);
+    }
+
+    #[test]
+    fn explain_uses_parse_names() {
+        let parsed = parse_query("Q(src, dst) :- R(src, mid), S(mid, dst).").unwrap();
+        let stats = Stats {
+            sizes: vec![10, 10],
+            out: 5,
+        };
+        let ex = explain(&parsed.query, stats, 4);
+        let text = ex
+            .to_json(Some(&parsed.names))
+            .to_string_compact()
+            .expect("finite");
+        assert!(text.contains("\"by\":[\"mid\"]"), "{text}");
+        let dot = ex.to_dot(Some(&parsed.names));
+        assert!(dot.contains("exchange by mid"), "{dot}");
+    }
+}

@@ -1,0 +1,428 @@
+//! The logical plan IR: a typed operator DAG lowered from a [`TreeQuery`]
+//! plus a chosen physical strategy.
+//!
+//! The IR generalizes the §7 machinery into explicit, reusable rewrite
+//! passes: *scan* leaves, *semijoin-reduce* folds (one per
+//! `plan_reduction` step), *star-contract* for §5/§6 hub shapes,
+//! *twig-eval* for the §7 decomposition, *exchange* for the shuffle-based
+//! residual evaluation, and a final *aggregate-project*. Each node
+//! carries the predicted per-operator load (in units); the root carries
+//! the full Table-1 bound of the plan, from the shared
+//! [`crate::cost::predict_bound`].
+//!
+//! The module also hosts [`render_query`], the IR-level pretty-printer
+//! back to the datalog surface syntax — `parse_query ∘ render_query` is
+//! the identity on parsed queries, which the seeded round-trip tests
+//! lean on.
+
+use crate::cost::predict_bound;
+use crate::plan::PlanKind;
+use mpcjoin_query::{
+    classify, decompose_twigs, dot_dag, plan_reduction, AttrNames, Shape, TreeQuery,
+};
+use mpcjoin_relation::Attr;
+use std::fmt::Write as _;
+
+/// One logical operator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogicalOp {
+    /// Read edge `edge`'s base relation.
+    Scan { edge: usize },
+    /// Fold the second input into the first, grouping by `on`
+    /// (a §7 reduce step: `w(t') ← w(t') ⊗ Σ w(t)`).
+    SemijoinReduce { on: Vec<Attr> },
+    /// Shuffle-based residual evaluation partitioned by `by`
+    /// (the Yannakakis sweeps, or the matmul grid routing).
+    Exchange { by: Vec<Attr> },
+    /// Contract a star(-like) hub at `center` (§5/§6).
+    StarContract { center: Attr },
+    /// Evaluate one twig of the §7 decomposition by its most specific
+    /// algorithm (`shape` names it).
+    TwigEval { shape: &'static str },
+    /// Project onto `output` and aggregate away the rest.
+    AggregateProject { output: Vec<Attr> },
+}
+
+impl LogicalOp {
+    /// Short operator name for diagrams and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LogicalOp::Scan { .. } => "scan",
+            LogicalOp::SemijoinReduce { .. } => "semijoin-reduce",
+            LogicalOp::Exchange { .. } => "exchange",
+            LogicalOp::StarContract { .. } => "star-contract",
+            LogicalOp::TwigEval { .. } => "twig-eval",
+            LogicalOp::AggregateProject { .. } => "aggregate-project",
+        }
+    }
+}
+
+/// One node of the operator DAG.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Node {
+    /// The operator.
+    pub op: LogicalOp,
+    /// Indices of input nodes (empty for scans).
+    pub inputs: Vec<usize>,
+    /// Predicted load of this operator in units (`None` when the cost
+    /// model has no per-operator shape for it).
+    pub bound: Option<f64>,
+}
+
+/// A lowered logical plan: nodes in topological order, the last node is
+/// the root.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogicalPlan {
+    /// The physical strategy this plan lowers.
+    pub kind: PlanKind,
+    /// Operator nodes, topologically ordered.
+    pub nodes: Vec<Node>,
+}
+
+impl LogicalPlan {
+    /// Index of the root (final) operator.
+    pub fn root(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Render the operator DAG as Graphviz DOT, one node per operator
+    /// with its predicted per-operator bound, via the query crate's
+    /// [`dot_dag`] helper.
+    pub fn to_dot(&self, names: Option<&AttrNames>) -> String {
+        let label_attr = |a: Attr| -> String {
+            match names {
+                Some(n) if (a.0 as usize) < n.len() => n.name(a).to_string(),
+                _ => format!("{a}"),
+            }
+        };
+        let attr_list = |attrs: &[Attr]| -> String {
+            attrs
+                .iter()
+                .map(|&a| label_attr(a))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let nodes: Vec<(String, Vec<usize>)> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let mut label = match &n.op {
+                    LogicalOp::Scan { edge } => format!("scan R{edge}"),
+                    LogicalOp::SemijoinReduce { on } => {
+                        format!("semijoin-reduce on {}", attr_list(on))
+                    }
+                    LogicalOp::Exchange { by } => format!("exchange by {}", attr_list(by)),
+                    LogicalOp::StarContract { center } => {
+                        format!("star-contract at {}", label_attr(*center))
+                    }
+                    LogicalOp::TwigEval { shape } => format!("twig-eval [{shape}]"),
+                    LogicalOp::AggregateProject { output } => {
+                        format!("aggregate-project {}", attr_list(output))
+                    }
+                };
+                if let Some(b) = n.bound {
+                    let _ = write!(label, "\\nbound {b:.1}");
+                }
+                (label, n.inputs.clone())
+            })
+            .collect();
+        dot_dag(&format!("plan_{:?}", self.kind), &nodes)
+    }
+}
+
+/// Short name for a twig's shape.
+fn shape_name(s: &Shape) -> &'static str {
+    match s {
+        Shape::FreeConnex => "free-connex",
+        Shape::MatMul { .. } => "matmul",
+        Shape::Line { .. } => "line",
+        Shape::Star { .. } => "star",
+        Shape::StarLike(_) => "star-like",
+        Shape::Twig => "general-twig",
+        Shape::General => "general",
+    }
+}
+
+/// Lower `q` under physical strategy `kind` into the operator DAG, with
+/// per-operator predicted bounds from `(sizes, out, p)`.
+pub fn lower(q: &TreeQuery, kind: PlanKind, sizes: &[u64], out: u64, p: u64) -> LogicalPlan {
+    let pf = p as f64;
+    let n_total: u64 = sizes.iter().sum();
+    let output: Vec<Attr> = q.output().iter().copied().collect();
+    let mut nodes: Vec<Node> = Vec::new();
+    // One scan per edge; `current[e]` tracks the node currently carrying
+    // edge `e`'s data through the rewrite passes.
+    let mut current: Vec<usize> = Vec::with_capacity(q.edges().len());
+    for (e, &sz) in sizes.iter().enumerate() {
+        current.push(nodes.len());
+        nodes.push(Node {
+            op: LogicalOp::Scan { edge: e },
+            inputs: vec![],
+            bound: Some(sz as f64 / pf),
+        });
+    }
+
+    let shape = classify(q);
+    match (kind, &shape) {
+        (PlanKind::MatMul, Shape::MatMul { r1, r2, b, .. }) => {
+            let ex = nodes.len();
+            nodes.push(Node {
+                op: LogicalOp::Exchange { by: vec![*b] },
+                inputs: vec![current[*r1], current[*r2]],
+                bound: Some(n_total as f64 / pf),
+            });
+            current = vec![ex];
+        }
+        (PlanKind::Star, Shape::Star { center, arms }) => {
+            let sc = nodes.len();
+            nodes.push(Node {
+                op: LogicalOp::StarContract { center: *center },
+                inputs: arms.iter().map(|&e| current[e]).collect(),
+                bound: Some(n_total as f64 / pf),
+            });
+            current = vec![sc];
+        }
+        (PlanKind::StarLike, Shape::StarLike(sl)) => {
+            let sc = nodes.len();
+            nodes.push(Node {
+                op: LogicalOp::StarContract { center: sl.center },
+                inputs: current.clone(),
+                bound: Some(n_total as f64 / pf),
+            });
+            current = vec![sc];
+        }
+        (PlanKind::Tree | PlanKind::CanonicalEdgeCover, _) if q.edges().len() > 1 => {
+            let red = plan_reduction(q);
+            for step in &red.steps {
+                let node = nodes.len();
+                nodes.push(Node {
+                    op: LogicalOp::SemijoinReduce {
+                        on: step.on.clone(),
+                    },
+                    inputs: vec![current[step.absorber], current[step.removed]],
+                    bound: Some((sizes[step.absorber] + sizes[step.removed]) as f64 / pf),
+                });
+                current[step.absorber] = node;
+            }
+            let kept_nodes: Vec<usize> = red.kept.iter().map(|&e| current[e]).collect();
+            if kind == PlanKind::CanonicalEdgeCover || red.reduced.edges().len() == 1 {
+                // Residual Yannakakis over the surviving cover relations.
+                let ex = nodes.len();
+                nodes.push(Node {
+                    op: LogicalOp::Exchange {
+                        by: red.reduced.output().iter().copied().collect(),
+                    },
+                    inputs: kept_nodes,
+                    bound: Some(red.kept.iter().map(|&e| sizes[e]).sum::<u64>() as f64 / pf),
+                });
+                current = vec![ex];
+            } else {
+                let twigs = decompose_twigs(&red.reduced);
+                let mut twig_nodes = Vec::with_capacity(twigs.len());
+                for twig in &twigs {
+                    let node = nodes.len();
+                    nodes.push(Node {
+                        op: LogicalOp::TwigEval {
+                            shape: shape_name(&classify(&twig.query)),
+                        },
+                        inputs: twig.parent_edges.iter().map(|&e| kept_nodes[e]).collect(),
+                        bound: Some(
+                            twig.parent_edges
+                                .iter()
+                                .map(|&e| sizes[red.kept[e]])
+                                .sum::<u64>() as f64
+                                / pf,
+                        ),
+                    });
+                    twig_nodes.push(node);
+                }
+                current = twig_nodes;
+            }
+        }
+        // Free-connex, Line, and every fallback pairing: one exchange
+        // pass over all relations (the Yannakakis sweeps / the chain
+        // shuffles), partitioned by the output attributes.
+        _ => {
+            let ex = nodes.len();
+            nodes.push(Node {
+                op: LogicalOp::Exchange { by: output.clone() },
+                inputs: current.clone(),
+                bound: Some(n_total as f64 / pf),
+            });
+            current = vec![ex];
+        }
+    }
+
+    nodes.push(Node {
+        op: LogicalOp::AggregateProject { output },
+        inputs: current,
+        bound: Some(predict_bound(kind, q, sizes, out, p)),
+    });
+    LogicalPlan { kind, nodes }
+}
+
+/// Print `q` back to the datalog surface syntax accepted by
+/// `mpcjoin_query::parse_query`.
+///
+/// With `names` (and, optionally, the original `relation_names`) from a
+/// prior parse, the rendering re-parses to an identical [`TreeQuery`]
+/// and name table: head outputs appear in sorted-`Attr` order — the
+/// interning order of the original parse — and body atoms in edge order.
+/// Without `names`, attributes print as `x<i>` and relations as `R<i>`.
+pub fn render_query(
+    q: &TreeQuery,
+    names: Option<&AttrNames>,
+    relation_names: Option<&[String]>,
+) -> String {
+    let label = |a: Attr| -> String {
+        match names {
+            Some(n) if (a.0 as usize) < n.len() => n.name(a).to_string(),
+            _ => format!("x{}", a.0),
+        }
+    };
+    let mut out = String::from("Q(");
+    let head: Vec<String> = q.output().iter().map(|&a| label(a)).collect();
+    out.push_str(&head.join(", "));
+    out.push_str(") :- ");
+    let atoms: Vec<String> = q
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let name = relation_names
+                .and_then(|ns| ns.get(i).cloned())
+                .unwrap_or_else(|| format!("R{i}"));
+            let attrs: Vec<String> = e.attrs().iter().map(|&a| label(a)).collect();
+            format!("{name}({})", attrs.join(", "))
+        })
+        .collect();
+    out.push_str(&atoms.join(", "));
+    out.push('.');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcjoin_query::{parse_query, Edge};
+
+    const A: Attr = Attr(0);
+    const B: Attr = Attr(1);
+    const C: Attr = Attr(2);
+    const D: Attr = Attr(3);
+
+    #[test]
+    fn matmul_lowering_has_exchange_on_the_join_attr() {
+        let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, C]);
+        let plan = lower(&q, PlanKind::MatMul, &[100, 100], 50, 8);
+        assert_eq!(plan.nodes.len(), 4); // 2 scans, exchange, aggregate
+        assert!(matches!(
+            &plan.nodes[2].op,
+            LogicalOp::Exchange { by } if by == &vec![B]
+        ));
+        let root = &plan.nodes[plan.root()];
+        assert!(
+            matches!(&root.op, LogicalOp::AggregateProject { output } if output == &vec![A, C])
+        );
+        let expect = predict_bound(PlanKind::MatMul, &q, &[100, 100], 50, 8);
+        assert_eq!(root.bound, Some(expect));
+    }
+
+    #[test]
+    fn tree_lowering_emits_folds_and_twigs() {
+        // A–B–C–D–E with y = {A, C, E}: one fold is impossible (already
+        // reduced), two twigs.
+        let e4 = Attr(4);
+        let q = TreeQuery::new(
+            vec![
+                Edge::binary(A, B),
+                Edge::binary(B, C),
+                Edge::binary(C, D),
+                Edge::binary(D, e4),
+            ],
+            [A, C, e4],
+        );
+        let plan = lower(&q, PlanKind::Tree, &[10, 10, 10, 10], 5, 4);
+        let twig_count = plan
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, LogicalOp::TwigEval { .. }))
+            .count();
+        assert_eq!(twig_count, 2);
+        // Both twigs are matmuls.
+        for n in &plan.nodes {
+            if let LogicalOp::TwigEval { shape } = &n.op {
+                assert_eq!(*shape, "matmul");
+            }
+        }
+    }
+
+    #[test]
+    fn folds_show_up_as_semijoin_reduce() {
+        // Non-output tail D: one fold, then a single matmul twig.
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, B), Edge::binary(B, C), Edge::binary(C, D)],
+            [A, C],
+        );
+        let plan = lower(&q, PlanKind::Tree, &[10, 10, 10], 5, 4);
+        assert!(plan
+            .nodes
+            .iter()
+            .any(|n| matches!(&n.op, LogicalOp::SemijoinReduce { on } if on == &vec![C])));
+    }
+
+    #[test]
+    fn cec_lowering_folds_then_exchanges() {
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, B), Edge::binary(B, C), Edge::binary(C, D)],
+            [A, C],
+        );
+        let plan = lower(&q, PlanKind::CanonicalEdgeCover, &[10, 10, 10], 5, 4);
+        assert!(plan
+            .nodes
+            .iter()
+            .any(|n| matches!(n.op, LogicalOp::SemijoinReduce { .. })));
+        assert!(plan
+            .nodes
+            .iter()
+            .any(|n| matches!(n.op, LogicalOp::Exchange { .. })));
+    }
+
+    #[test]
+    fn dot_rendering_lists_operators_and_bounds() {
+        let q = TreeQuery::new(vec![Edge::binary(A, B), Edge::binary(B, C)], [A, C]);
+        let plan = lower(&q, PlanKind::MatMul, &[100, 100], 50, 8);
+        let dot = plan.to_dot(None);
+        assert!(dot.starts_with("digraph"), "{dot}");
+        assert!(dot.contains("scan R0"), "{dot}");
+        assert!(dot.contains("exchange by x1"), "{dot}");
+        assert!(dot.contains("bound"), "{dot}");
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let text = "Q(a, c) :- R(a, b), S(b, c).";
+        let p1 = parse_query(text).expect("valid");
+        let rendered = render_query(&p1.query, Some(&p1.names), Some(&p1.relation_names));
+        let p2 = parse_query(&rendered).expect("re-parses");
+        assert_eq!(p1.query, p2.query);
+        assert_eq!(p1.relation_names, p2.relation_names);
+    }
+
+    #[test]
+    fn render_without_names_is_a_fixpoint() {
+        let q = TreeQuery::new(
+            vec![Edge::binary(A, D), Edge::binary(B, D), Edge::binary(C, D)],
+            [A, B, C],
+        );
+        let r1 = render_query(&q, None, None);
+        let p1 = parse_query(&r1).expect("valid");
+        let r2 = render_query(&p1.query, Some(&p1.names), Some(&p1.relation_names));
+        let p2 = parse_query(&r2).expect("valid");
+        assert_eq!(p1.query, p2.query);
+        assert_eq!(
+            r2,
+            render_query(&p2.query, Some(&p2.names), Some(&p2.relation_names))
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! The query compiler: logical plan IR, plan enumeration, and cost-based
+//! physical plan selection driven by the Table-1 bounds.
+//!
+//! Pipeline (all structural / statistical — no cluster, no simulated
+//! load):
+//!
+//! 1. **Statistics** ([`Stats`]) — per-edge relation sizes plus a *local*
+//!    KMV output-size estimate (the §2.2 sketches run in-process, so
+//!    planning never perturbs the cost ledger).
+//! 2. **Enumeration** ([`enumerate_plans`]) — every applicable
+//!    [`PlanKind`]: the shape's structural algorithm, the §7 tree
+//!    pipeline, the Yannakakis baseline, and the canonical-edge-cover
+//!    variant (Tao, 2201.03832).
+//! 3. **Costing** ([`predict_bound`]) — the Table-1 bound formulas. This
+//!    is the *same* function the core `BoundAuditor` audits finished runs
+//!    with: optimizer and auditor provably share one formula.
+//! 4. **Selection** — hysteretic: the structural pick wins unless an
+//!    alternative's predicted bound is better by more than
+//!    [`PREFERENCE_MARGIN`].
+//! 5. **Lowering** ([`lower`]) — the winner becomes a typed operator DAG
+//!    ([`LogicalPlan`]) with per-operator predicted bounds, renderable as
+//!    DOT or as the stable `mpcjoin-plan-v1` JSON ([`Explain::to_json`]).
+
+mod cec;
+mod cost;
+mod enumerate;
+mod explain;
+mod ir;
+mod plan;
+mod stats;
+
+pub use cec::canonical_edge_cover;
+pub use cost::predict_bound;
+pub use enumerate::{
+    applicable, enumerate_plans, heuristic_kind, select_plan, Candidate, PREFERENCE_MARGIN,
+};
+pub use explain::{explain, Explain, PLAN_SCHEMA};
+pub use ir::{lower, render_query, LogicalOp, LogicalPlan, Node};
+pub use plan::PlanKind;
+pub use stats::Stats;

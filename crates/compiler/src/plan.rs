@@ -1,0 +1,70 @@
+//! The physical plan vocabulary: every algorithm the engine can run.
+//!
+//! [`PlanKind`] used to live in the core planner; it moved here so the
+//! compiler's enumerator, cost model, and the core engine's dispatcher
+//! all speak one type (core re-exports it unchanged).
+
+/// Which top-level plan the engine chose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanKind {
+    /// Free-connex query: the distributed Yannakakis algorithm is already
+    /// output-optimal (§1.2).
+    FreeConnexYannakakis,
+    /// Sparse matrix multiplication (§3, Theorem 1).
+    MatMul,
+    /// Line query (§4, Theorem 4).
+    Line,
+    /// Star query (§5, Theorem 5).
+    Star,
+    /// Star-like query (§6, Lemma 7).
+    StarLike,
+    /// General tree pipeline: reduce → twigs → combine (§7, Theorem 6).
+    Tree,
+    /// Canonical-edge-cover Yannakakis (Tao, "Parallel Acyclic Joins with
+    /// Canonical Edge Covers", 2201.03832): fold every non-cover relation
+    /// into its cover neighbour (the §7 reduction computes exactly the
+    /// complement of a canonical edge cover on binary trees), then run
+    /// the Yannakakis baseline on the covered residual.
+    CanonicalEdgeCover,
+}
+
+impl PlanKind {
+    /// All plan kinds, in enumeration order.
+    pub const ALL: [PlanKind; 7] = [
+        PlanKind::FreeConnexYannakakis,
+        PlanKind::MatMul,
+        PlanKind::Line,
+        PlanKind::Star,
+        PlanKind::StarLike,
+        PlanKind::Tree,
+        PlanKind::CanonicalEdgeCover,
+    ];
+
+    /// The stable lower-case wire name (`auto|…` lists in the CLI and
+    /// server accept these).
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            PlanKind::FreeConnexYannakakis => "yannakakis",
+            PlanKind::MatMul => "matmul",
+            PlanKind::Line => "line",
+            PlanKind::Star => "star",
+            PlanKind::StarLike => "starlike",
+            PlanKind::Tree => "tree",
+            PlanKind::CanonicalEdgeCover => "cec",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_names_are_distinct() {
+        let names: Vec<&str> = PlanKind::ALL.iter().map(|k| k.wire_name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -30,9 +30,8 @@
 //! `20·p`–`28·p` at scale 1, independent of `N`).
 
 use crate::planner::PlanKind;
-use mpcjoin_matmul::theory;
 use mpcjoin_mpc::json::Json;
-use mpcjoin_query::{classify, Shape, TreeQuery};
+use mpcjoin_query::TreeQuery;
 use mpcjoin_relation::Relation;
 use mpcjoin_semiring::Semiring;
 use std::fmt;
@@ -159,32 +158,13 @@ impl BoundAuditor {
     /// convention of Table 1 and the bench harness). The Yannakakis
     /// baseline is audited against *its own* Table-1 column, which
     /// depends on the query shape it ran on.
+    ///
+    /// This delegates to [`mpcjoin_compiler::predict_bound`] — the exact
+    /// function the cost-based planner prices candidates with — so the
+    /// optimizer's predictions and the auditor's verdicts provably come
+    /// from one formula.
     pub fn bound_for(&self, plan: PlanKind, q: &TreeQuery, sizes: &[u64], out: u64, p: u64) -> f64 {
-        let n_max = sizes.iter().copied().max().unwrap_or(0);
-        let n_total: u64 = sizes.iter().sum();
-        match plan {
-            PlanKind::MatMul => {
-                let (n1, n2) = match classify(q) {
-                    Shape::MatMul { r1, r2, .. } => (sizes[r1], sizes[r2]),
-                    _ => (n_max, n_max),
-                };
-                theory::new_mm_bound(n1, n2, out, p)
-            }
-            PlanKind::Line | PlanKind::Star | PlanKind::StarLike => {
-                theory::new_star_line_bound(n_max, out, p)
-            }
-            PlanKind::Tree => theory::new_tree_bound(n_max, out, p),
-            PlanKind::FreeConnexYannakakis => match classify(q) {
-                Shape::FreeConnex => theory::yannakakis_free_connex_bound(n_total, out, p),
-                Shape::MatMul { r1, r2, .. } => {
-                    theory::yannakakis_mm_bound(sizes[r1] + sizes[r2], out, p)
-                }
-                Shape::Star { arms, .. } => {
-                    theory::yannakakis_star_bound(n_max, out, p, arms.len() as u32)
-                }
-                _ => theory::yannakakis_line_bound(n_max, out, p),
-            },
-        }
+        mpcjoin_compiler::predict_bound(plan, q, sizes, out, p)
     }
 
     /// Audit one finished run: evaluate the bound for `plan` on the
@@ -224,6 +204,7 @@ impl BoundAuditor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mpcjoin_matmul::theory;
     use mpcjoin_query::Edge;
     use mpcjoin_relation::Attr;
     use mpcjoin_semiring::Count;

@@ -33,6 +33,16 @@
 //! metrics snapshot (schema `mpcjoin-metrics-v1`, see
 //! `mpcjoin_mpc::metrics`).
 //!
+//! `--plan NAME` selects the planning mode: `auto` (the default) runs
+//! cost-based selection over every applicable algorithm, `heuristic` the
+//! pre-compiler structural dispatch, `baseline` the distributed
+//! Yannakakis comparison point, and a concrete algorithm name
+//! (`matmul|line|star|starlike|tree|yannakakis|cec`) forces it.
+//! `--explain [FILE]` compiles the query without executing it and emits
+//! the `mpcjoin-plan-v1` JSON document — chosen plan, every priced
+//! alternative with its Table-1 bound, and the lowered operator DAG — to
+//! `FILE`, or to stdout when no file is given.
+//!
 //! `--fault-plan FILE` loads a deterministic fault schedule (schema
 //! `mpcjoin-faultplan-v1`, see `mpcjoin_mpc::fault`) and injects it into
 //! the run; the engine recovers transparently — output and measured
@@ -116,9 +126,12 @@ struct Args {
     servers: usize,
     threads: usize,
     semiring: String,
+    plan: PlanChoice,
     baseline: bool,
     limit: usize,
     dot: bool,
+    /// `Some(None)` = explain to stdout, `Some(Some(path))` = to a file.
+    explain: Option<Option<PathBuf>>,
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
     json: bool,
@@ -129,7 +142,8 @@ struct Args {
 fn usage() -> &'static str {
     "usage: mpcjoin-cli --query '<head> :- <body>' --input NAME=FILE [--input NAME=FILE …]\n\
      \x20      [--servers P] [--threads N] [--semiring count|bool|minplus|mincount]\n\
-     \x20      [--baseline] [--limit N] [--dot] [--format text|json]\n\
+     \x20      [--plan auto|costbased|heuristic|baseline|yannakakis|matmul|line|star|starlike|tree|cec]\n\
+     \x20      [--baseline] [--limit N] [--dot] [--explain [FILE]] [--format text|json]\n\
      \x20      [--trace FILE] [--metrics FILE] [--fault-plan FILE] [--fault-seed N]"
 }
 
@@ -140,22 +154,48 @@ fn parse_args() -> Result<Args, String> {
         servers: 16,
         threads: mpcjoin::mpc::exec::available_threads(),
         semiring: "count".to_string(),
+        plan: PlanChoice::Auto,
         baseline: false,
         limit: 20,
         dot: false,
+        explain: None,
         trace: None,
         metrics: None,
         json: false,
         fault_plan: None,
         fault_seed: None,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
-        };
+    // Indexed rather than iterator-driven so `--explain` can take an
+    // *optional* FILE operand (present iff the next word is not a flag).
+    fn take(argv: &[String], i: &mut usize, name: &str) -> Result<String, String> {
+        let v = argv
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{name} needs a value\n{}", usage()))?;
+        *i += 1;
+        Ok(v)
+    }
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        i += 1;
+        let mut value = |name: &str| take(&argv, &mut i, name);
         match flag.as_str() {
+            "--explain" => {
+                args.explain = Some(match argv.get(i) {
+                    Some(next) if !next.starts_with("--") => {
+                        let path = PathBuf::from(next);
+                        i += 1;
+                        Some(path)
+                    }
+                    _ => None,
+                });
+            }
+            "--plan" => {
+                args.plan =
+                    mpcjoin::parse_plan_choice(&value("--plan")?).map_err(|e| e.to_string())?
+            }
             "--query" => args.query = value("--query")?,
             "--input" => {
                 let v = value("--input")?;
@@ -293,11 +333,39 @@ fn run_semiring<S: Semiring + std::fmt::Debug>(
 
     let mut engine = QueryEngine::new(args.servers)
         .threads(args.threads)
+        .plan(args.plan)
         .trace(args.trace.is_some())
         .metrics(args.metrics.is_some());
     if let Some(plan) = load_fault_plan(args)? {
         engine = engine.faults(plan);
     }
+
+    // `--explain`: compile only — emit the mpcjoin-plan-v1 document
+    // (chosen plan, priced alternatives, lowered operator DAG) and skip
+    // execution.
+    if let Some(target) = &args.explain {
+        let ex = engine.explain(&parsed.query, &rels)?;
+        let text = ex
+            .to_json(Some(&parsed.names))
+            .to_string_compact()
+            .map_err(|e| format!("explain document: {e}"))?;
+        match target {
+            Some(path) => {
+                std::fs::write(path, &text).map_err(|e| format!("{}: {e}", path.display()))?;
+                if !args.json {
+                    println!(
+                        "explain: chose {:?} among {} candidates, written to {}",
+                        ex.chosen,
+                        ex.candidates.len(),
+                        path.display()
+                    );
+                }
+            }
+            None => println!("{text}"),
+        }
+        return Ok(());
+    }
+
     let result = engine.run(&parsed.query, &rels)?;
     if args.json {
         let text = result

@@ -42,11 +42,13 @@
 //! | [`mpc`] | the instrumented MPC simulator and §2.1 primitives | §1.3, §2.1 |
 //! | [`sketch`] | KMV output-size estimation | §2.2 |
 //! | [`query`] | tree queries, classification, twigs, skeletons | §1.1, §7 |
+//! | [`compiler`] | logical plan IR, enumeration, cost-based selection | Table 1 |
 //! | [`yannakakis`] | sequential oracle + distributed baseline | §1.2, §1.4 |
 //! | [`matmul`] | Theorem 1 matrix multiplication + hard instances | §3 |
 //! | [`joinagg`] | line / star / star-like / tree algorithms | §4–§7 |
 //! | [`workload`] | deterministic instance generators | experiments |
 
+pub use mpcjoin_compiler as compiler;
 pub use mpcjoin_joinagg as joinagg;
 pub use mpcjoin_matmul as matmul;
 pub use mpcjoin_mpc as mpc;
@@ -68,14 +70,18 @@ pub use mpcjoin_matmul::theory;
 
 pub use audit::{AuditVerdict, BoundAuditor, DEFAULT_SLACK};
 pub use planner::{
-    execute_on, execute_sequential, ExecutionResult, PlanChoice, PlanKind, QueryEngine,
+    execute_on, execute_sequential, parse_plan_choice, ExecutionResult, PlanChoice, PlanKind,
+    QueryEngine, PLAN_NAMES,
 };
 pub use verify::{verify_instance, Verification};
 
 /// The common imports for applications.
 pub mod prelude {
     pub use crate::audit::{AuditVerdict, BoundAuditor};
-    pub use crate::planner::{ExecutionResult, PlanChoice, PlanKind, QueryEngine};
+    pub use crate::planner::{
+        parse_plan_choice, ExecutionResult, PlanChoice, PlanKind, QueryEngine,
+    };
+    pub use mpcjoin_compiler::{Explain, Stats};
     pub use mpcjoin_mpc::{
         Cluster, CostReport, DistRelation, FaultKind, FaultPlan, MetricsSnapshot, MpcError,
         RecoveryReport, Trace,

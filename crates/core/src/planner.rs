@@ -20,49 +20,75 @@
 //! ```
 
 use crate::audit::{AuditVerdict, BoundAuditor};
+use mpcjoin_compiler as compiler;
 use mpcjoin_joinagg::{line_query, star_like_query, star_query, tree_query};
 use mpcjoin_matmul::matmul;
+use mpcjoin_mpc::join::join_aggregate;
 use mpcjoin_mpc::{
     Cluster, CostReport, DistRelation, FaultPlan, MetricsSnapshot, MpcError, RecoveryReport, Trace,
 };
-use mpcjoin_query::{classify, Shape, TreeQuery};
+use mpcjoin_query::{classify, plan_reduction, Shape, TreeQuery};
 use mpcjoin_relation::{Attr, Relation, Row, Schema};
 use mpcjoin_semiring::Semiring;
 use mpcjoin_yannakakis::{distributed_yannakakis, sequential_join_aggregate, validate_instance};
 use std::fmt;
 
-/// Which top-level plan the engine chose.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum PlanKind {
-    /// Free-connex query: the distributed Yannakakis algorithm is already
-    /// output-optimal (§1.2).
-    FreeConnexYannakakis,
-    /// Sparse matrix multiplication (§3, Theorem 1).
-    MatMul,
-    /// Line query (§4, Theorem 4).
-    Line,
-    /// Star query (§5, Theorem 5).
-    Star,
-    /// Star-like query (§6, Lemma 7).
-    StarLike,
-    /// General tree pipeline: reduce → twigs → combine (§7, Theorem 6).
-    Tree,
-}
+/// Which top-level plan the engine chose. Defined in the compiler crate
+/// (the enumeration is the compiler's candidate space) and re-exported
+/// here so engine users keep writing `mpcjoin::PlanKind`.
+pub use mpcjoin_compiler::PlanKind;
 
 /// How [`QueryEngine`] picks the algorithm to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum PlanChoice {
-    /// Classify the query and dispatch to the algorithm with the best
-    /// known load bound (the paper's Table 1 column).
+    /// The default: cost-based selection (an alias of
+    /// [`PlanChoice::CostBased`]). Enumerate every applicable strategy,
+    /// price each with the shared Table-1 cost model
+    /// (`mpcjoin_compiler`), and run the winner. Selection is hysteretic
+    /// (see `mpcjoin_compiler::PREFERENCE_MARGIN`), so the structural
+    /// pick runs unless an alternative is predicted decisively cheaper.
     #[default]
     Auto,
+    /// Cost-based selection, spelled explicitly (what `Auto` does).
+    CostBased,
+    /// The pre-compiler dispatch: classify the query and run its shape's
+    /// algorithm unconditionally, consulting no statistics.
+    Heuristic,
     /// The distributed Yannakakis baseline (§1.4), regardless of shape.
     Baseline,
     /// Force a specific algorithm. [`QueryEngine::run`] returns
     /// [`MpcError::UnsupportedPlan`] if the query's shape does not admit
-    /// it ([`PlanKind::Tree`] and [`PlanKind::FreeConnexYannakakis`]
-    /// accept every tree query).
+    /// it ([`PlanKind::Tree`], [`PlanKind::FreeConnexYannakakis`], and
+    /// [`PlanKind::CanonicalEdgeCover`] accept every tree query).
     Force(PlanKind),
+}
+
+/// The canonical wire names accepted by [`parse_plan_choice`].
+pub const PLAN_NAMES: &str =
+    "auto|costbased|heuristic|baseline|yannakakis|matmul|line|star|starlike|tree|cec";
+
+/// Map a plan name from the wire (CLI `--plan`, server `plan` field) to a
+/// [`PlanChoice`]. Accepts [`PLAN_NAMES`]; anything else is
+/// [`MpcError::UnknownPlan`].
+pub fn parse_plan_choice(name: &str) -> Result<PlanChoice, MpcError> {
+    Ok(match name {
+        "auto" => PlanChoice::Auto,
+        "costbased" => PlanChoice::CostBased,
+        "heuristic" => PlanChoice::Heuristic,
+        "baseline" => PlanChoice::Baseline,
+        "yannakakis" => PlanChoice::Force(PlanKind::FreeConnexYannakakis),
+        "matmul" => PlanChoice::Force(PlanKind::MatMul),
+        "line" => PlanChoice::Force(PlanKind::Line),
+        "star" => PlanChoice::Force(PlanKind::Star),
+        "starlike" => PlanChoice::Force(PlanKind::StarLike),
+        "tree" => PlanChoice::Force(PlanKind::Tree),
+        "cec" => PlanChoice::Force(PlanKind::CanonicalEdgeCover),
+        other => {
+            return Err(MpcError::UnknownPlan(format!(
+                "`{other}` (expected one of {PLAN_NAMES})"
+            )))
+        }
+    })
 }
 
 /// Builder-style entry point for executing a join-aggregate query on the
@@ -173,7 +199,23 @@ impl QueryEngine {
             .collect();
         let output: Vec<Attr> = q.output().iter().copied().collect();
         let (result, plan) = match self.plan {
-            PlanChoice::Auto => execute_on(&mut cluster, q, &dist),
+            PlanChoice::Auto | PlanChoice::CostBased => {
+                // Statistics are collected locally (no cluster, no
+                // simulated load): planning never perturbs the ledger.
+                let stats = compiler::Stats::collect(q, instance);
+                let chosen = compiler::select_plan(q, &stats, self.p as u64);
+                if chosen == compiler::heuristic_kind(q) {
+                    // Same algorithm the structural dispatch would run —
+                    // route through it so the execution (and its measured
+                    // load) is bit-identical to the heuristic engine.
+                    execute_on(&mut cluster, q, &dist)
+                } else {
+                    let picked = run_forced(&mut cluster, chosen, q, &dist)
+                        .expect("enumerated plans apply to every tree query");
+                    (normalize(picked, &output), chosen)
+                }
+            }
+            PlanChoice::Heuristic => execute_on(&mut cluster, q, &dist),
             PlanChoice::Baseline => (
                 normalize(distributed_yannakakis(&mut cluster, q, &dist), &output),
                 PlanKind::FreeConnexYannakakis,
@@ -209,6 +251,24 @@ impl QueryEngine {
             recovery,
         })
     }
+
+    /// Compile `q` for this engine's cluster size without executing it:
+    /// collect local statistics, enumerate and price every applicable
+    /// strategy with the shared Table-1 cost model, and lower the winner
+    /// to the logical plan IR. The returned [`compiler::Explain`]
+    /// serializes to the stable `mpcjoin-plan-v1` JSON document.
+    ///
+    /// Errors with [`MpcError::InvalidInstance`] exactly when
+    /// [`QueryEngine::run`] would.
+    pub fn explain<S: Semiring>(
+        &self,
+        q: &TreeQuery,
+        instance: &[Relation<S>],
+    ) -> Result<compiler::Explain, MpcError> {
+        validate_instance(q, instance)?;
+        let stats = compiler::Stats::collect(q, instance);
+        Ok(compiler::explain(q, stats, self.p as u64))
+    }
 }
 
 /// Run a specific algorithm, checking that the query's shape admits it.
@@ -235,10 +295,50 @@ fn run_forced<S: Semiring>(
             Ok(star_query(cluster, &ordered, center, &endpoints))
         }
         (PlanKind::StarLike, Shape::StarLike(_)) => Ok(star_like_query(cluster, q, rels)),
+        (PlanKind::CanonicalEdgeCover, _) => Ok(canonical_edge_cover_query(cluster, q, rels)),
         (kind, shape) => Err(MpcError::UnsupportedPlan(format!(
             "forced plan {kind:?} does not apply to this query (classified as {shape:?})"
         ))),
     }
+}
+
+/// Execute the canonical-edge-cover plan (Tao, 2201.03832, adapted to
+/// the MPC setting): fold every non-cover relation into its cover
+/// neighbour with the §7 reduce steps — the relations outside the
+/// canonical edge cover are exactly the removable ones — then evaluate
+/// the residual, whose leaves are all outputs, with the distributed
+/// Yannakakis algorithm. Applies to every tree query.
+fn canonical_edge_cover_query<S: Semiring>(
+    cluster: &mut Cluster,
+    q: &TreeQuery,
+    rels: &[DistRelation<S>],
+) -> DistRelation<S> {
+    let output: Vec<Attr> = q.output().iter().copied().collect();
+    if q.edges().len() == 1 {
+        return rels[0].project_aggregate(cluster, &output);
+    }
+
+    cluster.mark_phase("cec: fold non-cover relations");
+    let plan = plan_reduction(q);
+    let mut working: Vec<Option<DistRelation<S>>> = rels.iter().cloned().map(Some).collect();
+    for step in &plan.steps {
+        let removed = working[step.removed].take().expect("fold source alive");
+        let absorber = working[step.absorber].take().expect("fold target alive");
+        let folded = removed.project_aggregate(cluster, &step.on);
+        let keep: Vec<Attr> = absorber.schema().attrs().to_vec();
+        working[step.absorber] = Some(join_aggregate(cluster, &absorber, &folded, &keep));
+    }
+    let kept_rels: Vec<DistRelation<S>> = plan
+        .kept
+        .iter()
+        .map(|&i| working[i].take().expect("kept relation alive"))
+        .collect();
+    if plan.reduced.edges().len() == 1 {
+        return kept_rels[0].project_aggregate(cluster, &output);
+    }
+
+    cluster.mark_phase("cec: Yannakakis on the cover residual");
+    distributed_yannakakis(cluster, &plan.reduced, &kept_rels)
 }
 
 /// Result of executing a query on the simulated cluster.

@@ -49,6 +49,9 @@ pub enum MpcError {
     /// An internal invariant was violated on a hardened path (reported
     /// instead of panicking when a fault plane is installed).
     Internal(String),
+    /// A plan name from the wire (CLI `--plan`, server `plan` field) did
+    /// not match any known strategy.
+    UnknownPlan(String),
 }
 
 impl MpcError {
@@ -64,6 +67,7 @@ impl MpcError {
             MpcError::InvalidFaultPlan(_) => "invalid_fault_plan",
             MpcError::Unrecoverable { .. } => "unrecoverable",
             MpcError::Internal(_) => "internal",
+            MpcError::UnknownPlan(_) => "unknown_plan",
         }
     }
 
@@ -94,6 +98,7 @@ impl fmt::Display for MpcError {
                 write!(f, "unrecoverable fault at round {round}: {detail}")
             }
             MpcError::Internal(msg) => write!(f, "internal error: {msg}"),
+            MpcError::UnknownPlan(msg) => write!(f, "unknown plan: {msg}"),
         }
     }
 }
@@ -124,6 +129,8 @@ mod tests {
         assert!(e.to_string().contains("round 4"));
         let e = MpcError::Internal("slot poisoned".into());
         assert!(e.to_string().contains("internal error"));
+        let e = MpcError::UnknownPlan("`fast` is not a plan".into());
+        assert!(e.to_string().contains("unknown plan"));
     }
 
     #[test]
@@ -141,6 +148,7 @@ mod tests {
                 detail: String::new(),
             },
             MpcError::Internal(String::new()),
+            MpcError::UnknownPlan(String::new()),
         ];
         let codes: Vec<&str> = variants.iter().map(MpcError::code).collect();
         let mut unique = codes.clone();

@@ -154,10 +154,48 @@ pub fn to_dot(q: &TreeQuery, names: Option<&AttrNames>) -> String {
     out
 }
 
+/// Render a generic operator DAG as Graphviz DOT: `nodes[i]` is a label
+/// plus the indices of its input nodes. This is the rendering backend the
+/// compiler's logical plan IR draws with (one box per operator, annotated
+/// with its predicted bound); [`to_dot`] stays the hypergraph view.
+pub fn dot_dag(title: &str, nodes: &[(String, Vec<usize>)]) -> String {
+    let ident: String = title
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let mut out = format!("digraph {ident} {{\n  node [shape=box];\n");
+    for (i, (label, _)) in nodes.iter().enumerate() {
+        let escaped = label.replace('"', "\\\"");
+        let _ = writeln!(out, "  n{i} [label=\"{escaped}\"];");
+    }
+    for (i, (_, inputs)) in nodes.iter().enumerate() {
+        for &j in inputs {
+            let _ = writeln!(out, "  n{j} -> n{i};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::classify::{classify, Shape};
+
+    #[test]
+    fn dag_rendering_links_inputs_to_consumers() {
+        let nodes = vec![
+            ("scan R0".to_string(), vec![]),
+            ("scan R1".to_string(), vec![]),
+            ("exchange by \"b\"".to_string(), vec![0, 1]),
+        ];
+        let dot = dot_dag("plan MatMul", &nodes);
+        assert!(dot.starts_with("digraph plan_MatMul {"), "{dot}");
+        assert!(dot.contains("n0 [label=\"scan R0\"]"), "{dot}");
+        assert!(dot.contains("n0 -> n2;"), "{dot}");
+        assert!(dot.contains("n1 -> n2;"), "{dot}");
+        assert!(dot.contains("\\\"b\\\""), "quotes escaped: {dot}");
+    }
 
     #[test]
     fn builds_matmul_by_name() {

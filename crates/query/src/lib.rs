@@ -24,7 +24,7 @@ mod skeleton;
 mod tree;
 mod twig;
 
-pub use builder::{to_dot, AttrNames, QueryBuilder};
+pub use builder::{dot_dag, to_dot, AttrNames, QueryBuilder};
 pub use classify::{
     classify, detect_star_like, is_free_connex, is_twig, star_like_with_center, Arm, Shape,
     StarLikeShape,

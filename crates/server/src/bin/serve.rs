@@ -157,6 +157,13 @@ fn handle_connection(
                 let _ = TcpStream::connect(local);
                 return;
             }
+            Ok(Frame::Explain(req)) => {
+                // Compilation is statistics-only (no simulated cluster
+                // run), so it is answered inline rather than queued.
+                if !send(&writer, &sched.executor().explain(&req)) {
+                    break;
+                }
+            }
             Ok(Frame::Query(req)) => {
                 let mut req = *req;
                 if req.session.is_empty() {

@@ -22,7 +22,7 @@
 //! response's bytes.
 
 use crate::cache::{digest_tokens, CacheStats, ResultCache};
-use crate::wire::{error_frame, mpc_error_frame, result_frame, QueryRequest};
+use crate::wire::{error_frame, explain_frame, mpc_error_frame, result_frame, QueryRequest};
 use mpcjoin::mpc::json::Json;
 use mpcjoin::prelude::*;
 use mpcjoin::query::{parse_query, ParsedQuery};
@@ -78,8 +78,20 @@ impl Executor {
         }
     }
 
-    /// `Err` carries an already-rendered error frame.
-    fn respond(&self, req: &QueryRequest, started: Instant) -> Result<String, String> {
+    /// Compile one explain request, returning its response frame (an
+    /// `explain` frame carrying the `mpcjoin-plan-v1` document, or an
+    /// error frame). Compilation is statistics-only — no simulated
+    /// cluster runs — so callers may answer explain requests inline
+    /// without going through the execution queue.
+    pub fn explain(&self, req: &QueryRequest) -> String {
+        match self.respond_explain(req) {
+            Ok(frame) | Err(frame) => frame,
+        }
+    }
+
+    /// Parse + validate the request-level fields shared by query and
+    /// explain frames. `Err` carries an already-rendered error frame.
+    fn validate(&self, req: &QueryRequest) -> Result<(ParsedQuery, PlanChoice), String> {
         let parsed = parse_query(&req.query)
             .map_err(|e| error_frame(Some(req.id), "bad_query", &e.to_string(), None))?;
         if req.servers == 0 || req.servers > self.max_servers {
@@ -93,17 +105,57 @@ impl Executor {
                 None,
             ));
         }
-        let choice = plan_choice(&req.plan).ok_or_else(|| {
-            error_frame(
+        let choice =
+            mpcjoin::parse_plan_choice(&req.plan).map_err(|e| mpc_error_frame(req.id, &e))?;
+        Ok((parsed, choice))
+    }
+
+    fn respond_explain(&self, req: &QueryRequest) -> Result<String, String> {
+        let (parsed, choice) = self.validate(req)?;
+        match req.semiring.as_str() {
+            "count" => {
+                self.explain_semiring(
+                    req,
+                    &parsed,
+                    choice,
+                    |w| Count(w.unwrap_or(1).max(0) as u64),
+                )
+            }
+            "bool" => self.explain_semiring(req, &parsed, choice, |_| BoolRing(true)),
+            "minplus" => self.explain_semiring(req, &parsed, choice, |w| {
+                TropicalMin::finite(w.unwrap_or(0))
+            }),
+            "mincount" => {
+                self.explain_semiring(req, &parsed, choice, |w| MinCount::path(w.unwrap_or(0)))
+            }
+            other => Err(error_frame(
                 Some(req.id),
                 "bad_request",
-                &format!(
-                    "unknown plan `{}` (expected auto|baseline|matmul|line|star|starlike|tree|yannakakis)",
-                    req.plan
-                ),
+                &format!("unknown semiring `{other}` (expected count|bool|minplus|mincount)"),
                 None,
-            )
-        })?;
+            )),
+        }
+    }
+
+    fn explain_semiring<S: Semiring>(
+        &self,
+        req: &QueryRequest,
+        parsed: &ParsedQuery,
+        choice: PlanChoice,
+        weight: impl FnMut(Option<i64>) -> S + Copy,
+    ) -> Result<String, String> {
+        let rels = build_relations(req, parsed, weight)?;
+        let engine = self.engine_for(req.servers, &req.plan, choice, false);
+        let ex = engine
+            .explain(&parsed.query, &rels)
+            .map_err(|e| mpc_error_frame(req.id, &e))?;
+        let body = ex.to_json(Some(&parsed.names)).to_string_sanitized();
+        Ok(explain_frame(req.id, &body))
+    }
+
+    /// `Err` carries an already-rendered error frame.
+    fn respond(&self, req: &QueryRequest, started: Instant) -> Result<String, String> {
+        let (parsed, choice) = self.validate(req)?;
         match req.semiring.as_str() {
             "count" => self.run_semiring(req, &parsed, choice, started, |w| {
                 Count(w.unwrap_or(1).max(0) as u64)
@@ -230,21 +282,6 @@ impl Executor {
             }
         }
     }
-}
-
-/// Resolve a wire plan name.
-fn plan_choice(name: &str) -> Option<PlanChoice> {
-    Some(match name {
-        "auto" => PlanChoice::Auto,
-        "baseline" => PlanChoice::Baseline,
-        "matmul" => PlanChoice::Force(PlanKind::MatMul),
-        "line" => PlanChoice::Force(PlanKind::Line),
-        "star" => PlanChoice::Force(PlanKind::Star),
-        "starlike" => PlanChoice::Force(PlanKind::StarLike),
-        "tree" => PlanChoice::Force(PlanKind::Tree),
-        "yannakakis" => PlanChoice::Force(PlanKind::FreeConnexYannakakis),
-        _ => return None,
-    })
 }
 
 /// Bind the request's relation rows to the parsed query's body atoms and
@@ -518,6 +555,40 @@ mod tests {
         let view = ResponseView::parse(&ex.execute(&req)).unwrap();
         assert_eq!(view.code.as_deref(), Some("bad_request"));
         assert_eq!(view.id, Some(5));
+    }
+
+    #[test]
+    fn explain_requests_compile_without_executing() {
+        let ex = executor();
+        let req = request(
+            "{\"type\":\"query\",\"id\":11,\"query\":\"Q(a, c) :- R(a, b), S(b, c)\",\
+             \"servers\":4,\
+             \"relations\":{\"R\":[[1,10],[1,11],[2,10]],\"S\":[[10,7],[11,7]]}}",
+        );
+        let view = ResponseView::parse(&ex.explain(&req)).unwrap();
+        assert_eq!(view.kind, "explain");
+        assert_eq!(view.id, Some(11));
+        let plan = Json::parse(view.plan.as_deref().unwrap()).unwrap();
+        assert_eq!(
+            plan.get("schema").and_then(Json::as_str),
+            Some("mpcjoin-plan-v1")
+        );
+        assert_eq!(plan.get("chosen").and_then(Json::as_str), Some("MatMul"));
+        assert!(plan.get("candidates").and_then(Json::as_arr).is_some());
+        // Compilation is side-effect-free: no cache entry was created.
+        let stats = ex.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+    }
+
+    #[test]
+    fn unknown_plan_names_get_the_typed_error() {
+        let ex = executor();
+        let mut req = mm_request(8);
+        req.plan = "warp".into();
+        let view = ResponseView::parse(&ex.execute(&req)).unwrap();
+        assert_eq!(view.kind, "error");
+        assert_eq!(view.code.as_deref(), Some("unknown_plan"));
+        assert!(view.detail.as_deref().unwrap().contains("cec"));
     }
 
     #[test]

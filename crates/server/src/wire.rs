@@ -1,9 +1,9 @@
 //! The `mpcjoin-wire-v1` protocol: JSONL frames over TCP.
 //!
 //! Every frame is one JSON document on one line. Clients send request
-//! frames (`type`: `query`, `ping`, `stats`, `shutdown`); the server
-//! answers each with exactly one response frame (`result`, `error`,
-//! `pong`, `stats`, `shutdown_ack`). Responses carry the request's `id`,
+//! frames (`type`: `query`, `explain`, `ping`, `stats`, `shutdown`); the
+//! server answers each with exactly one response frame (`result`,
+//! `explain`, `error`, `pong`, `stats`, `shutdown_ack`). Responses carry the request's `id`,
 //! so clients may pipeline; ordering across distinct ids is *not*
 //! guaranteed — queries complete in scheduler order, not arrival order.
 //!
@@ -22,11 +22,22 @@
 //! CLI's file-input convention). Optional fields: `session` (admission
 //! quotas are per-session; defaults to a per-connection identity),
 //! `servers` (simulated cluster width), `plan`
-//! (`auto|baseline|matmul|line|star|starlike|tree|yannakakis`), `limit`
-//! (maximum output rows echoed back; all by default), `delay_ms`
+//! (`auto|costbased|heuristic|baseline|matmul|line|star|starlike|tree|yannakakis|cec`),
+//! `limit` (maximum output rows echoed back; all by default), `delay_ms`
 //! (artificial pre-execution stall — a load-testing/straggler knob),
 //! `fault_plan` (an embedded `mpcjoin-faultplan-v1` document injected
 //! into the run; such runs bypass the result cache) and `fault_seed`.
+//!
+//! ## Explain frames
+//!
+//! A `type: "explain"` request carries the same members as a query frame
+//! and asks the server to *compile* the query — collect statistics,
+//! enumerate and price every applicable plan against the Table-1 cost
+//! model, and lower the winner — without executing it. The response is
+//! an `explain` frame whose `plan` member is the `mpcjoin-plan-v1`
+//! document (see `mpcjoin::compiler`). Explain requests bypass the
+//! result cache and the execution queue: compilation is statistics-only
+//! and runs inline.
 //!
 //! ## Result frames and the cache-determinism invariant
 //!
@@ -70,6 +81,10 @@ pub const WIRE_SCHEMA: &str = mpcjoin::mpc::ERROR_FRAME_SCHEMA;
 pub enum Frame {
     /// Run a query.
     Query(Box<QueryRequest>),
+    /// Compile a query without executing it (cost-based plan selection;
+    /// answered with an `explain` frame carrying the `mpcjoin-plan-v1`
+    /// document).
+    Explain(Box<QueryRequest>),
     /// Liveness probe.
     Ping {
         /// Echoed request id.
@@ -191,7 +206,12 @@ pub fn parse_frame(line: &str) -> Result<Frame, WireError> {
         "ping" => Ok(Frame::Ping { id }),
         "stats" => Ok(Frame::Stats { id }),
         "shutdown" => Ok(Frame::Shutdown { id }),
-        "query" => parse_query_frame(&doc, id).map_err(with_id),
+        "query" => parse_query_frame(&doc, id)
+            .map(|req| Frame::Query(Box::new(req)))
+            .map_err(with_id),
+        "explain" => parse_query_frame(&doc, id)
+            .map(|req| Frame::Explain(Box::new(req)))
+            .map_err(with_id),
         other => Err(with_id(WireError::frame(
             "bad_frame",
             format!("unknown frame type `{other}`"),
@@ -199,7 +219,7 @@ pub fn parse_frame(line: &str) -> Result<Frame, WireError> {
     }
 }
 
-fn parse_query_frame(doc: &Json, id: Option<u64>) -> Result<Frame, WireError> {
+fn parse_query_frame(doc: &Json, id: Option<u64>) -> Result<QueryRequest, WireError> {
     let id = id.ok_or_else(|| WireError::frame("bad_request", "query frames require an `id`"))?;
     let query =
         get_str(doc, "query")?.ok_or_else(|| WireError::frame("bad_request", "missing `query`"))?;
@@ -230,7 +250,7 @@ fn parse_query_frame(doc: &Json, id: Option<u64>) -> Result<Frame, WireError> {
             Some(plan)
         }
     };
-    Ok(Frame::Query(Box::new(QueryRequest {
+    Ok(QueryRequest {
         id,
         session: get_str(doc, "session")?.unwrap_or_default(),
         query,
@@ -241,7 +261,7 @@ fn parse_query_frame(doc: &Json, id: Option<u64>) -> Result<Frame, WireError> {
         limit: get_u64(doc, "limit")?.map(|n| n as usize),
         delay_ms: get_u64(doc, "delay_ms")?.unwrap_or(0),
         fault_plan,
-    })))
+    })
 }
 
 fn parse_rows(name: &str, rows: &Json) -> Result<Vec<Vec<i64>>, WireError> {
@@ -295,6 +315,14 @@ pub fn result_frame(
     format!(
         "{{\"schema\":\"{WIRE_SCHEMA}\",\"type\":\"result\",\"id\":{id},\"cached\":{cached},\
          \"elapsed_ns\":{elapsed_ns},\"recovery\":{recovery},\"result\":{body}}}"
+    )
+}
+
+/// An `explain` frame around an already-serialized `mpcjoin-plan-v1`
+/// document (spliced as raw bytes, like result bodies).
+pub fn explain_frame(id: u64, plan_body: &str) -> String {
+    format!(
+        "{{\"schema\":\"{WIRE_SCHEMA}\",\"type\":\"explain\",\"id\":{id},\"plan\":{plan_body}}}"
     )
 }
 
@@ -359,6 +387,9 @@ pub struct ResponseView {
     pub retry_after_ms: Option<u64>,
     /// `load` from a result body (convenience for load accounting).
     pub load: Option<u64>,
+    /// The `mpcjoin-plan-v1` document of an `explain` frame,
+    /// re-serialized compactly.
+    pub plan: Option<String>,
     /// Whether the frame carried a non-null recovery report.
     pub recovered: bool,
     /// `completed` of a `shutdown_ack`.
@@ -382,6 +413,10 @@ impl ResponseView {
             load: result.and_then(|r| r.get("load")).and_then(Json::as_u64),
             result: result
                 .map(|r| r.to_string_compact().map_err(|e| e.to_string()))
+                .transpose()?,
+            plan: doc
+                .get("plan")
+                .map(|p| p.to_string_compact().map_err(|e| e.to_string()))
                 .transpose()?,
             code: doc.get("code").and_then(Json::as_str).map(str::to_string),
             detail: doc.get("detail").and_then(Json::as_str).map(str::to_string),
@@ -471,6 +506,23 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err.code, "invalid_fault_plan");
+    }
+
+    #[test]
+    fn explain_frames_parse_like_queries_and_answer_with_a_plan() {
+        let line = "{\"type\":\"explain\",\"id\":5,\"query\":\"Q(a,c) :- R(a,b), S(b,c)\",\
+                    \"relations\":{\"R\":[[1,2]],\"S\":[[2,3]]}}";
+        let Frame::Explain(req) = parse_frame(line).unwrap() else {
+            panic!("expected an explain frame");
+        };
+        assert_eq!(req.id, 5);
+        assert_eq!(req.plan, "auto");
+
+        let body = "{\"schema\":\"mpcjoin-plan-v1\",\"chosen\":\"MatMul\"}";
+        let view = ResponseView::parse(&explain_frame(5, body)).unwrap();
+        assert_eq!(view.kind, "explain");
+        assert_eq!(view.id, Some(5));
+        assert_eq!(view.plan.as_deref(), Some(body));
     }
 
     #[test]

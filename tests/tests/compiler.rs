@@ -1,0 +1,241 @@
+//! Query-compiler integration: every enumerated physical alternative is
+//! correct (oracle-verified, bit-identical canonical output) on the
+//! classifier's edge cases, the cost-based selector never regresses the
+//! heuristic dispatch on the Table-1 workloads, and the selector's
+//! predicted bound is *the same number* the post-run auditor checks —
+//! one formula, shared by construction.
+
+use mpcjoin::compiler::{applicable, predict_bound, render_query};
+use mpcjoin::prelude::*;
+use mpcjoin::query::parse_query;
+use mpcjoin::workload::{chain, matrix, star, trees};
+use mpcjoin::{execute_sequential, QueryEngine};
+
+/// Force every applicable physical plan and require each one's gathered
+/// canonical output to be bit-identical to the sequential oracle's.
+fn all_plans_match_oracle(q: &TreeQuery, rels: &[Relation<Count>], p: usize) {
+    let oracle = execute_sequential(q, rels).canonical();
+    for kind in applicable(q) {
+        let result = QueryEngine::new(p)
+            .plan(PlanChoice::Force(kind))
+            .run(q, rels)
+            .unwrap_or_else(|e| panic!("forced {kind:?} failed: {e}"));
+        assert_eq!(
+            result.output.canonical(),
+            oracle,
+            "plan {kind:?} disagrees with the oracle"
+        );
+    }
+}
+
+#[test]
+fn single_edge_query_under_every_plan() {
+    let (a, b) = (Attr(0), Attr(1));
+    let q = TreeQuery::new(vec![Edge::binary(a, b)], [a]);
+    let rels = vec![Relation::<Count>::binary_ones(
+        a,
+        b,
+        (0..40u64).map(|i| (i % 7, i % 11)),
+    )];
+    all_plans_match_oracle(&q, &rels, 4);
+}
+
+#[test]
+fn all_attributes_output_free_connex_under_every_plan() {
+    // Every attribute is in the head: the free-connex case where no
+    // aggregation happens at all.
+    let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+    let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, b, c]);
+    let rels = vec![
+        Relation::<Count>::binary_ones(a, b, (0..60u64).map(|i| (i % 9, i % 6))),
+        Relation::<Count>::binary_ones(b, c, (0..60u64).map(|i| (i % 6, i % 8))),
+    ];
+    all_plans_match_oracle(&q, &rels, 4);
+}
+
+#[test]
+fn unary_only_residual_under_every_plan() {
+    // After the §7 reduction folds the binary edges into the output
+    // attribute, only unary structure remains.
+    let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+    let q = TreeQuery::new(
+        vec![Edge::binary(a, b), Edge::binary(a, c), Edge::unary(a)],
+        [a],
+    );
+    let rels = vec![
+        Relation::<Count>::binary_ones(a, b, (0..30u64).map(|i| (i % 5, i % 4))),
+        Relation::<Count>::binary_ones(a, c, (0..30u64).map(|i| (i % 5, i % 3))),
+        Relation::<Count>::from_entries(
+            Schema::unary(a),
+            (0..5u64).map(|i| (vec![i], Count(1))).collect(),
+        ),
+    ];
+    all_plans_match_oracle(&q, &rels, 4);
+}
+
+#[test]
+fn starlike_twig_overlap_under_every_plan() {
+    // Star-like (center + one two-hop arm) is also a twig: the
+    // classifier must pick one, and every alternative must still agree.
+    let (center, mid) = (Attr(9), Attr(10));
+    let q = TreeQuery::new(
+        vec![
+            Edge::binary(center, Attr(0)),
+            Edge::binary(center, mid),
+            Edge::binary(mid, Attr(1)),
+            Edge::binary(center, Attr(2)),
+        ],
+        [Attr(0), Attr(1), Attr(2)],
+    );
+    let rels = vec![
+        Relation::<Count>::binary_ones(center, Attr(0), (0..24u64).map(|i| (i % 4, i % 7))),
+        Relation::<Count>::binary_ones(center, mid, (0..24u64).map(|i| (i % 4, i % 5))),
+        Relation::<Count>::binary_ones(mid, Attr(1), (0..24u64).map(|i| (i % 5, i % 6))),
+        Relation::<Count>::binary_ones(center, Attr(2), (0..24u64).map(|i| (i % 4, i % 3))),
+    ];
+    all_plans_match_oracle(&q, &rels, 8);
+}
+
+/// The Table-1 workload grid at smoke scale: (query, instance) pairs.
+fn table1_workloads() -> Vec<(String, TreeQuery, Vec<Relation<Count>>)> {
+    let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+    let mut cases = Vec::new();
+
+    let mm = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c]);
+    for side in [2u64, 8] {
+        let inst = matrix::blocks::<Count>((a, b, c), (96 / (4 * side)).max(1), side, 2);
+        cases.push((
+            format!("mm side={side}"),
+            mm.clone(),
+            vec![inst.r1, inst.r2],
+        ));
+    }
+    for k in [2u64, 8] {
+        let inst = chain::funnel::<Count>(8, k, 4);
+        cases.push((format!("line k={k}"), inst.query, inst.rels));
+    }
+    for centers in [1u64, 4] {
+        let inst = star::overlapping::<Count>(3, centers, 8);
+        cases.push((format!("star centers={centers}"), inst.query, inst.rels));
+    }
+    let q = trees::figure3_query();
+    for centers in [2u64, 4] {
+        let inst = trees::overlapping_instance::<Count>(&q, centers, 3);
+        cases.push((format!("tree centers={centers}"), inst.query, inst.rels));
+    }
+    cases
+}
+
+#[test]
+fn selector_and_auditor_share_one_bound_formula() {
+    // Acceptance criterion: on every Table-1 workload, the bound the
+    // cost-based selector predicted for the plan that ran is the exact
+    // f64 the auditor checked the measured load against.
+    let p = 8usize;
+    for (name, q, rels) in table1_workloads() {
+        let result = QueryEngine::new(p).run(&q, &rels).unwrap();
+        let sizes: Vec<u64> = rels.iter().map(|r| r.len() as u64).collect();
+        let predicted = predict_bound(
+            result.plan,
+            &q,
+            &sizes,
+            result.output.len() as u64,
+            p as u64,
+        );
+        assert_eq!(
+            result.audit.bound.to_bits(),
+            predicted.to_bits(),
+            "{name}: selector bound {predicted} != audited bound {}",
+            result.audit.bound
+        );
+        assert!(result.audit.within, "{name}: bound violated");
+    }
+}
+
+#[test]
+fn cost_based_never_loses_to_the_heuristic_on_table1() {
+    let p = 8usize;
+    for (name, q, rels) in table1_workloads() {
+        let cost_based = QueryEngine::new(p)
+            .plan(PlanChoice::CostBased)
+            .run(&q, &rels)
+            .unwrap();
+        let heuristic = QueryEngine::new(p)
+            .plan(PlanChoice::Heuristic)
+            .run(&q, &rels)
+            .unwrap();
+        assert!(
+            cost_based.cost.load <= heuristic.cost.load,
+            "{name}: cost-based load {} > heuristic load {}",
+            cost_based.cost.load,
+            heuristic.cost.load
+        );
+        assert_eq!(
+            cost_based.output.canonical(),
+            heuristic.output.canonical(),
+            "{name}: plans disagree"
+        );
+    }
+}
+
+#[test]
+fn every_plan_is_oracle_correct_on_table1() {
+    let p = 8usize;
+    for (name, q, rels) in table1_workloads() {
+        let oracle = execute_sequential(&q, &rels).canonical();
+        for kind in applicable(&q) {
+            let result = QueryEngine::new(p)
+                .plan(PlanChoice::Force(kind))
+                .run(&q, &rels)
+                .unwrap_or_else(|e| panic!("{name}: forced {kind:?} failed: {e}"));
+            assert_eq!(
+                result.output.canonical(),
+                oracle,
+                "{name}: plan {kind:?} disagrees with the oracle"
+            );
+        }
+    }
+}
+
+/// Deterministic xorshift for the round-trip generator.
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+#[test]
+fn random_tree_queries_round_trip_through_the_printer() {
+    // Property: render_query(q) re-parses to the same hypergraph and
+    // output set, for random chains with unary filters hanging off them.
+    let mut rng = Lcg(0x5deece66d);
+    for _ in 0..50 {
+        let len = 1 + rng.below(5);
+        let mut edges: Vec<Edge> = (0..len)
+            .map(|i| Edge::binary(Attr(i as u32), Attr(i as u32 + 1)))
+            .collect();
+        if rng.below(2) == 0 {
+            edges.push(Edge::unary(Attr(rng.below(len + 1) as u32)));
+        }
+        // Output: a nonempty random subset of the path vertices.
+        let mut output = vec![Attr(rng.below(len + 1) as u32)];
+        if rng.below(2) == 0 {
+            output.push(Attr(rng.below(len + 1) as u32));
+        }
+        let q = TreeQuery::new(edges, output);
+        let text = render_query(&q, None, None);
+        let reparsed = parse_query(&text)
+            .unwrap_or_else(|e| panic!("printer emitted unparseable `{text}`: {e}"));
+        assert_eq!(reparsed.query.edges(), q.edges(), "{text}");
+        assert_eq!(reparsed.query.output(), q.output(), "{text}");
+    }
+}

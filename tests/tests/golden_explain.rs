@@ -1,0 +1,103 @@
+//! Golden snapshots of the compiler's explain artifact.
+//!
+//! Each case compiles a fixed query on fixed statistics and compares the
+//! `mpcjoin-plan-v1` JSON byte-for-byte against the committed snapshot
+//! under `results/explain/`. Any intentional change to plan selection,
+//! bound formulas, or the IR must regenerate the snapshots (run with
+//! `MPCJOIN_BLESS=1`) and show up in review as a readable diff.
+
+use mpcjoin::compiler::{explain, Stats};
+use mpcjoin::prelude::*;
+use mpcjoin::workload::trees;
+use std::path::PathBuf;
+
+fn snapshot_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("results")
+        .join("explain")
+}
+
+fn check(name: &str, q: &TreeQuery, sizes: Vec<u64>, out: u64, p: u64) {
+    let ex = explain(q, Stats { sizes, out }, p);
+    let fresh = ex
+        .to_json(None)
+        .to_string_compact()
+        .expect("explain JSON has finite numbers");
+    let path = snapshot_dir().join(format!("{name}.json"));
+    if std::env::var_os("MPCJOIN_BLESS").is_some() {
+        std::fs::create_dir_all(snapshot_dir()).expect("create snapshot dir");
+        std::fs::write(&path, &fresh).expect("write snapshot");
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); run with MPCJOIN_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        fresh, committed,
+        "{name}: explain artifact drifted from the committed snapshot; \
+         regenerate with MPCJOIN_BLESS=1 if intentional"
+    );
+}
+
+#[test]
+fn golden_matmul_sparse_output() {
+    let (a, b, c) = (Attr(0), Attr(1), Attr(2));
+    let q = TreeQuery::new(vec![Edge::binary(a, b), Edge::binary(b, c)], [a, c]);
+    check("matmul_sparse", &q, vec![6144, 6144], 3072, 16);
+}
+
+#[test]
+fn golden_line3_funnel() {
+    let attrs: Vec<Attr> = (0..4).map(Attr).collect();
+    let q = TreeQuery::new(
+        vec![
+            Edge::binary(attrs[0], attrs[1]),
+            Edge::binary(attrs[1], attrs[2]),
+            Edge::binary(attrs[2], attrs[3]),
+        ],
+        [attrs[0], attrs[3]],
+    );
+    check("line3", &q, vec![2048, 2048, 2048], 128, 16);
+}
+
+#[test]
+fn golden_star3() {
+    let hub = Attr(3);
+    let q = TreeQuery::new(
+        vec![
+            Edge::binary(Attr(0), hub),
+            Edge::binary(Attr(1), hub),
+            Edge::binary(Attr(2), hub),
+        ],
+        [Attr(0), Attr(1), Attr(2)],
+    );
+    check("star3", &q, vec![4096, 4096, 4096], 512, 16);
+}
+
+#[test]
+fn golden_figure3_twig() {
+    let q = trees::figure3_query();
+    let sizes = vec![1024; q.edges().len()];
+    check("figure3_twig", &q, sizes, 2048, 16);
+}
+
+#[test]
+fn golden_skewed_star_prefers_an_alternative() {
+    // One giant arm: the cost model should punt the structural Star pick
+    // only if the margin is beaten — the snapshot pins whichever way the
+    // hysteresis falls so selection changes are always visible in review.
+    let hub = Attr(3);
+    let q = TreeQuery::new(
+        vec![
+            Edge::binary(Attr(0), hub),
+            Edge::binary(Attr(1), hub),
+            Edge::binary(Attr(2), hub),
+        ],
+        [Attr(0), Attr(1), Attr(2)],
+    );
+    check("star3_skewed", &q, vec![1_000_000, 64, 64], 4096, 16);
+}
