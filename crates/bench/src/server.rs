@@ -108,6 +108,13 @@ pub struct ServerArtifact {
     pub wall_ns: u64,
     /// Whole-run throughput in queries/second (informational).
     pub throughput_qps: f64,
+    /// *Server-side* p50 total latency in nanoseconds, scraped from the
+    /// final `stats` frame's `mpcjoin-serverstats-v1` payload
+    /// (informational, bucket-estimated; 0 when the server predates the
+    /// stats plane or the scrape was skipped).
+    pub server_p50_ns: u64,
+    /// Server-side p95 total latency (informational, bucket-estimated).
+    pub server_p95_ns: u64,
 }
 
 impl ServerArtifact {
@@ -124,6 +131,8 @@ impl ServerArtifact {
             ),
             ("wall_ns".into(), Json::Num(self.wall_ns as f64)),
             ("throughput_qps".into(), Json::Num(self.throughput_qps)),
+            ("server_p50_ns".into(), Json::Num(self.server_p50_ns as f64)),
+            ("server_p95_ns".into(), Json::Num(self.server_p95_ns as f64)),
         ])
         .to_string_sanitized()
     }
@@ -157,6 +166,10 @@ impl ServerArtifact {
                 .get("throughput_qps")
                 .and_then(Json::as_f64)
                 .unwrap_or(0.0),
+            // Absent in baselines that predate the observability plane
+            // (informational, never diffed).
+            server_p50_ns: doc.get("server_p50_ns").and_then(Json::as_u64).unwrap_or(0),
+            server_p95_ns: doc.get("server_p95_ns").and_then(Json::as_u64).unwrap_or(0),
         })
     }
 }
@@ -254,6 +267,8 @@ mod tests {
             records: vec![record("mm", load_sum), record("line", 500)],
             wall_ns: 123,
             throughput_qps: 400.0,
+            server_p50_ns: 900_000,
+            server_p95_ns: 4_000_000,
         }
     }
 
@@ -280,7 +295,25 @@ mod tests {
         fresh.records[0].p95_ns = u64::MAX;
         fresh.wall_ns = 1;
         fresh.throughput_qps = 2.0;
+        fresh.server_p50_ns = 1;
+        fresh.server_p95_ns = u64::MAX;
         assert!(diff_server(&base, &fresh).is_ok());
+    }
+
+    #[test]
+    fn artifacts_without_server_latency_still_parse() {
+        // Committed baselines predate the server-side scrape; the new
+        // members are optional on parse and default to 0.
+        let mut art = artifact(1000);
+        let text = art
+            .to_json_string()
+            .replace(",\"server_p50_ns\":900000", "")
+            .replace(",\"server_p95_ns\":4000000", "");
+        let parsed = ServerArtifact::parse(&text).unwrap();
+        assert_eq!((parsed.server_p50_ns, parsed.server_p95_ns), (0, 0));
+        art.server_p50_ns = 0;
+        art.server_p95_ns = 0;
+        assert_eq!(parsed, art);
     }
 
     #[test]

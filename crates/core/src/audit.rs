@@ -66,6 +66,16 @@ pub struct AuditVerdict {
 }
 
 impl AuditVerdict {
+    /// True when the measured load exceeds `frac` of the allowed
+    /// envelope `slack·bound + additive` — the serving layer's
+    /// bound-regression watchdog calls this with `frac = 0.8` to count
+    /// *near*-violations before they become violations. Uses the same
+    /// envelope as `within`, so a verdict with `near_violation(1.0)`
+    /// false is always `within`.
+    pub fn near_violation(&self, frac: f64) -> bool {
+        self.measured as f64 > frac * (self.slack * self.bound + self.additive)
+    }
+
     /// Serialize as a JSON value (embedded into trace documents and
     /// bench artifacts). A non-finite `ratio` becomes `null` — the JSON
     /// writer refuses non-finite numbers by design.
@@ -265,6 +275,31 @@ mod tests {
         assert_eq!(v2.to_json().get("ratio"), Some(&Json::Null));
         let text = v2.to_json().to_string_compact().expect("serializable");
         assert!(text.contains("\"ratio\":null"));
+    }
+
+    #[test]
+    fn near_violation_is_a_strict_subset_of_the_envelope() {
+        let v = AuditVerdict {
+            plan: PlanKind::MatMul,
+            bound: 100.0,
+            measured: 0,
+            ratio: 0.0,
+            slack: DEFAULT_SLACK,
+            additive: 100.0, // envelope = 4·100 + 100 = 500
+            within: true,
+        };
+        let at = |measured: u64| AuditVerdict {
+            measured,
+            ..v.clone()
+        };
+        assert!(!at(400).near_violation(0.8), "at the 0.8 edge: not over");
+        assert!(at(401).near_violation(0.8));
+        assert!(at(500).near_violation(0.8), "violations are also near");
+        assert!(
+            !at(500).near_violation(1.0),
+            "exactly the envelope is within"
+        );
+        assert!(at(501).near_violation(1.0));
     }
 
     #[test]

@@ -74,6 +74,56 @@ impl LogHistogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Upper-bound estimate of the `q`-quantile from the bucket counts:
+    /// the exclusive upper edge of the first bucket whose cumulative
+    /// count reaches `q·count`, clamped to the exact `max`. Exact for
+    /// `min`/`max`; within one power of two elsewhere — good enough for
+    /// latency dashboards, never for ledger accounting.
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (&b, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let (_, hi) = Self::bucket_range(b);
+                return (hi - 1).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Serialize as the shared histogram JSON shape used by
+    /// `mpcjoin-metrics-v1` and the serving layer's
+    /// `mpcjoin-serverstats-v1`: exact `count`/`sum`/`min`/`max` plus
+    /// `[lo, hi, n]` bucket triples.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::Num(self.count as f64)),
+            ("sum".into(), Json::Num(self.sum as f64)),
+            ("min".into(), Json::Num(self.min as f64)),
+            ("max".into(), Json::Num(self.max as f64)),
+            (
+                "buckets".into(),
+                Json::Arr(
+                    self.buckets
+                        .iter()
+                        .map(|(&b, &n)| {
+                            let (lo, hi) = LogHistogram::bucket_range(b);
+                            Json::Arr(vec![
+                                Json::Num(lo as f64),
+                                Json::Num(hi as f64),
+                                Json::Num(n as f64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 /// Exact distribution summary of the per-server received totals.
@@ -205,30 +255,7 @@ impl MetricsSnapshot {
     /// Serialize as a self-contained JSON document
     /// (schema `mpcjoin-metrics-v1`).
     pub fn to_json(&self) -> String {
-        let histogram_json = |h: &LogHistogram| {
-            Json::Obj(vec![
-                ("count".into(), Json::Num(h.count as f64)),
-                ("sum".into(), Json::Num(h.sum as f64)),
-                ("min".into(), Json::Num(h.min as f64)),
-                ("max".into(), Json::Num(h.max as f64)),
-                (
-                    "buckets".into(),
-                    Json::Arr(
-                        h.buckets
-                            .iter()
-                            .map(|(&b, &n)| {
-                                let (lo, hi) = LogHistogram::bucket_range(b);
-                                Json::Arr(vec![
-                                    Json::Num(lo as f64),
-                                    Json::Num(hi as f64),
-                                    Json::Num(n as f64),
-                                ])
-                            })
-                            .collect(),
-                    ),
-                ),
-            ])
-        };
+        let histogram_json = LogHistogram::to_json;
         let doc = Json::Obj(vec![
             ("schema".into(), Json::Str("mpcjoin-metrics-v1".into())),
             ("servers".into(), Json::Num(self.servers as f64)),
@@ -335,6 +362,42 @@ mod tests {
         assert_eq!(h.max, 900);
         assert_eq!(h.buckets.values().sum::<u64>(), 5);
         assert!((h.mean() - 184.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_upper_brackets_the_true_quantile() {
+        let mut h = LogHistogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        // The estimate is an upper bound within one power of two.
+        for (q, exact) in [(0.5, 500u64), (0.95, 950), (1.0, 1000)] {
+            let est = h.quantile_upper(q);
+            assert!(est >= exact, "q={q}: {est} < {exact}");
+            assert!(est < exact.next_power_of_two().max(2) * 2, "q={q}: {est}");
+        }
+        assert_eq!(h.quantile_upper(1.0), 1000, "max is exact");
+        assert_eq!(LogHistogram::default().quantile_upper(0.5), 0);
+        let mut single = LogHistogram::default();
+        single.observe(42);
+        assert_eq!(single.quantile_upper(0.5), 42);
+    }
+
+    #[test]
+    fn histogram_json_shape_is_shared() {
+        let mut h = LogHistogram::default();
+        h.observe(3);
+        h.observe(900);
+        let j = h.to_json();
+        assert_eq!(j.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(j.get("sum").and_then(Json::as_u64), Some(903));
+        let buckets = j.get("buckets").and_then(Json::as_arr).unwrap();
+        assert_eq!(buckets.len(), 2);
+        // Each triple is [lo, hi, n] with lo <= value < hi.
+        let first = buckets[0].as_arr().unwrap();
+        assert_eq!(first[0].as_u64(), Some(2));
+        assert_eq!(first[1].as_u64(), Some(4));
+        assert_eq!(first[2].as_u64(), Some(1));
     }
 
     #[test]

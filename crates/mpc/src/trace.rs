@@ -362,6 +362,22 @@ impl Trace {
     /// member (possibly `null`). Readers should accept all three (the
     /// `trace_check` tool does).
     pub fn to_json_with(&self, audit: Option<&Json>, recovery: Option<&RecoveryReport>) -> String {
+        self.to_json_tagged(audit, recovery, None)
+    }
+
+    /// [`Trace::to_json_with`] plus an optional `request` member: the
+    /// serving layer attaches `{rid, id, session}` here so a per-query
+    /// trace artifact links back to the request-scoped span in the
+    /// operational log (`mpcjoin-log-v1`) that produced it — the span's
+    /// `engine_ns` wall-clock envelopes exactly these round events.
+    /// `request` is `null` for library/CLI callers; readers (including
+    /// `trace_check`) ignore it.
+    pub fn to_json_tagged(
+        &self,
+        audit: Option<&Json>,
+        recovery: Option<&RecoveryReport>,
+        request: Option<&Json>,
+    ) -> String {
         let report = self.report();
         let breakdown_json = |b: &TraceBreakdown| {
             Json::Obj(vec![
@@ -435,6 +451,7 @@ impl Trace {
         };
         let doc = Json::Obj(vec![
             ("schema".into(), Json::Str("mpcjoin-trace-v3".into())),
+            ("request".into(), request.cloned().unwrap_or(Json::Null)),
             ("audit".into(), audit.cloned().unwrap_or(Json::Null)),
             (
                 "recovery_report".into(),

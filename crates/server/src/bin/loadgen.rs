@@ -4,7 +4,7 @@
 //! ```text
 //! loadgen --addr HOST:PORT [--sessions N] [--queries K] [--seed S]
 //!         [--servers P] [--artifact FILE] [--fault-plan FILE]
-//!         [--wait-ready] [--shutdown]
+//!         [--stats-out FILE] [--wait-ready] [--shutdown]
 //! ```
 //!
 //! The flags compose in sequence: `--wait-ready` polls (ping → pong,
@@ -33,17 +33,27 @@
 //! bit-identity check fails, or — when at least one cache check ran —
 //! the server produced zero cache hits.
 //!
+//! After the workload the final `stats` frame is scraped and the
+//! server's own counters are cross-checked against the client-side
+//! tallies (completions vs responses, rejections vs retries, cache
+//! hits) — the scheduler bumps its counters *before* responding, so
+//! once the last response has been read any drift is a lost or
+//! duplicated frame and the run fails. `--stats-out FILE` saves the
+//! scraped frame for `obs_check` / CI.
+//!
 //! `--artifact FILE` writes a `mpcjoin-bench-server-v1` document (see
 //! `mpcjoin_bench::server`): per-class query counts and summed simulated
 //! loads are deterministic (diffed by `bench_check` against
 //! `results/BENCH_baseline_server.json`); throughput and latency
-//! percentiles are informational.
+//! percentiles — client-side per class plus the server's own
+//! end-to-end p50/p95 from the scraped histogram — are informational.
 
 use mpcjoin::mpc::hash::seeded_hash;
 use mpcjoin::mpc::json::Json;
 use mpcjoin::mpc::DetRng;
 use mpcjoin::prelude::*;
 use mpcjoin_bench::server::{ServerArtifact, ServerRecord};
+use mpcjoin_server::obs::StatsView;
 use mpcjoin_server::wire::ResponseView;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
@@ -60,6 +70,7 @@ struct Args {
     servers: usize,
     artifact: Option<String>,
     fault_plan: Option<String>,
+    stats_out: Option<String>,
     wait_ready: bool,
     shutdown: bool,
 }
@@ -67,7 +78,7 @@ struct Args {
 fn usage() -> &'static str {
     "usage: loadgen --addr HOST:PORT [--sessions N] [--queries K] [--seed S]\n\
      \x20      [--servers P] [--artifact FILE] [--fault-plan FILE]\n\
-     \x20      [--wait-ready] [--shutdown]"
+     \x20      [--stats-out FILE] [--wait-ready] [--shutdown]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -79,6 +90,7 @@ fn parse_args() -> Result<Args, String> {
         servers: 8,
         artifact: None,
         fault_plan: None,
+        stats_out: None,
         wait_ready: false,
         shutdown: false,
     };
@@ -112,6 +124,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--artifact" => args.artifact = Some(value("--artifact")?),
             "--fault-plan" => args.fault_plan = Some(value("--fault-plan")?),
+            "--stats-out" => args.stats_out = Some(value("--stats-out")?),
             "--wait-ready" => args.wait_ready = true,
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => return Err(usage().to_string()),
@@ -152,13 +165,18 @@ impl Conn {
             .map_err(|e| format!("send: {e}"))
     }
 
-    fn recv(&mut self) -> Result<ResponseView, String> {
+    fn recv_line(&mut self) -> Result<String, String> {
         let mut line = String::new();
         match self.reader.read_line(&mut line) {
             Ok(0) => Err("connection closed by server".into()),
-            Ok(_) => ResponseView::parse(line.trim_end()),
+            Ok(_) => Ok(line.trim_end().to_string()),
             Err(e) => Err(format!("recv: {e}")),
         }
+    }
+
+    fn recv(&mut self) -> Result<ResponseView, String> {
+        let line = self.recv_line()?;
+        ResponseView::parse(&line)
     }
 }
 
@@ -454,6 +472,16 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx]
 }
 
+/// Fetch the server's `stats` frame, returning the raw frame line.
+fn scrape_stats(addr: &str) -> Result<String, String> {
+    let mut conn = Conn::open(addr)?;
+    conn.send(&format!(
+        "{{\"schema\":\"{}\",\"type\":\"stats\",\"id\":0}}",
+        mpcjoin_server::wire::WIRE_SCHEMA
+    ))?;
+    conn.recv_line()
+}
+
 fn wait_ready(addr: &str) -> Result<(), String> {
     let deadline = Instant::now() + Duration::from_secs(30);
     loop {
@@ -597,8 +625,87 @@ fn main() -> ExitCode {
     }
     let total_responses: u64 = records.iter().map(|r| r.responses).sum();
     let total_hits: u64 = records.iter().map(|r| r.cache_hits).sum();
+    let total_retries: u64 = records.iter().map(|r| r.retries).sum();
     if total_hits == 0 {
         failures.push("no response was ever served from the cache".into());
+    }
+
+    // Scrape the server's own counters and cross-check them against the
+    // client-side tallies. The scheduler moves its counters before it
+    // responds, so once every response has been read the two views must
+    // agree exactly; drift means a lost or duplicated response.
+    let (mut server_p50_ns, mut server_p95_ns) = (0u64, 0u64);
+    match scrape_stats(&args.addr) {
+        Err(e) => failures.push(format!("stats scrape: {e}")),
+        Ok(raw) => {
+            if let Some(path) = &args.stats_out {
+                if let Err(e) = std::fs::write(path, format!("{raw}\n")) {
+                    failures.push(format!("write {path}: {e}"));
+                } else {
+                    println!("wrote {path}");
+                }
+            }
+            match Json::parse(&raw) {
+                Err(e) => failures.push(format!("stats frame does not parse: {e}")),
+                Ok(doc) => {
+                    fn check(
+                        failures: &mut Vec<String>,
+                        name: &str,
+                        server: Option<u64>,
+                        client: u64,
+                    ) {
+                        match server {
+                            None => failures.push(format!("stats frame is missing `{name}`")),
+                            Some(s) if s != client => failures.push(format!(
+                                "stats cross-check: {name}: server says {s}, client counted {client}"
+                            )),
+                            Some(_) => {}
+                        }
+                    }
+                    let top = |name: &str| doc.get(name).and_then(Json::as_u64);
+                    check(
+                        &mut failures,
+                        "completed",
+                        top("completed"),
+                        total_responses,
+                    );
+                    check(&mut failures, "admitted", top("admitted"), total_responses);
+                    check(
+                        &mut failures,
+                        "rejected_overload + rejected_quota",
+                        top("rejected_overload")
+                            .zip(top("rejected_quota"))
+                            .map(|(a, b)| a + b),
+                        total_retries,
+                    );
+                    check(
+                        &mut failures,
+                        "cache.hits",
+                        doc.get("cache")
+                            .and_then(|c| c.get("hits"))
+                            .and_then(Json::as_u64),
+                        total_hits,
+                    );
+                    match doc.get("stats").map(Json::to_string_sanitized) {
+                        None => failures
+                            .push("stats frame is missing the nested `stats` payload".into()),
+                        Some(nested) => match StatsView::parse(&nested) {
+                            Err(e) => failures.push(format!("nested stats payload: {e}")),
+                            Ok(view) => {
+                                check(
+                                    &mut failures,
+                                    "stats.sched.completed",
+                                    view.num(&["sched", "completed"]),
+                                    total_responses,
+                                );
+                                server_p50_ns = view.latency_quantile("total", 0.50).unwrap_or(0);
+                                server_p95_ns = view.latency_quantile("total", 0.95).unwrap_or(0);
+                            }
+                        },
+                    }
+                }
+            }
+        }
     }
 
     let throughput = total_responses as f64 / wall.as_secs_f64().max(1e-9);
@@ -621,6 +728,11 @@ fn main() -> ExitCode {
             Duration::from_nanos(r.max_ns),
         );
     }
+    println!(
+        "  server-side end-to-end latency: p50 {:>8.3?}  p95 {:>8.3?}",
+        Duration::from_nanos(server_p50_ns),
+        Duration::from_nanos(server_p95_ns),
+    );
 
     let artifact = ServerArtifact {
         sessions: args.sessions as u64,
@@ -629,6 +741,8 @@ fn main() -> ExitCode {
         records,
         wall_ns: wall.as_nanos().min(u64::MAX as u128) as u64,
         throughput_qps: throughput,
+        server_p50_ns,
+        server_p95_ns,
     };
     if let Some(path) = &args.artifact {
         if let Err(e) = std::fs::write(path, artifact.to_json_string()) {

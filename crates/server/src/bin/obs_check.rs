@@ -1,0 +1,121 @@
+//! `obs_check` — validate an `mpcjoin-log-v1` operational log and
+//! cross-check it against a scraped `mpcjoin-serverstats-v1` payload and
+//! a loadgen `mpcjoin-bench-server-v1` artifact.
+//!
+//! ```text
+//! obs_check LOG.jsonl [--stats STATS.json] [--bench BENCH.json]
+//! ```
+//!
+//! The sibling of `trace_check` / `bench_check` for the observability
+//! plane. Three layers of checks (each optional input adds one):
+//!
+//! 1. **Log validity** — every line parses under the schema, levels are
+//!    known, timestamps are monotone in file order, and each known event
+//!    carries its required members.
+//! 2. **Log ↔ stats** — the server's own counters agree with the log's
+//!    event counts: completions, per-reason rejections, cache hits, and
+//!    the watchdog's audited / near-violation / violation tallies.
+//! 3. **Log ↔ bench** — the *client's* tallies agree with both: every
+//!    response the client received is a logged completion, every retry a
+//!    logged backpressure rejection, every observed cache hit a logged
+//!    cached completion, and nothing was lost or duplicated.
+//!
+//! Assumes the standard CI shape: the log covers one full server
+//! lifetime, the stats payload was scraped after all query traffic, and
+//! the bench run was the server's only client. Exits nonzero with every
+//! discrepancy listed; prints the consistency notes on success.
+
+use mpcjoin_bench::server::ServerArtifact;
+use mpcjoin_server::obs::{check_log, cross_check, StatsView};
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: obs_check LOG.jsonl [--stats STATS.json] [--bench BENCH.json]"
+}
+
+fn read(path: &str, what: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {what} `{path}`: {e}"))
+}
+
+fn run() -> Result<Vec<String>, Vec<String>> {
+    let mut log_path = None;
+    let mut stats_path = None;
+    let mut bench_path = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--stats" => {
+                stats_path = Some(it.next().ok_or_else(|| vec![usage().to_string()])?);
+            }
+            "--bench" => {
+                bench_path = Some(it.next().ok_or_else(|| vec![usage().to_string()])?);
+            }
+            "--help" | "-h" => return Err(vec![usage().to_string()]),
+            other if log_path.is_none() && !other.starts_with('-') => {
+                log_path = Some(other.to_string());
+            }
+            other => return Err(vec![format!("unexpected argument `{other}`\n{}", usage())]),
+        }
+    }
+    let log_path = log_path.ok_or_else(|| vec![usage().to_string()])?;
+
+    let log_text = read(&log_path, "log").map_err(|e| vec![e])?;
+    let summary = check_log(&log_text)?;
+
+    // A `stats` frame (as scraped by loadgen) nests the payload under
+    // `stats`; a bare payload dump is accepted too.
+    let stats = match &stats_path {
+        None => None,
+        Some(path) => {
+            let text = read(path, "stats").map_err(|e| vec![e])?;
+            let view = StatsView::parse(&text).or_else(|outer| {
+                mpcjoin::mpc::json::Json::parse(&text)
+                    .ok()
+                    .and_then(|doc| {
+                        doc.get("stats")
+                            .map(mpcjoin::mpc::json::Json::to_string_sanitized)
+                    })
+                    .ok_or(outer)
+                    .and_then(|nested| StatsView::parse(&nested))
+            });
+            Some(view.map_err(|e| vec![format!("{path}: {e}")])?)
+        }
+    };
+
+    let bench = match &bench_path {
+        None => None,
+        Some(path) => {
+            let text = read(path, "bench artifact").map_err(|e| vec![e])?;
+            Some(ServerArtifact::parse(&text).map_err(|e| vec![format!("{path}: {e}")])?)
+        }
+    };
+
+    let mut notes = vec![format!(
+        "log: {} lines, {} query completes ({} cached, {} errors), {} explain completes",
+        summary.lines,
+        summary.completes_query,
+        summary.completes_cached,
+        summary.completes_error,
+        summary.completes_explain,
+    )];
+    notes.extend(cross_check(&summary, stats.as_ref(), bench.as_ref())?);
+    Ok(notes)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(notes) => {
+            for note in notes {
+                println!("obs_check: {note}");
+            }
+            println!("obs_check: OK");
+            ExitCode::SUCCESS
+        }
+        Err(errors) => {
+            for e in errors {
+                eprintln!("obs_check: {e}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

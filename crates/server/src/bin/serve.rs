@@ -4,6 +4,7 @@
 //! mpcjoin-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!               [--session-quota N] [--cache-cap N] [--max-servers P]
 //!               [--threads N] [--retry-after-ms MS] [--artifact-dir DIR]
+//!               [--log FILE] [--obs-dump FILE]
 //! ```
 //!
 //! Binds a TCP listener (`--addr 127.0.0.1:0` by default — port 0 picks
@@ -22,7 +23,20 @@
 //! artifacts are flushed (they are written synchronously at the end of
 //! each run), the `shutdown_ack` frame reports the lifetime completion
 //! count, and the process exits 0.
+//!
+//! ## Observability
+//!
+//! Every incoming line gets a server-allocated request id; every
+//! response frame echoes it as a final `rid` member. `--log FILE`
+//! appends `mpcjoin-log-v1` JSONL events (lifecycle, request, reject,
+//! complete-with-spans, watchdog); `--obs-dump FILE` writes the text
+//! exposition of the server metrics at drain time. A `stats` frame
+//! returns the legacy counters *plus* queue depth, in-flight count,
+//! uptime, per-error-code counters, and the full
+//! `mpcjoin-serverstats-v1` payload under `stats`;
+//! `{"type":"stats","format":"text"}` returns the text exposition.
 
+use mpcjoin::mpc::json::{escape_str, Json};
 use mpcjoin_server::wire::{self, Frame};
 use mpcjoin_server::{Scheduler, ServerConfig};
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -34,7 +48,8 @@ use std::sync::{Arc, Mutex};
 fn usage() -> &'static str {
     "usage: mpcjoin-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
      \x20      [--session-quota N] [--cache-cap N] [--max-servers P]\n\
-     \x20      [--threads N] [--retry-after-ms MS] [--artifact-dir DIR]"
+     \x20      [--threads N] [--retry-after-ms MS] [--artifact-dir DIR]\n\
+     \x20      [--log FILE] [--obs-dump FILE]"
 }
 
 fn parse_args() -> Result<(String, ServerConfig), String> {
@@ -72,6 +87,8 @@ fn parse_args() -> Result<(String, ServerConfig), String> {
             "--artifact-dir" => {
                 cfg.artifact_dir = Some(std::path::PathBuf::from(value("--artifact-dir")?))
             }
+            "--log" => cfg.log_file = Some(std::path::PathBuf::from(value("--log")?)),
+            "--obs-dump" => cfg.obs_dump = Some(std::path::PathBuf::from(value("--obs-dump")?)),
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -87,25 +104,68 @@ fn send(writer: &Mutex<BufWriter<TcpStream>>, frame: &str) -> bool {
     writeln!(w, "{frame}").and_then(|()| w.flush()).is_ok()
 }
 
+/// The `stats` response. The legacy top-level members (lifetime
+/// scheduler counters, `cache{hits,misses,evictions,len}`) are kept
+/// bit-compatible for existing parsers; the expansion adds gauges
+/// (`queue_depth`, `in_flight`, `uptime_ns`), per-error-code counters
+/// (`errors`), and the full `mpcjoin-serverstats-v1` payload (`stats`).
 fn stats_frame(id: Option<u64>, sched: &Scheduler) -> String {
     let s = sched.stats();
     let c = sched.executor().cache_stats();
-    let id = id.map_or_else(|| "null".to_string(), |v| v.to_string());
+    let obs = sched.obs();
+    let doc = sched.stats_doc();
+    let errors = match doc.get("counters") {
+        Some(Json::Obj(counters)) => counters
+            .iter()
+            .filter_map(|(name, v)| {
+                name.strip_prefix("error.")
+                    .map(|code| (code.to_string(), v.clone()))
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(wire::WIRE_SCHEMA.into())),
+        ("type".into(), Json::Str("stats".into())),
+        ("id".into(), id.map_or(Json::Null, |v| Json::Num(v as f64))),
+        ("admitted".into(), Json::Num(s.admitted as f64)),
+        ("completed".into(), Json::Num(s.completed as f64)),
+        (
+            "rejected_overload".into(),
+            Json::Num(s.rejected_overload as f64),
+        ),
+        ("rejected_quota".into(), Json::Num(s.rejected_quota as f64)),
+        (
+            "rejected_draining".into(),
+            Json::Num(s.rejected_draining as f64),
+        ),
+        (
+            "cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::Num(c.hits as f64)),
+                ("misses".into(), Json::Num(c.misses as f64)),
+                ("evictions".into(), Json::Num(c.evictions as f64)),
+                ("len".into(), Json::Num(c.len as f64)),
+                ("bytes".into(), Json::Num(c.bytes as f64)),
+            ]),
+        ),
+        ("queue_depth".into(), Json::Num(obs.queue_depth() as f64)),
+        ("in_flight".into(), Json::Num(obs.in_flight() as f64)),
+        ("uptime_ns".into(), Json::Num(obs.uptime_ns() as f64)),
+        ("errors".into(), Json::Obj(errors)),
+        ("stats".into(), doc),
+    ])
+    .to_string_sanitized()
+}
+
+/// The `stats` response in text-exposition form (the payload is a
+/// single escaped string member).
+fn stats_text_frame(id: Option<u64>, sched: &Scheduler) -> String {
     format!(
-        "{{\"schema\":\"{}\",\"type\":\"stats\",\"id\":{id},\
-         \"admitted\":{},\"completed\":{},\"rejected_overload\":{},\
-         \"rejected_quota\":{},\"rejected_draining\":{},\
-         \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"len\":{}}}}}",
+        "{{\"schema\":\"{}\",\"type\":\"stats\",\"id\":{},\"text\":{}}}",
         wire::WIRE_SCHEMA,
-        s.admitted,
-        s.completed,
-        s.rejected_overload,
-        s.rejected_quota,
-        s.rejected_draining,
-        c.hits,
-        c.misses,
-        c.evictions,
-        c.len,
+        id.map_or_else(|| "null".to_string(), |v| v.to_string()),
+        escape_str(&sched.stats_text()),
     )
 }
 
@@ -123,6 +183,12 @@ fn handle_connection(
     // Sessions default to a per-connection identity so anonymous clients
     // are quota'd individually rather than pooled under "".
     let default_session = format!("conn-{conn_id}");
+    let obs = Arc::clone(sched.obs());
+    obs.log_event(
+        "info",
+        "conn_open",
+        vec![("conn".into(), Json::Num(conn_id as f64))],
+    );
     for line in BufReader::new(read_half).lines() {
         let Ok(line) = line else {
             break; // peer reset mid-line
@@ -130,37 +196,89 @@ fn handle_connection(
         if line.trim().is_empty() {
             continue;
         }
+        // Every line — parseable or not — gets a server request id; all
+        // responses echo it via `stamp_rid`.
+        let rid = obs.next_rid();
+        let request_event = |kind: &str, id: Option<u64>, session: &str| {
+            obs.count(&format!("frames.{kind}"), 1);
+            obs.log_event(
+                "info",
+                "request",
+                vec![
+                    ("rid".into(), Json::Num(rid as f64)),
+                    ("id".into(), id.map_or(Json::Null, |v| Json::Num(v as f64))),
+                    ("session".into(), Json::Str(session.into())),
+                    ("kind".into(), Json::Str(kind.into())),
+                    ("conn".into(), Json::Num(conn_id as f64)),
+                ],
+            );
+        };
         match wire::parse_frame(&line) {
             Err(e) => {
-                if !send(&writer, &e.to_frame()) {
+                obs.count(&format!("error.{}", e.code), 1);
+                obs.log_event(
+                    "info",
+                    "reject",
+                    vec![
+                        ("rid".into(), Json::Num(rid as f64)),
+                        (
+                            "id".into(),
+                            e.id.map_or(Json::Null, |v| Json::Num(v as f64)),
+                        ),
+                        ("reason".into(), Json::Str(e.code.into())),
+                        ("conn".into(), Json::Num(conn_id as f64)),
+                    ],
+                );
+                if !send(&writer, &wire::stamp_rid(&e.to_frame(), rid)) {
                     break;
                 }
             }
             Ok(Frame::Ping { id }) => {
-                if !send(&writer, &wire::pong_frame(id)) {
+                request_event("ping", id, &default_session);
+                if !send(&writer, &wire::stamp_rid(&wire::pong_frame(id), rid)) {
                     break;
                 }
             }
-            Ok(Frame::Stats { id }) => {
-                if !send(&writer, &stats_frame(id, &sched)) {
+            Ok(Frame::Stats { id, format }) => {
+                request_event("stats", id, &default_session);
+                let frame = match format.as_deref() {
+                    None => stats_frame(id, &sched),
+                    Some("text") => stats_text_frame(id, &sched),
+                    Some(other) => {
+                        obs.count("error.bad_request", 1);
+                        wire::error_frame(
+                            id,
+                            "bad_request",
+                            &format!("unknown stats format `{other}` (expected `text`)"),
+                            None,
+                        )
+                    }
+                };
+                if !send(&writer, &wire::stamp_rid(&frame, rid)) {
                     break;
                 }
             }
             Ok(Frame::Shutdown { id }) => {
+                request_event("shutdown", id, &default_session);
                 // Drain synchronously: by the time the ack goes out, every
                 // admitted query has been answered and its artifacts
                 // flushed.
                 let completed = sched.drain();
-                send(&writer, &wire::shutdown_ack_frame(id, completed));
+                send(
+                    &writer,
+                    &wire::stamp_rid(&wire::shutdown_ack_frame(id, completed), rid),
+                );
                 stopping.store(true, Ordering::SeqCst);
                 // Unblock the accept loop so the process can exit.
                 let _ = TcpStream::connect(local);
                 return;
             }
             Ok(Frame::Explain(req)) => {
+                request_event("explain", Some(req.id), &req.session);
                 // Compilation is statistics-only (no simulated cluster
                 // run), so it is answered inline rather than queued.
-                if !send(&writer, &sched.executor().explain(&req)) {
+                let frame = sched.executor().explain_observed(&req, rid);
+                if !send(&writer, &wire::stamp_rid(&frame, rid)) {
                     break;
                 }
             }
@@ -169,13 +287,19 @@ fn handle_connection(
                 if req.session.is_empty() {
                     req.session = default_session.clone();
                 }
+                request_event("query", Some(req.id), &req.session);
                 let writer = Arc::clone(&writer);
-                sched.submit(req, move |frame| {
-                    send(&writer, &frame);
+                sched.submit(rid, req, move |frame| {
+                    send(&writer, &wire::stamp_rid(&frame, rid));
                 });
             }
         }
     }
+    obs.log_event(
+        "info",
+        "conn_close",
+        vec![("conn".into(), Json::Num(conn_id as f64))],
+    );
 }
 
 fn main() -> ExitCode {

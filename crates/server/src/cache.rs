@@ -46,6 +46,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries currently resident.
     pub len: usize,
+    /// Total serialized-body bytes currently resident (an occupancy
+    /// gauge for the stats plane, not a budget — capacity is entries).
+    pub bytes: u64,
 }
 
 struct Entry {
@@ -114,13 +117,17 @@ impl ResultCache {
             return;
         }
         let tick = self.next_tick(key);
-        self.map.insert(key, Entry { body, tick });
+        self.stats.bytes += body.len() as u64;
+        if let Some(old) = self.map.insert(key, Entry { body, tick }) {
+            self.stats.bytes -= old.body.len() as u64;
+        }
         while self.map.len() > self.cap {
             let Some((victim, at)) = self.order.pop_front() else {
                 break; // unreachable: map non-empty ⇒ a live record exists
             };
             if self.map.get(&victim).is_some_and(|e| e.tick == at) {
-                self.map.remove(&victim);
+                let evicted = self.map.remove(&victim).expect("checked above");
+                self.stats.bytes -= evicted.body.len() as u64;
                 self.stats.evictions += 1;
             }
         }
@@ -158,6 +165,20 @@ mod tests {
         assert_eq!(cache.get(1).as_deref(), Some("{\"load\":7}"));
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+        assert_eq!(s.bytes, "{\"load\":7}".len() as u64);
+    }
+
+    #[test]
+    fn byte_gauge_tracks_replacement_and_eviction() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(1, body("aaaa"));
+        cache.insert(2, body("bb"));
+        assert_eq!(cache.stats().bytes, 6);
+        cache.insert(1, body("c")); // replace: 4 bytes out, 1 in
+        assert_eq!(cache.stats().bytes, 3);
+        cache.insert(3, body("dddddddd")); // evicts 2 (LRU)
+        assert_eq!(cache.stats().bytes, 9);
+        assert_eq!(cache.stats().evictions, 1);
     }
 
     #[test]

@@ -29,12 +29,20 @@
 //! `mpcjoin::QueryEngine` exactly like the CLI does, and leans on the
 //! engine's documented determinism guarantees (see `crates/core`) for
 //! cache soundness.
+//!
+//! The observability plane ([`obs`]) is threaded through every layer —
+//! request ids at the wire, queue-wait spans in the scheduler, cache /
+//! engine / serialization spans and the bound-regression watchdog in
+//! the executor — and is *measurement-only*: results and the cost
+//! ledger are bit-identical with it enabled or disabled.
 
 pub mod cache;
+pub mod obs;
 pub mod run;
 pub mod sched;
 pub mod wire;
 
 pub use cache::{CacheStats, ResultCache};
+pub use obs::{Obs, RequestSpans, RequestTag, LOG_SCHEMA, SERVERSTATS_SCHEMA};
 pub use run::Executor;
 pub use sched::{SchedStats, Scheduler, ServerConfig};

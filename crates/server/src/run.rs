@@ -22,7 +22,10 @@
 //! response's bytes.
 
 use crate::cache::{digest_tokens, CacheStats, ResultCache};
-use crate::wire::{error_frame, explain_frame, mpc_error_frame, result_frame, QueryRequest};
+use crate::obs::{Obs, RequestSpans, RequestTag};
+use crate::wire::{
+    error_frame, explain_frame, mpc_error_frame, result_frame, QueryRequest, ResponseView,
+};
 use mpcjoin::mpc::json::Json;
 use mpcjoin::prelude::*;
 use mpcjoin::query::{parse_query, ParsedQuery};
@@ -40,6 +43,9 @@ pub struct Executor {
     pub threads_per_job: usize,
     /// When set, per-query trace/metrics artifacts are written here.
     pub artifact_dir: Option<PathBuf>,
+    /// The observability plane (shared with the scheduler and the wire
+    /// layer). Measures and counts *around* runs, never inside them.
+    obs: Arc<Obs>,
     cache: Mutex<ResultCache>,
     engines: Mutex<HashMap<(usize, String, bool), Arc<QueryEngine>>>,
 }
@@ -51,11 +57,13 @@ impl Executor {
         threads_per_job: usize,
         cache_cap: usize,
         artifact_dir: Option<PathBuf>,
+        obs: Arc<Obs>,
     ) -> Self {
         Executor {
             max_servers,
             threads_per_job,
             artifact_dir,
+            obs,
             cache: Mutex::new(ResultCache::new(cache_cap)),
             engines: Mutex::new(HashMap::new()),
         }
@@ -69,12 +77,41 @@ impl Executor {
     /// Execute one query request, returning its response frame (a result
     /// frame or an error frame — never nothing, never a panic).
     pub fn execute(&self, req: &QueryRequest) -> String {
+        self.execute_observed(req, 0, 0)
+    }
+
+    /// [`Executor::execute`] under a server-allocated request id, with
+    /// the queue-wait span already measured by the scheduler. Records
+    /// per-phase spans and the completion event; the frame itself is the
+    /// same either way — observation never changes a response byte.
+    pub fn execute_observed(&self, req: &QueryRequest, rid: u64, queue_ns: u64) -> String {
         if req.delay_ms > 0 {
             std::thread::sleep(std::time::Duration::from_millis(req.delay_ms));
         }
         let started = Instant::now();
-        match self.respond(req, started) {
-            Ok(frame) | Err(frame) => frame,
+        let tag = RequestTag {
+            rid,
+            id: req.id,
+            session: req.session.clone(),
+        };
+        match self.respond(req, started, &tag, queue_ns) {
+            Ok(frame) => frame,
+            Err(frame) => {
+                let code = ResponseView::parse(&frame)
+                    .ok()
+                    .and_then(|v| v.code)
+                    .unwrap_or_else(|| "unknown".into());
+                self.obs.count(&format!("error.{code}"), 1);
+                let mut fields = tag.fields();
+                fields.extend([
+                    ("kind".into(), Json::Str("query".into())),
+                    ("outcome".into(), Json::Str("error".into())),
+                    ("code".into(), Json::Str(code)),
+                    ("cached".into(), Json::Bool(false)),
+                ]);
+                self.obs.log_event("info", "complete", fields);
+                frame
+            }
         }
     }
 
@@ -84,9 +121,37 @@ impl Executor {
     /// cluster runs — so callers may answer explain requests inline
     /// without going through the execution queue.
     pub fn explain(&self, req: &QueryRequest) -> String {
-        match self.respond_explain(req) {
-            Ok(frame) | Err(frame) => frame,
+        self.explain_observed(req, 0)
+    }
+
+    /// [`Executor::explain`] under a server-allocated request id.
+    pub fn explain_observed(&self, req: &QueryRequest, rid: u64) -> String {
+        let tag = RequestTag {
+            rid,
+            id: req.id,
+            session: req.session.clone(),
+        };
+        let (outcome, code, frame) = match self.respond_explain(req) {
+            Ok(frame) => ("result", None, frame),
+            Err(frame) => {
+                let code = ResponseView::parse(&frame)
+                    .ok()
+                    .and_then(|v| v.code)
+                    .unwrap_or_else(|| "unknown".into());
+                self.obs.count(&format!("error.{code}"), 1);
+                ("error", Some(code), frame)
+            }
+        };
+        let mut fields = tag.fields();
+        fields.extend([
+            ("kind".into(), Json::Str("explain".into())),
+            ("outcome".into(), Json::Str(outcome.into())),
+        ]);
+        if let Some(code) = code {
+            fields.push(("code".into(), Json::Str(code)));
         }
+        self.obs.log_event("info", "complete", fields);
+        frame
     }
 
     /// Parse + validate the request-level fields shared by query and
@@ -154,17 +219,25 @@ impl Executor {
     }
 
     /// `Err` carries an already-rendered error frame.
-    fn respond(&self, req: &QueryRequest, started: Instant) -> Result<String, String> {
+    fn respond(
+        &self,
+        req: &QueryRequest,
+        started: Instant,
+        tag: &RequestTag,
+        queue_ns: u64,
+    ) -> Result<String, String> {
         let (parsed, choice) = self.validate(req)?;
         match req.semiring.as_str() {
-            "count" => self.run_semiring(req, &parsed, choice, started, |w| {
+            "count" => self.run_semiring(req, &parsed, choice, started, tag, queue_ns, |w| {
                 Count(w.unwrap_or(1).max(0) as u64)
             }),
-            "bool" => self.run_semiring(req, &parsed, choice, started, |_| BoolRing(true)),
-            "minplus" => self.run_semiring(req, &parsed, choice, started, |w| {
+            "bool" => self.run_semiring(req, &parsed, choice, started, tag, queue_ns, |_| {
+                BoolRing(true)
+            }),
+            "minplus" => self.run_semiring(req, &parsed, choice, started, tag, queue_ns, |w| {
                 TropicalMin::finite(w.unwrap_or(0))
             }),
-            "mincount" => self.run_semiring(req, &parsed, choice, started, |w| {
+            "mincount" => self.run_semiring(req, &parsed, choice, started, tag, queue_ns, |w| {
                 MinCount::path(w.unwrap_or(0))
             }),
             other => Err(error_frame(
@@ -176,38 +249,52 @@ impl Executor {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // internal plumbing of one call chain
     fn run_semiring<S: Semiring + std::fmt::Debug>(
         &self,
         req: &QueryRequest,
         parsed: &ParsedQuery,
         choice: PlanChoice,
         started: Instant,
+        tag: &RequestTag,
+        queue_ns: u64,
         weight: impl FnMut(Option<i64>) -> S + Copy,
     ) -> Result<String, String> {
+        self.obs.count(&format!("semiring.{}", req.semiring), 1);
         let rels = build_relations(req, parsed, weight)?;
 
         // Faulted requests bypass the cache in both directions: they must
         // actually exercise the recovery path, and their (identical)
         // output must not shadow the clean run's entry semantics.
+        let cache_started = Instant::now();
         let key = if req.fault_plan.is_none() {
             Some(digest_tokens(&digest_stream(req, parsed)))
         } else {
             None
         };
-        if let Some(k) = key {
-            if let Some(body) = self.cache.lock().expect("cache lock").get(k) {
-                return Ok(result_frame(
-                    req.id,
-                    true,
-                    started.elapsed().as_nanos(),
-                    None,
-                    &body,
-                ));
-            }
+        let hit = key.and_then(|k| self.cache.lock().expect("cache lock").get(k));
+        let cache_ns = elapsed_ns(cache_started);
+        if let Some(body) = hit {
+            let frame = result_frame(req.id, true, started.elapsed().as_nanos(), None, &body);
+            self.finish(
+                tag,
+                None,
+                true,
+                None,
+                RequestSpans {
+                    queue_ns,
+                    cache_ns,
+                    engine_ns: 0,
+                    serialize_ns: 0,
+                    total_ns: elapsed_ns(started),
+                },
+            );
+            return Ok(frame);
         }
 
         let instrumented = self.artifact_dir.is_some();
         let engine = self.engine_for(req.servers, &req.plan, choice, instrumented);
+        let engine_started = Instant::now();
         let result = match &req.fault_plan {
             // A fault plan is per-request state, so it runs on a derived
             // engine; the pooled one stays fault-free.
@@ -216,23 +303,82 @@ impl Executor {
         }
         .run(&parsed.query, &rels)
         .map_err(|e| mpc_error_frame(req.id, &e))?;
+        let engine_ns = elapsed_ns(engine_started);
 
-        self.write_artifacts(req, &result);
+        self.write_artifacts(req, &result, tag);
+        let serialize_started = Instant::now();
         let body = canonical_body(&result, req.limit);
         let recovery = result.recovery.as_ref().map(RecoveryReport::to_json);
+        let serialize_ns = elapsed_ns(serialize_started);
         if let Some(k) = key {
             self.cache
                 .lock()
                 .expect("cache lock")
                 .insert(k, Arc::from(body.as_str()));
         }
-        Ok(result_frame(
+
+        // Watchdog: feed the verdict; on a near-violation, capture the
+        // explain artifact (a statistics-only recompile — read-only, so
+        // it cannot perturb the run or the ledger) and recovery report.
+        self.obs.record_audit(tag, &result.audit, || {
+            let explain = engine
+                .explain(&parsed.query, &rels)
+                .ok()
+                .map(|ex| ex.to_json(Some(&parsed.names)));
+            (explain, recovery.clone())
+        });
+
+        let plan = format!("{:?}", result.plan);
+        let frame = result_frame(
             req.id,
             false,
             started.elapsed().as_nanos(),
             recovery.as_ref(),
             &body,
-        ))
+        );
+        self.finish(
+            tag,
+            Some(&plan),
+            false,
+            result.audit.ratio.is_finite().then_some(result.audit.ratio),
+            RequestSpans {
+                queue_ns,
+                cache_ns,
+                engine_ns,
+                serialize_ns,
+                total_ns: elapsed_ns(started),
+            },
+        );
+        Ok(frame)
+    }
+
+    /// Record a successful run's spans + histograms and log its
+    /// `complete` event.
+    fn finish(
+        &self,
+        tag: &RequestTag,
+        plan: Option<&str>,
+        cached: bool,
+        ratio: Option<f64>,
+        spans: RequestSpans,
+    ) {
+        self.obs.observe_spans(&spans);
+        if let Some(plan) = plan {
+            self.obs.observe_plan(plan, spans.total_ns);
+        }
+        let mut fields = tag.fields();
+        fields.extend([
+            ("kind".into(), Json::Str("query".into())),
+            ("outcome".into(), Json::Str("result".into())),
+            ("cached".into(), Json::Bool(cached)),
+            (
+                "plan".into(),
+                plan.map_or(Json::Null, |p| Json::Str(p.into())),
+            ),
+            ("ratio".into(), ratio.map_or(Json::Null, Json::Num)),
+            ("spans".into(), spans.to_json()),
+        ]);
+        self.obs.log_event("info", "complete", fields);
     }
 
     fn engine_for(
@@ -258,8 +404,17 @@ impl Executor {
     }
 
     /// Flush this run's trace/metrics artifacts (observability is
-    /// best-effort: a full disk must not fail the query).
-    fn write_artifacts<S: Semiring>(&self, req: &QueryRequest, result: &ExecutionResult<S>) {
+    /// best-effort: a full disk must not fail the query). Traces carry
+    /// the request tag (`rid`/`id`/`session`), linking the artifact's
+    /// `mpcjoin-trace-v3` round events to the span + log plane, and the
+    /// rid lands in the filename so pipelined duplicates of one client
+    /// id never overwrite each other.
+    fn write_artifacts<S: Semiring>(
+        &self,
+        req: &QueryRequest,
+        result: &ExecutionResult<S>,
+        tag: &RequestTag,
+    ) {
         let Some(dir) = &self.artifact_dir else {
             return;
         };
@@ -269,19 +424,28 @@ impl Executor {
             .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
             .collect();
         if let Some(trace) = &result.trace {
-            let path = dir.join(format!("trace_{session}_{}.json", req.id));
-            let doc = trace.to_json_with(Some(&result.audit.to_json()), result.recovery.as_ref());
+            let path = dir.join(format!("trace_{session}_{}_r{}.json", req.id, tag.rid));
+            let doc = trace.to_json_tagged(
+                Some(&result.audit.to_json()),
+                result.recovery.as_ref(),
+                Some(&tag.to_json()),
+            );
             if let Err(e) = std::fs::write(&path, doc) {
                 eprintln!("artifact write failed: {}: {e}", path.display());
             }
         }
         if let Some(snap) = &result.metrics {
-            let path = dir.join(format!("metrics_{session}_{}.json", req.id));
+            let path = dir.join(format!("metrics_{session}_{}_r{}.json", req.id, tag.rid));
             if let Err(e) = std::fs::write(&path, snap.to_json()) {
                 eprintln!("artifact write failed: {}: {e}", path.display());
             }
         }
     }
+}
+
+/// Saturating nanosecond elapsed-time read.
+fn elapsed_ns(since: Instant) -> u64 {
+    since.elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
 /// Bind the request's relation rows to the parsed query's body atoms and
@@ -427,7 +591,7 @@ mod tests {
     }
 
     fn executor() -> Executor {
-        Executor::new(64, 1, 16, None)
+        Executor::new(64, 1, 16, None, Arc::new(Obs::new()))
     }
 
     #[test]

@@ -26,12 +26,15 @@
 //! over the scheduler's lifetime. [`Scheduler::shutdown`] then stops and
 //! joins the workers.
 
+use crate::obs::{Obs, RequestTag};
 use crate::run::Executor;
 use crate::wire::{error_frame, QueryRequest};
+use mpcjoin::mpc::json::Json;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Serving-layer tuning knobs (every one has a CLI flag on
 /// `mpcjoin-serve`).
@@ -53,6 +56,10 @@ pub struct ServerConfig {
     pub retry_after_ms: u64,
     /// Per-query trace/metrics artifact directory.
     pub artifact_dir: Option<std::path::PathBuf>,
+    /// `mpcjoin-log-v1` operational log file (`--log`).
+    pub log_file: Option<std::path::PathBuf>,
+    /// Text-exposition dump written at drain time (`--obs-dump`).
+    pub obs_dump: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +73,8 @@ impl Default for ServerConfig {
             threads_per_job: 1,
             retry_after_ms: 25,
             artifact_dir: None,
+            log_file: None,
+            obs_dump: None,
         }
     }
 }
@@ -86,6 +95,10 @@ pub struct SchedStats {
 }
 
 struct Job {
+    /// Server-allocated request id (spans + log linkage).
+    rid: u64,
+    /// When the job entered the queue (queue-wait span).
+    enqueued: Instant,
     request: QueryRequest,
     respond: Box<dyn FnOnce(String) + Send>,
 }
@@ -102,6 +115,7 @@ struct State {
 
 struct Inner {
     cfg: ServerConfig,
+    obs: Arc<Obs>,
     executor: Executor,
     state: Mutex<State>,
     /// Signaled when work arrives or the scheduler stops.
@@ -123,15 +137,40 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// Start `cfg.workers` workers over a fresh executor.
+    /// Start `cfg.workers` workers over a fresh executor (and the
+    /// observability plane — with the operational log attached when
+    /// `cfg.log_file` is set; a log-file open failure downgrades to
+    /// metrics-only with a stderr note rather than refusing to serve).
     pub fn new(cfg: ServerConfig) -> Self {
+        let obs = Arc::new(match &cfg.log_file {
+            None => Obs::new(),
+            Some(path) => Obs::with_log(path).unwrap_or_else(|e| {
+                eprintln!(
+                    "cannot open log file {}: {e}; logging disabled",
+                    path.display()
+                );
+                Obs::new()
+            }),
+        });
+        obs.log_event(
+            "info",
+            "server_start",
+            vec![
+                ("workers".into(), Json::Num(cfg.workers as f64)),
+                ("queue_cap".into(), Json::Num(cfg.queue_cap as f64)),
+                ("session_quota".into(), Json::Num(cfg.session_quota as f64)),
+                ("cache_cap".into(), Json::Num(cfg.cache_cap as f64)),
+            ],
+        );
         let executor = Executor::new(
             cfg.max_servers,
             cfg.threads_per_job,
             cfg.cache_cap,
             cfg.artifact_dir.clone(),
+            Arc::clone(&obs),
         );
         let inner = Arc::new(Inner {
+            obs,
             executor,
             state: Mutex::new(State::default()),
             work_cv: Condvar::new(),
@@ -160,29 +199,60 @@ impl Scheduler {
         &self.inner.executor
     }
 
-    /// Submit a query. Exactly one call to `respond` happens — either
-    /// immediately (a rejection frame, on the submitter's thread) or
-    /// from a worker once the job executes. `respond` must be cheap-ish:
-    /// it runs with no scheduler lock held but occupies the worker.
-    pub fn submit(&self, request: QueryRequest, respond: impl FnOnce(String) + Send + 'static) {
+    /// The shared observability plane.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.inner.obs
+    }
+
+    /// The full `mpcjoin-serverstats-v1` payload.
+    pub fn stats_doc(&self) -> Json {
+        self.inner
+            .obs
+            .stats_json(&self.stats(), &self.inner.executor.cache_stats())
+    }
+
+    /// The text exposition of the stats payload.
+    pub fn stats_text(&self) -> String {
+        self.inner
+            .obs
+            .stats_text(&self.stats(), &self.inner.executor.cache_stats())
+    }
+
+    /// Submit a query under a server-allocated request id. Exactly one
+    /// call to `respond` happens — either immediately (a rejection
+    /// frame, on the submitter's thread) or from a worker once the job
+    /// executes. `respond` must be cheap-ish: it runs with no scheduler
+    /// lock held but occupies the worker.
+    pub fn submit(
+        &self,
+        rid: u64,
+        request: QueryRequest,
+        respond: impl FnOnce(String) + Send + 'static,
+    ) {
         let inner = &self.inner;
         let rejection = {
             let mut state = inner.state.lock().expect("scheduler lock");
             if state.draining || state.stopped {
                 inner.rejected_draining.fetch_add(1, Ordering::Relaxed);
-                Some(error_frame(
-                    Some(request.id),
+                Some((
                     "draining",
-                    "server is shutting down; no new work admitted",
-                    None,
+                    error_frame(
+                        Some(request.id),
+                        "draining",
+                        "server is shutting down; no new work admitted",
+                        None,
+                    ),
                 ))
             } else if state.queue.len() >= inner.cfg.queue_cap {
                 inner.rejected_overload.fetch_add(1, Ordering::Relaxed);
-                Some(error_frame(
-                    Some(request.id),
+                Some((
                     "overloaded",
-                    &format!("admission queue full ({} queued)", state.queue.len()),
-                    Some(inner.cfg.retry_after_ms),
+                    error_frame(
+                        Some(request.id),
+                        "overloaded",
+                        &format!("admission queue full ({} queued)", state.queue.len()),
+                        Some(inner.cfg.retry_after_ms),
+                    ),
                 ))
             } else {
                 let load = state
@@ -191,19 +261,25 @@ impl Scheduler {
                     .or_insert(0);
                 if *load >= inner.cfg.session_quota {
                     inner.rejected_quota.fetch_add(1, Ordering::Relaxed);
-                    Some(error_frame(
-                        Some(request.id),
+                    Some((
                         "quota_exceeded",
-                        &format!(
-                            "session `{}` already has {load} jobs in flight (quota {})",
-                            request.session, inner.cfg.session_quota
+                        error_frame(
+                            Some(request.id),
+                            "quota_exceeded",
+                            &format!(
+                                "session `{}` already has {load} jobs in flight (quota {})",
+                                request.session, inner.cfg.session_quota
+                            ),
+                            Some(inner.cfg.retry_after_ms),
                         ),
-                        Some(inner.cfg.retry_after_ms),
                     ))
                 } else {
                     *load += 1;
                     inner.admitted.fetch_add(1, Ordering::Relaxed);
+                    inner.obs.queue_enter();
                     state.queue.push_back(Job {
+                        rid,
+                        enqueued: Instant::now(),
                         request,
                         respond: Box::new(respond),
                     });
@@ -212,8 +288,18 @@ impl Scheduler {
                 }
             }
         };
-        // Rejection frames are delivered outside the lock.
-        if let Some(frame) = rejection {
+        // Rejection frames are counted, logged, and delivered outside
+        // the lock.
+        if let Some((reason, frame)) = rejection {
+            inner.obs.count(&format!("error.{reason}"), 1);
+            let tag = RequestTag {
+                rid,
+                id: request.id,
+                session: request.session.clone(),
+            };
+            let mut fields = tag.fields();
+            fields.push(("reason".into(), Json::Str(reason.into())));
+            inner.obs.log_event("info", "reject", fields);
             (respond)(frame);
         }
     }
@@ -223,12 +309,25 @@ impl Scheduler {
     /// number of jobs completed over the scheduler's lifetime.
     pub fn drain(&self) -> u64 {
         let inner = &self.inner;
-        let mut state = inner.state.lock().expect("scheduler lock");
-        state.draining = true;
-        while !state.queue.is_empty() || state.running > 0 {
-            state = inner.idle_cv.wait(state).expect("scheduler lock");
+        let completed = {
+            let mut state = inner.state.lock().expect("scheduler lock");
+            state.draining = true;
+            while !state.queue.is_empty() || state.running > 0 {
+                state = inner.idle_cv.wait(state).expect("scheduler lock");
+            }
+            inner.completed.load(Ordering::Relaxed)
+        };
+        inner.obs.log_event(
+            "info",
+            "drain",
+            vec![("completed".into(), Json::Num(completed as f64))],
+        );
+        if let Some(path) = &inner.cfg.obs_dump {
+            if let Err(e) = std::fs::write(path, self.stats_text()) {
+                eprintln!("cannot write obs dump {}: {e}", path.display());
+            }
         }
-        inner.completed.load(Ordering::Relaxed)
+        completed
     }
 
     /// Drain, then stop and join the worker threads. Safe to call from a
@@ -249,6 +348,11 @@ impl Scheduler {
         for handle in handles {
             let _ = handle.join();
         }
+        self.inner.obs.log_event(
+            "info",
+            "shutdown",
+            vec![("completed".into(), Json::Num(completed as f64))],
+        );
         completed
     }
 
@@ -280,9 +384,17 @@ fn worker_loop(inner: &Inner) {
                 state = inner.work_cv.wait(state).expect("scheduler lock");
             }
         };
-        let frame = inner.executor.execute(&job.request);
-        (job.respond)(frame);
+        inner.obs.job_start();
+        let queue_ns = job.enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let frame = inner
+            .executor
+            .execute_observed(&job.request, job.rid, queue_ns);
+        // The completion counter and gauge move *before* the response is
+        // delivered: a client that scrapes stats after receiving all its
+        // responses must see `completed` cover every one of them.
         inner.completed.fetch_add(1, Ordering::Relaxed);
+        inner.obs.job_end();
+        (job.respond)(frame);
         let mut state = inner.state.lock().expect("scheduler lock");
         state.running -= 1;
         if let Some(load) = state.session_load.get_mut(&job.request.session) {
@@ -336,7 +448,7 @@ mod tests {
         const N: u64 = 40;
         for id in 0..N {
             let tx = tx.clone();
-            sched.submit(mm_request(id, "t", 0), move |frame| {
+            sched.submit(id + 1, mm_request(id, "t", 0), move |frame| {
                 tx.send(frame).expect("collector alive");
             });
         }
@@ -361,7 +473,7 @@ mod tests {
         let (tx, rx) = mpsc::channel::<String>();
         for id in 0..20 {
             let tx = tx.clone();
-            sched.submit(mm_request(id, "t", 30), move |frame| {
+            sched.submit(id + 1, mm_request(id, "t", 30), move |frame| {
                 tx.send(frame).expect("collector alive");
             });
         }
@@ -388,10 +500,12 @@ mod tests {
         // quota-rejected.
         for id in 0..6 {
             let tx = tx.clone();
-            sched.submit(mm_request(id, "a", 20), move |f| tx.send(f).unwrap());
+            sched.submit(id + 1, mm_request(id, "a", 20), move |f| {
+                tx.send(f).unwrap()
+            });
         }
         let tx2 = tx.clone();
-        sched.submit(mm_request(100, "b", 0), move |f| tx2.send(f).unwrap());
+        sched.submit(101, mm_request(100, "b", 0), move |f| tx2.send(f).unwrap());
         let frames: Vec<ResponseView> = (0..7)
             .map(|_| ResponseView::parse(&rx.recv().unwrap()).unwrap())
             .collect();
@@ -416,7 +530,9 @@ mod tests {
         let (tx, rx) = mpsc::channel::<String>();
         for id in 0..6 {
             let tx = tx.clone();
-            sched.submit(mm_request(id, "t", 25), move |f| tx.send(f).unwrap());
+            sched.submit(id + 1, mm_request(id, "t", 25), move |f| {
+                tx.send(f).unwrap()
+            });
         }
         let completed = sched.drain();
         assert_eq!(completed, 6, "drain waits for in-flight work");
@@ -427,7 +543,7 @@ mod tests {
         }
         // Post-drain submissions are structured rejections.
         let (tx2, rx2) = mpsc::channel::<String>();
-        sched.submit(mm_request(99, "t", 0), move |f| tx2.send(f).unwrap());
+        sched.submit(100, mm_request(99, "t", 0), move |f| tx2.send(f).unwrap());
         let v = ResponseView::parse(&rx2.recv().unwrap()).unwrap();
         assert_eq!(v.code.as_deref(), Some("draining"));
         assert_eq!(sched.stats().rejected_draining, 1);

@@ -90,10 +90,14 @@ pub enum Frame {
         /// Echoed request id.
         id: Option<u64>,
     },
-    /// Scheduler / cache statistics.
+    /// Scheduler / cache / observability statistics. `format` selects
+    /// the payload shape: absent (JSON, `mpcjoin-serverstats-v1`) or
+    /// `"text"` (line-oriented exposition).
     Stats {
         /// Echoed request id.
         id: Option<u64>,
+        /// Requested payload format (`None` = JSON).
+        format: Option<String>,
     },
     /// Graceful drain-and-shutdown: stop admitting, finish in-flight
     /// queries, acknowledge, exit.
@@ -204,7 +208,10 @@ pub fn parse_frame(line: &str) -> Result<Frame, WireError> {
         .ok_or_else(|| with_id(WireError::frame("bad_frame", "missing `type`")))?;
     match kind.as_str() {
         "ping" => Ok(Frame::Ping { id }),
-        "stats" => Ok(Frame::Stats { id }),
+        "stats" => Ok(Frame::Stats {
+            id,
+            format: get_str(&doc, "format").map_err(with_id)?,
+        }),
         "shutdown" => Ok(Frame::Shutdown { id }),
         "query" => parse_query_frame(&doc, id)
             .map(|req| Frame::Query(Box::new(req)))
@@ -366,6 +373,18 @@ pub fn shutdown_ack_frame(id: Option<u64>, completed: u64) -> String {
     )
 }
 
+/// Splice the server-allocated request id into a finished response
+/// frame, as a final `"rid"` member. Operates on the serialized bytes —
+/// every frame builder emits a JSON object, and the splice point (the
+/// closing brace) is *after* any verbatim-spliced body, so cached
+/// result bytes are untouched and bit-identity is preserved.
+pub fn stamp_rid(frame: &str, rid: u64) -> String {
+    match frame.rfind('}') {
+        Some(at) => format!("{},\"rid\":{rid}{}", &frame[..at], &frame[at..]),
+        None => frame.to_string(), // not an object — leave it alone
+    }
+}
+
 /// A client-side view of one response line.
 #[derive(Debug)]
 pub struct ResponseView {
@@ -394,6 +413,8 @@ pub struct ResponseView {
     pub recovered: bool,
     /// `completed` of a `shutdown_ack`.
     pub completed: Option<u64>,
+    /// Server-allocated request id ([`stamp_rid`]), when present.
+    pub rid: Option<u64>,
 }
 
 impl ResponseView {
@@ -425,6 +446,7 @@ impl ResponseView {
                 .get("recovery")
                 .is_some_and(|r| !matches!(r, Json::Null)),
             completed: doc.get("completed").and_then(Json::as_u64),
+            rid: doc.get("rid").and_then(Json::as_u64),
         })
     }
 }
@@ -547,6 +569,44 @@ mod tests {
         assert_eq!(view.kind, "pong");
         let view = ResponseView::parse(&shutdown_ack_frame(None, 17)).unwrap();
         assert_eq!(view.completed, Some(17));
+    }
+
+    #[test]
+    fn stats_frames_carry_an_optional_format() {
+        let Frame::Stats { id, format } = parse_frame("{\"type\":\"stats\",\"id\":2}").unwrap()
+        else {
+            panic!("expected a stats frame");
+        };
+        assert_eq!((id, format), (Some(2), None));
+        let Frame::Stats { format, .. } =
+            parse_frame("{\"type\":\"stats\",\"format\":\"text\"}").unwrap()
+        else {
+            panic!("expected a stats frame");
+        };
+        assert_eq!(format.as_deref(), Some("text"));
+        let err = parse_frame("{\"type\":\"stats\",\"id\":1,\"format\":7}").unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        assert_eq!(err.id, Some(1));
+    }
+
+    #[test]
+    fn stamp_rid_appends_without_touching_the_body() {
+        let body = "{\"plan\":\"Line\",\"load\":3,\"rows\":[[[1,7],\"Count(2)\"]]}";
+        let stamped = stamp_rid(&result_frame(9, true, 5, None, body), 42);
+        let view = ResponseView::parse(&stamped).unwrap();
+        assert_eq!(view.rid, Some(42));
+        assert_eq!(view.id, Some(9));
+        assert_eq!(view.result.as_deref(), Some(body), "body bytes untouched");
+        // Every response-frame builder stays parseable after stamping.
+        for frame in [
+            error_frame(None, "overloaded", "queue full", Some(25)),
+            pong_frame(Some(1)),
+            explain_frame(5, "{\"schema\":\"mpcjoin-plan-v1\"}"),
+            shutdown_ack_frame(None, 3),
+        ] {
+            let view = ResponseView::parse(&stamp_rid(&frame, 7)).unwrap();
+            assert_eq!(view.rid, Some(7), "{frame}");
+        }
     }
 
     #[test]

@@ -173,14 +173,26 @@ fn server_executor_reuse_matches_fresh_executors() {
     let Frame::Query(req) = parse_frame(line).unwrap() else {
         panic!("expected a query frame");
     };
-    let shared = Executor::new(64, 1, 16, None);
+    let shared = Executor::new(
+        64,
+        1,
+        16,
+        None,
+        std::sync::Arc::new(mpcjoin_server::Obs::new()),
+    );
     let mut bodies = Vec::new();
     for i in 0..4 {
         let view = ResponseView::parse(&shared.execute(&req)).unwrap();
         assert_eq!(view.kind, "result");
         assert_eq!(view.cached, i > 0, "first run cold, repeats cached");
         bodies.push(view.result.unwrap());
-        let fresh = Executor::new(64, 1, 16, None);
+        let fresh = Executor::new(
+            64,
+            1,
+            16,
+            None,
+            std::sync::Arc::new(mpcjoin_server::Obs::new()),
+        );
         let fresh_view = ResponseView::parse(&fresh.execute(&req)).unwrap();
         assert_eq!(
             fresh_view.result.as_deref(),

@@ -14,9 +14,9 @@
 use mpcjoin::mpc::json::Json;
 use mpcjoin::prelude::*;
 use mpcjoin_server::wire::{parse_frame, Frame, ResponseView};
-use mpcjoin_server::{Executor, Scheduler, ServerConfig};
+use mpcjoin_server::{Executor, Obs, Scheduler, ServerConfig};
 use std::collections::HashMap;
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 
 fn query_request(id: u64, session: &str) -> mpcjoin_server::wire::QueryRequest {
     let line = format!(
@@ -49,7 +49,7 @@ fn thirty_two_concurrent_sessions_lose_and_duplicate_nothing() {
                 for i in 0..PER_SESSION {
                     let id = s * 1000 + i;
                     let tx = tx.clone();
-                    sched.submit(query_request(id, &format!("s{s}")), move |frame| {
+                    sched.submit(id + 1, query_request(id, &format!("s{s}")), move |frame| {
                         tx.send(frame).expect("collector alive");
                     });
                 }
@@ -80,7 +80,7 @@ fn cache_hits_are_oracle_correct_by_transitivity() {
     // Step 1: the cold body's rows must equal the sequential oracle's
     // canonical output. Step 2: the hit must be byte-identical to the
     // cold body. Together: a cache hit is oracle-checked.
-    let ex = Executor::new(64, 1, 8, None);
+    let ex = Executor::new(64, 1, 8, None, Arc::new(Obs::new()));
     let req = query_request(1, "t");
     let cold = ResponseView::parse(&ex.execute(&req)).unwrap();
     assert!(!cold.cached);
@@ -132,7 +132,7 @@ fn backpressure_is_always_a_structured_answer() {
         let mut req = query_request(id, "burst");
         req.delay_ms = 20;
         let tx = tx.clone();
-        sched.submit(req, move |f| tx.send(f).expect("collector alive"));
+        sched.submit(id + 1, req, move |f| tx.send(f).expect("collector alive"));
     }
     drop(tx);
     let mut results = 0u32;
@@ -170,7 +170,7 @@ fn drain_answers_everything_before_acking() {
         let mut req = query_request(id, "d");
         req.delay_ms = 10;
         let tx = tx.clone();
-        sched.submit(req, move |f| tx.send(f).expect("collector alive"));
+        sched.submit(id + 1, req, move |f| tx.send(f).expect("collector alive"));
     }
     let completed = sched.drain();
     assert_eq!(completed, 8);
@@ -179,4 +179,263 @@ fn drain_answers_everything_before_acking() {
     // after delivery, which is what lets the server ack and exit safely.
     assert_eq!(rx.iter().count(), 8);
     sched.shutdown();
+}
+
+/// A query whose digest is shared by every session (id and session are
+/// not part of the cache digest), so repeats hit the result cache.
+fn shared_request(id: u64, session: &str) -> mpcjoin_server::wire::QueryRequest {
+    let line = format!(
+        "{{\"type\":\"query\",\"id\":{id},\"session\":\"{session}\",\
+         \"query\":\"Q(a, c) :- R(a, b), S(b, c)\",\"servers\":4,\
+         \"relations\":{{\"R\":[[3,10],[1,11],[2,10]],\"S\":[[10,7],[11,7]]}}}}"
+    );
+    match parse_frame(&line).expect("frame parses") {
+        Frame::Query(req) => *req,
+        other => panic!("expected query frame, got {other:?}"),
+    }
+}
+
+fn num(doc: &Json, path: &[&str]) -> u64 {
+    let mut cur = doc;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("stats doc missing `{}`", path.join(".")));
+    }
+    cur.as_u64()
+        .unwrap_or_else(|| panic!("`{}` is not an integer", path.join(".")))
+}
+
+/// The tentpole's exactness bar: under 32 concurrent sessions mixing
+/// cache hits, faulted runs, executor errors, and admission rejections,
+/// every submission is answered exactly once and the observability
+/// plane's counters — scheduler stats, obs counters, cache gauges, and
+/// the watchdog — all reconcile exactly with the frames the clients saw.
+#[test]
+fn counters_are_exact_under_concurrent_mixed_load() {
+    const SESSIONS: u64 = 32;
+    let sched = Scheduler::new(ServerConfig {
+        workers: 4,
+        queue_cap: 8,
+        session_quota: 4,
+        cache_cap: 64,
+        ..ServerConfig::default()
+    });
+    let (tx, rx) = mpsc::channel::<String>();
+
+    // Prime the cache deterministically: an empty queue must admit, so
+    // this shared query runs cold exactly once before the storm.
+    {
+        let tx = tx.clone();
+        sched.submit(1, shared_request(1, "prime"), move |f| {
+            tx.send(f).expect("collector alive")
+        });
+    }
+    let prime = ResponseView::parse(&rx.recv().expect("prime response")).unwrap();
+    assert_eq!(prime.kind, "result", "{:?}", prime.detail);
+    assert!(!prime.cached);
+
+    // The storm: per session a shared query (hit), a unique query
+    // (miss), a faulted twin (bypasses the cache, recovers), and a
+    // malformed query (executor error). queue_cap=8 against 128 rapid
+    // submissions guarantees some overload rejections.
+    let mut fault_ids = std::collections::HashSet::new();
+    let mut error_ids = std::collections::HashSet::new();
+    for s in 0..SESSIONS {
+        fault_ids.insert(1000 + s * 10 + 2);
+        error_ids.insert(1000 + s * 10 + 3);
+    }
+    std::thread::scope(|scope| {
+        for s in 0..SESSIONS {
+            let sched = &sched;
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let session = format!("s{s}");
+                for i in 0..4u64 {
+                    let id = 1000 + s * 10 + i;
+                    let mut req = match i {
+                        0 => shared_request(id, &session),
+                        1 => query_request(id, &session),
+                        2 => {
+                            let mut r = shared_request(id, &session);
+                            r.fault_plan = Some(FaultPlan::new(11).retries(10).reorder(1));
+                            r
+                        }
+                        _ => {
+                            let mut r = shared_request(id, &session);
+                            r.relations.pop(); // missing relation ⇒ bad_request
+                            r
+                        }
+                    };
+                    req.delay_ms = 5; // back the queue up so overload is certain
+                    let tx = tx.clone();
+                    sched.submit(id, req, move |f| tx.send(f).expect("collector alive"));
+                }
+            });
+        }
+    });
+    let storm_frames: Vec<String> = (0..SESSIONS * 4)
+        .map(|_| rx.recv().expect("storm response"))
+        .collect();
+
+    // Deterministic quota rejections: the storm has fully drained (every
+    // response above was delivered after its counters moved), so four
+    // slow jobs from a fresh session are admitted and two more bounce.
+    for i in 0..6u64 {
+        let mut req = shared_request(5000 + i, "burst");
+        req.fault_plan = Some(FaultPlan::new(11).retries(10).reorder(1)); // dodge the cache
+        req.delay_ms = 100;
+        let tx = tx.clone();
+        sched.submit(5000 + i, req, move |f| tx.send(f).expect("collector alive"));
+    }
+    let burst_frames: Vec<String> = (0..6).map(|_| rx.recv().expect("burst response")).collect();
+
+    // Deterministic cache hit: the primed entry is still warm.
+    {
+        let tx = tx.clone();
+        sched.submit(6000, shared_request(6000, "late"), move |f| {
+            tx.send(f).expect("collector alive")
+        });
+    }
+    let late = ResponseView::parse(&rx.recv().expect("late response")).unwrap();
+    assert!(late.cached, "primed shared query must hit the cache");
+    drop(tx);
+
+    // Tally every frame exactly as a client would.
+    let mut seen: HashMap<u64, u32> = HashMap::new();
+    let mut results = 0u64;
+    let mut cached = 0u64;
+    let mut errors: HashMap<String, u64> = HashMap::new();
+    let mut frames: Vec<String> = storm_frames;
+    frames.extend(burst_frames);
+    for frame in &frames {
+        let view = ResponseView::parse(frame).expect("parseable response");
+        let id = view.id.expect("id echoed");
+        *seen.entry(id).or_insert(0) += 1;
+        match view.kind.as_str() {
+            "result" => {
+                results += 1;
+                if view.cached {
+                    cached += 1;
+                }
+                if fault_ids.contains(&id) || id >= 5000 {
+                    assert!(!view.cached, "faulted requests bypass the cache");
+                    assert!(view.recovered, "faulted requests recover");
+                }
+                assert!(!error_ids.contains(&id), "malformed queries cannot succeed");
+            }
+            "error" => {
+                let code = view.code.expect("errors carry a code");
+                if code == "bad_request" {
+                    assert!(error_ids.contains(&id), "only the malformed queries 400");
+                } else {
+                    assert!(
+                        code == "overloaded" || code == "quota_exceeded",
+                        "unexpected error code `{code}`"
+                    );
+                }
+                *errors.entry(code).or_insert(0) += 1;
+            }
+            other => panic!("unexpected frame type `{other}`"),
+        }
+    }
+    assert_eq!(
+        frames.len() as u64,
+        SESSIONS * 4 + 6,
+        "every submission answered"
+    );
+    assert!(seen.values().all(|&n| n == 1), "no duplicated responses");
+
+    let total_submitted = SESSIONS * 4 + 6 + 2; // storm + burst + prime + late
+    let overloaded = errors.get("overloaded").copied().unwrap_or(0);
+    let quota = errors.get("quota_exceeded").copied().unwrap_or(0);
+    let bad = errors.get("bad_request").copied().unwrap_or(0);
+    assert!(overloaded >= 1, "queue_cap=8 must overflow under the storm");
+    assert_eq!(quota, 2, "burst jobs 5 and 6 exceed session_quota=4");
+
+    sched.drain();
+    let stats = sched.stats();
+    assert_eq!(stats.rejected_overload, overloaded);
+    assert_eq!(stats.rejected_quota, quota);
+    assert_eq!(
+        stats.admitted + stats.rejected_overload + stats.rejected_quota,
+        total_submitted,
+        "admission is a partition: admitted + rejected == submitted"
+    );
+    assert_eq!(
+        stats.completed, stats.admitted,
+        "every admitted job completed"
+    );
+    // `results`/`cached`/`bad` exclude the prime and late frames parsed
+    // separately above: prime is a cold result, late a cached one.
+    assert_eq!(stats.completed, results + bad + 2);
+
+    // The obs plane's own ledger reconciles with the client-side view.
+    let doc = sched.stats_doc();
+    assert_eq!(num(&doc, &["sched", "completed"]), stats.completed);
+    assert_eq!(num(&doc, &["counters", "error.overloaded"]), overloaded);
+    assert_eq!(num(&doc, &["counters", "error.quota_exceeded"]), quota);
+    assert_eq!(num(&doc, &["counters", "error.bad_request"]), bad);
+    assert_eq!(num(&doc, &["counters", "semiring.count"]), stats.admitted);
+    assert_eq!(num(&doc, &["cache", "hits"]), cached + 1); // + the late hit
+    assert_eq!(
+        num(&doc, &["watchdog", "audited"]),
+        results - cached + 1, // cold successes, + the prime run
+        "every cold success fed the watchdog exactly once"
+    );
+    assert_eq!(num(&doc, &["queue_depth"]), 0);
+    assert_eq!(num(&doc, &["in_flight"]), 0);
+    sched.shutdown();
+}
+
+/// The invisibility invariant, pinned: running with the structured log
+/// and span plane enabled must leave every response byte — result rows,
+/// cost ledger, audit verdict — identical to a plain executor, across
+/// thread counts, for cold runs, cache hits, and recovered faulted runs.
+#[test]
+fn observability_plane_is_invisible_to_results_and_ledger() {
+    let log_path = std::env::temp_dir().join(format!(
+        "mpcjoin_obs_invisible_{}.jsonl",
+        std::process::id()
+    ));
+    for threads in [1usize, 3] {
+        let plain = Executor::new(64, threads, 8, None, Arc::new(Obs::new()));
+        let observed = Executor::new(
+            64,
+            threads,
+            8,
+            None,
+            Arc::new(Obs::with_log(&log_path).expect("log file opens")),
+        );
+        let mut faulted = query_request(7, "t");
+        faulted.fault_plan = Some(FaultPlan::new(11).retries(10).reorder(1));
+        let requests = [
+            query_request(7, "t"),
+            shared_request(8, "t"),
+            faulted,
+            query_request(7, "t"), // repeat ⇒ cache hit on both sides
+        ];
+        for (i, req) in requests.iter().enumerate() {
+            let a = ResponseView::parse(&plain.execute(req)).unwrap();
+            // Arbitrary rid and queue span: observation inputs must not
+            // leak into the response.
+            let b = ResponseView::parse(&observed.execute_observed(req, 40 + i as u64, 12_345))
+                .unwrap();
+            assert_eq!(a.kind, "result", "{:?}", a.detail);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.cached, b.cached, "request {i}: cache behaviour identical");
+            assert_eq!(
+                a.result, b.result,
+                "request {i} (threads={threads}): body bytes differ with observability on"
+            );
+            assert_eq!(a.load, b.load, "frame-level ledger identical");
+        }
+    }
+    // And the plane really was on: the log is a valid mpcjoin-log-v1
+    // stream with one completion per request.
+    let text = std::fs::read_to_string(&log_path).expect("log written");
+    let summary = mpcjoin_server::obs::check_log(&text).expect("log validates");
+    assert_eq!(summary.completes_query, 4);
+    assert_eq!(summary.completes_cached, 1);
+    std::fs::remove_file(&log_path).ok();
 }
